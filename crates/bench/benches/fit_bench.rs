@@ -1,0 +1,37 @@
+//! Microbenchmarks of the calibration path (Fig. 5 machinery): Gamma MLE
+//! and the four-family model selection.
+
+use cos_distr::{fit_best, fit_gamma_mle, Distribution as _, Empirical, Gamma};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn gamma_sample(n: usize) -> Vec<f64> {
+    let g = Gamma::new(3.0, 250.0);
+    let mut rng = SmallRng::seed_from_u64(99);
+    (0..n).map(|_| g.sample(&mut rng)).collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fitting");
+    for n in [1_000usize, 10_000, 100_000] {
+        let raw = gamma_sample(n);
+        group.bench_with_input(BenchmarkId::new("gamma_mle", n), &raw, |b, raw| {
+            b.iter(|| {
+                let e = Empirical::new(black_box(raw.clone()));
+                fit_gamma_mle(&e).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("four_family_selection", n), &raw, |b, raw| {
+            b.iter(|| {
+                let e = Empirical::new(black_box(raw.clone()));
+                fit_best(&e)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

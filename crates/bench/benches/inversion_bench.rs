@@ -1,0 +1,45 @@
+//! Microbenchmarks + cross-checks of the Laplace-inversion algorithms
+//! (ablation A4): all three algorithms against a closed-form M/M/1 sojourn
+//! CDF, at the three accuracy-relevant orders.
+
+use cos_numeric::laplace::{cdf_from_lst, InversionAlgorithm, InversionConfig};
+use cos_numeric::Complex64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// M/M/1 sojourn LST: (μ−λ)/(μ−λ+s).
+fn mm1_sojourn_lst(lambda: f64, mu: f64) -> impl Fn(Complex64) -> Complex64 {
+    move |s| Complex64::from_real(mu - lambda) / (s + (mu - lambda))
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let lst = mm1_sojourn_lst(60.0, 100.0);
+    let t = 0.05f64;
+    let truth = 1.0 - (-(100.0 - 60.0) * t).exp();
+
+    let mut group = c.benchmark_group("laplace_inversion");
+    for (algo, terms) in [
+        (InversionAlgorithm::Euler, 40),
+        (InversionAlgorithm::Euler, 100),
+        (InversionAlgorithm::Talbot, 32),
+        (InversionAlgorithm::GaverStehfest, 14),
+    ] {
+        let cfg = InversionConfig { algorithm: algo, terms };
+        // Accuracy gate: every configuration must land near the closed form
+        // before we bother timing it.
+        let got = cdf_from_lst(&lst, t, &cfg);
+        assert!(
+            (got - truth).abs() < 1e-4,
+            "{algo:?}/{terms}: {got} vs {truth}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{algo:?}"), terms),
+            &cfg,
+            |b, cfg| b.iter(|| cdf_from_lst(black_box(&lst), black_box(t), cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the analytic model: building a system model and
+//! predicting a percentile (the operations a capacity planner loops over in
+//! a what-if sweep).
+
+use cos_distr::{Degenerate, Gamma};
+use cos_model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
+use cos_queueing::from_distribution;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn params(rate_per_device: f64, nbe: usize) -> SystemParams {
+    // Warm-cache ratios for multi-process devices (the disk must stay
+    // subcritical, as in the paper's S16 runs).
+    let (mi, mm, md) = if nbe > 1 { (0.10, 0.08, 0.18) } else { (0.3, 0.3, 0.5) };
+    let device = move |rate: f64| DeviceParams {
+        arrival_rate: rate,
+        data_read_rate: rate * 1.1,
+        miss_index: mi,
+        miss_meta: mm,
+        miss_data: md,
+        index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+        data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        processes: nbe,
+    };
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate_per_device * 4.0,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices: (0..4).map(|_| device(rate_per_device)).collect(),
+    }
+}
+
+fn bench_model(c: &mut Criterion) {
+    let p1 = params(50.0, 1);
+    let p16 = params(100.0, 16);
+
+    c.bench_function("build_system_model_s1", |b| {
+        b.iter(|| SystemModel::new(black_box(&p1), ModelVariant::Full).unwrap())
+    });
+    c.bench_function("build_system_model_s16", |b| {
+        b.iter(|| SystemModel::new(black_box(&p16), ModelVariant::Full).unwrap())
+    });
+
+    let m1 = SystemModel::new(&p1, ModelVariant::Full).unwrap();
+    let m16 = SystemModel::new(&p16, ModelVariant::Full).unwrap();
+    c.bench_function("predict_percentile_s1_sla50ms", |b| {
+        b.iter(|| m1.fraction_meeting_sla(black_box(0.05)))
+    });
+    c.bench_function("predict_percentile_s16_sla50ms", |b| {
+        b.iter(|| m16.fraction_meeting_sla(black_box(0.05)))
+    });
+    c.bench_function("latency_percentile_p95", |b| {
+        b.iter(|| m1.latency_percentile(black_box(0.95)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end paper experiment, scaled down for `cargo bench`: one
+//! miniature S1 scenario run (calibrate → simulate → predict), asserting
+//! the headline shape (the full model beats ODOPR) before timing.
+//!
+//! The faithful versions are the `fig6`/`fig7`/`table1`/`table2` binaries.
+
+use cos_bench::{prediction_points, run_scenario, Scenario};
+use cos_model::ModelVariant;
+use cos_stats::ErrorSummary;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_paper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+
+    // Shape gate: a heavily compressed S1 run must still show our model
+    // beating the ODOPR baseline on the 50 ms SLA.
+    let scenario = Scenario::s1().quick(1200.0);
+    let result = run_scenario(&scenario, &[0.05], false);
+    let ours = ErrorSummary::from_points(&prediction_points(&result, 0, ModelVariant::Full));
+    let odopr = ErrorSummary::from_points(&prediction_points(&result, 0, ModelVariant::Odopr));
+    assert!(
+        ours.mean < odopr.mean,
+        "full model (mean err {:.4}) must beat ODOPR ({:.4})",
+        ours.mean,
+        odopr.mean
+    );
+
+    group.bench_function("s1_mini_scenario_end_to_end", |b| {
+        b.iter(|| run_scenario(&Scenario::s1().quick(2400.0), &[0.05], false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper);
+criterion_main!(benches);

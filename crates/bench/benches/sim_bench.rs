@@ -1,0 +1,59 @@
+//! Microbenchmarks of the simulator substrate: event throughput at light
+//! and heavy load.
+
+use cos_storesim::{run_simulation, CacheConfig, ClusterConfig, MetricsConfig};
+use cos_workload::TraceEvent;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn poisson_trace(rate: f64, n: usize, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+            TraceEvent { at: t, object: rng.gen_range(0..100_000), size: rng.gen_range(1_000..200_000) }
+        })
+        .collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mcfg = || MetricsConfig {
+        slas: vec![0.01, 0.05, 0.1],
+        windows: vec![(0.0, 1e9, 0.0)],
+        collect_raw: false,
+        op_sample_stride: 0,
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    let n = 20_000;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("s1_light_load_20k_requests", |b| {
+        let trace = poisson_trace(100.0, n, 7);
+        b.iter(|| run_simulation(ClusterConfig::paper_s1(), mcfg(), trace.clone()))
+    });
+    group.bench_function("s1_heavy_load_20k_requests", |b| {
+        let trace = poisson_trace(280.0, n, 8);
+        b.iter(|| run_simulation(ClusterConfig::paper_s1(), mcfg(), trace.clone()))
+    });
+    group.bench_function("s16_moderate_load_20k_requests", |b| {
+        let trace = poisson_trace(400.0, n, 9);
+        b.iter(|| run_simulation(ClusterConfig::paper_s16(), mcfg(), trace.clone()))
+    });
+    group.bench_function("s1_lru_cache_20k_requests", |b| {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.cache = CacheConfig::Lru {
+            capacity_bytes: 64 * 1024 * 1024,
+            index_entry_bytes: 512,
+            meta_entry_bytes: 512,
+        };
+        let trace = poisson_trace(100.0, n, 10);
+        b.iter(|| run_simulation(cfg.clone(), mcfg(), trace.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Ablation A3 (§IV-B) — online parameter estimation under an LRU cache.
+//!
+//! Runs the simulator with a real capacity-bounded LRU cache (miss ratios
+//! *emerge* from the Zipf access pattern instead of being configured),
+//! then checks that
+//!
+//! 1. the 0.015 ms latency-threshold estimator recovers the ground-truth
+//!    miss ratios, and
+//! 2. the proportional decomposition of the aggregate disk service time
+//!    recovers the per-operation means.
+//!
+//! Usage: `cargo run --release -p cos-bench --bin ablation_calibration`
+
+use cos_model::{decompose_disk_service, miss_ratio_by_threshold, LATENCY_THRESHOLD};
+use cos_simkit::RngStreams;
+use cos_stats::TextTable;
+use cos_storesim::{CacheConfig, ClusterConfig, DiskOpKind, MetricsConfig};
+use cos_workload::{Catalog, CatalogConfig, PhaseConfig, PhaseSchedule, TraceStream};
+
+fn main() {
+    let mut cluster = ClusterConfig::paper_s1();
+    cluster.cache = CacheConfig::Lru {
+        capacity_bytes: 48 * 1024 * 1024,
+        index_entry_bytes: 512,
+        meta_entry_bytes: 512,
+    };
+    let catalog_cfg = CatalogConfig { objects: 50_000, ..CatalogConfig::default() };
+    let phases = PhaseConfig {
+        warmup_rate: 120.0,
+        warmup_duration: 400.0,
+        transition_rate: 10.0,
+        transition_duration: 20.0,
+        sweep_start: 100.0,
+        sweep_end: 100.0,
+        sweep_step: 5.0,
+        hold: 300.0,
+        time_scale: 1.0,
+    };
+    let schedule = PhaseSchedule::new(&phases);
+    let streams = RngStreams::new(cluster.seed ^ 0xAB1A);
+    let mut catalog_rng = streams.stream("catalog", 0);
+    let catalog = Catalog::synthesize(&catalog_cfg, &mut catalog_rng);
+    let trace = TraceStream::new(&catalog, &schedule, streams.stream("trace", 0));
+    eprintln!("# running LRU-cache simulation (warmup 400s + 300s measured)...");
+    let metrics = cos_storesim::run_simulation(
+        cluster.clone(),
+        MetricsConfig {
+            slas: vec![0.05],
+            windows: schedule.measured_windows(),
+            collect_raw: false,
+            op_sample_stride: 3,
+        },
+        trace,
+    );
+
+    println!("## Ablation A3 — latency-threshold miss-ratio estimation (LRU cache)");
+    let mut t = TextTable::new(vec!["operation", "ground_truth", "threshold_estimate", "abs_error"]);
+    let mut per_kind: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for s in metrics.op_samples() {
+        let idx = match s.kind {
+            DiskOpKind::Index => 0,
+            DiskOpKind::Meta => 1,
+            DiskOpKind::Data => 2,
+        };
+        per_kind[idx].push(s.latency);
+    }
+    let mut truth = [0.0f64; 3];
+    let mut counts = [0u64; 3];
+    for d in &metrics.devices {
+        truth[0] += d.index_miss as f64;
+        counts[0] += d.index_ops;
+        truth[1] += d.meta_miss as f64;
+        counts[1] += d.meta_ops;
+        truth[2] += d.data_miss as f64;
+        counts[2] += d.data_ops;
+    }
+    let mut estimated = [0.0f64; 3];
+    for (i, name) in ["index_lookup", "meta_read", "data_read"].iter().enumerate() {
+        let gt = truth[i] / counts[i] as f64;
+        let est = miss_ratio_by_threshold(&per_kind[i], LATENCY_THRESHOLD);
+        estimated[i] = est;
+        t.push_row(vec![
+            name.to_string(),
+            format!("{gt:.4}"),
+            format!("{est:.4}"),
+            format!("{:.4}", (gt - est).abs()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Ablation A3 — disk service-time decomposition");
+    // Aggregate what "Linux" reports: one overall mean service time.
+    let mut service_sum = 0.0;
+    let mut ops = 0u64;
+    let mut kind_sums = [0.0f64; 3];
+    let mut kind_ops = [0u64; 3];
+    for d in &metrics.devices {
+        service_sum += d.disk_service_sum.iter().sum::<f64>();
+        ops += d.disk_ops;
+        for i in 0..3 {
+            kind_sums[i] += d.disk_service_sum[i];
+            kind_ops[i] += d.disk_kind_ops[i];
+        }
+    }
+    let b_overall = service_sum / ops as f64;
+    // Offline proportions from the disk benchmark (§IV-A).
+    let bench = cos_storesim::benchmark_disk(&cluster, 20_000);
+    let proportions = [bench.index.mean(), bench.meta.mean(), bench.data.mean()];
+    let total_requests: u64 = metrics.devices.iter().map(|d| d.requests).sum();
+    let total_data: u64 = metrics.devices.iter().map(|d| d.data_ops).sum();
+    let r = total_requests as f64;
+    let r_data = total_data as f64;
+    let decomposed = decompose_disk_service(b_overall, proportions, estimated, r, r_data);
+    let mut t2 = TextTable::new(vec!["operation", "true_mean_ms", "decomposed_ms", "rel_error"]);
+    for (i, name) in ["index_lookup", "meta_read", "data_read"].iter().enumerate() {
+        let true_mean = kind_sums[i] / kind_ops[i] as f64;
+        t2.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", 1000.0 * true_mean),
+            format!("{:.3}", 1000.0 * decomposed[i]),
+            format!("{:.1}%", 100.0 * (decomposed[i] - true_mean).abs() / true_mean),
+        ]);
+    }
+    println!("{}", t2.render());
+}

@@ -1,0 +1,109 @@
+//! Diagnostic: decompose simulated vs modeled latency into components
+//! (frontend sojourn, WTA, backend queue + service) at one operating point.
+//!
+//! Usage: `cargo run --release -p cos-bench --bin diagnose [-- --rate R]`
+
+use cos_bench::calibrate;
+use cos_model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
+use cos_storesim::{ClusterConfig, MetricsConfig};
+use cos_workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let rate: f64 = std::env::args()
+        .skip_while(|a| a != "--rate")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(240.0);
+    let mut cfg = ClusterConfig::paper_s1();
+    if let Some(ac) = std::env::args().skip_while(|a| a != "--accept-cost").nth(1).and_then(|v| v.parse::<f64>().ok()) {
+        cfg.accept_cost = ac;
+    }
+    let duration = 500.0;
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut t = 0.0;
+    let mut trace = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        let size = if rng.gen::<f64>() < 0.10 { cfg.chunk_size + 1 } else { cfg.chunk_size / 2 };
+        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+    }
+    let metrics = cos_storesim::run_simulation(
+        cfg.clone(),
+        MetricsConfig {
+            slas: vec![0.01, 0.05, 0.1],
+            windows: vec![(duration * 0.2, duration, rate)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    let raw: Vec<_> = metrics.raw().iter().filter(|r| r.arrival > duration * 0.2).collect();
+    let n = raw.len() as f64;
+    let mean = |f: &dyn Fn(&&cos_storesim::CompletedRequest) -> f64| {
+        raw.iter().map(f).sum::<f64>() / n
+    };
+    let sim_latency = mean(&|r| r.latency);
+    let sim_be = mean(&|r| r.be_latency);
+    let sim_wta = mean(&|r| r.wta);
+    println!("SIMULATED @ rate {rate} (per-request means, ms):");
+    println!("  total latency      {:.3}", 1000.0 * sim_latency);
+    println!("  wta                {:.3}", 1000.0 * sim_wta);
+    println!("  backend (queue+svc){:.3}", 1000.0 * sim_be);
+    println!("  frontend share     {:.3}", 1000.0 * (sim_latency - sim_wta - sim_be));
+    for (i, sla) in [0.01, 0.05, 0.1].iter().enumerate() {
+        println!("  P(<= {:>3.0}ms)       {:.4}", sla * 1000.0, metrics.observed_fraction(0, i).unwrap());
+    }
+
+    // Model with measured parameters.
+    let calib = calibrate(&cfg, 20_000);
+    let span = duration * 0.8;
+    let devices: Vec<DeviceParams> = (0..cfg.devices)
+        .map(|d| {
+            let r = metrics.window_device_requests(0, d) as f64 / span;
+            let rd = metrics.window_device_data_ops(0, d) as f64 / span;
+            let c = &metrics.devices[d];
+            DeviceParams {
+                arrival_rate: r,
+                data_read_rate: rd.max(r),
+                miss_index: c.miss_ratio(cos_storesim::DiskOpKind::Index).unwrap(),
+                miss_meta: c.miss_ratio(cos_storesim::DiskOpKind::Meta).unwrap(),
+                miss_data: c.miss_ratio(cos_storesim::DiskOpKind::Data).unwrap(),
+                index_disk: calib.index_law.clone(),
+                meta_disk: calib.meta_law.clone(),
+                data_disk: calib.data_law.clone(),
+                parse_be: calib.parse_be.clone(),
+                processes: cfg.processes_per_device,
+            }
+        })
+        .collect();
+    let params = SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate,
+            processes: cfg.frontend_processes,
+            parse_fe: calib.parse_fe.clone(),
+        },
+        devices,
+    };
+    for variant in ModelVariant::ALL {
+        match SystemModel::new(&params, variant) {
+            Ok(m) => {
+                let d = &m.devices()[0];
+                println!("\nMODEL [{variant}]:");
+                println!("  frontend sojourn   {:.3}", 1000.0 * m.frontend().mean_sojourn());
+                println!("  wta (= W_be)       {:.3}", 1000.0 * d.backend().mean_waiting());
+                println!(
+                    "  backend sojourn    {:.3}  (util {:.3})",
+                    1000.0 * d.backend().mean_sojourn(),
+                    d.backend().utilization()
+                );
+                println!("  total mean         {:.3}", 1000.0 * m.mean_response());
+                for sla in [0.01, 0.05, 0.1] {
+                    println!("  P(<= {:>3.0}ms)       {:.4}", sla * 1000.0, m.fraction_meeting_sla(sla));
+                }
+            }
+            Err(e) => println!("\nMODEL [{variant}]: {e}"),
+        }
+    }
+}

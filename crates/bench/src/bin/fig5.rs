@@ -1,0 +1,81 @@
+//! Fig. 5 — fitting the disk service times (§IV-A).
+//!
+//! Benchmarks the simulated disk with outstanding = 1, fits the four
+//! candidate families per operation kind, and prints the fitted-vs-recorded
+//! percentile series (the two curve families of Fig. 5) plus the KS ranking
+//! that makes Gamma the winner.
+//!
+//! Usage: `cargo run --release -p cos-bench --bin fig5 [-- --ops N]`
+
+use cos_bench::Scenario;
+use cos_distr::fit_best;
+use cos_stats::TextTable;
+use cos_storesim::benchmark_disk;
+
+fn main() {
+    let ops = std::env::args()
+        .skip_while(|a| a != "--ops")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000usize);
+    let scenario = Scenario::s1();
+    eprintln!("# benchmarking disk: {ops} operations per kind, outstanding = 1");
+    let bench = benchmark_disk(&scenario.cluster, ops);
+
+    println!("## Fig. 5 — percentile series (service time in ms)");
+    let mut series = TextTable::new(vec![
+        "percentile",
+        "recorded_index",
+        "gamma_index",
+        "recorded_meta",
+        "gamma_meta",
+        "recorded_data",
+        "gamma_data",
+    ]);
+    let fits = [
+        fit_best(&bench.index),
+        fit_best(&bench.meta),
+        fit_best(&bench.data),
+    ];
+    let samples = [&bench.index, &bench.meta, &bench.data];
+    for p in (2..=98).step_by(4) {
+        let q = p as f64 / 100.0;
+        let mut row = vec![format!("{q:.2}")];
+        for (sample, fit) in samples.iter().zip(fits.iter()) {
+            let recorded = sample.quantile(q) * 1000.0;
+            // Invert the fitted CDF by bisection for the same percentile.
+            let best = fit.best().fitted;
+            let mut lo = 0.0;
+            let mut hi = sample.max() * 2.0;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if best.cdf(mid) < q {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            row.push(format!("{recorded:.2}"));
+            row.push(format!("{:.2}", 0.5 * (lo + hi) * 1000.0));
+        }
+        series.push_row(row);
+    }
+    println!("{}", series.render());
+
+    println!("## model selection (KS statistic, lower is better)");
+    let mut ranking = TextTable::new(vec!["operation", "family", "ks", "mean_ms"]);
+    for (name, fit) in ["index_lookup", "meta_read", "data_read"].iter().zip(fits.iter()) {
+        for c in &fit.candidates {
+            ranking.push_row(vec![
+                name.to_string(),
+                c.fitted.family().to_string(),
+                format!("{:.4}", c.ks),
+                format!("{:.2}", c.fitted.mean() * 1000.0),
+            ]);
+        }
+    }
+    println!("{}", ranking.render());
+    for (name, fit) in ["index_lookup", "meta_read", "data_read"].iter().zip(fits.iter()) {
+        println!("winner[{name}] = {}", fit.best().fitted.family());
+    }
+}

@@ -1,0 +1,133 @@
+//! Aggregation of scenario results into the paper's tables.
+
+use crate::scenario::ScenarioResult;
+use cos_model::ModelVariant;
+use cos_stats::{ErrorSummary, PredictionPoint};
+
+/// Collects `(observed, predicted)` pairs for one variant and SLA index,
+/// skipping windows where either side is missing (timeout/unstable points,
+/// which the paper also excludes).
+pub fn prediction_points(
+    result: &ScenarioResult,
+    sla_idx: usize,
+    variant: ModelVariant,
+) -> Vec<PredictionPoint> {
+    result
+        .windows
+        .iter()
+        .filter_map(|w| {
+            let cell = w.cells.get(sla_idx)?;
+            let observed = cell.observed?;
+            let predicted = cell.prediction(variant)?;
+            Some(PredictionPoint { observed, predicted })
+        })
+        .collect()
+}
+
+/// One row of Table I: best/worst/mean absolute error of the full model.
+pub fn table1_row(result: &ScenarioResult, sla_idx: usize) -> Option<ErrorSummary> {
+    let pts = prediction_points(result, sla_idx, ModelVariant::Full);
+    if pts.is_empty() {
+        None
+    } else {
+        Some(ErrorSummary::from_points(&pts))
+    }
+}
+
+/// One row of Table II: mean absolute errors of the three models.
+pub fn table2_row(result: &ScenarioResult, sla_idx: usize) -> Option<[f64; 3]> {
+    let mut out = [0.0; 3];
+    for (i, v) in ModelVariant::ALL.iter().enumerate() {
+        let pts = prediction_points(result, sla_idx, *v);
+        if pts.is_empty() {
+            return None;
+        }
+        out[i] = ErrorSummary::from_points(&pts).mean;
+    }
+    Some(out)
+}
+
+/// Pools the full model's absolute errors over every scenario and SLA (the
+/// paper's headline "4.44% on average").
+pub fn overall_mean_error(results: &[&ScenarioResult]) -> Option<f64> {
+    let mut all = Vec::new();
+    for r in results {
+        for sla_idx in 0..r.slas.len() {
+            all.extend(prediction_points(r, sla_idx, ModelVariant::Full));
+        }
+    }
+    if all.is_empty() {
+        None
+    } else {
+        Some(ErrorSummary::from_points(&all).mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Cell, WindowResult};
+
+    fn result() -> ScenarioResult {
+        ScenarioResult {
+            name: "T".into(),
+            slas: vec![0.01],
+            windows: vec![
+                WindowResult {
+                    rate: 10.0,
+                    cells: vec![Cell {
+                        observed: Some(0.9),
+                        full: Some(0.92),
+                        odopr: Some(0.99),
+                        nowta: Some(0.94),
+                        residual: Some(0.93),
+                    }],
+                },
+                WindowResult {
+                    rate: 20.0,
+                    cells: vec![Cell {
+                        observed: Some(0.8),
+                        full: Some(0.78),
+                        odopr: Some(0.95),
+                        nowta: Some(0.84),
+                        residual: Some(0.82),
+                    }],
+                },
+                WindowResult {
+                    rate: 30.0,
+                    cells: vec![Cell { observed: None, full: Some(0.5), odopr: None, nowta: None, residual: None }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn points_skip_missing_cells() {
+        let r = result();
+        let pts = prediction_points(&r, 0, ModelVariant::Full);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn table1_summarizes_full_model() {
+        let r = result();
+        let s = table1_row(&r, 0).unwrap();
+        assert!((s.mean - 0.02).abs() < 1e-12);
+        assert!((s.worst - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_orders_variants() {
+        let r = result();
+        let row = table2_row(&r, 0).unwrap();
+        // Full < noWTA < ODOPR on this synthetic data.
+        assert!(row[0] < row[2] && row[2] < row[1]);
+    }
+
+    #[test]
+    fn overall_pools_everything() {
+        let r = result();
+        let overall = overall_mean_error(&[&r]).unwrap();
+        assert!((overall - 0.02).abs() < 1e-12);
+    }
+}

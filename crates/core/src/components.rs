@@ -1,0 +1,128 @@
+//! Service-time components shared by the model variants.
+//!
+//! [`CacheMixed`] is the paper's cache-aware operation law
+//! `op(t) = m·op_d(t) + (1 − m)·δ(t)` lifted to the [`ServiceTime`]
+//! interface, so it also works when the underlying "disk" law is only
+//! available in transform space (the M/M/1/K sojourn of §III-B).
+
+use cos_numeric::Complex64;
+use cos_queueing::{DynServiceTime, ServiceTime};
+use std::sync::Arc;
+
+/// Cache-aware operation: disk-served with probability `miss`, otherwise a
+/// zero-latency memory hit.
+pub struct CacheMixed {
+    miss: f64,
+    disk: DynServiceTime,
+}
+
+impl CacheMixed {
+    /// Builds the mixture `m·disk + (1 − m)·δ`.
+    ///
+    /// # Panics
+    /// Panics unless `miss` is in `[0, 1]`.
+    pub fn new(miss: f64, disk: DynServiceTime) -> Self {
+        assert!((0.0..=1.0).contains(&miss), "miss ratio must be in [0,1], got {miss}");
+        CacheMixed { miss, disk }
+    }
+
+    /// Shared-handle constructor.
+    pub fn shared(miss: f64, disk: DynServiceTime) -> DynServiceTime {
+        Arc::new(CacheMixed::new(miss, disk))
+    }
+
+    /// The miss ratio.
+    pub fn miss(&self) -> f64 {
+        self.miss
+    }
+}
+
+impl std::fmt::Debug for CacheMixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheMixed")
+            .field("miss", &self.miss)
+            .field("disk_mean", &self.disk.mean())
+            .finish()
+    }
+}
+
+impl ServiceTime for CacheMixed {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        // L[op](s) = m·L[op_d](s) + (1 − m)  (δ has LST 1).
+        self.disk.lst(s) * self.miss + (1.0 - self.miss)
+    }
+    fn mean(&self) -> f64 {
+        self.miss * self.disk.mean()
+    }
+    fn second_moment(&self) -> f64 {
+        self.miss * self.disk.second_moment()
+    }
+}
+
+/// A zero-latency (identity) service time: the LST is identically 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroService;
+
+impl ZeroService {
+    /// Shared-handle constructor.
+    pub fn shared() -> DynServiceTime {
+        Arc::new(ZeroService)
+    }
+}
+
+impl ServiceTime for ZeroService {
+    fn lst(&self, _s: Complex64) -> Complex64 {
+        Complex64::ONE
+    }
+    fn mean(&self) -> f64 {
+        0.0
+    }
+    fn second_moment(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_distr::Gamma;
+    use cos_queueing::from_distribution;
+
+    #[test]
+    fn cache_mixed_matches_distr_mixture() {
+        let g = Gamma::new(2.0, 100.0);
+        let mixed = CacheMixed::new(0.4, from_distribution(g));
+        let reference = cos_distr::Mixture::cache_miss(0.4, Arc::new(g));
+        let s = Complex64::new(3.0, -5.0);
+        assert!((mixed.lst(s) - cos_distr::Lst::lst(&reference, s)).abs() < 1e-14);
+        assert!((mixed.mean() - cos_distr::Distribution::mean(&reference)).abs() < 1e-15);
+        assert!(
+            (mixed.second_moment() - cos_distr::Distribution::second_moment(&reference)).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let g = from_distribution(Gamma::new(2.0, 100.0));
+        let hit = CacheMixed::new(0.0, g.clone());
+        assert_eq!(hit.mean(), 0.0);
+        assert_eq!(hit.lst(Complex64::new(1.0, 1.0)), Complex64::ONE);
+        let miss = CacheMixed::new(1.0, g.clone());
+        assert!((miss.mean() - g.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_service_is_identity() {
+        let z = ZeroService;
+        assert_eq!(z.mean(), 0.0);
+        assert_eq!(z.second_moment(), 0.0);
+        assert_eq!(z.lst(Complex64::new(2.0, 3.0)), Complex64::ONE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_ratio() {
+        CacheMixed::new(1.5, ZeroService::shared());
+    }
+}

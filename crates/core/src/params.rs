@@ -1,0 +1,206 @@
+//! Model inputs.
+//!
+//! The model's parameters fall into two groups (§IV): *device performance
+//! properties* obtained by workload-independent benchmarking (fitted disk
+//! service-time distributions, parse latencies) and *system online metrics*
+//! (arrival rates, data-read rates, cache miss ratios). [`DeviceParams`]
+//! bundles both for one storage device; [`SystemParams`] adds the frontend
+//! tier.
+
+use cos_queueing::DynServiceTime;
+
+/// Parameters of one storage device at the backend tier.
+#[derive(Clone)]
+pub struct DeviceParams {
+    /// Request arrival rate `r` at this device (req/s).
+    pub arrival_rate: f64,
+    /// Data chunk read rate `r_data` at this device (reads/s); determined by
+    /// `r`, the chunk size, and object sizes (§III-B). Must be ≥ `r`.
+    pub data_read_rate: f64,
+    /// Cache miss ratio of index lookups.
+    pub miss_index: f64,
+    /// Cache miss ratio of metadata reads.
+    pub miss_meta: f64,
+    /// Cache miss ratio of data chunk reads.
+    pub miss_data: f64,
+    /// Disk service-time law of index lookups (`index_d`, fitted Gamma).
+    pub index_disk: DynServiceTime,
+    /// Disk service-time law of metadata reads (`meta_d`).
+    pub meta_disk: DynServiceTime,
+    /// Disk service-time law of data reads (`data_d`).
+    pub data_disk: DynServiceTime,
+    /// Backend request-parsing law (`parse_be`).
+    pub parse_be: DynServiceTime,
+    /// Number of processes dedicated to this device (`N_be`).
+    pub processes: usize,
+}
+
+impl std::fmt::Debug for DeviceParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceParams")
+            .field("arrival_rate", &self.arrival_rate)
+            .field("data_read_rate", &self.data_read_rate)
+            .field("miss_index", &self.miss_index)
+            .field("miss_meta", &self.miss_meta)
+            .field("miss_data", &self.miss_data)
+            .field("processes", &self.processes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceParams {
+    /// Mean extra data reads per union operation, `p = (r_data − r)/r`.
+    pub fn extra_reads(&self) -> f64 {
+        (self.data_read_rate - self.arrival_rate) / self.arrival_rate
+    }
+
+    /// Validates rates and ratios.
+    ///
+    /// # Panics
+    /// Panics on invalid values.
+    pub fn validate(&self) {
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
+            "device arrival rate must be positive, got {}",
+            self.arrival_rate
+        );
+        assert!(
+            self.data_read_rate >= self.arrival_rate - 1e-12,
+            "data read rate {} must be at least the arrival rate {} (every request reads one chunk)",
+            self.data_read_rate,
+            self.arrival_rate
+        );
+        for (name, m) in [
+            ("index", self.miss_index),
+            ("meta", self.miss_meta),
+            ("data", self.miss_data),
+        ] {
+            assert!((0.0..=1.0).contains(&m), "{name} miss ratio must be in [0,1], got {m}");
+        }
+        assert!(self.processes >= 1, "a device needs at least one process");
+    }
+}
+
+/// Parameters of the frontend tier.
+#[derive(Clone)]
+pub struct FrontendParams {
+    /// Total system arrival rate (req/s).
+    pub arrival_rate: f64,
+    /// Number of frontend processes (`N_fe`).
+    pub processes: usize,
+    /// Frontend request-parsing law (`parse_fe`).
+    pub parse_fe: DynServiceTime,
+}
+
+impl std::fmt::Debug for FrontendParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontendParams")
+            .field("arrival_rate", &self.arrival_rate)
+            .field("processes", &self.processes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrontendParams {
+    /// Per-process arrival rate `r_i = r / N_fe`.
+    pub fn per_process_rate(&self) -> f64 {
+        self.arrival_rate / self.processes as f64
+    }
+
+    /// Validates rates.
+    ///
+    /// # Panics
+    /// Panics on invalid values.
+    pub fn validate(&self) {
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
+            "frontend arrival rate must be positive"
+        );
+        assert!(self.processes >= 1, "need at least one frontend process");
+    }
+}
+
+/// The full system: frontend tier plus one entry per storage device.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Frontend tier parameters.
+    pub frontend: FrontendParams,
+    /// Per-device parameters.
+    pub devices: Vec<DeviceParams>,
+}
+
+impl SystemParams {
+    /// Validates the whole parameter set.
+    ///
+    /// # Panics
+    /// Panics on invalid values or an empty device list.
+    pub fn validate(&self) {
+        self.frontend.validate();
+        assert!(!self.devices.is_empty(), "need at least one device");
+        for d in &self.devices {
+            d.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+
+    pub(crate) fn sample_device(rate: f64) -> DeviceParams {
+        DeviceParams {
+            arrival_rate: rate,
+            data_read_rate: rate * 1.1,
+            miss_index: 0.3,
+            miss_meta: 0.3,
+            miss_data: 0.5,
+            index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+            data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            processes: 1,
+        }
+    }
+
+    #[test]
+    fn extra_reads_formula() {
+        let d = sample_device(100.0);
+        assert!((d.extra_reads() - 0.1).abs() < 1e-12);
+        d.validate();
+    }
+
+    #[test]
+    fn frontend_per_process_rate() {
+        let fe = FrontendParams {
+            arrival_rate: 300.0,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        };
+        assert_eq!(fe.per_process_rate(), 100.0);
+        fe.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_data_rate_below_arrival_rate() {
+        let mut d = sample_device(100.0);
+        d.data_read_rate = 50.0;
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_system() {
+        SystemParams {
+            frontend: FrontendParams {
+                arrival_rate: 1.0,
+                processes: 1,
+                parse_fe: from_distribution(Degenerate::new(0.0)),
+            },
+            devices: vec![],
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,74 @@
+//! Model variants: the paper's full model and the two baselines of §V-C.
+
+/// Which model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// The paper's full model: union operation + waiting time for being
+    /// accept()-ed.
+    Full,
+    /// ODOPR baseline — "One Disk Operation Per Request": index lookups,
+    /// metadata reads, and extra data reads are assumed to always hit the
+    /// cache, imitating prior models of simpler storage servers.
+    Odopr,
+    /// noWTA baseline — the waiting time for being accept()-ed is ignored
+    /// (`W_a = δ`), imitating models that overlook the accept queue.
+    NoWta,
+    /// Extension (this reproduction): length-biased **residual** WTA.
+    /// A Poisson-arriving connection lands inside an accept lifetime with
+    /// probability proportional to the lifetime's length; its wait is the
+    /// equilibrium residual of `W_be`, whose LST is the closed form
+    /// `(1 − L[W](s)) / (s·E[W])`. Sits between the paper's approximation
+    /// (full lifetime) and noWTA.
+    ResidualWta,
+}
+
+impl ModelVariant {
+    /// The paper's three models (Fig. 6/7, Tables I–II).
+    pub const ALL: [ModelVariant; 3] = [ModelVariant::Full, ModelVariant::Odopr, ModelVariant::NoWta];
+
+    /// The paper's three models plus this reproduction's residual-WTA
+    /// extension.
+    pub const ALL_EXTENDED: [ModelVariant; 4] = [
+        ModelVariant::Full,
+        ModelVariant::Odopr,
+        ModelVariant::NoWta,
+        ModelVariant::ResidualWta,
+    ];
+
+    /// Whether the variant includes a WTA term in the frontend composition
+    /// (Eq. 2).
+    pub fn includes_wta(&self) -> bool {
+        !matches!(self, ModelVariant::NoWta)
+    }
+}
+
+impl std::fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ModelVariant::Full => "Our Model",
+            ModelVariant::Odopr => "ODOPR Model",
+            ModelVariant::NoWta => "noWTA Model",
+            ModelVariant::ResidualWta => "residualWTA Model",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wta_inclusion() {
+        assert!(ModelVariant::Full.includes_wta());
+        assert!(ModelVariant::Odopr.includes_wta());
+        assert!(!ModelVariant::NoWta.includes_wta());
+        assert!(ModelVariant::ResidualWta.includes_wta());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelVariant::Full.to_string(), "Our Model");
+        assert_eq!(ModelVariant::ALL.len(), 3);
+    }
+}

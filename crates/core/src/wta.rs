@@ -1,0 +1,194 @@
+//! Waiting time for being accept()-ed (§III-C) — the paper's second
+//! contribution, plus the exact forms it approximates (ablation A1).
+//!
+//! By PASTA, the lifetime distribution `A` of an accept() operation equals
+//! the waiting-time distribution `W_be` of the backend request-processing
+//! queue. The paper then *approximates* the connecting request's wait by the
+//! full lifetime: `W_a = A = W_be`. The exact law it writes down is
+//!
+//! `P(W_a > t) = ∫_{x ≥ t} a(x) (x − t)/x dx`
+//!
+//! (a request arriving uniformly within a lifetime of length `x` waits more
+//! than `t` with probability `(x−t)/x`). This module evaluates the paper
+//! approximation, the paper's exact integral, and the length-biased
+//! (equilibrium/inspection) variant that weights lifetimes by how many
+//! Poisson arrivals they cover.
+
+use crate::backend::BackendModel;
+use cos_numeric::laplace::InversionConfig;
+use cos_numeric::quad::adaptive_simpson;
+use cos_numeric::Complex64;
+
+/// Paper approximation: `P(W_a > t) = P(W_be > t)`.
+pub fn paper_wta_ccdf(backend: &BackendModel, t: f64, config: &InversionConfig) -> f64 {
+    cos_numeric::ccdf_from_lst(&|s| backend.waiting_lst(s), t, config)
+}
+
+/// Mean WTA under the paper approximation: `E[W_a] = E[W_be]`.
+pub fn paper_wta_mean(backend: &BackendModel) -> f64 {
+    backend.mean_waiting()
+}
+
+/// Continuous-part density of `W_be` at `x > 0`: the P–K waiting law has an
+/// atom of mass `1 − ρ` at zero plus a continuous density.
+fn waiting_density(backend: &BackendModel, x: f64, config: &InversionConfig) -> f64 {
+    let atom = 1.0 - backend.utilization();
+    let continuous = move |s: Complex64| backend.waiting_lst(s) - atom;
+    config.invert(&continuous, x).max(0.0)
+}
+
+/// The paper's exact WTA tail: `P(W_a > t) = ∫_{x≥t} a(x) (x − t)/x dx`,
+/// averaging per accept *lifetime* (each lifetime counted once).
+pub fn exact_wta_ccdf(backend: &BackendModel, t: f64, config: &InversionConfig) -> f64 {
+    assert!(t >= 0.0, "time must be nonnegative");
+    if t == 0.0 {
+        // Every request with a positive-lifetime accept waits; the zero atom
+        // contributes zero wait.
+        return backend.utilization();
+    }
+    let cfg = *config;
+    let integrand = move |x: f64| {
+        if x <= t {
+            0.0
+        } else {
+            waiting_density(backend, x, &cfg) * (x - t) / x
+        }
+    };
+    // The P–K waiting tail decays geometrically; 40 mean waits of headroom
+    // bounds the truncated mass far below the quadrature tolerance while
+    // keeping the numerically-inverted density away from its noise floor.
+    let upper = t + 40.0 * backend.mean_waiting().max(1e-6);
+    adaptive_simpson(&integrand, t, upper, 1e-7).clamp(0.0, 1.0)
+}
+
+/// Mean of the paper's exact WTA: `E = ∫ a(x) · x/2 dx = E[W_be]/2`
+/// (per-lifetime averaging halves the approximation's mean).
+pub fn exact_wta_mean(backend: &BackendModel) -> f64 {
+    0.5 * backend.mean_waiting()
+}
+
+/// Length-biased (equilibrium) WTA tail: a Poisson arrival lands in a
+/// lifetime with probability proportional to its length, so the residual
+/// wait follows the equilibrium distribution
+/// `P(W_a > t) = ∫_t^∞ P(W_be > u) du / E[W_be]`.
+pub fn equilibrium_wta_ccdf(backend: &BackendModel, t: f64, config: &InversionConfig) -> f64 {
+    assert!(t >= 0.0, "time must be nonnegative");
+    let mean = backend.mean_waiting();
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let cfg = *config;
+    let tail = move |u: f64| cos_numeric::ccdf_from_lst(&|s| backend.waiting_lst(s), u, &cfg);
+    let upper = t + 40.0 * mean;
+    (adaptive_simpson(&tail, t, upper, 1e-7) / mean).clamp(0.0, 1.0)
+}
+
+/// Mean equilibrium WTA: `E[W_be²] / (2 E[W_be])`, computed from the P–K
+/// moments rather than nested quadrature. The second moment of the waiting
+/// time comes from the Takács recurrence:
+/// `E[W²] = 2 E[W]² + λ E[B³]/(3(1−ρ))`; since `E[B³]` is not tracked, we
+/// instead differentiate the waiting LST numerically at the origin.
+pub fn equilibrium_wta_mean(backend: &BackendModel) -> f64 {
+    let mean = backend.mean_waiting();
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    // Second derivative of L[W](s) at 0 gives E[W²]; use a central
+    // second-difference with a dimensionless step (s·E[W] ≈ 0.05) balancing
+    // truncation against cancellation.
+    let h = 0.05 / mean;
+    let f = |s: f64| backend.waiting_lst(Complex64::from_real(s)).re;
+    let w2 = (f(h) - 2.0 * f(0.0) + f(-h)) / (h * h);
+    (w2 / (2.0 * mean)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+    use crate::variant::ModelVariant;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+
+    fn backend(rate: f64) -> BackendModel {
+        let p = DeviceParams {
+            arrival_rate: rate,
+            data_read_rate: rate * 1.1,
+            miss_index: 0.3,
+            miss_meta: 0.3,
+            miss_data: 0.5,
+            index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+            data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            processes: 1,
+        };
+        BackendModel::new(&p, ModelVariant::Full).unwrap()
+    }
+
+    #[test]
+    fn paper_approximation_dominates_exact() {
+        // The approximation assigns the FULL lifetime as the wait, so its
+        // tail must dominate the paper-exact tail everywhere.
+        let b = backend(40.0);
+        let cfg = InversionConfig::default();
+        for &t in &[0.002, 0.01, 0.03] {
+            let approx = paper_wta_ccdf(&b, t, &cfg);
+            let exact = exact_wta_ccdf(&b, t, &cfg);
+            assert!(
+                approx >= exact - 1e-4,
+                "t={t}: approx {approx} must dominate exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_mean_is_half_of_approximation() {
+        let b = backend(40.0);
+        assert!((exact_wta_mean(&b) - 0.5 * paper_wta_mean(&b)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_ccdf_at_zero_is_utilization() {
+        let b = backend(40.0);
+        let cfg = InversionConfig::default();
+        assert!((exact_wta_ccdf(&b, 0.0, &cfg) - b.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_mean_exceeds_exact_mean() {
+        // Length-biasing weights long lifetimes more heavily:
+        // E[W²]/(2E[W]) > E[W]/2 unless W is deterministic.
+        let b = backend(50.0);
+        let eq = equilibrium_wta_mean(&b);
+        assert!(
+            eq > exact_wta_mean(&b),
+            "equilibrium {eq} vs exact {}",
+            exact_wta_mean(&b)
+        );
+    }
+
+    #[test]
+    fn overestimation_grows_with_load() {
+        // §V-B: "this overestimation increases as the length of the request
+        // processing queue increases" — the gap between approximation and
+        // exact mean is half the mean waiting time, which grows with load.
+        let light = backend(20.0);
+        let heavy = backend(60.0);
+        let gap_light = paper_wta_mean(&light) - exact_wta_mean(&light);
+        let gap_heavy = paper_wta_mean(&heavy) - exact_wta_mean(&heavy);
+        assert!(gap_heavy > gap_light);
+    }
+
+    #[test]
+    fn tails_decrease_in_t() {
+        let b = backend(45.0);
+        let cfg = InversionConfig::default();
+        let e1 = exact_wta_ccdf(&b, 0.005, &cfg);
+        let e2 = exact_wta_ccdf(&b, 0.02, &cfg);
+        assert!(e1 >= e2);
+        let q1 = equilibrium_wta_ccdf(&b, 0.005, &cfg);
+        let q2 = equilibrium_wta_ccdf(&b, 0.02, &cfg);
+        assert!(q1 >= q2);
+    }
+}

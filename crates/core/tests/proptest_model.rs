@@ -1,0 +1,158 @@
+//! Property-based tests on the analytic model: structural invariants that
+//! must hold at every stable operating point.
+
+use cos_distr::{Degenerate, Gamma};
+use cos_model::{
+    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+};
+use cos_queueing::from_distribution;
+use proptest::prelude::*;
+
+fn device(rate: f64, nbe: usize, mi: f64, mm: f64, md: f64) -> DeviceParams {
+    DeviceParams {
+        arrival_rate: rate,
+        data_read_rate: rate * 1.1,
+        miss_index: mi,
+        miss_meta: mm,
+        miss_data: md,
+        index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+        data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        processes: nbe,
+    }
+}
+
+fn system(rate: f64, nbe: usize, mi: f64, mm: f64, md: f64) -> SystemParams {
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate * 4.0,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices: (0..4).map(|_| device(rate, nbe, mi, mm, md)).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_valid_probabilities_and_monotone_in_sla(
+        rate in 5.0f64..55.0,
+        mi in 0.0f64..0.4,
+        mm in 0.0f64..0.4,
+        md in 0.05f64..0.5,
+    ) {
+        let params = system(rate, 1, mi, mm, md);
+        prop_assume!(SystemModel::new(&params, ModelVariant::Full).is_ok());
+        let m = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let sla = i as f64 * 0.02;
+            let p = m.fraction_meeting_sla(sla);
+            prop_assert!((0.0..=1.0).contains(&p), "sla={sla}: p={p}");
+            prop_assert!(p >= prev - 1e-6, "sla={sla}: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn more_load_never_improves_percentiles(
+        rate in 5.0f64..30.0,
+        bump in 1.1f64..1.8,
+        md in 0.1f64..0.5,
+    ) {
+        let light = system(rate, 1, 0.3, 0.25, md);
+        let heavy = system(rate * bump, 1, 0.3, 0.25, md);
+        prop_assume!(SystemModel::new(&heavy, ModelVariant::Full).is_ok());
+        let a = SystemModel::new(&light, ModelVariant::Full).unwrap();
+        let b = SystemModel::new(&heavy, ModelVariant::Full).unwrap();
+        for &sla in &[0.02, 0.05, 0.1] {
+            prop_assert!(
+                a.fraction_meeting_sla(sla) >= b.fraction_meeting_sla(sla) - 1e-6,
+                "sla={sla}"
+            );
+        }
+    }
+
+    #[test]
+    fn odopr_is_always_most_optimistic(
+        rate in 5.0f64..50.0,
+        mi in 0.05f64..0.4,
+        md in 0.1f64..0.5,
+    ) {
+        let params = system(rate, 1, mi, mi, md);
+        prop_assume!(SystemModel::new(&params, ModelVariant::Full).is_ok());
+        let full = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        let odopr = SystemModel::new(&params, ModelVariant::Odopr).unwrap();
+        for &sla in &[0.02, 0.05, 0.1] {
+            prop_assert!(
+                odopr.fraction_meeting_sla(sla) >= full.fraction_meeting_sla(sla) - 1e-6,
+                "sla={sla}"
+            );
+        }
+        prop_assert!(odopr.mean_response() <= full.mean_response() + 1e-12);
+    }
+
+    #[test]
+    fn nowta_dominates_full(
+        rate in 5.0f64..50.0,
+        md in 0.1f64..0.5,
+    ) {
+        let params = system(rate, 1, 0.3, 0.25, md);
+        prop_assume!(SystemModel::new(&params, ModelVariant::Full).is_ok());
+        let full = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        let nowta = SystemModel::new(&params, ModelVariant::NoWta).unwrap();
+        for &sla in &[0.02, 0.05, 0.1] {
+            prop_assert!(
+                nowta.fraction_meeting_sla(sla) >= full.fraction_meeting_sla(sla) - 1e-6,
+                "sla={sla}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_equals_component_sum(
+        rate in 5.0f64..50.0,
+        md in 0.1f64..0.5,
+        nbe in 1usize..8,
+    ) {
+        let params = system(rate, nbe, 0.15, 0.1, md);
+        prop_assume!(SystemModel::new(&params, ModelVariant::Full).is_ok());
+        let m = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        let d = &m.devices()[0];
+        let want = m.frontend().mean_sojourn()
+            + d.backend().mean_waiting()
+            + d.backend().mean_sojourn();
+        prop_assert!((m.device_mean_response(0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_inverse_is_consistent(
+        rate in 10.0f64..40.0,
+        p in 0.5f64..0.99,
+    ) {
+        let params = system(rate, 1, 0.3, 0.25, 0.4);
+        let m = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        if let Some(t) = m.latency_percentile(p) {
+            let back = m.fraction_meeting_sla(t);
+            prop_assert!((back - p).abs() < 5e-3, "p={p} t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn stability_boundary_matches_union_mean(
+        md in 0.1f64..0.5,
+    ) {
+        // The model must accept rates just below 1/B̄ and reject just above.
+        let probe = system(10.0, 1, 0.3, 0.25, md);
+        let m = SystemModel::new(&probe, ModelVariant::Full).unwrap();
+        let util_at_10 = m.devices()[0].backend().utilization();
+        let critical = 10.0 / util_at_10; // per-device critical rate
+        let below = system(critical * 0.97, 1, 0.3, 0.25, md);
+        let above = system(critical * 1.03, 1, 0.3, 0.25, md);
+        prop_assert!(SystemModel::new(&below, ModelVariant::Full).is_ok());
+        prop_assert!(SystemModel::new(&above, ModelVariant::Full).is_err());
+    }
+}

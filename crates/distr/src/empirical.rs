@@ -1,0 +1,199 @@
+//! Empirical distribution over recorded samples.
+//!
+//! The calibration pipeline (§IV) records per-operation latencies and fits
+//! parametric families against them; this type holds the recorded sample,
+//! exposes the empirical CDF used by the Kolmogorov–Smirnov statistic, and
+//! powers the "recorded" series in the Fig. 5 reproduction.
+
+/// An immutable, sorted sample with empirical CDF and quantile queries.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or any non-finite value.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Empirical requires at least one sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Empirical { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty samples); mirrors `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Unbiased sample variance (0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.sorted.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (self.len() - 1) as f64
+    }
+
+    /// Mean of `ln x` over strictly positive samples (`None` if none exist).
+    /// Needed by the Gamma MLE.
+    pub fn mean_ln(&self) -> Option<f64> {
+        let positives: Vec<f64> = self.sorted.iter().copied().filter(|&x| x > 0.0).collect();
+        if positives.is_empty() {
+            None
+        } else {
+            Some(positives.iter().map(|x| x.ln()).sum::<f64>() / positives.len() as f64)
+        }
+    }
+
+    /// Empirical CDF: fraction of samples `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.len() as f64
+    }
+
+    /// Quantile with linear interpolation between order statistics.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1], got {p}");
+        let n = self.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = p * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// The sorted sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Kolmogorov–Smirnov statistic against a model CDF:
+    /// `sup_x |F_n(x) − F(x)|`.
+    ///
+    /// Handles model distributions with atoms correctly by comparing the
+    /// left limits `F_n(x⁻)` and `F(x⁻)` in addition to the right-continuous
+    /// values at each distinct order statistic.
+    pub fn ks_statistic<F: Fn(f64) -> f64>(&self, model_cdf: F) -> f64 {
+        let n = self.len() as f64;
+        let mut d = 0.0f64;
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            // Index one past the tie group for x.
+            let j = self.sorted.partition_point(|&v| v <= x);
+            let f_right = model_cdf(x);
+            let f_left = model_cdf(x.next_down());
+            d = d.max((j as f64 / n - f_right).abs());
+            d = d.max((i as f64 / n - f_left).abs());
+            i = j;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.mean(), 2.0);
+        assert_eq!(e.variance(), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+    }
+
+    #[test]
+    fn cdf_step_behaviour() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let e = Empirical::new(vec![0.0, 10.0]);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let e = Empirical::new(vec![7.0]);
+        assert_eq!(e.quantile(0.3), 7.0);
+    }
+
+    #[test]
+    fn mean_ln_ignores_zeros() {
+        let e = Empirical::new(vec![0.0, 1.0, std::f64::consts::E]);
+        let got = e.mean_ln().unwrap();
+        assert!((got - 0.5).abs() < 1e-14);
+        let zeros = Empirical::new(vec![0.0, 0.0]);
+        assert!(zeros.mean_ln().is_none());
+    }
+
+    #[test]
+    fn ks_statistic_perfect_fit_is_small() {
+        // Empirical CDF vs itself-as-model: the KS statistic is 1/n at most
+        // (the step mismatch), here evaluated against the true uniform CDF.
+        let n = 1000;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Empirical::new(samples);
+        let d = e.ks_statistic(|x| x.clamp(0.0, 1.0));
+        assert!(d <= 0.5 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_detects_bad_model() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let e = Empirical::new(samples);
+        // Model claims everything is below 0.01.
+        let d = e.ks_statistic(|x| if x >= 0.01 { 1.0 } else { 0.0 });
+        assert!(d > 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        Empirical::new(vec![1.0, f64::NAN]);
+    }
+}

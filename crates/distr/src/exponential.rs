@@ -1,0 +1,143 @@
+//! Exponential distribution.
+//!
+//! Service times in the M/M/1/K disk approximation (§III-B) and the Poisson
+//! inter-arrival times of the workload generator are exponential.
+
+use crate::traits::{open_unit, Distribution, Lst};
+use cos_numeric::Complex64;
+use rand::RngCore;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "Exponential requires rate > 0, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "Exponential requires mean > 0, got {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+}
+
+impl Lst for Exponential {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        Complex64::from_real(self.rate) / (s + self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let e = Exponential::new(4.0);
+        assert_eq!(e.mean(), 0.25);
+        assert_eq!(e.variance(), 0.0625);
+        assert!((e.scv() - 1.0).abs() < 1e-15);
+        let m = Exponential::with_mean(0.25);
+        assert_eq!(m.rate(), 4.0);
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let e = Exponential::new(2.0);
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert!((e.cdf(1.0) - (1.0 - (-2.0f64).exp())).abs() < 1e-15);
+        // Numerical derivative of the CDF matches the pdf.
+        let h = 1e-6;
+        let deriv = (e.cdf(0.5 + h) - e.cdf(0.5 - h)) / (2.0 * h);
+        assert!((deriv - e.pdf(0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memorylessness_of_samples() {
+        // P(X > a + b | X > a) ≈ P(X > b)
+        let e = Exponential::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| e.sample(&mut rng)).collect();
+        let past_a: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.5).collect();
+        let frac_cond = past_a.iter().filter(|&&x| x > 1.0).count() as f64 / past_a.len() as f64;
+        let frac_uncond = samples.iter().filter(|&&x| x > 0.5).count() as f64 / n as f64;
+        assert!((frac_cond - frac_uncond).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let e = Exponential::new(5.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.2).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn lst_at_real_points() {
+        let e = Exponential::new(3.0);
+        assert_eq!(e.lst(Complex64::ZERO), Complex64::ONE);
+        let got = e.lst(Complex64::from_real(1.0));
+        assert!((got.re - 0.75).abs() < 1e-15);
+        assert_eq!(got.im, 0.0);
+    }
+
+    #[test]
+    fn lst_derivative_gives_mean() {
+        // −d/ds L(s) at 0 ≈ mean, via central difference.
+        let e = Exponential::new(2.0);
+        let h = 1e-6;
+        let d = (e.lst(Complex64::from_real(h)) - e.lst(Complex64::from_real(-h))).re / (2.0 * h);
+        assert!((-d - e.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+}

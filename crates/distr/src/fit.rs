@@ -1,0 +1,331 @@
+//! Distribution fitting (§IV-A of the paper).
+//!
+//! The calibration pipeline benchmarks the storage device, records
+//! per-operation latencies, and fits a parametric family whose LST exists in
+//! closed form. The paper tests Exponential, Degenerate, Normal, and Gamma,
+//! selects by fit quality, and reports that Gamma wins on its testbed
+//! (Fig. 5). We reproduce that selection using the Kolmogorov–Smirnov
+//! statistic as the quality score.
+
+use crate::degenerate::Degenerate;
+use crate::empirical::Empirical;
+use crate::exponential::Exponential;
+use crate::gamma::Gamma;
+use crate::normal::Normal;
+use crate::traits::Distribution;
+use cos_numeric::roots::newton_positive;
+use cos_numeric::special::{digamma, trigamma};
+
+/// The four candidate families of §IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Point mass at the sample mean.
+    Degenerate,
+    /// Exponential with rate `1/mean`.
+    Exponential,
+    /// Normal by moment matching.
+    Normal,
+    /// Gamma by maximum likelihood (method-of-moments fallback).
+    Gamma,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::Degenerate => "Degenerate",
+            Family::Exponential => "Exponential",
+            Family::Normal => "Normal",
+            Family::Gamma => "Gamma",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fitted parametric distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fitted {
+    /// Fitted point mass.
+    Degenerate(Degenerate),
+    /// Fitted exponential.
+    Exponential(Exponential),
+    /// Fitted normal.
+    Normal(Normal),
+    /// Fitted gamma.
+    Gamma(Gamma),
+}
+
+impl Fitted {
+    /// The family of this fit.
+    pub fn family(&self) -> Family {
+        match self {
+            Fitted::Degenerate(_) => Family::Degenerate,
+            Fitted::Exponential(_) => Family::Exponential,
+            Fitted::Normal(_) => Family::Normal,
+            Fitted::Gamma(_) => Family::Gamma,
+        }
+    }
+
+    /// CDF of the fitted distribution.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            Fitted::Degenerate(d) => d.cdf(x),
+            Fitted::Exponential(d) => d.cdf(x),
+            Fitted::Normal(d) => d.cdf(x),
+            Fitted::Gamma(d) => d.cdf(x),
+        }
+    }
+
+    /// Mean of the fitted distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Fitted::Degenerate(d) => d.mean(),
+            Fitted::Exponential(d) => d.mean(),
+            Fitted::Normal(d) => d.mean(),
+            Fitted::Gamma(d) => d.mean(),
+        }
+    }
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Sample contains non-positive values where positivity is required.
+    NonPositiveSample,
+    /// Not enough spread/values to fit this family.
+    DegenerateSample,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NonPositiveSample => write!(f, "sample contains non-positive values"),
+            FitError::DegenerateSample => write!(f, "sample has insufficient spread for this family"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits a point mass at the sample mean.
+pub fn fit_degenerate(sample: &Empirical) -> Degenerate {
+    Degenerate::new(sample.mean().max(0.0))
+}
+
+/// Fits an exponential by matching the mean.
+pub fn fit_exponential(sample: &Empirical) -> Result<Exponential, FitError> {
+    let mean = sample.mean();
+    if mean <= 0.0 {
+        return Err(FitError::NonPositiveSample);
+    }
+    Ok(Exponential::with_mean(mean))
+}
+
+/// Fits a normal by moment matching.
+pub fn fit_normal(sample: &Empirical) -> Result<Normal, FitError> {
+    let var = sample.variance();
+    if var <= 0.0 {
+        return Err(FitError::DegenerateSample);
+    }
+    Ok(Normal::new(sample.mean(), var.sqrt()))
+}
+
+/// Fits a Gamma by method of moments.
+pub fn fit_gamma_moments(sample: &Empirical) -> Result<Gamma, FitError> {
+    let mean = sample.mean();
+    let var = sample.variance();
+    if mean <= 0.0 {
+        return Err(FitError::NonPositiveSample);
+    }
+    if var <= 0.0 {
+        return Err(FitError::DegenerateSample);
+    }
+    let shape = mean * mean / var;
+    Ok(Gamma::new(shape, shape / mean))
+}
+
+/// Fits a Gamma by maximum likelihood.
+///
+/// Solves `ln k − ψ(k) = ln(mean) − mean(ln x)` by damped Newton from
+/// Minka's closed-form initial guess, then sets `rate = k / mean`. Falls back
+/// to method of moments if the sample contains non-positive values or Newton
+/// stalls.
+pub fn fit_gamma_mle(sample: &Empirical) -> Result<Gamma, FitError> {
+    let mean = sample.mean();
+    if mean <= 0.0 {
+        return Err(FitError::NonPositiveSample);
+    }
+    if sample.min() <= 0.0 {
+        // ln x undefined: fall back to moments.
+        return fit_gamma_moments(sample);
+    }
+    let mean_ln = sample.mean_ln().ok_or(FitError::NonPositiveSample)?;
+    let s = mean.ln() - mean_ln;
+    if s <= 0.0 {
+        // Jensen gap is zero (all samples equal): no MLE shape exists.
+        return Err(FitError::DegenerateSample);
+    }
+    // Minka (2002) initial guess.
+    let k0 = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+    let f = |k: f64| k.ln() - digamma(k) - s;
+    let df = |k: f64| 1.0 / k - trigamma(k);
+    let shape = newton_positive(f, df, k0.max(1e-8), 1e-12, 100).unwrap_or(k0);
+    Ok(Gamma::new(shape.max(1e-8), shape.max(1e-8) / mean))
+}
+
+/// A scored candidate fit.
+#[derive(Debug, Clone)]
+pub struct ScoredFit {
+    /// The fitted distribution.
+    pub fitted: Fitted,
+    /// Kolmogorov–Smirnov distance to the empirical CDF (lower is better).
+    pub ks: f64,
+}
+
+/// Full report of the model-selection pass: every candidate that could be
+/// fitted, sorted by KS statistic ascending (best first).
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Candidates, best first.
+    pub candidates: Vec<ScoredFit>,
+}
+
+impl FitReport {
+    /// The winning fit.
+    pub fn best(&self) -> &ScoredFit {
+        &self.candidates[0]
+    }
+}
+
+/// Fits all four families of §IV-A and ranks them by KS statistic.
+///
+/// # Panics
+/// Panics if no family could be fitted at all (requires at least a finite,
+/// nonnegative-mean sample, which [`Empirical`] already guarantees).
+pub fn fit_best(sample: &Empirical) -> FitReport {
+    let mut candidates: Vec<ScoredFit> = Vec::with_capacity(4);
+    let mut push = |fitted: Fitted| {
+        let ks = sample.ks_statistic(|x| fitted.cdf(x));
+        candidates.push(ScoredFit { fitted, ks });
+    };
+    push(Fitted::Degenerate(fit_degenerate(sample)));
+    if let Ok(e) = fit_exponential(sample) {
+        push(Fitted::Exponential(e));
+    }
+    if let Ok(n) = fit_normal(sample) {
+        push(Fitted::Normal(n));
+    }
+    if let Ok(g) = fit_gamma_mle(sample) {
+        push(Fitted::Gamma(g));
+    }
+    candidates.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("finite ks"));
+    assert!(!candidates.is_empty(), "at least the Degenerate fit always exists");
+    FitReport { candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gamma_sample(shape: f64, rate: f64, n: usize, seed: u64) -> Empirical {
+        let g = Gamma::new(shape, rate);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Empirical::new((0..n).map(|_| g.sample(&mut rng)).collect())
+    }
+
+    #[test]
+    fn gamma_mle_recovers_parameters() {
+        let sample = gamma_sample(2.5, 200.0, 50_000, 7);
+        let fit = fit_gamma_mle(&sample).unwrap();
+        assert!((fit.shape() - 2.5).abs() / 2.5 < 0.05, "shape {}", fit.shape());
+        assert!((fit.rate() - 200.0).abs() / 200.0 < 0.05, "rate {}", fit.rate());
+    }
+
+    #[test]
+    fn gamma_mle_beats_or_matches_moments() {
+        // MLE should produce a no-worse log-likelihood proxy (KS here) on
+        // gamma data with a skewed shape.
+        let sample = gamma_sample(0.7, 50.0, 20_000, 11);
+        let mle = fit_gamma_mle(&sample).unwrap();
+        let mom = fit_gamma_moments(&sample).unwrap();
+        let ks_mle = sample.ks_statistic(|x| mle.cdf(x));
+        let ks_mom = sample.ks_statistic(|x| mom.cdf(x));
+        assert!(ks_mle <= ks_mom * 1.5, "mle {ks_mle} mom {ks_mom}");
+    }
+
+    #[test]
+    fn gamma_wins_on_gamma_data() {
+        // The Fig. 5 selection: on disk-like gamma latencies, the Gamma
+        // family must beat Exponential, Normal, and Degenerate.
+        let sample = gamma_sample(3.0, 250.0, 20_000, 13);
+        let report = fit_best(&sample);
+        assert_eq!(report.best().fitted.family(), Family::Gamma, "report: {report:?}");
+    }
+
+    #[test]
+    fn exponential_data_fits_well_with_gamma_shape_one() {
+        let e = Exponential::new(100.0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let sample = Empirical::new((0..20_000).map(|_| e.sample(&mut rng)).collect());
+        let g = fit_gamma_mle(&sample).unwrap();
+        assert!((g.shape() - 1.0).abs() < 0.05, "shape {}", g.shape());
+    }
+
+    #[test]
+    fn degenerate_wins_on_constant_data() {
+        // Parse latencies on the paper's testbed were "almost constant".
+        let sample = Empirical::new(vec![0.5; 1000]);
+        let report = fit_best(&sample);
+        assert_eq!(report.best().fitted.family(), Family::Degenerate);
+        assert_eq!(report.best().fitted.mean(), 0.5);
+    }
+
+    #[test]
+    fn near_constant_data_prefers_degenerate_over_exponential() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let n = Normal::new(1.0, 1e-4);
+        let sample = Empirical::new((0..5000).map(|_| n.sample(&mut rng)).collect());
+        let report = fit_best(&sample);
+        // Exponential is a terrible fit for tightly concentrated data.
+        let exp_ks = report
+            .candidates
+            .iter()
+            .find(|c| c.fitted.family() == Family::Exponential)
+            .unwrap()
+            .ks;
+        assert!(exp_ks > 0.3);
+        assert_ne!(report.best().fitted.family(), Family::Exponential);
+    }
+
+    #[test]
+    fn fit_errors_on_bad_samples() {
+        let zeros = Empirical::new(vec![0.0, 0.0, 0.0]);
+        assert_eq!(fit_exponential(&zeros), Err(FitError::NonPositiveSample));
+        assert_eq!(fit_normal(&zeros), Err(FitError::DegenerateSample));
+        let constant = Empirical::new(vec![2.0, 2.0]);
+        assert_eq!(fit_gamma_mle(&constant), Err(FitError::DegenerateSample));
+    }
+
+    #[test]
+    fn mle_falls_back_to_moments_with_zeros() {
+        // A few zero latencies (cache hits sneaking into a disk benchmark)
+        // must not crash the fit.
+        let mut vals = vec![0.0, 0.0];
+        let g = Gamma::new(2.0, 100.0);
+        let mut rng = SmallRng::seed_from_u64(29);
+        vals.extend((0..5000).map(|_| g.sample(&mut rng)));
+        let sample = Empirical::new(vals);
+        let fit = fit_gamma_mle(&sample).unwrap();
+        assert!(fit.shape() > 0.0 && fit.rate() > 0.0);
+    }
+
+    #[test]
+    fn report_is_sorted() {
+        let sample = gamma_sample(2.0, 100.0, 5000, 31);
+        let report = fit_best(&sample);
+        for w in report.candidates.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Log-normal distribution.
+//!
+//! Used by the workload layer for object sizes (web object sizes are
+//! classically heavy-tailed; we match the paper's reported ~32 KB mean for
+//! surviving Wikipedia media objects). No closed-form LST exists, so this
+//! type implements only [`Distribution`].
+
+use crate::traits::{standard_normal, Distribution};
+use cos_numeric::special::erfc;
+use rand::RngCore;
+
+/// Log-normal distribution: `ln X ~ Normal(mu, sigma)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "LogNormal requires finite mu, got {mu}");
+        assert!(sigma.is_finite() && sigma > 0.0, "LogNormal requires sigma > 0, got {sigma}");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given mean and median:
+    /// `median = e^mu`, `mean = e^{mu + sigma²/2}`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < median < mean`.
+    pub fn from_mean_median(mean: f64, median: f64) -> Self {
+        assert!(median > 0.0 && mean > median, "need 0 < median < mean, got mean={mean} median={median}");
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        LogNormal { mu, sigma }
+    }
+
+    /// Location parameter of the underlying normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Median `e^mu`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_closed_form() {
+        let ln = LogNormal::new(0.0, 1.0);
+        assert!((ln.mean() - (0.5f64).exp()).abs() < 1e-14);
+        let want_var = (1.0f64.exp() - 1.0) * 1.0f64.exp();
+        assert!((ln.variance() - want_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mean_median_roundtrip() {
+        // Wikipedia-like sizes: mean 32 KB, median 8 KB.
+        let ln = LogNormal::from_mean_median(32_768.0, 8_192.0);
+        assert!((ln.mean() - 32_768.0).abs() < 1e-6);
+        assert!((ln.median() - 8_192.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_at_median_is_half() {
+        let ln = LogNormal::new(2.0, 0.8);
+        assert!((ln.cdf(ln.median()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_is_cdf_derivative() {
+        let ln = LogNormal::new(1.0, 0.5);
+        let h = 1e-6;
+        for &x in &[0.5, 2.0, 5.0] {
+            let deriv = (ln.cdf(x + h) - ln.cdf(x - h)) / (2.0 * h);
+            assert!((deriv - ln.pdf(x)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sampling_mean() {
+        let ln = LogNormal::new(1.0, 0.6);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = 400_000;
+        let mean = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - ln.mean()).abs() / ln.mean() < 0.01, "mean {mean} want {}", ln.mean());
+    }
+
+    #[test]
+    fn nonnegative_support() {
+        assert_eq!(LogNormal::new(0.0, 1.0).cdf(0.0), 0.0);
+        assert_eq!(LogNormal::new(0.0, 1.0).pdf(-1.0), 0.0);
+    }
+}

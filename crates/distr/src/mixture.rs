@@ -1,0 +1,187 @@
+//! Finite mixtures of distributions.
+//!
+//! The paper's cache-aware operation latency is a two-point mixture
+//! `op(t) = m · op_disk(t) + (1 − m) · δ(t)` (§III-B); the system-level CDF
+//! (Eq. 3) is an arrival-rate-weighted mixture over storage devices. The
+//! paper also explicitly allows mixtures as fitting families (§IV-A).
+
+use crate::traits::{unit, Distribution, DynService, Lst};
+use cos_numeric::Complex64;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A finite mixture of service distributions with normalized weights.
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    components: Vec<(f64, DynService)>,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs. Weights must be
+    /// nonnegative with a positive sum; they are normalized internally.
+    ///
+    /// # Panics
+    /// Panics on an empty component list, negative weights, or a zero total.
+    pub fn new(components: Vec<(f64, DynService)>) -> Self {
+        assert!(!components.is_empty(), "Mixture requires at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| *w >= 0.0) && total > 0.0,
+            "Mixture weights must be nonnegative with positive sum"
+        );
+        let components = components.into_iter().map(|(w, c)| (w / total, c)).collect();
+        Mixture { components }
+    }
+
+    /// The paper's cache-miss form: disk-served with probability
+    /// `miss_ratio`, memory-served (`δ(t)`, zero latency) otherwise.
+    pub fn cache_miss(miss_ratio: f64, disk: DynService) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&miss_ratio),
+            "miss ratio must be in [0,1], got {miss_ratio}"
+        );
+        let delta: DynService = Arc::new(crate::degenerate::Degenerate::zero());
+        Mixture::new(vec![(miss_ratio, disk), (1.0 - miss_ratio, delta)])
+    }
+
+    /// Normalized `(weight, component)` view.
+    pub fn components(&self) -> &[(f64, DynService)] {
+        &self.components
+    }
+}
+
+impl Distribution for Mixture {
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.mean()).sum()
+    }
+    fn variance(&self) -> f64 {
+        // Var = E[X²] − E[X]², with E[X²] mixed componentwise.
+        let m = self.mean();
+        self.second_moment() - m * m
+    }
+    fn second_moment(&self) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.second_moment()).sum()
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.pdf(x)).sum()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.cdf(x)).sum()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u = unit(rng);
+        for (w, c) in &self.components {
+            if u < *w {
+                return c.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components.last().expect("nonempty").1.sample(rng)
+    }
+}
+
+impl Lst for Mixture {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        self.components
+            .iter()
+            .map(|(w, c)| c.lst(s) * *w)
+            .fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degenerate::Degenerate;
+    use crate::exponential::Exponential;
+    use crate::gamma::Gamma;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn svc<T: Distribution + Lst + 'static>(d: T) -> DynService {
+        Arc::new(d)
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let m = Mixture::new(vec![
+            (2.0, svc(Degenerate::new(1.0))),
+            (6.0, svc(Degenerate::new(2.0))),
+        ]);
+        assert!((m.components()[0].0 - 0.25).abs() < 1e-15);
+        assert!((m.mean() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_miss_matches_paper_formula() {
+        // index(t) = index_d(t) m + δ(t)(1 − m): mean scales by m, LST is
+        // m·L_d(s) + (1−m).
+        let disk = Gamma::new(2.0, 100.0); // 20 ms mean
+        let m = 0.3;
+        let mix = Mixture::cache_miss(m, svc(disk));
+        assert!((mix.mean() - m * disk.mean()).abs() < 1e-15);
+        let s = Complex64::new(1.0, 2.0);
+        let want = disk.lst(s) * m + (1.0 - m);
+        assert!((mix.lst(s) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cache_miss_extremes() {
+        let disk = svc(Exponential::new(10.0));
+        let all_hit = Mixture::cache_miss(0.0, disk.clone());
+        assert_eq!(all_hit.mean(), 0.0);
+        assert_eq!(all_hit.cdf(0.0), 1.0);
+        let all_miss = Mixture::cache_miss(1.0, disk);
+        assert!((all_miss.mean() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn variance_uses_mixed_second_moment() {
+        // Two atoms at 0 and 2, equal weight: mean 1, var 1.
+        let m = Mixture::new(vec![
+            (1.0, svc(Degenerate::new(0.0))),
+            (1.0, svc(Degenerate::new(2.0))),
+        ]);
+        assert!((m.mean() - 1.0).abs() < 1e-15);
+        assert!((m.variance() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = Mixture::new(vec![
+            (0.8, svc(Degenerate::new(1.0))),
+            (0.2, svc(Degenerate::new(5.0))),
+        ]);
+        let mut rng = SmallRng::seed_from_u64(41);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| m.sample(&mut rng) == 1.0).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn mixture_cdf_inverts_from_lst() {
+        let m = Mixture::cache_miss(0.4, svc(Gamma::new(3.0, 50.0)));
+        let cfg = cos_numeric::InversionConfig::default();
+        for &t in &[0.02, 0.06, 0.15] {
+            let got = cos_numeric::cdf_from_lst(&|s| m.lst(s), t, &cfg);
+            assert!((got - m.cdf(t)).abs() < 1e-4, "t={t}: got {got} want {}", m.cdf(t));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        Mixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_weight() {
+        Mixture::new(vec![
+            (-0.5, svc(Degenerate::new(1.0))),
+            (1.5, svc(Degenerate::new(2.0))),
+        ]);
+    }
+}

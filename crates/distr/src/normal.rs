@@ -1,0 +1,136 @@
+//! Normal distribution (one of the paper's four fitting candidates, §IV-A).
+//!
+//! Service times are nonnegative, so a Normal fit is only sensible when
+//! `σ ≪ μ`; the constructor does not enforce this but [`crate::fit`] penalizes
+//! bad fits via the KS statistic, mirroring why the paper's testbed rejected
+//! it in favour of Gamma.
+
+use crate::traits::{standard_normal, Distribution, Lst};
+use cos_numeric::special::erfc;
+use cos_numeric::Complex64;
+use rand::RngCore;
+
+/// Normal distribution with mean `μ` and standard deviation `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a Normal distribution.
+    ///
+    /// # Panics
+    /// Panics unless `sigma` is finite and positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "Normal requires finite mu, got {mu}");
+        assert!(sigma.is_finite() && sigma > 0.0, "Normal requires sigma > 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    /// Mean parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+}
+
+impl Lst for Normal {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        // E[e^{-sX}] = exp(−μ s + σ² s² / 2).
+        (s * s * (0.5 * self.sigma * self.sigma) - s * self.mu).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let n = Normal::new(5.0, 2.0);
+        assert_eq!(n.mean(), 5.0);
+        assert_eq!(n.variance(), 4.0);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        let n = Normal::new(1.0, 0.5);
+        assert!((n.cdf(1.0) - 0.5).abs() < 1e-14);
+        for &d in &[0.1, 0.5, 1.0] {
+            assert!((n.cdf(1.0 + d) + n.cdf(1.0 - d) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn standard_normal_cdf_values() {
+        let n = Normal::new(0.0, 1.0);
+        assert!((n.cdf(1.96) - 0.975_002_104_851_779_7).abs() < 1e-10);
+        assert!((n.cdf(-1.0) - 0.158_655_253_931_457_05).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pdf_is_cdf_derivative() {
+        let n = Normal::new(2.0, 0.7);
+        let h = 1e-6;
+        for &x in &[0.5, 2.0, 3.5] {
+            let deriv = (n.cdf(x + h) - n.cdf(x - h)) / (2.0 * h);
+            assert!((deriv - n.pdf(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let n = Normal::new(10.0, 3.0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let count = 200_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn lst_inversion_recovers_cdf() {
+        // A tight normal (σ ≪ μ) as would model a near-constant latency.
+        let n = Normal::new(1.0, 0.05);
+        let cfg = cos_numeric::InversionConfig::default();
+        for &t in &[0.9, 1.0, 1.1] {
+            let got = cos_numeric::cdf_from_lst(&|s| n.lst(s), t, &cfg);
+            assert!((got - n.cdf(t)).abs() < 1e-4, "t={t}: got {got} want {}", n.cdf(t));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_sigma() {
+        Normal::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Pareto (power-law) distribution.
+//!
+//! Web object sizes are classically heavy-tailed; the Pareto family lets the
+//! workload layer stress the model with traffic whose chunk-count
+//! distribution has a much heavier tail than the default log-normal
+//! catalog. No closed-form LST exists, so this is [`Distribution`]-only.
+
+use crate::traits::{open_unit, Distribution};
+use rand::RngCore;
+
+/// Pareto distribution with scale `x_min > 0` and shape `alpha > 0`:
+/// `P(X > x) = (x_min/x)^alpha` for `x ≥ x_min`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min.is_finite() && x_min > 0.0, "Pareto requires x_min > 0, got {x_min}");
+        assert!(alpha.is_finite() && alpha > 0.0, "Pareto requires alpha > 0, got {alpha}");
+        Pareto { x_min, alpha }
+    }
+
+    /// Creates a Pareto with a given mean (requires `alpha > 1`):
+    /// `mean = alpha·x_min/(alpha − 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 1` and `mean > 0`.
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "a finite mean requires alpha > 1, got {alpha}");
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Pareto::new(mean * (alpha - 1.0) / alpha, alpha)
+    }
+
+    /// Scale parameter (minimum value).
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Tail exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Distribution for Pareto {
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        }
+    }
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.x_min * self.x_min * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            self.alpha * self.x_min.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (self.x_min / x).powf(self.alpha)
+        }
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.x_min / open_unit(rng).powf(1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let p = Pareto::new(1.0, 3.0);
+        assert!((p.mean() - 1.5).abs() < 1e-12);
+        assert!((p.variance() - 0.75).abs() < 1e-12);
+        // Infinite-moment regimes.
+        assert!(Pareto::new(1.0, 1.0).mean().is_infinite());
+        assert!(Pareto::new(1.0, 1.5).variance().is_infinite());
+    }
+
+    #[test]
+    fn with_mean_roundtrip() {
+        let p = Pareto::with_mean(32_768.0, 2.5);
+        assert!((p.mean() - 32_768.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let p = Pareto::new(2.0, 2.5);
+        assert_eq!(p.cdf(1.9), 0.0);
+        assert_eq!(p.cdf(2.0), 0.0);
+        let h = 1e-6;
+        for &x in &[2.5, 4.0, 10.0] {
+            let deriv = (p.cdf(x + h) - p.cdf(x - h)) / (2.0 * h);
+            assert!((deriv - p.pdf(x)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_support_and_tail() {
+        let p = Pareto::new(1.0, 2.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        // P(X > 10) = 0.01.
+        let tail = samples.iter().filter(|&&x| x > 10.0).count() as f64 / n as f64;
+        assert!((tail - 0.01).abs() < 0.002, "tail {tail}");
+    }
+
+    #[test]
+    fn heavier_tail_than_lognormal_with_same_mean() {
+        use crate::lognormal::LogNormal;
+        let mean = 32_768.0;
+        let pareto = Pareto::with_mean(mean, 1.8);
+        let lognormal = LogNormal::from_mean_median(mean, 12_000.0);
+        // Far tail (power law vs log-normal: the crossover sits a few
+        // orders of magnitude out): Pareto mass dominates.
+        let far = 500.0 * mean;
+        assert!(1.0 - pareto.cdf(far) > 1.0 - lognormal.cdf(far));
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_mean_rejects_alpha_one() {
+        Pareto::with_mean(10.0, 1.0);
+    }
+}

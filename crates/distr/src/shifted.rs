@@ -1,0 +1,90 @@
+//! Shift wrapper: `Y = d + X`.
+//!
+//! Convenient for "constant setup plus random service" latencies, e.g.
+//! request parsing followed by a disk operation.
+
+use crate::traits::{Distribution, DynService, Lst};
+use cos_numeric::Complex64;
+use rand::RngCore;
+
+/// A distribution shifted right by a nonnegative constant.
+#[derive(Debug, Clone)]
+pub struct Shifted {
+    offset: f64,
+    inner: DynService,
+}
+
+impl Shifted {
+    /// Wraps `inner` with the shift `offset`.
+    ///
+    /// # Panics
+    /// Panics if `offset` is negative or non-finite.
+    pub fn new(offset: f64, inner: DynService) -> Self {
+        assert!(offset.is_finite() && offset >= 0.0, "Shifted requires offset >= 0, got {offset}");
+        Shifted { offset, inner }
+    }
+
+    /// The shift amount.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl Distribution for Shifted {
+    fn mean(&self) -> f64 {
+        self.offset + self.inner.mean()
+    }
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.inner.pdf(x - self.offset)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(x - self.offset)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.offset + self.inner.sample(rng)
+    }
+}
+
+impl Lst for Shifted {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        (s * (-self.offset)).exp() * self.inner.lst(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn shifted_exponential_properties() {
+        let s = Shifted::new(0.5, Arc::new(Exponential::new(2.0)));
+        assert_eq!(s.mean(), 1.0);
+        assert_eq!(s.variance(), 0.25);
+        assert_eq!(s.cdf(0.4), 0.0);
+        assert!((s.cdf(1.5) - (1.0 - (-2.0f64).exp())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn samples_at_least_offset() {
+        let s = Shifted::new(0.25, Arc::new(Exponential::new(1.0)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) >= 0.25);
+        }
+    }
+
+    #[test]
+    fn lst_matches_analytic() {
+        let s = Shifted::new(0.3, Arc::new(Exponential::new(4.0)));
+        let z = Complex64::new(1.0, -2.0);
+        let want = (z * (-0.3)).exp() * (Complex64::from_real(4.0) / (z + 4.0));
+        assert!((s.lst(z) - want).abs() < 1e-14);
+    }
+}

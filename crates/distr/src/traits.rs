@@ -1,0 +1,117 @@
+//! Distribution traits.
+//!
+//! The analytic model manipulates service-time distributions through two
+//! capabilities: ordinary distribution queries (moments, pdf/cdf, sampling —
+//! used by the simulator substrate) and Laplace–Stieltjes transforms at
+//! complex arguments (used by the Pollaczek–Khinchin machinery and numerical
+//! inversion). They are separate traits because some workload distributions
+//! (e.g. LogNormal object sizes) have no closed-form LST and never need one.
+
+use cos_numeric::Complex64;
+use rand::RngCore;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A univariate distribution over `[0, ∞)` (service times, sizes, counts).
+pub trait Distribution: Debug + Send + Sync {
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Probability density at `x` (Dirac atoms report `f64::INFINITY` at the
+    /// atom and `0` elsewhere).
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+    /// Second raw moment `E[X²]`.
+    fn second_moment(&self) -> f64 {
+        let m = self.mean();
+        self.variance() + m * m
+    }
+    /// Coefficient of variation squared, `Var/Mean²`.
+    fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+}
+
+/// Laplace–Stieltjes transform `E[e^{−sX}]` evaluated at complex `s`.
+pub trait Lst {
+    /// Evaluates the LST at `s`.
+    fn lst(&self, s: Complex64) -> Complex64;
+}
+
+/// A distribution usable as a queueing service time: full distribution
+/// queries *and* a closed-form LST.
+pub trait ServiceDistribution: Distribution + Lst {}
+impl<T: Distribution + Lst + ?Sized> ServiceDistribution for T {}
+
+/// Shared-ownership handle to a service distribution.
+pub type DynService = Arc<dyn ServiceDistribution + Send + Sync>;
+
+/// Draws a uniform variate in the open interval `(0, 1)`.
+///
+/// `rand`'s `gen::<f64>()` yields `[0, 1)`; several inverse-transform
+/// samplers need to avoid an exact zero before taking a logarithm.
+pub fn open_unit(rng: &mut dyn RngCore) -> f64 {
+    use rand::Rng;
+    let r = rng;
+    loop {
+        let u: f64 = r.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Draws a uniform variate in `[0, 1)`.
+pub fn unit(rng: &mut dyn RngCore) -> f64 {
+    use rand::Rng;
+    let r = rng;
+    r.gen()
+}
+
+/// Draws a standard normal variate (polar Box–Muller, stateless).
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u = 2.0 * open_unit(rng) - 1.0;
+        let v = 2.0 * open_unit(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn open_unit_stays_open() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = open_unit(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

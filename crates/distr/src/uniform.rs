@@ -1,0 +1,143 @@
+//! Continuous uniform distribution.
+
+use crate::traits::{unit, Distribution, Lst};
+use cos_numeric::Complex64;
+use rand::RngCore;
+
+/// Uniform distribution on `[a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[a, b)`.
+    ///
+    /// # Panics
+    /// Panics unless `a < b`, both finite, `a >= 0`.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && b.is_finite() && a < b, "Uniform requires a < b, got [{a}, {b})");
+        assert!(a >= 0.0, "service-time Uniform requires a >= 0, got {a}");
+        Uniform { a, b }
+    }
+
+    /// Lower bound.
+    pub fn lower(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn upper(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Distribution for Uniform {
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x < self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.a {
+            0.0
+        } else if x >= self.b {
+            1.0
+        } else {
+            (x - self.a) / (self.b - self.a)
+        }
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.a + (self.b - self.a) * unit(rng)
+    }
+}
+
+impl Lst for Uniform {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        // (e^{-as} − e^{-bs}) / (s (b − a)), with the s → 0 limit handled by
+        // a series to avoid catastrophic cancellation near the origin.
+        let w = self.b - self.a;
+        if s.abs() * w < 1e-8 {
+            // e^{-as}(1 − s w/2 + (sw)²/6 − ...) ≈ exp to second order
+            let mid = self.mean();
+            return Complex64::ONE - s * mid + s * s * (self.second_moment() * 0.5);
+        }
+        ((s * (-self.a)).exp() - (s * (-self.b)).exp()) / (s * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let u = Uniform::new(1.0, 3.0);
+        assert_eq!(u.mean(), 2.0);
+        assert!((u.variance() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        let u = Uniform::new(0.0, 2.0);
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(0.0), 0.0);
+        assert_eq!(u.cdf(1.0), 0.5);
+        assert_eq!(u.cdf(2.0), 1.0);
+        assert_eq!(u.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let u = Uniform::new(0.5, 0.75);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((0.5..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lst_at_zero_is_one() {
+        let u = Uniform::new(1.0, 2.0);
+        let near_zero = u.lst(Complex64::from_real(1e-12));
+        assert!((near_zero - Complex64::ONE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lst_matches_quadrature() {
+        let u = Uniform::new(0.5, 1.5);
+        let s = Complex64::from_real(2.0);
+        let want = cos_numeric::quad::adaptive_simpson(&|x| (-2.0 * x).exp() * u.pdf(x), 0.5, 1.5, 1e-12);
+        assert!((u.lst(s).re - want).abs() < 1e-9);
+        assert_eq!(u.lst(s).im, 0.0);
+    }
+
+    #[test]
+    fn lst_inversion_recovers_cdf() {
+        let u = Uniform::new(1.0, 2.0);
+        let cfg = cos_numeric::InversionConfig::default();
+        for &t in &[1.2, 1.5, 1.8] {
+            let got = cos_numeric::cdf_from_lst(&|s| u.lst(s), t, &cfg);
+            assert!((got - u.cdf(t)).abs() < 1e-3, "t={t} got {got}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        Uniform::new(2.0, 1.0);
+    }
+}

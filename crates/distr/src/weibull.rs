@@ -1,0 +1,112 @@
+//! Weibull distribution (no closed-form LST; workload-side only).
+//!
+//! Useful as an alternative object-size or think-time law when stress-testing
+//! the model's sensitivity to the fitted service-time family.
+
+use crate::traits::{open_unit, Distribution};
+use cos_numeric::special::ln_gamma;
+use rand::RngCore;
+
+/// Weibull distribution with shape `k` and scale `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "Weibull requires shape > 0, got {shape}");
+        assert!(scale.is_finite() && scale > 0.0, "Weibull requires scale > 0, got {scale}");
+        Weibull { shape, scale }
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Weibull {
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+    fn variance(&self) -> f64 {
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.shape.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => 1.0 / self.scale,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let z = x / self.scale;
+        self.shape / self.scale * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-open_unit(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert!((w.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rayleigh_moments() {
+        // shape 2 is Rayleigh: mean = λ √π/2.
+        let w = Weibull::new(2.0, 1.0);
+        assert!((w.mean() - (std::f64::consts::PI).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_is_cdf_derivative() {
+        let w = Weibull::new(1.7, 0.8);
+        let h = 1e-6;
+        for &x in &[0.2, 0.8, 2.0] {
+            let deriv = (w.cdf(x + h) - w.cdf(x - h)) / (2.0 * h);
+            assert!((deriv - w.pdf(x)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let w = Weibull::new(1.5, 3.0);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 200_000;
+        let mean = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - w.mean()).abs() / w.mean() < 0.01);
+    }
+}

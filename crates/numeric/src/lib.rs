@@ -1,0 +1,38 @@
+//! # cos-numeric
+//!
+//! Numerical foundations for the `cosmodel` reproduction of *"Predicting
+//! Response Latency Percentiles for Cloud Object Storage Systems"*
+//! (Su, Feng, Hua, Shi — ICPP 2017):
+//!
+//! * [`complex`] — self-contained double-precision complex arithmetic
+//!   (the offline crate set has no `num-complex`),
+//! * [`special`] — log-gamma, digamma/trigamma, regularized incomplete gamma,
+//!   `erf`, inverse normal CDF,
+//! * [`laplace`] — numerical Laplace-transform inversion (Abate–Whitt Euler,
+//!   fixed Talbot, Gaver–Stehfest) and CDF/quantile helpers,
+//! * [`moments`] — moments from LSTs by numerical differentiation,
+//! * [`roots`] — bisection / Brent / damped Newton,
+//! * [`quad`] — adaptive Simpson and Gauss–Legendre quadrature,
+//! * [`sum`] — compensated (Neumaier) summation.
+//!
+//! The model's percentile predictions are produced by evaluating
+//! Laplace–Stieltjes transforms along complex contours and inverting
+//! `L[f](s)/s`; everything needed for that lives here, implemented from
+//! scratch and pinned by tests against closed forms.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod laplace;
+pub mod moments;
+pub mod quad;
+pub mod roots;
+pub mod special;
+pub mod sum;
+
+pub use complex::Complex64;
+pub use laplace::{
+    cdf_from_lst, ccdf_from_lst, euler, gaver_stehfest, quantile_from_lst, talbot,
+    InversionAlgorithm, InversionConfig, LaplaceFn,
+};
+pub use moments::{mean_from_lst, moments_from_lst, second_moment_from_lst};

@@ -1,0 +1,85 @@
+//! Moments from Laplace–Stieltjes transforms by numerical differentiation.
+//!
+//! `E[X^k] = (−1)^k dᵏ/dsᵏ L(s) |_{s=0}`. Central differences with a step
+//! scaled to the distribution's own time scale balance truncation against
+//! the cancellation noise of evaluating `L` near 1.
+
+use crate::complex::Complex64;
+use crate::laplace::LaplaceFn;
+
+/// First moment (mean) from an LST, given a rough `scale` of the
+/// distribution (any value within a couple of orders of magnitude of the
+/// true mean works).
+///
+/// Uses a Richardson-extrapolated central difference (O(h⁴) truncation).
+pub fn mean_from_lst<F: LaplaceFn>(lst: &F, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+    let h = 0.02 / scale;
+    let f = |s: f64| lst.eval(Complex64::from_real(s)).re;
+    let d = |h: f64| -(f(h) - f(-h)) / (2.0 * h);
+    (4.0 * d(h / 2.0) - d(h)) / 3.0
+}
+
+/// Second raw moment from an LST (Richardson-extrapolated second
+/// difference).
+pub fn second_moment_from_lst<F: LaplaceFn>(lst: &F, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+    let h = 0.05 / scale;
+    let f = |s: f64| lst.eval(Complex64::from_real(s)).re;
+    let d = |h: f64| (f(h) - 2.0 * f(0.0) + f(-h)) / (h * h);
+    ((4.0 * d(h / 2.0) - d(h)) / 3.0).max(0.0)
+}
+
+/// Mean and second moment in one call, refining the step with the measured
+/// mean (one fixed-point pass: the initial `scale` only needs the order of
+/// magnitude).
+pub fn moments_from_lst<F: LaplaceFn>(lst: &F, scale_hint: f64) -> (f64, f64) {
+    let rough = mean_from_lst(lst, scale_hint).abs().max(scale_hint * 1e-3);
+    let mean = mean_from_lst(lst, rough);
+    let m2 = second_moment_from_lst(lst, rough);
+    (mean, m2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_lst(rate: f64) -> impl Fn(Complex64) -> Complex64 {
+        move |s| Complex64::from_real(rate) / (s + rate)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let lst = exp_lst(4.0);
+        let (mean, m2) = moments_from_lst(&lst, 1.0);
+        assert!((mean - 0.25).abs() < 1e-6, "mean {mean}");
+        assert!((m2 - 0.125).abs() < 1e-5, "m2 {m2}");
+    }
+
+    #[test]
+    fn erlang_moments() {
+        // Erlang(3, 2): mean 1.5, E[X²] = var + mean² = 0.75 + 2.25 = 3.
+        let lst = move |s: Complex64| (Complex64::from_real(2.0) / (s + 2.0)).powi(3);
+        let (mean, m2) = moments_from_lst(&lst, 1.0);
+        assert!((mean - 1.5).abs() < 1e-6);
+        assert!((m2 - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn works_across_scales() {
+        // Millisecond-scale latencies with a poor hint.
+        let lst = exp_lst(1000.0);
+        let (mean, m2) = moments_from_lst(&lst, 1.0);
+        assert!((mean - 0.001).abs() / 0.001 < 1e-4, "mean {mean}");
+        assert!((m2 - 2e-6).abs() / 2e-6 < 1e-3, "m2 {m2}");
+    }
+
+    #[test]
+    fn degenerate_moments() {
+        let d = 0.37;
+        let lst = move |s: Complex64| (s * (-d)).exp();
+        let (mean, m2) = moments_from_lst(&lst, 1.0);
+        assert!((mean - d).abs() < 1e-6);
+        assert!((m2 - d * d).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,269 @@
+//! Scalar root finding: bisection, Brent's method, and damped Newton.
+//!
+//! Used by the calibration layer (Gamma MLE shape equation, service-time
+//! decomposition) and by quantile searches.
+
+/// Error conditions for root finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` do not bracket a root.
+    NoBracket {
+        /// Function value at the left endpoint.
+        fa: f64,
+        /// Function value at the right endpoint.
+        fb: f64,
+    },
+    /// Iteration budget exhausted before the tolerance was met.
+    MaxIterations {
+        /// Best iterate found.
+        best: f64,
+        /// Residual `f(best)`.
+        residual: f64,
+    },
+    /// The function returned a non-finite value.
+    NonFinite {
+        /// Argument at which the function was non-finite.
+        at: f64,
+    },
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NoBracket { fa, fb } => {
+                write!(f, "interval does not bracket a root (f(a)={fa}, f(b)={fb})")
+            }
+            RootError::MaxIterations { best, residual } => {
+                write!(f, "max iterations reached (best x={best}, residual={residual})")
+            }
+            RootError::NonFinite { at } => write!(f, "function value not finite at x={at}"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Simple bisection on `[a, b]`. Requires a sign change.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(RootError::NonFinite { at: mid });
+        }
+        if fm == 0.0 || (b - a).abs() <= tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Brent's method: inverse quadratic interpolation with bisection fallback.
+pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() <= tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let cond_lo = (3.0 * a + b) / 4.0;
+        let (lo, hi) = if cond_lo < b { (cond_lo, b) } else { (b, cond_lo) };
+        let use_bisect = !(lo < s && s < hi)
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= d.abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && d.abs() < tol);
+        if use_bisect {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(RootError::NonFinite { at: s });
+        }
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations { best: b, residual: fb })
+}
+
+/// Damped Newton iteration with positivity constraint (the MLE shape equation
+/// lives on `x > 0`).
+///
+/// Halves the step until the iterate stays positive. Falls back to returning
+/// the best iterate on slow convergence.
+pub fn newton_positive<F, G>(f: F, df: G, x0: f64, tol: f64, max_iter: usize) -> Result<f64, RootError>
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let mut x = x0.max(1e-12);
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(RootError::NonFinite { at: x });
+        }
+        if fx.abs() <= tol {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(RootError::NonFinite { at: x });
+        }
+        let mut step = fx / dfx;
+        // Damping: keep the iterate strictly positive.
+        let mut next = x - step;
+        let mut halvings = 0;
+        while next <= 0.0 && halvings < 60 {
+            step *= 0.5;
+            next = x - step;
+            halvings += 1;
+        }
+        if (next - x).abs() <= tol * x.abs().max(1.0) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    let residual = f(x);
+    if residual.abs() <= tol * 100.0 {
+        Ok(x)
+    } else {
+        Err(RootError::MaxIterations { best: x, residual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_requires_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let r = brent(|x| x.cos(), 0.0, 3.0, 1e-14, 100).unwrap();
+        assert!((r - std::f64::consts::FRAC_PI_2).abs() < 1e-10, "r={r}");
+    }
+
+    #[test]
+    fn brent_handles_steep_function() {
+        let r = brent(|x| x.exp() - 1e6, 0.0, 30.0, 1e-12, 200).unwrap();
+        assert!((r - 1e6f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn brent_requires_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_solves_log_equation() {
+        // ln x = 1 → x = e
+        let r = newton_positive(|x| x.ln() - 1.0, |x| 1.0 / x, 2.0, 1e-13, 100).unwrap();
+        assert!((r - std::f64::consts::E).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_stays_positive() {
+        // A function whose naive Newton step overshoots negative: 1/x − 10.
+        let r = newton_positive(|x| 1.0 / x - 10.0, |x| -1.0 / (x * x), 5.0, 1e-13, 200).unwrap();
+        assert!((r - 0.1).abs() < 1e-9, "r={r}");
+    }
+
+    #[test]
+    fn nonfinite_detected() {
+        assert!(matches!(
+            bisect(|x| if x > 0.5 { f64::NAN } else { x - 1.0 }, 0.0, 1.0, 1e-9, 50),
+            Err(RootError::NonFinite { .. })
+        ));
+    }
+}

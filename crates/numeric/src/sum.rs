@@ -1,0 +1,100 @@
+//! Compensated summation.
+//!
+//! The Euler inversion weights alternate in sign with magnitudes up to
+//! `10^{M/3}`; naive accumulation loses digits. Neumaier's variant of Kahan
+//! summation recovers them.
+
+/// A running Neumaier-compensated sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Returns the compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = NeumaierSum::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+/// Sums a slice with compensation.
+pub fn compensated_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<NeumaierSum>().total()
+}
+
+/// Compensated mean of a slice. Returns `None` on an empty slice.
+pub fn compensated_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(compensated_sum(values) / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_kahan_failure_case() {
+        // 1 + 1e100 + 1 − 1e100: naive f64 gives 0, compensated gives 2.
+        let vals = [1.0, 1e100, 1.0, -1e100];
+        let naive: f64 = vals.iter().sum();
+        assert_eq!(naive, 0.0);
+        assert_eq!(compensated_sum(&vals), 2.0);
+    }
+
+    #[test]
+    fn matches_naive_on_benign_input() {
+        let vals: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(compensated_sum(&vals), 500500.0);
+    }
+
+    #[test]
+    fn alternating_series_accuracy() {
+        // Σ (−1)^k / (k+1) for k = 0..n−1 → ln 2.
+        let n = 2_000_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|k| if k % 2 == 0 { 1.0 } else { -1.0 } / (k as f64 + 1.0))
+            .collect();
+        let got = compensated_sum(&vals);
+        // Truncation error of the series dominates; compensation keeps
+        // rounding error below it.
+        assert!((got - std::f64::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_empty_and_nonempty() {
+        assert_eq!(compensated_mean(&[]), None);
+        assert_eq!(compensated_mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

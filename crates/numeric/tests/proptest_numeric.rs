@@ -1,0 +1,90 @@
+//! Property-based tests for the numerical foundations.
+
+use cos_numeric::complex::Complex64;
+use cos_numeric::laplace::{cdf_from_lst, InversionConfig};
+use cos_numeric::special::{digamma, gamma_p, ln_gamma};
+use proptest::prelude::*;
+
+fn finite_complex() -> impl Strategy<Value = Complex64> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_addition_commutes(a in finite_complex(), b in finite_complex()) {
+        let x = a + b;
+        let y = b + a;
+        prop_assert!((x - y).abs() == 0.0);
+    }
+
+    #[test]
+    fn complex_multiplication_distributes(
+        a in finite_complex(),
+        b in finite_complex(),
+        c in finite_complex(),
+    ) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        let scale = a.abs() * (b.abs() + c.abs()) + 1.0;
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn complex_inverse_roundtrip(a in finite_complex()) {
+        prop_assume!(a.abs() > 1e-6);
+        let back = a.inv().inv();
+        prop_assert!((back - a).abs() <= 1e-10 * a.abs());
+    }
+
+    #[test]
+    fn exp_ln_roundtrip(re in -1e3f64..1e3, im in -1e3f64..1e3) {
+        let a = Complex64::new(re, im);
+        prop_assume!(a.abs() > 1e-6);
+        let back = a.ln().exp();
+        prop_assert!((back - a).abs() <= 1e-9 * a.abs());
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..150.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn digamma_recurrence(x in 0.05f64..150.0) {
+        prop_assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..50.0, x in 0.0f64..100.0, dx in 0.001f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_within_unit_interval(a in 0.1f64..50.0, x in 0.0f64..200.0) {
+        let p = gamma_p(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn erlang_inversion_matches_gamma_p(k in 1i32..8, rate in 0.2f64..20.0, t in 0.05f64..5.0) {
+        // CDF of Erlang(k, rate) via Laplace inversion equals gamma_p.
+        let lst = move |s: Complex64| (Complex64::from_real(rate) / (s + rate)).powi(k);
+        let cfg = InversionConfig::default();
+        let got = cdf_from_lst(&lst, t, &cfg);
+        let want = gamma_p(k as f64, rate * t);
+        prop_assert!((got - want).abs() < 1e-5, "k={k} rate={rate} t={t}: {got} vs {want}");
+    }
+
+    #[test]
+    fn inverted_cdf_is_monotone(rate in 0.5f64..10.0, t in 0.1f64..2.0, dt in 0.01f64..1.0) {
+        let lst = move |s: Complex64| Complex64::from_real(rate) / (s + rate);
+        let cfg = InversionConfig::default();
+        let a = cdf_from_lst(&lst, t, &cfg);
+        let b = cdf_from_lst(&lst, t + dt, &cfg);
+        prop_assert!(b >= a - 1e-7);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cos-queueing
+//!
+//! Queueing-theory building blocks for the ICPP'17 latency-percentile model:
+//!
+//! * [`service`] — the minimal service-time interface (LST + two moments)
+//!   that composed laws like the union operation can satisfy;
+//! * [`mg1`] — M/G/1 via the Pollaczek–Khinchin transform (the backend
+//!   request-processing queue and the frontend parse queue);
+//! * [`mm1k`] — M/M/1/K (the paper's approximation of the shared disk when
+//!   `N_be > 1`);
+//! * [`mm1`] / [`md1`] — M/M/1 and M/D/1 closed forms for validation
+//!   (high- and zero-variability ends of the service spectrum);
+//! * [`union_op`] — the union operation (§III-B), packing parse / index
+//!   lookup / metadata read / chunked data reads into one M/G/1-friendly
+//!   service unit.
+
+#![warn(missing_docs)]
+
+pub mod md1;
+pub mod mg1;
+pub mod mm1;
+pub mod mm1k;
+pub mod service;
+pub mod union_op;
+
+pub use mg1::{Mg1, QueueError};
+pub use md1::Md1;
+pub use mm1::Mm1;
+pub use mm1k::Mm1k;
+pub use service::{
+    from_distribution, from_dyn_service, DynServiceTime, ServiceTime, TransformServiceTime,
+};
+pub use union_op::UnionOperation;

@@ -1,0 +1,125 @@
+//! M/D/1 closed forms — deterministic service.
+//!
+//! Request parsing in the paper's testbed is "almost constant", so the
+//! frontend queue is effectively M/D/1; these closed forms pin the generic
+//! M/G/1 machinery from a second angle (the M/M/1 module pins the
+//! high-variability end, this pins the zero-variability end).
+
+/// An M/D/1 queue (`λ·b < 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Md1 {
+    arrival_rate: f64,
+    service_time: f64,
+}
+
+impl Md1 {
+    /// Creates a stable M/D/1 queue.
+    ///
+    /// # Panics
+    /// Panics unless rates are positive/finite and `ρ = λb < 1`.
+    pub fn new(arrival_rate: f64, service_time: f64) -> Self {
+        assert!(arrival_rate.is_finite() && arrival_rate > 0.0, "λ must be positive");
+        assert!(service_time.is_finite() && service_time > 0.0, "b must be positive");
+        assert!(arrival_rate * service_time < 1.0, "M/D/1 requires ρ < 1");
+        Md1 { arrival_rate, service_time }
+    }
+
+    /// Utilization `ρ = λ b`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.service_time
+    }
+
+    /// Mean waiting time `ρ b / (2 (1 − ρ))` (half the M/M/1 value).
+    pub fn mean_waiting(&self) -> f64 {
+        let rho = self.utilization();
+        rho * self.service_time / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean sojourn time.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_waiting() + self.service_time
+    }
+
+    /// Exact waiting-time CDF (Erlang's classic alternating series):
+    /// `P(W ≤ t) = (1 − ρ) Σ_{k=0}^{⌊t/b⌋} [λ(kb − t)]^k e^{−λ(kb−t)} / k!`.
+    pub fn waiting_cdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let rho = self.utilization();
+        let b = self.service_time;
+        let lambda = self.arrival_rate;
+        let kmax = (t / b).floor() as u64;
+        let mut sum = 0.0;
+        for k in 0..=kmax {
+            let x = lambda * (k as f64 * b - t); // ≤ 0
+            // x^k e^{-x} / k! computed in logs for stability at large k.
+            let term = if k == 0 {
+                (-x).exp()
+            } else {
+                let ln_mag =
+                    (k as f64) * x.abs().ln() - x - cos_numeric::special::ln_factorial(k);
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * ln_mag.exp()
+            };
+            sum += term;
+        }
+        ((1.0 - rho) * sum).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::from_distribution;
+    use crate::Mg1;
+    use cos_distr::Degenerate;
+    use cos_numeric::InversionConfig;
+
+    #[test]
+    fn mean_is_half_of_mm1() {
+        let q = Md1::new(1.0, 0.5);
+        // M/M/1 with same ρ: W̄ = ρb/(1−ρ) = 0.5; M/D/1 halves it.
+        assert!((q.mean_waiting() - 0.25).abs() < 1e-12);
+        assert!((q.mean_sojourn() - 0.75).abs() < 1e-12);
+        assert_eq!(q.utilization(), 0.5);
+    }
+
+    #[test]
+    fn cdf_has_atom_and_monotone() {
+        let q = Md1::new(1.2, 0.5);
+        assert!((q.waiting_cdf(0.0) - (1.0 - 0.6)).abs() < 1e-12, "atom = 1 − ρ");
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let t = i as f64 * 0.1;
+            let c = q.waiting_cdf(t);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-9, "t={t}");
+            prev = c;
+        }
+        assert!(q.waiting_cdf(10.0) > 0.999);
+    }
+
+    #[test]
+    fn matches_pk_transform_inversion() {
+        // The generic M/G/1 machinery with a Degenerate service must agree
+        // with Erlang's exact series.
+        let lambda = 1.5;
+        let b = 0.4;
+        let exact = Md1::new(lambda, b);
+        let generic = Mg1::new(lambda, from_distribution(Degenerate::new(b))).unwrap();
+        let cfg = InversionConfig::default();
+        for &t in &[0.1, 0.3, 0.6, 1.0, 2.0] {
+            let want = exact.waiting_cdf(t);
+            let got = generic.waiting_cdf(t, &cfg);
+            assert!((got - want).abs() < 5e-4, "t={t}: inversion {got} vs series {want}");
+        }
+        assert!((generic.mean_waiting() - exact.mean_waiting()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_saturation() {
+        Md1::new(2.0, 0.5);
+    }
+}

@@ -1,0 +1,236 @@
+//! M/M/1/K queue — the paper's approximation for the shared disk (§III-B).
+//!
+//! With `N_be` processes per storage device, at most `K = N_be` operations
+//! can be outstanding at the disk (each process blocks on its disk
+//! operation). The paper models the disk as M/G/1/K and, following
+//! J. M. Smith, approximates it with M/M/1/K so the sojourn-time LST has a
+//! closed form. An *accepted* operation that finds `j` customers in the
+//! system sojourns `Erlang(j+1, v)`, giving
+//!
+//! `L[S](s) = (v P₀ / (1 − P_K)) (1 − (λ/(v+s))^K) / (v − λ + s)`.
+
+use cos_numeric::laplace::{cdf_from_lst, InversionConfig};
+use cos_numeric::Complex64;
+
+/// An M/M/1/K queue (capacity K includes the customer in service).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1k {
+    arrival_rate: f64,
+    service_rate: f64,
+    capacity: usize,
+}
+
+impl Mm1k {
+    /// Creates an M/M/1/K queue.
+    ///
+    /// Finite-buffer queues are stable at any utilization, so `λ ≥ v` is
+    /// allowed (arrivals beyond capacity are simply blocked).
+    ///
+    /// # Panics
+    /// Panics unless rates are finite/positive and `capacity ≥ 1`.
+    pub fn new(arrival_rate: f64, service_rate: f64, capacity: usize) -> Self {
+        assert!(
+            arrival_rate.is_finite() && arrival_rate > 0.0,
+            "arrival rate must be positive, got {arrival_rate}"
+        );
+        assert!(
+            service_rate.is_finite() && service_rate > 0.0,
+            "service rate must be positive, got {service_rate}"
+        );
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Mm1k { arrival_rate, service_rate, capacity }
+    }
+
+    /// Arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Service rate `v`.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// System capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offered load `u = λ/v`.
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Steady-state probabilities `P_0..P_K`.
+    pub fn state_probabilities(&self) -> Vec<f64> {
+        let u = self.offered_load();
+        let k = self.capacity;
+        if (u - 1.0).abs() < 1e-12 {
+            return vec![1.0 / (k + 1) as f64; k + 1];
+        }
+        let norm = (1.0 - u) / (1.0 - u.powi(k as i32 + 1));
+        (0..=k).map(|i| norm * u.powi(i as i32)).collect()
+    }
+
+    /// Blocking probability `P_K` (operations finding a full buffer).
+    pub fn blocking_probability(&self) -> f64 {
+        *self.state_probabilities().last().expect("K+1 states")
+    }
+
+    /// Mean number in system `N = Σ i P_i`.
+    pub fn mean_number(&self) -> f64 {
+        self.state_probabilities()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 * p)
+            .sum()
+    }
+
+    /// Effective (accepted) arrival rate `λ (1 − P_K)`.
+    pub fn effective_arrival_rate(&self) -> f64 {
+        self.arrival_rate * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean sojourn time of accepted customers, `N / (λ (1 − P_K))`
+    /// (Little's law on the accepted stream).
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_number() / self.effective_arrival_rate()
+    }
+
+    /// Second raw moment of the sojourn time of accepted customers.
+    ///
+    /// A customer accepted in state `j` sojourns `Erlang(j+1, v)` with
+    /// `E[T²] = (j+1)(j+2)/v²`.
+    pub fn sojourn_second_moment(&self) -> f64 {
+        let probs = self.state_probabilities();
+        let pk = probs[self.capacity];
+        let v2 = self.service_rate * self.service_rate;
+        let mut acc = 0.0;
+        for (j, &p) in probs.iter().take(self.capacity).enumerate() {
+            let stages = (j + 1) as f64;
+            acc += p / (1.0 - pk) * stages * (stages + 1.0) / v2;
+        }
+        acc
+    }
+
+    /// LST of the sojourn time of accepted customers.
+    ///
+    /// Computed as the explicit Erlang mixture, which is numerically robust
+    /// for every offered load including `u = 1` where the closed form is
+    /// 0/0.
+    pub fn sojourn_lst(&self, s: Complex64) -> Complex64 {
+        let probs = self.state_probabilities();
+        let pk = probs[self.capacity];
+        let x = Complex64::from_real(self.service_rate) / (s + self.service_rate);
+        let mut acc = Complex64::ZERO;
+        let mut x_pow = x; // x^{j+1}
+        for &p in probs.iter().take(self.capacity) {
+            acc += x_pow * (p / (1.0 - pk));
+            x_pow *= x;
+        }
+        acc
+    }
+
+    /// Sojourn-time CDF at `t` via numerical inversion.
+    pub fn sojourn_cdf(&self, t: f64, config: &InversionConfig) -> f64 {
+        cdf_from_lst(&|s| self.sojourn_lst(s), t, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_numeric::special::gamma_p;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for &(l, v, k) in &[(1.0, 2.0, 4usize), (5.0, 2.0, 8), (2.0, 2.0, 3), (0.1, 10.0, 1)] {
+            let q = Mm1k::new(l, v, k);
+            let total: f64 = q.state_probabilities().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "λ={l} v={v} K={k}");
+        }
+    }
+
+    #[test]
+    fn capacity_one_is_erlang_loss() {
+        // M/M/1/1: P_1 = u/(1+u) (Erlang-B with one server).
+        let q = Mm1k::new(3.0, 2.0, 1);
+        let u: f64 = 1.5;
+        assert!((q.blocking_probability() - u / (1.0 + u)).abs() < 1e-12);
+        // Accepted customers sojourn exactly one service: mean 1/v.
+        assert!((q.mean_sojourn() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_load_uniform_states() {
+        let q = Mm1k::new(2.0, 2.0, 4);
+        let probs = q.state_probabilities();
+        for p in probs {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_k_approaches_mm1() {
+        // With ρ = 0.5 and K = 60, blocking is ~2^-60 and the mean number
+        // approaches ρ/(1−ρ) = 1.
+        let q = Mm1k::new(1.0, 2.0, 60);
+        assert!(q.blocking_probability() < 1e-15);
+        assert!((q.mean_number() - 1.0).abs() < 1e-9);
+        assert!((q.mean_sojourn() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sojourn_lst_at_origin_is_one() {
+        let q = Mm1k::new(4.0, 2.0, 6);
+        let got = q.sojourn_lst(Complex64::from_real(1e-15));
+        assert!((got - Complex64::ONE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sojourn_mean_matches_lst_derivative() {
+        let q = Mm1k::new(3.0, 2.0, 5);
+        let h = 1e-6;
+        let d = (q.sojourn_lst(Complex64::from_real(h)) - q.sojourn_lst(Complex64::from_real(-h)))
+            .re
+            / (2.0 * h);
+        assert!((-d - q.mean_sojourn()).abs() < 1e-5, "deriv {} mean {}", -d, q.mean_sojourn());
+    }
+
+    #[test]
+    fn sojourn_cdf_is_erlang_mixture() {
+        let q = Mm1k::new(2.0, 4.0, 3);
+        let probs = q.state_probabilities();
+        let pk = probs[3];
+        let cfg = InversionConfig::default();
+        for &t in &[0.1, 0.3, 0.8, 2.0] {
+            let want: f64 = (0..3)
+                .map(|j| probs[j] / (1.0 - pk) * gamma_p((j + 1) as f64, 4.0 * t))
+                .sum();
+            let got = q.sojourn_cdf(t, &cfg);
+            assert!((got - want).abs() < 1e-5, "t={t}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn overload_saturates_throughput() {
+        // λ ≫ v: effective rate approaches v, mean number approaches K.
+        let q = Mm1k::new(200.0, 2.0, 4);
+        assert!((q.effective_arrival_rate() - 2.0) / 2.0 < 0.02);
+        assert!(q.mean_number() > 3.9);
+    }
+
+    #[test]
+    fn second_moment_consistent_with_variance_bound() {
+        let q = Mm1k::new(3.0, 2.0, 4);
+        let m = q.mean_sojourn();
+        let m2 = q.sojourn_second_moment();
+        assert!(m2 >= m * m, "E[T²] {m2} must dominate E[T]² {}", m * m);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_capacity() {
+        Mm1k::new(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The service-time abstraction consumed by queueing formulas.
+//!
+//! Queueing results (Pollaczek–Khinchin, M/M/1/K sojourn) need only three
+//! things from a service-time law: its LST at complex arguments and its first
+//! two moments. This is deliberately weaker than
+//! [`cos_distr::ServiceDistribution`] — composed laws like the union
+//! operation have a closed-form LST and moments but no tractable pdf/cdf.
+
+use cos_numeric::Complex64;
+use std::sync::Arc;
+
+/// Minimal service-time interface: LST plus first two moments.
+pub trait ServiceTime: Send + Sync {
+    /// Laplace–Stieltjes transform `E[e^{−sB}]` at complex `s`.
+    fn lst(&self, s: Complex64) -> Complex64;
+    /// Mean `E[B]`.
+    fn mean(&self) -> f64;
+    /// Second raw moment `E[B²]`.
+    fn second_moment(&self) -> f64;
+}
+
+/// Every full service distribution is usable as a queueing service time.
+impl<T> ServiceTime for T
+where
+    T: cos_distr::ServiceDistribution + Send + Sync + ?Sized,
+{
+    fn lst(&self, s: Complex64) -> Complex64 {
+        cos_distr::Lst::lst(self, s)
+    }
+    fn mean(&self) -> f64 {
+        cos_distr::Distribution::mean(self)
+    }
+    fn second_moment(&self) -> f64 {
+        cos_distr::Distribution::second_moment(self)
+    }
+}
+
+/// Shared handle to a service time.
+pub type DynServiceTime = Arc<dyn ServiceTime>;
+
+/// Adapts a `cos_distr` service distribution into a [`DynServiceTime`].
+pub fn from_distribution<T>(d: T) -> DynServiceTime
+where
+    T: cos_distr::ServiceDistribution + Send + Sync + 'static,
+{
+    Arc::new(d)
+}
+
+/// Adapts an already-boxed `cos_distr` distribution handle. (Unsized
+/// cross-trait coercion isn't expressible directly, so this wraps the
+/// handle in a zero-cost delegating adapter.)
+pub fn from_dyn_service(d: cos_distr::DynService) -> DynServiceTime {
+    struct Adapter(cos_distr::DynService);
+    impl ServiceTime for Adapter {
+        fn lst(&self, s: Complex64) -> Complex64 {
+            cos_distr::Lst::lst(&*self.0, s)
+        }
+        fn mean(&self) -> f64 {
+            cos_distr::Distribution::mean(&*self.0)
+        }
+        fn second_moment(&self) -> f64 {
+            cos_distr::Distribution::second_moment(&*self.0)
+        }
+    }
+    Arc::new(Adapter(d))
+}
+
+/// A service time given by explicit closures/moments; used when a law is
+/// only available in transform space (e.g. the M/M/1/K "disk service time"
+/// of §III-B).
+pub struct TransformServiceTime {
+    lst: Box<dyn Fn(Complex64) -> Complex64 + Send + Sync>,
+    mean: f64,
+    second_moment: f64,
+}
+
+impl TransformServiceTime {
+    /// Wraps an LST closure with its first two moments.
+    pub fn new(
+        lst: impl Fn(Complex64) -> Complex64 + Send + Sync + 'static,
+        mean: f64,
+        second_moment: f64,
+    ) -> Self {
+        assert!(mean >= 0.0 && second_moment >= 0.0, "moments must be nonnegative");
+        TransformServiceTime { lst: Box::new(lst), mean, second_moment }
+    }
+}
+
+impl std::fmt::Debug for TransformServiceTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransformServiceTime")
+            .field("mean", &self.mean)
+            .field("second_moment", &self.second_moment)
+            .finish()
+    }
+}
+
+impl ServiceTime for TransformServiceTime {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        (self.lst)(s)
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn second_moment(&self) -> f64 {
+        self.second_moment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_distr::{Exponential, Gamma};
+
+    #[test]
+    fn distribution_adapts_to_service_time() {
+        let svc = from_distribution(Exponential::new(2.0));
+        assert_eq!(svc.mean(), 0.5);
+        assert_eq!(svc.second_moment(), 0.5);
+        let s = Complex64::from_real(1.0);
+        assert!((svc.lst(s).re - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transform_service_time_passthrough() {
+        let g = Gamma::new(2.0, 4.0);
+        let t = TransformServiceTime::new(
+            move |s| cos_distr::Lst::lst(&g, s),
+            cos_distr::Distribution::mean(&g),
+            cos_distr::Distribution::second_moment(&g),
+        );
+        assert_eq!(t.mean(), 0.5);
+        let s = Complex64::new(0.3, 0.4);
+        assert!((t.lst(s) - cos_distr::Lst::lst(&g, s)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn transform_rejects_negative_moments() {
+        TransformServiceTime::new(|_| Complex64::ONE, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The event calendar: a time-ordered queue of future events.
+//!
+//! Deterministic: ties at equal timestamps break by insertion order, so a
+//! simulation run is a pure function of its seed and configuration.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A future-event calendar.
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a nonnegative `delay` from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.schedule_at(SimTime::new(3.0), "c");
+        c.schedule_at(SimTime::new(1.0), "a");
+        c.schedule_at(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| c.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut c = Calendar::new();
+        for i in 0..100 {
+            c.schedule_at(SimTime::new(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| c.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut c = Calendar::new();
+        c.schedule_in(5.0, ());
+        assert_eq!(c.now(), SimTime::ZERO);
+        let (t, _) = c.pop().unwrap();
+        assert_eq!(t.seconds(), 5.0);
+        assert_eq!(c.now().seconds(), 5.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut c = Calendar::new();
+        c.schedule_in(1.0, "first");
+        c.pop();
+        c.schedule_in(1.0, "second");
+        let (t, _) = c.pop().unwrap();
+        assert_eq!(t.seconds(), 2.0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut c = Calendar::new();
+        c.schedule_in(2.0, ());
+        assert_eq!(c.peek_time().unwrap().seconds(), 2.0);
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_scheduling_into_past() {
+        let mut c = Calendar::new();
+        c.schedule_in(5.0, ());
+        c.pop();
+        c.schedule_at(SimTime::new(1.0), ());
+    }
+}

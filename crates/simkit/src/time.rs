@@ -1,0 +1,123 @@
+//! Simulation time.
+//!
+//! Seconds as `f64`, wrapped in a newtype so that event ordering is total
+//! (via `total_cmp`) and accidental mixing with plain numbers is a type
+//! error at component boundaries.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0, "SimTime must be finite and >= 0, got {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Seconds since simulation start.
+    pub fn seconds(&self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(&self, earlier: SimTime) -> f64 {
+        let d = self.0 - earlier.0;
+        assert!(d >= 0.0, "negative elapsed time: {} since {}", self.0, earlier.0);
+        d
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        assert!(rhs.is_finite() && rhs >= 0.0, "cannot advance time by {rhs}");
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 0.5;
+        assert!(b > a);
+        assert_eq!(b.seconds(), 1.5);
+        assert_eq!(b - a, 0.5);
+        assert_eq!(b.since(a), 0.5);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += 2.0;
+        assert_eq!(t.seconds(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_construction() {
+        SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_advance() {
+        let _ = SimTime::new(1.0) + (-0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_elapsed() {
+        SimTime::new(1.0).since(SimTime::new(2.0));
+    }
+}

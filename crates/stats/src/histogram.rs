@@ -1,0 +1,196 @@
+//! Fixed-width latency histogram.
+//!
+//! Cheap enough for hot simulator paths, precise enough for percentile
+//! series in the figure reproductions (sub-bin linear interpolation).
+
+/// A histogram over `[0, max)` with uniform bins plus an overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, max)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics unless `max > 0` and `bins >= 1`.
+    pub fn new(max: f64, bins: usize) -> Self {
+        assert!(max.is_finite() && max > 0.0, "histogram max must be positive, got {max}");
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Histogram {
+            bin_width: max / bins as f64,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one value (negative values clamp into the first bin).
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "histogram values must be finite, got {value}");
+        let v = value.max(0.0);
+        let idx = (v / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
+    }
+
+    /// Fraction of values `<= threshold`, with sub-bin interpolation.
+    pub fn fraction_within(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if threshold < 0.0 {
+            return 0.0;
+        }
+        let pos = threshold / self.bin_width;
+        let full = pos.floor() as usize;
+        let mut acc = 0u64;
+        for &c in self.counts.iter().take(full.min(self.counts.len())) {
+            acc += c;
+        }
+        let mut frac = acc as f64;
+        if full < self.counts.len() {
+            frac += self.counts[full] as f64 * (pos - full as f64);
+        }
+        (frac / self.total as f64).min(1.0)
+    }
+
+    /// Approximate `p`-quantile (`None` when empty).
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = p * self.total as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target && c > 0 {
+                let within = (target - acc) / c as f64;
+                return Some((i as f64 + within) * self.bin_width);
+            }
+            acc = next;
+        }
+        // Overflow bin: report the lower edge of overflow.
+        Some(self.bin_width * self.counts.len() as f64)
+    }
+
+    /// Fraction of values that fell past the covered range.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        assert!(
+            (self.bin_width - other.bin_width).abs() < 1e-12 * self.bin_width,
+            "bin width mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(10.0, 10);
+        for v in [0.5, 1.5, 2.5, 3.5, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.overflow_fraction() - 0.2).abs() < 1e-12);
+        assert!((h.mean().unwrap() - 21.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_within_interpolates() {
+        let mut h = Histogram::new(10.0, 10);
+        // 10 values uniform in [0,1): all in first bin.
+        for i in 0..10 {
+            h.record(i as f64 / 10.0);
+        }
+        assert!((h.fraction_within(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.fraction_within(1.0), 1.0);
+        assert_eq!(h.fraction_within(-1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let mut h = Histogram::new(100.0, 1000);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let q = h.quantile(0.9).unwrap();
+        assert!((q - 90.0).abs() < 0.5, "q = {q}");
+        assert_eq!(Histogram::new(1.0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(10.0, 5);
+        let mut b = Histogram::new(10.0, 5);
+        a.record(1.0);
+        b.record(2.0);
+        b.record(20.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.overflow_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(10.0, 5);
+        let b = Histogram::new(10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        Histogram::new(1.0, 1).record(f64::NAN);
+    }
+}

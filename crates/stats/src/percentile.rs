@@ -1,0 +1,225 @@
+//! Percentile estimation: exact (sorted-sample) and streaming (P²).
+//!
+//! The evaluation counts "percentile of requests meeting SLA" per time bin
+//! (§V-B); exact percentiles are used offline while the P² estimator lets
+//! long simulator runs track quantiles in O(1) memory.
+
+/// Exact percentile of a sample with linear interpolation.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 1]`.
+pub fn exact_percentile(values: &mut [f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = values.len();
+    if n == 1 {
+        return values[0];
+    }
+    let pos = p * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    values[lo] * (1.0 - frac) + values[hi] * frac
+}
+
+/// Fraction of values `<= threshold` (the "percentile of requests meeting
+/// SLA" in the paper's sense).
+pub fn fraction_within(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Jain & Chlamtac's P² streaming quantile estimator.
+///
+/// Tracks a single quantile with five markers and no sample storage.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "P2 requires p in (0,1), got {p}");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+        // Adjust interior markers with the parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let below = self.positions[i] - self.positions[i - 1];
+            let above = self.positions[i + 1] - self.positions[i];
+            if (d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = (i as f64 + sign) as usize;
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (`None` with fewer than 5 observations is
+    /// approximated from the raw buffer; completely empty returns `None`).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut buf = self.initial.clone();
+            return Some(exact_percentile(&mut buf, self.p));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentile_basics() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(exact_percentile(&mut v, 0.0), 1.0);
+        assert_eq!(exact_percentile(&mut v, 1.0), 4.0);
+        assert_eq!(exact_percentile(&mut v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn fraction_within_counts_inclusive() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_within(&v, 2.0), 0.5);
+        assert_eq!(fraction_within(&v, 0.5), 0.0);
+        assert_eq!(fraction_within(&v, 10.0), 1.0);
+        assert_eq!(fraction_within(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn p2_matches_exact_on_uniform_stream() {
+        let mut est = P2Quantile::new(0.95);
+        let mut vals = Vec::new();
+        // Deterministic pseudo-random stream (LCG).
+        let mut state = 12345u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            est.observe(x);
+            vals.push(x);
+        }
+        let exact = exact_percentile(&mut vals, 0.95);
+        let got = est.estimate().unwrap();
+        assert!((got - exact).abs() < 0.01, "p2 {got} exact {exact}");
+    }
+
+    #[test]
+    fn p2_with_few_samples_falls_back() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.observe(3.0);
+        est.observe(1.0);
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 2);
+    }
+
+    #[test]
+    fn p2_skewed_distribution() {
+        // Exponential-ish data via inverse transform of the LCG stream.
+        let mut est = P2Quantile::new(0.9);
+        let mut vals = Vec::new();
+        let mut state = 999u64;
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+            let x = -u.ln();
+            est.observe(x);
+            vals.push(x);
+        }
+        let exact = exact_percentile(&mut vals, 0.9);
+        let got = est.estimate().unwrap();
+        assert!((got - exact).abs() / exact < 0.03, "p2 {got} exact {exact}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn exact_percentile_rejects_empty() {
+        exact_percentile(&mut [], 0.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! SLA meters: time-binned counts of requests meeting a latency bound.
+//!
+//! The paper's testbed "counts the number of requests that meet or violate
+//! the SLA for each storage device ... for each minute" and evaluates the
+//! percentile over 5-minute windows of a fixed arrival rate (§V-B). This
+//! module reproduces that bookkeeping.
+
+/// Counts met/violated requests per fixed-width time bin.
+#[derive(Debug, Clone)]
+pub struct SlaMeter {
+    sla: f64,
+    bin_width: f64,
+    bins: Vec<(u64, u64)>, // (met, total)
+}
+
+impl SlaMeter {
+    /// Creates a meter for latency bound `sla` with time bins of width
+    /// `bin_width` (both in the same unit as recorded timestamps/latencies).
+    ///
+    /// # Panics
+    /// Panics unless both arguments are finite and positive.
+    pub fn new(sla: f64, bin_width: f64) -> Self {
+        assert!(sla.is_finite() && sla > 0.0, "sla must be positive, got {sla}");
+        assert!(bin_width.is_finite() && bin_width > 0.0, "bin width must be positive, got {bin_width}");
+        SlaMeter { sla, bin_width, bins: Vec::new() }
+    }
+
+    /// The latency bound.
+    pub fn sla(&self) -> f64 {
+        self.sla
+    }
+
+    /// Records a completed request: completion timestamp `at`, measured
+    /// `latency`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite inputs.
+    pub fn record(&mut self, at: f64, latency: f64) {
+        assert!(at.is_finite() && at >= 0.0, "timestamp must be >= 0, got {at}");
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be >= 0, got {latency}");
+        let idx = (at / self.bin_width) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, (0, 0));
+        }
+        let (met, total) = &mut self.bins[idx];
+        if latency <= self.sla {
+            *met += 1;
+        }
+        *total += 1;
+    }
+
+    /// Number of time bins touched.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Fraction meeting the SLA within bin `idx` (`None` for empty bins).
+    pub fn bin_fraction(&self, idx: usize) -> Option<f64> {
+        let (met, total) = *self.bins.get(idx)?;
+        if total == 0 {
+            None
+        } else {
+            Some(met as f64 / total as f64)
+        }
+    }
+
+    /// Fraction meeting the SLA over the bin range `[from, to)`, weighting
+    /// by request counts (`None` if no requests landed there).
+    pub fn window_fraction(&self, from: usize, to: usize) -> Option<f64> {
+        let mut met = 0u64;
+        let mut total = 0u64;
+        for (m, t) in self.bins.iter().take(to.min(self.bins.len())).skip(from) {
+            met += m;
+            total += t;
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(met as f64 / total as f64)
+        }
+    }
+
+    /// Overall fraction meeting the SLA (`None` if nothing was recorded).
+    pub fn overall_fraction(&self) -> Option<f64> {
+        self.window_fraction(0, self.bins.len())
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|(_, t)| t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_bins() {
+        let mut m = SlaMeter::new(0.1, 60.0);
+        m.record(10.0, 0.05); // bin 0, met
+        m.record(30.0, 0.50); // bin 0, violated
+        m.record(70.0, 0.01); // bin 1, met
+        assert_eq!(m.bin_count(), 2);
+        assert_eq!(m.bin_fraction(0), Some(0.5));
+        assert_eq!(m.bin_fraction(1), Some(1.0));
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn boundary_latency_meets_sla() {
+        let mut m = SlaMeter::new(0.1, 1.0);
+        m.record(0.0, 0.1);
+        assert_eq!(m.bin_fraction(0), Some(1.0));
+    }
+
+    #[test]
+    fn window_fraction_weights_by_count() {
+        let mut m = SlaMeter::new(1.0, 1.0);
+        // Bin 0: 3 requests all met; bin 1: 1 request violated.
+        for _ in 0..3 {
+            m.record(0.5, 0.5);
+        }
+        m.record(1.5, 2.0);
+        assert_eq!(m.window_fraction(0, 2), Some(0.75));
+        assert_eq!(m.overall_fraction(), Some(0.75));
+    }
+
+    #[test]
+    fn empty_windows_are_none() {
+        let m = SlaMeter::new(1.0, 1.0);
+        assert_eq!(m.overall_fraction(), None);
+        assert_eq!(m.bin_fraction(5), None);
+        let mut m2 = SlaMeter::new(1.0, 1.0);
+        m2.record(5.5, 0.1); // bins 0..5 exist but are empty
+        assert_eq!(m2.bin_fraction(0), None);
+        assert_eq!(m2.window_fraction(0, 3), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_latency() {
+        SlaMeter::new(1.0, 1.0).record(0.0, -0.1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The `fig*`/`table*` binaries print paper-style rows; this keeps the
+//! formatting in one place and testable.
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals ("4.44%").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a latency in seconds as milliseconds ("12.3ms").
+pub fn ms(x: f64) -> String {
+    format!("{:.1}ms", 1000.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["Scenario", "SLA", "Mean"]);
+        t.push_row(vec!["S1", "10ms", "2.91%"]);
+        t.push_row(vec!["S16", "100ms", "1.96%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Scenario"));
+        assert!(lines[2].starts_with("S1"));
+        // Columns align: "SLA" column starts at the same offset everywhere.
+        let off = lines[0].find("SLA").unwrap();
+        assert_eq!(&lines[3][off..off + 5], "100ms");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0444), "4.44%");
+        assert_eq!(ms(0.0123), "12.3ms");
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut t = TextTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+}

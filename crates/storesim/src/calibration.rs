@@ -1,0 +1,152 @@
+//! Calibration rigs — the benchmarking procedures of §IV-A.
+//!
+//! *Disk benchmarking*: fill the disk, then sequentially access randomly
+//! selected objects with at most one outstanding operation, recording the
+//! latency of each index lookup / metadata read / data read. With no
+//! queueing the recorded latencies are raw service times, which are then
+//! fitted (Fig. 5).
+//!
+//! *Parse benchmarking*: a closed-loop workload reading one cached object,
+//! again with one outstanding request, recording `Dfp` (frontend receive →
+//! respond) and `Dbp` (backend receive → respond).
+
+use crate::config::{CacheConfig, ClusterConfig};
+use crate::metrics::MetricsConfig;
+use crate::sim::run_simulation;
+use cos_distr::Empirical;
+use cos_simkit::RngStreams;
+use cos_workload::TraceEvent;
+
+/// Recorded per-operation disk service-time samples.
+#[derive(Debug)]
+pub struct DiskBenchmark {
+    /// Index lookup latencies.
+    pub index: Empirical,
+    /// Metadata read latencies.
+    pub meta: Empirical,
+    /// Data read latencies.
+    pub data: Empirical,
+}
+
+/// Benchmarks the disk of `cfg` with `n` operations of each kind and at
+/// most one outstanding operation (§IV-A).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn benchmark_disk(cfg: &ClusterConfig, n: usize) -> DiskBenchmark {
+    assert!(n > 0, "disk benchmark needs at least one operation");
+    // Outstanding = 1 means the recorded latency of each operation equals
+    // its raw service time: drive the device's service-time laws directly
+    // through the same sampling path the simulator uses.
+    let streams = RngStreams::new(cfg.seed);
+    let mut rng = streams.stream("disk-benchmark", 0);
+    let index: Vec<f64> = (0..n).map(|_| cfg.disk.index.sample(&mut rng)).collect();
+    let meta: Vec<f64> = (0..n).map(|_| cfg.disk.meta.sample(&mut rng)).collect();
+    let data: Vec<f64> = (0..n).map(|_| cfg.disk.data.sample(&mut rng)).collect();
+    DiskBenchmark {
+        index: Empirical::new(index),
+        meta: Empirical::new(meta),
+        data: Empirical::new(data),
+    }
+}
+
+/// Results of the request-parsing benchmark.
+#[derive(Debug)]
+pub struct ParseBenchmark {
+    /// `Dfp`: frontend receive → respond, per request.
+    pub dfp: Empirical,
+    /// `Dbp`: backend receive → respond, per request.
+    pub dbp: Empirical,
+    /// Estimated frontend parsing latency (`Dfp − Dbp`; the network share is
+    /// not on the simulated response path, see §IV-A).
+    pub parse_fe_estimate: f64,
+    /// Estimated backend parsing latency (`Dbp` minus memory-hit latencies).
+    pub parse_be_estimate: f64,
+}
+
+/// Benchmarks request parsing (§IV-A): `n` spaced single-object requests
+/// with a fully warm cache, so no request queues and nothing touches disk.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn benchmark_parse(cfg: &ClusterConfig, n: usize) -> ParseBenchmark {
+    assert!(n > 0, "parse benchmark needs at least one request");
+    let mut quiet = cfg.clone();
+    // All operations served from memory: the cached-object closed loop.
+    quiet.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 };
+    // One outstanding request: spacing far beyond any parse latency.
+    let gap = 0.1;
+    let trace: Vec<TraceEvent> = (0..n)
+        .map(|i| TraceEvent { at: i as f64 * gap, object: 0, size: 1 })
+        .collect();
+    let metrics = run_simulation(
+        quiet.clone(),
+        MetricsConfig {
+            slas: vec![],
+            windows: vec![],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    let dfp: Vec<f64> = metrics.raw().iter().map(|r| r.latency).collect();
+    let dbp: Vec<f64> = metrics.raw().iter().map(|r| r.be_latency).collect();
+    let dfp = Empirical::new(dfp);
+    let dbp = Empirical::new(dbp);
+    let mem_share = 3.0 * quiet.mem_latency;
+    ParseBenchmark {
+        parse_fe_estimate: (dfp.mean() - dbp.mean()).max(0.0),
+        parse_be_estimate: (dbp.mean() - mem_share).max(0.0),
+        dfp,
+        dbp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_distr::{fit_best, Family};
+
+    #[test]
+    fn disk_benchmark_recovers_configured_means() {
+        let cfg = ClusterConfig::paper_s1();
+        let b = benchmark_disk(&cfg, 20_000);
+        assert!((b.index.mean() - cfg.disk.index.mean()).abs() / cfg.disk.index.mean() < 0.05);
+        assert!((b.meta.mean() - cfg.disk.meta.mean()).abs() / cfg.disk.meta.mean() < 0.05);
+        assert!((b.data.mean() - cfg.disk.data.mean()).abs() / cfg.disk.data.mean() < 0.05);
+    }
+
+    #[test]
+    fn gamma_wins_the_fig5_fit_on_benchmarked_latencies() {
+        let cfg = ClusterConfig::paper_s1();
+        let b = benchmark_disk(&cfg, 20_000);
+        for sample in [&b.index, &b.meta, &b.data] {
+            let report = fit_best(sample);
+            assert_eq!(report.best().fitted.family(), Family::Gamma);
+        }
+    }
+
+    #[test]
+    fn parse_benchmark_recovers_parse_costs() {
+        let cfg = ClusterConfig::paper_s1();
+        let b = benchmark_parse(&cfg, 200);
+        // parse_be is Degenerate(0.5 ms); Dbp also contains 3 memory hits.
+        assert!((b.parse_be_estimate - 0.0005).abs() < 1e-6, "be {}", b.parse_be_estimate);
+        // Dfp − Dbp = parse_fe + accept cost.
+        assert!(
+            (b.parse_fe_estimate - (0.0003 + cfg.accept_cost)).abs() < 1e-6,
+            "fe {}",
+            b.parse_fe_estimate
+        );
+        assert_eq!(b.dfp.len(), 200);
+        assert!(b.dbp.mean() < b.dfp.mean());
+    }
+
+    #[test]
+    fn parse_benchmark_has_no_queueing() {
+        let cfg = ClusterConfig::paper_s1();
+        let b = benchmark_parse(&cfg, 100);
+        // Constant parse distributions ⇒ essentially zero variance.
+        assert!(b.dfp.variance() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cos-storesim
+//!
+//! A discrete-event simulator of an event-driven, two-tier cloud object
+//! storage system — the substitute for the paper's OpenStack Swift testbed
+//! (§V-A). See `DESIGN.md` §2 for the substitution argument: the analytic
+//! model's claims are about queueing mechanics (FCFS operation interleaving,
+//! batched `accept()`, disk blocking, chunked reads), all of which the
+//! simulator reproduces mechanistically.
+//!
+//! * [`config`] — cluster configuration with paper-scenario presets;
+//! * [`cache`] — Bernoulli and capacity-bounded LRU backend caches;
+//! * [`sim`] — the event loop;
+//! * [`metrics`] — SLA accounting per rate window plus the online metrics of
+//!   §IV-B (arrival rates, miss ratios, disk service sums, WTA samples);
+//! * [`calibration`] — the benchmarking rigs of §IV-A (disk and parse).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod calibration;
+pub mod config;
+pub mod metrics;
+pub mod sim;
+
+pub use cache::{BernoulliCache, Cache, Lookup, LruCache};
+pub use calibration::{benchmark_disk, benchmark_parse, DiskBenchmark, ParseBenchmark};
+pub use config::{
+    AcceptMode, CacheConfig, ClusterConfig, DeviceOverride, DiskOpKind, DiskProfile, TimeoutRetry,
+};
+pub use metrics::{CompletedRequest, DeviceCounters, Metrics, MetricsConfig, OpSample};
+pub use sim::{run_simulation, Simulation, PARTITIONS, REPLICAS};

@@ -1,0 +1,402 @@
+//! Simulation measurement: SLA accounting per rate window, per-device online
+//! metrics (§IV-B inputs), WTA samples, and optional raw records.
+//!
+//! The paper's system "counts the number of requests that meet or violate
+//! the SLA for each storage device at both frontend and backend tiers for
+//! each minute" and evaluates per 5-minute constant-rate windows; windows
+//! here come straight from the workload's [`cos_workload::PhaseSchedule`].
+
+use crate::config::DiskOpKind;
+
+/// Configuration of what to measure.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// SLA latency bounds in seconds (paper: 10 ms, 50 ms, 100 ms).
+    pub slas: Vec<f64>,
+    /// Measured windows `(start, end, nominal rate)` in seconds.
+    pub windows: Vec<(f64, f64, f64)>,
+    /// Keep raw per-request records (arrival, total latency, backend
+    /// latency, device).
+    pub collect_raw: bool,
+    /// Keep every `op_sample_stride`-th per-operation latency sample
+    /// (0 disables).
+    pub op_sample_stride: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            slas: vec![0.010, 0.050, 0.100],
+            windows: Vec::new(),
+            collect_raw: false,
+            op_sample_stride: 0,
+        }
+    }
+}
+
+/// A completed request (raw record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// Arrival time at the frontend.
+    pub arrival: f64,
+    /// Frontend-measured response latency (arrival → backend starts
+    /// responding), the paper's measurement point.
+    pub latency: f64,
+    /// Backend share: from the HTTP request entering the backend op queue to
+    /// response start (the paper's `Dbp`).
+    pub be_latency: f64,
+    /// Waiting time for being accept()-ed.
+    pub wta: f64,
+    /// Serving device.
+    pub device: u16,
+}
+
+/// One sampled backend operation (for the §IV-B threshold estimator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSample {
+    /// Operation kind.
+    pub kind: DiskOpKind,
+    /// Observed operation latency in seconds (memory hits are microseconds,
+    /// disk misses are milliseconds).
+    pub latency: f64,
+    /// Ground truth: did this operation actually visit the disk?
+    pub was_miss: bool,
+}
+
+/// Per-device counters for the online metrics of §IV-B.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceCounters {
+    /// HTTP requests routed to this device.
+    pub requests: u64,
+    /// Index lookups issued / missed.
+    pub index_ops: u64,
+    /// Index lookups that went to disk.
+    pub index_miss: u64,
+    /// Metadata reads issued.
+    pub meta_ops: u64,
+    /// Metadata reads that went to disk.
+    pub meta_miss: u64,
+    /// Data chunk reads issued (all chunks).
+    pub data_ops: u64,
+    /// Data chunk reads that went to disk.
+    pub data_miss: u64,
+    /// Total disk busy time (seconds).
+    pub disk_busy: f64,
+    /// Disk operations served.
+    pub disk_ops: u64,
+    /// Summed disk service time per kind `[index, meta, data]`.
+    pub disk_service_sum: [f64; 3],
+    /// Disk operations per kind.
+    pub disk_kind_ops: [u64; 3],
+    /// Summed waiting-time-for-accept over accepted connections.
+    pub wta_sum: f64,
+    /// Accepted connections.
+    pub wta_count: u64,
+    /// Maximum observed WTA.
+    pub wta_max: f64,
+}
+
+impl DeviceCounters {
+    /// Measured miss ratio of a kind (`None` with no operations).
+    pub fn miss_ratio(&self, kind: DiskOpKind) -> Option<f64> {
+        let (miss, ops) = match kind {
+            DiskOpKind::Index => (self.index_miss, self.index_ops),
+            DiskOpKind::Meta => (self.meta_miss, self.meta_ops),
+            DiskOpKind::Data => (self.data_miss, self.data_ops),
+        };
+        if ops == 0 {
+            None
+        } else {
+            Some(miss as f64 / ops as f64)
+        }
+    }
+
+    /// Mean observed raw disk service time across kinds (what Linux's
+    /// aggregate disk statistics would report).
+    pub fn mean_disk_service(&self) -> Option<f64> {
+        if self.disk_ops == 0 {
+            None
+        } else {
+            Some(self.disk_service_sum.iter().sum::<f64>() / self.disk_ops as f64)
+        }
+    }
+
+    /// Mean WTA (`None` with no accepted connections).
+    pub fn mean_wta(&self) -> Option<f64> {
+        if self.wta_count == 0 {
+            None
+        } else {
+            Some(self.wta_sum / self.wta_count as f64)
+        }
+    }
+}
+
+fn kind_idx(kind: DiskOpKind) -> usize {
+    match kind {
+        DiskOpKind::Index => 0,
+        DiskOpKind::Meta => 1,
+        DiskOpKind::Data => 2,
+    }
+}
+
+/// All measurements from one simulation run.
+#[derive(Debug)]
+pub struct Metrics {
+    config: MetricsConfig,
+    /// `[window][sla] → (met, total)`.
+    window_counts: Vec<Vec<(u64, u64)>>,
+    /// `[window][device] → requests arrived`.
+    window_device_requests: Vec<Vec<u64>>,
+    /// `[window][device] → data chunk reads issued`.
+    window_device_data_ops: Vec<Vec<u64>>,
+    /// Per-device counters over the whole run.
+    pub devices: Vec<DeviceCounters>,
+    raw: Vec<CompletedRequest>,
+    op_samples: Vec<OpSample>,
+    op_counter: u64,
+    completed: u64,
+    retries: u64,
+}
+
+impl Metrics {
+    /// Creates a metrics sink for `devices` storage devices.
+    pub fn new(config: MetricsConfig, devices: usize) -> Self {
+        let nw = config.windows.len();
+        let ns = config.slas.len();
+        Metrics {
+            window_counts: vec![vec![(0, 0); ns]; nw],
+            window_device_requests: vec![vec![0; devices]; nw],
+            window_device_data_ops: vec![vec![0; devices]; nw],
+            devices: vec![DeviceCounters::default(); devices],
+            raw: Vec::new(),
+            op_samples: Vec::new(),
+            op_counter: 0,
+            completed: 0,
+            retries: 0,
+            config,
+        }
+    }
+
+    /// The metrics configuration.
+    pub fn config(&self) -> &MetricsConfig {
+        &self.config
+    }
+
+    /// Window index containing time `t`.
+    pub fn window_of(&self, t: f64) -> Option<usize> {
+        self.config
+            .windows
+            .iter()
+            .position(|&(s, e, _)| t >= s && t < e)
+    }
+
+    /// Records a completed request.
+    pub fn complete(&mut self, rec: CompletedRequest) {
+        self.completed += 1;
+        if let Some(w) = self.window_of(rec.arrival) {
+            for (i, &sla) in self.config.slas.iter().enumerate() {
+                let (met, total) = &mut self.window_counts[w][i];
+                if rec.latency <= sla {
+                    *met += 1;
+                }
+                *total += 1;
+            }
+        }
+        if self.config.collect_raw {
+            self.raw.push(rec);
+        }
+    }
+
+    /// Records a request being routed to a device (at frontend completion).
+    pub fn route(&mut self, t: f64, device: u16) {
+        self.devices[device as usize].requests += 1;
+        if let Some(w) = self.window_of(t) {
+            self.window_device_requests[w][device as usize] += 1;
+        }
+    }
+
+    /// Records a cache access outcome for an operation.
+    pub fn cache_access(&mut self, t: f64, device: u16, kind: DiskOpKind, miss: bool) {
+        let d = &mut self.devices[device as usize];
+        match kind {
+            DiskOpKind::Index => {
+                d.index_ops += 1;
+                if miss {
+                    d.index_miss += 1;
+                }
+            }
+            DiskOpKind::Meta => {
+                d.meta_ops += 1;
+                if miss {
+                    d.meta_miss += 1;
+                }
+            }
+            DiskOpKind::Data => {
+                d.data_ops += 1;
+                if miss {
+                    d.data_miss += 1;
+                }
+                if let Some(w) = self.window_of(t) {
+                    self.window_device_data_ops[w][device as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a disk operation's sampled service time.
+    pub fn disk_service(&mut self, device: u16, kind: DiskOpKind, service: f64) {
+        let d = &mut self.devices[device as usize];
+        d.disk_busy += service;
+        d.disk_ops += 1;
+        d.disk_service_sum[kind_idx(kind)] += service;
+        d.disk_kind_ops[kind_idx(kind)] += 1;
+    }
+
+    /// Records one operation latency sample (threshold-estimator input).
+    pub fn op_sample(&mut self, kind: DiskOpKind, latency: f64, was_miss: bool) {
+        if self.config.op_sample_stride == 0 {
+            return;
+        }
+        self.op_counter += 1;
+        if self.op_counter.is_multiple_of(self.config.op_sample_stride) {
+            self.op_samples.push(OpSample { kind, latency, was_miss });
+        }
+    }
+
+    /// Records a waiting-time-for-accept sample.
+    pub fn wta(&mut self, device: u16, wta: f64) {
+        let d = &mut self.devices[device as usize];
+        d.wta_sum += wta;
+        d.wta_count += 1;
+        d.wta_max = d.wta_max.max(wta);
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Records a frontend timeout retry.
+    pub fn retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Total frontend timeout retries issued.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Observed fraction of requests meeting `slas[sla_idx]` in window
+    /// `window` (`None` for empty windows).
+    pub fn observed_fraction(&self, window: usize, sla_idx: usize) -> Option<f64> {
+        let (met, total) = *self.window_counts.get(window)?.get(sla_idx)?;
+        if total == 0 {
+            None
+        } else {
+            Some(met as f64 / total as f64)
+        }
+    }
+
+    /// Requests routed to `device` during `window`.
+    pub fn window_device_requests(&self, window: usize, device: usize) -> u64 {
+        self.window_device_requests[window][device]
+    }
+
+    /// Data chunk reads issued for `device` during `window`.
+    pub fn window_device_data_ops(&self, window: usize, device: usize) -> u64 {
+        self.window_device_data_ops[window][device]
+    }
+
+    /// Raw per-request records (empty unless `collect_raw`).
+    pub fn raw(&self) -> &[CompletedRequest] {
+        &self.raw
+    }
+
+    /// Sampled operation latencies (empty unless `op_sample_stride > 0`).
+    pub fn op_samples(&self) -> &[OpSample] {
+        &self.op_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MetricsConfig {
+        MetricsConfig {
+            slas: vec![0.01, 0.1],
+            windows: vec![(0.0, 10.0, 5.0), (10.0, 20.0, 10.0)],
+            collect_raw: true,
+            op_sample_stride: 1,
+        }
+    }
+
+    fn rec(arrival: f64, latency: f64, device: u16) -> CompletedRequest {
+        CompletedRequest { arrival, latency, be_latency: latency / 2.0, wta: 0.0, device }
+    }
+
+    #[test]
+    fn windows_partition_time() {
+        let m = Metrics::new(config(), 2);
+        assert_eq!(m.window_of(0.0), Some(0));
+        assert_eq!(m.window_of(9.999), Some(0));
+        assert_eq!(m.window_of(10.0), Some(1));
+        assert_eq!(m.window_of(25.0), None);
+    }
+
+    #[test]
+    fn sla_accounting_by_arrival_window() {
+        let mut m = Metrics::new(config(), 2);
+        m.complete(rec(1.0, 0.005, 0)); // meets both
+        m.complete(rec(2.0, 0.05, 0)); // meets only 100ms
+        m.complete(rec(15.0, 0.5, 1)); // meets none, window 1
+        assert_eq!(m.observed_fraction(0, 0), Some(0.5));
+        assert_eq!(m.observed_fraction(0, 1), Some(1.0));
+        assert_eq!(m.observed_fraction(1, 0), Some(0.0));
+        assert_eq!(m.completed(), 3);
+        assert_eq!(m.raw().len(), 3);
+    }
+
+    #[test]
+    fn out_of_window_requests_still_counted_globally() {
+        let mut m = Metrics::new(config(), 1);
+        m.complete(rec(100.0, 0.001, 0));
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.observed_fraction(0, 0), None);
+    }
+
+    #[test]
+    fn device_counters_accumulate() {
+        let mut m = Metrics::new(config(), 2);
+        m.route(1.0, 1);
+        m.cache_access(1.0, 1, DiskOpKind::Index, true);
+        m.cache_access(1.0, 1, DiskOpKind::Index, false);
+        m.cache_access(1.0, 1, DiskOpKind::Data, true);
+        m.disk_service(1, DiskOpKind::Index, 0.012);
+        m.disk_service(1, DiskOpKind::Data, 0.02);
+        m.wta(1, 0.004);
+        let d = &m.devices[1];
+        assert_eq!(d.requests, 1);
+        assert_eq!(d.miss_ratio(DiskOpKind::Index), Some(0.5));
+        assert_eq!(d.miss_ratio(DiskOpKind::Data), Some(1.0));
+        assert_eq!(d.miss_ratio(DiskOpKind::Meta), None);
+        assert!((d.mean_disk_service().unwrap() - 0.016).abs() < 1e-12);
+        assert_eq!(d.mean_wta(), Some(0.004));
+        assert_eq!(m.window_device_requests(0, 1), 1);
+        assert_eq!(m.window_device_data_ops(0, 1), 1);
+    }
+
+    #[test]
+    fn op_sampling_respects_stride() {
+        let mut cfg = config();
+        cfg.op_sample_stride = 3;
+        let mut m = Metrics::new(cfg, 1);
+        for i in 0..9 {
+            m.op_sample(DiskOpKind::Meta, i as f64, false);
+        }
+        assert_eq!(m.op_samples().len(), 3);
+        let mut off = Metrics::new(MetricsConfig { op_sample_stride: 0, ..config() }, 1);
+        off.op_sample(DiskOpKind::Meta, 1.0, true);
+        assert!(off.op_samples().is_empty());
+    }
+}

@@ -1,0 +1,803 @@
+//! The event-driven object-store simulator.
+//!
+//! This is the substitute for the paper's 7-node OpenStack Swift testbed
+//! (§V-A). It mechanistically reproduces every queueing behaviour the model
+//! is about:
+//!
+//! * a frontend tier of event-driven proxy processes with FCFS request
+//!   queues and random load balancing (ssbench's built-in policy);
+//! * hash-based placement over partitions with replicas and random replica
+//!   choice;
+//! * a **connection pool per backend process**: connecting requests wait
+//!   until the process serves an `accept()` operation, which is scheduled
+//!   FCFS like any other operation (§III-C, Fig. 4); accepts run either
+//!   per-connection or batched (see [`AcceptMode`]);
+//! * backend processes executing parse → index lookup → metadata read →
+//!   data chunk read per request, **blocking** on every disk access;
+//! * chunked data reads: after the first chunk the response starts (latency
+//!   stops there, Eq. 1) and each subsequent chunk read re-enters the FCFS
+//!   operation queue once the previous chunk's transmission completes —
+//!   producing exactly the interleaving the union operation abstracts;
+//! * one FCFS disk per device shared by its `N_be` processes (the M/G/1/K
+//!   situation of §III-B) with per-operation-kind service times;
+//! * a per-device cache (Bernoulli or LRU);
+//! * optionally, Swift-style frontend timeouts with replica retries — the
+//!   regime the model's assumption 5 excludes (ablation A6).
+
+use crate::cache::{build_cache, Cache, Lookup};
+use crate::config::{AcceptMode, ClusterConfig, DiskOpKind};
+use crate::metrics::{CompletedRequest, Metrics, MetricsConfig};
+use cos_distr::DynService;
+use cos_simkit::{Calendar, RngStreams, SimTime};
+use cos_workload::{ObjectId, TraceEvent};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Number of hash partitions (Swift default in the paper's testbed: 1024).
+pub const PARTITIONS: usize = 1024;
+/// Replicas per partition.
+pub const REPLICAS: usize = 3;
+
+/// A request in flight.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival: f64,
+    object: ObjectId,
+    size: u32,
+    device: u16,
+    pool_enter: f64,
+    be_enqueue: f64,
+    wta: f64,
+    /// Index into the retry-state table; `u32::MAX` when timeouts are off.
+    id: u32,
+}
+
+/// Retry bookkeeping for one logical request (only allocated when the
+/// cluster has a [`crate::config::TimeoutRetry`] policy).
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    completed: bool,
+    attempts: u32,
+    /// Bitmask of devices already tried.
+    tried: u64,
+    object: ObjectId,
+    size: u32,
+    arrival: f64,
+}
+
+/// An entry in a backend process's operation queue.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Accept all pooled connections.
+    Accept,
+    /// Parse + index + meta + first data chunk of a request.
+    Handle(Request),
+    /// A continuation chunk read (`remaining` includes this chunk;
+    /// `arrival` is the owning request's arrival time, used to attribute
+    /// the data-read to its rate window).
+    Chunk { object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+}
+
+/// What a busy backend process is currently doing.
+#[derive(Debug, Clone, Copy)]
+enum Exec {
+    Accept,
+    Handle { req: Request, stage: HandleStage },
+    Chunk { object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandleStage {
+    Parse,
+    Index,
+    Meta,
+    Data,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The next trace arrival (payload kept aside in the driver).
+    Arrival,
+    /// Frontend process finished parsing its current request.
+    FeDone { fe: u16 },
+    /// A timed backend CPU stage (accept cost, parse, memory hit) elapsed.
+    BeDone { dev: u16, proc: u16 },
+    /// The device's disk finished its current operation.
+    DiskDone { dev: u16 },
+    /// A chunk transmission completed; the next chunk read becomes ready.
+    NetDone { dev: u16, proc: u16, object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+    /// Frontend timeout check for a logical request.
+    Timeout { req: u32 },
+}
+
+struct BeProc {
+    queue: VecDeque<Op>,
+    busy: bool,
+    exec: Option<Exec>,
+    pool: VecDeque<Request>,
+    accept_pending: bool,
+}
+
+impl BeProc {
+    fn new() -> Self {
+        BeProc {
+            queue: VecDeque::new(),
+            busy: false,
+            exec: None,
+            pool: VecDeque::new(),
+            accept_pending: false,
+        }
+    }
+}
+
+struct Disk {
+    queue: VecDeque<(u16, DiskOpKind)>,
+    current: Option<(u16, DiskOpKind)>,
+}
+
+/// The simulator.
+pub struct Simulation {
+    cfg: ClusterConfig,
+    cal: Calendar<Ev>,
+    fe_queue: Vec<VecDeque<Request>>,
+    fe_busy: Vec<bool>,
+    fe_current: Vec<Option<Request>>,
+    procs: Vec<Vec<BeProc>>,
+    disks: Vec<Disk>,
+    caches: Vec<Box<dyn Cache>>,
+    route_rng: SmallRng,
+    parse_rng: SmallRng,
+    disk_rngs: Vec<SmallRng>,
+    cache_rngs: Vec<SmallRng>,
+    partition_replicas: Vec<[u16; REPLICAS]>,
+    disk_profiles: Vec<crate::config::DiskProfile>,
+    req_states: Vec<ReqState>,
+    metrics: Metrics,
+    net_time: f64,
+}
+
+impl Simulation {
+    /// Builds a simulator from a validated configuration.
+    pub fn new(cfg: ClusterConfig, metrics_config: MetricsConfig) -> Self {
+        cfg.validate();
+        let streams = RngStreams::new(cfg.seed);
+        let devices = cfg.devices;
+        let caches = (0..devices)
+            .map(|d| build_cache(cfg.cache_for(d), cfg.chunk_size))
+            .collect();
+        let mut placement_rng = streams.stream("placement", 0);
+        let partition_replicas = (0..PARTITIONS)
+            .map(|_| {
+                // Choose REPLICAS distinct devices (or all devices if fewer).
+                let mut picks: Vec<u16> = (0..devices as u16).collect();
+                for i in 0..picks.len().min(REPLICAS) {
+                    let j = placement_rng.gen_range(i..picks.len());
+                    picks.swap(i, j);
+                }
+                let mut arr = [0u16; REPLICAS];
+                for (k, slot) in arr.iter_mut().enumerate() {
+                    *slot = picks[k % picks.len().max(1)];
+                }
+                arr
+            })
+            .collect();
+        let net_time = cfg.chunk_size as f64 / cfg.network_bandwidth;
+        let disk_profiles = (0..devices).map(|d| cfg.disk_for(d).clone()).collect();
+        let metrics = Metrics::new(metrics_config, devices);
+        Simulation {
+            fe_queue: (0..cfg.frontend_processes).map(|_| VecDeque::new()).collect(),
+            fe_busy: vec![false; cfg.frontend_processes],
+            fe_current: (0..cfg.frontend_processes).map(|_| None).collect(),
+            procs: (0..devices)
+                .map(|_| (0..cfg.processes_per_device).map(|_| BeProc::new()).collect())
+                .collect(),
+            disks: (0..devices)
+                .map(|_| Disk { queue: VecDeque::new(), current: None })
+                .collect(),
+            caches,
+            route_rng: streams.stream("route", 0),
+            parse_rng: streams.stream("parse", 0),
+            disk_rngs: (0..devices).map(|d| streams.stream("disk", d as u64)).collect(),
+            cache_rngs: (0..devices).map(|d| streams.stream("cache", d as u64)).collect(),
+            partition_replicas,
+            disk_profiles,
+            req_states: Vec::new(),
+            metrics,
+            cal: Calendar::new(),
+            net_time,
+            cfg,
+        }
+    }
+
+    /// Runs the trace to completion (all in-flight work drained) and returns
+    /// the collected metrics.
+    pub fn run(mut self, trace: impl IntoIterator<Item = TraceEvent>) -> Metrics {
+        let mut trace = trace.into_iter();
+        let mut pending: Option<TraceEvent> = trace.next();
+        if let Some(e) = pending {
+            self.cal.schedule_at(SimTime::new(e.at), Ev::Arrival);
+        }
+        while let Some((t, ev)) = self.cal.pop() {
+            let now = t.seconds();
+            match ev {
+                Ev::Arrival => {
+                    let e = pending.take().expect("arrival event without payload");
+                    self.on_arrival(now, e);
+                    pending = trace.next();
+                    if let Some(next) = pending {
+                        self.cal.schedule_at(SimTime::new(next.at), Ev::Arrival);
+                    }
+                }
+                Ev::FeDone { fe } => self.on_fe_done(now, fe as usize),
+                Ev::BeDone { dev, proc } => self.stage_complete(now, dev as usize, proc as usize),
+                Ev::DiskDone { dev } => self.on_disk_done(now, dev as usize),
+                Ev::NetDone { dev, proc, object, chunk_idx, remaining, arrival } => {
+                    self.procs[dev as usize][proc as usize]
+                        .queue
+                        .push_back(Op::Chunk { object, chunk_idx, remaining, arrival });
+                    self.pump(now, dev as usize, proc as usize);
+                }
+                Ev::Timeout { req } => self.on_timeout(now, req),
+            }
+        }
+        self.metrics
+    }
+
+    // ---- frontend tier -------------------------------------------------
+
+    fn on_arrival(&mut self, now: f64, e: TraceEvent) {
+        let id = if self.cfg.timeout_retry.is_some() {
+            self.req_states.push(ReqState {
+                completed: false,
+                attempts: 0,
+                tried: 0,
+                object: e.object,
+                size: e.size,
+                arrival: e.at,
+            });
+            (self.req_states.len() - 1) as u32
+        } else {
+            u32::MAX
+        };
+        let req = Request {
+            arrival: e.at,
+            object: e.object,
+            size: e.size,
+            device: u16::MAX,
+            pool_enter: 0.0,
+            be_enqueue: 0.0,
+            wta: 0.0,
+            id,
+        };
+        // ssbench sends each request to a random frontend process.
+        let fe = self.route_rng.gen_range(0..self.fe_queue.len());
+        if self.fe_busy[fe] {
+            self.fe_queue[fe].push_back(req);
+        } else {
+            self.start_fe(now, fe, req);
+        }
+    }
+
+    fn start_fe(&mut self, now: f64, fe: usize, req: Request) {
+        self.fe_busy[fe] = true;
+        self.fe_current[fe] = Some(req);
+        let dt = sample(&self.cfg.parse_fe, &mut self.parse_rng);
+        let _ = now;
+        self.cal.schedule_in(dt, Ev::FeDone { fe: fe as u16 });
+    }
+
+    fn on_fe_done(&mut self, now: f64, fe: usize) {
+        let req = self.fe_current[fe].take().expect("frontend finished without a request");
+        self.route_to_backend(now, req);
+        if let Some(next) = self.fe_queue[fe].pop_front() {
+            self.start_fe(now, fe, next);
+        } else {
+            self.fe_busy[fe] = false;
+        }
+    }
+
+    fn route_to_backend(&mut self, now: f64, mut req: Request) {
+        let partition = req.object as usize % PARTITIONS;
+        let replicas = self.partition_replicas[partition];
+        // Prefer an untried replica (relevant only on retries).
+        let device = if req.id != u32::MAX {
+            let tried = self.req_states[req.id as usize].tried;
+            let start = self.route_rng.gen_range(0..REPLICAS);
+            let pick = (0..REPLICAS)
+                .map(|k| replicas[(start + k) % REPLICAS])
+                .find(|&d| tried & (1u64 << (d as u64 % 64)) == 0)
+                .unwrap_or(replicas[start]);
+            let state = &mut self.req_states[req.id as usize];
+            state.tried |= 1u64 << (pick as u64 % 64);
+            state.attempts += 1;
+            if let Some(tr) = self.cfg.timeout_retry {
+                if state.attempts <= tr.max_retries {
+                    self.cal.schedule_in(tr.timeout, Ev::Timeout { req: req.id });
+                }
+            }
+            pick as usize
+        } else {
+            replicas[self.route_rng.gen_range(0..REPLICAS)] as usize
+        };
+        let proc = self.route_rng.gen_range(0..self.cfg.processes_per_device);
+        req.device = device as u16;
+        req.pool_enter = now;
+        self.metrics.route(req.arrival, req.device);
+        let mode = self.cfg.accept_mode;
+        let p = &mut self.procs[device][proc];
+        p.pool.push_back(req);
+        match mode {
+            // One accept operation per connection: it enters the queue tail
+            // NOW, so by PASTA its wait is exactly the queue's waiting time
+            // (the paper's A(t) = W_be(t)).
+            AcceptMode::PerConnection => p.queue.push_back(Op::Accept),
+            // One in-flight accept serves the whole pool.
+            AcceptMode::Batched => {
+                if !p.accept_pending {
+                    p.accept_pending = true;
+                    p.queue.push_back(Op::Accept);
+                }
+            }
+        }
+        self.pump(now, device, proc);
+    }
+
+    // ---- backend tier --------------------------------------------------
+
+    /// Starts operations while the process is idle and work is queued.
+    fn pump(&mut self, _now: f64, dev: usize, proc: usize) {
+        if self.procs[dev][proc].busy {
+            return;
+        }
+        let Some(op) = self.procs[dev][proc].queue.pop_front() else {
+            return;
+        };
+        self.procs[dev][proc].busy = true;
+        match op {
+            Op::Accept => {
+                self.procs[dev][proc].exec = Some(Exec::Accept);
+                self.cal.schedule_in(
+                    self.cfg.accept_cost,
+                    Ev::BeDone { dev: dev as u16, proc: proc as u16 },
+                );
+            }
+            Op::Handle(req) => {
+                self.procs[dev][proc].exec =
+                    Some(Exec::Handle { req, stage: HandleStage::Parse });
+                let dt = sample(&self.cfg.parse_be, &mut self.parse_rng);
+                self.cal.schedule_in(dt, Ev::BeDone { dev: dev as u16, proc: proc as u16 });
+            }
+            Op::Chunk { object, chunk_idx, remaining, arrival } => {
+                self.procs[dev][proc].exec =
+                    Some(Exec::Chunk { object, chunk_idx, remaining, arrival });
+                self.start_disk_stage(arrival, dev, proc, DiskOpKind::Data, object, chunk_idx);
+            }
+        }
+    }
+
+    /// Performs a cache access for a stage; on hit a memory-latency timer is
+    /// scheduled, on miss the operation joins the device's disk queue and
+    /// the process blocks. `attr_time` is the owning request's arrival time:
+    /// operation counts are attributed to the rate window of the request
+    /// that caused them (the paper counts data chunks per request stream,
+    /// §IV-B), so backlog drained after a window ends does not contaminate
+    /// the next window's measured rates.
+    fn start_disk_stage(
+        &mut self,
+        attr_time: f64,
+        dev: usize,
+        proc: usize,
+        kind: DiskOpKind,
+        object: ObjectId,
+        chunk: u32,
+    ) {
+        let lookup = self.caches[dev].access(kind, object, chunk, &mut self.cache_rngs[dev]);
+        let miss = lookup == Lookup::Miss;
+        self.metrics.cache_access(attr_time, dev as u16, kind, miss);
+        if miss {
+            self.submit_disk(dev, proc as u16, kind);
+        } else {
+            self.metrics.op_sample(kind, self.cfg.mem_latency, false);
+            self.cal
+                .schedule_in(self.cfg.mem_latency, Ev::BeDone { dev: dev as u16, proc: proc as u16 });
+        }
+    }
+
+    fn submit_disk(&mut self, dev: usize, proc: u16, kind: DiskOpKind) {
+        if self.disks[dev].current.is_none() {
+            self.start_disk_op(dev, proc, kind);
+        } else {
+            self.disks[dev].queue.push_back((proc, kind));
+        }
+    }
+
+    fn start_disk_op(&mut self, dev: usize, proc: u16, kind: DiskOpKind) {
+        let profile = &self.disk_profiles[dev];
+        let rng = &mut self.disk_rngs[dev];
+        let svc = match kind {
+            DiskOpKind::Index => sample(&profile.index, rng),
+            DiskOpKind::Meta => sample(&profile.meta, rng),
+            DiskOpKind::Data => sample(&profile.data, rng),
+        };
+        self.disks[dev].current = Some((proc, kind));
+        self.metrics.disk_service(dev as u16, kind, svc);
+        self.metrics.op_sample(kind, svc, true);
+        self.cal.schedule_in(svc, Ev::DiskDone { dev: dev as u16 });
+    }
+
+    fn on_disk_done(&mut self, now: f64, dev: usize) {
+        let (proc, _kind) = self.disks[dev].current.take().expect("disk finished while idle");
+        if let Some((next_proc, next_kind)) = self.disks[dev].queue.pop_front() {
+            self.start_disk_op(dev, next_proc, next_kind);
+        }
+        self.stage_complete(now, dev, proc as usize);
+    }
+
+    /// Advances the current operation of a backend process after a stage
+    /// (CPU timer or disk visit) completes.
+    fn stage_complete(&mut self, now: f64, dev: usize, proc: usize) {
+        let exec = self.procs[dev][proc].exec.take().expect("stage completed on idle process");
+        match exec {
+            Exec::Accept => {
+                match self.cfg.accept_mode {
+                    AcceptMode::PerConnection => {
+                        // Serve exactly the oldest pooled connection.
+                        if let Some(mut req) = self.procs[dev][proc].pool.pop_front() {
+                            let wta = now - req.pool_enter;
+                            self.metrics.wta(dev as u16, wta);
+                            req.wta = wta;
+                            req.be_enqueue = now;
+                            self.procs[dev][proc].queue.push_back(Op::Handle(req));
+                        }
+                    }
+                    AcceptMode::Batched => {
+                        // Batch-accept every pooled connection.
+                        let pool = std::mem::take(&mut self.procs[dev][proc].pool);
+                        self.procs[dev][proc].accept_pending = false;
+                        for mut req in pool {
+                            let wta = now - req.pool_enter;
+                            self.metrics.wta(dev as u16, wta);
+                            req.wta = wta;
+                            req.be_enqueue = now;
+                            self.procs[dev][proc].queue.push_back(Op::Handle(req));
+                        }
+                    }
+                }
+                self.finish_op(now, dev, proc);
+            }
+            Exec::Handle { req, stage } => match stage {
+                HandleStage::Parse => {
+                    self.procs[dev][proc].exec =
+                        Some(Exec::Handle { req, stage: HandleStage::Index });
+                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Index, req.object, 0);
+                }
+                HandleStage::Index => {
+                    self.procs[dev][proc].exec =
+                        Some(Exec::Handle { req, stage: HandleStage::Meta });
+                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Meta, req.object, 0);
+                }
+                HandleStage::Meta => {
+                    self.procs[dev][proc].exec =
+                        Some(Exec::Handle { req, stage: HandleStage::Data });
+                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Data, req.object, 0);
+                }
+                HandleStage::Data => {
+                    // First chunk read: the response starts now (Eq. 1).
+                    // With retries, only the first attempt to respond counts
+                    // (later attempts are wasted work, as in real Swift).
+                    let record = if req.id != u32::MAX {
+                        let state = &mut self.req_states[req.id as usize];
+                        let first = !state.completed;
+                        state.completed = true;
+                        first
+                    } else {
+                        true
+                    };
+                    if record {
+                        self.metrics.complete(CompletedRequest {
+                            arrival: req.arrival,
+                            latency: now - req.arrival,
+                            be_latency: now - req.be_enqueue,
+                            wta: req.wta,
+                            device: dev as u16,
+                        });
+                    }
+                    let chunks = self.cfg.chunks_for(req.size);
+                    if chunks > 1 {
+                        self.cal.schedule_in(
+                            self.net_time,
+                            Ev::NetDone {
+                                dev: dev as u16,
+                                proc: proc as u16,
+                                object: req.object,
+                                chunk_idx: 1,
+                                remaining: chunks - 1,
+                                arrival: req.arrival,
+                            },
+                        );
+                    }
+                    self.finish_op(now, dev, proc);
+                }
+            },
+            Exec::Chunk { object, chunk_idx, remaining, arrival } => {
+                if remaining > 1 {
+                    self.cal.schedule_in(
+                        self.net_time,
+                        Ev::NetDone {
+                            dev: dev as u16,
+                            proc: proc as u16,
+                            object,
+                            chunk_idx: chunk_idx + 1,
+                            remaining: remaining - 1,
+                            arrival,
+                        },
+                    );
+                }
+                self.finish_op(now, dev, proc);
+            }
+        }
+    }
+
+    /// Frontend timeout: if the request has not started its response, send
+    /// another copy to a different replica (Swift-style retry).
+    fn on_timeout(&mut self, now: f64, req_id: u32) {
+        let state = self.req_states[req_id as usize];
+        if state.completed {
+            return;
+        }
+        self.metrics.retry();
+        let retry = Request {
+            arrival: state.arrival,
+            object: state.object,
+            size: state.size,
+            device: u16::MAX,
+            pool_enter: 0.0,
+            be_enqueue: 0.0,
+            wta: 0.0,
+            id: req_id,
+        };
+        self.route_to_backend(now, retry);
+    }
+
+    fn finish_op(&mut self, now: f64, dev: usize, proc: usize) {
+        self.procs[dev][proc].busy = false;
+        self.procs[dev][proc].exec = None;
+        self.pump(now, dev, proc);
+    }
+}
+
+fn sample(d: &DynService, rng: &mut SmallRng) -> f64 {
+    cos_distr::Distribution::sample(&**d, rng)
+}
+
+/// Convenience: build, run, and return metrics in one call.
+pub fn run_simulation(
+    cfg: ClusterConfig,
+    metrics_config: MetricsConfig,
+    trace: impl IntoIterator<Item = TraceEvent>,
+) -> Metrics {
+    Simulation::new(cfg, metrics_config).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use cos_distr::Degenerate;
+    use std::sync::Arc;
+
+    /// A small trace of evenly spaced single-chunk requests.
+    fn sparse_trace(n: usize, gap: f64, size: u32) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent { at: i as f64 * gap, object: (i % 500) as u32, size })
+            .collect()
+    }
+
+    fn quiet_config() -> ClusterConfig {
+        ClusterConfig {
+            cache: CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 },
+            ..ClusterConfig::paper_s1()
+        }
+    }
+
+    fn mcfg(horizon: f64) -> MetricsConfig {
+        MetricsConfig {
+            slas: vec![0.010, 0.050, 0.100],
+            windows: vec![(0.0, horizon, 0.0)],
+            collect_raw: true,
+            op_sample_stride: 1,
+        }
+    }
+
+    #[test]
+    fn every_request_completes() {
+        let m = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(500, 0.01, 1000));
+        assert_eq!(m.completed(), 500);
+        assert_eq!(m.raw().len(), 500);
+    }
+
+    #[test]
+    fn unloaded_latency_is_sum_of_parse_costs() {
+        // All cache hits, spaced arrivals: latency = parse_fe + accept_cost
+        // + parse_be + 3 × mem_latency.
+        let cfg = quiet_config();
+        let mem = cfg.mem_latency;
+        let want = 0.0003 + cfg.accept_cost + 0.0005 + 3.0 * mem;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(100, 0.5, 1000));
+        for r in m.raw() {
+            assert!((r.latency - want).abs() < 1e-9, "latency {} want {want}", r.latency);
+            assert!((r.be_latency - (0.0005 + 3.0 * mem)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disk_misses_lengthen_latency() {
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        // Deterministic disk for exactness.
+        cfg.disk.index = Arc::new(Degenerate::new(0.010));
+        cfg.disk.meta = Arc::new(Degenerate::new(0.008));
+        cfg.disk.data = Arc::new(Degenerate::new(0.014));
+        let accept = ClusterConfig::paper_s1().accept_cost;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(50, 0.5, 1000));
+        let want = 0.0003 + accept + 0.0005 + 0.010 + 0.008 + 0.014;
+        for r in m.raw() {
+            assert!((r.latency - want).abs() < 1e-9, "latency {}", r.latency);
+        }
+        // Ground-truth miss ratios are 1.
+        for d in &m.devices {
+            if d.requests > 0 {
+                assert_eq!(d.miss_ratio(DiskOpKind::Index), Some(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_chunk_objects_issue_extra_data_reads() {
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 1.0 };
+        // 4-chunk objects.
+        let size = 4 * cfg.chunk_size;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(50, 0.5, size));
+        let total_data: u64 = m.devices.iter().map(|d| d.data_ops).sum();
+        assert_eq!(total_data, 200, "4 chunk reads per request");
+        let total_requests: u64 = m.devices.iter().map(|d| d.requests).sum();
+        assert_eq!(total_requests, 50);
+        // Response latency includes only the FIRST chunk read.
+        for r in m.raw() {
+            assert!(r.latency < 0.2, "latency should not include trailing chunks");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(200, 0.01, 1000));
+        let b = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(200, 0.01, 1000));
+        assert_eq!(a.raw(), b.raw());
+        let mut other = quiet_config();
+        other.seed = 999;
+        let c = run_simulation(other, mcfg(1e9), sparse_trace(200, 0.01, 1000));
+        assert_ne!(a.raw(), c.raw());
+    }
+
+    #[test]
+    fn wta_is_zero_when_unloaded_and_positive_under_load() {
+        // Spaced arrivals: the accept op runs on an idle queue, so WTA is
+        // exactly its own service cost.
+        let quiet = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(100, 0.5, 1000));
+        let accept = ClusterConfig::paper_s1().accept_cost;
+        for d in quiet.devices.iter().filter(|d| d.wta_count > 0) {
+            let wta = d.mean_wta().unwrap();
+            assert!((wta - accept).abs() < 1e-9, "unloaded WTA {wta}");
+        }
+
+        // Loaded: all-miss cache and tight arrivals → accept queues behind
+        // disk-bound operations.
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        let loaded = run_simulation(cfg, mcfg(1e9), sparse_trace(2000, 0.005, 1000));
+        let loaded_wta = loaded
+            .devices
+            .iter()
+            .filter_map(|d| d.mean_wta())
+            .fold(0.0f64, f64::max);
+        assert!(loaded_wta > 1e-4, "loaded WTA {loaded_wta}");
+    }
+
+    #[test]
+    fn sla_counting_matches_raw_records() {
+        let m = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(300, 0.01, 1000));
+        let sla = 0.010;
+        let manual = m.raw().iter().filter(|r| r.latency <= sla).count() as f64
+            / m.raw().len() as f64;
+        assert!((m.observed_fraction(0, 0).unwrap() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requests_spread_over_devices() {
+        let m = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(4000, 0.002, 1000));
+        for d in &m.devices {
+            let share = d.requests as f64 / 4000.0;
+            assert!((share - 0.25).abs() < 0.08, "device share {share}");
+        }
+    }
+
+    #[test]
+    fn generous_timeout_changes_nothing() {
+        let mut with = quiet_config();
+        with.timeout_retry =
+            Some(crate::config::TimeoutRetry { timeout: 10.0, max_retries: 2 });
+        let a = run_simulation(with, mcfg(1e9), sparse_trace(300, 0.01, 1000));
+        let b = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(300, 0.01, 1000));
+        assert_eq!(a.retries(), 0);
+        assert_eq!(a.completed(), b.completed());
+        // Same latency distribution (identical seeds and routing decisions).
+        assert_eq!(a.raw().len(), b.raw().len());
+    }
+
+    #[test]
+    fn tight_timeouts_cause_retries_without_double_counting() {
+        // All-miss cache + tight arrivals + 20 ms timeout: many first
+        // attempts exceed the timeout.
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        cfg.timeout_retry =
+            Some(crate::config::TimeoutRetry { timeout: 0.020, max_retries: 2 });
+        let n = 1500;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(n, 0.004, 1000));
+        assert!(m.retries() > 50, "expected retries under overload, got {}", m.retries());
+        // Every logical request is recorded exactly once.
+        assert_eq!(m.completed(), n as u64);
+        assert_eq!(m.raw().len(), n);
+        // Retries add load: total routed requests exceed logical requests.
+        let routed: u64 = m.devices.iter().map(|d| d.requests).sum();
+        assert_eq!(routed, n as u64 + m.retries());
+    }
+
+    #[test]
+    fn retries_can_beat_a_slow_replica() {
+        // One pathologically slow device: with retries, tail latency
+        // improves because the retry lands on a healthy replica.
+        let mut slow_disk = quiet_config();
+        slow_disk.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        slow_disk.device_overrides = vec![crate::config::DeviceOverride {
+            device: 0,
+            disk: Some(crate::config::DiskProfile {
+                index: Arc::new(Degenerate::new(0.5)),
+                meta: Arc::new(Degenerate::new(0.5)),
+                data: Arc::new(Degenerate::new(0.5)),
+            }),
+            cache: None,
+        }];
+        let without = run_simulation(slow_disk.clone(), mcfg(1e9), sparse_trace(400, 0.05, 1000));
+        let mut with = slow_disk;
+        with.timeout_retry =
+            Some(crate::config::TimeoutRetry { timeout: 0.2, max_retries: 2 });
+        let with = run_simulation(with, mcfg(1e9), sparse_trace(400, 0.05, 1000));
+        let p99 = |m: &crate::metrics::Metrics| {
+            let mut lats: Vec<f64> = m.raw().iter().map(|r| r.latency).collect();
+            cos_stats::exact_percentile(&mut lats, 0.99)
+        };
+        assert!(with.retries() > 0);
+        assert!(
+            p99(&with) < p99(&without),
+            "retry p99 {} must beat no-retry p99 {}",
+            p99(&with),
+            p99(&without)
+        );
+    }
+
+    #[test]
+    fn op_samples_split_by_threshold() {
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 0.5, meta_miss: 0.5, data_miss: 0.5 };
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(1000, 0.05, 1000));
+        let threshold = 0.000015; // the paper's 0.015 ms
+        for s in m.op_samples() {
+            assert_eq!(s.was_miss, s.latency > threshold, "sample {s:?}");
+        }
+        assert!(!m.op_samples().is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the simulator substrate: conservation laws and
+//! cache invariants under randomized traffic.
+
+use cos_storesim::cache::{Cache, LruCache};
+use cos_storesim::{run_simulation, CacheConfig, ClusterConfig, DiskOpKind, MetricsConfig};
+use cos_workload::TraceEvent;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_request_completes_exactly_once(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        gap_us in 100u32..50_000,
+        size in 1u32..500_000,
+    ) {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.seed = seed;
+        let gap = gap_us as f64 * 1e-6;
+        let trace: Vec<TraceEvent> = (0..n)
+            .map(|i| TraceEvent { at: i as f64 * gap, object: (i % 97) as u32, size })
+            .collect();
+        let metrics = run_simulation(
+            cfg,
+            MetricsConfig {
+                slas: vec![0.05],
+                windows: vec![(0.0, 1e12, 0.0)],
+                collect_raw: true,
+                op_sample_stride: 0,
+            },
+            trace,
+        );
+        prop_assert_eq!(metrics.completed(), n as u64);
+        let routed: u64 = metrics.devices.iter().map(|d| d.requests).sum();
+        prop_assert_eq!(routed, n as u64);
+        // Every latency is positive and at least the parse path.
+        for r in metrics.raw() {
+            prop_assert!(r.latency > 0.0);
+            prop_assert!(r.be_latency > 0.0);
+            prop_assert!(r.latency >= r.be_latency);
+            prop_assert!(r.wta >= 0.0);
+        }
+    }
+
+    #[test]
+    fn chunk_accounting_is_exact(
+        seed in 0u64..1000,
+        chunks in 1u32..20,
+        n in 1usize..100,
+    ) {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.seed = seed;
+        cfg.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 1.0 };
+        let size = cfg.chunk_size * chunks;
+        let trace: Vec<TraceEvent> = (0..n)
+            .map(|i| TraceEvent { at: i as f64 * 0.5, object: i as u32, size })
+            .collect();
+        let metrics = run_simulation(
+            cfg,
+            MetricsConfig {
+                slas: vec![],
+                windows: vec![],
+                collect_raw: false,
+                op_sample_stride: 0,
+            },
+            trace,
+        );
+        let data_ops: u64 = metrics.devices.iter().map(|d| d.data_ops).sum();
+        prop_assert_eq!(data_ops, (n as u64) * (chunks as u64));
+        let index_ops: u64 = metrics.devices.iter().map(|d| d.index_ops).sum();
+        prop_assert_eq!(index_ops, n as u64);
+    }
+
+    #[test]
+    fn lru_capacity_invariant_under_random_ops(
+        capacity in 500u64..50_000,
+        ops in proptest::collection::vec((0u32..50, 0u32..4, 0u8..3), 1..500),
+    ) {
+        let mut cache = LruCache::new(capacity, 64, 128, 1024);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for &(object, chunk, kind) in &ops {
+            let kind = match kind {
+                0 => DiskOpKind::Index,
+                1 => DiskOpKind::Meta,
+                _ => DiskOpKind::Data,
+            };
+            cache.access(kind, object, chunk, &mut rng);
+            prop_assert!(cache.used_bytes() <= capacity);
+        }
+    }
+
+    #[test]
+    fn lru_repeat_access_hits(
+        object in 0u32..1000,
+        chunk in 0u32..8,
+    ) {
+        let mut cache = LruCache::new(1_000_000, 64, 128, 1024);
+        let mut rng = SmallRng::seed_from_u64(1);
+        cache.access(DiskOpKind::Data, object, chunk, &mut rng);
+        let second = cache.access(DiskOpKind::Data, object, chunk, &mut rng);
+        prop_assert_eq!(second, cos_storesim::Lookup::Hit);
+    }
+
+    #[test]
+    fn seeds_change_outcomes_but_structure_holds(seed in 1u64..5000) {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.seed = seed;
+        let trace: Vec<TraceEvent> = (0..200)
+            .map(|i| TraceEvent { at: i as f64 * 0.01, object: (i % 61) as u32, size: 30_000 })
+            .collect();
+        let metrics = run_simulation(
+            cfg,
+            MetricsConfig {
+                slas: vec![0.05],
+                windows: vec![(0.0, 1e12, 0.0)],
+                collect_raw: false,
+                op_sample_stride: 0,
+            },
+            trace,
+        );
+        prop_assert_eq!(metrics.completed(), 200);
+        let f = metrics.observed_fraction(0, 0).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

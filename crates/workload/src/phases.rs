@@ -1,0 +1,240 @@
+//! The paper's three-phase load schedule (§V-B).
+//!
+//! *Warmup* (fixed rate, populates caches), *transition* (low fixed rate),
+//! then a *benchmarking* sweep in which the arrival rate steps from a start
+//! to an end value, holding each rate for a fixed window. The paper holds
+//! 5 minutes per rate with step 5 req/s; a `time_scale` knob compresses the
+//! schedule so test and bench runs finish quickly while keeping the same
+//! rate ladder.
+
+/// One constant-rate segment of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Arrival rate in requests per second.
+    pub rate: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// Whether latencies in this segment count toward the evaluation.
+    pub measured: bool,
+}
+
+/// The full schedule.
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    segments: Vec<Segment>,
+}
+
+/// Configuration mirroring §V-B.
+#[derive(Debug, Clone)]
+pub struct PhaseConfig {
+    /// Warmup arrival rate (paper: 300 for S1, 500 for S16).
+    pub warmup_rate: f64,
+    /// Warmup duration in seconds (paper: 3 h).
+    pub warmup_duration: f64,
+    /// Transition rate (paper: 10 req/s).
+    pub transition_rate: f64,
+    /// Transition duration in seconds (paper: 1 h).
+    pub transition_duration: f64,
+    /// First benchmarking rate (paper: 10).
+    pub sweep_start: f64,
+    /// Last benchmarking rate, inclusive (paper: 350 for S1, 600 for S16).
+    pub sweep_end: f64,
+    /// Rate increment (paper: 5).
+    pub sweep_step: f64,
+    /// Hold time per rate in seconds (paper: 300 s).
+    pub hold: f64,
+    /// Uniform time compression factor (1.0 = paper-faithful).
+    pub time_scale: f64,
+}
+
+impl PhaseConfig {
+    /// The paper's S1 schedule.
+    pub fn paper_s1() -> Self {
+        PhaseConfig {
+            warmup_rate: 300.0,
+            warmup_duration: 3.0 * 3600.0,
+            transition_rate: 10.0,
+            transition_duration: 3600.0,
+            sweep_start: 10.0,
+            sweep_end: 350.0,
+            sweep_step: 5.0,
+            hold: 300.0,
+            time_scale: 1.0,
+        }
+    }
+
+    /// The paper's S16 schedule.
+    pub fn paper_s16() -> Self {
+        PhaseConfig {
+            warmup_rate: 500.0,
+            sweep_end: 600.0,
+            ..PhaseConfig::paper_s1()
+        }
+    }
+
+    /// Applies a time compression factor (durations divide by `scale`).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        self.time_scale = scale;
+        self
+    }
+}
+
+impl PhaseSchedule {
+    /// Builds the schedule from a configuration.
+    ///
+    /// # Panics
+    /// Panics on non-positive rates/durations or an empty sweep.
+    pub fn new(config: &PhaseConfig) -> Self {
+        assert!(config.warmup_rate > 0.0 && config.transition_rate > 0.0);
+        assert!(config.sweep_step > 0.0 && config.sweep_end >= config.sweep_start);
+        assert!(config.hold > 0.0 && config.time_scale > 0.0);
+        let k = 1.0 / config.time_scale;
+        let mut segments = Vec::new();
+        if config.warmup_duration > 0.0 {
+            segments.push(Segment {
+                rate: config.warmup_rate,
+                duration: config.warmup_duration * k,
+                measured: false,
+            });
+        }
+        if config.transition_duration > 0.0 {
+            segments.push(Segment {
+                rate: config.transition_rate,
+                duration: config.transition_duration * k,
+                measured: false,
+            });
+        }
+        let mut rate = config.sweep_start;
+        while rate <= config.sweep_end + 1e-9 {
+            segments.push(Segment { rate, duration: config.hold * k, measured: true });
+            rate += config.sweep_step;
+        }
+        PhaseSchedule { segments }
+    }
+
+    /// All segments in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Only the measured (benchmarking) segments.
+    pub fn measured_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.measured)
+    }
+
+    /// Total schedule duration in seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// The arrival rate in force at absolute time `t` (`None` past the end).
+    pub fn rate_at(&self, t: f64) -> Option<f64> {
+        let mut acc = 0.0;
+        for s in &self.segments {
+            acc += s.duration;
+            if t < acc {
+                return Some(s.rate);
+            }
+        }
+        None
+    }
+
+    /// Start/end times of each measured segment, with its rate.
+    pub fn measured_windows(&self) -> Vec<(f64, f64, f64)> {
+        let mut acc = 0.0;
+        let mut out = Vec::new();
+        for s in &self.segments {
+            let start = acc;
+            acc += s.duration;
+            if s.measured {
+                out.push((start, acc, s.rate));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_s1_shape() {
+        let sched = PhaseSchedule::new(&PhaseConfig::paper_s1());
+        // (350 − 10)/5 + 1 = 69 measured segments.
+        assert_eq!(sched.measured_segments().count(), 69);
+        assert_eq!(sched.segments().len(), 71);
+        let total = sched.total_duration();
+        assert!((total - (3.0 * 3600.0 + 3600.0 + 69.0 * 300.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_s16_extends_sweep() {
+        let sched = PhaseSchedule::new(&PhaseConfig::paper_s16());
+        // (600 − 10)/5 + 1 = 119 measured segments.
+        assert_eq!(sched.measured_segments().count(), 119);
+        assert_eq!(sched.segments()[0].rate, 500.0);
+    }
+
+    #[test]
+    fn scaling_compresses_time_not_rates() {
+        let base = PhaseSchedule::new(&PhaseConfig::paper_s1());
+        let fast = PhaseSchedule::new(&PhaseConfig::paper_s1().scaled(60.0));
+        assert_eq!(base.segments().len(), fast.segments().len());
+        assert!((fast.total_duration() - base.total_duration() / 60.0).abs() < 1e-6);
+        for (a, b) in base.segments().iter().zip(fast.segments()) {
+            assert_eq!(a.rate, b.rate);
+        }
+    }
+
+    #[test]
+    fn rate_at_walks_segments() {
+        let cfg = PhaseConfig {
+            warmup_rate: 100.0,
+            warmup_duration: 10.0,
+            transition_rate: 5.0,
+            transition_duration: 10.0,
+            sweep_start: 10.0,
+            sweep_end: 20.0,
+            sweep_step: 10.0,
+            hold: 10.0,
+            time_scale: 1.0,
+        };
+        let sched = PhaseSchedule::new(&cfg);
+        assert_eq!(sched.rate_at(5.0), Some(100.0));
+        assert_eq!(sched.rate_at(15.0), Some(5.0));
+        assert_eq!(sched.rate_at(25.0), Some(10.0));
+        assert_eq!(sched.rate_at(35.0), Some(20.0));
+        assert_eq!(sched.rate_at(45.0), None);
+    }
+
+    #[test]
+    fn measured_windows_align() {
+        let cfg = PhaseConfig {
+            warmup_rate: 1.0,
+            warmup_duration: 100.0,
+            transition_rate: 1.0,
+            transition_duration: 50.0,
+            sweep_start: 10.0,
+            sweep_end: 15.0,
+            sweep_step: 5.0,
+            hold: 30.0,
+            time_scale: 1.0,
+        };
+        let sched = PhaseSchedule::new(&cfg);
+        let windows = sched.measured_windows();
+        assert_eq!(windows, vec![(150.0, 180.0, 10.0), (180.0, 210.0, 15.0)]);
+    }
+
+    #[test]
+    fn zero_warmup_is_allowed() {
+        let cfg = PhaseConfig {
+            warmup_duration: 0.0,
+            transition_duration: 0.0,
+            ..PhaseConfig::paper_s1()
+        };
+        let sched = PhaseSchedule::new(&cfg);
+        assert!(sched.segments().iter().all(|s| s.measured));
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace synthesis and replay.
+//!
+//! The paper rewrites the timestamps of the Wikipedia media trace to impose
+//! a synthetic three-phase rate schedule while keeping object identities and
+//! sizes (§V-B). We do the equivalent: draw object references from the
+//! Zipf catalog, with Poisson timestamps that follow a [`PhaseSchedule`].
+//! Traces can be generated eagerly (a `Vec`) or streamed via an iterator for
+//! long runs.
+
+use crate::arrivals::{ArrivalProcess, PoissonArrivals};
+use crate::catalog::{Catalog, ObjectId};
+use crate::phases::PhaseSchedule;
+use rand::RngCore;
+
+/// One GET request in the trace (read-only workload, §III-A assumption 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time in seconds from trace start.
+    pub at: f64,
+    /// Requested object.
+    pub object: ObjectId,
+    /// Object size in bytes (denormalized from the catalog for convenience).
+    pub size: u32,
+}
+
+/// Streaming trace generator following a phase schedule.
+pub struct TraceStream<'a, R: RngCore> {
+    catalog: &'a Catalog,
+    schedule: &'a PhaseSchedule,
+    rng: R,
+    arrivals: PoissonArrivals,
+    now: f64,
+    segment_idx: usize,
+    segment_end: f64,
+    exhausted: bool,
+}
+
+impl<'a, R: RngCore> TraceStream<'a, R> {
+    /// Creates a stream over the schedule.
+    pub fn new(catalog: &'a Catalog, schedule: &'a PhaseSchedule, rng: R) -> Self {
+        let segments = schedule.segments();
+        assert!(!segments.is_empty(), "schedule has no segments");
+        TraceStream {
+            catalog,
+            schedule,
+            rng,
+            arrivals: PoissonArrivals::new(segments[0].rate),
+            now: 0.0,
+            segment_idx: 0,
+            segment_end: segments[0].duration,
+            exhausted: false,
+        }
+    }
+}
+
+impl<R: RngCore> Iterator for TraceStream<'_, R> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            let gap = self.arrivals.next_gap(&mut self.rng);
+            let candidate = self.now + gap;
+            if candidate < self.segment_end {
+                self.now = candidate;
+                let object = self.catalog.sample(&mut self.rng);
+                return Some(TraceEvent { at: candidate, object, size: self.catalog.size_of(object) });
+            }
+            // Advance to the next segment; restart the clock at its boundary
+            // (memorylessness makes discarding the overshoot exact for
+            // Poisson arrivals).
+            self.segment_idx += 1;
+            let segments = self.schedule.segments();
+            if self.segment_idx >= segments.len() {
+                self.exhausted = true;
+                return None;
+            }
+            self.now = self.segment_end;
+            self.segment_end += segments[self.segment_idx].duration;
+            self.arrivals.set_rate(segments[self.segment_idx].rate);
+        }
+    }
+}
+
+/// Eagerly materializes the full trace.
+pub fn synthesize_trace<R: RngCore>(
+    catalog: &Catalog,
+    schedule: &PhaseSchedule,
+    rng: R,
+) -> Vec<TraceEvent> {
+    TraceStream::new(catalog, schedule, rng).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::phases::PhaseConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Catalog, PhaseSchedule) {
+        let mut rng = SmallRng::seed_from_u64(100);
+        let catalog = Catalog::synthesize(
+            &CatalogConfig { objects: 1000, ..CatalogConfig::default() },
+            &mut rng,
+        );
+        let cfg = PhaseConfig {
+            warmup_rate: 50.0,
+            warmup_duration: 10.0,
+            transition_rate: 5.0,
+            transition_duration: 4.0,
+            sweep_start: 20.0,
+            sweep_end: 40.0,
+            sweep_step: 10.0,
+            hold: 10.0,
+            time_scale: 1.0,
+        };
+        (catalog, PhaseSchedule::new(&cfg))
+    }
+
+    #[test]
+    fn timestamps_monotone_and_bounded() {
+        let (catalog, schedule) = setup();
+        let trace = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(7));
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let end = schedule.total_duration();
+        assert!(trace.last().unwrap().at < end);
+    }
+
+    #[test]
+    fn per_segment_rates_respected() {
+        let (catalog, schedule) = setup();
+        let trace = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(8));
+        // Warmup [0,10) at 50 req/s → ~500 events.
+        let warm = trace.iter().filter(|e| e.at < 10.0).count();
+        assert!((warm as f64 - 500.0).abs() < 100.0, "warmup count {warm}");
+        // Transition [10,14) at 5 req/s → ~20 events.
+        let trans = trace.iter().filter(|e| e.at >= 10.0 && e.at < 14.0).count();
+        assert!(trans < 60, "transition count {trans}");
+        // Last sweep segment [24,34) at 40 req/s → ~400 events.
+        let last = trace.iter().filter(|e| e.at >= 24.0 && e.at < 34.0).count();
+        assert!((last as f64 - 400.0).abs() < 90.0, "last segment count {last}");
+    }
+
+    #[test]
+    fn sizes_denormalized_from_catalog() {
+        let (catalog, schedule) = setup();
+        let trace = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(9));
+        for e in trace.iter().take(100) {
+            assert_eq!(e.size, catalog.size_of(e.object));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (catalog, schedule) = setup();
+        let a = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(10));
+        let b = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(10));
+        assert_eq!(a, b);
+        let c = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(11));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_is_lazy_and_matches_collect() {
+        let (catalog, schedule) = setup();
+        let mut stream = TraceStream::new(&catalog, &schedule, SmallRng::seed_from_u64(12));
+        let first = stream.next().unwrap();
+        let eager = synthesize_trace(&catalog, &schedule, SmallRng::seed_from_u64(12));
+        assert_eq!(first, eager[0]);
+    }
+}

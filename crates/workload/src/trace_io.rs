@@ -1,0 +1,274 @@
+//! Trace files: save/load and timestamp rewriting.
+//!
+//! The paper replays a wikibench-derived trace and "change[s] the timestamp
+//! field of each request" to impose the synthetic rate schedule (§V-B).
+//! This module provides the equivalent plumbing: a plain-text trace format
+//! (one `timestamp object_id size` triple per line, `#` comments), readers
+//! and writers, and the timestamp-rewriting transform that keeps object
+//! identities while imposing new Poisson arrivals from a
+//! [`PhaseSchedule`](crate::phases::PhaseSchedule).
+
+use crate::arrivals::{ArrivalProcess, PoissonArrivals};
+use crate::phases::PhaseSchedule;
+use crate::trace::TraceEvent;
+use rand::RngCore;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from trace file handling.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that does not parse, with its 1-based line number.
+    Malformed {
+        /// Line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Timestamps must be nondecreasing.
+    OutOfOrder {
+        /// Line number of the violation.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Malformed { line, content } => {
+                write!(f, "malformed trace line {line}: {content:?}")
+            }
+            TraceIoError::OutOfOrder { line } => {
+                write!(f, "timestamps out of order at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the text format (`timestamp object size` per line).
+pub fn save_trace(path: &Path, trace: &[TraceEvent]) -> Result<(), TraceIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# cosmodel trace: timestamp_s object_id size_bytes")?;
+    for e in trace {
+        writeln!(w, "{:.9} {} {}", e.at, e.object, e.size)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a trace written by [`save_trace`] (or hand-made in the same
+/// format). Blank lines and `#` comments are ignored.
+pub fn load_trace(path: &Path) -> Result<Vec<TraceEvent>, TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut out = Vec::new();
+    let mut last = f64::NEG_INFINITY;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parsed = (|| {
+            let at: f64 = parts.next()?.parse().ok()?;
+            let object: u32 = parts.next()?.parse().ok()?;
+            let size: u32 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || !at.is_finite() || at < 0.0 {
+                return None;
+            }
+            Some(TraceEvent { at, object, size })
+        })();
+        match parsed {
+            Some(e) => {
+                if e.at < last {
+                    return Err(TraceIoError::OutOfOrder { line: i + 1 });
+                }
+                last = e.at;
+                out.push(e);
+            }
+            None => {
+                return Err(TraceIoError::Malformed { line: i + 1, content: trimmed.to_string() })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The paper's §V-B transform: keep the trace's object references (in
+/// order), replace the timestamps with Poisson arrivals following
+/// `schedule`. If the schedule generates more arrivals than the trace has
+/// references, the trace is cycled; if fewer, the tail is dropped — both
+/// choices match replaying a finite trace against a synthetic load curve.
+pub fn retime_to_schedule(
+    trace: &[TraceEvent],
+    schedule: &PhaseSchedule,
+    rng: &mut dyn RngCore,
+) -> Vec<TraceEvent> {
+    assert!(!trace.is_empty(), "cannot retime an empty trace");
+    let segments = schedule.segments();
+    assert!(!segments.is_empty(), "schedule has no segments");
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    let mut now = 0.0f64;
+    let mut seg_end = 0.0f64;
+    let mut seg_iter = segments.iter();
+    let mut arrivals: Option<PoissonArrivals> = None;
+    loop {
+        while now >= seg_end {
+            match seg_iter.next() {
+                Some(seg) => {
+                    now = seg_end;
+                    seg_end += seg.duration;
+                    arrivals = Some(PoissonArrivals::new(seg.rate));
+                }
+                None => return out,
+            }
+        }
+        let gap = arrivals.as_mut().expect("segment active").next_gap(rng);
+        now += gap;
+        if now >= seg_end {
+            continue;
+        }
+        let source = &trace[idx % trace.len()];
+        idx += 1;
+        out.push(TraceEvent { at: now, object: source.object, size: source.size });
+    }
+}
+
+/// Uniformly rescales a trace's arrival rate by `factor` (timestamps divide
+/// by it), as in "experiment with a broader range of arriving rates".
+pub fn rescale_rate(trace: &[TraceEvent], factor: f64) -> Vec<TraceEvent> {
+    assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+    trace
+        .iter()
+        .map(|e| TraceEvent { at: e.at / factor, ..*e })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::PhaseConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cosmodel-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { at: 0.0, object: 5, size: 1000 },
+            TraceEvent { at: 0.5, object: 7, size: 64 * 1024 },
+            TraceEvent { at: 1.25, object: 5, size: 1000 },
+        ]
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("roundtrip.trace");
+        let trace = sample_trace();
+        save_trace(&path, &trace).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), trace.len());
+        for (a, b) in loaded.iter().zip(&trace) {
+            assert!((a.at - b.at).abs() < 1e-9);
+            assert_eq!(a.object, b.object);
+            assert_eq!(a.size, b.size);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let path = tmp("comments.trace");
+        std::fs::write(&path, "# header\n\n0.5 1 100\n# middle\n1.0 2 200\n").unwrap();
+        let loaded = load_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].object, 2);
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let path = tmp("malformed.trace");
+        std::fs::write(&path, "0.5 1 100\nnot a line\n").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            TraceIoError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let path = tmp("order.trace");
+        std::fs::write(&path, "1.0 1 100\n0.5 2 100\n").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, TraceIoError::OutOfOrder { line: 2 }));
+    }
+
+    #[test]
+    fn retime_keeps_object_sequence_and_schedule() {
+        let schedule = crate::phases::PhaseSchedule::new(&PhaseConfig {
+            warmup_rate: 100.0,
+            warmup_duration: 2.0,
+            transition_rate: 10.0,
+            transition_duration: 1.0,
+            sweep_start: 50.0,
+            sweep_end: 50.0,
+            sweep_step: 5.0,
+            hold: 2.0,
+            time_scale: 1.0,
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = sample_trace();
+        let retimed = retime_to_schedule(&base, &schedule, &mut rng);
+        assert!(!retimed.is_empty());
+        // Object references cycle through the source trace in order.
+        for (i, e) in retimed.iter().enumerate() {
+            let src = &base[i % base.len()];
+            assert_eq!(e.object, src.object);
+            assert_eq!(e.size, src.size);
+        }
+        // Timestamps follow the schedule bounds and are sorted.
+        let total = schedule.total_duration();
+        let mut prev = 0.0;
+        for e in &retimed {
+            assert!(e.at >= prev && e.at < total);
+            prev = e.at;
+        }
+        // Roughly 100·2 + 10·1 + 50·2 = 310 arrivals.
+        assert!((retimed.len() as f64 - 310.0).abs() < 100.0, "{}", retimed.len());
+    }
+
+    #[test]
+    fn rescale_divides_timestamps() {
+        let scaled = rescale_rate(&sample_trace(), 2.0);
+        assert!((scaled[1].at - 0.25).abs() < 1e-12);
+        assert_eq!(scaled[1].object, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rescale_rejects_zero() {
+        rescale_rate(&sample_trace(), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for workload synthesis.
+
+use cos_workload::{Catalog, CatalogConfig, PhaseConfig, PhaseSchedule, TraceStream};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_schedule(warmup: f64, hold: f64, start: f64, end: f64) -> PhaseSchedule {
+    PhaseSchedule::new(&PhaseConfig {
+        warmup_rate: 50.0,
+        warmup_duration: warmup,
+        transition_rate: 5.0,
+        transition_duration: 1.0,
+        sweep_start: start,
+        sweep_end: end,
+        sweep_step: 10.0,
+        hold,
+        time_scale: 1.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn trace_is_time_sorted_and_bounded(
+        seed in 0u64..10_000,
+        warmup in 0.5f64..5.0,
+        hold in 0.5f64..5.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let catalog = Catalog::synthesize(
+            &CatalogConfig { objects: 500, ..CatalogConfig::default() },
+            &mut rng,
+        );
+        let schedule = small_schedule(warmup, hold, 20.0, 60.0);
+        let trace: Vec<_> =
+            TraceStream::new(&catalog, &schedule, SmallRng::seed_from_u64(seed ^ 1)).collect();
+        let total = schedule.total_duration();
+        let mut prev = 0.0;
+        for e in &trace {
+            prop_assert!(e.at >= prev && e.at < total);
+            prop_assert!((e.object as usize) < catalog.len());
+            prop_assert_eq!(e.size, catalog.size_of(e.object));
+            prev = e.at;
+        }
+    }
+
+    #[test]
+    fn measured_windows_tile_the_sweep(
+        start in 10.0f64..50.0,
+        steps in 1usize..10,
+        hold in 1.0f64..10.0,
+    ) {
+        let end = start + (steps as f64 - 1.0) * 10.0;
+        let schedule = small_schedule(1.0, hold, start, end);
+        let windows = schedule.measured_windows();
+        prop_assert_eq!(windows.len(), steps);
+        for w in windows.windows(2) {
+            prop_assert!((w[0].1 - w[1].0).abs() < 1e-9, "windows must be contiguous");
+        }
+        for (i, &(s, e, rate)) in schedule.measured_windows().iter().enumerate() {
+            prop_assert!((e - s - hold).abs() < 1e-9);
+            prop_assert!((rate - (start + 10.0 * i as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn catalog_sampling_within_bounds(seed in 0u64..10_000, objects in 1usize..2000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let catalog = Catalog::synthesize(
+            &CatalogConfig { objects, ..CatalogConfig::default() },
+            &mut rng,
+        );
+        for _ in 0..200 {
+            let id = catalog.sample(&mut rng);
+            prop_assert!((id as usize) < objects);
+            prop_assert!(catalog.size_of(id) >= 1);
+        }
+    }
+
+    #[test]
+    fn event_count_tracks_expected_rate(seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let catalog = Catalog::synthesize(
+            &CatalogConfig { objects: 200, ..CatalogConfig::default() },
+            &mut rng,
+        );
+        // 100 seconds at 50 req/s → 5000 ± 5σ (σ = √5000 ≈ 71).
+        let schedule = small_schedule(100.0, 1.0, 10.0, 10.0);
+        let n = TraceStream::new(&catalog, &schedule, SmallRng::seed_from_u64(seed ^ 2))
+            .filter(|e| e.at < 100.0)
+            .count();
+        prop_assert!((n as f64 - 5000.0).abs() < 360.0, "count {n}");
+    }
+}

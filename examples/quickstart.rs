@@ -1,0 +1,62 @@
+//! Quickstart: predict the percentile of requests meeting an SLA for a
+//! small object-store deployment, across a range of loads.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cosmodel::distr::{Degenerate, Gamma};
+use cosmodel::model::{
+    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+};
+use cosmodel::queueing::from_distribution;
+
+fn device(rate: f64) -> DeviceParams {
+    DeviceParams {
+        arrival_rate: rate,
+        data_read_rate: rate * 1.1, // ~10% of requests need a second chunk
+        miss_index: 0.3,
+        miss_meta: 0.3,
+        miss_data: 0.5,
+        // Benchmarked HDD service times, fitted to Gamma (§IV-A / Fig. 5):
+        // means ≈ 12 ms (index lookup), 8 ms (metadata), 14 ms (data chunk).
+        index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+        data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        processes: 1,
+    }
+}
+
+fn main() {
+    println!("SLA percentile prediction for a 4-device object store (N_be = 1)\n");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "rate", "P(<=10ms)", "P(<=50ms)", "P(<=100ms)", "p95 (ms)");
+    for total_rate in [40.0, 80.0, 120.0, 160.0, 200.0, 240.0, 280.0] {
+        let per_device = total_rate / 4.0;
+        let params = SystemParams {
+            frontend: FrontendParams {
+                arrival_rate: total_rate,
+                processes: 3,
+                parse_fe: from_distribution(Degenerate::new(0.0003)),
+            },
+            devices: (0..4).map(|_| device(per_device)).collect(),
+        };
+        match SystemModel::new(&params, ModelVariant::Full) {
+            Ok(model) => {
+                let p95 = model
+                    .latency_percentile(0.95)
+                    .map(|t| format!("{:.1}", t * 1000.0))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{:>10.0} {:>12.4} {:>12.4} {:>12.4} {:>12}",
+                    total_rate,
+                    model.fraction_meeting_sla(0.010),
+                    model.fraction_meeting_sla(0.050),
+                    model.fraction_meeting_sla(0.100),
+                    p95,
+                );
+            }
+            Err(e) => println!("{total_rate:>10.0} unstable: {e}"),
+        }
+    }
+    println!("\nHigher load -> heavier tails -> lower percentiles, until the");
+    println!("model reports the operating point as unstable (rho >= 1).");
+}

@@ -1,0 +1,164 @@
+//! End-to-end validation of the bottleneck-identification use case (§I):
+//! with one heterogeneous (cold-cache) device, the simulator's observed
+//! per-device SLA fractions and the model's predicted ranking must agree on
+//! which device is the bottleneck.
+
+use cosmodel::model::{
+    rank_bottlenecks, DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+};
+use cosmodel::queueing::from_dyn_service;
+use cosmodel::storesim::{
+    run_simulation, CacheConfig, ClusterConfig, DeviceOverride, DiskOpKind, MetricsConfig,
+};
+use cosmodel::workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const HOT_DEVICE: usize = 2;
+
+fn heterogeneous_cluster() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_s1();
+    cfg.device_overrides = vec![DeviceOverride {
+        device: HOT_DEVICE,
+        disk: None,
+        cache: Some(CacheConfig::Bernoulli {
+            index_miss: 0.60,
+            meta_miss: 0.55,
+            data_miss: 0.75,
+        }),
+    }];
+    cfg
+}
+
+#[test]
+fn simulator_and_model_agree_on_the_bottleneck_device() {
+    let cfg = heterogeneous_cluster();
+    let rate = 140.0;
+    let duration = 300.0;
+    let sla = 0.050;
+
+    // Drive the cluster.
+    let mut rng = SmallRng::seed_from_u64(61);
+    let mut t = 0.0;
+    let mut trace = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size: 20_000 });
+    }
+    let metrics = run_simulation(
+        cfg.clone(),
+        MetricsConfig {
+            slas: vec![sla],
+            windows: vec![(duration * 0.2, duration, rate)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+
+    // Observed per-device fractions from raw records.
+    let span_start = duration * 0.2;
+    let mut met = vec![0u64; cfg.devices];
+    let mut total = vec![0u64; cfg.devices];
+    for r in metrics.raw().iter().filter(|r| r.arrival >= span_start) {
+        total[r.device as usize] += 1;
+        if r.latency <= sla {
+            met[r.device as usize] += 1;
+        }
+    }
+    let observed: Vec<f64> = (0..cfg.devices)
+        .map(|d| met[d] as f64 / total[d].max(1) as f64)
+        .collect();
+    let observed_worst = (0..cfg.devices)
+        .min_by(|&a, &b| observed[a].partial_cmp(&observed[b]).unwrap())
+        .unwrap();
+    assert_eq!(observed_worst, HOT_DEVICE, "simulated fractions: {observed:?}");
+
+    // Model built from measured per-device metrics.
+    let span = duration * 0.8;
+    let devices: Vec<DeviceParams> = (0..cfg.devices)
+        .map(|d| {
+            let counters = &metrics.devices[d];
+            DeviceParams {
+                arrival_rate: metrics.window_device_requests(0, d) as f64 / span,
+                data_read_rate: (metrics.window_device_data_ops(0, d) as f64 / span)
+                    .max(metrics.window_device_requests(0, d) as f64 / span),
+                miss_index: counters.miss_ratio(DiskOpKind::Index).unwrap(),
+                miss_meta: counters.miss_ratio(DiskOpKind::Meta).unwrap(),
+                miss_data: counters.miss_ratio(DiskOpKind::Data).unwrap(),
+                index_disk: from_dyn_service(cfg.disk.index.clone()),
+                meta_disk: from_dyn_service(cfg.disk.meta.clone()),
+                data_disk: from_dyn_service(cfg.disk.data.clone()),
+                parse_be: from_dyn_service(cfg.parse_be.clone()),
+                processes: cfg.processes_per_device,
+            }
+        })
+        .collect();
+    let params = SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate,
+            processes: cfg.frontend_processes,
+            parse_fe: from_dyn_service(cfg.parse_fe.clone()),
+        },
+        devices,
+    };
+    let model = SystemModel::new(&params, ModelVariant::Full).expect("stable");
+    let ranked = rank_bottlenecks(&model, sla);
+    assert_eq!(
+        ranked[0].0, HOT_DEVICE,
+        "model ranking must find the cold-cache device: {ranked:?}"
+    );
+
+    // The measured miss ratios must reflect the override.
+    let hot = &metrics.devices[HOT_DEVICE];
+    assert!(hot.miss_ratio(DiskOpKind::Index).unwrap() > 0.5);
+    let cold = &metrics.devices[(HOT_DEVICE + 1) % cfg.devices];
+    assert!(cold.miss_ratio(DiskOpKind::Index).unwrap() < 0.4);
+}
+
+#[test]
+fn disk_override_slows_only_that_device() {
+    // Replace device 0's disk with a uniformly slower one; its mean
+    // observed latency must exceed the others'.
+    let mut cfg = ClusterConfig::paper_s1();
+    let slow = cosmodel::storesim::DiskProfile {
+        index: std::sync::Arc::new(cosmodel::distr::Gamma::new(3.0, 83.0)), // ~3x slower
+        meta: std::sync::Arc::new(cosmodel::distr::Gamma::new(2.5, 104.0)),
+        data: std::sync::Arc::new(cosmodel::distr::Gamma::new(3.5, 82.0)),
+    };
+    cfg.device_overrides =
+        vec![DeviceOverride { device: 0, disk: Some(slow), cache: None }];
+    let rate = 60.0;
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut t = 0.0;
+    let mut trace = Vec::new();
+    while t < 200.0 {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size: 20_000 });
+    }
+    let metrics = run_simulation(
+        cfg,
+        MetricsConfig {
+            slas: vec![0.05],
+            windows: vec![(0.0, 1e12, 0.0)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    let mut sums = [(0.0f64, 0u64); 4];
+    for r in metrics.raw() {
+        let (s, n) = &mut sums[r.device as usize];
+        *s += r.latency;
+        *n += 1;
+    }
+    let means: Vec<f64> = sums.iter().map(|(s, n)| s / (*n).max(1) as f64).collect();
+    for d in 1..4 {
+        assert!(
+            means[0] > 1.5 * means[d],
+            "slow-disk device mean {:.4} must dominate device {d} mean {:.4}",
+            means[0],
+            means[d]
+        );
+    }
+}

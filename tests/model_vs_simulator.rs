@@ -1,0 +1,240 @@
+//! The central validation of the reproduction: the analytic model's
+//! percentile predictions must track the simulator's observations, for both
+//! the single-process (S1) and multi-process (S16) backend configurations —
+//! the miniature version of the paper's §V-B experiments.
+
+use cosmodel::distr::Degenerate;
+use cosmodel::model::{
+    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+};
+use cosmodel::queueing::from_distribution;
+use cosmodel::storesim::{
+    run_simulation, CacheConfig, ClusterConfig, DiskOpKind, MetricsConfig,
+};
+use cosmodel::workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a Poisson trace of single-chunk objects (so `r_data = r`, keeping
+/// the comparison crisp) plus a fraction of two-chunk objects when
+/// `two_chunk_share > 0`.
+fn poisson_trace(
+    rate: f64,
+    duration: f64,
+    chunk: u32,
+    two_chunk_share: f64,
+    seed: u64,
+) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        let size = if rng.gen::<f64>() < two_chunk_share { chunk + 1 } else { chunk / 2 };
+        out.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+    }
+    out
+}
+
+/// Runs one simulation and returns (observed fractions per SLA, measured
+/// per-device rates, measured data rates, measured miss ratios).
+struct SimOutcome {
+    observed: Vec<f64>,
+    device_rates: Vec<f64>,
+    device_data_rates: Vec<f64>,
+    misses: Vec<[f64; 3]>,
+}
+
+fn simulate(cfg: &ClusterConfig, rate: f64, duration: f64, slas: &[f64], seed: u64) -> SimOutcome {
+    let trace = poisson_trace(rate, duration, cfg.chunk_size, 0.10, seed);
+    // Skip the first 20% as warmup when counting.
+    let windows = vec![(duration * 0.2, duration, rate)];
+    let metrics = run_simulation(
+        cfg.clone(),
+        MetricsConfig {
+            slas: slas.to_vec(),
+            windows,
+            collect_raw: false,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    let measured_span = duration * 0.8;
+    SimOutcome {
+        observed: (0..slas.len())
+            .map(|i| metrics.observed_fraction(0, i).expect("observations"))
+            .collect(),
+        device_rates: (0..cfg.devices)
+            .map(|d| metrics.window_device_requests(0, d) as f64 / measured_span)
+            .collect(),
+        device_data_rates: (0..cfg.devices)
+            .map(|d| metrics.window_device_data_ops(0, d) as f64 / measured_span)
+            .collect(),
+        misses: metrics
+            .devices
+            .iter()
+            .map(|d| {
+                [
+                    d.miss_ratio(DiskOpKind::Index).unwrap_or(0.0),
+                    d.miss_ratio(DiskOpKind::Meta).unwrap_or(0.0),
+                    d.miss_ratio(DiskOpKind::Data).unwrap_or(0.0),
+                ]
+            })
+            .collect(),
+    }
+}
+
+fn model_params(cfg: &ClusterConfig, outcome: &SimOutcome, total_rate: f64) -> SystemParams {
+    let devices = (0..cfg.devices)
+        .filter(|&d| outcome.device_rates[d] > 0.0)
+        .map(|d| DeviceParams {
+            arrival_rate: outcome.device_rates[d],
+            data_read_rate: outcome.device_data_rates[d].max(outcome.device_rates[d]),
+            miss_index: outcome.misses[d][0],
+            miss_meta: outcome.misses[d][1],
+            miss_data: outcome.misses[d][2],
+            index_disk: from_distribution_dyn(&cfg.disk.index),
+            meta_disk: from_distribution_dyn(&cfg.disk.meta),
+            data_disk: from_distribution_dyn(&cfg.disk.data),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            processes: cfg.processes_per_device,
+        })
+        .collect();
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: total_rate,
+            processes: cfg.frontend_processes,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices,
+    }
+}
+
+/// Adapts the simulator's configured disk laws (ground truth) into the
+/// model's service-time interface.
+fn from_distribution_dyn(d: &cosmodel::distr::DynService) -> cosmodel::queueing::DynServiceTime {
+    cosmodel::queueing::from_dyn_service(d.clone())
+}
+
+#[test]
+fn s1_predictions_track_simulation_at_moderate_load() {
+    let cfg = ClusterConfig::paper_s1();
+    let slas = [0.010, 0.050, 0.100];
+    let rate = 150.0; // ~37.5 req/s per device: utilization ≈ 0.6
+    let outcome = simulate(&cfg, rate, 400.0, &slas, 21);
+    let params = model_params(&cfg, &outcome, rate);
+    let full = SystemModel::new(&params, ModelVariant::Full).expect("stable at this load");
+    let nowta = SystemModel::new(&params, ModelVariant::NoWta).expect("stable at this load");
+    for (i, &sla) in slas.iter().enumerate() {
+        let observed = outcome.observed[i];
+        // The M/G/1 union-operation core is near-exact for this substrate:
+        // without the WTA term the prediction must be tight.
+        let base = nowta.fraction_meeting_sla(sla);
+        assert!(
+            (base - observed).abs() < 0.05,
+            "noWTA SLA {sla}: predicted {base:.4}, observed {observed:.4}"
+        );
+        // The full model's W_a = W_be term overestimates latency (the
+        // paper's own §V-B/§V-C observation), so it sits below the observed
+        // percentile but within the paper's worst-case band (Table I: up to
+        // ~15-17%).
+        let predicted = full.fraction_meeting_sla(sla);
+        assert!(
+            predicted <= observed + 0.02,
+            "SLA {sla}: full model should underestimate, got {predicted:.4} vs {observed:.4}"
+        );
+        assert!(
+            (predicted - observed).abs() < 0.22,
+            "SLA {sla}: predicted {predicted:.4}, observed {observed:.4}"
+        );
+    }
+}
+
+#[test]
+fn s1_predictions_track_simulation_at_high_load() {
+    let cfg = ClusterConfig::paper_s1();
+    let slas = [0.050, 0.100];
+    let rate = 240.0; // utilization ≈ 0.94 per device
+    let outcome = simulate(&cfg, rate, 500.0, &slas, 22);
+    let params = model_params(&cfg, &outcome, rate);
+    let full = SystemModel::new(&params, ModelVariant::Full).expect("still stable");
+    let nowta = SystemModel::new(&params, ModelVariant::NoWta).expect("still stable");
+    for (i, &sla) in slas.iter().enumerate() {
+        let observed = outcome.observed[i];
+        // Near saturation (§V-B: accuracy degrades with load) the two
+        // models bracket the observation, as in the paper's Fig. 6 at high
+        // rates: the full model underestimates the percentile (WTA
+        // overestimation) while noWTA overestimates it (it ignores both the
+        // accept indirection and its CPU cost).
+        let predicted = full.fraction_meeting_sla(sla);
+        let base = nowta.fraction_meeting_sla(sla);
+        assert!(
+            predicted <= observed + 0.02,
+            "SLA {sla}: full model should underestimate, got {predicted:.4} vs {observed:.4}"
+        );
+        assert!(
+            base >= observed - 0.02,
+            "SLA {sla}: noWTA should overestimate, got {base:.4} vs {observed:.4}"
+        );
+    }
+}
+
+#[test]
+fn s16_predictions_track_simulation() {
+    let cfg = ClusterConfig::paper_s16();
+    let slas = [0.050, 0.100];
+    let rate = 400.0; // 100 req/s per device over 16 processes
+    let outcome = simulate(&cfg, rate, 300.0, &slas, 23);
+    let params = model_params(&cfg, &outcome, rate);
+    let model = SystemModel::new(&params, ModelVariant::Full).expect("stable");
+    for (i, &sla) in slas.iter().enumerate() {
+        let predicted = model.fraction_meeting_sla(sla);
+        let observed = outcome.observed[i];
+        // §V-B: S16 errors are larger (M/M/1/K systematic error + load
+        // imbalance) and biased toward overestimation.
+        assert!(
+            (predicted - observed).abs() < 0.15,
+            "SLA {sla}: predicted {predicted:.4}, observed {observed:.4}"
+        );
+    }
+}
+
+#[test]
+fn full_model_beats_odopr_across_a_small_sweep() {
+    let cfg = ClusterConfig::paper_s1();
+    let sla = [0.050];
+    let mut full_err = 0.0;
+    let mut odopr_err = 0.0;
+    for (i, rate) in [120.0, 180.0, 240.0].into_iter().enumerate() {
+        let outcome = simulate(&cfg, rate, 350.0, &sla, 31 + i as u64);
+        let params = model_params(&cfg, &outcome, rate);
+        let full = SystemModel::new(&params, ModelVariant::Full).unwrap();
+        let odopr = SystemModel::new(&params, ModelVariant::Odopr).unwrap();
+        full_err += (full.fraction_meeting_sla(sla[0]) - outcome.observed[0]).abs();
+        odopr_err += (odopr.fraction_meeting_sla(sla[0]) - outcome.observed[0]).abs();
+    }
+    assert!(
+        full_err < odopr_err,
+        "full model error {full_err:.4} must beat ODOPR {odopr_err:.4}"
+    );
+}
+
+#[test]
+fn all_hit_cache_reduces_to_parse_pipeline() {
+    // With a 100% hit cache the observed and predicted CDFs collapse to the
+    // (deterministic) parse path: both sides should agree almost exactly.
+    let mut cfg = ClusterConfig::paper_s1();
+    cfg.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 };
+    let slas = [0.002];
+    let rate = 100.0;
+    let outcome = simulate(&cfg, rate, 200.0, &slas, 41);
+    let params = model_params(&cfg, &outcome, rate);
+    let model = SystemModel::new(&params, ModelVariant::Full).unwrap();
+    let predicted = model.fraction_meeting_sla(slas[0]);
+    assert!(
+        (predicted - outcome.observed[0]).abs() < 0.05,
+        "predicted {predicted:.4} observed {:.4}",
+        outcome.observed[0]
+    );
+    assert!(outcome.observed[0] > 0.95, "2 ms is generous for a pure parse path");
+}

@@ -1,0 +1,96 @@
+//! End-to-end validation of the overload-control use case (§I): the
+//! admission limit computed from the analytic model must be confirmed by
+//! the simulator — observed SLA compliance holds below the limit and fails
+//! well above it.
+//!
+//! Uses the noWTA variant, which EXPERIMENTS.md shows is the calibrated
+//! match for this substrate (the full model's WTA term is a conservative
+//! upper bound, so its limit would simply be lower — safe but loose).
+
+use cosmodel::model::{
+    max_admissible_rate, DeviceParams, FrontendParams, ModelVariant, SlaGoal, SystemParams,
+};
+use cosmodel::queueing::from_dyn_service;
+use cosmodel::storesim::{run_simulation, ClusterConfig, MetricsConfig};
+use cosmodel::workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn template(cfg: &ClusterConfig) -> SystemParams {
+    let device = DeviceParams {
+        arrival_rate: 25.0,
+        data_read_rate: 26.0,
+        miss_index: 0.30,
+        miss_meta: 0.25,
+        miss_data: 0.40,
+        index_disk: from_dyn_service(cfg.disk.index.clone()),
+        meta_disk: from_dyn_service(cfg.disk.meta.clone()),
+        data_disk: from_dyn_service(cfg.disk.data.clone()),
+        parse_be: from_dyn_service(cfg.parse_be.clone()),
+        processes: cfg.processes_per_device,
+    };
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: 100.0,
+            processes: cfg.frontend_processes,
+            parse_fe: from_dyn_service(cfg.parse_fe.clone()),
+        },
+        devices: vec![device; cfg.devices],
+    }
+}
+
+fn observe(cfg: &ClusterConfig, rate: f64, sla: f64) -> f64 {
+    let duration = 300.0;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut t = 0.0;
+    let mut trace = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        // Single-chunk objects with ~4% needing a second chunk, matching
+        // the template's data_read_rate/arrival_rate = 1.04.
+        let size = if rng.gen::<f64>() < 0.04 { cfg.chunk_size + 1 } else { cfg.chunk_size / 2 };
+        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+    }
+    let metrics = run_simulation(
+        cfg.clone(),
+        MetricsConfig {
+            slas: vec![sla],
+            windows: vec![(duration * 0.2, duration, rate)],
+            collect_raw: false,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    metrics.observed_fraction(0, 0).expect("observations")
+}
+
+#[test]
+fn admission_limit_is_confirmed_by_simulation() {
+    let cfg = ClusterConfig::paper_s1();
+    let goal = SlaGoal::new(0.100, 0.90);
+    let mut params = template(&cfg);
+    // data_read_rate ratio 1.04 to match the simulated trace.
+    for d in &mut params.devices {
+        d.data_read_rate = d.arrival_rate * 1.04;
+    }
+    let limit = max_admissible_rate(&params, ModelVariant::NoWta, goal, 2000.0)
+        .expect("a feasible limit exists");
+    assert!(limit > 50.0 && limit < 400.0, "limit {limit}");
+
+    // Below the limit the observed system meets the goal (with margin for
+    // finite-run noise)...
+    let below = observe(&cfg, limit * 0.85, goal.sla);
+    assert!(
+        below >= goal.target_fraction - 0.03,
+        "at {:.0} req/s observed {below:.4} < goal {}",
+        limit * 0.85,
+        goal.target_fraction
+    );
+    // ... and comfortably above it, the goal fails.
+    let above = observe(&cfg, limit * 1.35, goal.sla);
+    assert!(
+        above < goal.target_fraction,
+        "at {:.0} req/s observed {above:.4} should violate the goal",
+        limit * 1.35
+    );
+}
