@@ -23,12 +23,16 @@ fn bench_fit(c: &mut Criterion) {
                 fit_gamma_mle(&e).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("four_family_selection", n), &raw, |b, raw| {
-            b.iter(|| {
-                let e = Empirical::new(black_box(raw.clone()));
-                fit_best(&e)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("four_family_selection", n),
+            &raw,
+            |b, raw| {
+                b.iter(|| {
+                    let e = Empirical::new(black_box(raw.clone()));
+                    fit_best(&e)
+                })
+            },
+        );
     }
     group.finish();
 }

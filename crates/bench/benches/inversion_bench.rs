@@ -24,7 +24,10 @@ fn bench_inversion(c: &mut Criterion) {
         (InversionAlgorithm::Talbot, 32),
         (InversionAlgorithm::GaverStehfest, 14),
     ] {
-        let cfg = InversionConfig { algorithm: algo, terms };
+        let cfg = InversionConfig {
+            algorithm: algo,
+            terms,
+        };
         // Accuracy gate: every configuration must land near the closed form
         // before we bother timing it.
         let got = cdf_from_lst(&lst, t, &cfg);

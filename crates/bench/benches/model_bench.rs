@@ -11,7 +11,11 @@ use std::hint::black_box;
 fn params(rate_per_device: f64, nbe: usize) -> SystemParams {
     // Warm-cache ratios for multi-process devices (the disk must stay
     // subcritical, as in the paper's S16 runs).
-    let (mi, mm, md) = if nbe > 1 { (0.10, 0.08, 0.18) } else { (0.3, 0.3, 0.5) };
+    let (mi, mm, md) = if nbe > 1 {
+        (0.10, 0.08, 0.18)
+    } else {
+        (0.3, 0.3, 0.5)
+    };
     let device = move |rate: f64| DeviceParams {
         arrival_rate: rate,
         data_read_rate: rate * 1.1,

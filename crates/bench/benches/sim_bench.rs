@@ -13,7 +13,11 @@ fn poisson_trace(rate: f64, n: usize, seed: u64) -> Vec<TraceEvent> {
     (0..n)
         .map(|_| {
             t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-            TraceEvent { at: t, object: rng.gen_range(0..100_000), size: rng.gen_range(1_000..200_000) }
+            TraceEvent {
+                at: t,
+                object: rng.gen_range(0..100_000),
+                size: rng.gen_range(1_000..200_000),
+            }
         })
         .collect()
 }

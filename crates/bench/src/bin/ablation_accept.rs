@@ -23,7 +23,11 @@ fn run(mode: AcceptMode, rate: f64) -> (f64, f64, f64) {
     let mut trace = Vec::new();
     while t < duration {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size: 20_000,
+        });
     }
     let metrics = run_simulation(
         cfg,
@@ -35,7 +39,11 @@ fn run(mode: AcceptMode, rate: f64) -> (f64, f64, f64) {
         },
         trace,
     );
-    let raw: Vec<_> = metrics.raw().iter().filter(|r| r.arrival >= duration * 0.2).collect();
+    let raw: Vec<_> = metrics
+        .raw()
+        .iter()
+        .filter(|r| r.arrival >= duration * 0.2)
+        .collect();
     let n = raw.len() as f64;
     let mean_latency = raw.iter().map(|r| r.latency).sum::<f64>() / n;
     let mean_wta = raw.iter().map(|r| r.wta).sum::<f64>() / n;

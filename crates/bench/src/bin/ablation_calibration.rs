@@ -24,7 +24,10 @@ fn main() {
         index_entry_bytes: 512,
         meta_entry_bytes: 512,
     };
-    let catalog_cfg = CatalogConfig { objects: 50_000, ..CatalogConfig::default() };
+    let catalog_cfg = CatalogConfig {
+        objects: 50_000,
+        ..CatalogConfig::default()
+    };
     let phases = PhaseConfig {
         warmup_rate: 120.0,
         warmup_duration: 400.0,
@@ -54,7 +57,12 @@ fn main() {
     );
 
     println!("## Ablation A3 — latency-threshold miss-ratio estimation (LRU cache)");
-    let mut t = TextTable::new(vec!["operation", "ground_truth", "threshold_estimate", "abs_error"]);
+    let mut t = TextTable::new(vec![
+        "operation",
+        "ground_truth",
+        "threshold_estimate",
+        "abs_error",
+    ]);
     let mut per_kind: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for s in metrics.op_samples() {
         let idx = match s.kind {
@@ -75,7 +83,10 @@ fn main() {
         counts[2] += d.data_ops;
     }
     let mut estimated = [0.0f64; 3];
-    for (i, name) in ["index_lookup", "meta_read", "data_read"].iter().enumerate() {
+    for (i, name) in ["index_lookup", "meta_read", "data_read"]
+        .iter()
+        .enumerate()
+    {
         let gt = truth[i] / counts[i] as f64;
         let est = miss_ratio_by_threshold(&per_kind[i], LATENCY_THRESHOLD);
         estimated[i] = est;
@@ -111,14 +122,25 @@ fn main() {
     let r = total_requests as f64;
     let r_data = total_data as f64;
     let decomposed = decompose_disk_service(b_overall, proportions, estimated, r, r_data);
-    let mut t2 = TextTable::new(vec!["operation", "true_mean_ms", "decomposed_ms", "rel_error"]);
-    for (i, name) in ["index_lookup", "meta_read", "data_read"].iter().enumerate() {
+    let mut t2 = TextTable::new(vec![
+        "operation",
+        "true_mean_ms",
+        "decomposed_ms",
+        "rel_error",
+    ]);
+    for (i, name) in ["index_lookup", "meta_read", "data_read"]
+        .iter()
+        .enumerate()
+    {
         let true_mean = kind_sums[i] / kind_ops[i] as f64;
         t2.push_row(vec![
             name.to_string(),
             format!("{:.3}", 1000.0 * true_mean),
             format!("{:.3}", 1000.0 * decomposed[i]),
-            format!("{:.1}%", 100.0 * (decomposed[i] - true_mean).abs() / true_mean),
+            format!(
+                "{:.1}%",
+                100.0 * (decomposed[i] - true_mean).abs() / true_mean
+            ),
         ]);
     }
     println!("{}", t2.render());

@@ -68,8 +68,8 @@ fn main() {
         let (block, sojourns) = simulate_mg1k(lambda, &service, k, 300_000, 42);
         let model = Mm1k::new(lambda, 1.0 / b, k);
         let sim_mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
-        let sim_cdf = sojourns.iter().filter(|&&s| s <= 0.020).count() as f64
-            / sojourns.len() as f64;
+        let sim_cdf =
+            sojourns.iter().filter(|&&s| s <= 0.020).count() as f64 / sojourns.len() as f64;
         t.push_row(vec![
             format!("{u:.1}"),
             format!("{block:.4}"),

@@ -23,7 +23,10 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut cfg = ClusterConfig::paper_s1();
-    cfg.timeout_retry = Some(TimeoutRetry { timeout: 0.250, max_retries: 2 });
+    cfg.timeout_retry = Some(TimeoutRetry {
+        timeout: 0.250,
+        max_retries: 2,
+    });
     let calib = calibrate(&cfg, 20_000);
     let sla = 0.100;
     let duration = 300.0;
@@ -42,7 +45,11 @@ fn main() {
         let mut trace = Vec::new();
         while time < duration {
             time += -(1.0 - rng.gen::<f64>()).ln() / rate;
-            trace.push(TraceEvent { at: time, object: rng.gen_range(0..100_000), size: 20_000 });
+            trace.push(TraceEvent {
+                at: time,
+                object: rng.gen_range(0..100_000),
+                size: 20_000,
+            });
         }
         let n_logical = trace.len() as u64;
         let metrics = cos_storesim::run_simulation(

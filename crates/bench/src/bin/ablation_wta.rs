@@ -46,11 +46,20 @@ fn simulated_mean_wta(cluster: &ClusterConfig, rate: f64, duration: f64) -> f64 
     let mut trace = Vec::new();
     while t < duration {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..10_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..10_000),
+            size: 20_000,
+        });
     }
     let metrics = cos_storesim::run_simulation(
         cfg,
-        MetricsConfig { slas: vec![], windows: vec![], collect_raw: false, op_sample_stride: 0 },
+        MetricsConfig {
+            slas: vec![],
+            windows: vec![],
+            collect_raw: false,
+            op_sample_stride: 0,
+        },
         trace,
     );
     metrics.devices[0].mean_wta().unwrap_or(0.0)

@@ -17,7 +17,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(240.0);
     let mut cfg = ClusterConfig::paper_s1();
-    if let Some(ac) = std::env::args().skip_while(|a| a != "--accept-cost").nth(1).and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(ac) = std::env::args()
+        .skip_while(|a| a != "--accept-cost")
+        .nth(1)
+        .and_then(|v| v.parse::<f64>().ok())
+    {
         cfg.accept_cost = ac;
     }
     let duration = 500.0;
@@ -26,8 +30,16 @@ fn main() {
     let mut trace = Vec::new();
     while t < duration {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        let size = if rng.gen::<f64>() < 0.10 { cfg.chunk_size + 1 } else { cfg.chunk_size / 2 };
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+        let size = if rng.gen::<f64>() < 0.10 {
+            cfg.chunk_size + 1
+        } else {
+            cfg.chunk_size / 2
+        };
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size,
+        });
     }
     let metrics = cos_storesim::run_simulation(
         cfg.clone(),
@@ -39,11 +51,14 @@ fn main() {
         },
         trace,
     );
-    let raw: Vec<_> = metrics.raw().iter().filter(|r| r.arrival > duration * 0.2).collect();
+    let raw: Vec<_> = metrics
+        .raw()
+        .iter()
+        .filter(|r| r.arrival > duration * 0.2)
+        .collect();
     let n = raw.len() as f64;
-    let mean = |f: &dyn Fn(&&cos_storesim::CompletedRequest) -> f64| {
-        raw.iter().map(f).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&&cos_storesim::CompletedRequest) -> f64| raw.iter().map(f).sum::<f64>() / n;
     let sim_latency = mean(&|r| r.latency);
     let sim_be = mean(&|r| r.be_latency);
     let sim_wta = mean(&|r| r.wta);
@@ -51,9 +66,16 @@ fn main() {
     println!("  total latency      {:.3}", 1000.0 * sim_latency);
     println!("  wta                {:.3}", 1000.0 * sim_wta);
     println!("  backend (queue+svc){:.3}", 1000.0 * sim_be);
-    println!("  frontend share     {:.3}", 1000.0 * (sim_latency - sim_wta - sim_be));
+    println!(
+        "  frontend share     {:.3}",
+        1000.0 * (sim_latency - sim_wta - sim_be)
+    );
     for (i, sla) in [0.01, 0.05, 0.1].iter().enumerate() {
-        println!("  P(<= {:>3.0}ms)       {:.4}", sla * 1000.0, metrics.observed_fraction(0, i).unwrap());
+        println!(
+            "  P(<= {:>3.0}ms)       {:.4}",
+            sla * 1000.0,
+            metrics.observed_fraction(0, i).unwrap()
+        );
     }
 
     // Model with measured parameters.
@@ -91,8 +113,14 @@ fn main() {
             Ok(m) => {
                 let d = &m.devices()[0];
                 println!("\nMODEL [{variant}]:");
-                println!("  frontend sojourn   {:.3}", 1000.0 * m.frontend().mean_sojourn());
-                println!("  wta (= W_be)       {:.3}", 1000.0 * d.backend().mean_waiting());
+                println!(
+                    "  frontend sojourn   {:.3}",
+                    1000.0 * m.frontend().mean_sojourn()
+                );
+                println!(
+                    "  wta (= W_be)       {:.3}",
+                    1000.0 * d.backend().mean_waiting()
+                );
                 println!(
                     "  backend sojourn    {:.3}  (util {:.3})",
                     1000.0 * d.backend().mean_sojourn(),
@@ -100,7 +128,11 @@ fn main() {
                 );
                 println!("  total mean         {:.3}", 1000.0 * m.mean_response());
                 for sla in [0.01, 0.05, 0.1] {
-                    println!("  P(<= {:>3.0}ms)       {:.4}", sla * 1000.0, m.fraction_meeting_sla(sla));
+                    println!(
+                        "  P(<= {:>3.0}ms)       {:.4}",
+                        sla * 1000.0,
+                        m.fraction_meeting_sla(sla)
+                    );
                 }
             }
             Err(e) => println!("\nMODEL [{variant}]: {e}"),

@@ -64,7 +64,10 @@ fn main() {
 
     println!("## model selection (KS statistic, lower is better)");
     let mut ranking = TextTable::new(vec!["operation", "family", "ks", "mean_ms"]);
-    for (name, fit) in ["index_lookup", "meta_read", "data_read"].iter().zip(fits.iter()) {
+    for (name, fit) in ["index_lookup", "meta_read", "data_read"]
+        .iter()
+        .zip(fits.iter())
+    {
         for c in &fit.candidates {
             ranking.push_row(vec![
                 name.to_string(),
@@ -75,7 +78,10 @@ fn main() {
         }
     }
     println!("{}", ranking.render());
-    for (name, fit) in ["index_lookup", "meta_read", "data_read"].iter().zip(fits.iter()) {
+    for (name, fit) in ["index_lookup", "meta_read", "data_read"]
+        .iter()
+        .zip(fits.iter())
+    {
         println!("winner[{name}] = {}", fit.best().fitted.family());
     }
 }

@@ -9,7 +9,11 @@ use cos_bench::{run_scenario, Scenario};
 fn main() {
     let scale = parse_scale(60.0);
     eprintln!("# fig7: scenario S16, time scale {scale}x");
-    let scenario = if scale == 1.0 { Scenario::s16() } else { Scenario::s16().quick(scale) };
+    let scenario = if scale == 1.0 {
+        Scenario::s16()
+    } else {
+        Scenario::s16().quick(scale)
+    };
     let slas = [0.010, 0.050, 0.100];
     let result = run_scenario(&scenario, &slas, false);
     for i in 0..slas.len() {

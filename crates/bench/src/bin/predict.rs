@@ -16,10 +16,13 @@ use cos_stats::TextTable;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--example-config") {
-        println!("{}", serde_json::to_string_pretty(&example_config()).expect("serializable"));
+        println!("{}", example_config().to_json().to_string_pretty());
         return;
     }
-    let Some(path) = args.iter().position(|a| a == "--config").and_then(|i| args.get(i + 1))
+    let Some(path) = args
+        .iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
     else {
         eprintln!("usage: predict --config <cluster.json> | predict --example-config");
         std::process::exit(2);
@@ -31,7 +34,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let config: ModelConfigFile = match serde_json::from_str(&raw) {
+    let config: ModelConfigFile = match ModelConfigFile::from_json_str(&raw) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("invalid config: {e}");
@@ -47,7 +50,9 @@ fn main() {
     };
 
     println!("# cosmodel prediction for {path}");
-    let mut t = TextTable::new(vec!["model", "SLA", "P(meet)", "mean_ms", "p95_ms", "p99_ms"]);
+    let mut t = TextTable::new(vec![
+        "model", "SLA", "P(meet)", "mean_ms", "p95_ms", "p99_ms",
+    ]);
     for variant in ModelVariant::ALL_EXTENDED {
         match cos_model::SystemModel::new(&params, variant) {
             Ok(m) => {

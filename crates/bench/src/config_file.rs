@@ -8,11 +8,12 @@
 
 use cos_model::{DeviceParams, FrontendParams, SystemParams};
 use cos_queueing::from_distribution;
-use serde::{Deserialize, Serialize};
+
+use crate::json::{self, Value};
 
 /// A Gamma law as `{shape, rate}` (the paper's parameterization; mean is
 /// `shape/rate` seconds).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GammaLaw {
     /// Shape parameter `k`.
     pub shape: f64,
@@ -24,14 +25,17 @@ impl GammaLaw {
     fn build(&self) -> Result<cos_distr::Gamma, String> {
         if !(self.shape.is_finite() && self.shape > 0.0 && self.rate.is_finite() && self.rate > 0.0)
         {
-            return Err(format!("invalid gamma law: shape={} rate={}", self.shape, self.rate));
+            return Err(format!(
+                "invalid gamma law: shape={} rate={}",
+                self.shape, self.rate
+            ));
         }
         Ok(cos_distr::Gamma::new(self.shape, self.rate))
     }
 }
 
 /// One storage device's online metrics + calibrated laws.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceConfig {
     /// Request arrival rate at this device (req/s).
     pub arrival_rate: f64,
@@ -52,7 +56,7 @@ pub struct DeviceConfig {
 }
 
 /// The full model configuration file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelConfigFile {
     /// Total system arrival rate (req/s).
     pub arrival_rate: f64,
@@ -66,7 +70,118 @@ pub struct ModelConfigFile {
     pub devices: Vec<DeviceConfig>,
 }
 
+impl GammaLaw {
+    fn to_json(self) -> Value {
+        json::object(vec![
+            ("shape", Value::Number(self.shape)),
+            ("rate", Value::Number(self.rate)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(GammaLaw {
+            shape: v.f64_field("shape")?,
+            rate: v.f64_field("rate")?,
+        })
+    }
+}
+
+impl DeviceConfig {
+    fn to_json(&self) -> Value {
+        json::object(vec![
+            ("arrival_rate", Value::Number(self.arrival_rate)),
+            ("data_read_rate", Value::Number(self.data_read_rate)),
+            (
+                "miss_ratios",
+                Value::Array(self.miss_ratios.iter().map(|&m| Value::Number(m)).collect()),
+            ),
+            ("index_disk", self.index_disk.to_json()),
+            ("meta_disk", self.meta_disk.to_json()),
+            ("data_disk", self.data_disk.to_json()),
+            ("parse_be", Value::Number(self.parse_be)),
+            ("processes", Value::Number(self.processes as f64)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let ratios = v
+            .field("miss_ratios")?
+            .as_array()
+            .ok_or("miss_ratios must be an array")?;
+        if ratios.len() != 3 {
+            return Err(format!(
+                "miss_ratios must have 3 entries, got {}",
+                ratios.len()
+            ));
+        }
+        let mut miss_ratios = [0.0; 3];
+        for (slot, r) in miss_ratios.iter_mut().zip(ratios) {
+            *slot = r.as_f64().ok_or("miss_ratios entries must be numbers")?;
+        }
+        Ok(DeviceConfig {
+            arrival_rate: v.f64_field("arrival_rate")?,
+            data_read_rate: v.f64_field("data_read_rate")?,
+            miss_ratios,
+            index_disk: GammaLaw::from_json(v.field("index_disk")?)?,
+            meta_disk: GammaLaw::from_json(v.field("meta_disk")?)?,
+            data_disk: GammaLaw::from_json(v.field("data_disk")?)?,
+            parse_be: v.f64_field("parse_be")?,
+            processes: v.usize_field("processes")?,
+        })
+    }
+}
+
 impl ModelConfigFile {
+    /// JSON form of the configuration.
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("arrival_rate", Value::Number(self.arrival_rate)),
+            (
+                "frontend_processes",
+                Value::Number(self.frontend_processes as f64),
+            ),
+            ("parse_fe", Value::Number(self.parse_fe)),
+            (
+                "slas",
+                Value::Array(self.slas.iter().map(|&s| Value::Number(s)).collect()),
+            ),
+            (
+                "devices",
+                Value::Array(self.devices.iter().map(DeviceConfig::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a configuration from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let slas = v
+            .field("slas")?
+            .as_array()
+            .ok_or("slas must be an array")?
+            .iter()
+            .map(|s| {
+                s.as_f64()
+                    .ok_or_else(|| "slas entries must be numbers".to_string())
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        let devices = v
+            .field("devices")?
+            .as_array()
+            .ok_or("devices must be an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DeviceConfig::from_json(d).map_err(|e| format!("device {i}: {e}")))
+            .collect::<Result<Vec<DeviceConfig>, String>>()?;
+        Ok(ModelConfigFile {
+            arrival_rate: v.f64_field("arrival_rate")?,
+            frontend_processes: v.usize_field("frontend_processes")?,
+            parse_fe: v.f64_field("parse_fe")?,
+            slas,
+            devices,
+        })
+    }
+
     /// Converts the file into model parameters.
     pub fn to_params(&self) -> Result<SystemParams, String> {
         if self.devices.is_empty() {
@@ -122,9 +237,18 @@ pub fn example_config() -> ModelConfigFile {
         arrival_rate: 37.5,
         data_read_rate: 41.0,
         miss_ratios: [0.30, 0.25, 0.40],
-        index_disk: GammaLaw { shape: 3.0, rate: 250.0 },
-        meta_disk: GammaLaw { shape: 2.5, rate: 312.5 },
-        data_disk: GammaLaw { shape: 3.5, rate: 245.0 },
+        index_disk: GammaLaw {
+            shape: 3.0,
+            rate: 250.0,
+        },
+        meta_disk: GammaLaw {
+            shape: 2.5,
+            rate: 312.5,
+        },
+        data_disk: GammaLaw {
+            shape: 3.5,
+            rate: 245.0,
+        },
         parse_be: 0.0005,
         processes: 1,
     };
@@ -145,8 +269,8 @@ mod tests {
     #[test]
     fn example_roundtrips_through_json() {
         let config = example_config();
-        let json = serde_json::to_string_pretty(&config).unwrap();
-        let back: ModelConfigFile = serde_json::from_str(&json).unwrap();
+        let json = config.to_json().to_string_pretty();
+        let back = ModelConfigFile::from_json_str(&json).unwrap();
         let params = back.to_params().unwrap();
         let model = SystemModel::new(&params, ModelVariant::Full).unwrap();
         let p = model.fraction_meeting_sla(0.100);

@@ -11,7 +11,13 @@ pub fn print_figure_series(result: &ScenarioResult, sla_idx: usize) {
     let sla_ms = result.slas[sla_idx] * 1000.0;
     println!("### {} @ SLA {:.0} ms", result.name, sla_ms);
     let mut t = TextTable::new(vec![
-        "rate", "observed", "our_model", "odopr", "nowta", "residual", "our_error",
+        "rate",
+        "observed",
+        "our_model",
+        "odopr",
+        "nowta",
+        "residual",
+        "our_error",
     ]);
     for w in &result.windows {
         let c = &w.cells[sla_idx];
@@ -52,7 +58,13 @@ pub fn print_table1(result: &ScenarioResult) {
 
 /// Prints the Table II rows for one scenario.
 pub fn print_table2(result: &ScenarioResult) {
-    let mut t = TextTable::new(vec!["Scenario", "SLA", "Our Model", "ODOPR Model", "noWTA Model"]);
+    let mut t = TextTable::new(vec![
+        "Scenario",
+        "SLA",
+        "Our Model",
+        "ODOPR Model",
+        "noWTA Model",
+    ]);
     for (i, &sla) in result.slas.iter().enumerate() {
         if let Some(row) = table2_row(result, i) {
             t.push_row(vec![
@@ -82,7 +94,11 @@ pub fn print_reductions(result: &ScenarioResult) {
                 continue;
             }
             let base_mean = cos_stats::ErrorSummary::from_points(&pts).mean;
-            let reduction = if base_mean > 0.0 { (base_mean - full_mean) / base_mean } else { 0.0 };
+            let reduction = if base_mean > 0.0 {
+                (base_mean - full_mean) / base_mean
+            } else {
+                0.0
+            };
             println!(
                 "{} @ {:.0}ms: vs {}: {} -> {} ({:+.0}% reduction)",
                 result.name,
@@ -114,8 +130,12 @@ pub fn parse_scale(default_scale: f64) -> f64 {
 /// `--json PATH` is given.
 pub fn maybe_dump_json(result: &ScenarioResult) {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(path) = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)) {
-        let json = serde_json::to_string_pretty(result).expect("serializable result");
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let json = result.to_json().to_string_pretty();
         std::fs::write(path, json).expect("writable json path");
         eprintln!("# wrote {path}");
     }

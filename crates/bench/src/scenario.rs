@@ -17,14 +17,17 @@
 //!    Fig. 6/7 and summarized in Tables I/II.
 
 use cos_model::{
-    fit_disk_law, miss_ratio_by_threshold, DeviceParams, FrontendParams, ModelVariant,
-    SystemModel, SystemParams, LATENCY_THRESHOLD,
+    fit_disk_law, miss_ratio_by_threshold, DeviceParams, FrontendParams, ModelVariant, SystemModel,
+    SystemParams, LATENCY_THRESHOLD,
 };
 use cos_queueing::{from_distribution, DynServiceTime};
 use cos_simkit::RngStreams;
-use cos_storesim::{benchmark_disk, benchmark_parse, ClusterConfig, DiskOpKind, Metrics, MetricsConfig};
+use cos_storesim::{
+    benchmark_disk, benchmark_parse, ClusterConfig, DiskOpKind, Metrics, MetricsConfig,
+};
 use cos_workload::{Catalog, CatalogConfig, PhaseConfig, PhaseSchedule, TraceStream};
-use serde::Serialize;
+
+use crate::json::{self, Value};
 
 /// A named experiment scenario.
 #[derive(Debug, Clone)]
@@ -72,7 +75,7 @@ impl Scenario {
 /// Model predictions for one (window, SLA) cell; `None` when the model
 /// declares the operating point unstable (the paper stops analyzing when
 /// timeouts dominate).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Observed fraction of requests meeting the SLA.
     pub observed: Option<f64>,
@@ -99,7 +102,7 @@ impl Cell {
 }
 
 /// One measured window (one arrival rate) of a scenario run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WindowResult {
     /// Nominal system arrival rate of this window (req/s).
     pub rate: f64,
@@ -108,7 +111,7 @@ pub struct WindowResult {
 }
 
 /// Full result of a scenario run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ScenarioResult {
     /// Scenario label.
     pub name: String,
@@ -116,6 +119,49 @@ pub struct ScenarioResult {
     pub slas: Vec<f64>,
     /// Per-window results, in sweep order.
     pub windows: Vec<WindowResult>,
+}
+
+impl Cell {
+    /// JSON form (one object per SLA cell).
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("observed", json::opt_number(self.observed)),
+            ("full", json::opt_number(self.full)),
+            ("odopr", json::opt_number(self.odopr)),
+            ("nowta", json::opt_number(self.nowta)),
+            ("residual", json::opt_number(self.residual)),
+        ])
+    }
+}
+
+impl WindowResult {
+    /// JSON form.
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("rate", Value::Number(self.rate)),
+            (
+                "cells",
+                Value::Array(self.cells.iter().map(Cell::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ScenarioResult {
+    /// JSON form (what `--json PATH` writes).
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("name", Value::String(self.name.clone())),
+            (
+                "slas",
+                Value::Array(self.slas.iter().map(|&s| Value::Number(s)).collect()),
+            ),
+            (
+                "windows",
+                Value::Array(self.windows.iter().map(WindowResult::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Calibrated device performance properties (§IV-A outputs), shared by all
@@ -195,8 +241,7 @@ pub fn run_scenario(scenario: &Scenario, slas: &[f64], collect_raw: bool) -> Sce
         collect_raw,
         op_sample_stride: 37,
     };
-    let metrics =
-        cos_storesim::run_simulation(scenario.cluster.clone(), metrics_config, trace);
+    let metrics = cos_storesim::run_simulation(scenario.cluster.clone(), metrics_config, trace);
 
     // Predict per window.
     let devices = scenario.cluster.devices;
@@ -235,9 +280,8 @@ pub fn run_scenario(scenario: &Scenario, slas: &[f64], collect_raw: bool) -> Sce
                 }
                 let params = SystemParams {
                     frontend: FrontendParams {
-                        arrival_rate: rate.max(
-                            device_params.iter().map(|d| d.arrival_rate).sum::<f64>(),
-                        ),
+                        arrival_rate: rate
+                            .max(device_params.iter().map(|d| d.arrival_rate).sum::<f64>()),
                         processes: nfe,
                         parse_fe: calibration.parse_fe.clone(),
                     },
@@ -257,5 +301,9 @@ pub fn run_scenario(scenario: &Scenario, slas: &[f64], collect_raw: bool) -> Sce
         }
         out_windows.push(WindowResult { rate, cells });
     }
-    ScenarioResult { name: scenario.name.to_string(), slas: slas.to_vec(), windows: out_windows }
+    ScenarioResult {
+        name: scenario.name.to_string(),
+        slas: slas.to_vec(),
+        windows: out_windows,
+    }
 }

@@ -19,7 +19,10 @@ pub fn prediction_points(
             let cell = w.cells.get(sla_idx)?;
             let observed = cell.observed?;
             let predicted = cell.prediction(variant)?;
-            Some(PredictionPoint { observed, predicted })
+            Some(PredictionPoint {
+                observed,
+                predicted,
+            })
         })
         .collect()
 }
@@ -95,7 +98,13 @@ mod tests {
                 },
                 WindowResult {
                     rate: 30.0,
-                    cells: vec![Cell { observed: None, full: Some(0.5), odopr: None, nowta: None, residual: None }],
+                    cells: vec![Cell {
+                        observed: None,
+                        full: Some(0.5),
+                        odopr: None,
+                        nowta: None,
+                        residual: None,
+                    }],
                 },
             ],
         }

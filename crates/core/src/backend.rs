@@ -10,7 +10,9 @@ use crate::components::{CacheMixed, ZeroService};
 use crate::params::DeviceParams;
 use crate::variant::ModelVariant;
 use cos_numeric::Complex64;
-use cos_queueing::{DynServiceTime, Mg1, Mm1k, QueueError, ServiceTime, TransformServiceTime, UnionOperation};
+use cos_queueing::{
+    DynServiceTime, Mg1, Mm1k, QueueError, ServiceTime, TransformServiceTime, UnionOperation,
+};
 use std::sync::Arc;
 
 /// Errors from model construction.
@@ -32,10 +34,16 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::UnstableBackend { utilization } => {
-                write!(f, "backend queue unstable (utilization {utilization:.3} >= 1)")
+                write!(
+                    f,
+                    "backend queue unstable (utilization {utilization:.3} >= 1)"
+                )
             }
             ModelError::UnstableFrontend { utilization } => {
-                write!(f, "frontend queue unstable (utilization {utilization:.3} >= 1)")
+                write!(
+                    f,
+                    "frontend queue unstable (utilization {utilization:.3} >= 1)"
+                )
             }
         }
     }
@@ -130,15 +138,18 @@ impl BackendModel {
             data_law,
             extra_reads,
         ));
-        let mg1 = Mg1::new(per_process_rate, union.clone() as DynServiceTime).map_err(|e| {
-            match e {
+        let mg1 =
+            Mg1::new(per_process_rate, union.clone() as DynServiceTime).map_err(|e| match e {
                 QueueError::Unstable { utilization } => ModelError::UnstableBackend { utilization },
                 QueueError::InvalidArrivalRate(r) => {
                     panic!("validated params produced invalid rate {r}")
                 }
-            }
-        })?;
-        Ok(BackendModel { mg1, union, disk_queue })
+            })?;
+        Ok(BackendModel {
+            mg1,
+            union,
+            disk_queue,
+        })
     }
 
     /// Utilization of one backend process queue.
@@ -223,7 +234,11 @@ mod tests {
         let m = BackendModel::new(&p, ModelVariant::Full).unwrap();
         // B̄ = parse + m_i·b_i + m_m·b_m + (1+p)·m_d·b_d
         let want = 0.0005 + 0.3 * 0.012 + 0.3 * 0.008 + 1.1 * 0.5 * (3.5 / 245.0);
-        assert!((m.union_mean() - want).abs() < 1e-9, "got {}", m.union_mean());
+        assert!(
+            (m.union_mean() - want).abs() < 1e-9,
+            "got {}",
+            m.union_mean()
+        );
         assert!(m.disk_queue().is_none());
     }
 
@@ -264,7 +279,9 @@ mod tests {
     fn multi_process_uses_mm1k_disk() {
         let p = warm_device(100.0, 16);
         let m = BackendModel::new(&p, ModelVariant::Full).unwrap();
-        let disk = m.disk_queue().expect("16-process device models disk as M/M/1/K");
+        let disk = m
+            .disk_queue()
+            .expect("16-process device models disk as M/M/1/K");
         assert_eq!(disk.capacity(), 16);
         // r_disk = 0.10·100 + 0.08·100 + 0.18·110 = 37.8 ops/s.
         assert!((disk.arrival_rate() - 37.8).abs() < 1e-9);

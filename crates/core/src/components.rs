@@ -22,7 +22,10 @@ impl CacheMixed {
     /// # Panics
     /// Panics unless `miss` is in `[0, 1]`.
     pub fn new(miss: f64, disk: DynServiceTime) -> Self {
-        assert!((0.0..=1.0).contains(&miss), "miss ratio must be in [0,1], got {miss}");
+        assert!(
+            (0.0..=1.0).contains(&miss),
+            "miss ratio must be in [0,1], got {miss}"
+        );
         CacheMixed { miss, disk }
     }
 

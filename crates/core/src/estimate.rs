@@ -21,8 +21,119 @@ pub const LATENCY_THRESHOLD: f64 = 0.000_015;
 /// # Panics
 /// Panics on an empty sample.
 pub fn miss_ratio_by_threshold(latencies: &[f64], threshold: f64) -> f64 {
-    assert!(!latencies.is_empty(), "cannot estimate a miss ratio from no samples");
+    assert!(
+        !latencies.is_empty(),
+        "cannot estimate a miss ratio from no samples"
+    );
     latencies.iter().filter(|&&l| l > threshold).count() as f64 / latencies.len() as f64
+}
+
+/// Incremental form of [`miss_ratio_by_threshold`] for streaming telemetry:
+/// feeds one operation latency at a time and keeps only two counters, so a
+/// long-running service never buffers samples.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdMissEstimator {
+    threshold: f64,
+    over: u64,
+    total: u64,
+}
+
+impl ThresholdMissEstimator {
+    /// Creates an estimator with the given hit/miss latency threshold
+    /// (use [`LATENCY_THRESHOLD`] for the paper's 0.015 ms).
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
+        ThresholdMissEstimator {
+            threshold,
+            over: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one operation latency.
+    pub fn observe(&mut self, latency: f64) {
+        self.total += 1;
+        if latency > self.threshold {
+            self.over += 1;
+        }
+    }
+
+    /// Estimated miss ratio (`None` before any observation — unlike the
+    /// batch form, streaming callers must handle the empty case).
+    pub fn ratio(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.over as f64 / self.total as f64)
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Why an online decomposition could not be performed this refit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecomposeError {
+    /// The aggregate mean disk service time was non-positive.
+    BadOverallMean(f64),
+    /// A benchmarked proportion was non-positive.
+    BadProportion(f64),
+    /// No operations reach the disk (all-hit window): nothing to decompose.
+    NoDiskTraffic,
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::BadOverallMean(b) => {
+                write!(f, "overall disk service time must be positive, got {b}")
+            }
+            DecomposeError::BadProportion(p) => {
+                write!(f, "benchmarked proportions must be positive, got {p}")
+            }
+            DecomposeError::NoDiskTraffic => {
+                write!(f, "no operations reach the disk; nothing to decompose")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// Non-panicking [`decompose_disk_service`] for online refits, where an
+/// idle or all-hit measurement window is an expected condition (serve the
+/// previous epoch) rather than a programming error.
+pub fn try_decompose_disk_service(
+    b_overall: f64,
+    proportions: [f64; 3],
+    misses: [f64; 3],
+    r: f64,
+    r_data: f64,
+) -> Result<[f64; 3], DecomposeError> {
+    if !(b_overall.is_finite() && b_overall > 0.0) {
+        return Err(DecomposeError::BadOverallMean(b_overall));
+    }
+    if let Some(&p) = proportions.iter().find(|p| !(p.is_finite() && **p > 0.0)) {
+        return Err(DecomposeError::BadProportion(p));
+    }
+    let [mi, mm, md] = misses;
+    let op_rate = mi * r + mm * r + md * r_data;
+    if !(op_rate.is_finite() && op_rate > 0.0) {
+        return Err(DecomposeError::NoDiskTraffic);
+    }
+    Ok(decompose_disk_service(
+        b_overall,
+        proportions,
+        misses,
+        r,
+        r_data,
+    ))
 }
 
 /// Decomposes the aggregate mean disk service time into per-operation means.
@@ -44,12 +155,21 @@ pub fn decompose_disk_service(
     r: f64,
     r_data: f64,
 ) -> [f64; 3] {
-    assert!(b_overall > 0.0, "overall disk service time must be positive");
-    assert!(proportions.iter().all(|&p| p > 0.0), "proportions must be positive");
+    assert!(
+        b_overall > 0.0,
+        "overall disk service time must be positive"
+    );
+    assert!(
+        proportions.iter().all(|&p| p > 0.0),
+        "proportions must be positive"
+    );
     let [pi, pm, pd] = proportions;
     let [mi, mm, md] = misses;
     let op_rate = mi * r + mm * r + md * r_data;
-    assert!(op_rate > 0.0, "no operations reach the disk; nothing to decompose");
+    assert!(
+        op_rate > 0.0,
+        "no operations reach the disk; nothing to decompose"
+    );
     // With b_k = c·p_k, the constraint gives c directly.
     let weighted = mi * pi * r + mm * pm * r + md * pd * r_data;
     let c = op_rate * b_overall / weighted;
@@ -88,7 +208,11 @@ pub fn fit_disk_law(samples: &Empirical) -> FittedDiskLaw {
         Fitted::Normal(n) => from_distribution(n),
         Fitted::Gamma(g) => from_distribution(g),
     };
-    FittedDiskLaw { law, family: best.family(), report }
+    FittedDiskLaw {
+        law,
+        family: best.family(),
+        report,
+    }
 }
 
 /// Rescales fitted per-operation disk laws so their means match an online
@@ -199,5 +323,44 @@ mod tests {
     #[should_panic]
     fn decompose_rejects_all_hit_system() {
         decompose_disk_service(0.01, [1.0, 1.0, 1.0], [0.0, 0.0, 0.0], 10.0, 11.0);
+    }
+
+    #[test]
+    fn incremental_threshold_matches_batch() {
+        let mut lat = vec![0.000_003; 700];
+        lat.extend(vec![0.012; 300]);
+        let mut inc = ThresholdMissEstimator::new(LATENCY_THRESHOLD);
+        for &l in &lat {
+            inc.observe(l);
+        }
+        let batch = miss_ratio_by_threshold(&lat, LATENCY_THRESHOLD);
+        assert_eq!(inc.ratio(), Some(batch));
+        assert_eq!(inc.count(), 1000);
+        assert_eq!(ThresholdMissEstimator::new(1.0).ratio(), None);
+    }
+
+    #[test]
+    fn try_decompose_matches_panicking_form_when_valid() {
+        let got =
+            try_decompose_disk_service(0.012, [12.0, 8.0, 14.0], [0.3, 0.3, 0.5], 100.0, 110.0)
+                .unwrap();
+        let want = decompose_disk_service(0.012, [12.0, 8.0, 14.0], [0.3, 0.3, 0.5], 100.0, 110.0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn try_decompose_reports_typed_errors() {
+        assert_eq!(
+            try_decompose_disk_service(0.01, [1.0, 1.0, 1.0], [0.0, 0.0, 0.0], 10.0, 11.0),
+            Err(DecomposeError::NoDiskTraffic)
+        );
+        assert_eq!(
+            try_decompose_disk_service(0.0, [1.0, 1.0, 1.0], [0.5, 0.5, 0.5], 10.0, 11.0),
+            Err(DecomposeError::BadOverallMean(0.0))
+        );
+        assert!(matches!(
+            try_decompose_disk_service(0.01, [1.0, -2.0, 1.0], [0.5, 0.5, 0.5], 10.0, 11.0),
+            Err(DecomposeError::BadProportion(_))
+        ));
     }
 }

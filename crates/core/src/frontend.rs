@@ -60,7 +60,9 @@ impl FrontendModel {
     pub fn new(params: &FrontendParams) -> Result<Self, ModelError> {
         params.validate();
         let mg1 = build_mg1(params.per_process_rate(), params.parse_fe.clone())?;
-        Ok(FrontendModel { sets: vec![(1.0, mg1)] })
+        Ok(FrontendModel {
+            sets: vec![(1.0, mg1)],
+        })
     }
 
     /// Builds a heterogeneous frontend model from homogeneous sets. Shares
@@ -68,12 +70,12 @@ impl FrontendModel {
     ///
     /// # Panics
     /// Panics on an empty set list or non-positive shares/rates.
-    pub fn heterogeneous(
-        total_rate: f64,
-        sets: &[FrontendSetParams],
-    ) -> Result<Self, ModelError> {
+    pub fn heterogeneous(total_rate: f64, sets: &[FrontendSetParams]) -> Result<Self, ModelError> {
         assert!(!sets.is_empty(), "need at least one frontend set");
-        assert!(total_rate.is_finite() && total_rate > 0.0, "total rate must be positive");
+        assert!(
+            total_rate.is_finite() && total_rate > 0.0,
+            "total rate must be positive"
+        );
         let share_sum: f64 = sets.iter().map(|s| s.share).sum();
         assert!(
             sets.iter().all(|s| s.share > 0.0) && share_sum > 0.0,

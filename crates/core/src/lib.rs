@@ -38,7 +38,8 @@ pub mod wta;
 pub use backend::{BackendModel, ModelError};
 pub use estimate::{
     decompose_disk_service, fit_disk_law, miss_ratio_by_threshold, rescale_to_mean,
-    FittedDiskLaw, LATENCY_THRESHOLD,
+    try_decompose_disk_service, DecomposeError, FittedDiskLaw, ThresholdMissEstimator,
+    LATENCY_THRESHOLD,
 };
 pub use frontend::{FrontendModel, FrontendSetParams};
 pub use params::{DeviceParams, FrontendParams, SystemParams};

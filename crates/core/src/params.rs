@@ -75,7 +75,10 @@ impl DeviceParams {
             ("meta", self.miss_meta),
             ("data", self.miss_data),
         ] {
-            assert!((0.0..=1.0).contains(&m), "{name} miss ratio must be in [0,1], got {m}");
+            assert!(
+                (0.0..=1.0).contains(&m),
+                "{name} miss ratio must be in [0,1], got {m}"
+            );
         }
         assert!(self.processes >= 1, "a device needs at least one process");
     }

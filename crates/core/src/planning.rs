@@ -27,12 +27,18 @@ impl SlaGoal {
     /// # Panics
     /// Panics on out-of-range values.
     pub fn new(sla: f64, target_fraction: f64) -> Self {
-        assert!(sla > 0.0 && sla.is_finite(), "SLA must be positive, got {sla}");
+        assert!(
+            sla > 0.0 && sla.is_finite(),
+            "SLA must be positive, got {sla}"
+        );
         assert!(
             target_fraction > 0.0 && target_fraction < 1.0,
             "target fraction must be in (0,1), got {target_fraction}"
         );
-        SlaGoal { sla, target_fraction }
+        SlaGoal {
+            sla,
+            target_fraction,
+        }
     }
 
     /// Whether a model meets this goal.
@@ -48,7 +54,10 @@ impl SystemParams {
     /// # Panics
     /// Panics unless `total_rate` is positive and finite.
     pub fn scaled_to_rate(&self, total_rate: f64) -> SystemParams {
-        assert!(total_rate.is_finite() && total_rate > 0.0, "rate must be positive");
+        assert!(
+            total_rate.is_finite() && total_rate > 0.0,
+            "rate must be positive"
+        );
         let current: f64 = self.devices.iter().map(|d| d.arrival_rate).sum();
         let k = total_rate / current;
         let devices = self
@@ -79,7 +88,10 @@ pub fn max_admissible_rate(
     goal: SlaGoal,
     upper: f64,
 ) -> Option<f64> {
-    assert!(upper > 0.0 && upper.is_finite(), "upper bound must be positive");
+    assert!(
+        upper > 0.0 && upper.is_finite(),
+        "upper bound must be positive"
+    );
     let ok = |rate: f64| -> bool {
         SystemModel::new(&template.scaled_to_rate(rate), variant)
             .map(|m| goal.met_by(&m))
@@ -123,7 +135,10 @@ pub fn min_devices(
             ..device_template.clone()
         };
         let params = SystemParams {
-            frontend: FrontendParams { arrival_rate: total_rate, ..frontend.clone() },
+            frontend: FrontendParams {
+                arrival_rate: total_rate,
+                ..frontend.clone()
+            },
             devices: vec![device; n],
         };
         if let Ok(m) = SystemModel::new(&params, variant) {
@@ -221,7 +236,9 @@ mod tests {
         let scaled = t.scaled_to_rate(200.0);
         assert!((scaled.devices[0].arrival_rate - 80.0).abs() < 1e-9);
         assert!((scaled.devices[1].arrival_rate - 40.0).abs() < 1e-9);
-        assert!((scaled.devices[0].data_read_rate / scaled.devices[0].arrival_rate - 1.1).abs() < 1e-9);
+        assert!(
+            (scaled.devices[0].data_read_rate / scaled.devices[0].arrival_rate - 1.1).abs() < 1e-9
+        );
         assert!((scaled.frontend.arrival_rate - 200.0).abs() < 1e-12);
     }
 
@@ -242,7 +259,10 @@ mod tests {
     fn admissible_rate_none_for_impossible_goal() {
         // Disk-bound latencies can never put 99.9% under 1 ms.
         let goal = SlaGoal::new(0.001, 0.999);
-        assert_eq!(max_admissible_rate(&template(100.0), ModelVariant::Full, goal, 500.0), None);
+        assert_eq!(
+            max_admissible_rate(&template(100.0), ModelVariant::Full, goal, 500.0),
+            None
+        );
     }
 
     #[test]
@@ -252,7 +272,10 @@ mod tests {
         let fe = frontend(100.0);
         let n1 = min_devices(&d, &fe, ModelVariant::Full, goal, 100.0, 64).unwrap();
         let n2 = min_devices(&d, &fe, ModelVariant::Full, goal, 400.0, 64).unwrap();
-        assert!(n2 >= n1, "more load cannot need fewer devices ({n1} -> {n2})");
+        assert!(
+            n2 >= n1,
+            "more load cannot need fewer devices ({n1} -> {n2})"
+        );
         assert!(n1 >= 1);
     }
 
@@ -261,10 +284,20 @@ mod tests {
         let goal = SlaGoal::new(0.100, 0.90);
         let d = device(25.0);
         let fe = frontend(100.0);
-        let plan = elastic_plan(&d, &fe, ModelVariant::Full, goal, &[50.0, 200.0, 800.0], 128);
+        let plan = elastic_plan(
+            &d,
+            &fe,
+            ModelVariant::Full,
+            goal,
+            &[50.0, 200.0, 800.0],
+            128,
+        );
         assert_eq!(plan.len(), 3);
         let counts: Vec<usize> = plan.iter().map(|p| p.unwrap()).collect();
-        assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+        assert!(
+            counts[0] <= counts[1] && counts[1] <= counts[2],
+            "{counts:?}"
+        );
     }
 
     #[test]

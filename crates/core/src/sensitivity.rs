@@ -88,7 +88,9 @@ pub fn sla_sensitivities(
     // Baseline must be valid.
     SystemModel::new(params, variant)?;
     let eval = |p: &SystemParams| -> Option<f64> {
-        SystemModel::new(p, variant).ok().map(|m| m.fraction_meeting_sla(sla))
+        SystemModel::new(p, variant)
+            .ok()
+            .map(|m| m.fraction_meeting_sla(sla))
     };
     let mut out = Vec::new();
     for device in 0..params.devices.len() {
@@ -106,7 +108,10 @@ pub fn sla_sensitivities(
                 (None, Some(_)) => f64::NEG_INFINITY,
                 _ => f64::NEG_INFINITY,
             };
-            out.push(Sensitivity { parameter, derivative });
+            out.push(Sensitivity {
+                parameter,
+                derivative,
+            });
         }
     }
     out.sort_by(|a, b| {
@@ -154,7 +159,12 @@ mod tests {
         let s = sla_sensitivities(&params(120.0), ModelVariant::Full, 0.05, 0.05).unwrap();
         assert_eq!(s.len(), 16);
         for x in &s {
-            assert!(x.derivative <= 1e-6, "{:?} has positive derivative {}", x.parameter, x.derivative);
+            assert!(
+                x.derivative <= 1e-6,
+                "{:?} has positive derivative {}",
+                x.parameter,
+                x.derivative
+            );
         }
     }
 
@@ -164,7 +174,11 @@ mod tests {
         // their miss ratio must matter more than the metadata one.
         let s = sla_sensitivities(&params(120.0), ModelVariant::Full, 0.05, 0.05).unwrap();
         let get = |want: Parameter| {
-            s.iter().find(|x| x.parameter == want).unwrap().derivative.abs()
+            s.iter()
+                .find(|x| x.parameter == want)
+                .unwrap()
+                .derivative
+                .abs()
         };
         assert!(
             get(Parameter::MissData { device: 0 }) > get(Parameter::MissMeta { device: 0 }),

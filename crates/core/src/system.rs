@@ -60,7 +60,12 @@ impl SystemModel {
                 })
             })
             .collect::<Result<Vec<_>, ModelError>>()?;
-        Ok(SystemModel { frontend, devices, variant, inversion: InversionConfig::default() })
+        Ok(SystemModel {
+            frontend,
+            devices,
+            variant,
+            inversion: InversionConfig::default(),
+        })
     }
 
     /// Overrides the Laplace-inversion configuration.
@@ -226,7 +231,10 @@ mod tests {
         let m = SystemModel::new(&params, ModelVariant::Full).unwrap();
         let sys = m.fraction_meeting_sla(0.05);
         let dev = m.device_fraction_meeting(0, 0.05);
-        assert!((sys - dev).abs() < 1e-9, "identical devices ⇒ Eq. 3 is a no-op");
+        assert!(
+            (sys - dev).abs() < 1e-9,
+            "identical devices ⇒ Eq. 3 is a no-op"
+        );
     }
 
     #[test]
@@ -263,7 +271,10 @@ mod tests {
         let full = SystemModel::new(&params, ModelVariant::Full).unwrap();
         let odopr = SystemModel::new(&params, ModelVariant::Odopr).unwrap();
         for &sla in &[0.01, 0.05, 0.1] {
-            assert!(odopr.fraction_meeting_sla(sla) > full.fraction_meeting_sla(sla), "sla={sla}");
+            assert!(
+                odopr.fraction_meeting_sla(sla) > full.fraction_meeting_sla(sla),
+                "sla={sla}"
+            );
         }
     }
 
@@ -275,8 +286,8 @@ mod tests {
         let nowta = SystemModel::new(&params, ModelVariant::NoWta).unwrap();
         // Mean identity: residual mean = noWTA mean + ρ·E_eq[W].
         let be = residual.devices()[0].backend();
-        let want = nowta.device_mean_response(0)
-            + be.utilization() * crate::wta::equilibrium_wta_mean(be);
+        let want =
+            nowta.device_mean_response(0) + be.utilization() * crate::wta::equilibrium_wta_mean(be);
         assert!(
             (residual.device_mean_response(0) - want).abs() < 1e-9,
             "got {}, want {want}",
@@ -300,7 +311,10 @@ mod tests {
         let lo = nowta.mean_response();
         let hi = full.mean_response();
         let m = residual.mean_response();
-        assert!(m > lo && m < lo + 2.0 * (hi - lo), "mean {m} outside [{lo}, {hi}] band");
+        assert!(
+            m > lo && m < lo + 2.0 * (hi - lo),
+            "mean {m} outside [{lo}, {hi}] band"
+        );
     }
 
     #[test]
@@ -331,7 +345,10 @@ mod tests {
         }
         let m = SystemModel::new(&params, ModelVariant::Full).unwrap();
         let f = m.fraction_meeting_sla(0.1);
-        assert!(f > 0.5, "S16-style system at moderate load should mostly meet 100 ms, got {f}");
+        assert!(
+            f > 0.5,
+            "S16-style system at moderate load should mostly meet 100 ms, got {f}"
+        );
     }
 
     #[test]
@@ -347,7 +364,8 @@ mod tests {
     fn mean_response_composition() {
         let m = SystemModel::new(&system(40.0, 4, 1), ModelVariant::Full).unwrap();
         let d = &m.devices()[0];
-        let want = m.frontend().mean_sojourn() + d.backend().mean_waiting() + d.backend().mean_sojourn();
+        let want =
+            m.frontend().mean_sojourn() + d.backend().mean_waiting() + d.backend().mean_sojourn();
         assert!((m.device_mean_response(0) - want).abs() < 1e-15);
         assert!((m.mean_response() - want).abs() < 1e-12);
     }

@@ -24,7 +24,8 @@ pub enum ModelVariant {
 
 impl ModelVariant {
     /// The paper's three models (Fig. 6/7, Tables I–II).
-    pub const ALL: [ModelVariant; 3] = [ModelVariant::Full, ModelVariant::Odopr, ModelVariant::NoWta];
+    pub const ALL: [ModelVariant; 3] =
+        [ModelVariant::Full, ModelVariant::Odopr, ModelVariant::NoWta];
 
     /// The paper's three models plus this reproduction's residual-WTA
     /// extension.

@@ -2,9 +2,7 @@
 //! must hold at every stable operating point.
 
 use cos_distr::{Degenerate, Gamma};
-use cos_model::{
-    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
-};
+use cos_model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
 use cos_queueing::from_distribution;
 use proptest::prelude::*;
 

@@ -20,7 +20,10 @@ impl Degenerate {
     /// # Panics
     /// Panics on negative or non-finite `value`.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "Degenerate requires a finite value >= 0, got {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "Degenerate requires a finite value >= 0, got {value}"
+        );
         Degenerate { value }
     }
 

@@ -17,8 +17,14 @@ impl Empirical {
     /// # Panics
     /// Panics on an empty sample or any non-finite value.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "Empirical requires at least one sample");
-        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        assert!(
+            !samples.is_empty(),
+            "Empirical requires at least one sample"
+        );
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Empirical { sorted: samples }
     }
@@ -68,7 +74,10 @@ impl Empirical {
     /// # Panics
     /// Panics unless `p` is in `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
         let n = self.len();
         if n == 1 {
             return self.sorted[0];

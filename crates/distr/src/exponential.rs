@@ -19,13 +19,19 @@ impl Exponential {
     /// # Panics
     /// Panics unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "Exponential requires rate > 0, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential requires rate > 0, got {rate}"
+        );
         Exponential { rate }
     }
 
     /// Creates an exponential distribution with the given mean.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "Exponential requires mean > 0, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Exponential requires mean > 0, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 

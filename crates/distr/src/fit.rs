@@ -99,7 +99,9 @@ impl std::fmt::Display for FitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FitError::NonPositiveSample => write!(f, "sample contains non-positive values"),
-            FitError::DegenerateSample => write!(f, "sample has insufficient spread for this family"),
+            FitError::DegenerateSample => {
+                write!(f, "sample has insufficient spread for this family")
+            }
         }
     }
 }
@@ -218,7 +220,10 @@ pub fn fit_best(sample: &Empirical) -> FitReport {
         push(Fitted::Gamma(g));
     }
     candidates.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("finite ks"));
-    assert!(!candidates.is_empty(), "at least the Degenerate fit always exists");
+    assert!(
+        !candidates.is_empty(),
+        "at least the Degenerate fit always exists"
+    );
     FitReport { candidates }
 }
 
@@ -238,8 +243,16 @@ mod tests {
     fn gamma_mle_recovers_parameters() {
         let sample = gamma_sample(2.5, 200.0, 50_000, 7);
         let fit = fit_gamma_mle(&sample).unwrap();
-        assert!((fit.shape() - 2.5).abs() / 2.5 < 0.05, "shape {}", fit.shape());
-        assert!((fit.rate() - 200.0).abs() / 200.0 < 0.05, "rate {}", fit.rate());
+        assert!(
+            (fit.shape() - 2.5).abs() / 2.5 < 0.05,
+            "shape {}",
+            fit.shape()
+        );
+        assert!(
+            (fit.rate() - 200.0).abs() / 200.0 < 0.05,
+            "rate {}",
+            fit.rate()
+        );
     }
 
     #[test]
@@ -260,7 +273,11 @@ mod tests {
         // family must beat Exponential, Normal, and Degenerate.
         let sample = gamma_sample(3.0, 250.0, 20_000, 13);
         let report = fit_best(&sample);
-        assert_eq!(report.best().fitted.family(), Family::Gamma, "report: {report:?}");
+        assert_eq!(
+            report.best().fitted.family(),
+            Family::Gamma,
+            "report: {report:?}"
+        );
     }
 
     #[test]

@@ -24,8 +24,14 @@ impl Gamma {
     /// # Panics
     /// Panics unless both parameters are finite and positive.
     pub fn new(shape: f64, rate: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0, "Gamma requires shape > 0, got {shape}");
-        assert!(rate.is_finite() && rate > 0.0, "Gamma requires rate > 0, got {rate}");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Gamma requires shape > 0, got {shape}"
+        );
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Gamma requires rate > 0, got {rate}"
+        );
         Gamma { shape, rate }
     }
 
@@ -41,7 +47,10 @@ impl Gamma {
     pub fn from_mean_scv(mean: f64, scv: f64) -> Self {
         assert!(mean > 0.0 && scv > 0.0, "mean and scv must be positive");
         let shape = 1.0 / scv;
-        Gamma { shape, rate: shape / mean }
+        Gamma {
+            shape,
+            rate: shape / mean,
+        }
     }
 
     /// Shape parameter `k`.
@@ -73,9 +82,10 @@ impl Distribution for Gamma {
                 std::cmp::Ordering::Greater => 0.0,
             };
         }
-        ((self.shape - 1.0) * x.ln() + self.shape * self.rate.ln() - self.rate * x
+        ((self.shape - 1.0) * x.ln() + self.shape * self.rate.ln()
+            - self.rate * x
             - ln_gamma(self.shape))
-            .exp()
+        .exp()
     }
     fn cdf(&self, x: f64) -> f64 {
         if x <= 0.0 {
@@ -87,7 +97,10 @@ impl Distribution for Gamma {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         // Marsaglia–Tsang squeeze method; boost for shape < 1.
         let (shape, boost) = if self.shape < 1.0 {
-            (self.shape + 1.0, Some(open_unit(rng).powf(1.0 / self.shape)))
+            (
+                self.shape + 1.0,
+                Some(open_unit(rng).powf(1.0 / self.shape)),
+            )
         } else {
             (self.shape, None)
         };

@@ -23,7 +23,10 @@ impl LogNormal {
     /// Panics unless `sigma > 0` and `mu` is finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(mu.is_finite(), "LogNormal requires finite mu, got {mu}");
-        assert!(sigma.is_finite() && sigma > 0.0, "LogNormal requires sigma > 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "LogNormal requires sigma > 0, got {sigma}"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -33,7 +36,10 @@ impl LogNormal {
     /// # Panics
     /// Panics unless `0 < median < mean`.
     pub fn from_mean_median(mean: f64, median: f64) -> Self {
-        assert!(median > 0.0 && mean > median, "need 0 < median < mean, got mean={mean} median={median}");
+        assert!(
+            median > 0.0 && mean > median,
+            "need 0 < median < mean, got mean={mean} median={median}"
+        );
         let mu = median.ln();
         let sigma = (2.0 * (mean.ln() - mu)).sqrt();
         LogNormal { mu, sigma }
@@ -126,7 +132,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(23);
         let n = 400_000;
         let mean = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - ln.mean()).abs() / ln.mean() < 0.01, "mean {mean} want {}", ln.mean());
+        assert!(
+            (mean - ln.mean()).abs() / ln.mean() < 0.01,
+            "mean {mean} want {}",
+            ln.mean()
+        );
     }
 
     #[test]

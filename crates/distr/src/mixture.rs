@@ -23,13 +23,19 @@ impl Mixture {
     /// # Panics
     /// Panics on an empty component list, negative weights, or a zero total.
     pub fn new(components: Vec<(f64, DynService)>) -> Self {
-        assert!(!components.is_empty(), "Mixture requires at least one component");
+        assert!(
+            !components.is_empty(),
+            "Mixture requires at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             components.iter().all(|(w, _)| *w >= 0.0) && total > 0.0,
             "Mixture weights must be nonnegative with positive sum"
         );
-        let components = components.into_iter().map(|(w, c)| (w / total, c)).collect();
+        let components = components
+            .into_iter()
+            .map(|(w, c)| (w / total, c))
+            .collect();
         Mixture { components }
     }
 
@@ -60,7 +66,10 @@ impl Distribution for Mixture {
         self.second_moment() - m * m
     }
     fn second_moment(&self) -> f64 {
-        self.components.iter().map(|(w, c)| w * c.second_moment()).sum()
+        self.components
+            .iter()
+            .map(|(w, c)| w * c.second_moment())
+            .sum()
     }
     fn pdf(&self, x: f64) -> f64 {
         self.components.iter().map(|(w, c)| w * c.pdf(x)).sum()
@@ -166,7 +175,11 @@ mod tests {
         let cfg = cos_numeric::InversionConfig::default();
         for &t in &[0.02, 0.06, 0.15] {
             let got = cos_numeric::cdf_from_lst(&|s| m.lst(s), t, &cfg);
-            assert!((got - m.cdf(t)).abs() < 1e-4, "t={t}: got {got} want {}", m.cdf(t));
+            assert!(
+                (got - m.cdf(t)).abs() < 1e-4,
+                "t={t}: got {got} want {}",
+                m.cdf(t)
+            );
         }
     }
 

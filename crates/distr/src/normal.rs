@@ -24,7 +24,10 @@ impl Normal {
     /// Panics unless `sigma` is finite and positive and `mu` is finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(mu.is_finite(), "Normal requires finite mu, got {mu}");
-        assert!(sigma.is_finite() && sigma > 0.0, "Normal requires sigma > 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "Normal requires sigma > 0, got {sigma}"
+        );
         Normal { mu, sigma }
     }
 
@@ -124,7 +127,11 @@ mod tests {
         let cfg = cos_numeric::InversionConfig::default();
         for &t in &[0.9, 1.0, 1.1] {
             let got = cos_numeric::cdf_from_lst(&|s| n.lst(s), t, &cfg);
-            assert!((got - n.cdf(t)).abs() < 1e-4, "t={t}: got {got} want {}", n.cdf(t));
+            assert!(
+                (got - n.cdf(t)).abs() < 1e-4,
+                "t={t}: got {got} want {}",
+                n.cdf(t)
+            );
         }
     }
 

@@ -22,8 +22,14 @@ impl Pareto {
     /// # Panics
     /// Panics unless both parameters are finite and positive.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min.is_finite() && x_min > 0.0, "Pareto requires x_min > 0, got {x_min}");
-        assert!(alpha.is_finite() && alpha > 0.0, "Pareto requires alpha > 0, got {alpha}");
+        assert!(
+            x_min.is_finite() && x_min > 0.0,
+            "Pareto requires x_min > 0, got {x_min}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Pareto requires alpha > 0, got {alpha}"
+        );
         Pareto { x_min, alpha }
     }
 

@@ -20,7 +20,10 @@ impl Shifted {
     /// # Panics
     /// Panics if `offset` is negative or non-finite.
     pub fn new(offset: f64, inner: DynService) -> Self {
-        assert!(offset.is_finite() && offset >= 0.0, "Shifted requires offset >= 0, got {offset}");
+        assert!(
+            offset.is_finite() && offset >= 0.0,
+            "Shifted requires offset >= 0, got {offset}"
+        );
         Shifted { offset, inner }
     }
 

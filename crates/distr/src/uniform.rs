@@ -17,7 +17,10 @@ impl Uniform {
     /// # Panics
     /// Panics unless `a < b`, both finite, `a >= 0`.
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a.is_finite() && b.is_finite() && a < b, "Uniform requires a < b, got [{a}, {b})");
+        assert!(
+            a.is_finite() && b.is_finite() && a < b,
+            "Uniform requires a < b, got [{a}, {b})"
+        );
         assert!(a >= 0.0, "service-time Uniform requires a >= 0, got {a}");
         Uniform { a, b }
     }
@@ -120,7 +123,8 @@ mod tests {
     fn lst_matches_quadrature() {
         let u = Uniform::new(0.5, 1.5);
         let s = Complex64::from_real(2.0);
-        let want = cos_numeric::quad::adaptive_simpson(&|x| (-2.0 * x).exp() * u.pdf(x), 0.5, 1.5, 1e-12);
+        let want =
+            cos_numeric::quad::adaptive_simpson(&|x| (-2.0 * x).exp() * u.pdf(x), 0.5, 1.5, 1e-12);
         assert!((u.lst(s).re - want).abs() < 1e-9);
         assert_eq!(u.lst(s).im, 0.0);
     }

@@ -20,8 +20,14 @@ impl Weibull {
     /// # Panics
     /// Panics unless both parameters are finite and positive.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0, "Weibull requires shape > 0, got {shape}");
-        assert!(scale.is_finite() && scale > 0.0, "Weibull requires scale > 0, got {scale}");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Weibull requires shape > 0, got {shape}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Weibull requires scale > 0, got {scale}"
+        );
         Weibull { shape, scale }
     }
 

@@ -133,7 +133,11 @@ impl Complex64 {
     #[inline]
     pub fn powf(self, a: f64) -> Self {
         if self == Complex64::ZERO {
-            return if a == 0.0 { Complex64::ONE } else { Complex64::ZERO };
+            return if a == 0.0 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
         }
         (self.ln() * a).exp()
     }
@@ -142,7 +146,11 @@ impl Complex64 {
     #[inline]
     pub fn powc(self, w: Complex64) -> Self {
         if self == Complex64::ZERO {
-            return if w == Complex64::ZERO { Complex64::ONE } else { Complex64::ZERO };
+            return if w == Complex64::ZERO {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
         }
         (self.ln() * w).exp()
     }
@@ -372,7 +380,11 @@ mod tests {
     #[test]
     fn sqrt_branches() {
         assert!(close(Complex64::new(-1.0, 0.0).sqrt(), Complex64::I, EPS));
-        assert!(close(Complex64::new(4.0, 0.0).sqrt(), Complex64::new(2.0, 0.0), EPS));
+        assert!(close(
+            Complex64::new(4.0, 0.0).sqrt(),
+            Complex64::new(2.0, 0.0),
+            EPS
+        ));
         let z = Complex64::new(1.0, 2.0);
         assert!(close(z.sqrt() * z.sqrt(), z, 1e-11));
         // Negative imaginary part maps to the lower half-plane root.

@@ -59,7 +59,10 @@ pub struct InversionConfig {
 
 impl Default for InversionConfig {
     fn default() -> Self {
-        InversionConfig { algorithm: InversionAlgorithm::Euler, terms: 100 }
+        InversionConfig {
+            algorithm: InversionAlgorithm::Euler,
+            terms: 100,
+        }
     }
 }
 
@@ -153,7 +156,10 @@ pub fn gaver_stehfest<F: LaplaceFn>(transform: &F, t: f64) -> f64 {
 /// Gaver–Stehfest with `n` terms (`n` even, ≤ 18 in double precision).
 pub fn gaver_stehfest_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
     assert!(t > 0.0, "gaver-stehfest inversion requires t > 0, got {t}");
-    assert!(n >= 2 && n.is_multiple_of(2), "gaver-stehfest requires an even term count >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "gaver-stehfest requires an even term count >= 2"
+    );
     let ln2_t = std::f64::consts::LN_2 / t;
     let half = n / 2;
     let mut sum = 0.0;
@@ -171,7 +177,11 @@ pub fn gaver_stehfest_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
                 * binomial(2 * j as u32, j as u32)
                 * binomial(j as u32, (k - j) as u32);
         }
-        let sign = if (k + half).is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if (k + half).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         let s = Complex64::from_real(k as f64 * ln2_t);
         sum += sign * a_k * transform.eval(s).re;
     }
@@ -214,7 +224,10 @@ pub fn quantile_from_lst<F: LaplaceFn>(
     upper_hint: f64,
     config: &InversionConfig,
 ) -> Option<f64> {
-    assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "quantile requires p in [0,1), got {p}"
+    );
     if p == 0.0 {
         return Some(0.0);
     }
@@ -299,7 +312,10 @@ mod tests {
             (InversionAlgorithm::Talbot, 32, 1e-9),
             (InversionAlgorithm::GaverStehfest, 14, 1e-4),
         ] {
-            let cfg = InversionConfig { algorithm: algo, terms };
+            let cfg = InversionConfig {
+                algorithm: algo,
+                terms,
+            };
             let got = cdf_from_lst(&lst, t, &cfg);
             assert!((got - want).abs() < tol, "{algo:?}: got {got}, want {want}");
         }
@@ -310,7 +326,8 @@ mod tests {
         // X = d + Exp(λ): LST = e^{-sd} λ/(λ+s). CDF(t) = 1 − e^{−λ(t−d)} for t > d.
         let d = 0.5;
         let lambda = 3.0;
-        let lst = move |s: Complex64| (s * (-d)).exp() * (Complex64::from_real(lambda) / (s + lambda));
+        let lst =
+            move |s: Complex64| (s * (-d)).exp() * (Complex64::from_real(lambda) / (s + lambda));
         let cfg = InversionConfig::default();
         for &t in &[0.7, 1.0, 2.0] {
             let got = cdf_from_lst(&lst, t, &cfg);
@@ -343,10 +360,7 @@ mod tests {
         let cfg = InversionConfig::default();
         let cc = ccdf_from_lst(&lst, 20.0, &cfg);
         let want = (-20.0f64).exp();
-        assert!(
-            (cc - want).abs() < 1e-10,
-            "tail: got {cc}, want {want}"
-        );
+        assert!((cc - want).abs() < 1e-10, "tail: got {cc}, want {want}");
     }
 
     #[test]
@@ -355,7 +369,10 @@ mod tests {
         let cfg = InversionConfig::default();
         // Median of Exp(2) is ln(2)/2.
         let q = quantile_from_lst(&lst, 0.5, 1.0, &cfg).unwrap();
-        assert!((q - std::f64::consts::LN_2 / 2.0).abs() < 1e-6, "median {q}");
+        assert!(
+            (q - std::f64::consts::LN_2 / 2.0).abs() < 1e-6,
+            "median {q}"
+        );
         let q95 = quantile_from_lst(&lst, 0.95, 1.0, &cfg).unwrap();
         assert!((q95 - (-(0.05f64).ln()) / 2.0).abs() < 1e-6);
     }
@@ -388,8 +405,24 @@ mod tests {
             move |s: Complex64| (s * (-d)).exp() * (Complex64::from_real(lambda) / (s + lambda));
         let t = 0.7;
         let want = 1.0 - (-lambda * (t - d)).exp();
-        let lo = (cdf_from_lst(&lst, t, &InversionConfig { algorithm: InversionAlgorithm::Euler, terms: 20 }) - want).abs();
-        let hi = (cdf_from_lst(&lst, t, &InversionConfig { algorithm: InversionAlgorithm::Euler, terms: 320 }) - want).abs();
+        let lo = (cdf_from_lst(
+            &lst,
+            t,
+            &InversionConfig {
+                algorithm: InversionAlgorithm::Euler,
+                terms: 20,
+            },
+        ) - want)
+            .abs();
+        let hi = (cdf_from_lst(
+            &lst,
+            t,
+            &InversionConfig {
+                algorithm: InversionAlgorithm::Euler,
+                terms: 320,
+            },
+        ) - want)
+            .abs();
         assert!(hi < lo, "lo-order err {lo}, hi-order err {hi}");
         assert!(hi < 1e-4, "hi-order err {hi}");
     }

@@ -32,7 +32,7 @@ pub mod sum;
 
 pub use complex::Complex64;
 pub use laplace::{
-    cdf_from_lst, ccdf_from_lst, euler, gaver_stehfest, quantile_from_lst, talbot,
+    ccdf_from_lst, cdf_from_lst, euler, gaver_stehfest, quantile_from_lst, talbot,
     InversionAlgorithm, InversionConfig, LaplaceFn,
 };
 pub use moments::{mean_from_lst, moments_from_lst, second_moment_from_lst};

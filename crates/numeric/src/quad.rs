@@ -150,7 +150,10 @@ mod tests {
             let wsum: f64 = weights.iter().sum();
             assert!((wsum - 2.0).abs() < 1e-12, "n={n} weight sum {wsum}");
             for i in 0..n {
-                assert!((nodes[i] + nodes[n - 1 - i]).abs() < 1e-12, "n={n} asymmetric");
+                assert!(
+                    (nodes[i] + nodes[n - 1 - i]).abs() < 1e-12,
+                    "n={n} asymmetric"
+                );
             }
         }
     }

@@ -34,7 +34,10 @@ impl std::fmt::Display for RootError {
                 write!(f, "interval does not bracket a root (f(a)={fa}, f(b)={fb})")
             }
             RootError::MaxIterations { best, residual } => {
-                write!(f, "max iterations reached (best x={best}, residual={residual})")
+                write!(
+                    f,
+                    "max iterations reached (best x={best}, residual={residual})"
+                )
             }
             RootError::NonFinite { at } => write!(f, "function value not finite at x={at}"),
         }
@@ -44,7 +47,13 @@ impl std::fmt::Display for RootError {
 impl std::error::Error for RootError {}
 
 /// Simple bisection on `[a, b]`. Requires a sign change.
-pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError> {
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let fb = f(b);
     if !fa.is_finite() {
@@ -82,7 +91,13 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_ite
 }
 
 /// Brent's method: inverse quadratic interpolation with bisection fallback.
-pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError> {
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let mut fb = f(b);
     if !fa.is_finite() {
@@ -122,7 +137,11 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter
             b - fb * (b - a) / (fb - fa)
         };
         let cond_lo = (3.0 * a + b) / 4.0;
-        let (lo, hi) = if cond_lo < b { (cond_lo, b) } else { (b, cond_lo) };
+        let (lo, hi) = if cond_lo < b {
+            (cond_lo, b)
+        } else {
+            (b, cond_lo)
+        };
         let use_bisect = !(lo < s && s < hi)
             || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             || (!mflag && (s - b).abs() >= d.abs() / 2.0)
@@ -153,7 +172,10 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(RootError::MaxIterations { best: b, residual: fb })
+    Err(RootError::MaxIterations {
+        best: b,
+        residual: fb,
+    })
 }
 
 /// Damped Newton iteration with positivity constraint (the MLE shape equation
@@ -161,7 +183,13 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64, max_iter
 ///
 /// Halves the step until the iterate stays positive. Falls back to returning
 /// the best iterate on slow convergence.
-pub fn newton_positive<F, G>(f: F, df: G, x0: f64, tol: f64, max_iter: usize) -> Result<f64, RootError>
+pub fn newton_positive<F, G>(
+    f: F,
+    df: G,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError>
 where
     F: Fn(f64) -> f64,
     G: Fn(f64) -> f64,
@@ -262,7 +290,13 @@ mod tests {
     #[test]
     fn nonfinite_detected() {
         assert!(matches!(
-            bisect(|x| if x > 0.5 { f64::NAN } else { x - 1.0 }, 0.0, 1.0, 1e-9, 50),
+            bisect(
+                |x| if x > 0.5 { f64::NAN } else { x - 1.0 },
+                0.0,
+                1.0,
+                1e-9,
+                50
+            ),
             Err(RootError::NonFinite { .. })
         ));
     }

@@ -87,7 +87,8 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic expansion ψ(x) ~ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n}).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
+    acc + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
@@ -104,7 +105,10 @@ pub fn trigamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + inv * (1.0 + 0.5 * inv + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
+    acc + inv
+        * (1.0
+            + 0.5 * inv
+            + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
 }
 
 /// Regularized lower incomplete gamma function `P(a, x) = γ(a, x)/Γ(a)`.
@@ -207,7 +211,10 @@ pub fn erfc(x: f64) -> f64 {
 /// Inverse of the standard normal CDF (Acklam's rational approximation with a
 /// single Newton polish step; accurate to ~1e-12).
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inverse_normal_cdf requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse_normal_cdf requires p in (0,1), got {p}"
+    );
     // Acklam coefficients.
     #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [

@@ -23,8 +23,8 @@ pub mod mm1k;
 pub mod service;
 pub mod union_op;
 
-pub use mg1::{Mg1, QueueError};
 pub use md1::Md1;
+pub use mg1::{Mg1, QueueError};
 pub use mm1::Mm1;
 pub use mm1k::Mm1k;
 pub use service::{

@@ -18,10 +18,19 @@ impl Md1 {
     /// # Panics
     /// Panics unless rates are positive/finite and `ρ = λb < 1`.
     pub fn new(arrival_rate: f64, service_time: f64) -> Self {
-        assert!(arrival_rate.is_finite() && arrival_rate > 0.0, "λ must be positive");
-        assert!(service_time.is_finite() && service_time > 0.0, "b must be positive");
+        assert!(
+            arrival_rate.is_finite() && arrival_rate > 0.0,
+            "λ must be positive"
+        );
+        assert!(
+            service_time.is_finite() && service_time > 0.0,
+            "b must be positive"
+        );
         assert!(arrival_rate * service_time < 1.0, "M/D/1 requires ρ < 1");
-        Md1 { arrival_rate, service_time }
+        Md1 {
+            arrival_rate,
+            service_time,
+        }
     }
 
     /// Utilization `ρ = λ b`.
@@ -53,12 +62,11 @@ impl Md1 {
         let mut sum = 0.0;
         for k in 0..=kmax {
             let x = lambda * (k as f64 * b - t); // ≤ 0
-            // x^k e^{-x} / k! computed in logs for stability at large k.
+                                                 // x^k e^{-x} / k! computed in logs for stability at large k.
             let term = if k == 0 {
                 (-x).exp()
             } else {
-                let ln_mag =
-                    (k as f64) * x.abs().ln() - x - cos_numeric::special::ln_factorial(k);
+                let ln_mag = (k as f64) * x.abs().ln() - x - cos_numeric::special::ln_factorial(k);
                 let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
                 sign * ln_mag.exp()
             };
@@ -88,7 +96,10 @@ mod tests {
     #[test]
     fn cdf_has_atom_and_monotone() {
         let q = Md1::new(1.2, 0.5);
-        assert!((q.waiting_cdf(0.0) - (1.0 - 0.6)).abs() < 1e-12, "atom = 1 − ρ");
+        assert!(
+            (q.waiting_cdf(0.0) - (1.0 - 0.6)).abs() < 1e-12,
+            "atom = 1 − ρ"
+        );
         let mut prev = 0.0;
         for i in 0..40 {
             let t = i as f64 * 0.1;
@@ -112,7 +123,10 @@ mod tests {
         for &t in &[0.1, 0.3, 0.6, 1.0, 2.0] {
             let want = exact.waiting_cdf(t);
             let got = generic.waiting_cdf(t, &cfg);
-            assert!((got - want).abs() < 5e-4, "t={t}: inversion {got} vs series {want}");
+            assert!(
+                (got - want).abs() < 5e-4,
+                "t={t}: inversion {got} vs series {want}"
+            );
         }
         assert!((generic.mean_waiting() - exact.mean_waiting()).abs() < 1e-12);
     }

@@ -61,7 +61,10 @@ impl Mg1 {
         if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
             return Err(QueueError::InvalidArrivalRate(arrival_rate));
         }
-        let q = Mg1 { arrival_rate, service };
+        let q = Mg1 {
+            arrival_rate,
+            service,
+        };
         let rho = q.utilization();
         if rho >= 1.0 {
             return Err(QueueError::Unstable { utilization: rho });

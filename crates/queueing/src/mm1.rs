@@ -15,10 +15,22 @@ impl Mm1 {
     /// # Panics
     /// Panics unless `0 < λ < μ` and both are finite.
     pub fn new(arrival_rate: f64, service_rate: f64) -> Self {
-        assert!(arrival_rate.is_finite() && arrival_rate > 0.0, "λ must be positive");
-        assert!(service_rate.is_finite() && service_rate > 0.0, "μ must be positive");
-        assert!(arrival_rate < service_rate, "M/M/1 requires λ < μ for stability");
-        Mm1 { arrival_rate, service_rate }
+        assert!(
+            arrival_rate.is_finite() && arrival_rate > 0.0,
+            "λ must be positive"
+        );
+        assert!(
+            service_rate.is_finite() && service_rate > 0.0,
+            "μ must be positive"
+        );
+        assert!(
+            arrival_rate < service_rate,
+            "M/M/1 requires λ < μ for stability"
+        );
+        Mm1 {
+            arrival_rate,
+            service_rate,
+        }
     }
 
     /// Utilization `ρ = λ/μ`.

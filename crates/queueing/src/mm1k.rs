@@ -38,7 +38,11 @@ impl Mm1k {
             "service rate must be positive, got {service_rate}"
         );
         assert!(capacity >= 1, "capacity must be at least 1");
-        Mm1k { arrival_rate, service_rate, capacity }
+        Mm1k {
+            arrival_rate,
+            service_rate,
+            capacity,
+        }
     }
 
     /// Arrival rate `λ`.
@@ -144,7 +148,12 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one() {
-        for &(l, v, k) in &[(1.0, 2.0, 4usize), (5.0, 2.0, 8), (2.0, 2.0, 3), (0.1, 10.0, 1)] {
+        for &(l, v, k) in &[
+            (1.0, 2.0, 4usize),
+            (5.0, 2.0, 8),
+            (2.0, 2.0, 3),
+            (0.1, 10.0, 1),
+        ] {
             let q = Mm1k::new(l, v, k);
             let total: f64 = q.state_probabilities().iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "λ={l} v={v} K={k}");
@@ -194,7 +203,12 @@ mod tests {
         let d = (q.sojourn_lst(Complex64::from_real(h)) - q.sojourn_lst(Complex64::from_real(-h)))
             .re
             / (2.0 * h);
-        assert!((-d - q.mean_sojourn()).abs() < 1e-5, "deriv {} mean {}", -d, q.mean_sojourn());
+        assert!(
+            (-d - q.mean_sojourn()).abs() < 1e-5,
+            "deriv {} mean {}",
+            -d,
+            q.mean_sojourn()
+        );
     }
 
     #[test]

@@ -81,8 +81,15 @@ impl TransformServiceTime {
         mean: f64,
         second_moment: f64,
     ) -> Self {
-        assert!(mean >= 0.0 && second_moment >= 0.0, "moments must be nonnegative");
-        TransformServiceTime { lst: Box::new(lst), mean, second_moment }
+        assert!(
+            mean >= 0.0 && second_moment >= 0.0,
+            "moments must be nonnegative"
+        );
+        TransformServiceTime {
+            lst: Box::new(lst),
+            mean,
+            second_moment,
+        }
     }
 }
 

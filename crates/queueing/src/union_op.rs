@@ -54,7 +54,13 @@ impl UnionOperation {
             extra_reads.is_finite() && extra_reads >= 0.0,
             "extra reads per union operation must be >= 0, got {extra_reads}"
         );
-        UnionOperation { parse, index, meta, data, extra_reads }
+        UnionOperation {
+            parse,
+            index,
+            meta,
+            data,
+            extra_reads,
+        }
     }
 
     /// Mean extra data reads per union operation (`p`).

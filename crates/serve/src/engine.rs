@@ -1,0 +1,530 @@
+//! The memoized prediction engine.
+//!
+//! Answering a percentile query costs a handful of numeric Laplace
+//! inversions (Euler summation over ~50 complex LST evaluations per CDF
+//! point, more for percentile bisection). A dashboard polling the same
+//! SLAs every second would redo identical transforms indefinitely, so the
+//! engine memoizes **inversion results** keyed on the calibration epoch and
+//! the quantized query: `(epoch, rate, SLA)` → fraction, `(epoch, p)` →
+//! percentile, and so on. Quantization is applied to the *computation
+//! inputs*, not just the key — two queries that collapse to the same key
+//! are answered from the same inversion, bit-identical to an uncached
+//! evaluation at the snapped point.
+//!
+//! Built [`SystemModel`]s (the expensive LST assembly) are cached per
+//! `(epoch, rate)` alongside the scalar results, so a what-if query at a
+//! new SLA on an already-seen rate only pays the final inversion.
+//!
+//! Epoch handling degrades gracefully: when a re-fit fails (no traffic, or
+//! the fitted point is unstable), the engine keeps serving the last good
+//! epoch with [`Prediction::stale`] set, and queries at unstable operating
+//! points return the typed [`ServeError::Unstable`] — which is memoized
+//! too, so a flapping dashboard does not re-derive the failure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cos_model::{max_admissible_rate, ModelVariant, SlaGoal, SystemModel, SystemParams};
+
+use crate::error::ServeError;
+
+/// Rate quantization step (req/s) for what-if queries.
+pub const RATE_QUANTUM: f64 = 0.1;
+/// SLA quantization step (seconds): 0.1 ms.
+pub const SLA_QUANTUM: f64 = 1e-4;
+/// Percentile / fraction quantization step.
+pub const FRACTION_QUANTUM: f64 = 1e-4;
+
+fn snap(x: f64, quantum: f64) -> (i64, f64) {
+    let q = (x / quantum).round().max(1.0) as i64;
+    (q, q as f64 * quantum)
+}
+
+/// One installed calibration epoch.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Monotone epoch number (1 = first successful fit).
+    pub epoch: u64,
+    /// The fitted parameters.
+    pub params: Arc<SystemParams>,
+    /// Event time of the fit.
+    pub fitted_at: f64,
+    /// Whether at least one re-fit has failed since this epoch was
+    /// installed (the snapshot is being served past its refresh due date).
+    pub stale: bool,
+}
+
+/// Hit/miss counters of the result memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that ran an inversion (or model build).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries answered from the memo (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoized answer, tagged with the epoch that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The predicted value (fraction, seconds, or req/s depending on the
+    /// query).
+    pub value: f64,
+    /// Calibration epoch the answer is based on.
+    pub epoch: u64,
+    /// Whether the epoch is stale (a newer re-fit failed).
+    pub stale: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum QueryKind {
+    /// Fraction of requests meeting a quantized SLA.
+    Fraction { sla_q: i64 },
+    /// Response-latency percentile at a quantized `p`.
+    Percentile { p_q: i64 },
+    /// Largest admissible rate for a quantized goal.
+    Headroom {
+        sla_q: i64,
+        frac_q: i64,
+        upper_q: i64,
+    },
+    /// One device's fraction meeting a quantized SLA.
+    DeviceFraction { device: usize, sla_q: i64 },
+    /// Mean response time.
+    MeanResponse,
+}
+
+type QueryKey = (u64, Option<i64>, QueryKind);
+type ModelKey = (u64, Option<i64>);
+
+/// The memoizing query engine. See the module docs for the caching scheme.
+pub struct PredictionEngine {
+    variant: ModelVariant,
+    snapshot: Option<EpochSnapshot>,
+    next_epoch: u64,
+    models: HashMap<ModelKey, Arc<SystemModel>>,
+    results: HashMap<QueryKey, Result<f64, ServeError>>,
+    stats: CacheStats,
+    max_entries: usize,
+    failed_refits: u64,
+}
+
+impl PredictionEngine {
+    /// Creates an engine answering queries under `variant`.
+    pub fn new(variant: ModelVariant) -> Self {
+        PredictionEngine {
+            variant,
+            snapshot: None,
+            next_epoch: 1,
+            models: HashMap::new(),
+            results: HashMap::new(),
+            stats: CacheStats::default(),
+            max_entries: 4096,
+            failed_refits: 0,
+        }
+    }
+
+    /// The model variant this engine evaluates.
+    pub fn variant(&self) -> ModelVariant {
+        self.variant
+    }
+
+    /// Installs a new calibration epoch, invalidating all cached results of
+    /// previous epochs, and returns its epoch number. Pass the validated
+    /// model built during the fit as `model` to pre-warm the native-rate
+    /// model slot.
+    pub fn install(
+        &mut self,
+        params: Arc<SystemParams>,
+        fitted_at: f64,
+        model: Option<Arc<SystemModel>>,
+    ) -> u64 {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.snapshot = Some(EpochSnapshot {
+            epoch,
+            params,
+            fitted_at,
+            stale: false,
+        });
+        self.models.clear();
+        self.results.clear();
+        if let Some(m) = model {
+            self.models.insert((epoch, None), m);
+        }
+        epoch
+    }
+
+    /// Marks the current epoch stale: a re-fit failed, so answers keep
+    /// flowing from the last good parameters but carry the staleness flag.
+    pub fn mark_stale(&mut self) {
+        self.failed_refits += 1;
+        if let Some(s) = &mut self.snapshot {
+            s.stale = true;
+        }
+    }
+
+    /// The installed epoch, if any.
+    pub fn snapshot(&self) -> Option<&EpochSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Cache hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the hit/miss counters (e.g. between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Re-fits that have failed since startup.
+    pub fn failed_refits(&self) -> u64 {
+        self.failed_refits
+    }
+
+    fn current(&self) -> Result<EpochSnapshot, ServeError> {
+        self.snapshot.clone().ok_or(ServeError::NotCalibrated)
+    }
+
+    fn lookup(&mut self, key: &QueryKey) -> Option<Result<f64, ServeError>> {
+        let cached = self.results.get(key).cloned();
+        match cached {
+            Some(r) => {
+                self.stats.hits += 1;
+                Some(r)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: QueryKey, outcome: Result<f64, ServeError>) {
+        if self.results.len() >= self.max_entries {
+            self.results.clear();
+        }
+        self.results.insert(key, outcome);
+    }
+
+    /// The (possibly rate-scaled) model of an epoch, building and caching
+    /// it on first use.
+    fn model_for(
+        &mut self,
+        snap: &EpochSnapshot,
+        rate_q: Option<i64>,
+    ) -> Result<Arc<SystemModel>, ServeError> {
+        let key = (snap.epoch, rate_q);
+        if let Some(m) = self.models.get(&key) {
+            return Ok(m.clone());
+        }
+        let built = match rate_q {
+            None => SystemModel::new(&snap.params, self.variant),
+            Some(q) => SystemModel::new(
+                &snap.params.scaled_to_rate(q as f64 * RATE_QUANTUM),
+                self.variant,
+            ),
+        };
+        let model = Arc::new(built?);
+        self.models.insert(key, model.clone());
+        Ok(model)
+    }
+
+    fn answer(
+        &mut self,
+        rate_q: Option<i64>,
+        kind: QueryKind,
+        compute: impl FnOnce(&SystemModel) -> Result<f64, ServeError>,
+    ) -> Result<Prediction, ServeError> {
+        let snap = self.current()?;
+        let key = (snap.epoch, rate_q, kind);
+        let outcome = match self.lookup(&key) {
+            Some(cached) => cached,
+            None => {
+                let fresh = self.model_for(&snap, rate_q).and_then(|m| compute(&m));
+                self.store(key, fresh.clone());
+                fresh
+            }
+        };
+        outcome.map(|value| Prediction {
+            value,
+            epoch: snap.epoch,
+            stale: snap.stale,
+        })
+    }
+
+    /// Predicted fraction of requests meeting `sla` at the calibrated rate.
+    pub fn fraction_meeting_sla(&mut self, sla: f64) -> Result<Prediction, ServeError> {
+        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
+        self.answer(None, QueryKind::Fraction { sla_q }, |m| {
+            Ok(m.fraction_meeting_sla(sla_s))
+        })
+    }
+
+    /// What-if: fraction meeting `sla` with the system rescaled to
+    /// `total_rate` req/s.
+    pub fn fraction_at_rate(
+        &mut self,
+        total_rate: f64,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        let (rate_q, _) = snap(total_rate, RATE_QUANTUM);
+        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
+        self.answer(Some(rate_q), QueryKind::Fraction { sla_q }, |m| {
+            Ok(m.fraction_meeting_sla(sla_s))
+        })
+    }
+
+    /// Predicted response-latency percentile (seconds) at the calibrated
+    /// rate, e.g. `p = 0.95`.
+    pub fn latency_percentile(&mut self, p: f64) -> Result<Prediction, ServeError> {
+        let (p_q, p_s) = snap(p, FRACTION_QUANTUM);
+        self.answer(None, QueryKind::Percentile { p_q }, move |m| {
+            m.latency_percentile(p_s)
+                .ok_or(ServeError::PercentileOutOfRange { p: p_s })
+        })
+    }
+
+    /// Predicted mean response time (seconds) at the calibrated rate.
+    pub fn mean_response(&mut self) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::MeanResponse, |m| Ok(m.mean_response()))
+    }
+
+    /// One device's predicted fraction meeting `sla`.
+    pub fn device_fraction(&mut self, device: usize, sla: f64) -> Result<Prediction, ServeError> {
+        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
+        self.answer(
+            None,
+            QueryKind::DeviceFraction { device, sla_q },
+            move |m| {
+                if device >= m.devices().len() {
+                    return Err(ServeError::NotCalibrated);
+                }
+                Ok(m.device_fraction_meeting(device, sla_s))
+            },
+        )
+    }
+
+    /// Overload-control headroom: the largest total arrival rate (req/s) at
+    /// which `goal` still holds, searched up to `upper`.
+    pub fn headroom(&mut self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        let snap_ = self.current()?;
+        let (sla_q, sla_s) = snap(goal.sla, SLA_QUANTUM);
+        let (frac_q, frac_s) = snap(goal.target_fraction, FRACTION_QUANTUM);
+        let (upper_q, upper_s) = snap(upper, RATE_QUANTUM);
+        let key = (
+            snap_.epoch,
+            None,
+            QueryKind::Headroom {
+                sla_q,
+                frac_q,
+                upper_q,
+            },
+        );
+        let outcome = match self.lookup(&key) {
+            Some(cached) => cached,
+            None => {
+                let goal_s = SlaGoal::new(sla_s, frac_s.min(1.0 - FRACTION_QUANTUM));
+                let fresh = max_admissible_rate(&snap_.params, self.variant, goal_s, upper_s)
+                    .ok_or(ServeError::GoalUnreachable);
+                self.store(key, fresh.clone());
+                fresh
+            }
+        };
+        outcome.map(|value| Prediction {
+            value,
+            epoch: snap_.epoch,
+            stale: snap_.stale,
+        })
+    }
+
+    /// Bottleneck ranking: devices ordered by predicted fraction meeting
+    /// `sla`, worst first. Assembled from memoized per-device queries.
+    pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        let n = self.current()?.params.devices.len();
+        let mut out = Vec::with_capacity(n);
+        for device in 0..n {
+            out.push((device, self.device_fraction(device, sla)?.value));
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_model::{DeviceParams, FrontendParams};
+    use cos_queueing::from_distribution;
+
+    pub(crate) fn sample_params(rate: f64, devices: usize) -> SystemParams {
+        let per = rate / devices as f64;
+        SystemParams {
+            frontend: FrontendParams {
+                arrival_rate: rate,
+                processes: 3,
+                parse_fe: from_distribution(Degenerate::new(0.0003)),
+            },
+            devices: (0..devices)
+                .map(|_| DeviceParams {
+                    arrival_rate: per,
+                    data_read_rate: per * 1.1,
+                    miss_index: 0.3,
+                    miss_meta: 0.25,
+                    miss_data: 0.4,
+                    index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+                    meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+                    data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+                    parse_be: from_distribution(Degenerate::new(0.0005)),
+                    processes: 1,
+                })
+                .collect(),
+        }
+    }
+
+    fn engine_with(rate: f64) -> PredictionEngine {
+        let mut e = PredictionEngine::new(ModelVariant::Full);
+        e.install(Arc::new(sample_params(rate, 4)), 0.0, None);
+        e
+    }
+
+    #[test]
+    fn uncalibrated_engine_refuses() {
+        let mut e = PredictionEngine::new(ModelVariant::Full);
+        assert_eq!(e.fraction_meeting_sla(0.05), Err(ServeError::NotCalibrated));
+    }
+
+    #[test]
+    fn repeat_queries_hit_and_are_bit_identical() {
+        let mut e = engine_with(100.0);
+        let first = e.fraction_meeting_sla(0.05).unwrap();
+        let again = e.fraction_meeting_sla(0.05).unwrap();
+        assert_eq!(first.value.to_bits(), again.value.to_bits());
+        assert_eq!(e.stats(), CacheStats { hits: 1, misses: 1 });
+        // Uncached reference at the snapped SLA.
+        let m = SystemModel::new(&sample_params(100.0, 4), ModelVariant::Full).unwrap();
+        assert_eq!(
+            first.value.to_bits(),
+            m.fraction_meeting_sla(0.05).to_bits()
+        );
+    }
+
+    #[test]
+    fn queries_within_a_quantum_share_the_inversion() {
+        let mut e = engine_with(100.0);
+        let a = e.fraction_meeting_sla(0.0500).unwrap();
+        let b = e.fraction_meeting_sla(0.050_004).unwrap(); // same 0.1 ms cell
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(e.stats().hits, 1);
+    }
+
+    #[test]
+    fn what_if_rates_reuse_built_models_across_slas() {
+        let mut e = engine_with(100.0);
+        e.fraction_at_rate(150.0, 0.05).unwrap();
+        e.fraction_at_rate(150.0, 0.10).unwrap(); // same model, new inversion
+        assert_eq!(e.models.len(), 1);
+        assert_eq!(e.stats(), CacheStats { hits: 0, misses: 2 });
+        let again = e.fraction_at_rate(150.0, 0.05).unwrap();
+        assert!(again.value > 0.0);
+        assert_eq!(e.stats().hits, 1);
+    }
+
+    #[test]
+    fn new_epoch_invalidates_old_answers() {
+        let mut e = engine_with(100.0);
+        let slow = e.fraction_meeting_sla(0.05).unwrap();
+        e.install(Arc::new(sample_params(40.0, 4)), 10.0, None);
+        let fast = e.fraction_meeting_sla(0.05).unwrap();
+        assert_eq!(fast.epoch, 2);
+        assert!(fast.value > slow.value, "lighter load must meet more SLAs");
+        assert_eq!(
+            e.stats().hits,
+            0,
+            "epoch change must not serve stale answers"
+        );
+    }
+
+    #[test]
+    fn unstable_what_if_is_typed_and_memoized() {
+        let mut e = engine_with(100.0);
+        let err = e.fraction_at_rate(100_000.0, 0.05).unwrap_err();
+        assert!(matches!(err, ServeError::Unstable { .. }));
+        let again = e.fraction_at_rate(100_000.0, 0.05).unwrap_err();
+        assert_eq!(err, again);
+        assert_eq!(e.stats().hits, 1, "the failure itself must be memoized");
+    }
+
+    #[test]
+    fn staleness_flag_propagates() {
+        let mut e = engine_with(100.0);
+        assert!(!e.fraction_meeting_sla(0.05).unwrap().stale);
+        e.mark_stale();
+        assert!(e.fraction_meeting_sla(0.05).unwrap().stale);
+        assert_eq!(e.failed_refits(), 1);
+    }
+
+    #[test]
+    fn percentile_and_mean_are_consistent() {
+        let mut e = engine_with(100.0);
+        let p50 = e.latency_percentile(0.50).unwrap().value;
+        let p95 = e.latency_percentile(0.95).unwrap().value;
+        assert!(p50 < p95, "p50 {p50} vs p95 {p95}");
+        let mean = e.mean_response().unwrap().value;
+        assert!(mean > 0.0 && mean.is_finite());
+    }
+
+    #[test]
+    fn headroom_brackets_the_goal() {
+        let mut e = engine_with(100.0);
+        let goal = SlaGoal::new(0.100, 0.90);
+        let head = e.headroom(goal, 1000.0).unwrap().value;
+        assert!(
+            head > 100.0,
+            "calibrated point meets the goal, headroom {head}"
+        );
+        let at_head = e.fraction_at_rate(head * 0.98, 0.100).unwrap().value;
+        assert!(
+            at_head >= 0.90 - 0.01,
+            "fraction {at_head} just below headroom"
+        );
+        // Second ask is a hit.
+        let s0 = e.stats();
+        e.headroom(goal, 1000.0).unwrap();
+        assert_eq!(e.stats().hits, s0.hits + 1);
+    }
+
+    #[test]
+    fn bottleneck_ranking_matches_planning() {
+        let mut params = sample_params(120.0, 4);
+        params.devices[2].miss_index = 0.6;
+        params.devices[2].miss_data = 0.7;
+        let mut e = PredictionEngine::new(ModelVariant::Full);
+        e.install(Arc::new(params.clone()), 0.0, None);
+        let ranked = e.bottlenecks(0.05).unwrap();
+        assert_eq!(ranked[0].0, 2, "hot device must rank worst: {ranked:?}");
+        let reference = cos_model::rank_bottlenecks(
+            &SystemModel::new(&params, ModelVariant::Full).unwrap(),
+            0.05,
+        );
+        assert_eq!(ranked, reference);
+        // Re-ranking is all hits.
+        let s0 = e.stats();
+        e.bottlenecks(0.05).unwrap();
+        assert_eq!(e.stats().misses, s0.misses);
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed errors of the prediction service.
+
+use cos_model::ModelError;
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No calibration epoch has been fitted yet (the service is still
+    /// warming up on the telemetry stream).
+    NotCalibrated,
+    /// The queried operating point has no steady state (some queue has
+    /// utilization ρ ≥ 1) — the model cannot predict percentiles there.
+    Unstable {
+        /// Which tier saturated and at what utilization.
+        cause: ModelError,
+    },
+    /// The requested percentile lies outside the range the inversion can
+    /// bracket (e.g. `p` at or beyond the response CDF's numeric plateau).
+    PercentileOutOfRange {
+        /// The requested percentile in `(0, 1)`.
+        p: f64,
+    },
+    /// No admissible rate exists for the requested SLA goal: it fails even
+    /// as the arrival rate approaches zero.
+    GoalUnreachable,
+    /// The service thread has shut down (its command channel is closed).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NotCalibrated => {
+                f.write_str("no calibration epoch fitted yet (still warming up)")
+            }
+            ServeError::Unstable { cause } => write!(f, "operating point unstable: {cause}"),
+            ServeError::PercentileOutOfRange { p } => {
+                write!(f, "percentile {p} outside the invertible range")
+            }
+            ServeError::GoalUnreachable => {
+                f.write_str("SLA goal unreachable at any admissible rate")
+            }
+            ServeError::Disconnected => f.write_str("prediction service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Unstable { cause } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(cause: ModelError) -> Self {
+        ServeError::Unstable { cause }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::from(ModelError::UnstableBackend { utilization: 1.2 });
+        assert!(e.to_string().contains("unstable"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::NotCalibrated).is_none());
+    }
+}

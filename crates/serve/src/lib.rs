@@ -1,0 +1,53 @@
+//! # cos-serve
+//!
+//! An **online SLA-prediction service** over the analytic model: the
+//! operational form of the paper's vision (§I) — a system that watches its
+//! own telemetry and continuously answers "what fraction of requests will
+//! meet this SLA, now and at hypothetical loads?".
+//!
+//! The pipeline, stream to answer:
+//!
+//! * [`telemetry`] — the input event format (arrivals, data reads,
+//!   operation latencies, completions), deliberately independent of the
+//!   simulator so any source can feed it;
+//! * [`calibrate`] — sliding-window online estimators (§IV-B): arrival and
+//!   data-read rates, latency-threshold miss ratios, proportional disk
+//!   service decomposition — re-fitting [`cos_model::SystemParams`] on a
+//!   fixed event-time cadence;
+//! * [`engine`] — the memoized inversion engine: percentile / attainment /
+//!   headroom / bottleneck queries cached on the quantized
+//!   `(epoch, rate, SLA)` key, so a polling dashboard costs one inversion
+//!   per distinct question per epoch;
+//! * [`worker`] — a `std::thread` pool fanning batch what-if sweeps across
+//!   rates;
+//! * [`drift`] — observed-vs-predicted attainment monitoring, the signal
+//!   that the fitted distribution family itself has gone bad;
+//! * [`service`] — the assembled [`SlaService`] state machine and its
+//!   spawned, channel-driven form;
+//! * [`error`] — typed failure modes (warming up, unstable ρ ≥ 1,
+//!   unreachable goals, shutdown).
+//!
+//! Degradation is graceful by construction: a failed or unstable re-fit
+//! never evicts the last good epoch — answers keep flowing, flagged
+//! [`Prediction::stale`], until calibration recovers.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod drift;
+pub mod engine;
+pub mod error;
+pub mod service;
+pub mod telemetry;
+pub mod worker;
+
+pub use calibrate::{CalibrationBase, CalibratorConfig, FitError, OnlineCalibrator};
+pub use drift::{DriftConfig, DriftMonitor, DriftReport};
+pub use engine::{
+    CacheStats, EpochSnapshot, Prediction, PredictionEngine, FRACTION_QUANTUM, RATE_QUANTUM,
+    SLA_QUANTUM,
+};
+pub use error::ServeError;
+pub use service::{ServeConfig, ServiceHandle, ServiceStatus, SlaService, TelemetrySender};
+pub use telemetry::{OpClass, TelemetryEvent};
+pub use worker::{RatePoint, SweepHandle, SweepPool};

@@ -1,0 +1,548 @@
+//! The service itself: telemetry in, predictions out.
+//!
+//! [`SlaService`] is the synchronous state machine — ingest advances event
+//! time, re-fits on a fixed event-time cadence, and queries go through the
+//! memoized engine. [`SlaService::spawn`] wraps it in a dedicated thread
+//! behind a single command channel (`std::sync::mpsc` has no `select`, so
+//! every interaction — telemetry, queries, control — is one [`enum`]
+//! message; FIFO ordering doubles as the flush barrier). The returned
+//! [`ServiceHandle`] is the client side; [`TelemetrySender`] is a cheap
+//! cloneable ingest-only endpoint to hand to a telemetry source.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cos_model::{ModelVariant, SlaGoal, SystemModel};
+
+use crate::calibrate::{CalibrationBase, CalibratorConfig, OnlineCalibrator};
+use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
+use crate::engine::{CacheStats, Prediction, PredictionEngine};
+use crate::error::ServeError;
+use crate::telemetry::TelemetryEvent;
+use crate::worker::{RatePoint, SweepHandle, SweepPool};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// SLA bounds (seconds) tracked for drift detection and dashboards.
+    pub slas: Vec<f64>,
+    /// Model variant used for every prediction.
+    pub variant: ModelVariant,
+    /// Sliding-window estimator knobs.
+    pub calibrator: CalibratorConfig,
+    /// Drift detection knobs.
+    pub drift: DriftConfig,
+    /// Event-time seconds between automatic re-fits.
+    pub refit_interval: f64,
+    /// Worker threads of the what-if sweep pool.
+    pub sweep_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slas: vec![0.010, 0.050, 0.100],
+            variant: ModelVariant::Full,
+            calibrator: CalibratorConfig::default(),
+            drift: DriftConfig::default(),
+            refit_interval: 5.0,
+            sweep_workers: 2,
+        }
+    }
+}
+
+/// A point-in-time health summary.
+#[derive(Debug, Clone)]
+pub struct ServiceStatus {
+    /// Latest event time seen on the stream.
+    pub event_time: f64,
+    /// Installed calibration epoch (`None` while warming up).
+    pub epoch: Option<u64>,
+    /// Event time of the installed epoch's fit.
+    pub fitted_at: Option<f64>,
+    /// Whether the epoch is stale (the most recent re-fit failed).
+    pub stale: bool,
+    /// Re-fits that have failed since startup.
+    pub failed_refits: u64,
+    /// Why the most recent failed re-fit failed (`None` after a success).
+    pub last_fit_error: Option<String>,
+    /// Inversion-memo hit/miss counters.
+    pub cache: CacheStats,
+    /// Per-SLA drift verdicts (observed vs predicted attainment).
+    pub drift: Vec<DriftReport>,
+}
+
+/// The synchronous prediction service.
+pub struct SlaService {
+    config: ServeConfig,
+    calibrator: OnlineCalibrator,
+    drift: DriftMonitor,
+    engine: PredictionEngine,
+    pool: SweepPool,
+    now: f64,
+    last_refit: f64,
+    last_fit_error: Option<String>,
+}
+
+impl SlaService {
+    /// Creates a service over `base`'s topology.
+    pub fn new(base: CalibrationBase, config: ServeConfig) -> Self {
+        SlaService {
+            calibrator: OnlineCalibrator::new(base, config.calibrator.clone()),
+            drift: DriftMonitor::new(config.slas.clone(), config.drift.clone()),
+            engine: PredictionEngine::new(config.variant),
+            pool: SweepPool::new(config.sweep_workers),
+            now: 0.0,
+            last_refit: 0.0,
+            last_fit_error: None,
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Latest event time seen on the stream.
+    pub fn event_time(&self) -> f64 {
+        self.now
+    }
+
+    /// Feeds one telemetry event, re-fitting automatically once per
+    /// [`ServeConfig::refit_interval`] of event time.
+    pub fn ingest(&mut self, event: TelemetryEvent) {
+        let t = event.time();
+        self.now = self.now.max(t);
+        if let TelemetryEvent::Completion { latency, .. } = event {
+            self.drift.record(t, latency);
+        }
+        self.calibrator.ingest(&event);
+        if self.now - self.last_refit >= self.config.refit_interval {
+            self.refit_now();
+        }
+    }
+
+    /// Forces a re-fit at the current event time. Returns `true` if a new
+    /// epoch was installed; on failure the previous epoch (if any) keeps
+    /// serving, flagged stale.
+    pub fn refit_now(&mut self) -> bool {
+        self.last_refit = self.now;
+        let fitted = match self.calibrator.try_fit(self.now) {
+            Ok(params) => params,
+            Err(e) => {
+                self.last_fit_error = Some(e.to_string());
+                self.engine.mark_stale();
+                return false;
+            }
+        };
+        // Validate stability *before* installing: an unstable fit (a load
+        // spike pushing ρ ≥ 1 through the window) must not evict a usable
+        // epoch. The successfully built model pre-warms the engine.
+        match SystemModel::new(&fitted, self.config.variant) {
+            Ok(model) => {
+                self.engine
+                    .install(Arc::new(fitted), self.now, Some(Arc::new(model)));
+                self.last_fit_error = None;
+                true
+            }
+            Err(e) => {
+                self.last_fit_error = Some(e.to_string());
+                self.engine.mark_stale();
+                false
+            }
+        }
+    }
+
+    /// Predicted fraction of requests meeting `sla` at the calibrated
+    /// operating point.
+    pub fn predict(&mut self, sla: f64) -> Result<Prediction, ServeError> {
+        self.engine.fraction_meeting_sla(sla)
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    pub fn predict_at_rate(&mut self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.engine.fraction_at_rate(rate, sla)
+    }
+
+    /// Predicted response-latency percentile (e.g. `p = 0.95`).
+    pub fn percentile(&mut self, p: f64) -> Result<Prediction, ServeError> {
+        self.engine.latency_percentile(p)
+    }
+
+    /// Overload-control headroom up to `upper` req/s.
+    pub fn headroom(&mut self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.engine.headroom(goal, upper)
+    }
+
+    /// Bottleneck ranking, worst device first.
+    pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.engine.bottlenecks(sla)
+    }
+
+    /// Submits a batch what-if sweep to the worker pool (non-blocking).
+    pub fn sweep(&self, rates: &[f64], slas: Vec<f64>) -> Result<SweepHandle, ServeError> {
+        let snap = self.engine.snapshot().ok_or(ServeError::NotCalibrated)?;
+        Ok(self
+            .pool
+            .submit(snap.params.clone(), self.config.variant, rates, slas))
+    }
+
+    /// Direct access to the memoized engine (e.g. for cache statistics).
+    pub fn engine(&self) -> &PredictionEngine {
+        &self.engine
+    }
+
+    /// Health summary: epoch, staleness, cache counters, drift verdicts.
+    pub fn status(&mut self) -> ServiceStatus {
+        let slas = self.config.slas.clone();
+        let predictions: Vec<Option<f64>> = slas
+            .iter()
+            .map(|&sla| self.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
+            .collect();
+        let snap = self.engine.snapshot();
+        ServiceStatus {
+            event_time: self.now,
+            epoch: snap.map(|s| s.epoch),
+            fitted_at: snap.map(|s| s.fitted_at),
+            stale: snap.map(|s| s.stale).unwrap_or(false),
+            failed_refits: self.engine.failed_refits(),
+            last_fit_error: self.last_fit_error.clone(),
+            cache: self.engine.stats(),
+            drift: self.drift.report(self.now, &predictions),
+        }
+    }
+
+    /// Moves the service onto its own thread behind a command channel.
+    pub fn spawn(self) -> ServiceHandle {
+        let (tx, rx) = channel();
+        let join = std::thread::Builder::new()
+            .name("cos-serve".into())
+            .spawn(move || run_service(self, rx))
+            .expect("spawn service thread");
+        ServiceHandle {
+            tx,
+            join: Some(join),
+        }
+    }
+}
+
+enum Command {
+    Ingest(TelemetryEvent),
+    Refit(Sender<bool>),
+    Predict {
+        sla: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    PredictAtRate {
+        rate: f64,
+        sla: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    Percentile {
+        p: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    Headroom {
+        goal: SlaGoal,
+        upper: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    Sweep {
+        rates: Vec<f64>,
+        slas: Vec<f64>,
+        reply: Sender<Result<Vec<RatePoint>, ServeError>>,
+    },
+    Status(Sender<ServiceStatus>),
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Ingest(ev) => service.ingest(ev),
+            Command::Refit(reply) => {
+                let _ = reply.send(service.refit_now());
+            }
+            Command::Predict { sla, reply } => {
+                let _ = reply.send(service.predict(sla));
+            }
+            Command::PredictAtRate { rate, sla, reply } => {
+                let _ = reply.send(service.predict_at_rate(rate, sla));
+            }
+            Command::Percentile { p, reply } => {
+                let _ = reply.send(service.percentile(p));
+            }
+            Command::Headroom { goal, upper, reply } => {
+                let _ = reply.send(service.headroom(goal, upper));
+            }
+            Command::Sweep { rates, slas, reply } => {
+                // Submit, then collect off-thread work while staying
+                // responsive is not possible without select; the pool does
+                // the evaluation, this thread only blocks on collection.
+                let _ = reply.send(service.sweep(&rates, slas).map(SweepHandle::wait));
+            }
+            Command::Status(reply) => {
+                let _ = reply.send(service.status());
+            }
+            Command::Flush(reply) => {
+                let _ = reply.send(());
+            }
+            Command::Shutdown => break,
+        }
+    }
+    service
+}
+
+/// Ingest-only endpoint for telemetry producers. Sends never fail: once the
+/// service is gone, records are dropped (a dead consumer must not crash the
+/// producer).
+#[derive(Clone)]
+pub struct TelemetrySender(Sender<Command>);
+
+impl TelemetrySender {
+    /// Feeds one event to the service.
+    pub fn send(&self, event: TelemetryEvent) {
+        let _ = self.0.send(Command::Ingest(event));
+    }
+}
+
+/// Client handle to a spawned [`SlaService`].
+pub struct ServiceHandle {
+    tx: Sender<Command>,
+    join: Option<JoinHandle<SlaService>>,
+}
+
+impl ServiceHandle {
+    fn ask<T>(&self, build: impl FnOnce(Sender<T>) -> Command) -> Result<T, ServeError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(build(reply))
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// A cloneable ingest-only endpoint.
+    pub fn telemetry_sender(&self) -> TelemetrySender {
+        TelemetrySender(self.tx.clone())
+    }
+
+    /// Feeds one telemetry event (non-blocking).
+    pub fn ingest(&self, event: TelemetryEvent) -> Result<(), ServeError> {
+        self.tx
+            .send(Command::Ingest(event))
+            .map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Waits until every previously sent event has been processed.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        self.ask(Command::Flush)
+    }
+
+    /// Forces a re-fit; `Ok(true)` if a new epoch was installed.
+    pub fn refit_now(&self) -> Result<bool, ServeError> {
+        self.ask(Command::Refit)
+    }
+
+    /// Predicted fraction meeting `sla` at the calibrated operating point.
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Predict { sla, reply })?
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::PredictAtRate { rate, sla, reply })?
+    }
+
+    /// Predicted response-latency percentile.
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Percentile { p, reply })?
+    }
+
+    /// Overload-control headroom up to `upper` req/s.
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Headroom { goal, upper, reply })?
+    }
+
+    /// Batch what-if sweep, evaluated on the worker pool.
+    pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
+        self.ask(|reply| Command::Sweep { rates, slas, reply })?
+    }
+
+    /// Health summary.
+    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
+        self.ask(Command::Status)
+    }
+
+    /// Stops the service and returns its final state.
+    pub fn shutdown(mut self) -> Result<SlaService, ServeError> {
+        self.tx
+            .send(Command::Shutdown)
+            .map_err(|_| ServeError::Disconnected)?;
+        self.join
+            .take()
+            .ok_or(ServeError::Disconnected)?
+            .join()
+            .map_err(|_| ServeError::Disconnected)
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::OpClass;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+
+    fn base() -> CalibrationBase {
+        CalibrationBase {
+            index_law: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+            data_law: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+            devices: 2,
+            processes_per_device: 1,
+            frontend_processes: 3,
+        }
+    }
+
+    /// A deterministic steady stream at `rate` req/s per device with ~30%
+    /// disk misses and bimodal completion latencies.
+    fn events(rate: f64, duration: f64, devices: usize) -> Vec<TelemetryEvent> {
+        let dt = 1.0 / rate;
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        let mut t = 0.0;
+        while t < duration {
+            for d in 0..devices {
+                out.push(TelemetryEvent::Arrival { at: t, device: d });
+                out.push(TelemetryEvent::DataRead { at: t, device: d });
+                for class in OpClass::ALL {
+                    let missed = i % 10 < 3;
+                    let latency = if missed { 0.010 } else { 0.000_002 };
+                    out.push(TelemetryEvent::Op {
+                        at: t,
+                        device: d,
+                        class,
+                        latency,
+                    });
+                    i += 1;
+                }
+                let slow = i % 10 < 3;
+                out.push(TelemetryEvent::Completion {
+                    arrival: t,
+                    latency: if slow { 0.030 } else { 0.004 },
+                    device: d,
+                });
+            }
+            t += dt;
+        }
+        out
+    }
+
+    #[test]
+    fn service_calibrates_from_the_stream_and_answers() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        assert_eq!(service.predict(0.05), Err(ServeError::NotCalibrated));
+        for ev in events(40.0, 20.0, 2) {
+            service.ingest(ev);
+        }
+        let p = service.predict(0.05).unwrap();
+        assert!(p.value > 0.0 && p.value <= 1.0);
+        assert!(!p.stale);
+        let status = service.status();
+        assert!(status.epoch.is_some());
+        assert_eq!(status.drift.len(), 3);
+        // ~30% of completions at 30 ms: observed attainment of the 10 ms
+        // SLA is ~0.7.
+        let obs = status.drift[0].observed.unwrap();
+        assert!((obs - 0.7).abs() < 0.05, "observed {obs}");
+    }
+
+    #[test]
+    fn quiet_stream_degrades_to_stale_not_error() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        for ev in events(40.0, 20.0, 2) {
+            service.ingest(ev);
+        }
+        let fresh = service.predict(0.05).unwrap();
+        // One lone event far in the future: the windows have emptied, the
+        // forced re-fit fails, and the old epoch serves with the flag set.
+        service.ingest(TelemetryEvent::Arrival {
+            at: 500.0,
+            device: 0,
+        });
+        assert!(!service.refit_now());
+        let stale = service.predict(0.05).unwrap();
+        assert!(stale.stale);
+        assert_eq!(stale.epoch, fresh.epoch);
+        let status = service.status();
+        assert!(status.stale);
+        assert!(status.last_fit_error.is_some());
+    }
+
+    #[test]
+    fn sweep_and_headroom_run_against_the_live_epoch() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        for ev in events(40.0, 20.0, 2) {
+            service.ingest(ev);
+        }
+        let points = service
+            .sweep(&[40.0, 80.0, 160.0], vec![0.05])
+            .unwrap()
+            .wait();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].fractions.is_some());
+        let goal = SlaGoal::new(0.100, 0.90);
+        let head = service.headroom(goal, 2000.0);
+        if let Ok(h) = head {
+            assert!(h.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn spawned_service_round_trips_over_the_channel() {
+        let service = SlaService::new(base(), ServeConfig::default());
+        let handle = service.spawn();
+        let sender = handle.telemetry_sender();
+        let feeder = std::thread::spawn(move || {
+            for ev in events(40.0, 20.0, 2) {
+                sender.send(ev);
+            }
+        });
+        feeder.join().unwrap();
+        handle.flush().unwrap();
+        handle.refit_now().unwrap();
+        let p = handle.predict(0.05).unwrap();
+        assert!(p.value > 0.0);
+        let again = handle.predict(0.05).unwrap();
+        assert_eq!(p.value.to_bits(), again.value.to_bits());
+        let status = handle.status().unwrap();
+        assert!(status.cache.hits >= 1);
+        let points = handle.sweep(vec![40.0, 80.0], vec![0.05, 0.10]).unwrap();
+        assert_eq!(points.len(), 2);
+        let final_state = handle.shutdown().unwrap();
+        assert!(final_state.event_time() >= 19.0);
+    }
+
+    #[test]
+    fn dropped_handle_shuts_the_thread_down() {
+        let handle = SlaService::new(base(), ServeConfig::default()).spawn();
+        let sender = handle.telemetry_sender();
+        drop(handle);
+        // The ingest endpoint must not panic after shutdown.
+        sender.send(TelemetryEvent::Arrival { at: 0.0, device: 0 });
+    }
+}

@@ -1,0 +1,221 @@
+//! A background worker pool for batch what-if sweeps.
+//!
+//! Planning queries ("what does attainment look like from 50 to 500 req/s?")
+//! evaluate the model at many hypothetical rates; each point is independent,
+//! so the pool fans one [`SystemModel`] build + inversion batch per rate out
+//! to `std::thread` workers over plain channels (no external runtime). The
+//! shared-parameter handoff is just an `Arc<SystemParams>` — service-time
+//! laws are `Arc<dyn ServiceTime + Send + Sync>`, so a snapshot crosses
+//! threads without copying the fitted distributions.
+//!
+//! Results stream back over a per-sweep reply channel; [`SweepHandle::wait`]
+//! collects and orders them. Unstable rates come back as
+//! [`RatePoint::fractions`] `= None` rather than failing the sweep — a
+//! sweep that straddles the saturation knee is the common case, not an
+//! error.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cos_model::{model_at_rate, ModelVariant, SystemParams};
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePoint {
+    /// Total arrival rate of the hypothetical operating point (req/s).
+    pub rate: f64,
+    /// Fraction meeting each queried SLA, in query order; `None` if the
+    /// point has no steady state (ρ ≥ 1).
+    pub fractions: Option<Vec<f64>>,
+}
+
+struct WorkItem {
+    params: Arc<SystemParams>,
+    variant: ModelVariant,
+    rate: f64,
+    slas: Arc<Vec<f64>>,
+    reply: Sender<RatePoint>,
+}
+
+fn evaluate(item: WorkItem) {
+    let fractions = model_at_rate(&item.params, item.variant, item.rate)
+        .ok()
+        .map(|m| {
+            item.slas
+                .iter()
+                .map(|&sla| m.fraction_meeting_sla(sla))
+                .collect()
+        });
+    // A dropped handle just discards the remaining points.
+    let _ = item.reply.send(RatePoint {
+        rate: item.rate,
+        fractions,
+    });
+}
+
+/// A fixed pool of sweep workers sharing one work queue.
+pub struct SweepPool {
+    tx: Option<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = channel::<WorkItem>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("cos-serve-sweep-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue, not to evaluate.
+                        let item = match rx.lock().expect("queue lock").recv() {
+                            Ok(item) => item,
+                            Err(_) => break, // pool dropped
+                        };
+                        evaluate(item);
+                    })
+                    .expect("spawn sweep worker")
+            })
+            .collect();
+        SweepPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one sweep: every rate in `rates` evaluated against every SLA
+    /// in `slas` on a snapshot of `params`. Returns immediately; collect
+    /// with [`SweepHandle::wait`].
+    pub fn submit(
+        &self,
+        params: Arc<SystemParams>,
+        variant: ModelVariant,
+        rates: &[f64],
+        slas: Vec<f64>,
+    ) -> SweepHandle {
+        let (reply, rx) = channel();
+        let slas = Arc::new(slas);
+        let tx = self.tx.as_ref().expect("pool alive until drop");
+        for &rate in rates {
+            tx.send(WorkItem {
+                params: params.clone(),
+                variant,
+                rate,
+                slas: slas.clone(),
+                reply: reply.clone(),
+            })
+            .expect("workers alive until drop");
+        }
+        SweepHandle {
+            rx,
+            expected: rates.len(),
+        }
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // closes the queue; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Pending results of one submitted sweep.
+pub struct SweepHandle {
+    rx: Receiver<RatePoint>,
+    expected: usize,
+}
+
+impl SweepHandle {
+    /// Number of points the sweep will produce.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Blocks until every point has been evaluated and returns them sorted
+    /// by rate.
+    pub fn wait(self) -> Vec<RatePoint> {
+        let mut out: Vec<RatePoint> = self.rx.iter().take(self.expected).collect();
+        out.sort_by(|a, b| a.rate.partial_cmp(&b.rate).expect("finite rates"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::sample_params;
+    use cos_model::SystemModel;
+
+    #[test]
+    fn sweep_matches_sequential_evaluation() {
+        let params = Arc::new(sample_params(100.0, 4));
+        let pool = SweepPool::new(3);
+        let rates = [50.0, 100.0, 150.0, 200.0, 250.0];
+        let slas = vec![0.05, 0.10];
+        let points = pool
+            .submit(params.clone(), ModelVariant::Full, &rates, slas.clone())
+            .wait();
+        assert_eq!(points.len(), rates.len());
+        for (point, &rate) in points.iter().zip(&rates) {
+            assert_eq!(point.rate, rate);
+            let reference = SystemModel::new(&params.scaled_to_rate(rate), ModelVariant::Full)
+                .ok()
+                .map(|m| {
+                    slas.iter()
+                        .map(|&s| m.fraction_meeting_sla(s))
+                        .collect::<Vec<_>>()
+                });
+            assert_eq!(point.fractions, reference, "rate {rate}");
+        }
+        // Attainment is non-increasing in load wherever both points are
+        // stable.
+        for pair in points.windows(2) {
+            if let (Some(a), Some(b)) = (&pair[0].fractions, &pair[1].fractions) {
+                assert!(b[0] <= a[0] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_rates_come_back_as_none() {
+        let params = Arc::new(sample_params(100.0, 4));
+        let pool = SweepPool::new(2);
+        let points = pool
+            .submit(
+                params,
+                ModelVariant::Full,
+                &[100.0, 1_000_000.0],
+                vec![0.05],
+            )
+            .wait();
+        assert!(points[0].fractions.is_some());
+        assert_eq!(points[1].fractions, None, "ρ ≥ 1 must not fail the sweep");
+    }
+
+    #[test]
+    fn pool_survives_multiple_sweeps_and_dropped_handles() {
+        let params = Arc::new(sample_params(100.0, 2));
+        let pool = SweepPool::new(2);
+        let h1 = pool.submit(
+            params.clone(),
+            ModelVariant::Full,
+            &[80.0, 120.0],
+            vec![0.05],
+        );
+        drop(h1); // abandoned sweep must not wedge the workers
+        let h2 = pool.submit(params, ModelVariant::Full, &[90.0], vec![0.05]);
+        assert_eq!(h2.wait().len(), 1);
+    }
+}

@@ -46,7 +46,11 @@ impl<E> Default for Calendar<E> {
 impl<E> Calendar<E> {
     /// Creates an empty calendar at time zero.
     pub fn new() -> Self {
-        Calendar { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulation time (time of the last popped event).
@@ -59,8 +63,16 @@ impl<E> Calendar<E> {
     /// # Panics
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

@@ -21,7 +21,10 @@ impl SimTime {
     /// # Panics
     /// Panics on negative or non-finite input.
     pub fn new(seconds: f64) -> Self {
-        assert!(seconds.is_finite() && seconds >= 0.0, "SimTime must be finite and >= 0, got {seconds}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "SimTime must be finite and >= 0, got {seconds}"
+        );
         SimTime(seconds)
     }
 
@@ -36,7 +39,12 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`.
     pub fn since(&self, earlier: SimTime) -> f64 {
         let d = self.0 - earlier.0;
-        assert!(d >= 0.0, "negative elapsed time: {} since {}", self.0, earlier.0);
+        assert!(
+            d >= 0.0,
+            "negative elapsed time: {} since {}",
+            self.0,
+            earlier.0
+        );
         d
     }
 }
@@ -58,7 +66,10 @@ impl Ord for SimTime {
 impl Add<f64> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: f64) -> SimTime {
-        assert!(rhs.is_finite() && rhs >= 0.0, "cannot advance time by {rhs}");
+        assert!(
+            rhs.is_finite() && rhs >= 0.0,
+            "cannot advance time by {rhs}"
+        );
         SimTime(self.0 + rhs)
     }
 }

@@ -93,7 +93,10 @@ mod tests {
     use super::*;
 
     fn pt(observed: f64, predicted: f64) -> PredictionPoint {
-        PredictionPoint { observed, predicted }
+        PredictionPoint {
+            observed,
+            predicted,
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl Histogram {
     /// # Panics
     /// Panics unless `max > 0` and `bins >= 1`.
     pub fn new(max: f64, bins: usize) -> Self {
-        assert!(max.is_finite() && max > 0.0, "histogram max must be positive, got {max}");
+        assert!(
+            max.is_finite() && max > 0.0,
+            "histogram max must be positive, got {max}"
+        );
         assert!(bins >= 1, "histogram needs at least one bin");
         Histogram {
             bin_width: max / bins as f64,
@@ -32,7 +35,10 @@ impl Histogram {
 
     /// Records one value (negative values clamp into the first bin).
     pub fn record(&mut self, value: f64) {
-        assert!(value.is_finite(), "histogram values must be finite, got {value}");
+        assert!(
+            value.is_finite(),
+            "histogram values must be finite, got {value}"
+        );
         let v = value.max(0.0);
         let idx = (v / self.bin_width) as usize;
         if idx < self.counts.len() {

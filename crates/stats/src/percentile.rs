@@ -70,12 +70,18 @@ impl P2Quantile {
     }
 
     /// Feeds one observation.
+    ///
+    /// # Panics
+    /// Panics on a non-finite observation — a NaN would silently poison
+    /// every marker from then on.
     pub fn observe(&mut self, x: f64) {
+        assert!(x.is_finite(), "P2 observation must be finite, got {x}");
         self.count += 1;
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 self.heights.copy_from_slice(&self.initial);
             }
             return;
@@ -133,17 +139,18 @@ impl P2Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
-    /// Current quantile estimate (`None` with fewer than 5 observations is
-    /// approximated from the raw buffer; completely empty returns `None`).
+    /// Current quantile estimate. With 5 or fewer observations the exact
+    /// percentile of the buffered sample is served (the middle marker is
+    /// the sample *median* at that point, wrong for tail quantiles);
+    /// completely empty returns `None`.
     pub fn estimate(&self) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
-        if self.initial.len() < 5 {
+        if self.count <= 5 {
             let mut buf = self.initial.clone();
             return Some(exact_percentile(&mut buf, self.p));
         }
@@ -179,7 +186,9 @@ mod tests {
         // Deterministic pseudo-random stream (LCG).
         let mut state = 12345u64;
         for _ in 0..50_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64;
             est.observe(x);
             vals.push(x);
@@ -206,7 +215,9 @@ mod tests {
         let mut vals = Vec::new();
         let mut state = 999u64;
         for _ in 0..100_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
             let x = -u.ln();
             est.observe(x);
@@ -221,5 +232,63 @@ mod tests {
     #[should_panic]
     fn exact_percentile_rejects_empty() {
         exact_percentile(&mut [], 0.5);
+    }
+
+    #[test]
+    fn p2_exactly_five_samples_respects_tail_quantile() {
+        // At exactly 5 observations the middle marker is the sample median;
+        // a 0.99-quantile estimate must not collapse to it.
+        let mut est = P2Quantile::new(0.99);
+        for x in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            est.observe(x);
+        }
+        let got = est.estimate().unwrap();
+        assert!(
+            got > 90.0,
+            "p99 of 5 samples should be near the max, got {got}"
+        );
+    }
+
+    #[test]
+    fn p2_all_equal_samples_stay_exact() {
+        for &p in &[0.1, 0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            for _ in 0..1000 {
+                est.observe(7.25);
+            }
+            assert_eq!(est.estimate(), Some(7.25), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn p2_nearly_equal_samples_stay_bounded() {
+        // Duplicates in the initial 5 plus near-equal data must not produce
+        // NaN (division hazards in the marker adjustment) or escape the
+        // data range.
+        let mut est = P2Quantile::new(0.9);
+        for i in 0..10_000u32 {
+            let x = if i % 3 == 0 {
+                5.0
+            } else {
+                5.0 + 1e-12 * f64::from(i % 7)
+            };
+            est.observe(x);
+        }
+        let got = est.estimate().unwrap();
+        assert!(got.is_finite());
+        assert!((5.0..=5.0 + 1e-9).contains(&got), "estimate {got}");
+    }
+
+    #[test]
+    fn p2_single_observation() {
+        let mut est = P2Quantile::new(0.95);
+        est.observe(12.0);
+        assert_eq!(est.estimate(), Some(12.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn p2_rejects_nan() {
+        P2Quantile::new(0.5).observe(f64::NAN);
     }
 }

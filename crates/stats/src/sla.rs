@@ -20,9 +20,19 @@ impl SlaMeter {
     /// # Panics
     /// Panics unless both arguments are finite and positive.
     pub fn new(sla: f64, bin_width: f64) -> Self {
-        assert!(sla.is_finite() && sla > 0.0, "sla must be positive, got {sla}");
-        assert!(bin_width.is_finite() && bin_width > 0.0, "bin width must be positive, got {bin_width}");
-        SlaMeter { sla, bin_width, bins: Vec::new() }
+        assert!(
+            sla.is_finite() && sla > 0.0,
+            "sla must be positive, got {sla}"
+        );
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "bin width must be positive, got {bin_width}"
+        );
+        SlaMeter {
+            sla,
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// The latency bound.
@@ -36,8 +46,14 @@ impl SlaMeter {
     /// # Panics
     /// Panics on negative or non-finite inputs.
     pub fn record(&mut self, at: f64, latency: f64) {
-        assert!(at.is_finite() && at >= 0.0, "timestamp must be >= 0, got {at}");
-        assert!(latency.is_finite() && latency >= 0.0, "latency must be >= 0, got {latency}");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "timestamp must be >= 0, got {at}"
+        );
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be >= 0, got {latency}"
+        );
         let idx = (at / self.bin_width) as usize;
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, (0, 0));

@@ -67,8 +67,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -91,14 +91,19 @@ impl BatchMeans {
     /// Panics if `batch_size` is zero.
     pub fn new(batch_size: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchMeans { batch_size, current: Welford::new(), batches: Welford::new() }
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+        }
     }
 
     /// Adds an observation.
     pub fn push(&mut self, x: f64) {
         self.current.push(x);
         if self.current.count() == self.batch_size {
-            self.batches.push(self.current.mean().expect("nonempty batch"));
+            self.batches
+                .push(self.current.mean().expect("nonempty batch"));
             self.current = Welford::new();
         }
     }
@@ -178,7 +183,11 @@ mod tests {
         for i in 0..1000 {
             w.push(1e9 + (i % 2) as f64);
         }
-        assert!((w.variance().unwrap() - 0.25025).abs() < 1e-3, "{:?}", w.variance());
+        assert!(
+            (w.variance().unwrap() - 0.25025).abs() < 1e-3,
+            "{:?}",
+            w.variance()
+        );
     }
 
     #[test]

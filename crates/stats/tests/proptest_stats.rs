@@ -1,6 +1,9 @@
 //! Property-based tests for the statistics utilities.
 
-use cos_stats::{exact_percentile, fraction_within, ErrorSummary, Histogram, P2Quantile, PredictionPoint, SlaMeter};
+use cos_stats::{
+    exact_percentile, fraction_within, ErrorSummary, Histogram, P2Quantile, PredictionPoint,
+    SlaMeter,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -26,7 +26,13 @@ pub enum Lookup {
 pub trait Cache: Send {
     /// Looks up `(kind, object, chunk)`; on `Miss` the caller will read from
     /// disk and the entry is inserted (read-through).
-    fn access(&mut self, kind: DiskOpKind, object: ObjectId, chunk: u32, rng: &mut dyn RngCore) -> Lookup;
+    fn access(
+        &mut self,
+        kind: DiskOpKind,
+        object: ObjectId,
+        chunk: u32,
+        rng: &mut dyn RngCore,
+    ) -> Lookup;
 }
 
 /// Bernoulli cache: independent miss coin-flips per kind.
@@ -41,14 +47,27 @@ impl BernoulliCache {
     /// Creates a Bernoulli cache from per-kind miss ratios.
     pub fn new(index_miss: f64, meta_miss: f64, data_miss: f64) -> Self {
         for m in [index_miss, meta_miss, data_miss] {
-            assert!((0.0..=1.0).contains(&m), "miss ratio must be in [0,1], got {m}");
+            assert!(
+                (0.0..=1.0).contains(&m),
+                "miss ratio must be in [0,1], got {m}"
+            );
         }
-        BernoulliCache { index_miss, meta_miss, data_miss }
+        BernoulliCache {
+            index_miss,
+            meta_miss,
+            data_miss,
+        }
     }
 }
 
 impl Cache for BernoulliCache {
-    fn access(&mut self, kind: DiskOpKind, _object: ObjectId, _chunk: u32, rng: &mut dyn RngCore) -> Lookup {
+    fn access(
+        &mut self,
+        kind: DiskOpKind,
+        _object: ObjectId,
+        _chunk: u32,
+        rng: &mut dyn RngCore,
+    ) -> Lookup {
         let miss = match kind {
             DiskOpKind::Index => self.index_miss,
             DiskOpKind::Meta => self.meta_miss,
@@ -102,7 +121,12 @@ impl LruCache {
     ///
     /// # Panics
     /// Panics on a zero capacity or zero entry sizes.
-    pub fn new(capacity: u64, index_entry_bytes: u32, meta_entry_bytes: u32, chunk_bytes: u32) -> Self {
+    pub fn new(
+        capacity: u64,
+        index_entry_bytes: u32,
+        meta_entry_bytes: u32,
+        chunk_bytes: u32,
+    ) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         assert!(index_entry_bytes > 0 && meta_entry_bytes > 0 && chunk_bytes > 0);
         LruCache {
@@ -125,9 +149,16 @@ impl LruCache {
     /// Panics if called with a non-LRU config.
     pub fn from_config(config: &CacheConfig, chunk_bytes: u32) -> Self {
         match config {
-            CacheConfig::Lru { capacity_bytes, index_entry_bytes, meta_entry_bytes } => {
-                LruCache::new(*capacity_bytes, *index_entry_bytes, *meta_entry_bytes, chunk_bytes)
-            }
+            CacheConfig::Lru {
+                capacity_bytes,
+                index_entry_bytes,
+                meta_entry_bytes,
+            } => LruCache::new(
+                *capacity_bytes,
+                *index_entry_bytes,
+                *meta_entry_bytes,
+                chunk_bytes,
+            ),
             other => panic!("LruCache::from_config requires an Lru config, got {other:?}"),
         }
     }
@@ -198,7 +229,12 @@ impl LruCache {
             // Entry larger than the whole cache: don't cache it.
             return;
         }
-        let node = Node { key, bytes, prev: None, next: None };
+        let node = Node {
+            key,
+            bytes,
+            prev: None,
+            next: None,
+        };
         let idx = match self.free.pop() {
             Some(i) => {
                 self.nodes[i] = node;
@@ -224,8 +260,18 @@ fn kind_tag(kind: DiskOpKind) -> u8 {
 }
 
 impl Cache for LruCache {
-    fn access(&mut self, kind: DiskOpKind, object: ObjectId, chunk: u32, _rng: &mut dyn RngCore) -> Lookup {
-        let key = EntryKey { kind_tag: kind_tag(kind), object, chunk };
+    fn access(
+        &mut self,
+        kind: DiskOpKind,
+        object: ObjectId,
+        chunk: u32,
+        _rng: &mut dyn RngCore,
+    ) -> Lookup {
+        let key = EntryKey {
+            kind_tag: kind_tag(kind),
+            object,
+            chunk,
+        };
         if let Some(&idx) = self.map.get(&key) {
             self.detach(idx);
             self.push_front(idx);
@@ -240,9 +286,11 @@ impl Cache for LruCache {
 /// Builds the per-device cache from the config.
 pub fn build_cache(config: &CacheConfig, chunk_bytes: u32) -> Box<dyn Cache> {
     match config {
-        CacheConfig::Bernoulli { index_miss, meta_miss, data_miss } => {
-            Box::new(BernoulliCache::new(*index_miss, *meta_miss, *data_miss))
-        }
+        CacheConfig::Bernoulli {
+            index_miss,
+            meta_miss,
+            data_miss,
+        } => Box::new(BernoulliCache::new(*index_miss, *meta_miss, *data_miss)),
         CacheConfig::Lru { .. } => Box::new(LruCache::from_config(config, chunk_bytes)),
     }
 }
@@ -308,7 +356,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut catalog_rng = SmallRng::seed_from_u64(6);
         let catalog = cos_workload::Catalog::synthesize(
-            &cos_workload::CatalogConfig { objects: 10_000, ..Default::default() },
+            &cos_workload::CatalogConfig {
+                objects: 10_000,
+                ..Default::default()
+            },
             &mut catalog_rng,
         );
         let mut hits = 0;

@@ -73,11 +73,19 @@ pub fn benchmark_parse(cfg: &ClusterConfig, n: usize) -> ParseBenchmark {
     assert!(n > 0, "parse benchmark needs at least one request");
     let mut quiet = cfg.clone();
     // All operations served from memory: the cached-object closed loop.
-    quiet.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 };
+    quiet.cache = CacheConfig::Bernoulli {
+        index_miss: 0.0,
+        meta_miss: 0.0,
+        data_miss: 0.0,
+    };
     // One outstanding request: spacing far beyond any parse latency.
     let gap = 0.1;
     let trace: Vec<TraceEvent> = (0..n)
-        .map(|i| TraceEvent { at: i as f64 * gap, object: 0, size: 1 })
+        .map(|i| TraceEvent {
+            at: i as f64 * gap,
+            object: 0,
+            size: 1,
+        })
         .collect();
     let metrics = run_simulation(
         quiet.clone(),
@@ -131,7 +139,11 @@ mod tests {
         let cfg = ClusterConfig::paper_s1();
         let b = benchmark_parse(&cfg, 200);
         // parse_be is Degenerate(0.5 ms); Dbp also contains 3 memory hits.
-        assert!((b.parse_be_estimate - 0.0005).abs() < 1e-6, "be {}", b.parse_be_estimate);
+        assert!(
+            (b.parse_be_estimate - 0.0005).abs() < 1e-6,
+            "be {}",
+            b.parse_be_estimate
+        );
         // Dfp − Dbp = parse_fe + accept cost.
         assert!(
             (b.parse_fe_estimate - (0.0003 + cfg.accept_cost)).abs() < 1e-6,

@@ -95,8 +95,17 @@ pub enum CacheConfig {
 impl CacheConfig {
     /// Validates ratio ranges.
     pub fn validate(&self) {
-        if let CacheConfig::Bernoulli { index_miss, meta_miss, data_miss } = self {
-            for (name, m) in [("index", index_miss), ("meta", meta_miss), ("data", data_miss)] {
+        if let CacheConfig::Bernoulli {
+            index_miss,
+            meta_miss,
+            data_miss,
+        } = self
+        {
+            for (name, m) in [
+                ("index", index_miss),
+                ("meta", meta_miss),
+                ("data", data_miss),
+            ] {
                 assert!(
                     (0.0..=1.0).contains(m),
                     "{name} miss ratio must be in [0,1], got {m}"
@@ -122,7 +131,10 @@ pub struct TimeoutRetry {
 impl TimeoutRetry {
     /// Validates the policy.
     pub fn validate(&self) {
-        assert!(self.timeout.is_finite() && self.timeout > 0.0, "timeout must be positive");
+        assert!(
+            self.timeout.is_finite() && self.timeout > 0.0,
+            "timeout must be positive"
+        );
     }
 }
 
@@ -195,7 +207,11 @@ impl ClusterConfig {
             network_bandwidth: 125_000_000.0, // 1 Gbps
             mem_latency: 0.000003,
             disk: DiskProfile::hdd_like(),
-            cache: CacheConfig::Bernoulli { index_miss: 0.30, meta_miss: 0.25, data_miss: 0.40 },
+            cache: CacheConfig::Bernoulli {
+                index_miss: 0.30,
+                meta_miss: 0.25,
+                data_miss: 0.40,
+            },
             device_overrides: Vec::new(),
             timeout_retry: None,
             seed: 0xC05C05,
@@ -208,7 +224,11 @@ impl ClusterConfig {
     pub fn paper_s16() -> Self {
         ClusterConfig {
             processes_per_device: 16,
-            cache: CacheConfig::Bernoulli { index_miss: 0.14, meta_miss: 0.10, data_miss: 0.20 },
+            cache: CacheConfig::Bernoulli {
+                index_miss: 0.14,
+                meta_miss: 0.10,
+                data_miss: 0.20,
+            },
             ..ClusterConfig::paper_s1()
         }
     }
@@ -218,16 +238,26 @@ impl ClusterConfig {
     /// # Panics
     /// Panics on structurally invalid values.
     pub fn validate(&self) {
-        assert!(self.frontend_processes >= 1, "need at least one frontend process");
+        assert!(
+            self.frontend_processes >= 1,
+            "need at least one frontend process"
+        );
         assert!(self.devices >= 1, "need at least one device");
-        assert!(self.processes_per_device >= 1, "need at least one backend process per device");
+        assert!(
+            self.processes_per_device >= 1,
+            "need at least one backend process per device"
+        );
         assert!(self.chunk_size >= 1, "chunk size must be positive");
         assert!(self.accept_cost >= 0.0 && self.accept_cost.is_finite());
         assert!(self.network_bandwidth > 0.0 && self.network_bandwidth.is_finite());
         assert!(self.mem_latency >= 0.0 && self.mem_latency.is_finite());
         self.cache.validate();
         for o in &self.device_overrides {
-            assert!(o.device < self.devices, "override for nonexistent device {}", o.device);
+            assert!(
+                o.device < self.devices,
+                "override for nonexistent device {}",
+                o.device
+            );
             if let Some(c) = &o.cache {
                 c.validate();
             }
@@ -275,9 +305,21 @@ mod tests {
     fn hdd_profile_means_in_fig5_range() {
         let d = DiskProfile::hdd_like();
         // Fig. 5 shows service times roughly 5–80 ms.
-        assert!((0.005..0.03).contains(&d.index.mean()), "index {}", d.index.mean());
-        assert!((0.005..0.03).contains(&d.meta.mean()), "meta {}", d.meta.mean());
-        assert!((0.005..0.03).contains(&d.data.mean()), "data {}", d.data.mean());
+        assert!(
+            (0.005..0.03).contains(&d.index.mean()),
+            "index {}",
+            d.index.mean()
+        );
+        assert!(
+            (0.005..0.03).contains(&d.meta.mean()),
+            "meta {}",
+            d.meta.mean()
+        );
+        assert!(
+            (0.005..0.03).contains(&d.data.mean()),
+            "data {}",
+            d.data.mean()
+        );
         assert_eq!(d.mean_of(DiskOpKind::Index), d.index.mean());
     }
 
@@ -304,6 +346,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_miss_ratio_rejected() {
-        CacheConfig::Bernoulli { index_miss: 1.5, meta_miss: 0.0, data_miss: 0.0 }.validate();
+        CacheConfig::Bernoulli {
+            index_miss: 1.5,
+            meta_miss: 0.0,
+            data_miss: 0.0,
+        }
+        .validate();
     }
 }

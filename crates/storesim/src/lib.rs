@@ -12,6 +12,8 @@
 //! * [`sim`] — the event loop;
 //! * [`metrics`] — SLA accounting per rate window plus the online metrics of
 //!   §IV-B (arrival rates, miss ratios, disk service sums, WTA samples);
+//! * [`telemetry`] — the live per-event export stream an online prediction
+//!   service (`cos-serve`) ingests;
 //! * [`calibration`] — the benchmarking rigs of §IV-A (disk and parse).
 
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub mod calibration;
 pub mod config;
 pub mod metrics;
 pub mod sim;
+pub mod telemetry;
 
 pub use cache::{BernoulliCache, Cache, Lookup, LruCache};
 pub use calibration::{benchmark_disk, benchmark_parse, DiskBenchmark, ParseBenchmark};
@@ -29,3 +32,4 @@ pub use config::{
 };
 pub use metrics::{CompletedRequest, DeviceCounters, Metrics, MetricsConfig, OpSample};
 pub use sim::{run_simulation, Simulation, PARTITIONS, REPLICAS};
+pub use telemetry::{SimTelemetry, TelemetrySink};

@@ -259,7 +259,11 @@ impl Metrics {
         }
         self.op_counter += 1;
         if self.op_counter.is_multiple_of(self.config.op_sample_stride) {
-            self.op_samples.push(OpSample { kind, latency, was_miss });
+            self.op_samples.push(OpSample {
+                kind,
+                latency,
+                was_miss,
+            });
         }
     }
 
@@ -332,7 +336,13 @@ mod tests {
     }
 
     fn rec(arrival: f64, latency: f64, device: u16) -> CompletedRequest {
-        CompletedRequest { arrival, latency, be_latency: latency / 2.0, wta: 0.0, device }
+        CompletedRequest {
+            arrival,
+            latency,
+            be_latency: latency / 2.0,
+            wta: 0.0,
+            device,
+        }
     }
 
     #[test]
@@ -395,7 +405,13 @@ mod tests {
             m.op_sample(DiskOpKind::Meta, i as f64, false);
         }
         assert_eq!(m.op_samples().len(), 3);
-        let mut off = Metrics::new(MetricsConfig { op_sample_stride: 0, ..config() }, 1);
+        let mut off = Metrics::new(
+            MetricsConfig {
+                op_sample_stride: 0,
+                ..config()
+            },
+            1,
+        );
         off.op_sample(DiskOpKind::Meta, 1.0, true);
         assert!(off.op_samples().is_empty());
     }

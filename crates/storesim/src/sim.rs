@@ -27,6 +27,7 @@
 use crate::cache::{build_cache, Cache, Lookup};
 use crate::config::{AcceptMode, ClusterConfig, DiskOpKind};
 use crate::metrics::{CompletedRequest, Metrics, MetricsConfig};
+use crate::telemetry::{SimTelemetry, TelemetrySink};
 use cos_distr::DynService;
 use cos_simkit::{Calendar, RngStreams, SimTime};
 use cos_workload::{ObjectId, TraceEvent};
@@ -76,15 +77,28 @@ enum Op {
     /// A continuation chunk read (`remaining` includes this chunk;
     /// `arrival` is the owning request's arrival time, used to attribute
     /// the data-read to its rate window).
-    Chunk { object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+    Chunk {
+        object: ObjectId,
+        chunk_idx: u32,
+        remaining: u32,
+        arrival: f64,
+    },
 }
 
 /// What a busy backend process is currently doing.
 #[derive(Debug, Clone, Copy)]
 enum Exec {
     Accept,
-    Handle { req: Request, stage: HandleStage },
-    Chunk { object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+    Handle {
+        req: Request,
+        stage: HandleStage,
+    },
+    Chunk {
+        object: ObjectId,
+        chunk_idx: u32,
+        remaining: u32,
+        arrival: f64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +121,14 @@ enum Ev {
     /// The device's disk finished its current operation.
     DiskDone { dev: u16 },
     /// A chunk transmission completed; the next chunk read becomes ready.
-    NetDone { dev: u16, proc: u16, object: ObjectId, chunk_idx: u32, remaining: u32, arrival: f64 },
+    NetDone {
+        dev: u16,
+        proc: u16,
+        object: ObjectId,
+        chunk_idx: u32,
+        remaining: u32,
+        arrival: f64,
+    },
     /// Frontend timeout check for a logical request.
     Timeout { req: u32 },
 }
@@ -133,7 +154,8 @@ impl BeProc {
 }
 
 struct Disk {
-    queue: VecDeque<(u16, DiskOpKind)>,
+    /// Waiting operations: `(process, kind, attribution time)`.
+    queue: VecDeque<(u16, DiskOpKind, f64)>,
     current: Option<(u16, DiskOpKind)>,
 }
 
@@ -155,6 +177,7 @@ pub struct Simulation {
     disk_profiles: Vec<crate::config::DiskProfile>,
     req_states: Vec<ReqState>,
     metrics: Metrics,
+    telemetry: Option<Box<dyn TelemetrySink>>,
     net_time: f64,
 }
 
@@ -187,27 +210,55 @@ impl Simulation {
         let disk_profiles = (0..devices).map(|d| cfg.disk_for(d).clone()).collect();
         let metrics = Metrics::new(metrics_config, devices);
         Simulation {
-            fe_queue: (0..cfg.frontend_processes).map(|_| VecDeque::new()).collect(),
+            fe_queue: (0..cfg.frontend_processes)
+                .map(|_| VecDeque::new())
+                .collect(),
             fe_busy: vec![false; cfg.frontend_processes],
             fe_current: (0..cfg.frontend_processes).map(|_| None).collect(),
             procs: (0..devices)
-                .map(|_| (0..cfg.processes_per_device).map(|_| BeProc::new()).collect())
+                .map(|_| {
+                    (0..cfg.processes_per_device)
+                        .map(|_| BeProc::new())
+                        .collect()
+                })
                 .collect(),
             disks: (0..devices)
-                .map(|_| Disk { queue: VecDeque::new(), current: None })
+                .map(|_| Disk {
+                    queue: VecDeque::new(),
+                    current: None,
+                })
                 .collect(),
             caches,
             route_rng: streams.stream("route", 0),
             parse_rng: streams.stream("parse", 0),
-            disk_rngs: (0..devices).map(|d| streams.stream("disk", d as u64)).collect(),
-            cache_rngs: (0..devices).map(|d| streams.stream("cache", d as u64)).collect(),
+            disk_rngs: (0..devices)
+                .map(|d| streams.stream("disk", d as u64))
+                .collect(),
+            cache_rngs: (0..devices)
+                .map(|d| streams.stream("cache", d as u64))
+                .collect(),
             partition_replicas,
             disk_profiles,
             req_states: Vec::new(),
             metrics,
+            telemetry: None,
             cal: Calendar::new(),
             net_time,
             cfg,
+        }
+    }
+
+    /// Attaches a live telemetry sink; every measurement point also emits a
+    /// [`SimTelemetry`] record (see [`crate::telemetry`]).
+    pub fn with_telemetry(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SimTelemetry) {
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.emit(event);
         }
     }
 
@@ -233,10 +284,22 @@ impl Simulation {
                 Ev::FeDone { fe } => self.on_fe_done(now, fe as usize),
                 Ev::BeDone { dev, proc } => self.stage_complete(now, dev as usize, proc as usize),
                 Ev::DiskDone { dev } => self.on_disk_done(now, dev as usize),
-                Ev::NetDone { dev, proc, object, chunk_idx, remaining, arrival } => {
+                Ev::NetDone {
+                    dev,
+                    proc,
+                    object,
+                    chunk_idx,
+                    remaining,
+                    arrival,
+                } => {
                     self.procs[dev as usize][proc as usize]
                         .queue
-                        .push_back(Op::Chunk { object, chunk_idx, remaining, arrival });
+                        .push_back(Op::Chunk {
+                            object,
+                            chunk_idx,
+                            remaining,
+                            arrival,
+                        });
                     self.pump(now, dev as usize, proc as usize);
                 }
                 Ev::Timeout { req } => self.on_timeout(now, req),
@@ -289,7 +352,9 @@ impl Simulation {
     }
 
     fn on_fe_done(&mut self, now: f64, fe: usize) {
-        let req = self.fe_current[fe].take().expect("frontend finished without a request");
+        let req = self.fe_current[fe]
+            .take()
+            .expect("frontend finished without a request");
         self.route_to_backend(now, req);
         if let Some(next) = self.fe_queue[fe].pop_front() {
             self.start_fe(now, fe, next);
@@ -314,7 +379,8 @@ impl Simulation {
             state.attempts += 1;
             if let Some(tr) = self.cfg.timeout_retry {
                 if state.attempts <= tr.max_retries {
-                    self.cal.schedule_in(tr.timeout, Ev::Timeout { req: req.id });
+                    self.cal
+                        .schedule_in(tr.timeout, Ev::Timeout { req: req.id });
                 }
             }
             pick as usize
@@ -325,6 +391,10 @@ impl Simulation {
         req.device = device as u16;
         req.pool_enter = now;
         self.metrics.route(req.arrival, req.device);
+        self.emit(SimTelemetry::Routed {
+            at: req.arrival,
+            device: req.device,
+        });
         let mode = self.cfg.accept_mode;
         let p = &mut self.procs[device][proc];
         p.pool.push_back(req);
@@ -360,18 +430,38 @@ impl Simulation {
                 self.procs[dev][proc].exec = Some(Exec::Accept);
                 self.cal.schedule_in(
                     self.cfg.accept_cost,
-                    Ev::BeDone { dev: dev as u16, proc: proc as u16 },
+                    Ev::BeDone {
+                        dev: dev as u16,
+                        proc: proc as u16,
+                    },
                 );
             }
             Op::Handle(req) => {
-                self.procs[dev][proc].exec =
-                    Some(Exec::Handle { req, stage: HandleStage::Parse });
+                self.procs[dev][proc].exec = Some(Exec::Handle {
+                    req,
+                    stage: HandleStage::Parse,
+                });
                 let dt = sample(&self.cfg.parse_be, &mut self.parse_rng);
-                self.cal.schedule_in(dt, Ev::BeDone { dev: dev as u16, proc: proc as u16 });
+                self.cal.schedule_in(
+                    dt,
+                    Ev::BeDone {
+                        dev: dev as u16,
+                        proc: proc as u16,
+                    },
+                );
             }
-            Op::Chunk { object, chunk_idx, remaining, arrival } => {
-                self.procs[dev][proc].exec =
-                    Some(Exec::Chunk { object, chunk_idx, remaining, arrival });
+            Op::Chunk {
+                object,
+                chunk_idx,
+                remaining,
+                arrival,
+            } => {
+                self.procs[dev][proc].exec = Some(Exec::Chunk {
+                    object,
+                    chunk_idx,
+                    remaining,
+                    arrival,
+                });
                 self.start_disk_stage(arrival, dev, proc, DiskOpKind::Data, object, chunk_idx);
             }
         }
@@ -396,24 +486,42 @@ impl Simulation {
         let lookup = self.caches[dev].access(kind, object, chunk, &mut self.cache_rngs[dev]);
         let miss = lookup == Lookup::Miss;
         self.metrics.cache_access(attr_time, dev as u16, kind, miss);
+        if kind == DiskOpKind::Data {
+            self.emit(SimTelemetry::DataRead {
+                at: attr_time,
+                device: dev as u16,
+            });
+        }
         if miss {
-            self.submit_disk(dev, proc as u16, kind);
+            self.submit_disk(dev, proc as u16, kind, attr_time);
         } else {
             self.metrics.op_sample(kind, self.cfg.mem_latency, false);
-            self.cal
-                .schedule_in(self.cfg.mem_latency, Ev::BeDone { dev: dev as u16, proc: proc as u16 });
+            self.emit(SimTelemetry::Op {
+                at: attr_time,
+                device: dev as u16,
+                kind,
+                latency: self.cfg.mem_latency,
+                was_miss: false,
+            });
+            self.cal.schedule_in(
+                self.cfg.mem_latency,
+                Ev::BeDone {
+                    dev: dev as u16,
+                    proc: proc as u16,
+                },
+            );
         }
     }
 
-    fn submit_disk(&mut self, dev: usize, proc: u16, kind: DiskOpKind) {
+    fn submit_disk(&mut self, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
         if self.disks[dev].current.is_none() {
-            self.start_disk_op(dev, proc, kind);
+            self.start_disk_op(dev, proc, kind, attr_time);
         } else {
-            self.disks[dev].queue.push_back((proc, kind));
+            self.disks[dev].queue.push_back((proc, kind, attr_time));
         }
     }
 
-    fn start_disk_op(&mut self, dev: usize, proc: u16, kind: DiskOpKind) {
+    fn start_disk_op(&mut self, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
         let profile = &self.disk_profiles[dev];
         let rng = &mut self.disk_rngs[dev];
         let svc = match kind {
@@ -424,13 +532,23 @@ impl Simulation {
         self.disks[dev].current = Some((proc, kind));
         self.metrics.disk_service(dev as u16, kind, svc);
         self.metrics.op_sample(kind, svc, true);
+        self.emit(SimTelemetry::Op {
+            at: attr_time,
+            device: dev as u16,
+            kind,
+            latency: svc,
+            was_miss: true,
+        });
         self.cal.schedule_in(svc, Ev::DiskDone { dev: dev as u16 });
     }
 
     fn on_disk_done(&mut self, now: f64, dev: usize) {
-        let (proc, _kind) = self.disks[dev].current.take().expect("disk finished while idle");
-        if let Some((next_proc, next_kind)) = self.disks[dev].queue.pop_front() {
-            self.start_disk_op(dev, next_proc, next_kind);
+        let (proc, _kind) = self.disks[dev]
+            .current
+            .take()
+            .expect("disk finished while idle");
+        if let Some((next_proc, next_kind, next_attr)) = self.disks[dev].queue.pop_front() {
+            self.start_disk_op(dev, next_proc, next_kind, next_attr);
         }
         self.stage_complete(now, dev, proc as usize);
     }
@@ -438,7 +556,10 @@ impl Simulation {
     /// Advances the current operation of a backend process after a stage
     /// (CPU timer or disk visit) completes.
     fn stage_complete(&mut self, now: f64, dev: usize, proc: usize) {
-        let exec = self.procs[dev][proc].exec.take().expect("stage completed on idle process");
+        let exec = self.procs[dev][proc]
+            .exec
+            .take()
+            .expect("stage completed on idle process");
         match exec {
             Exec::Accept => {
                 match self.cfg.accept_mode {
@@ -469,18 +590,24 @@ impl Simulation {
             }
             Exec::Handle { req, stage } => match stage {
                 HandleStage::Parse => {
-                    self.procs[dev][proc].exec =
-                        Some(Exec::Handle { req, stage: HandleStage::Index });
+                    self.procs[dev][proc].exec = Some(Exec::Handle {
+                        req,
+                        stage: HandleStage::Index,
+                    });
                     self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Index, req.object, 0);
                 }
                 HandleStage::Index => {
-                    self.procs[dev][proc].exec =
-                        Some(Exec::Handle { req, stage: HandleStage::Meta });
+                    self.procs[dev][proc].exec = Some(Exec::Handle {
+                        req,
+                        stage: HandleStage::Meta,
+                    });
                     self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Meta, req.object, 0);
                 }
                 HandleStage::Meta => {
-                    self.procs[dev][proc].exec =
-                        Some(Exec::Handle { req, stage: HandleStage::Data });
+                    self.procs[dev][proc].exec = Some(Exec::Handle {
+                        req,
+                        stage: HandleStage::Data,
+                    });
                     self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Data, req.object, 0);
                 }
                 HandleStage::Data => {
@@ -503,6 +630,12 @@ impl Simulation {
                             wta: req.wta,
                             device: dev as u16,
                         });
+                        self.emit(SimTelemetry::Completed {
+                            arrival: req.arrival,
+                            completed_at: now,
+                            latency: now - req.arrival,
+                            device: dev as u16,
+                        });
                     }
                     let chunks = self.cfg.chunks_for(req.size);
                     if chunks > 1 {
@@ -521,7 +654,12 @@ impl Simulation {
                     self.finish_op(now, dev, proc);
                 }
             },
-            Exec::Chunk { object, chunk_idx, remaining, arrival } => {
+            Exec::Chunk {
+                object,
+                chunk_idx,
+                remaining,
+                arrival,
+            } => {
                 if remaining > 1 {
                     self.cal.schedule_in(
                         self.net_time,
@@ -591,13 +729,21 @@ mod tests {
     /// A small trace of evenly spaced single-chunk requests.
     fn sparse_trace(n: usize, gap: f64, size: u32) -> Vec<TraceEvent> {
         (0..n)
-            .map(|i| TraceEvent { at: i as f64 * gap, object: (i % 500) as u32, size })
+            .map(|i| TraceEvent {
+                at: i as f64 * gap,
+                object: (i % 500) as u32,
+                size,
+            })
             .collect()
     }
 
     fn quiet_config() -> ClusterConfig {
         ClusterConfig {
-            cache: CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 },
+            cache: CacheConfig::Bernoulli {
+                index_miss: 0.0,
+                meta_miss: 0.0,
+                data_miss: 0.0,
+            },
             ..ClusterConfig::paper_s1()
         }
     }
@@ -627,7 +773,11 @@ mod tests {
         let want = 0.0003 + cfg.accept_cost + 0.0005 + 3.0 * mem;
         let m = run_simulation(cfg, mcfg(1e9), sparse_trace(100, 0.5, 1000));
         for r in m.raw() {
-            assert!((r.latency - want).abs() < 1e-9, "latency {} want {want}", r.latency);
+            assert!(
+                (r.latency - want).abs() < 1e-9,
+                "latency {} want {want}",
+                r.latency
+            );
             assert!((r.be_latency - (0.0005 + 3.0 * mem)).abs() < 1e-9);
         }
     }
@@ -635,7 +785,11 @@ mod tests {
     #[test]
     fn disk_misses_lengthen_latency() {
         let mut cfg = quiet_config();
-        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
         // Deterministic disk for exactness.
         cfg.disk.index = Arc::new(Degenerate::new(0.010));
         cfg.disk.meta = Arc::new(Degenerate::new(0.008));
@@ -657,7 +811,11 @@ mod tests {
     #[test]
     fn multi_chunk_objects_issue_extra_data_reads() {
         let mut cfg = quiet_config();
-        cfg.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 1.0 };
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 0.0,
+            meta_miss: 0.0,
+            data_miss: 1.0,
+        };
         // 4-chunk objects.
         let size = 4 * cfg.chunk_size;
         let m = run_simulation(cfg, mcfg(1e9), sparse_trace(50, 0.5, size));
@@ -667,7 +825,10 @@ mod tests {
         assert_eq!(total_requests, 50);
         // Response latency includes only the FIRST chunk read.
         for r in m.raw() {
-            assert!(r.latency < 0.2, "latency should not include trailing chunks");
+            assert!(
+                r.latency < 0.2,
+                "latency should not include trailing chunks"
+            );
         }
     }
 
@@ -696,7 +857,11 @@ mod tests {
         // Loaded: all-miss cache and tight arrivals → accept queues behind
         // disk-bound operations.
         let mut cfg = quiet_config();
-        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
         let loaded = run_simulation(cfg, mcfg(1e9), sparse_trace(2000, 0.005, 1000));
         let loaded_wta = loaded
             .devices
@@ -710,8 +875,8 @@ mod tests {
     fn sla_counting_matches_raw_records() {
         let m = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(300, 0.01, 1000));
         let sla = 0.010;
-        let manual = m.raw().iter().filter(|r| r.latency <= sla).count() as f64
-            / m.raw().len() as f64;
+        let manual =
+            m.raw().iter().filter(|r| r.latency <= sla).count() as f64 / m.raw().len() as f64;
         assert!((m.observed_fraction(0, 0).unwrap() - manual).abs() < 1e-12);
     }
 
@@ -727,8 +892,10 @@ mod tests {
     #[test]
     fn generous_timeout_changes_nothing() {
         let mut with = quiet_config();
-        with.timeout_retry =
-            Some(crate::config::TimeoutRetry { timeout: 10.0, max_retries: 2 });
+        with.timeout_retry = Some(crate::config::TimeoutRetry {
+            timeout: 10.0,
+            max_retries: 2,
+        });
         let a = run_simulation(with, mcfg(1e9), sparse_trace(300, 0.01, 1000));
         let b = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(300, 0.01, 1000));
         assert_eq!(a.retries(), 0);
@@ -742,12 +909,22 @@ mod tests {
         // All-miss cache + tight arrivals + 20 ms timeout: many first
         // attempts exceed the timeout.
         let mut cfg = quiet_config();
-        cfg.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
-        cfg.timeout_retry =
-            Some(crate::config::TimeoutRetry { timeout: 0.020, max_retries: 2 });
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
+        cfg.timeout_retry = Some(crate::config::TimeoutRetry {
+            timeout: 0.020,
+            max_retries: 2,
+        });
         let n = 1500;
         let m = run_simulation(cfg, mcfg(1e9), sparse_trace(n, 0.004, 1000));
-        assert!(m.retries() > 50, "expected retries under overload, got {}", m.retries());
+        assert!(
+            m.retries() > 50,
+            "expected retries under overload, got {}",
+            m.retries()
+        );
         // Every logical request is recorded exactly once.
         assert_eq!(m.completed(), n as u64);
         assert_eq!(m.raw().len(), n);
@@ -761,7 +938,11 @@ mod tests {
         // One pathologically slow device: with retries, tail latency
         // improves because the retry lands on a healthy replica.
         let mut slow_disk = quiet_config();
-        slow_disk.cache = CacheConfig::Bernoulli { index_miss: 1.0, meta_miss: 1.0, data_miss: 1.0 };
+        slow_disk.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
         slow_disk.device_overrides = vec![crate::config::DeviceOverride {
             device: 0,
             disk: Some(crate::config::DiskProfile {
@@ -773,8 +954,10 @@ mod tests {
         }];
         let without = run_simulation(slow_disk.clone(), mcfg(1e9), sparse_trace(400, 0.05, 1000));
         let mut with = slow_disk;
-        with.timeout_retry =
-            Some(crate::config::TimeoutRetry { timeout: 0.2, max_retries: 2 });
+        with.timeout_retry = Some(crate::config::TimeoutRetry {
+            timeout: 0.2,
+            max_retries: 2,
+        });
         let with = run_simulation(with, mcfg(1e9), sparse_trace(400, 0.05, 1000));
         let p99 = |m: &crate::metrics::Metrics| {
             let mut lats: Vec<f64> = m.raw().iter().map(|r| r.latency).collect();
@@ -790,9 +973,79 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_stream_matches_metrics() {
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 0.4,
+            meta_miss: 0.3,
+            data_miss: 0.5,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let m = Simulation::new(cfg, mcfg(1e9))
+            .with_telemetry(Box::new(tx))
+            .run(sparse_trace(300, 0.02, 1000));
+        let events: Vec<SimTelemetry> = rx.try_iter().collect();
+
+        let count =
+            |f: &dyn Fn(&SimTelemetry) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+        assert_eq!(
+            count(&|e| matches!(e, SimTelemetry::Completed { .. })),
+            m.completed()
+        );
+        let routed: u64 = m.devices.iter().map(|d| d.requests).sum();
+        assert_eq!(count(&|e| matches!(e, SimTelemetry::Routed { .. })), routed);
+        let data_ops: u64 = m.devices.iter().map(|d| d.data_ops).sum();
+        assert_eq!(
+            count(&|e| matches!(e, SimTelemetry::DataRead { .. })),
+            data_ops
+        );
+        let all_ops: u64 = m
+            .devices
+            .iter()
+            .map(|d| d.index_ops + d.meta_ops + d.data_ops)
+            .sum();
+        assert_eq!(count(&|e| matches!(e, SimTelemetry::Op { .. })), all_ops);
+        let misses: u64 = m
+            .devices
+            .iter()
+            .map(|d| d.index_miss + d.meta_miss + d.data_miss)
+            .sum();
+        assert_eq!(
+            count(&|e| matches!(e, SimTelemetry::Op { was_miss: true, .. })),
+            misses
+        );
+
+        // Completion latencies agree with the raw records.
+        let mut tel_lat: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimTelemetry::Completed { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .collect();
+        let mut raw_lat: Vec<f64> = m.raw().iter().map(|r| r.latency).collect();
+        tel_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        raw_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(tel_lat, raw_lat);
+    }
+
+    #[test]
+    fn telemetry_off_is_the_default_and_identical() {
+        let a = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(100, 0.01, 1000));
+        let b = Simulation::new(quiet_config(), mcfg(1e9))
+            .with_telemetry(Box::new(|_e: SimTelemetry| {}))
+            .run(sparse_trace(100, 0.01, 1000));
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
     fn op_samples_split_by_threshold() {
         let mut cfg = quiet_config();
-        cfg.cache = CacheConfig::Bernoulli { index_miss: 0.5, meta_miss: 0.5, data_miss: 0.5 };
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 0.5,
+            meta_miss: 0.5,
+            data_miss: 0.5,
+        };
         let m = run_simulation(cfg, mcfg(1e9), sparse_trace(1000, 0.05, 1000));
         let threshold = 0.000015; // the paper's 0.015 ms
         for s in m.op_samples() {

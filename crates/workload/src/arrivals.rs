@@ -29,7 +29,10 @@ impl PoissonArrivals {
     /// # Panics
     /// Panics unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
         PoissonArrivals { rate }
     }
 }
@@ -42,7 +45,10 @@ impl ArrivalProcess for PoissonArrivals {
         self.rate
     }
     fn set_rate(&mut self, rate: f64) {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
         self.rate = rate;
     }
 }
@@ -59,7 +65,10 @@ impl DeterministicArrivals {
     /// # Panics
     /// Panics unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
         DeterministicArrivals { rate }
     }
 }
@@ -72,7 +81,10 @@ impl ArrivalProcess for DeterministicArrivals {
         self.rate
     }
     fn set_rate(&mut self, rate: f64) {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
         self.rate = rate;
     }
 }
@@ -106,10 +118,17 @@ mod tests {
             }
         }
         let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
-        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>()
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
             / counts.len() as f64;
         assert!((mean - 20.0).abs() < 0.5, "mean {mean}");
-        assert!((var / mean - 1.0).abs() < 0.15, "index of dispersion {}", var / mean);
+        assert!(
+            (var / mean - 1.0).abs() < 0.15,
+            "index of dispersion {}",
+            var / mean
+        );
     }
 
     #[test]

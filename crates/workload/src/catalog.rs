@@ -73,7 +73,10 @@ impl Catalog {
         for w in &mut cdf {
             *w /= total;
         }
-        Catalog { sizes, popularity_cdf: cdf }
+        Catalog {
+            sizes,
+            popularity_cdf: cdf,
+        }
     }
 
     /// Number of objects.
@@ -128,7 +131,10 @@ mod tests {
     fn small_catalog(seed: u64) -> Catalog {
         let mut rng = SmallRng::seed_from_u64(seed);
         Catalog::synthesize(
-            &CatalogConfig { objects: 10_000, ..CatalogConfig::default() },
+            &CatalogConfig {
+                objects: 10_000,
+                ..CatalogConfig::default()
+            },
             &mut rng,
         )
     }
@@ -156,7 +162,12 @@ mod tests {
         }
         // Rank 1 (id 0) should be sampled ~ (1/1^α)/H times; with α = 0.9 and
         // 10k objects H ≈ Σ 1/r^0.9 ≈ 25. Expect several thousand hits.
-        assert!(counts[0] > 20 * counts[99], "c0={} c99={}", counts[0], counts[99]);
+        assert!(
+            counts[0] > 20 * counts[99],
+            "c0={} c99={}",
+            counts[0],
+            counts[99]
+        );
         // All ids reachable in principle: the tail collectively gets mass.
         let tail: u32 = counts[5000..].iter().sum();
         assert!(tail > 0);
@@ -192,6 +203,12 @@ mod tests {
     #[should_panic]
     fn rejects_empty_catalog() {
         let mut rng = SmallRng::seed_from_u64(0);
-        Catalog::synthesize(&CatalogConfig { objects: 0, ..CatalogConfig::default() }, &mut rng);
+        Catalog::synthesize(
+            &CatalogConfig {
+                objects: 0,
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        );
     }
 }

@@ -74,7 +74,10 @@ impl PhaseConfig {
 
     /// Applies a time compression factor (durations divide by `scale`).
     pub fn scaled(mut self, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
         self.time_scale = scale;
         self
     }
@@ -107,7 +110,11 @@ impl PhaseSchedule {
         }
         let mut rate = config.sweep_start;
         while rate <= config.sweep_end + 1e-9 {
-            segments.push(Segment { rate, duration: config.hold * k, measured: true });
+            segments.push(Segment {
+                rate,
+                duration: config.hold * k,
+                measured: true,
+            });
             rate += config.sweep_step;
         }
         PhaseSchedule { segments }

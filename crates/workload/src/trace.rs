@@ -66,7 +66,11 @@ impl<R: RngCore> Iterator for TraceStream<'_, R> {
             if candidate < self.segment_end {
                 self.now = candidate;
                 let object = self.catalog.sample(&mut self.rng);
-                return Some(TraceEvent { at: candidate, object, size: self.catalog.size_of(object) });
+                return Some(TraceEvent {
+                    at: candidate,
+                    object,
+                    size: self.catalog.size_of(object),
+                });
             }
             // Advance to the next segment; restart the clock at its boundary
             // (memorylessness makes discarding the overshoot exact for
@@ -104,7 +108,10 @@ mod tests {
     fn setup() -> (Catalog, PhaseSchedule) {
         let mut rng = SmallRng::seed_from_u64(100);
         let catalog = Catalog::synthesize(
-            &CatalogConfig { objects: 1000, ..CatalogConfig::default() },
+            &CatalogConfig {
+                objects: 1000,
+                ..CatalogConfig::default()
+            },
             &mut rng,
         );
         let cfg = PhaseConfig {
@@ -143,9 +150,18 @@ mod tests {
         // Transition [10,14) at 5 req/s → ~20 events.
         let trans = trace.iter().filter(|e| e.at >= 10.0 && e.at < 14.0).count();
         assert!(trans < 60, "transition count {trans}");
-        // Last sweep segment [24,34) at 40 req/s → ~400 events.
-        let last = trace.iter().filter(|e| e.at >= 24.0 && e.at < 34.0).count();
-        assert!((last as f64 - 400.0).abs() < 90.0, "last segment count {last}");
+        // Middle sweep segment [24,34) at 30 req/s → ~300 events.
+        let mid = trace.iter().filter(|e| e.at >= 24.0 && e.at < 34.0).count();
+        assert!(
+            (mid as f64 - 300.0).abs() < 90.0,
+            "middle segment count {mid}"
+        );
+        // Last sweep segment [34,44) at 40 req/s → ~400 events.
+        let last = trace.iter().filter(|e| e.at >= 34.0 && e.at < 44.0).count();
+        assert!(
+            (last as f64 - 400.0).abs() < 90.0,
+            "last segment count {last}"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ pub fn load_trace(path: &Path) -> Result<Vec<TraceEvent>, TraceIoError> {
                 out.push(e);
             }
             None => {
-                return Err(TraceIoError::Malformed { line: i + 1, content: trimmed.to_string() })
+                return Err(TraceIoError::Malformed {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
             }
         }
     }
@@ -144,17 +147,27 @@ pub fn retime_to_schedule(
         }
         let source = &trace[idx % trace.len()];
         idx += 1;
-        out.push(TraceEvent { at: now, object: source.object, size: source.size });
+        out.push(TraceEvent {
+            at: now,
+            object: source.object,
+            size: source.size,
+        });
     }
 }
 
 /// Uniformly rescales a trace's arrival rate by `factor` (timestamps divide
 /// by it), as in "experiment with a broader range of arriving rates".
 pub fn rescale_rate(trace: &[TraceEvent], factor: f64) -> Vec<TraceEvent> {
-    assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "factor must be positive"
+    );
     trace
         .iter()
-        .map(|e| TraceEvent { at: e.at / factor, ..*e })
+        .map(|e| TraceEvent {
+            at: e.at / factor,
+            ..*e
+        })
         .collect()
 }
 
@@ -173,9 +186,21 @@ mod tests {
 
     fn sample_trace() -> Vec<TraceEvent> {
         vec![
-            TraceEvent { at: 0.0, object: 5, size: 1000 },
-            TraceEvent { at: 0.5, object: 7, size: 64 * 1024 },
-            TraceEvent { at: 1.25, object: 5, size: 1000 },
+            TraceEvent {
+                at: 0.0,
+                object: 5,
+                size: 1000,
+            },
+            TraceEvent {
+                at: 0.5,
+                object: 7,
+                size: 64 * 1024,
+            },
+            TraceEvent {
+                at: 1.25,
+                object: 5,
+                size: 1000,
+            },
         ]
     }
 
@@ -256,7 +281,11 @@ mod tests {
             prev = e.at;
         }
         // Roughly 100·2 + 10·1 + 50·2 = 310 arrivals.
-        assert!((retimed.len() as f64 - 310.0).abs() < 100.0, "{}", retimed.len());
+        assert!(
+            (retimed.len() as f64 - 310.0).abs() < 100.0,
+            "{}",
+            retimed.len()
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example capacity_planning`
 
 use cosmodel::distr::{Degenerate, Gamma};
-use cosmodel::model::{
-    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
-};
+use cosmodel::model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
 use cosmodel::queueing::from_distribution;
 
 fn build(total_rate: f64, devices: usize, processes: usize) -> Option<SystemModel> {
@@ -54,7 +52,10 @@ fn main() {
     let sla = 0.050;
     let target = 0.95;
     println!("Capacity planning: smallest device count with P(latency <= 50ms) >= 95%\n");
-    println!("{:>12} {:>10} {:>16}", "rate (req/s)", "devices", "P(<=50ms)");
+    println!(
+        "{:>12} {:>10} {:>16}",
+        "rate (req/s)", "devices", "P(<=50ms)"
+    );
     for rate in [150.0, 300.0, 450.0, 600.0, 900.0, 1200.0] {
         match plan(rate, sla, target) {
             Some((devices, p)) => println!("{rate:>12.0} {devices:>10} {p:>16.4}"),
@@ -67,7 +68,10 @@ fn main() {
     println!("substitution (Section III-B) replaces the Gamma disk tails with");
     println!("exponential ones, inflating predicted tail latencies - the same");
     println!("systematic error the paper blames for its larger S16 errors:");
-    println!("{:>12} {:>10} {:>10} {:>16}", "rate (req/s)", "N_be", "devices", "P(<=50ms)");
+    println!(
+        "{:>12} {:>10} {:>10} {:>16}",
+        "rate (req/s)", "N_be", "devices", "P(<=50ms)"
+    );
     for rate in [300.0, 600.0] {
         for processes in [1usize, 4, 16] {
             let mut answer = None;

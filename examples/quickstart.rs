@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use cosmodel::distr::{Degenerate, Gamma};
-use cosmodel::model::{
-    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
-};
+use cosmodel::model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
 use cosmodel::queueing::from_distribution;
 
 fn device(rate: f64) -> DeviceParams {
@@ -28,7 +26,10 @@ fn device(rate: f64) -> DeviceParams {
 
 fn main() {
     println!("SLA percentile prediction for a 4-device object store (N_be = 1)\n");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "rate", "P(<=10ms)", "P(<=50ms)", "P(<=100ms)", "p95 (ms)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "rate", "P(<=10ms)", "P(<=50ms)", "P(<=100ms)", "p95 (ms)"
+    );
     for total_rate in [40.0, 80.0, 120.0, 160.0, 200.0, 240.0, 280.0] {
         let per_device = total_rate / 4.0;
         let params = SystemParams {

@@ -18,7 +18,10 @@ fn main() {
     // 1. Synthesize a base trace: 60 s at 80 req/s over a 30k-object catalog.
     let mut catalog_rng = streams.stream("catalog", 0);
     let catalog = Catalog::synthesize(
-        &CatalogConfig { objects: 30_000, ..CatalogConfig::default() },
+        &CatalogConfig {
+            objects: 30_000,
+            ..CatalogConfig::default()
+        },
         &mut catalog_rng,
     );
     let base_schedule = PhaseSchedule::new(&PhaseConfig {
@@ -33,7 +36,11 @@ fn main() {
         time_scale: 1.0,
     });
     let base = synthesize_trace(&catalog, &base_schedule, streams.stream("trace", 0));
-    println!("synthesized {} requests ({:.1} s span)", base.len(), base.last().unwrap().at);
+    println!(
+        "synthesized {} requests ({:.1} s span)",
+        base.len(),
+        base.last().unwrap().at
+    );
 
     // 2. Save and reload.
     let mut path = std::env::temp_dir();
@@ -41,7 +48,11 @@ fn main() {
     save_trace(&path, &base).expect("writable temp dir");
     let loaded = load_trace(&path).expect("readable trace");
     std::fs::remove_file(&path).ok();
-    println!("saved + reloaded: {} requests from {}", loaded.len(), path.display());
+    println!(
+        "saved + reloaded: {} requests from {}",
+        loaded.len(),
+        path.display()
+    );
 
     // 3. Rewrite timestamps onto a ramp schedule (keeping object identities),
     //    as the paper does to explore arbitrary arrival rates.
@@ -58,7 +69,11 @@ fn main() {
     });
     let mut retime_rng = streams.stream("retime", 0);
     let retimed = retime_to_schedule(&loaded, &ramp, &mut retime_rng);
-    println!("retimed to ramp schedule: {} requests over {:.0} s", retimed.len(), ramp.total_duration());
+    println!(
+        "retimed to ramp schedule: {} requests over {:.0} s",
+        retimed.len(),
+        ramp.total_duration()
+    );
 
     // 4. Replay against the simulated cluster and report per-window SLA
     //    fractions.

@@ -16,7 +16,10 @@ fn main() {
     let slas = [0.050];
     println!("running calibrate -> simulate -> predict (S1, SLA 50 ms)...\n");
     let result = cos_bench_shim::run(&scenario, &slas);
-    println!("{:>8} {:>12} {:>12} {:>12}", "rate", "observed", "our model", "error");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "rate", "observed", "our model", "error"
+    );
     for w in &result.windows {
         let c = &w.cells[0];
         if let (Some(o), Some(p)) = (c.observed, c.prediction(ModelVariant::Full)) {

@@ -49,15 +49,17 @@ fn main() {
     let sla = 0.100;
     let target = 0.90;
     println!("What-if: P(latency <= 100ms) vs admitted load (imbalanced devices)\n");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "rate", "system", "dev0", "dev1", "dev2*", "dev3");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "rate", "system", "dev0", "dev1", "dev2*", "dev3"
+    );
     let mut admit_limit = None;
     for rate in (40..=200).step_by(10) {
         let rate = rate as f64;
         match SystemModel::new(&params(rate), ModelVariant::Full) {
             Ok(m) => {
                 let system = m.fraction_meeting_sla(sla);
-                let per: Vec<f64> =
-                    (0..4).map(|i| m.device_fraction_meeting(i, sla)).collect();
+                let per: Vec<f64> = (0..4).map(|i| m.device_fraction_meeting(i, sla)).collect();
                 println!(
                     "{rate:>8.0} {system:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
                     per[0], per[1], per[2], per[3]

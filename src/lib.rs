@@ -20,7 +20,9 @@
 //! * [`distr`] (`cos-distr`) — distributions, LSTs, fitting;
 //! * [`numeric`] (`cos-numeric`) — complex arithmetic + Laplace inversion;
 //! * [`simkit`] (`cos-simkit`) — the discrete-event engine;
-//! * [`stats`] (`cos-stats`) — percentiles, SLA meters, error summaries.
+//! * [`stats`] (`cos-stats`) — percentiles, SLA meters, error summaries;
+//! * [`serve`] (`cos-serve`) — the online SLA-prediction service: streaming
+//!   calibration, memoized inversion engine, drift detection.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use cos_distr as distr;
 pub use cos_model as model;
 pub use cos_numeric as numeric;
 pub use cos_queueing as queueing;
+pub use cos_serve as serve;
 pub use cos_simkit as simkit;
 pub use cos_stats as stats;
 pub use cos_storesim as storesim;

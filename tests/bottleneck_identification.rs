@@ -43,7 +43,11 @@ fn simulator_and_model_agree_on_the_bottleneck_device() {
     let mut trace = Vec::new();
     while t < duration {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size: 20_000,
+        });
     }
     let metrics = run_simulation(
         cfg.clone(),
@@ -72,7 +76,10 @@ fn simulator_and_model_agree_on_the_bottleneck_device() {
     let observed_worst = (0..cfg.devices)
         .min_by(|&a, &b| observed[a].partial_cmp(&observed[b]).unwrap())
         .unwrap();
-    assert_eq!(observed_worst, HOT_DEVICE, "simulated fractions: {observed:?}");
+    assert_eq!(
+        observed_worst, HOT_DEVICE,
+        "simulated fractions: {observed:?}"
+    );
 
     // Model built from measured per-device metrics.
     let span = duration * 0.8;
@@ -126,15 +133,22 @@ fn disk_override_slows_only_that_device() {
         meta: std::sync::Arc::new(cosmodel::distr::Gamma::new(2.5, 104.0)),
         data: std::sync::Arc::new(cosmodel::distr::Gamma::new(3.5, 82.0)),
     };
-    cfg.device_overrides =
-        vec![DeviceOverride { device: 0, disk: Some(slow), cache: None }];
+    cfg.device_overrides = vec![DeviceOverride {
+        device: 0,
+        disk: Some(slow),
+        cache: None,
+    }];
     let rate = 60.0;
     let mut rng = SmallRng::seed_from_u64(77);
     let mut t = 0.0;
     let mut trace = Vec::new();
     while t < 200.0 {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size: 20_000,
+        });
     }
     let metrics = run_simulation(
         cfg,

@@ -13,9 +13,11 @@ use cosmodel::storesim::{
 /// The configured Bernoulli miss ratios of a cluster config.
 fn configured_misses(cfg: &ClusterConfig) -> [f64; 3] {
     match cfg.cache {
-        CacheConfig::Bernoulli { index_miss, meta_miss, data_miss } => {
-            [index_miss, meta_miss, data_miss]
-        }
+        CacheConfig::Bernoulli {
+            index_miss,
+            meta_miss,
+            data_miss,
+        } => [index_miss, meta_miss, data_miss],
         _ => panic!("expected a Bernoulli cache"),
     }
 }
@@ -102,7 +104,11 @@ fn threshold_miss_ratio_estimation_under_live_traffic() {
     let mut trace = Vec::new();
     while t < 200.0 {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..10_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..10_000),
+            size: 20_000,
+        });
     }
     let metrics = cosmodel::storesim::run_simulation(
         cfg,
@@ -126,7 +132,10 @@ fn threshold_miss_ratio_estimation_under_live_traffic() {
     let configured = configured_misses(&ClusterConfig::paper_s1());
     for (lats, want) in per_kind.iter().zip(configured) {
         let got = miss_ratio_by_threshold(lats, LATENCY_THRESHOLD);
-        assert!((got - want).abs() < 0.02, "estimated {got}, configured {want}");
+        assert!(
+            (got - want).abs() < 0.02,
+            "estimated {got}, configured {want}"
+        );
     }
 }
 
@@ -141,11 +150,20 @@ fn service_decomposition_recovers_per_kind_means() {
     let mut trace = Vec::new();
     while t < 300.0 {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..10_000), size: 20_000 });
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..10_000),
+            size: 20_000,
+        });
     }
     let metrics = cosmodel::storesim::run_simulation(
         cfg.clone(),
-        MetricsConfig { slas: vec![], windows: vec![], collect_raw: false, op_sample_stride: 0 },
+        MetricsConfig {
+            slas: vec![],
+            windows: vec![],
+            collect_raw: false,
+            op_sample_stride: 0,
+        },
         trace,
     );
     let mut service_sum = 0.0;

@@ -4,13 +4,9 @@
 //! the miniature version of the paper's §V-B experiments.
 
 use cosmodel::distr::Degenerate;
-use cosmodel::model::{
-    DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
-};
+use cosmodel::model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
 use cosmodel::queueing::from_distribution;
-use cosmodel::storesim::{
-    run_simulation, CacheConfig, ClusterConfig, DiskOpKind, MetricsConfig,
-};
+use cosmodel::storesim::{run_simulation, CacheConfig, ClusterConfig, DiskOpKind, MetricsConfig};
 use cosmodel::workload::TraceEvent;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,8 +26,16 @@ fn poisson_trace(
     let mut out = Vec::new();
     while t < duration {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
-        let size = if rng.gen::<f64>() < two_chunk_share { chunk + 1 } else { chunk / 2 };
-        out.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+        let size = if rng.gen::<f64>() < two_chunk_share {
+            chunk + 1
+        } else {
+            chunk / 2
+        };
+        out.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size,
+        });
     }
     out
 }
@@ -224,7 +228,11 @@ fn all_hit_cache_reduces_to_parse_pipeline() {
     // With a 100% hit cache the observed and predicted CDFs collapse to the
     // (deterministic) parse path: both sides should agree almost exactly.
     let mut cfg = ClusterConfig::paper_s1();
-    cfg.cache = CacheConfig::Bernoulli { index_miss: 0.0, meta_miss: 0.0, data_miss: 0.0 };
+    cfg.cache = CacheConfig::Bernoulli {
+        index_miss: 0.0,
+        meta_miss: 0.0,
+        data_miss: 0.0,
+    };
     let slas = [0.002];
     let rate = 100.0;
     let outcome = simulate(&cfg, rate, 200.0, &slas, 41);
@@ -236,5 +244,8 @@ fn all_hit_cache_reduces_to_parse_pipeline() {
         "predicted {predicted:.4} observed {:.4}",
         outcome.observed[0]
     );
-    assert!(outcome.observed[0] > 0.95, "2 ms is generous for a pure parse path");
+    assert!(
+        outcome.observed[0] > 0.95,
+        "2 ms is generous for a pure parse path"
+    );
 }

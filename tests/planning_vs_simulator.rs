@@ -48,8 +48,16 @@ fn observe(cfg: &ClusterConfig, rate: f64, sla: f64) -> f64 {
         t += -(1.0 - rng.gen::<f64>()).ln() / rate;
         // Single-chunk objects with ~4% needing a second chunk, matching
         // the template's data_read_rate/arrival_rate = 1.04.
-        let size = if rng.gen::<f64>() < 0.04 { cfg.chunk_size + 1 } else { cfg.chunk_size / 2 };
-        trace.push(TraceEvent { at: t, object: rng.gen_range(0..100_000), size });
+        let size = if rng.gen::<f64>() < 0.04 {
+            cfg.chunk_size + 1
+        } else {
+            cfg.chunk_size / 2
+        };
+        trace.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size,
+        });
     }
     let metrics = run_simulation(
         cfg.clone(),
