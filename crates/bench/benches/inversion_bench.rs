@@ -2,8 +2,11 @@
 //! (ablation A4): all three algorithms against a closed-form M/M/1 sojourn
 //! CDF, at the three accuracy-relevant orders.
 
+use cos_distr::{Degenerate, Gamma};
+use cos_model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
 use cos_numeric::laplace::{cdf_from_lst, InversionAlgorithm, InversionConfig};
-use cos_numeric::Complex64;
+use cos_numeric::{quantile_from_lst, Complex64};
+use cos_queueing::from_distribution;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -44,5 +47,76 @@ fn bench_inversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inversion);
+fn s1_model() -> SystemModel {
+    let rate = 120.0;
+    let per = rate / 4.0;
+    let params = SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices: (0..4)
+            .map(|_| DeviceParams {
+                arrival_rate: per,
+                data_read_rate: per * 1.1,
+                miss_index: 0.3,
+                miss_meta: 0.25,
+                miss_data: 0.4,
+                index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+                meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+                data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+                parse_be: from_distribution(Degenerate::new(0.0005)),
+                processes: 1,
+            })
+            .collect(),
+    };
+    SystemModel::new(&params, ModelVariant::Full).unwrap()
+}
+
+/// The composite-model hot path: batch dispatch (via the `LaplaceFn`
+/// adapter inside `device_fraction_meeting`) vs the scalar closure path the
+/// pre-batch code used. Both compute bit-identical values; the delta is the
+/// per-abscissa re-walk of the component tree.
+fn bench_composite_cdf(c: &mut Criterion) {
+    let m = s1_model();
+    let cfg = InversionConfig::default();
+    let mut group = c.benchmark_group("composite_cdf");
+    group.bench_function("batch_path", |b| {
+        b.iter(|| m.device_fraction_meeting(black_box(0), black_box(0.05)))
+    });
+    group.bench_function("scalar_closure_path", |b| {
+        b.iter(|| {
+            cdf_from_lst(
+                &|s| m.device_response_lst(0, s),
+                black_box(0.05),
+                black_box(&cfg),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Quantile extraction through the budgeted Ridders solver (the pre-Ridders
+/// path spent ~90 bisection probes; the budget now caps probes at 16).
+fn bench_quantile(c: &mut Criterion) {
+    let m = s1_model();
+    let cfg = InversionConfig::default();
+    let be = m.devices()[0].backend();
+    let mut group = c.benchmark_group("quantile");
+    group.bench_function("backend_sojourn_p95", |b| {
+        b.iter(|| quantile_from_lst(&|s| be.sojourn_lst(s), black_box(0.95), 0.05, &cfg))
+    });
+    group.bench_function("system_latency_percentile_p95", |b| {
+        b.iter(|| m.latency_percentile(black_box(0.95)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inversion,
+    bench_composite_cdf,
+    bench_quantile
+);
 criterion_main!(benches);

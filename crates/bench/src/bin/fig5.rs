@@ -32,14 +32,14 @@ fn main() {
         "recorded_data",
         "gamma_data",
     ]);
-    let fits = [
-        fit_best(&bench.index),
-        fit_best(&bench.meta),
-        fit_best(&bench.data),
-    ];
+    // Fit the three operation kinds concurrently, then fan the percentile
+    // rows out too — each row inverts three fitted CDFs. par_map keeps row
+    // order (and output) identical to the serial loop.
+    let kinds = [&bench.index, &bench.meta, &bench.data];
+    let fits = cos_par::par_map(cos_par::default_workers(), &kinds, |_, s| fit_best(s));
     let samples = [&bench.index, &bench.meta, &bench.data];
-    for p in (2..=98).step_by(4) {
-        let q = p as f64 / 100.0;
+    let percentiles: Vec<f64> = (2..=98).step_by(4).map(|p| p as f64 / 100.0).collect();
+    let rows = cos_par::par_map(cos_par::default_workers(), &percentiles, |_, &q| {
         let mut row = vec![format!("{q:.2}")];
         for (sample, fit) in samples.iter().zip(fits.iter()) {
             let recorded = sample.quantile(q) * 1000.0;
@@ -58,6 +58,9 @@ fn main() {
             row.push(format!("{recorded:.2}"));
             row.push(format!("{:.2}", 0.5 * (lo + hi) * 1000.0));
         }
+        row
+    });
+    for row in rows {
         series.push_row(row);
     }
     println!("{}", series.render());

@@ -1,0 +1,232 @@
+//! Machine-readable perf baseline for the inversion + sweep hot paths.
+//!
+//! Measures the composite-model CDF, quantile, and sweep-grid timings and
+//! writes them to `BENCH_inversion.json` / `BENCH_sweep.json`, alongside
+//! the frozen pre-optimization numbers (`baseline`, measured on the same
+//! container before the batched-LST/Ridders/par-sweep work landed) so the
+//! speedup is auditable from the committed files.
+//!
+//! Usage:
+//!   cargo run --release -p cos-bench --bin perf_baseline
+//!       full run; writes BENCH_inversion.json and BENCH_sweep.json
+//!   cargo run --release -p cos-bench --bin perf_baseline -- --quick
+//!       fewer iterations, prints only (CI smoke)
+//!   cargo run --release -p cos-bench --bin perf_baseline -- --quick --check BENCH_inversion.json
+//!       re-measures and exits nonzero if any metric regressed more than
+//!       2x against the committed `current` section
+
+use std::time::Instant;
+
+use cos_bench::json::{self, Value};
+use cos_distr::{Degenerate, Gamma};
+use cos_model::{
+    model_at_rate, DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+};
+use cos_numeric::{quantile_from_lst, CountingLaplaceFn, InversionConfig};
+use cos_queueing::from_distribution;
+
+fn s1_params(rate: f64) -> SystemParams {
+    let per = rate / 4.0;
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices: (0..4)
+            .map(|_| DeviceParams {
+                arrival_rate: per,
+                data_read_rate: per * 1.1,
+                miss_index: 0.3,
+                miss_meta: 0.25,
+                miss_data: 0.4,
+                index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+                meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+                data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+                parse_be: from_distribution(Degenerate::new(0.0005)),
+                processes: 1,
+            })
+            .collect(),
+    }
+}
+
+fn s16_params(rate: f64) -> SystemParams {
+    let mut p = s1_params(rate);
+    for d in &mut p.devices {
+        d.miss_index = 0.10;
+        d.miss_meta = 0.08;
+        d.miss_data = 0.18;
+        d.processes = 16;
+    }
+    p
+}
+
+fn time_it<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64 * 1e6 // us/iter
+}
+
+/// Pre-optimization numbers (main branch: scalar closure inversion path,
+/// 80-step bisection quantile, serial sweeps), measured with the full
+/// iteration counts on this container.
+fn baseline_inversion() -> Vec<(&'static str, f64)> {
+    vec![
+        ("composite_cdf_s1_us", 534.87),
+        ("composite_cdf_s16_us", 1166.62),
+        ("quantile_inversions", 39.0),
+        ("quantile_us", 3398.46),
+        ("latency_percentile_s1_us", 35301.96),
+    ]
+}
+
+fn baseline_sweep() -> Vec<(&'static str, f64)> {
+    vec![("sweep_serial_48x3_us", 78672.4)]
+}
+
+fn measure_inversion(quick: bool) -> Vec<(&'static str, f64)> {
+    let k = if quick { 10 } else { 1 };
+    let s1 = SystemModel::new(&s1_params(120.0), ModelVariant::Full).unwrap();
+    let s16 = SystemModel::new(&s16_params(400.0), ModelVariant::Full).unwrap();
+
+    let cdf_s1 = time_it((200 / k).max(1), || s1.fraction_meeting_sla(0.05));
+    let cdf_s16 = time_it((50 / k).max(1), || s16.fraction_meeting_sla(0.05));
+
+    // Quantile inversion count: with the batch path every inversion is one
+    // eval_batch call, so batch_calls == inversions exactly.
+    let cfg = InversionConfig::default();
+    let be = s1.devices()[0].backend();
+    let lst = |s| be.sojourn_lst(s);
+    let counting = CountingLaplaceFn::new(&lst);
+    quantile_from_lst(&counting, 0.95, 0.05, &cfg).unwrap();
+    let inversions = counting.batch_calls();
+
+    let quantile_us = time_it((20 / k).max(1), || {
+        quantile_from_lst(&lst, 0.95, 0.05, &cfg)
+    });
+    let percentile_us = time_it((20 / k).max(1), || s1.latency_percentile(0.95));
+
+    vec![
+        ("composite_cdf_s1_us", cdf_s1),
+        ("composite_cdf_s16_us", cdf_s16),
+        ("quantile_inversions", inversions as f64),
+        ("quantile_us", quantile_us),
+        ("latency_percentile_s1_us", percentile_us),
+    ]
+}
+
+fn sweep_grid(template: &SystemParams, rates: &[f64], slas: &[f64], workers: usize) -> usize {
+    let points = cos_par::par_map(workers, rates, |_, &r| {
+        model_at_rate(template, ModelVariant::Full, r)
+            .ok()
+            .map(|m| {
+                slas.iter()
+                    .map(|&s| m.fraction_meeting_sla(s))
+                    .collect::<Vec<_>>()
+            })
+    });
+    points.len()
+}
+
+fn measure_sweep(quick: bool) -> Vec<(&'static str, f64)> {
+    let iters = if quick { 1 } else { 3 };
+    let template = s1_params(120.0);
+    let rates: Vec<f64> = (1..=48).map(|i| 10.0 + i as f64 * 6.0).collect();
+    let slas = [0.01, 0.05, 0.10];
+    let workers = cos_par::default_workers();
+    let serial = time_it(iters, || sweep_grid(&template, &rates, &slas, 1));
+    let parallel = time_it(iters, || sweep_grid(&template, &rates, &slas, workers));
+    vec![
+        ("sweep_serial_48x3_us", serial),
+        ("sweep_parallel_48x3_us", parallel),
+        ("sweep_workers", workers as f64),
+    ]
+}
+
+fn to_json(baseline: &[(&str, f64)], current: &[(&str, f64)]) -> Value {
+    let section = |vals: &[(&str, f64)]| {
+        json::object(vals.iter().map(|&(k, v)| (k, Value::Number(v))).collect())
+    };
+    json::object(vec![
+        ("baseline", section(baseline)),
+        ("current", section(current)),
+    ])
+}
+
+fn print_metrics(label: &str, vals: &[(&str, f64)]) {
+    for (k, v) in vals {
+        println!("{label}.{k}: {v:.2}");
+    }
+}
+
+/// Compares fresh measurements against the committed `current` section:
+/// a metric more than 2x slower (or 2x more inversions) fails the check.
+/// Count metrics (`*_inversions`, `*_workers`) are machine-independent;
+/// time metrics tolerate noise up to the 2x band.
+fn check(file: &str, fresh: &[(&str, f64)]) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+    let doc = json::parse(&text)?;
+    let committed = doc.field("current")?;
+    let mut failures = Vec::new();
+    for &(key, measured) in fresh {
+        if key.ends_with("_workers") {
+            continue; // informational, machine-dependent
+        }
+        let Some(expect) = committed.get(key).and_then(Value::as_f64) else {
+            continue; // metric added after the file was generated
+        };
+        if expect > 0.0 && measured > 2.0 * expect {
+            failures.push(format!(
+                "{key}: measured {measured:.2} > 2x committed {expect:.2}"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_file = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let inv = measure_inversion(quick);
+    let sweep = measure_sweep(quick);
+    print_metrics("inversion", &inv);
+    print_metrics("sweep", &sweep);
+
+    if let Some(file) = check_file {
+        let fresh: Vec<(&str, f64)> = inv.iter().chain(sweep.iter()).copied().collect();
+        match check(&file, &fresh) {
+            Ok(()) => println!("check: ok (no metric regressed past 2x of {file})"),
+            Err(msg) => {
+                eprintln!("check: FAILED against {file}: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if !quick {
+        std::fs::write(
+            "BENCH_inversion.json",
+            to_json(&baseline_inversion(), &inv).to_string_pretty(),
+        )
+        .expect("write BENCH_inversion.json");
+        std::fs::write(
+            "BENCH_sweep.json",
+            to_json(&baseline_sweep(), &sweep).to_string_pretty(),
+        )
+        .expect("write BENCH_sweep.json");
+        println!("wrote BENCH_inversion.json, BENCH_sweep.json");
+    }
+}

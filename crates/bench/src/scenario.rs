@@ -243,64 +243,70 @@ pub fn run_scenario(scenario: &Scenario, slas: &[f64], collect_raw: bool) -> Sce
     };
     let metrics = cos_storesim::run_simulation(scenario.cluster.clone(), metrics_config, trace);
 
-    // Predict per window.
+    // Predict per window. Windows are independent (the metrics and
+    // calibrated laws are read-only), so they fan out across threads;
+    // `par_map` merges positionally, keeping the output bit-identical to a
+    // serial loop for any worker count.
     let devices = scenario.cluster.devices;
     let nbe = scenario.cluster.processes_per_device;
     let nfe = scenario.cluster.frontend_processes;
-    let mut out_windows = Vec::with_capacity(windows.len());
-    for (w, &(start, end, rate)) in windows.iter().enumerate() {
-        let duration = end - start;
-        let mut device_params = Vec::with_capacity(devices);
-        for dev in 0..devices {
-            let r = metrics.window_device_requests(w, dev) as f64 / duration;
-            let r_data = metrics.window_device_data_ops(w, dev) as f64 / duration;
-            if r <= 0.0 {
-                continue;
-            }
-            let misses = estimate_miss_ratios(&metrics, dev);
-            device_params.push(DeviceParams {
-                arrival_rate: r,
-                data_read_rate: r_data.max(r),
-                miss_index: misses[0],
-                miss_meta: misses[1],
-                miss_data: misses[2],
-                index_disk: calibration.index_law.clone(),
-                meta_disk: calibration.meta_law.clone(),
-                data_disk: calibration.data_law.clone(),
-                parse_be: calibration.parse_be.clone(),
-                processes: nbe,
-            });
-        }
-        let mut cells = Vec::with_capacity(slas.len());
-        for (si, &sla) in slas.iter().enumerate() {
-            let observed = metrics.observed_fraction(w, si);
-            let predict = |variant: ModelVariant| -> Option<f64> {
-                if device_params.is_empty() {
-                    return None;
+    let out_windows = cos_par::par_map(
+        cos_par::default_workers(),
+        &windows,
+        |w, &(start, end, rate)| {
+            let duration = end - start;
+            let mut device_params = Vec::with_capacity(devices);
+            for dev in 0..devices {
+                let r = metrics.window_device_requests(w, dev) as f64 / duration;
+                let r_data = metrics.window_device_data_ops(w, dev) as f64 / duration;
+                if r <= 0.0 {
+                    continue;
                 }
-                let params = SystemParams {
-                    frontend: FrontendParams {
-                        arrival_rate: rate
-                            .max(device_params.iter().map(|d| d.arrival_rate).sum::<f64>()),
-                        processes: nfe,
-                        parse_fe: calibration.parse_fe.clone(),
-                    },
-                    devices: device_params.clone(),
+                let misses = estimate_miss_ratios(&metrics, dev);
+                device_params.push(DeviceParams {
+                    arrival_rate: r,
+                    data_read_rate: r_data.max(r),
+                    miss_index: misses[0],
+                    miss_meta: misses[1],
+                    miss_data: misses[2],
+                    index_disk: calibration.index_law.clone(),
+                    meta_disk: calibration.meta_law.clone(),
+                    data_disk: calibration.data_law.clone(),
+                    parse_be: calibration.parse_be.clone(),
+                    processes: nbe,
+                });
+            }
+            let mut cells = Vec::with_capacity(slas.len());
+            for (si, &sla) in slas.iter().enumerate() {
+                let observed = metrics.observed_fraction(w, si);
+                let predict = |variant: ModelVariant| -> Option<f64> {
+                    if device_params.is_empty() {
+                        return None;
+                    }
+                    let params = SystemParams {
+                        frontend: FrontendParams {
+                            arrival_rate: rate
+                                .max(device_params.iter().map(|d| d.arrival_rate).sum::<f64>()),
+                            processes: nfe,
+                            parse_fe: calibration.parse_fe.clone(),
+                        },
+                        devices: device_params.clone(),
+                    };
+                    SystemModel::new(&params, variant)
+                        .ok()
+                        .map(|m| m.fraction_meeting_sla(sla))
                 };
-                SystemModel::new(&params, variant)
-                    .ok()
-                    .map(|m| m.fraction_meeting_sla(sla))
-            };
-            cells.push(Cell {
-                observed,
-                full: predict(ModelVariant::Full),
-                odopr: predict(ModelVariant::Odopr),
-                nowta: predict(ModelVariant::NoWta),
-                residual: predict(ModelVariant::ResidualWta),
-            });
-        }
-        out_windows.push(WindowResult { rate, cells });
-    }
+                cells.push(Cell {
+                    observed,
+                    full: predict(ModelVariant::Full),
+                    odopr: predict(ModelVariant::Odopr),
+                    nowta: predict(ModelVariant::NoWta),
+                    residual: predict(ModelVariant::ResidualWta),
+                });
+            }
+            WindowResult { rate, cells }
+        },
+    );
     ScenarioResult {
         name: scenario.name.to_string(),
         slas: slas.to_vec(),

@@ -6,13 +6,11 @@
 //! (`index_d = meta_d = data_d = S_diskN`), the per-process arrival rate is
 //! `r / N_be`, and the `N_be = 1` machinery applies unchanged.
 
-use crate::components::{CacheMixed, ZeroService};
+use crate::components::{CacheMixed, Mm1kSojournService, ZeroService};
 use crate::params::DeviceParams;
 use crate::variant::ModelVariant;
 use cos_numeric::Complex64;
-use cos_queueing::{
-    DynServiceTime, Mg1, Mm1k, QueueError, ServiceTime, TransformServiceTime, UnionOperation,
-};
+use cos_queueing::{DynServiceTime, Mg1, Mm1k, QueueError, ServiceTime, UnionOperation};
 use std::sync::Arc;
 
 /// Errors from model construction.
@@ -116,12 +114,7 @@ impl BackendModel {
                     + miss_data * r_data * params.data_disk.mean();
                 let b = weighted / r_disk;
                 let mm1k = Mm1k::new(r_disk, 1.0 / b, nbe);
-                let sojourn = TransformServiceTime::new(
-                    move |s| mm1k.sojourn_lst(s),
-                    mm1k.mean_sojourn(),
-                    mm1k.sojourn_second_moment(),
-                );
-                let sdisk: DynServiceTime = Arc::new(sojourn);
+                let sdisk: DynServiceTime = Arc::new(Mm1kSojournService::new(mm1k));
                 (
                     CacheMixed::shared(miss_index, sdisk.clone()),
                     CacheMixed::shared(miss_meta, sdisk.clone()),
@@ -182,6 +175,37 @@ impl BackendModel {
     /// `S_be = W_be ∗ parse ∗ index ∗ meta ∗ data` (one data chunk).
     pub fn sojourn_lst(&self, s: Complex64) -> Complex64 {
         self.mg1.waiting_lst(s) * self.union.response_lst(s)
+    }
+
+    /// Batch [`BackendModel::waiting_lst`].
+    pub fn waiting_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.mg1.waiting_lst_batch(s, out)
+    }
+
+    /// Evaluates both Eq. 1 transforms — the backend response `S_be` and
+    /// the waiting time `W_be` — for a whole abscissa batch with **one**
+    /// pass over the union-operation components.
+    ///
+    /// The scalar path evaluates every component LST three times per
+    /// abscissa (once inside `W_be`'s full union LST, once for the response
+    /// tail, and — under the Full/ODOPR WTA composition — once more for the
+    /// repeated `W_be` factor); here the shared `parse·index·meta·data`
+    /// product is computed once and reused. Outputs are bit-identical to
+    /// [`BackendModel::sojourn_lst`] / [`BackendModel::waiting_lst`].
+    pub fn sojourn_and_waiting_lst_batch(
+        &self,
+        s: &[Complex64],
+        sojourn: &mut [Complex64],
+        waiting: &mut [Complex64],
+    ) {
+        // `sojourn` holds the response tail, `waiting` the full union LST…
+        self.union.response_and_union_lst_batch(s, sojourn, waiting);
+        // …then both are finished through the P–K transform per point.
+        for i in 0..s.len() {
+            let w = self.mg1.waiting_lst_given_service(s[i], waiting[i]);
+            waiting[i] = w;
+            sojourn[i] = w * sojourn[i];
+        }
     }
 
     /// Mean backend response latency.

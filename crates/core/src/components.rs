@@ -60,6 +60,15 @@ impl ServiceTime for CacheMixed {
     fn second_moment(&self) -> f64 {
         self.miss * self.disk.second_moment()
     }
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        // One disk batch, then the affine cache mix per point — the same
+        // expression the scalar path evaluates.
+        self.disk.lst_batch(s, out);
+        let hit = 1.0 - self.miss;
+        for o in out.iter_mut() {
+            *o = *o * self.miss + hit;
+        }
+    }
 }
 
 /// A zero-latency (identity) service time: the LST is identically 1.
@@ -82,6 +91,50 @@ impl ServiceTime for ZeroService {
     }
     fn second_moment(&self) -> f64 {
         0.0
+    }
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        out.fill(Complex64::ONE);
+    }
+}
+
+/// The M/M/1/K disk sojourn lifted to a [`ServiceTime`] with precomputed
+/// moments — the per-process "disk service time" `S_diskN` of §III-B.
+///
+/// Replaces the previous closure-based `TransformServiceTime` wrapper so
+/// the batch path can reach [`Mm1k::sojourn_lst_batch`] (which hoists the
+/// state probabilities out of the per-abscissa loop) instead of falling
+/// back to scalar evaluation through an opaque `Fn`.
+#[derive(Debug, Clone, Copy)]
+pub struct Mm1kSojournService {
+    queue: cos_queueing::Mm1k,
+    mean: f64,
+    second_moment: f64,
+}
+
+impl Mm1kSojournService {
+    /// Wraps an M/M/1/K queue's accepted-customer sojourn law.
+    pub fn new(queue: cos_queueing::Mm1k) -> Self {
+        Mm1kSojournService {
+            queue,
+            mean: queue.mean_sojourn(),
+            second_moment: queue.sojourn_second_moment(),
+        }
+    }
+}
+
+impl ServiceTime for Mm1kSojournService {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        self.queue.sojourn_lst(s)
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn second_moment(&self) -> f64 {
+        self.second_moment
+    }
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.queue.sojourn_lst_batch(s, out)
     }
 }
 

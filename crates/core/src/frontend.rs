@@ -105,6 +105,21 @@ impl FrontendModel {
             .fold(Complex64::ZERO, |a, b| a + b)
     }
 
+    /// Batch [`FrontendModel::sojourn_lst`]: one per-set sojourn batch,
+    /// accumulated in set order (the scalar fold), bit-identical to the
+    /// scalar path.
+    pub fn sojourn_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        out.fill(Complex64::ZERO);
+        let mut tmp = vec![Complex64::ZERO; s.len()];
+        for (w, q) in &self.sets {
+            q.sojourn_lst_batch(s, &mut tmp);
+            for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                *o += *t * *w;
+            }
+        }
+    }
+
     /// Mean frontend sojourn (share-weighted).
     pub fn mean_sojourn(&self) -> f64 {
         self.sets.iter().map(|(w, q)| w * q.mean_sojourn()).sum()

@@ -9,7 +9,7 @@ use crate::backend::{BackendModel, ModelError};
 use crate::frontend::FrontendModel;
 use crate::params::SystemParams;
 use crate::variant::ModelVariant;
-use cos_numeric::laplace::InversionConfig;
+use cos_numeric::laplace::{InversionConfig, LaplaceFn};
 use cos_numeric::Complex64;
 
 /// One device's end-to-end model.
@@ -123,9 +123,53 @@ impl SystemModel {
         lst
     }
 
+    /// Batch [`SystemModel::device_response_lst`]: the frontend mixture,
+    /// the backend response, and the WTA factor share one pass over the
+    /// component transforms (see
+    /// [`BackendModel::sojourn_and_waiting_lst_batch`]) instead of
+    /// re-walking the whole composite tree per abscissa. Bit-identical to
+    /// the scalar path.
+    pub fn device_response_lst_batch(&self, idx: usize, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let d = &self.devices[idx];
+        let mut sojourn = vec![Complex64::ZERO; s.len()];
+        let mut waiting = vec![Complex64::ZERO; s.len()];
+        d.backend
+            .sojourn_and_waiting_lst_batch(s, &mut sojourn, &mut waiting);
+        self.frontend.sojourn_lst_batch(s, out);
+        match d.variant {
+            ModelVariant::Full | ModelVariant::Odopr => {
+                for i in 0..s.len() {
+                    // (S_q · S_be) · W_a — the scalar grouping.
+                    out[i] = out[i] * sojourn[i] * waiting[i];
+                }
+            }
+            ModelVariant::NoWta => {
+                for i in 0..s.len() {
+                    out[i] *= sojourn[i];
+                }
+            }
+            ModelVariant::ResidualWta => {
+                let mean = d.backend.mean_waiting();
+                let rho = d.backend.utilization();
+                for i in 0..s.len() {
+                    out[i] *= sojourn[i];
+                    if mean > 1e-15 {
+                        let eq = (Complex64::ONE - waiting[i]) / (s[i] * mean);
+                        out[i] *= eq * rho + (1.0 - rho);
+                    }
+                }
+            }
+        }
+    }
+
     /// CDF of the response latency of device `idx` at `t`.
     pub fn device_fraction_meeting(&self, idx: usize, sla: f64) -> f64 {
-        cos_numeric::cdf_from_lst(&|s| self.device_response_lst(idx, s), sla, &self.inversion)
+        cos_numeric::cdf_from_lst(
+            &DeviceResponseLst { model: self, idx },
+            sla,
+            &self.inversion,
+        )
     }
 
     /// Predicted percentile of requests meeting `sla` for the whole system
@@ -164,31 +208,39 @@ impl SystemModel {
     }
 
     /// Latency bound met by fraction `p` of requests (inverse of Eq. 3),
-    /// found by bisection. Returns `None` if the search fails to bracket.
+    /// found by a budgeted bracketed Ridders search on the monotone system
+    /// CDF (each probe costs one transform inversion per device, so the
+    /// probe budget — not per-probe cost — dominates the latency of this
+    /// call). Returns `None` if the search fails to bracket.
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
         assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
         if p == 0.0 {
             return Some(0.0);
         }
-        let mut hi = self.mean_response().max(1e-6);
-        let mut grow = 0;
-        while self.fraction_meeting_sla(hi) < p {
-            hi *= 2.0;
-            grow += 1;
-            if grow > 40 {
-                return None;
-            }
-        }
-        let mut lo = 0.0f64;
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            if self.fraction_meeting_sla(mid) < p {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        Some(0.5 * (lo + hi))
+        cos_numeric::invert_monotone(
+            |t| self.fraction_meeting_sla(t),
+            p,
+            self.mean_response().max(1e-6),
+            40,
+            cos_numeric::QUANTILE_INVERSION_BUDGET,
+        )
+    }
+}
+
+/// [`LaplaceFn`] view of one device's composite response transform, so the
+/// inversion routines hit [`SystemModel::device_response_lst_batch`] instead
+/// of re-walking the component tree per abscissa through a scalar closure.
+struct DeviceResponseLst<'a> {
+    model: &'a SystemModel,
+    idx: usize,
+}
+
+impl LaplaceFn for DeviceResponseLst<'_> {
+    fn eval(&self, s: Complex64) -> Complex64 {
+        self.model.device_response_lst(self.idx, s)
+    }
+    fn eval_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.model.device_response_lst_batch(self.idx, s, out)
     }
 }
 

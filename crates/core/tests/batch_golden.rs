@@ -1,0 +1,139 @@
+//! Golden bit-identity tests: the batched composite response transform must
+//! reproduce the scalar path exactly (`f64::to_bits` equality), for every
+//! model variant and for both the S1-like and S16-like system shapes, on a
+//! contour covering the Euler vertical line and Gaver–Stehfest real points.
+
+use cos_distr::{Degenerate, Gamma};
+use cos_model::params::{DeviceParams, FrontendParams};
+use cos_model::{ModelVariant, SystemModel, SystemParams};
+use cos_numeric::Complex64;
+use cos_queueing::from_distribution;
+
+fn s1_params(rate: f64) -> SystemParams {
+    SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: rate * 4.0,
+            processes: 3,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices: (0..4)
+            .map(|_| DeviceParams {
+                arrival_rate: rate,
+                data_read_rate: rate * 1.1,
+                miss_index: 0.3,
+                miss_meta: 0.25,
+                miss_data: 0.4,
+                index_disk: from_distribution(Gamma::new(3.0, 250.0)),
+                meta_disk: from_distribution(Gamma::new(2.5, 312.5)),
+                data_disk: from_distribution(Gamma::new(3.5, 245.0)),
+                parse_be: from_distribution(Degenerate::new(0.0005)),
+                processes: 1,
+            })
+            .collect(),
+    }
+}
+
+fn s16_params(rate: f64) -> SystemParams {
+    let mut p = s1_params(rate);
+    for d in &mut p.devices {
+        d.miss_index = 0.10;
+        d.miss_meta = 0.08;
+        d.miss_data = 0.18;
+        d.processes = 16;
+    }
+    p
+}
+
+/// Abscissae representative of both inversion algorithms: the Euler
+/// vertical line `(a/2t, kπ/t)` and real Gaver–Stehfest points `k ln2 / t`.
+fn contour() -> Vec<Complex64> {
+    let mut s = Vec::new();
+    for &t in &[0.005, 0.05, 0.4] {
+        let half_a = 18.4 / (2.0 * t);
+        s.push(Complex64::from_real(half_a));
+        for k in 1..=24 {
+            s.push(Complex64::new(half_a, k as f64 * std::f64::consts::PI / t));
+        }
+        for k in 1..=14 {
+            s.push(Complex64::from_real(k as f64 * std::f64::consts::LN_2 / t));
+        }
+    }
+    s
+}
+
+fn assert_bits_equal(scalar: &[Complex64], batch: &[Complex64], what: &str) {
+    for (i, (a, b)) in scalar.iter().zip(batch.iter()).enumerate() {
+        assert_eq!(
+            a.re.to_bits(),
+            b.re.to_bits(),
+            "{what}: re differs at point {i}: {} vs {}",
+            a.re,
+            b.re
+        );
+        assert_eq!(
+            a.im.to_bits(),
+            b.im.to_bits(),
+            "{what}: im differs at point {i}: {} vs {}",
+            a.im,
+            b.im
+        );
+    }
+}
+
+fn check_all_devices(params: &SystemParams, variant: ModelVariant, what: &str) {
+    let m = SystemModel::new(params, variant).unwrap();
+    let s = contour();
+    let mut batch = vec![Complex64::ZERO; s.len()];
+    for idx in 0..m.devices().len() {
+        let scalar: Vec<Complex64> = s.iter().map(|&p| m.device_response_lst(idx, p)).collect();
+        m.device_response_lst_batch(idx, &s, &mut batch);
+        assert_bits_equal(&scalar, &batch, &format!("{what} device {idx}"));
+    }
+}
+
+#[test]
+fn full_variant_batch_is_bit_identical() {
+    check_all_devices(&s1_params(40.0), ModelVariant::Full, "S1/full");
+    check_all_devices(&s16_params(150.0), ModelVariant::Full, "S16/full");
+}
+
+#[test]
+fn odopr_variant_batch_is_bit_identical() {
+    check_all_devices(&s1_params(40.0), ModelVariant::Odopr, "S1/odopr");
+    check_all_devices(&s16_params(150.0), ModelVariant::Odopr, "S16/odopr");
+}
+
+#[test]
+fn nowta_variant_batch_is_bit_identical() {
+    check_all_devices(&s1_params(40.0), ModelVariant::NoWta, "S1/nowta");
+    check_all_devices(&s16_params(150.0), ModelVariant::NoWta, "S16/nowta");
+}
+
+#[test]
+fn residual_wta_variant_batch_is_bit_identical() {
+    check_all_devices(&s1_params(40.0), ModelVariant::ResidualWta, "S1/residual");
+    check_all_devices(
+        &s16_params(150.0),
+        ModelVariant::ResidualWta,
+        "S16/residual",
+    );
+}
+
+#[test]
+fn batched_cdf_matches_closure_cdf() {
+    // The full inversion pipeline through the batch path must agree with a
+    // scalar closure fed to the same inversion (different call graph, same
+    // arithmetic): bit-identity holds because eval_batch replicates the
+    // scalar op order.
+    let m = SystemModel::new(&s1_params(40.0), ModelVariant::Full).unwrap();
+    let cfg = cos_numeric::InversionConfig::default();
+    for &t in &[0.01, 0.05, 0.1] {
+        let via_batch = m.device_fraction_meeting(0, t);
+        let via_closure = cos_numeric::cdf_from_lst(&|s| m.device_response_lst(0, s), t, &cfg);
+        assert_eq!(
+            via_batch.to_bits(),
+            via_closure.to_bits(),
+            "t={t}: {via_batch} vs {via_closure}"
+        );
+    }
+}

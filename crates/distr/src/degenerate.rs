@@ -73,6 +73,18 @@ impl Lst for Degenerate {
             (s * (-self.value)).exp()
         }
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        if self.value == 0.0 {
+            out.fill(Complex64::ONE);
+            return;
+        }
+        let neg = -self.value;
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = (*s * neg).exp();
+        }
+    }
 }
 
 #[cfg(test)]

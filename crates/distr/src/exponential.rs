@@ -71,6 +71,14 @@ impl Lst for Exponential {
     fn lst(&self, s: Complex64) -> Complex64 {
         Complex64::from_real(self.rate) / (s + self.rate)
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let rate = Complex64::from_real(self.rate);
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = rate / (*s + self.rate);
+        }
+    }
 }
 
 #[cfg(test)]

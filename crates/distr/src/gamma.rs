@@ -130,6 +130,14 @@ impl Lst for Gamma {
         // l^k (s + l)^{-k} computed as (l/(l+s))^k on the principal branch.
         (Complex64::from_real(self.rate) / (s + self.rate)).powf(self.shape)
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let rate = Complex64::from_real(self.rate);
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = (rate / (*s + self.rate)).powf(self.shape);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,20 @@ impl Lst for Mixture {
             .map(|(w, c)| c.lst(s) * *w)
             .fold(Complex64::ZERO, |a, b| a + b)
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        // One batch per component, accumulated in component order — the
+        // same per-point fold `((0 + l₀w₀) + l₁w₁) + …` as the scalar path.
+        out.fill(Complex64::ZERO);
+        let mut tmp = vec![Complex64::ZERO; s.len()];
+        for (w, c) in &self.components {
+            c.lst_batch(s, &mut tmp);
+            for (o, t) in out.iter_mut().zip(tmp.iter()) {
+                *o += *t * *w;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,14 @@ impl Lst for Normal {
         // E[e^{-sX}] = exp(−μ s + σ² s² / 2).
         (s * s * (0.5 * self.sigma * self.sigma) - s * self.mu).exp()
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let half_var = 0.5 * self.sigma * self.sigma;
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = (*s * *s * half_var - *s * self.mu).exp();
+        }
+    }
 }
 
 #[cfg(test)]

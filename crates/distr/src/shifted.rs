@@ -55,6 +55,15 @@ impl Lst for Shifted {
     fn lst(&self, s: Complex64) -> Complex64 {
         (s * (-self.offset)).exp() * self.inner.lst(s)
     }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        self.inner.lst_batch(s, out);
+        let neg = -self.offset;
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = (*s * neg).exp() * *o;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,20 @@ pub trait Distribution: Debug + Send + Sync {
 pub trait Lst {
     /// Evaluates the LST at `s`.
     fn lst(&self, s: Complex64) -> Complex64;
+
+    /// Evaluates the LST at every abscissa in `s`, writing into `out` (same
+    /// length). Numerical inversion gathers all its contour points up front
+    /// and evaluates through this method; implementations override it to
+    /// hoist per-distribution constants and, for composite laws, shared
+    /// sub-transform batches. Overrides must stay **bit-identical** to the
+    /// scalar [`Lst::lst`] path — predictions are memoized and compared
+    /// across the two.
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = self.lst(*s);
+        }
+    }
 }
 
 /// A distribution usable as a queueing service time: full distribution

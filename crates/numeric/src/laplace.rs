@@ -16,9 +16,25 @@
 //! * [`gaver_stehfest`] — real-axis only sampling. Needs no complex
 //!   evaluations but loses ~1 digit per term pair in double precision;
 //!   included for completeness and sanity checks.
+//!
+//! # The hot path
+//!
+//! Every algorithm gathers its abscissae up front and evaluates the
+//! transform through [`LaplaceFn::eval_batch`] — one call per inversion.
+//! Composite model transforms override `eval_batch` to hoist subexpressions
+//! shared across the whole abscissa set (utilizations, component LSTs,
+//! mixture weights) instead of recomputing them point by point; the default
+//! implementation falls back to scalar [`LaplaceFn::eval`] so plain closures
+//! keep working unchanged. Summation weights (Euler binomial averaging,
+//! Gaver–Stehfest coefficients) are precomputed in static tables rather
+//! than rebuilt per call.
 
 use crate::complex::Complex64;
+use crate::roots::invert_monotone;
 use crate::special::binomial;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A Laplace transform `F(s)` evaluated at complex `s`.
 ///
@@ -27,12 +43,105 @@ use crate::special::binomial;
 pub trait LaplaceFn {
     /// Evaluate the transform at `s`.
     fn eval(&self, s: Complex64) -> Complex64;
+
+    /// Evaluate the transform at every abscissa in `s`, writing results to
+    /// `out` (same length). The default delegates to [`LaplaceFn::eval`]
+    /// point by point; composite transforms override this to hoist shared
+    /// subexpressions across the batch. Implementations must be
+    /// **bit-identical** to the scalar path — inversion results may be
+    /// memoized and compared across paths.
+    fn eval_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = self.eval(*s);
+        }
+    }
 }
 
 impl<T: Fn(Complex64) -> Complex64> LaplaceFn for T {
     #[inline]
     fn eval(&self, s: Complex64) -> Complex64 {
         self(s)
+    }
+}
+
+/// Instrumented wrapper counting transform evaluations.
+///
+/// Wrap any [`LaplaceFn`] to observe how much work a query performs:
+/// `evals()` counts scalar-equivalent transform evaluations and
+/// `batch_calls()` counts `eval_batch` invocations. Since every inversion
+/// algorithm issues exactly one batch per inversion, `batch_calls()` is the
+/// number of numerical inversions performed — the metric the quantile
+/// solver is budgeted against.
+pub struct CountingLaplaceFn<'a, F: LaplaceFn + ?Sized> {
+    inner: &'a F,
+    evals: AtomicUsize,
+    batches: AtomicUsize,
+}
+
+impl<'a, F: LaplaceFn + ?Sized> CountingLaplaceFn<'a, F> {
+    /// Wraps `inner`, starting all counters at zero.
+    pub fn new(inner: &'a F) -> Self {
+        CountingLaplaceFn {
+            inner,
+            evals: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+        }
+    }
+
+    /// Scalar-equivalent transform evaluations so far.
+    pub fn evals(&self) -> usize {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// `eval_batch` calls so far (== numerical inversions performed).
+    pub fn batch_calls(&self) -> usize {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+impl<F: LaplaceFn + ?Sized> LaplaceFn for CountingLaplaceFn<'_, F> {
+    fn eval(&self, s: Complex64) -> Complex64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval(s)
+    }
+    fn eval_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.evals.fetch_add(s.len(), Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval_batch(s, out);
+    }
+}
+
+/// `L[f](s)/s` — the CDF transform of a density LST. Forwards batches to
+/// the inner transform so composite hoisting survives the wrapping.
+struct CdfTransform<'a, F: LaplaceFn + ?Sized>(&'a F);
+
+impl<F: LaplaceFn + ?Sized> LaplaceFn for CdfTransform<'_, F> {
+    #[inline]
+    fn eval(&self, s: Complex64) -> Complex64 {
+        self.0.eval(s) / s
+    }
+    fn eval_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.0.eval_batch(s, out);
+        for (o, s) in out.iter_mut().zip(s.iter()) {
+            *o /= *s;
+        }
+    }
+}
+
+/// `(1 − L[f](s))/s` — the tail (CCDF) transform.
+struct TailTransform<'a, F: LaplaceFn + ?Sized>(&'a F);
+
+impl<F: LaplaceFn + ?Sized> LaplaceFn for TailTransform<'_, F> {
+    #[inline]
+    fn eval(&self, s: Complex64) -> Complex64 {
+        (Complex64::ONE - self.0.eval(s)) / s
+    }
+    fn eval_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.0.eval_batch(s, out);
+        for (o, s) in out.iter_mut().zip(s.iter()) {
+            *o = (Complex64::ONE - *o) / *s;
+        }
     }
 }
 
@@ -47,13 +156,60 @@ pub enum InversionAlgorithm {
     GaverStehfest,
 }
 
+/// Largest Gaver–Stehfest term count that is meaningful in f64: the
+/// alternating coefficients reach ~1e17 at `n = 18` and each further term
+/// pair erases another decimal digit, so anything above this produces pure
+/// rounding noise.
+pub const GAVER_STEHFEST_MAX_TERMS: usize = 18;
+
+/// A term count that is invalid for the selected algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Euler needs at least one burn-in term.
+    EulerTooFewTerms {
+        /// The offending count.
+        terms: usize,
+    },
+    /// Talbot needs at least two contour points.
+    TalbotTooFewTerms {
+        /// The offending count.
+        terms: usize,
+    },
+    /// Gaver–Stehfest needs an even count in `[2, GAVER_STEHFEST_MAX_TERMS]`.
+    GaverStehfestTerms {
+        /// The offending count.
+        terms: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EulerTooFewTerms { terms } => {
+                write!(f, "euler requires at least 1 burn-in term, got {terms}")
+            }
+            ConfigError::TalbotTooFewTerms { terms } => {
+                write!(f, "talbot requires at least 2 contour points, got {terms}")
+            }
+            ConfigError::GaverStehfestTerms { terms } => write!(
+                f,
+                "gaver-stehfest requires an even term count in \
+                 [2, {GAVER_STEHFEST_MAX_TERMS}], got {terms}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration for Laplace inversion.
 #[derive(Debug, Clone, Copy)]
 pub struct InversionConfig {
     /// Algorithm to use.
     pub algorithm: InversionAlgorithm,
     /// Accuracy parameter: Euler `M` (2M+1 evaluations), Talbot term count,
-    /// or Gaver–Stehfest term count (must be even).
+    /// or Gaver–Stehfest term count (even, at most
+    /// [`GAVER_STEHFEST_MAX_TERMS`]).
     pub terms: usize,
 }
 
@@ -67,12 +223,60 @@ impl Default for InversionConfig {
 }
 
 impl InversionConfig {
-    /// Invert `transform` at time `t` with this configuration.
-    pub fn invert<F: LaplaceFn>(&self, transform: &F, t: f64) -> f64 {
+    /// Checks the term count against the selected algorithm's valid range.
+    ///
+    /// The historical footgun: `terms` is shared across algorithms and the
+    /// default (100) is tuned for Euler, but Gaver–Stehfest is numerically
+    /// meaningless above [`GAVER_STEHFEST_MAX_TERMS`] in double precision.
+    /// [`InversionConfig::invert`] clamps silently (see
+    /// [`InversionConfig::effective_terms`]); call this to surface the
+    /// mismatch as a typed error instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let terms = self.terms;
         match self.algorithm {
-            InversionAlgorithm::Euler => euler_m(transform, t, self.terms),
-            InversionAlgorithm::Talbot => talbot_n(transform, t, self.terms),
-            InversionAlgorithm::GaverStehfest => gaver_stehfest_n(transform, t, self.terms),
+            InversionAlgorithm::Euler if terms < 1 => Err(ConfigError::EulerTooFewTerms { terms }),
+            InversionAlgorithm::Talbot if terms < 2 => {
+                Err(ConfigError::TalbotTooFewTerms { terms })
+            }
+            InversionAlgorithm::GaverStehfest
+                if !(2..=GAVER_STEHFEST_MAX_TERMS).contains(&terms) || !terms.is_multiple_of(2) =>
+            {
+                Err(ConfigError::GaverStehfestTerms { terms })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The term count actually used by [`InversionConfig::invert`]: `terms`
+    /// clamped into the selected algorithm's valid range (and rounded down
+    /// to even for Gaver–Stehfest).
+    pub fn effective_terms(&self) -> usize {
+        match self.algorithm {
+            InversionAlgorithm::Euler => self.terms.max(1),
+            InversionAlgorithm::Talbot => self.terms.max(2),
+            InversionAlgorithm::GaverStehfest => {
+                (self.terms.clamp(2, GAVER_STEHFEST_MAX_TERMS)) & !1
+            }
+        }
+    }
+
+    /// Invert `transform` at time `t` with this configuration.
+    ///
+    /// Out-of-range term counts are clamped per algorithm (see
+    /// [`InversionConfig::effective_terms`]); in debug builds a mismatch
+    /// additionally trips a debug assertion so the misconfiguration is
+    /// caught in development instead of silently degrading accuracy.
+    pub fn invert<F: LaplaceFn>(&self, transform: &F, t: f64) -> f64 {
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid inversion config (clamped): {:?}",
+            self.validate().unwrap_err()
+        );
+        let terms = self.effective_terms();
+        match self.algorithm {
+            InversionAlgorithm::Euler => euler_m(transform, t, terms),
+            InversionAlgorithm::Talbot => talbot_n(transform, t, terms),
+            InversionAlgorithm::GaverStehfest => gaver_stehfest_n(transform, t, terms),
         }
     }
 }
@@ -82,6 +286,27 @@ pub fn euler<F: LaplaceFn>(transform: &F, t: f64) -> f64 {
     euler_m(transform, t, 40)
 }
 
+const M_EULER: usize = 11;
+
+/// Binomial (Euler) averaging weights `C(11, j) / 2^11`, precomputed. The
+/// numerators are exact in f64 and `2^-11` is a power of two, so each entry
+/// is exactly `binomial(11, j) * 0.5^11` as the per-call code used to
+/// compute.
+const EULER_WEIGHTS: [f64; M_EULER + 1] = [
+    1.0 / 2048.0,
+    11.0 / 2048.0,
+    55.0 / 2048.0,
+    165.0 / 2048.0,
+    330.0 / 2048.0,
+    462.0 / 2048.0,
+    462.0 / 2048.0,
+    330.0 / 2048.0,
+    165.0 / 2048.0,
+    55.0 / 2048.0,
+    11.0 / 2048.0,
+    1.0 / 2048.0,
+];
+
 /// Classical Euler algorithm (Abate–Whitt–Choudhury) with `n` burn-in terms.
 ///
 /// Sums the Bromwich trapezoid
@@ -90,20 +315,29 @@ pub fn euler<F: LaplaceFn>(transform: &F, t: f64) -> f64 {
 /// `n` raw terms and then Euler-averaging the next 11 partial sums. The
 /// separate burn-in makes this robust to the extra oscillation that
 /// Degenerate (time-shift) factors introduce.
-pub fn euler_m<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
+///
+/// All `n + 12` abscissae are gathered up front and evaluated through one
+/// [`LaplaceFn::eval_batch`] call.
+pub fn euler_m<F: LaplaceFn + ?Sized>(transform: &F, t: f64, n: usize) -> f64 {
     assert!(t > 0.0, "euler inversion requires t > 0, got {t}");
     assert!(n >= 1, "euler inversion requires at least 1 burn-in term");
-    const M_EULER: usize = 11;
     const A: f64 = 18.4;
     let x = A / (2.0 * t);
-    let mut running = 0.5 * transform.eval(Complex64::from_real(x)).re;
-    let mut comp = 0.0; // Neumaier compensation for the alternating sum
     let total = n + M_EULER;
+    let mut abscissae = Vec::with_capacity(total + 1);
+    abscissae.push(Complex64::from_real(x));
+    for k in 1..=total {
+        abscissae.push(Complex64::new(x, k as f64 * std::f64::consts::PI / t));
+    }
+    let mut values = vec![Complex64::ZERO; total + 1];
+    transform.eval_batch(&abscissae, &mut values);
+
+    let mut running = 0.5 * values[0].re;
+    let mut comp = 0.0; // Neumaier compensation for the alternating sum
     let mut partials = [0.0f64; M_EULER + 1];
     for k in 1..=total {
-        let s = Complex64::new(x, k as f64 * std::f64::consts::PI / t);
         let sign = if k.is_multiple_of(2) { 1.0 } else { -1.0 };
-        let term = sign * transform.eval(s).re;
+        let term = sign * values[k].re;
         let new_sum = running + term;
         comp += if running.abs() >= term.abs() {
             (running - new_sum) + term
@@ -116,10 +350,9 @@ pub fn euler_m<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
         }
     }
     // Binomial (Euler) average of the last M_EULER+1 partial sums.
-    let scale = 0.5f64.powi(M_EULER as i32);
     let mut avg = 0.0;
-    for (j, &p) in partials.iter().enumerate() {
-        avg += binomial(M_EULER as u32, j as u32) * scale * p;
+    for (&w, &p) in EULER_WEIGHTS.iter().zip(partials.iter()) {
+        avg += w * p;
     }
     (A / 2.0).exp() / t * avg
 }
@@ -130,20 +363,28 @@ pub fn talbot<F: LaplaceFn>(transform: &F, t: f64) -> f64 {
 }
 
 /// Fixed Talbot algorithm with `n` contour points (Abate & Valkó).
-pub fn talbot_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
+pub fn talbot_n<F: LaplaceFn + ?Sized>(transform: &F, t: f64, n: usize) -> f64 {
     assert!(t > 0.0, "talbot inversion requires t > 0, got {t}");
     assert!(n >= 2, "talbot inversion requires at least 2 points");
     let r = 2.0 * n as f64 / (5.0 * t);
-    // k = 0 term: contour point is the real number r.
-    let mut sum = 0.5 * (transform.eval(Complex64::from_real(r)) * (r * t).exp()).re;
+    let mut abscissae = Vec::with_capacity(n);
+    let mut sigmas = Vec::with_capacity(n);
+    abscissae.push(Complex64::from_real(r));
+    sigmas.push(Complex64::ONE); // unused for k = 0
     for k in 1..n {
         let theta = k as f64 * std::f64::consts::PI / n as f64;
         let cot = theta.cos() / theta.sin();
-        let s = Complex64::new(r * theta * cot, r * theta);
+        abscissae.push(Complex64::new(r * theta * cot, r * theta));
         // dσ/dθ factor: 1 + i θ (1 + cot²) − i cot  (scaled by contour radius)
-        let sigma = Complex64::new(1.0, theta * (1.0 + cot * cot) - cot);
-        let e = (s * t).exp();
-        sum += (e * transform.eval(s) * sigma).re;
+        sigmas.push(Complex64::new(1.0, theta * (1.0 + cot * cot) - cot));
+    }
+    let mut values = vec![Complex64::ZERO; n];
+    transform.eval_batch(&abscissae, &mut values);
+    // k = 0 term: contour point is the real number r.
+    let mut sum = 0.5 * (values[0] * (r * t).exp()).re;
+    for k in 1..n {
+        let e = (abscissae[k] * t).exp();
+        sum += (e * values[k] * sigmas[k]).re;
     }
     r / n as f64 * sum
 }
@@ -153,21 +394,24 @@ pub fn gaver_stehfest<F: LaplaceFn>(transform: &F, t: f64) -> f64 {
     gaver_stehfest_n(transform, t, 14)
 }
 
-/// Gaver–Stehfest with `n` terms (`n` even, ≤ 18 in double precision).
-pub fn gaver_stehfest_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
-    assert!(t > 0.0, "gaver-stehfest inversion requires t > 0, got {t}");
-    assert!(
-        n >= 2 && n.is_multiple_of(2),
-        "gaver-stehfest requires an even term count >= 2"
-    );
-    let ln2_t = std::f64::consts::LN_2 / t;
+/// Signed Gaver–Stehfest coefficients `(−1)^{k+n/2} a_k` for order `n`.
+///
+/// Depends only on `n`, so the table is computed once per order and cached
+/// for the life of the process. `(n/2)!` is hoisted out of the per-`k`
+/// loop (it used to be recomputed inside it, per coefficient).
+fn stehfest_coefficients(n: usize) -> Arc<Vec<f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<f64>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(table) = cache.lock().expect("stehfest cache lock").get(&n) {
+        return table.clone();
+    }
     let half = n / 2;
-    let mut sum = 0.0;
+    let fact_half: f64 = (1..=half).map(|i| i as f64).product();
+    let mut table = Vec::with_capacity(n);
     for k in 1..=n {
         let mut a_k = 0.0f64;
         let j_lo = k.div_ceil(2);
         let j_hi = k.min(half);
-        let fact_half: f64 = (1..=half).map(|i| i as f64).product();
         for j in j_lo..=j_hi {
             // Stehfest coefficient inner term:
             // j^{n/2+1} / (n/2)! * C(n/2, j) * C(2j, j) * C(j, k-j)
@@ -182,8 +426,38 @@ pub fn gaver_stehfest_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
         } else {
             -1.0
         };
-        let s = Complex64::from_real(k as f64 * ln2_t);
-        sum += sign * a_k * transform.eval(s).re;
+        table.push(sign * a_k);
+    }
+    let table = Arc::new(table);
+    cache
+        .lock()
+        .expect("stehfest cache lock")
+        .insert(n, table.clone());
+    table
+}
+
+/// Gaver–Stehfest with `n` terms (`n` even, ≤ 18 in double precision).
+pub fn gaver_stehfest_n<F: LaplaceFn + ?Sized>(transform: &F, t: f64, n: usize) -> f64 {
+    assert!(t > 0.0, "gaver-stehfest inversion requires t > 0, got {t}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "gaver-stehfest requires an even term count >= 2"
+    );
+    debug_assert!(
+        n <= GAVER_STEHFEST_MAX_TERMS,
+        "gaver-stehfest with {n} terms exceeds f64 precision \
+         (max {GAVER_STEHFEST_MAX_TERMS})"
+    );
+    let ln2_t = std::f64::consts::LN_2 / t;
+    let coefficients = stehfest_coefficients(n);
+    let abscissae: Vec<Complex64> = (1..=n)
+        .map(|k| Complex64::from_real(k as f64 * ln2_t))
+        .collect();
+    let mut values = vec![Complex64::ZERO; n];
+    transform.eval_batch(&abscissae, &mut values);
+    let mut sum = 0.0;
+    for (c, v) in coefficients.iter().zip(values.iter()) {
+        sum += c * v.re;
     }
     ln2_t * sum
 }
@@ -194,31 +468,33 @@ pub fn gaver_stehfest_n<F: LaplaceFn>(transform: &F, t: f64, n: usize) -> f64 {
 /// Atoms at the evaluation point converge to the jump midpoint, which is the
 /// right behaviour for SLA percentile queries against continuous-latency
 /// systems.
-pub fn cdf_from_lst<F: LaplaceFn>(lst: &F, t: f64, config: &InversionConfig) -> f64 {
+pub fn cdf_from_lst<F: LaplaceFn + ?Sized>(lst: &F, t: f64, config: &InversionConfig) -> f64 {
     if t <= 0.0 {
         return 0.0;
     }
-    let cdf_transform = |s: Complex64| lst.eval(s) / s;
-    config.invert(&cdf_transform, t).clamp(0.0, 1.0)
+    config.invert(&CdfTransform(lst), t).clamp(0.0, 1.0)
 }
 
 /// Evaluates the complementary CDF (tail) at `t`.
-pub fn ccdf_from_lst<F: LaplaceFn>(lst: &F, t: f64, config: &InversionConfig) -> f64 {
+pub fn ccdf_from_lst<F: LaplaceFn + ?Sized>(lst: &F, t: f64, config: &InversionConfig) -> f64 {
     if t <= 0.0 {
         return 1.0;
     }
     // L[1 − F](s) = (1 − L[f](s))/s ; inverting the tail directly is better
     // conditioned when the CDF is close to 1.
-    let tail_transform = |s: Complex64| (Complex64::ONE - lst.eval(s)) / s;
-    let config = *config;
-    config.invert(&tail_transform, t).clamp(0.0, 1.0)
+    config.invert(&TailTransform(lst), t).clamp(0.0, 1.0)
 }
 
-/// Finds the quantile `t` with `CDF(t) = p` by bisection on the inverted CDF.
+/// Finds the quantile `t` with `CDF(t) = p` via the bracketed Ridders
+/// solver ([`invert_monotone`]), each CDF probe being one numerical
+/// inversion.
 ///
 /// `upper_hint` bounds the search; it is grown geometrically if too small.
-/// Returns `None` if no bracket can be established within `2^40 * upper_hint`.
-pub fn quantile_from_lst<F: LaplaceFn>(
+/// With a hint within a few doublings of the answer the whole query
+/// performs at most [`QUANTILE_INVERSION_BUDGET`] inversions (the legacy
+/// pure-bisection solver used ~90). Returns `None` if no bracket can be
+/// established within `2^40 * upper_hint`.
+pub fn quantile_from_lst<F: LaplaceFn + ?Sized>(
     lst: &F,
     p: f64,
     upper_hint: f64,
@@ -231,29 +507,18 @@ pub fn quantile_from_lst<F: LaplaceFn>(
     if p == 0.0 {
         return Some(0.0);
     }
-    let mut hi = upper_hint.max(1e-9);
-    let mut grow = 0;
-    while cdf_from_lst(lst, hi, config) < p {
-        hi *= 2.0;
-        grow += 1;
-        if grow > 40 {
-            return None;
-        }
-    }
-    let mut lo = 0.0f64;
-    for _ in 0..80 {
-        let mid = 0.5 * (lo + hi);
-        if cdf_from_lst(lst, mid, config) < p {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-        if hi - lo <= 1e-12 * hi.max(1.0) {
-            break;
-        }
-    }
-    Some(0.5 * (lo + hi))
+    invert_monotone(
+        |t| cdf_from_lst(lst, t, config),
+        p,
+        upper_hint,
+        40,
+        QUANTILE_INVERSION_BUDGET,
+    )
 }
+
+/// Inversion budget of one quantile query past bracket establishment: the
+/// Ridders phase performs at most this many CDF inversions.
+pub const QUANTILE_INVERSION_BUDGET: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -387,6 +652,51 @@ mod tests {
     }
 
     #[test]
+    fn quantile_stays_within_inversion_budget() {
+        // With a hint in the right ballpark the whole query must cost at
+        // most ~20 inversions (the legacy bisection solver spent ~90).
+        let lst = exp_lst(2.0);
+        let cfg = InversionConfig::default();
+        for &p in &[0.5, 0.9, 0.95, 0.99] {
+            let counting = CountingLaplaceFn::new(&lst);
+            let q = quantile_from_lst(&counting, p, 1.0, &cfg).unwrap();
+            let want = -(1.0 - p).ln() / 2.0;
+            assert!((q - want).abs() < 1e-6, "p={p}: {q} vs {want}");
+            assert!(
+                counting.batch_calls() <= 20,
+                "p={p}: {} inversions",
+                counting.batch_calls()
+            );
+        }
+    }
+
+    #[test]
+    fn counting_wrapper_counts_one_batch_per_inversion() {
+        let lst = exp_lst(1.0);
+        let counting = CountingLaplaceFn::new(&lst);
+        let cfg = InversionConfig::default();
+        cdf_from_lst(&counting, 1.0, &cfg);
+        assert_eq!(counting.batch_calls(), 1);
+        // Euler with n burn-in terms evaluates n + 12 points.
+        assert_eq!(counting.evals(), cfg.terms + M_EULER + 1);
+    }
+
+    #[test]
+    fn batch_default_matches_scalar() {
+        let lst = erlang_lst(3, 2.0);
+        let abscissae: Vec<Complex64> = (1..=40)
+            .map(|k| Complex64::new(1.7, k as f64 * 0.3))
+            .collect();
+        let mut out = vec![Complex64::ZERO; abscissae.len()];
+        lst.eval_batch(&abscissae, &mut out);
+        for (s, o) in abscissae.iter().zip(out.iter()) {
+            let want = lst.eval(*s);
+            assert_eq!(o.re.to_bits(), want.re.to_bits());
+            assert_eq!(o.im.to_bits(), want.im.to_bits());
+        }
+    }
+
+    #[test]
     fn cdf_clamps_to_unit_interval() {
         let lst = exp_lst(1.0);
         let cfg = InversionConfig::default();
@@ -425,6 +735,98 @@ mod tests {
             .abs();
         assert!(hi < lo, "lo-order err {lo}, hi-order err {hi}");
         assert!(hi < 1e-4, "hi-order err {hi}");
+    }
+
+    #[test]
+    fn euler_weights_match_binomial_table() {
+        let scale = 0.5f64.powi(M_EULER as i32);
+        for (j, &w) in EULER_WEIGHTS.iter().enumerate() {
+            let want = binomial(M_EULER as u32, j as u32) * scale;
+            assert_eq!(w.to_bits(), want.to_bits(), "weight {j}");
+        }
+    }
+
+    #[test]
+    fn stehfest_table_matches_direct_recomputation() {
+        // Reference: the pre-hoisting per-k computation.
+        for n in [2usize, 6, 14, 18] {
+            let half = n / 2;
+            let table = stehfest_coefficients(n);
+            assert_eq!(table.len(), n);
+            for k in 1..=n {
+                let fact_half: f64 = (1..=half).map(|i| i as f64).product();
+                let mut a_k = 0.0f64;
+                for j in k.div_ceil(2)..=k.min(half) {
+                    a_k += (j as f64).powi(half as i32) * j as f64 / fact_half
+                        * binomial(half as u32, j as u32)
+                        * binomial(2 * j as u32, j as u32)
+                        * binomial(j as u32, (k - j) as u32);
+                }
+                let sign = if (k + half).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                assert_eq!(
+                    (sign * a_k).to_bits(),
+                    table[k - 1].to_bits(),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_per_algorithm_footguns() {
+        // The default terms (100) are fine for Euler but meaningless for
+        // Gaver–Stehfest.
+        assert!(InversionConfig::default().validate().is_ok());
+        let gs = InversionConfig {
+            algorithm: InversionAlgorithm::GaverStehfest,
+            terms: 100,
+        };
+        assert_eq!(
+            gs.validate(),
+            Err(ConfigError::GaverStehfestTerms { terms: 100 })
+        );
+        assert_eq!(gs.effective_terms(), GAVER_STEHFEST_MAX_TERMS);
+        let odd = InversionConfig {
+            algorithm: InversionAlgorithm::GaverStehfest,
+            terms: 7,
+        };
+        assert!(odd.validate().is_err());
+        assert_eq!(odd.effective_terms(), 6);
+        assert!(InversionConfig {
+            algorithm: InversionAlgorithm::Talbot,
+            terms: 1,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn clamped_gaver_stehfest_stays_accurate() {
+        // terms = 100 under Gaver–Stehfest used to produce rounding noise;
+        // the clamp keeps it at the f64-meaningful order.
+        let cfg = InversionConfig {
+            algorithm: InversionAlgorithm::GaverStehfest,
+            terms: 100,
+        };
+        let lst = exp_lst(1.0);
+        let got = gaver_stehfest_n(&CdfTransform(&lst), 1.0, cfg.effective_terms());
+        let want = 1.0 - (-1.0f64).exp();
+        assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid inversion config")]
+    fn invert_trips_debug_assertion_on_invalid_config() {
+        let cfg = InversionConfig {
+            algorithm: InversionAlgorithm::GaverStehfest,
+            terms: 100,
+        };
+        cfg.invert(&exp_lst(1.0), 1.0);
     }
 
     #[test]

@@ -178,6 +178,168 @@ pub fn brent<F: Fn(f64) -> f64>(
     })
 }
 
+/// Ridders' method: exponential-fit false position on a sign-changing
+/// bracket. Superlinear (order √2 per function evaluation) and, unlike the
+/// secant method, never leaves the bracket.
+pub fn ridders<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if !fm.is_finite() {
+            return Err(RootError::NonFinite { at: m });
+        }
+        if fm == 0.0 {
+            return Ok(m);
+        }
+        // Ridders update: fit f(x) ≈ g(x) e^{cx} through (a, m, b) and take
+        // the root of the fitted linear factor.
+        let s = (fm * fm - fa * fb).sqrt();
+        if s == 0.0 || !s.is_finite() {
+            return Err(RootError::NonFinite { at: m });
+        }
+        let sign = if fa < fb { -1.0 } else { 1.0 };
+        let x = m + (m - a) * sign * fm / s;
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(RootError::NonFinite { at: x });
+        }
+        if fx == 0.0 {
+            return Ok(x);
+        }
+        // Rebuild the tightest sign-changing bracket from {a, m, x, b}.
+        if fm.signum() != fx.signum() {
+            if m < x {
+                (a, fa, b, fb) = (m, fm, x, fx);
+            } else {
+                (a, fa, b, fb) = (x, fx, m, fm);
+            }
+        } else if fx.signum() == fa.signum() {
+            // m and x both carry fa's sign: advance the left edge.
+            if x > m {
+                (a, fa) = (x, fx);
+            } else {
+                (a, fa) = (m, fm);
+            }
+        } else {
+            // Both carry fb's sign: pull in the right edge.
+            if x < m {
+                (b, fb) = (x, fx);
+            } else {
+                (b, fb) = (m, fm);
+            }
+        }
+        if (b - a).abs() <= tol {
+            return Ok(0.5 * (a + b));
+        }
+    }
+    Err(RootError::MaxIterations {
+        best: 0.5 * (a + b),
+        residual: f(0.5 * (a + b)),
+    })
+}
+
+/// Inverts a nondecreasing function: finds `t > 0` with `f(t) = target`,
+/// assuming `f(0) = 0` and `f` nondecreasing (a CDF or an attainment
+/// curve). This is the quantile-search engine shared by
+/// `cos_numeric::laplace::quantile_from_lst` and the model layer's
+/// percentile queries, tuned so each probe (often a full numerical Laplace
+/// inversion) counts.
+///
+/// The search first grows `initial_hi` geometrically (at most `max_growth`
+/// doublings) until `f(hi) ≥ target`, then runs a Ridders iteration on the
+/// bracket. Because `f` is monotone, *every* probe tightens the bracket
+/// directly — no generic sign bookkeeping — so the post-bracket phase is
+/// capped at `budget` probes, which in practice resolves the root to
+/// ~1e-12 relative. Returns `None` when no bracket exists within
+/// `2^max_growth * initial_hi`.
+pub fn invert_monotone<F: FnMut(f64) -> f64>(
+    mut f: F,
+    target: f64,
+    initial_hi: f64,
+    max_growth: usize,
+    budget: usize,
+) -> Option<f64> {
+    let mut hi = initial_hi.max(1e-300);
+    let mut f_hi = f(hi) - target;
+    let mut growth = 0;
+    while f_hi < 0.0 {
+        growth += 1;
+        if growth > max_growth {
+            return None;
+        }
+        hi *= 2.0;
+        f_hi = f(hi) - target;
+    }
+    if f_hi == 0.0 {
+        return Some(hi);
+    }
+    // f(0) = 0 < target gives the left endpoint for free.
+    let (mut a, mut fa) = (0.0f64, -target);
+    let (mut b, mut fb) = (hi, f_hi);
+    let tol = 1e-12 * hi.max(1.0);
+    let mut probes = 0usize;
+    while b - a > tol && probes < budget {
+        let m = 0.5 * (a + b);
+        let fm = f(m) - target;
+        probes += 1;
+        if fm == 0.0 {
+            return Some(m);
+        }
+        // Ridders step off the midpoint; fa < 0 < fb keeps the discriminant
+        // positive and sign(fa − fb) = −1.
+        let s = (fm * fm - fa * fb).sqrt();
+        let x = if s > 0.0 && s.is_finite() {
+            m - (m - a) * fm / s
+        } else {
+            m
+        };
+        // Monotonicity: any probe below target moves the left edge, above
+        // target the right edge — both probes tighten the bracket.
+        if fm < 0.0 {
+            (a, fa) = (m, fm);
+        } else {
+            (b, fb) = (m, fm);
+        }
+        if b - a <= tol || probes >= budget || !(x > a && x < b) {
+            continue;
+        }
+        let fx = f(x) - target;
+        probes += 1;
+        if fx == 0.0 {
+            return Some(x);
+        }
+        if fx < 0.0 {
+            (a, fa) = (x, fx);
+        } else {
+            (b, fb) = (x, fx);
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
 /// Damped Newton iteration with positivity constraint (the MLE shape equation
 /// lives on `x > 0`).
 ///
@@ -285,6 +447,88 @@ mod tests {
         // A function whose naive Newton step overshoots negative: 1/x − 10.
         let r = newton_positive(|x| 1.0 / x - 10.0, |x| -1.0 / (x * x), 5.0, 1e-13, 200).unwrap();
         assert!((r - 0.1).abs() < 1e-9, "r={r}");
+    }
+
+    #[test]
+    fn ridders_finds_sqrt2() {
+        let r = ridders(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 60).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12, "r={r}");
+    }
+
+    #[test]
+    fn ridders_handles_steep_function() {
+        let r = ridders(|x| x.exp() - 1e6, 0.0, 30.0, 1e-12, 60).unwrap();
+        assert!((r - 1e6f64.ln()).abs() < 1e-8, "r={r}");
+    }
+
+    #[test]
+    fn ridders_requires_bracket() {
+        assert!(matches!(
+            ridders(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 60),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn ridders_converges_faster_than_bisection() {
+        // Count evaluations to the same tolerance on a smooth CDF-like curve.
+        let count = std::cell::Cell::new(0usize);
+        let f = |x: f64| {
+            count.set(count.get() + 1);
+            1.0 - (-0.7 * x).exp() - 0.95
+        };
+        let r = ridders(f, 0.0, 40.0, 1e-12, 200).unwrap();
+        let ridders_evals = count.get();
+        assert!((r - (-(0.05f64).ln()) / 0.7).abs() < 1e-9);
+        count.set(0);
+        let b = bisect(f, 0.0, 40.0, 1e-12, 200).unwrap();
+        let bisect_evals = count.get();
+        assert!((b - r).abs() < 1e-9);
+        assert!(
+            ridders_evals * 2 < bisect_evals,
+            "ridders {ridders_evals} vs bisect {bisect_evals}"
+        );
+    }
+
+    #[test]
+    fn invert_monotone_finds_exponential_quantile() {
+        let q = invert_monotone(|t| 1.0 - (-2.0 * t).exp(), 0.5, 1.0, 40, 16).unwrap();
+        assert!((q - std::f64::consts::LN_2 / 2.0).abs() < 1e-10, "q={q}");
+    }
+
+    #[test]
+    fn invert_monotone_grows_bracket() {
+        // Hint 2^20 times too small: growth still succeeds, then converges.
+        let q = invert_monotone(|t| 1.0 - (-0.001 * t).exp(), 0.5, 1e-3, 40, 16).unwrap();
+        assert!(
+            (q - std::f64::consts::LN_2 / 0.001).abs() / q < 1e-9,
+            "q={q}"
+        );
+    }
+
+    #[test]
+    fn invert_monotone_respects_probe_budget() {
+        let count = std::cell::Cell::new(0usize);
+        let q = invert_monotone(
+            |t| {
+                count.set(count.get() + 1);
+                1.0 - (-2.0 * t).exp()
+            },
+            0.95,
+            1.0,
+            40,
+            16,
+        )
+        .unwrap();
+        assert!((q - (-(0.05f64).ln()) / 2.0).abs() < 1e-9, "q={q}");
+        // Budget covers the post-bracket phase; growth here needs ≤ 2 probes.
+        assert!(count.get() <= 20, "{} probes", count.get());
+    }
+
+    #[test]
+    fn invert_monotone_reports_unreachable_target() {
+        // Capped function never reaches the target.
+        assert_eq!(invert_monotone(|t| t.min(0.3), 0.9, 1.0, 10, 16), None);
     }
 
     #[test]

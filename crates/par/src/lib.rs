@@ -1,0 +1,256 @@
+//! Std-only parallelism primitives shared by the sweep-heavy layers
+//! (capacity planning, sensitivity analysis, benchmark scenario replay, and
+//! the serve-tier `SweepPool`).
+//!
+//! Two building blocks:
+//!
+//! * [`ParPool`] — a persistent pool of named worker threads consuming boxed
+//!   jobs from a shared channel. This is the long-lived form used by
+//!   `cos-serve`, where sweeps arrive continuously and thread spawn cost
+//!   must be paid once, not per sweep.
+//! * [`par_map`] — a scoped, borrowing parallel map over a slice with
+//!   deterministic output order. This is the fire-and-forget form used by
+//!   planning/sensitivity grids and bench bins: results are returned in
+//!   item order regardless of which worker computed what, so callers that
+//!   fold over the output get **bit-identical** results for any worker
+//!   count (each item's computation is single-threaded and the merge is a
+//!   plain index sort, never a reduction tree).
+//!
+//! No dependencies beyond `std` — the build environment is offline and the
+//! rest of the workspace is similarly std-only.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The machine's available parallelism (1 if it cannot be queried) — the
+/// conventional worker count for batch sweeps. Safe to use with [`par_map`]
+/// without sacrificing reproducibility: results do not depend on the worker
+/// count.
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A persistent worker pool: `workers` named threads pull boxed jobs off a
+/// shared channel until the pool is dropped.
+///
+/// Jobs that panic are contained per-job (the worker survives and keeps
+/// serving the queue); the panic payload is dropped, so jobs should report
+/// failure through their own channel (as `SweepPool` does with
+/// `Option`-valued results) rather than by panicking.
+pub struct ParPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ParPool {
+    /// Creates a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("cos-par-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // all senders dropped: shut down
+                        }
+                    })
+                    .expect("failed to spawn cos-par worker")
+            })
+            .collect();
+        ParPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Returns `false` (dropping the job) only if the pool
+    /// is shutting down.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ParPool {
+    fn drop(&mut self) {
+        // Close the channel so workers' recv() errors out, then join.
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Parallel map over `items` with `workers` scoped threads, returning
+/// results **in item order**.
+///
+/// Work is distributed by an atomic next-index counter, so load balances
+/// across uneven per-item costs; each worker accumulates `(index, result)`
+/// pairs which are merged into a dense, item-ordered `Vec` at the end.
+/// Because each item is computed by exactly one thread with no shared
+/// state, the output is bit-identical to the serial map for every worker
+/// count — determinism is positional, not scheduling-dependent.
+///
+/// Falls back to a plain serial map when `workers <= 1` or there is at most
+/// one item. Panics in `f` propagate (the scope unwinds).
+pub fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let threads = workers.min(items.len());
+    let mut shards: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cos-par worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for shard in shards.drain(..) {
+        indexed.extend(shard);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn pool_runs_jobs() {
+        let pool = ParPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = channel();
+        for i in 0..20u64 {
+            let tx = tx.clone();
+            assert!(pool.execute(move || tx.send(i * i).unwrap()));
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..20).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = ParPool::new(1);
+        pool.execute(|| panic!("job failure"));
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn pool_clamps_to_one_worker() {
+        let pool = ParPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ParPool::new(4);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop waits for queue drain of in-flight jobs and joins
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let got = par_map(4, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        let want: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_is_bit_identical_across_worker_counts() {
+        // A numerically touchy computation: results must match serial
+        // bitwise for every worker count.
+        let items: Vec<f64> = (1..=64).map(|i| i as f64 * 0.37).collect();
+        let work = |_: usize, &x: &f64| -> f64 {
+            let mut acc = 0.0f64;
+            for k in 1..200 {
+                acc += (x / k as f64).sin() / k as f64;
+            }
+            acc
+        };
+        let serial: Vec<f64> = par_map(1, &items, work);
+        for workers in [2, 3, 4, 7, 16] {
+            let par = par_map(workers, &items, work);
+            for (a, b) in serial.iter().zip(par.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_more_workers_than_items() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+}

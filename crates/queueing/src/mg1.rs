@@ -39,18 +39,26 @@ impl std::fmt::Display for QueueError {
 impl std::error::Error for QueueError {}
 
 /// An M/G/1 queue.
+///
+/// The service law's first two moments (and hence the utilization) are
+/// computed once at construction — composed laws like the cache-mixed
+/// M/M/1/K sojourn pay a traversal per moment query, and the transform hot
+/// path asks for `ρ` at every abscissa.
 #[derive(Clone)]
 pub struct Mg1 {
     arrival_rate: f64,
     service: DynServiceTime,
+    service_mean: f64,
+    service_second_moment: f64,
+    utilization: f64,
 }
 
 impl std::fmt::Debug for Mg1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mg1")
             .field("arrival_rate", &self.arrival_rate)
-            .field("service_mean", &self.service.mean())
-            .field("utilization", &self.utilization())
+            .field("service_mean", &self.service_mean)
+            .field("utilization", &self.utilization)
             .finish()
     }
 }
@@ -61,15 +69,19 @@ impl Mg1 {
         if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
             return Err(QueueError::InvalidArrivalRate(arrival_rate));
         }
-        let q = Mg1 {
+        let service_mean = service.mean();
+        let service_second_moment = service.second_moment();
+        let utilization = arrival_rate * service_mean;
+        if utilization >= 1.0 {
+            return Err(QueueError::Unstable { utilization });
+        }
+        Ok(Mg1 {
             arrival_rate,
             service,
-        };
-        let rho = q.utilization();
-        if rho >= 1.0 {
-            return Err(QueueError::Unstable { utilization: rho });
-        }
-        Ok(q)
+            service_mean,
+            service_second_moment,
+            utilization,
+        })
     }
 
     /// Arrival rate `λ`.
@@ -84,36 +96,66 @@ impl Mg1 {
 
     /// Utilization `ρ = λ E[B]`.
     pub fn utilization(&self) -> f64 {
-        self.arrival_rate * self.service.mean()
+        self.utilization
     }
 
     /// Mean waiting time (Pollaczek–Khinchin mean formula):
     /// `W̄ = λ E[B²] / (2 (1 − ρ))`.
     pub fn mean_waiting(&self) -> f64 {
-        self.arrival_rate * self.service.second_moment() / (2.0 * (1.0 - self.utilization()))
+        self.arrival_rate * self.service_second_moment / (2.0 * (1.0 - self.utilization))
     }
 
     /// Mean sojourn (response) time `W̄ + E[B]`.
     pub fn mean_sojourn(&self) -> f64 {
-        self.mean_waiting() + self.service.mean()
+        self.mean_waiting() + self.service_mean
     }
 
-    /// LST of the waiting-time distribution (P–K transform).
-    pub fn waiting_lst(&self, s: Complex64) -> Complex64 {
-        let rho = self.utilization();
-        let lb = self.service.lst(s);
+    /// P–K waiting-time transform given an already-evaluated service LST
+    /// value `lb = L_B(s)`. Lets callers that have the service transform in
+    /// hand (fused composite batches) avoid re-evaluating it; must be fed
+    /// exactly `self.service().lst(s)` for the result to equal
+    /// [`Mg1::waiting_lst`].
+    #[inline]
+    pub fn waiting_lst_given_service(&self, s: Complex64, lb: Complex64) -> Complex64 {
         // (1 − ρ) s / (s − λ(1 − L_B(s))); the numerator and denominator both
         // vanish linearly as s → 0, giving the proper limit 1.
         let denom = s - self.arrival_rate * (Complex64::ONE - lb);
         if denom.abs() < 1e-300 {
             return Complex64::ONE;
         }
-        s * (1.0 - rho) / denom
+        s * (1.0 - self.utilization) / denom
+    }
+
+    /// LST of the waiting-time distribution (P–K transform).
+    pub fn waiting_lst(&self, s: Complex64) -> Complex64 {
+        self.waiting_lst_given_service(s, self.service.lst(s))
     }
 
     /// LST of the sojourn-time distribution `L[W](s) · L[B](s)`.
     pub fn sojourn_lst(&self, s: Complex64) -> Complex64 {
         self.waiting_lst(s) * self.service.lst(s)
+    }
+
+    /// Batch [`Mg1::waiting_lst`]: one service-LST batch, then the P–K
+    /// transform per point. Bit-identical to the scalar path.
+    pub fn waiting_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.service.lst_batch(s, out);
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = self.waiting_lst_given_service(*s, *o);
+        }
+    }
+
+    /// Batch [`Mg1::sojourn_lst`]: evaluates the service LST **once** per
+    /// abscissa (the scalar path evaluates it twice — once inside the
+    /// waiting transform and once for the convolution factor) and reuses
+    /// the value for both factors. Bit-identical because the service LST is
+    /// deterministic in `s`.
+    pub fn sojourn_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.service.lst_batch(s, out);
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            let lb = *o;
+            *o = self.waiting_lst_given_service(*s, lb) * lb;
+        }
     }
 
     /// Waiting-time CDF at `t` via numerical inversion.

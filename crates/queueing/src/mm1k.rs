@@ -139,6 +139,32 @@ impl Mm1k {
     pub fn sojourn_cdf(&self, t: f64, config: &InversionConfig) -> f64 {
         cdf_from_lst(&|s| self.sojourn_lst(s), t, config)
     }
+
+    /// Batch [`Mm1k::sojourn_lst`]: the state probabilities and conditional
+    /// acceptance weights `P_j/(1 − P_K)` are computed once for the whole
+    /// contour instead of once per abscissa. The per-point Erlang-mixture
+    /// recurrence is unchanged, so results are bit-identical to the scalar
+    /// path.
+    pub fn sojourn_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let probs = self.state_probabilities();
+        let pk = probs[self.capacity];
+        let weights: Vec<f64> = probs
+            .iter()
+            .take(self.capacity)
+            .map(|&p| p / (1.0 - pk))
+            .collect();
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            let x = Complex64::from_real(self.service_rate) / (*s + self.service_rate);
+            let mut acc = Complex64::ZERO;
+            let mut x_pow = x; // x^{j+1}
+            for &w in &weights {
+                acc += x_pow * w;
+                x_pow *= x;
+            }
+            *o = acc;
+        }
+    }
 }
 
 #[cfg(test)]

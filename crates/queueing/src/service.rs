@@ -17,6 +17,16 @@ pub trait ServiceTime: Send + Sync {
     fn mean(&self) -> f64;
     /// Second raw moment `E[B²]`.
     fn second_moment(&self) -> f64;
+    /// Evaluates the LST at every abscissa in `s`, writing into `out` (same
+    /// length). Inversion routes whole contours through this; composed laws
+    /// override it to hoist work shared across the batch. Overrides must be
+    /// bit-identical to the scalar [`ServiceTime::lst`] path.
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        for (s, o) in s.iter().zip(out.iter_mut()) {
+            *o = self.lst(*s);
+        }
+    }
 }
 
 /// Every full service distribution is usable as a queueing service time.
@@ -32,6 +42,9 @@ where
     }
     fn second_moment(&self) -> f64 {
         cos_distr::Distribution::second_moment(self)
+    }
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        cos_distr::Lst::lst_batch(self, s, out)
     }
 }
 
@@ -60,6 +73,9 @@ pub fn from_dyn_service(d: cos_distr::DynService) -> DynServiceTime {
         }
         fn second_moment(&self) -> f64 {
             cos_distr::Distribution::second_moment(&*self.0)
+        }
+        fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+            cos_distr::Lst::lst_batch(&*self.0, s, out)
         }
     }
     Arc::new(Adapter(d))

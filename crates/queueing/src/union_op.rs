@@ -79,6 +79,60 @@ impl UnionOperation {
     pub fn response_mean(&self) -> f64 {
         self.parse.mean() + self.index.mean() + self.meta.mean() + self.data.mean()
     }
+
+    /// Fills `out` with the partial product `L_parse · L_index · L_meta`
+    /// (left-associated, matching the scalar paths) using one batch per
+    /// component.
+    fn partial_product_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        let mut tmp = vec![Complex64::ZERO; s.len()];
+        self.parse.lst_batch(s, out);
+        self.index.lst_batch(s, &mut tmp);
+        for (o, t) in out.iter_mut().zip(tmp.iter()) {
+            *o *= *t;
+        }
+        self.meta.lst_batch(s, &mut tmp);
+        for (o, t) in out.iter_mut().zip(tmp.iter()) {
+            *o *= *t;
+        }
+    }
+
+    /// Batch [`UnionOperation::response_lst`].
+    pub fn response_lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.partial_product_batch(s, out);
+        let mut ld = vec![Complex64::ZERO; s.len()];
+        self.data.lst_batch(s, &mut ld);
+        for (o, d) in out.iter_mut().zip(ld.iter()) {
+            *o *= *d;
+        }
+    }
+
+    /// Evaluates both the response-tail LST and the full union-operation
+    /// LST with one pass over the components. Both transforms appear in
+    /// every device-response abscissa (Eq. 2), and they share the whole
+    /// `parse · index · meta · data` product — only the Poisson extra-reads
+    /// factor differs. Each output is bit-identical to its scalar
+    /// counterpart ([`UnionOperation::response_lst`] /
+    /// [`ServiceTime::lst`]).
+    pub fn response_and_union_lst_batch(
+        &self,
+        s: &[Complex64],
+        response: &mut [Complex64],
+        union: &mut [Complex64],
+    ) {
+        assert_eq!(s.len(), union.len(), "abscissa/output length mismatch");
+        self.partial_product_batch(s, response);
+        let mut ld = vec![Complex64::ZERO; s.len()];
+        self.data.lst_batch(s, &mut ld);
+        for i in 0..s.len() {
+            let d = ld[i];
+            // response = ((parse·index)·meta)·data — the scalar grouping.
+            response[i] *= d;
+            // union = response · e^{p (L_data − 1)}; the scalar path groups
+            // ((((parse·index)·meta)·data)·exp), which is exactly this.
+            union[i] = response[i] * ((d - Complex64::ONE) * self.extra_reads).exp();
+        }
+    }
 }
 
 impl ServiceTime for UnionOperation {
@@ -91,6 +145,15 @@ impl ServiceTime for UnionOperation {
             * self.meta.lst(s)
             * ld
             * ((ld - Complex64::ONE) * self.extra_reads).exp()
+    }
+
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        self.partial_product_batch(s, out);
+        let mut ld = vec![Complex64::ZERO; s.len()];
+        self.data.lst_batch(s, &mut ld);
+        for (o, d) in out.iter_mut().zip(ld.iter()) {
+            *o = *o * *d * ((*d - Complex64::ONE) * self.extra_reads).exp();
+        }
     }
 
     fn mean(&self) -> f64 {

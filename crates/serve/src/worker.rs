@@ -15,10 +15,10 @@
 //! error.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 use cos_model::{model_at_rate, ModelVariant, SystemParams};
+use cos_par::ParPool;
 
 /// One evaluated sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,42 +54,25 @@ fn evaluate(item: WorkItem) {
     });
 }
 
-/// A fixed pool of sweep workers sharing one work queue.
+/// A fixed pool of sweep workers sharing one work queue, backed by the
+/// shared [`cos_par::ParPool`] (the queue/worker plumbing previously lived
+/// here; it is now the workspace-wide primitive also driving the planning
+/// and benchmark sweeps).
 pub struct SweepPool {
-    tx: Option<Sender<WorkItem>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: ParPool,
 }
 
 impl SweepPool {
     /// Spawns `workers` threads (at least one).
     pub fn new(workers: usize) -> Self {
-        let (tx, rx) = channel::<WorkItem>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("cos-serve-sweep-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only to dequeue, not to evaluate.
-                        let item = match rx.lock().expect("queue lock").recv() {
-                            Ok(item) => item,
-                            Err(_) => break, // pool dropped
-                        };
-                        evaluate(item);
-                    })
-                    .expect("spawn sweep worker")
-            })
-            .collect();
         SweepPool {
-            tx: Some(tx),
-            workers,
+            pool: ParPool::new(workers),
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.pool.workers()
     }
 
     /// Submits one sweep: every rate in `rates` evaluated against every SLA
@@ -104,29 +87,22 @@ impl SweepPool {
     ) -> SweepHandle {
         let (reply, rx) = channel();
         let slas = Arc::new(slas);
-        let tx = self.tx.as_ref().expect("pool alive until drop");
         for &rate in rates {
-            tx.send(WorkItem {
+            let item = WorkItem {
                 params: params.clone(),
                 variant,
                 rate,
                 slas: slas.clone(),
                 reply: reply.clone(),
-            })
-            .expect("workers alive until drop");
+            };
+            assert!(
+                self.pool.execute(move || evaluate(item)),
+                "workers alive until drop"
+            );
         }
         SweepHandle {
             rx,
             expected: rates.len(),
-        }
-    }
-}
-
-impl Drop for SweepPool {
-    fn drop(&mut self) {
-        drop(self.tx.take()); // closes the queue; workers drain and exit
-        for w in self.workers.drain(..) {
-            let _ = w.join();
         }
     }
 }
@@ -202,6 +178,42 @@ mod tests {
             .wait();
         assert!(points[0].fractions.is_some());
         assert_eq!(points[1].fractions, None, "ρ ≥ 1 must not fail the sweep");
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_for_every_worker_count() {
+        // Each point is evaluated single-threaded by exactly one worker and
+        // ordering is restored by rate, so the pool size must never show up
+        // in the numbers.
+        let params = Arc::new(sample_params(100.0, 4));
+        let rates = [60.0, 110.0, 160.0, 210.0, 260.0, 310.0];
+        let slas = vec![0.01, 0.05, 0.10];
+        let reference = SweepPool::new(1)
+            .submit(params.clone(), ModelVariant::Full, &rates, slas.clone())
+            .wait();
+        for workers in [2, 4, 7] {
+            let got = SweepPool::new(workers)
+                .submit(params.clone(), ModelVariant::Full, &rates, slas.clone())
+                .wait();
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in reference.iter().zip(got.iter()) {
+                assert_eq!(a.rate.to_bits(), b.rate.to_bits(), "workers={workers}");
+                match (&a.fractions, &b.fractions) {
+                    (Some(fa), Some(fb)) => {
+                        for (x, y) in fa.iter().zip(fb.iter()) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "workers={workers} rate={}",
+                                a.rate
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("workers={workers}: stability mismatch {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]
