@@ -265,8 +265,8 @@ fn main() {
         let _ = handle.percentile(0.95);
     }
     let status = handle.status().expect("service alive");
-    let hits = status.cache.hits - status_before.cache.hits;
-    let total = hits + (status.cache.misses - status_before.cache.misses);
+    let hits = status.engine.cache.hits - status_before.engine.cache.hits;
+    let total = hits + (status.engine.cache.misses - status_before.engine.cache.misses);
     println!(
         "# inversion cache: {hits}/{total} hits ({:.1}%) over the polling phase",
         100.0 * hits as f64 / total as f64

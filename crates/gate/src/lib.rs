@@ -1,0 +1,50 @@
+//! # cos-gate
+//!
+//! The **HTTP/1.1 front door** of the online SLA-prediction service: the
+//! network surface the paper's operator-facing vision (§I) needs so
+//! external dashboards and admission controllers can poll "what fraction
+//! of requests will meet this SLA, now?" continuously — without linking
+//! against the library.
+//!
+//! Hand-rolled on `std` alone (the build environment is offline; the
+//! ROADMAP forbids new dependencies), and layered so every protocol
+//! decision is testable without a socket:
+//!
+//! * [`http`] — the incremental request parser (a pure state machine:
+//!   incremental parse ≡ one-shot parse at every byte split) and the
+//!   response writer, with the `400`/`413`/`431` error mapping;
+//! * [`json`] — a minimal JSON tree, parser, and writer whose number
+//!   encoding round-trips every finite `f64` bit-identically;
+//! * [`query`] — query-string parsing with percent-decoding and typed
+//!   parameter accessors;
+//! * [`routes`] — the `/v1/*` query surface over a cloned
+//!   [`cos_serve::ServiceClient`], plus the telemetry wire format;
+//! * [`metrics`] — `GET /metrics` Prometheus-style text exposition;
+//! * [`server`] — the bounded thread-per-connection accept loop:
+//!   keep-alive, pipelining, read/write timeouts, per-request deadlines,
+//!   and a graceful shutdown that drains in-flight responses.
+//!
+//! ```no_run
+//! use cos_gate::{Gate, GateConfig};
+//! # fn base() -> cos_serve::CalibrationBase { unimplemented!() }
+//! let service = cos_serve::SlaService::new(base(), Default::default()).spawn();
+//! let gate = Gate::bind("127.0.0.1:8080", service.client(), GateConfig::default()).unwrap();
+//! println!("serving on {}", gate.local_addr());
+//! // ... curl http://127.0.0.1:8080/v1/attainment?sla=0.05 ...
+//! gate.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod query;
+pub mod routes;
+pub mod server;
+
+pub use http::{parse_one, Method, ParseError, ParserLimits, Request, RequestParser, Response};
+pub use json::Value;
+pub use metrics::render_metrics;
+pub use routes::{decode_events, encode_events, handle, status_body};
+pub use server::{Gate, GateConfig};

@@ -1,0 +1,149 @@
+//! `GET /metrics` — the service's health rendered as Prometheus-style
+//! text exposition, built from **one** [`ServiceStatus`] round-trip (the
+//! merged [`cos_serve::EngineHealth`] snapshot carries cache counters and
+//! failed re-fits together, so the scrape never sees the two out of sync).
+
+use std::fmt::Write as _;
+
+use cos_serve::ServiceStatus;
+
+/// Renders the text exposition format: `# TYPE` lines plus one sample per
+/// metric, labels only on the per-SLA drift series.
+pub fn render_metrics(s: &ServiceStatus) -> String {
+    let mut out = String::new();
+    let mut scalar = |name: &str, kind: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    scalar(
+        "cos_event_time_seconds",
+        "gauge",
+        "Latest event time seen on the telemetry stream.",
+        s.event_time,
+    );
+    scalar(
+        "cos_epoch",
+        "gauge",
+        "Installed calibration epoch (0 while warming up).",
+        s.epoch.unwrap_or(0) as f64,
+    );
+    scalar(
+        "cos_stale",
+        "gauge",
+        "1 when the serving epoch is stale (most recent re-fit failed).",
+        if s.stale { 1.0 } else { 0.0 },
+    );
+    scalar(
+        "cos_failed_refits_total",
+        "counter",
+        "Re-fits that have failed since startup.",
+        s.engine.failed_refits as f64,
+    );
+    scalar(
+        "cos_cache_hits_total",
+        "counter",
+        "Queries answered from the inversion memo.",
+        s.engine.cache.hits as f64,
+    );
+    scalar(
+        "cos_cache_misses_total",
+        "counter",
+        "Queries that ran an inversion or model build.",
+        s.engine.cache.misses as f64,
+    );
+    scalar(
+        "cos_cache_hit_rate",
+        "gauge",
+        "Fraction of queries answered from the inversion memo.",
+        s.engine.hit_rate(),
+    );
+    let _ = writeln!(
+        out,
+        "# HELP cos_drifted Per-SLA drift verdict (observed vs predicted attainment)."
+    );
+    let _ = writeln!(out, "# TYPE cos_drifted gauge");
+    for d in &s.drift {
+        let _ = writeln!(
+            out,
+            "cos_drifted{{sla=\"{}\"}} {}",
+            d.sla,
+            if d.drifted { 1 } else { 0 }
+        );
+    }
+    for d in &s.drift {
+        if let Some(observed) = d.observed {
+            let _ = writeln!(
+                out,
+                "cos_observed_attainment{{sla=\"{}\"}} {observed}",
+                d.sla
+            );
+        }
+        if let Some(predicted) = d.predicted {
+            let _ = writeln!(
+                out,
+                "cos_predicted_attainment{{sla=\"{}\"}} {predicted}",
+                d.sla
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_serve::{DriftReport, EngineHealth, ServiceStatus};
+
+    #[test]
+    fn exposition_covers_the_observability_surface() {
+        let status = ServiceStatus {
+            event_time: 12.5,
+            epoch: Some(3),
+            fitted_at: Some(10.0),
+            stale: true,
+            last_fit_error: Some("window empty".into()),
+            engine: EngineHealth {
+                cache: cos_serve::CacheStats { hits: 8, misses: 2 },
+                failed_refits: 1,
+            },
+            drift: vec![DriftReport {
+                sla: 0.05,
+                observed: Some(0.91),
+                predicted: Some(0.88),
+                samples: 400,
+                drifted: false,
+            }],
+        };
+        let text = render_metrics(&status);
+        assert!(text.contains("cos_epoch 3"));
+        assert!(text.contains("cos_stale 1"));
+        assert!(text.contains("cos_failed_refits_total 1"));
+        assert!(text.contains("cos_cache_hit_rate 0.8"));
+        assert!(text.contains("cos_drifted{sla=\"0.05\"} 0"));
+        assert!(text.contains("cos_observed_attainment{sla=\"0.05\"} 0.91"));
+        assert!(text.contains("# TYPE cos_cache_hits_total counter"));
+    }
+
+    #[test]
+    fn warming_up_renders_epoch_zero_and_no_attainment() {
+        let status = ServiceStatus {
+            event_time: 0.0,
+            epoch: None,
+            fitted_at: None,
+            stale: false,
+            last_fit_error: None,
+            engine: EngineHealth::default(),
+            drift: vec![DriftReport {
+                sla: 0.05,
+                observed: None,
+                predicted: None,
+                samples: 0,
+                drifted: false,
+            }],
+        };
+        let text = render_metrics(&status);
+        assert!(text.contains("cos_epoch 0"));
+        assert!(!text.contains("cos_observed_attainment"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Query-string parsing for the `/v1/*` endpoints: `a=b&c=d` pairs with
+//! percent-decoding and `+`-as-space, plus typed parameter accessors whose
+//! error strings name the offending parameter (they become the `400`
+//! response body).
+
+/// Decoded `key=value` pairs, in query order.
+pub type Params = Vec<(String, String)>;
+
+/// Parses a raw query string (the part after `?`). Empty segments are
+/// ignored; a segment without `=` becomes a key with an empty value.
+pub fn parse_query(raw: &str) -> Result<Params, String> {
+    let mut out = Vec::new();
+    for segment in raw.split('&') {
+        if segment.is_empty() {
+            continue;
+        }
+        let (k, v) = match segment.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (segment, ""),
+        };
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(out)
+}
+
+/// Percent-decodes one query component (`+` means space).
+pub fn percent_decode(raw: &str) -> Result<String, String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("malformed percent-escape in `{raw}`"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent-escape is not UTF-8 in `{raw}`"))
+}
+
+/// The value of `name`, if present.
+pub fn get<'a>(params: &'a Params, name: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Required finite-`f64` parameter.
+pub fn require_f64(params: &Params, name: &str) -> Result<f64, String> {
+    let raw = get(params, name).ok_or_else(|| format!("missing query parameter `{name}`"))?;
+    raw.parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("query parameter `{name}` must be a finite number"))
+}
+
+/// Optional finite-`f64` parameter with a default.
+pub fn optional_f64(params: &Params, name: &str, default: f64) -> Result<f64, String> {
+    match get(params, name) {
+        None => Ok(default),
+        Some(_) => require_f64(params, name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_decodes() {
+        let p = parse_query("sla=0.05&name=a%20b+c&flag").unwrap();
+        assert_eq!(get(&p, "sla"), Some("0.05"));
+        assert_eq!(get(&p, "name"), Some("a b c"));
+        assert_eq!(get(&p, "flag"), Some(""));
+        assert_eq!(get(&p, "missing"), None);
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        assert!(parse_query("").unwrap().is_empty());
+        assert!(parse_query("&&").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        assert!(parse_query("a=%zz").is_err());
+        assert!(parse_query("a=%2").is_err());
+        assert!(parse_query("a=%ff").is_err(), "lone 0xff is not UTF-8");
+    }
+
+    #[test]
+    fn typed_accessors_name_the_parameter() {
+        let p = parse_query("sla=0.05&bad=nan").unwrap();
+        assert_eq!(require_f64(&p, "sla").unwrap(), 0.05);
+        assert!(require_f64(&p, "missing").unwrap_err().contains("missing"));
+        assert!(require_f64(&p, "bad").unwrap_err().contains("finite"));
+        assert_eq!(optional_f64(&p, "upper", 10.0).unwrap(), 10.0);
+        assert!(optional_f64(&p, "bad", 1.0).is_err());
+    }
+}

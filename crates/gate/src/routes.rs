@@ -1,0 +1,585 @@
+//! The query surface: maps parsed [`Request`]s onto [`ServiceClient`]
+//! calls and renders JSON answers.
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /v1/attainment?sla=S[&rate=R]` | fraction meeting `S` (optionally at what-if rate `R`) |
+//! | `GET /v1/percentile?p=P` | response-latency percentile (seconds) |
+//! | `GET /v1/headroom?sla=S&target=F[&upper=U]` | largest admissible rate meeting the goal |
+//! | `GET /v1/bottlenecks?sla=S` | devices ranked worst-first |
+//! | `POST /v1/telemetry` | batch event ingest (JSON array), flushed before replying |
+//! | `GET /v1/status` | full health summary |
+//! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]) |
+//!
+//! Status mapping: unknown path → `404`; known path, wrong method → `405`
+//! with `Allow`; malformed query/body → `400`; a service that cannot answer
+//! *yet* ([`ServeError::NotCalibrated`], [`ServeError::Disconnected`]) →
+//! `503`; a well-formed question with no answer (unstable operating point,
+//! unreachable goal, out-of-range percentile) → `422`.
+
+use cos_model::SlaGoal;
+use cos_serve::{OpClass, Prediction, ServeError, ServiceClient, ServiceStatus, TelemetryEvent};
+
+use crate::http::{Method, Request, Response};
+use crate::json::{self, Value};
+use crate::metrics::render_metrics;
+use crate::query;
+
+/// Default `upper` bound (req/s) of the headroom search.
+pub const DEFAULT_HEADROOM_UPPER: f64 = 10_000.0;
+
+/// Dispatches one parsed request against the service.
+pub fn handle(client: &ServiceClient, req: &Request) -> Response {
+    let path = req.path();
+    let get = |handler: fn(&ServiceClient, &Request) -> Response| -> Response {
+        if req.method == Method::Get {
+            handler(client, req)
+        } else {
+            Response::error(405, "method not allowed").with_header("Allow", "GET".into())
+        }
+    };
+    match path {
+        "/v1/attainment" => get(attainment),
+        "/v1/percentile" => get(percentile),
+        "/v1/headroom" => get(headroom),
+        "/v1/bottlenecks" => get(bottlenecks),
+        "/v1/status" => get(status),
+        "/metrics" => get(metrics),
+        "/v1/telemetry" => {
+            if req.method == Method::Post {
+                telemetry(client, req)
+            } else {
+                Response::error(405, "method not allowed").with_header("Allow", "POST".into())
+            }
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Renders a service error with the route-level status mapping.
+fn service_error(e: ServeError) -> Response {
+    let status = match e {
+        ServeError::NotCalibrated | ServeError::Disconnected => 503,
+        ServeError::Unstable { .. }
+        | ServeError::PercentileOutOfRange { .. }
+        | ServeError::GoalUnreachable => 422,
+    };
+    Response::error(status, &e.to_string())
+}
+
+/// One prediction as a JSON object, echoing the snapped inputs.
+fn prediction_body(inputs: &[(&str, f64)], p: Prediction) -> Response {
+    let mut pairs: Vec<(String, Value)> = inputs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), Value::Number(v)))
+        .collect();
+    pairs.push(("value".into(), Value::Number(p.value)));
+    pairs.push(("epoch".into(), Value::Number(p.epoch as f64)));
+    pairs.push(("stale".into(), Value::Bool(p.stale)));
+    Response::json(200, Value::Object(pairs).encode())
+}
+
+fn parsed_query(req: &Request) -> Result<query::Params, Response> {
+    query::parse_query(req.query()).map_err(|e| Response::error(400, &e))
+}
+
+fn attainment(client: &ServiceClient, req: &Request) -> Response {
+    let params = match parsed_query(req) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let sla = match query::require_f64(&params, "sla") {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
+        Err(e) => return Response::error(400, &e),
+    };
+    let answer = match query::get(&params, "rate") {
+        None => client.predict(sla),
+        Some(_) => match query::require_f64(&params, "rate") {
+            Ok(rate) if rate > 0.0 => client.predict_at_rate(rate, sla),
+            Ok(_) => return Response::error(400, "query parameter `rate` must be positive"),
+            Err(e) => return Response::error(400, &e),
+        },
+    };
+    match answer {
+        Ok(p) => prediction_body(&[("sla", sla)], p),
+        Err(e) => service_error(e),
+    }
+}
+
+fn percentile(client: &ServiceClient, req: &Request) -> Response {
+    let params = match parsed_query(req) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let p = match query::require_f64(&params, "p") {
+        Ok(v) if v > 0.0 && v < 1.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `p` must lie in (0, 1)"),
+        Err(e) => return Response::error(400, &e),
+    };
+    match client.percentile(p) {
+        Ok(answer) => prediction_body(&[("p", p)], answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn headroom(client: &ServiceClient, req: &Request) -> Response {
+    let params = match parsed_query(req) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let sla = match query::require_f64(&params, "sla") {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
+        Err(e) => return Response::error(400, &e),
+    };
+    let target = match query::require_f64(&params, "target") {
+        Ok(v) if v > 0.0 && v < 1.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `target` must lie in (0, 1)"),
+        Err(e) => return Response::error(400, &e),
+    };
+    let upper = match query::optional_f64(&params, "upper", DEFAULT_HEADROOM_UPPER) {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `upper` must be positive"),
+        Err(e) => return Response::error(400, &e),
+    };
+    match client.headroom(SlaGoal::new(sla, target), upper) {
+        Ok(answer) => prediction_body(&[("sla", sla), ("target", target)], answer),
+        Err(e) => service_error(e),
+    }
+}
+
+fn bottlenecks(client: &ServiceClient, req: &Request) -> Response {
+    let params = match parsed_query(req) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let sla = match query::require_f64(&params, "sla") {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
+        Err(e) => return Response::error(400, &e),
+    };
+    match client.bottlenecks(sla) {
+        Ok(ranked) => {
+            let items = ranked
+                .into_iter()
+                .map(|(device, fraction)| {
+                    Value::Object(vec![
+                        ("device".into(), Value::Number(device as f64)),
+                        ("fraction".into(), Value::Number(fraction)),
+                    ])
+                })
+                .collect();
+            let body = Value::Object(vec![
+                ("sla".into(), Value::Number(sla)),
+                ("devices".into(), Value::Array(items)),
+            ]);
+            Response::json(200, body.encode())
+        }
+        Err(e) => service_error(e),
+    }
+}
+
+fn telemetry(client: &ServiceClient, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        Ok(_) => return Response::error(400, "empty telemetry body (expected a JSON array)"),
+        Err(_) => return Response::error(400, "telemetry body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    let events = match decode_events(&doc) {
+        Ok(evs) => evs,
+        Err(e) => return Response::error(400, &e),
+    };
+    let accepted = events.len();
+    for event in events {
+        if client.ingest(event).is_err() {
+            return service_error(ServeError::Disconnected);
+        }
+    }
+    // The flush barrier makes the ingest visible to every later query on
+    // any connection: FIFO per channel, and this reply is the client's
+    // happens-before edge.
+    if client.flush().is_err() {
+        return service_error(ServeError::Disconnected);
+    }
+    Response::json(
+        200,
+        Value::Object(vec![("accepted".into(), Value::Number(accepted as f64))]).encode(),
+    )
+}
+
+fn status(client: &ServiceClient, _req: &Request) -> Response {
+    match client.status() {
+        Ok(s) => Response::json(200, status_body(&s).encode()),
+        Err(e) => service_error(e),
+    }
+}
+
+fn metrics(client: &ServiceClient, _req: &Request) -> Response {
+    match client.status() {
+        Ok(s) => Response::text(200, render_metrics(&s)),
+        Err(e) => service_error(e),
+    }
+}
+
+/// Renders the full health summary as JSON.
+pub fn status_body(s: &ServiceStatus) -> Value {
+    let opt = |v: Option<f64>| v.map(Value::Number).unwrap_or(Value::Null);
+    let drift = s
+        .drift
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                ("sla".into(), Value::Number(d.sla)),
+                ("observed".into(), opt(d.observed)),
+                ("predicted".into(), opt(d.predicted)),
+                ("samples".into(), Value::Number(d.samples as f64)),
+                ("drifted".into(), Value::Bool(d.drifted)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("event_time".into(), Value::Number(s.event_time)),
+        ("epoch".into(), opt(s.epoch.map(|e| e as f64))),
+        ("fitted_at".into(), opt(s.fitted_at)),
+        ("stale".into(), Value::Bool(s.stale)),
+        (
+            "last_fit_error".into(),
+            s.last_fit_error
+                .as_ref()
+                .map(|e| Value::String(e.clone()))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "cache".into(),
+            Value::Object(vec![
+                ("hits".into(), Value::Number(s.engine.cache.hits as f64)),
+                ("misses".into(), Value::Number(s.engine.cache.misses as f64)),
+                ("hit_rate".into(), Value::Number(s.engine.hit_rate())),
+            ]),
+        ),
+        (
+            "failed_refits".into(),
+            Value::Number(s.engine.failed_refits as f64),
+        ),
+        ("drift".into(), Value::Array(drift)),
+    ])
+}
+
+/// Encodes telemetry events as the `POST /v1/telemetry` wire format (a
+/// JSON array). The inverse of [`decode_events`].
+pub fn encode_events(events: &[TelemetryEvent]) -> String {
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let class_name = |c: OpClass| match c {
+        OpClass::Index => "index",
+        OpClass::Meta => "meta",
+        OpClass::Data => "data",
+    };
+    let items = events
+        .iter()
+        .map(|ev| match *ev {
+            TelemetryEvent::Arrival { at, device } => obj(vec![
+                ("type", Value::String("arrival".into())),
+                ("at", Value::Number(at)),
+                ("device", Value::Number(device as f64)),
+            ]),
+            TelemetryEvent::DataRead { at, device } => obj(vec![
+                ("type", Value::String("data_read".into())),
+                ("at", Value::Number(at)),
+                ("device", Value::Number(device as f64)),
+            ]),
+            TelemetryEvent::Op {
+                at,
+                device,
+                class,
+                latency,
+            } => obj(vec![
+                ("type", Value::String("op".into())),
+                ("at", Value::Number(at)),
+                ("device", Value::Number(device as f64)),
+                ("class", Value::String(class_name(class).into())),
+                ("latency", Value::Number(latency)),
+            ]),
+            TelemetryEvent::Completion {
+                arrival,
+                latency,
+                device,
+            } => obj(vec![
+                ("type", Value::String("completion".into())),
+                ("arrival", Value::Number(arrival)),
+                ("latency", Value::Number(latency)),
+                ("device", Value::Number(device as f64)),
+            ]),
+        })
+        .collect();
+    Value::Array(items).encode()
+}
+
+/// Decodes the `POST /v1/telemetry` body. Errors name the offending entry.
+pub fn decode_events(doc: &Value) -> Result<Vec<TelemetryEvent>, String> {
+    let items = doc
+        .as_array()
+        .ok_or_else(|| "telemetry body must be a JSON array".to_string())?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        out.push(decode_event(item).map_err(|e| format!("event {i}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn decode_event(item: &Value) -> Result<TelemetryEvent, String> {
+    let kind = item
+        .field("type")?
+        .as_str()
+        .ok_or_else(|| "field `type` must be a string".to_string())?;
+    match kind {
+        "arrival" => Ok(TelemetryEvent::Arrival {
+            at: item.f64_field("at")?,
+            device: item.usize_field("device")?,
+        }),
+        "data_read" => Ok(TelemetryEvent::DataRead {
+            at: item.f64_field("at")?,
+            device: item.usize_field("device")?,
+        }),
+        "op" => {
+            let class = match item
+                .field("class")?
+                .as_str()
+                .ok_or_else(|| "field `class` must be a string".to_string())?
+            {
+                "index" => OpClass::Index,
+                "meta" => OpClass::Meta,
+                "data" => OpClass::Data,
+                other => return Err(format!("unknown op class `{other}`")),
+            };
+            Ok(TelemetryEvent::Op {
+                at: item.f64_field("at")?,
+                device: item.usize_field("device")?,
+                class,
+                latency: item.f64_field("latency")?,
+            })
+        }
+        "completion" => Ok(TelemetryEvent::Completion {
+            arrival: item.f64_field("arrival")?,
+            latency: item.f64_field("latency")?,
+            device: item.usize_field("device")?,
+        }),
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_one;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+    use cos_serve::{CalibrationBase, ServeConfig, ServiceHandle, SlaService};
+
+    fn spawn_service() -> ServiceHandle {
+        let base = CalibrationBase {
+            index_law: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+            data_law: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+            devices: 2,
+            processes_per_device: 1,
+            frontend_processes: 3,
+        };
+        SlaService::new(base, ServeConfig::default()).spawn()
+    }
+
+    /// A deterministic 20 s telemetry stream at 40 req/s per device.
+    fn sample_events() -> Vec<TelemetryEvent> {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        let mut t = 0.0;
+        while t < 20.0 {
+            for d in 0..2 {
+                out.push(TelemetryEvent::Arrival { at: t, device: d });
+                out.push(TelemetryEvent::DataRead { at: t, device: d });
+                for class in OpClass::ALL {
+                    let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                    out.push(TelemetryEvent::Op {
+                        at: t,
+                        device: d,
+                        class,
+                        latency,
+                    });
+                    i += 1;
+                }
+                out.push(TelemetryEvent::Completion {
+                    arrival: t,
+                    latency: if i % 10 < 3 { 0.030 } else { 0.004 },
+                    device: d,
+                });
+            }
+            t += 1.0 / 40.0;
+        }
+        out
+    }
+
+    fn req(raw: &str) -> Request {
+        parse_one(raw.as_bytes()).unwrap().unwrap()
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        req(&raw)
+    }
+
+    fn get(client: &ServiceClient, target: &str) -> Response {
+        handle(
+            client,
+            &req(&format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n")),
+        )
+    }
+
+    #[test]
+    fn telemetry_roundtrip_feeds_the_service() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let events = sample_events();
+        let encoded = encode_events(&events);
+        let decoded = decode_events(&json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, events, "wire format must round-trip");
+
+        let resp = handle(&client, &post("/v1/telemetry", &encoded));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let accepted = json::parse(std::str::from_utf8(&resp.body).unwrap())
+            .unwrap()
+            .usize_field("accepted")
+            .unwrap();
+        assert_eq!(accepted, events.len());
+
+        // The stream spans 20 s of event time: auto-refit has installed an
+        // epoch, so attainment answers immediately after the POST returns.
+        let resp = get(&client, "/v1/attainment?sla=0.05");
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let value = body.f64_field("value").unwrap();
+        let direct = client.predict(0.05).unwrap().value;
+        assert_eq!(value.to_bits(), direct.to_bits(), "JSON is bit-exact");
+    }
+
+    #[test]
+    fn uncalibrated_service_answers_503_with_the_reason() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let resp = get(&client, "/v1/attainment?sla=0.05");
+        assert_eq!(resp.status, 503);
+        assert!(String::from_utf8_lossy(&resp.body).contains("warming up"));
+        // /v1/status and /metrics still answer while warming up.
+        assert_eq!(get(&client, "/v1/status").status, 200);
+        assert_eq!(get(&client, "/metrics").status, 200);
+    }
+
+    #[test]
+    fn query_validation_is_400_with_the_parameter_named() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        for (target, needle) in [
+            ("/v1/attainment", "sla"),
+            ("/v1/attainment?sla=abc", "sla"),
+            ("/v1/attainment?sla=-1", "sla"),
+            ("/v1/attainment?sla=0.05&rate=0", "rate"),
+            ("/v1/percentile?p=1.5", "p"),
+            ("/v1/percentile", "p"),
+            ("/v1/headroom?sla=0.05", "target"),
+            ("/v1/headroom?sla=0.05&target=2", "target"),
+            ("/v1/bottlenecks?sla=%zz", "percent"),
+        ] {
+            let resp = get(&client, target);
+            assert_eq!(resp.status, 400, "{target}");
+            assert!(
+                String::from_utf8_lossy(&resp.body).contains(needle),
+                "{target}: {:?}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+    }
+
+    #[test]
+    fn routing_distinguishes_404_and_405() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        assert_eq!(get(&client, "/v1/nope").status, 404);
+        assert_eq!(get(&client, "/").status, 404);
+        let resp = handle(
+            &client,
+            &req("POST /v1/status HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"),
+        );
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Allow" && v == "GET"));
+        let resp = get(&client, "/v1/telemetry");
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Allow" && v == "POST"));
+    }
+
+    #[test]
+    fn malformed_telemetry_bodies_are_400() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        for (body, needle) in [
+            ("", "empty"),
+            ("{}", "array"),
+            ("[{\"type\":\"warp\"}]", "warp"),
+            ("[{\"type\":\"arrival\",\"at\":1}]", "device"),
+            (
+                "[{\"type\":\"op\",\"at\":1,\"device\":0,\"class\":\"x\",\"latency\":1}]",
+                "class",
+            ),
+            ("[1,2", "expected"),
+        ] {
+            let resp = handle(&client, &post("/v1/telemetry", body));
+            assert_eq!(resp.status, 400, "{body}");
+            assert!(
+                String::from_utf8_lossy(&resp.body).contains(needle),
+                "{body}: {:?}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+    }
+
+    #[test]
+    fn status_body_carries_the_full_summary() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        for ev in sample_events() {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        client.refit_now().unwrap();
+        client.predict(0.05).unwrap();
+        client.predict(0.05).unwrap();
+        let resp = get(&client, "/v1/status");
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(body.f64_field("epoch").unwrap() >= 1.0);
+        assert_eq!(body.field("stale").unwrap(), &Value::Bool(false));
+        let cache = body.field("cache").unwrap();
+        assert!(cache.f64_field("hits").unwrap() >= 1.0);
+        assert!(cache.f64_field("hit_rate").unwrap() > 0.0);
+        assert_eq!(body.field("drift").unwrap().as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,438 @@
+//! The socket front door: a bounded thread-per-connection accept loop over
+//! the pure parser and router.
+//!
+//! Concurrency model — deliberately boring: one OS thread per live
+//! connection (bounded by [`GateConfig::max_connections`]; excess accepts
+//! are answered `503` and closed), blocking reads under
+//! [`GateConfig::read_timeout`], and a per-request deadline from the first
+//! byte of a request head to its response. The service itself is a single
+//! thread behind a FIFO channel, so the gate adds no locking around
+//! predictions — each connection thread holds its own cloned
+//! [`ServiceClient`].
+//!
+//! Graceful shutdown: [`Gate::shutdown`] flips a flag; the accept loop
+//! (non-blocking, polling) stops taking connections, every connection
+//! thread finishes writing the response in flight (keep-alive answers are
+//! demoted to `Connection: close`), idle keep-alive connections close at
+//! their next read-timeout tick, and the waiter blocks until the live
+//! count drains to zero.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cos_serve::ServiceClient;
+
+use crate::http::{ParserLimits, RequestParser, Response};
+use crate::routes;
+
+/// Front-door knobs.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Maximum concurrent connections; excess accepts get an immediate
+    /// `503` and a close.
+    pub max_connections: usize,
+    /// Socket read timeout (also the idle keep-alive poll tick).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Deadline from the first byte of a request head to its response; a
+    /// slow-trickling request is answered `408` and the connection closed.
+    pub request_deadline: Duration,
+    /// Parser byte budgets.
+    pub limits: ParserLimits,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            limits: ParserLimits::default(),
+        }
+    }
+}
+
+/// Live-connection accounting shared by the accept loop, the connection
+/// threads, and the shutdown waiter.
+struct Shared {
+    shutdown: AtomicBool,
+    active: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl Shared {
+    fn connection_started(&self) {
+        *self.active.lock().expect("active lock") += 1;
+    }
+
+    fn connection_finished(&self) {
+        let mut active = self.active.lock().expect("active lock");
+        *active -= 1;
+        if *active == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// A running front door. Dropping it shuts down gracefully.
+pub struct Gate {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl Gate {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop, serving `client`'s service.
+    pub fn bind(addr: &str, client: ServiceClient, config: GateConfig) -> std::io::Result<Gate> {
+        let listener = TcpListener::bind(addr)?;
+        Gate::serve(listener, client, config)
+    }
+
+    /// Starts the accept loop on an already-bound listener.
+    pub fn serve(
+        listener: TcpListener,
+        client: ServiceClient,
+        config: GateConfig,
+    ) -> std::io::Result<Gate> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+        let loop_shared = shared.clone();
+        let accept_join = std::thread::Builder::new()
+            .name("cos-gate-accept".into())
+            .spawn(move || accept_loop(listener, client, config, loop_shared))
+            .expect("spawn accept thread");
+        Ok(Gate {
+            addr,
+            shared,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight responses, and joins every
+    /// connection thread before returning.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        let guard = self.shared.active.lock().expect("active lock");
+        let _unused = self
+            .shared
+            .drained
+            .wait_while(guard, |active| *active > 0)
+            .expect("drain wait");
+    }
+}
+
+impl Drop for Gate {
+    fn drop(&mut self) {
+        if self.accept_join.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    client: ServiceClient,
+    config: GateConfig,
+    shared: Arc<Shared>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let over_capacity =
+                    *shared.active.lock().expect("active lock") >= config.max_connections;
+                if over_capacity {
+                    reject_over_capacity(stream, &config);
+                    continue;
+                }
+                shared.connection_started();
+                let conn_client = client.clone();
+                let conn_config = config.clone();
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("cos-gate-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, &conn_client, &conn_config, &conn_shared);
+                        conn_shared.connection_finished();
+                    });
+                if spawned.is_err() {
+                    shared.connection_finished();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn reject_over_capacity(mut stream: TcpStream, config: &GateConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut out = Vec::new();
+    Response::error(503, "connection limit reached").write_to(&mut out, false);
+    let _ = stream.write_all(&out);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Writes `response`, returning whether the connection may persist.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    let keep = keep_alive && !response.close;
+    let mut out = Vec::with_capacity(256 + response.body.len());
+    response.write_to(&mut out, keep);
+    stream.write_all(&out)?;
+    Ok(keep)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    client: &ServiceClient,
+    config: &GateConfig,
+    shared: &Shared,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(config.limits);
+    // The deadline clock of the request currently being parsed: armed at
+    // the first byte after a request boundary, cleared when it completes.
+    let mut request_started: Option<Instant> = None;
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        // Drain every complete request already buffered (pipelining).
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    request_started = None;
+                    let draining = shared.shutdown.load(Ordering::SeqCst);
+                    let response = routes::handle(client, &request);
+                    let keep = request.keep_alive() && !draining;
+                    match write_response(&mut stream, &response, keep) {
+                        Ok(true) => {}
+                        _ => return, // close requested, or the peer is gone
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is untrustworthy: answer the mapped status
+                    // and close.
+                    let response = Response::error(e.status(), e.reason());
+                    let _ = write_response(&mut stream, &response, false);
+                    return;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && !parser.has_partial() {
+            return; // idle keep-alive connection during drain
+        }
+        if let Some(started) = request_started {
+            if started.elapsed() >= config.request_deadline {
+                let response = Response::error(408, "request deadline exceeded");
+                let _ = write_response(&mut stream, &response, false);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Mid-request (e.g. a Content-Length the peer never
+                // honored) the truncation is answered 400 in case the
+                // peer only shut down its write half.
+                if parser.has_partial() {
+                    let response = Response::error(400, "connection closed mid-request");
+                    let _ = write_response(&mut stream, &response, false);
+                }
+                return;
+            }
+            Ok(n) => {
+                if request_started.is_none() {
+                    request_started = Some(Instant::now());
+                }
+                parser.feed(&chunk[..n]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle tick: re-check shutdown and the request deadline.
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+    use cos_serve::{CalibrationBase, ServeConfig, ServiceHandle, SlaService};
+
+    fn spawn_service() -> ServiceHandle {
+        let base = CalibrationBase {
+            index_law: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+            data_law: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+            devices: 2,
+            processes_per_device: 1,
+            frontend_processes: 3,
+        };
+        SlaService::new(base, ServeConfig::default()).spawn()
+    }
+
+    fn quick_config() -> GateConfig {
+        GateConfig {
+            read_timeout: Duration::from_millis(50),
+            request_deadline: Duration::from_millis(400),
+            ..GateConfig::default()
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw).expect("write");
+        stream.shutdown(Shutdown::Write).expect("half close");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_status_over_a_real_socket() {
+        let service = spawn_service();
+        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
+        let reply = roundtrip(
+            gate.local_addr(),
+            b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"epoch\":null"), "{reply}");
+        gate.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let service = spawn_service();
+        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
+        let mut stream = TcpStream::connect(gate.local_addr()).unwrap();
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: gate\r\n\r\n")
+                .unwrap();
+            let reply = read_one_response(&mut stream);
+            assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+            assert!(reply.contains("Connection: keep-alive"), "{reply}");
+        }
+        drop(stream);
+        gate.shutdown();
+    }
+
+    /// Reads exactly one response (headers + Content-Length body) off a
+    /// keep-alive connection.
+    pub(crate) fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            if let Some(head_end) = find_double_crlf(&buf) {
+                let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .map(|v| v.trim().parse().expect("content-length"))
+                    .unwrap_or(0);
+                while buf.len() < head_end + content_length {
+                    let n = stream.read(&mut chunk).expect("read body");
+                    assert!(n > 0, "EOF mid-body");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                return String::from_utf8_lossy(&buf[..head_end + content_length]).to_string();
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "EOF before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+        buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+    }
+
+    #[test]
+    fn over_capacity_connections_get_503() {
+        let service = spawn_service();
+        let config = GateConfig {
+            max_connections: 1,
+            ..quick_config()
+        };
+        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+        // Hold one connection open mid-request to pin the slot.
+        let mut held = TcpStream::connect(gate.local_addr()).unwrap();
+        held.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = roundtrip(
+            gate.local_addr(),
+            b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 503 "), "{reply}");
+        drop(held);
+        gate.shutdown();
+    }
+
+    #[test]
+    fn slow_trickle_request_hits_the_deadline() {
+        let service = spawn_service();
+        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
+        let mut stream = TcpStream::connect(gate.local_addr()).unwrap();
+        stream.write_all(b"GET /v1/sta").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 408 "), "{reply}");
+        gate.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_unbinds() {
+        let service = spawn_service();
+        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
+        let addr = gate.local_addr();
+        // An idle keep-alive connection must not wedge the drain.
+        let idle = TcpStream::connect(addr).unwrap();
+        gate.shutdown();
+        drop(idle);
+        // The port stops accepting once the gate is gone.
+        std::thread::sleep(Duration::from_millis(20));
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        assert!(refused.is_err(), "listener must be closed after shutdown");
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests of the protocol layer.
+//!
+//! * The parser is split-invariant: feeding a request in chunks cut at any
+//!   byte boundary (including byte-by-byte) yields exactly the result of a
+//!   one-shot parse — for well-formed requests and for rejected ones.
+//! * Oversized heads and bodies map to their exact statuses (431 / 413)
+//!   regardless of how the bytes arrive.
+//! * The JSON number encoding round-trips arbitrary finite `f64`s (any
+//!   bit pattern, subnormals and negative zero included) bit-identically.
+
+use cos_gate::http::{parse_one, ParseError, ParserLimits, RequestParser};
+use cos_gate::json;
+use proptest::prelude::*;
+
+/// Renders a syntactically valid request from drawn parts.
+fn render_request(
+    path_seed: &[u8],
+    sla: f64,
+    body: &[u8],
+    crlf: bool,
+    extra_header: bool,
+) -> Vec<u8> {
+    let eol = if crlf { "\r\n" } else { "\n" };
+    let path: String = path_seed
+        .iter()
+        .map(|&b| (b'a' + (b % 26)) as char)
+        .collect();
+    let mut raw = Vec::new();
+    raw.extend_from_slice(format!("POST /v1/{path}?sla={sla} HTTP/1.1{eol}").as_bytes());
+    raw.extend_from_slice(format!("Host: gate{eol}").as_bytes());
+    if extra_header {
+        raw.extend_from_slice(
+            format!("X-Request-Id:  trace-{}  {eol}", path_seed.len()).as_bytes(),
+        );
+    }
+    raw.extend_from_slice(format!("Content-Length: {}{eol}{eol}", body.len()).as_bytes());
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Incremental parse with one cut at `split`, then drained to completion.
+fn parse_split(raw: &[u8], split: usize) -> Result<Option<cos_gate::Request>, ParseError> {
+    let mut parser = RequestParser::new(ParserLimits::default());
+    parser.feed(&raw[..split]);
+    match parser.next_request() {
+        Ok(Some(request)) => return Ok(Some(request)),
+        Ok(None) => {}
+        Err(e) => return Err(e),
+    }
+    parser.feed(&raw[split..]);
+    parser.next_request()
+}
+
+/// Finite `f64` from an arbitrary bit pattern: non-finite exponents are
+/// masked down to a subnormal with the same mantissa and sign.
+fn finite_from_bits(bits: u64) -> f64 {
+    let x = f64::from_bits(bits);
+    if x.is_finite() {
+        x
+    } else {
+        f64::from_bits(bits & !(0x7FF_u64 << 52))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a well-formed request at any boundary never changes the
+    /// parse; byte-by-byte delivery agrees too.
+    #[test]
+    fn incremental_parse_equals_one_shot_at_every_boundary(
+        path_seed in proptest::collection::vec(0u8..255, 1..8),
+        sla_bits in 0u64..u64::MAX,
+        body in proptest::collection::vec(0u8..255, 0..64),
+        crlf in proptest::bool::ANY,
+        extra_header in proptest::bool::ANY,
+    ) {
+        let sla = finite_from_bits(sla_bits).abs();
+        let raw = render_request(&path_seed, sla, &body, crlf, extra_header);
+        let reference = parse_one(&raw).expect("well-formed").expect("complete");
+        prop_assert_eq!(&reference.body, &body);
+        for split in 0..=raw.len() {
+            let got = parse_split(&raw, split);
+            prop_assert_eq!(got.as_ref().ok().and_then(|r| r.as_ref()), Some(&reference),
+                "split at {}", split);
+        }
+        // Byte-by-byte: one feed per byte, at most one completion.
+        let mut parser = RequestParser::new(ParserLimits::default());
+        let mut seen = None;
+        for &b in &raw {
+            parser.feed(&[b]);
+            if let Some(request) = parser.next_request().expect("well-formed") {
+                prop_assert!(seen.is_none(), "completed twice");
+                seen = Some(request);
+            }
+        }
+        prop_assert_eq!(seen.as_ref(), Some(&reference));
+    }
+
+    /// Malformed inputs fail identically at every split boundary: same
+    /// error (same status), never a phantom request.
+    #[test]
+    fn rejections_are_split_invariant(
+        which in 0usize..5,
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let raw: &[u8] = match which {
+            0 => b"BROKEN-LINE\r\nHost: x\r\n\r\n",
+            1 => b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+            2 => b"GET / HTTP/1.1\r\n\r\n", // missing Host
+            3 => b"GET / HTTP/2.0\r\nHost: x\r\n\r\n",
+            _ => b"POST / HTTP/1.1\r\nHost: x\r\nContent-Length: nine\r\n\r\n",
+        };
+        let reference = parse_one(raw).expect_err("malformed");
+        let split = (split_seed % (raw.len() as u64 + 1)) as usize;
+        let got = parse_split(raw, split);
+        prop_assert_eq!(got.expect_err("malformed at any split").status(),
+            reference.status());
+    }
+
+    /// A head that outgrows the budget is 431 no matter how it trickles
+    /// in, even though it never terminates.
+    #[test]
+    fn oversized_heads_are_431_at_any_chunking(
+        chunk in 1usize..97,
+        max_head in 128usize..512,
+    ) {
+        let limits = ParserLimits { max_head_bytes: max_head, max_body_bytes: 4096 };
+        let mut raw = b"GET / HTTP/1.1\r\nHost: x\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', max_head * 2));
+        let mut parser = RequestParser::new(limits);
+        let mut outcome = None;
+        for piece in raw.chunks(chunk) {
+            parser.feed(piece);
+            match parser.next_request() {
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    prop_assert!(false, "unterminated head cannot complete");
+                }
+                Err(e) => { outcome = Some(e); break; }
+            }
+        }
+        prop_assert_eq!(outcome.expect("must reject"), ParseError::HeadTooLarge);
+        prop_assert_eq!(ParseError::HeadTooLarge.status(), 431);
+    }
+
+    /// A declared body over budget is 413 the moment the head completes,
+    /// before any body byte arrives.
+    #[test]
+    fn oversized_bodies_are_413_from_the_declaration_alone(
+        max_body in 16usize..4096,
+        excess in 1usize..1000,
+    ) {
+        let limits = ParserLimits { max_head_bytes: 16 * 1024, max_body_bytes: max_body };
+        let mut parser = RequestParser::new(limits);
+        parser.feed(
+            format!(
+                "POST /v1/telemetry HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                max_body + excess
+            )
+            .as_bytes(),
+        );
+        prop_assert_eq!(parser.next_request().expect_err("over budget"),
+            ParseError::BodyTooLarge);
+        prop_assert_eq!(ParseError::BodyTooLarge.status(), 413);
+    }
+
+    /// Any finite f64 — arbitrary bit patterns, subnormals, ±0 — survives
+    /// JSON encode → decode bit-identically.
+    #[test]
+    fn json_numbers_round_trip_bit_identically(bits in 0u64..u64::MAX) {
+        let x = finite_from_bits(bits);
+        let mut out = String::new();
+        json::write_json_string(&mut out, "v"); // exercise the object path
+        let doc = format!("{{{out}:{}}}", json::Value::Number(x).encode());
+        let back = json::parse(&doc).expect("valid JSON").f64_field("v").expect("number");
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "value {}", x);
+    }
+
+    /// Whole telemetry batches survive the wire format: encode → parse →
+    /// decode is the identity on event lists.
+    #[test]
+    fn telemetry_wire_format_round_trips(
+        kinds in proptest::collection::vec(0usize..4, 0..24),
+        at_bits in proptest::collection::vec(0u64..u64::MAX, 24),
+        devices in proptest::collection::vec(0usize..8, 24),
+    ) {
+        use cos_serve::{OpClass, TelemetryEvent};
+        let events: Vec<TelemetryEvent> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let at = finite_from_bits(at_bits[i]).abs();
+                let device = devices[i];
+                match k {
+                    0 => TelemetryEvent::Arrival { at, device },
+                    1 => TelemetryEvent::DataRead { at, device },
+                    2 => TelemetryEvent::Op {
+                        at,
+                        device,
+                        class: OpClass::ALL[i % 3],
+                        latency: at / 2.0,
+                    },
+                    _ => TelemetryEvent::Completion { arrival: at, latency: at / 3.0, device },
+                }
+            })
+            .collect();
+        let encoded = cos_gate::encode_events(&events);
+        let decoded = cos_gate::decode_events(&json::parse(&encoded).expect("valid JSON"))
+            .expect("decodable");
+        prop_assert_eq!(decoded.len(), events.len());
+        for (d, e) in decoded.iter().zip(&events) {
+            prop_assert_eq!(d, e);
+        }
+    }
+}

@@ -75,6 +75,24 @@ impl CacheStats {
     }
 }
 
+/// Cache counters and fit-failure count in one snapshot, so observability
+/// endpoints (`/metrics`) read a consistent pair without two locked
+/// round-trips to the service thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Inversion-memo hit/miss counters.
+    pub cache: CacheStats,
+    /// Re-fits that have failed since startup.
+    pub failed_refits: u64,
+}
+
+impl EngineHealth {
+    /// Fraction of queries answered from the memo (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
 /// A memoized answer, tagged with the epoch that produced it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
@@ -193,6 +211,14 @@ impl PredictionEngine {
     /// Re-fits that have failed since startup.
     pub fn failed_refits(&self) -> u64 {
         self.failed_refits
+    }
+
+    /// Cache counters and failure count as one merged snapshot.
+    pub fn health(&self) -> EngineHealth {
+        EngineHealth {
+            cache: self.stats,
+            failed_refits: self.failed_refits,
+        }
     }
 
     fn current(&self) -> Result<EpochSnapshot, ServeError> {
@@ -476,6 +502,19 @@ pub(crate) mod tests {
         e.mark_stale();
         assert!(e.fraction_meeting_sla(0.05).unwrap().stale);
         assert_eq!(e.failed_refits(), 1);
+    }
+
+    #[test]
+    fn health_merges_cache_and_failure_counters() {
+        let mut e = engine_with(100.0);
+        e.fraction_meeting_sla(0.05).unwrap();
+        e.fraction_meeting_sla(0.05).unwrap();
+        e.mark_stale();
+        let health = e.health();
+        assert_eq!(health.cache, e.stats());
+        assert_eq!(health.failed_refits, e.failed_refits());
+        assert_eq!(health, e.health(), "snapshot is a pure read");
+        assert!((health.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub mod worker;
 pub use calibrate::{CalibrationBase, CalibratorConfig, FitError, OnlineCalibrator};
 pub use drift::{DriftConfig, DriftMonitor, DriftReport};
 pub use engine::{
-    CacheStats, EpochSnapshot, Prediction, PredictionEngine, FRACTION_QUANTUM, RATE_QUANTUM,
-    SLA_QUANTUM,
+    CacheStats, EngineHealth, EpochSnapshot, Prediction, PredictionEngine, FRACTION_QUANTUM,
+    RATE_QUANTUM, SLA_QUANTUM,
 };
 pub use error::ServeError;
-pub use service::{ServeConfig, ServiceHandle, ServiceStatus, SlaService, TelemetrySender};
+pub use service::{
+    ServeConfig, ServiceClient, ServiceHandle, ServiceStatus, SlaService, TelemetrySender,
+};
 pub use telemetry::{OpClass, TelemetryEvent};
 pub use worker::{RatePoint, SweepHandle, SweepPool};

@@ -17,7 +17,7 @@ use cos_model::{ModelVariant, SlaGoal, SystemModel};
 
 use crate::calibrate::{CalibrationBase, CalibratorConfig, OnlineCalibrator};
 use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
-use crate::engine::{CacheStats, Prediction, PredictionEngine};
+use crate::engine::{EngineHealth, Prediction, PredictionEngine};
 use crate::error::ServeError;
 use crate::telemetry::TelemetryEvent;
 use crate::worker::{RatePoint, SweepHandle, SweepPool};
@@ -63,14 +63,21 @@ pub struct ServiceStatus {
     pub fitted_at: Option<f64>,
     /// Whether the epoch is stale (the most recent re-fit failed).
     pub stale: bool,
-    /// Re-fits that have failed since startup.
-    pub failed_refits: u64,
     /// Why the most recent failed re-fit failed (`None` after a success).
     pub last_fit_error: Option<String>,
-    /// Inversion-memo hit/miss counters.
-    pub cache: CacheStats,
+    /// Merged engine counters: inversion-memo hits/misses and failed
+    /// re-fits, snapshotted together so `/metrics` needs one round-trip.
+    pub engine: EngineHealth,
     /// Per-SLA drift verdicts (observed vs predicted attainment).
     pub drift: Vec<DriftReport>,
+}
+
+impl ServiceStatus {
+    /// Whether any tracked SLA has drifted (observed vs predicted gap over
+    /// tolerance with enough samples).
+    pub fn any_drifted(&self) -> bool {
+        self.drift.iter().any(|d| d.drifted)
+    }
 }
 
 /// The synchronous prediction service.
@@ -207,9 +214,8 @@ impl SlaService {
             epoch: snap.map(|s| s.epoch),
             fitted_at: snap.map(|s| s.fitted_at),
             stale: snap.map(|s| s.stale).unwrap_or(false),
-            failed_refits: self.engine.failed_refits(),
             last_fit_error: self.last_fit_error.clone(),
-            cache: self.engine.stats(),
+            engine: self.engine.health(),
             drift: self.drift.report(self.now, &predictions),
         }
     }
@@ -222,7 +228,7 @@ impl SlaService {
             .spawn(move || run_service(self, rx))
             .expect("spawn service thread");
         ServiceHandle {
-            tx,
+            client: ServiceClient { tx },
             join: Some(join),
         }
     }
@@ -248,6 +254,10 @@ enum Command {
         goal: SlaGoal,
         upper: f64,
         reply: Sender<Result<Prediction, ServeError>>,
+    },
+    Bottlenecks {
+        sla: f64,
+        reply: Sender<Result<Vec<(usize, f64)>, ServeError>>,
     },
     Sweep {
         rates: Vec<f64>,
@@ -277,6 +287,9 @@ fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
             }
             Command::Headroom { goal, upper, reply } => {
                 let _ = reply.send(service.headroom(goal, upper));
+            }
+            Command::Bottlenecks { sla, reply } => {
+                let _ = reply.send(service.bottlenecks(sla));
             }
             Command::Sweep { rates, slas, reply } => {
                 // Submit, then collect off-thread work while staying
@@ -309,13 +322,19 @@ impl TelemetrySender {
     }
 }
 
-/// Client handle to a spawned [`SlaService`].
-pub struct ServiceHandle {
+/// Cloneable query endpoint to a spawned [`SlaService`]: everything a
+/// concurrent consumer (e.g. one `cos-gate` connection per thread) needs —
+/// ingest, queries, status — without ownership of the service thread.
+/// Cloning shares the one command channel; the service stays single-
+/// threaded and FIFO-ordered per sender. Once the owning [`ServiceHandle`]
+/// shuts the service down, every call returns
+/// [`ServeError::Disconnected`].
+#[derive(Clone)]
+pub struct ServiceClient {
     tx: Sender<Command>,
-    join: Option<JoinHandle<SlaService>>,
 }
 
-impl ServiceHandle {
+impl ServiceClient {
     fn ask<T>(&self, build: impl FnOnce(Sender<T>) -> Command) -> Result<T, ServeError> {
         let (reply, rx) = channel();
         self.tx
@@ -366,6 +385,11 @@ impl ServiceHandle {
         self.ask(|reply| Command::Headroom { goal, upper, reply })?
     }
 
+    /// Bottleneck ranking, worst device first.
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.ask(|reply| Command::Bottlenecks { sla, reply })?
+    }
+
     /// Batch what-if sweep, evaluated on the worker pool.
     pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
         self.ask(|reply| Command::Sweep { rates, slas, reply })?
@@ -375,10 +399,81 @@ impl ServiceHandle {
     pub fn status(&self) -> Result<ServiceStatus, ServeError> {
         self.ask(Command::Status)
     }
+}
 
-    /// Stops the service and returns its final state.
+/// Owning handle to a spawned [`SlaService`]: a [`ServiceClient`] plus the
+/// join handle. Dropping it shuts the service down.
+pub struct ServiceHandle {
+    client: ServiceClient,
+    join: Option<JoinHandle<SlaService>>,
+}
+
+impl ServiceHandle {
+    /// A cloneable query endpoint sharing this handle's command channel.
+    pub fn client(&self) -> ServiceClient {
+        self.client.clone()
+    }
+
+    /// A cloneable ingest-only endpoint.
+    pub fn telemetry_sender(&self) -> TelemetrySender {
+        self.client.telemetry_sender()
+    }
+
+    /// Feeds one telemetry event (non-blocking).
+    pub fn ingest(&self, event: TelemetryEvent) -> Result<(), ServeError> {
+        self.client.ingest(event)
+    }
+
+    /// Waits until every previously sent event has been processed.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        self.client.flush()
+    }
+
+    /// Forces a re-fit; `Ok(true)` if a new epoch was installed.
+    pub fn refit_now(&self) -> Result<bool, ServeError> {
+        self.client.refit_now()
+    }
+
+    /// Predicted fraction meeting `sla` at the calibrated operating point.
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.client.predict(sla)
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.client.predict_at_rate(rate, sla)
+    }
+
+    /// Predicted response-latency percentile.
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.client.percentile(p)
+    }
+
+    /// Overload-control headroom up to `upper` req/s.
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.client.headroom(goal, upper)
+    }
+
+    /// Bottleneck ranking, worst device first.
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.client.bottlenecks(sla)
+    }
+
+    /// Batch what-if sweep, evaluated on the worker pool.
+    pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
+        self.client.sweep(rates, slas)
+    }
+
+    /// Health summary.
+    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
+        self.client.status()
+    }
+
+    /// Stops the service and returns its final state. Outstanding
+    /// [`ServiceClient`]s observe [`ServeError::Disconnected`] afterwards.
     pub fn shutdown(mut self) -> Result<SlaService, ServeError> {
-        self.tx
+        self.client
+            .tx
             .send(Command::Shutdown)
             .map_err(|_| ServeError::Disconnected)?;
         self.join
@@ -391,7 +486,7 @@ impl ServiceHandle {
 
 impl Drop for ServiceHandle {
     fn drop(&mut self) {
-        let _ = self.tx.send(Command::Shutdown);
+        let _ = self.client.tx.send(Command::Shutdown);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -530,11 +625,35 @@ mod tests {
         let again = handle.predict(0.05).unwrap();
         assert_eq!(p.value.to_bits(), again.value.to_bits());
         let status = handle.status().unwrap();
-        assert!(status.cache.hits >= 1);
+        assert!(status.engine.cache.hits >= 1);
         let points = handle.sweep(vec![40.0, 80.0], vec![0.05, 0.10]).unwrap();
         assert_eq!(points.len(), 2);
         let final_state = handle.shutdown().unwrap();
         assert!(final_state.event_time() >= 19.0);
+    }
+
+    #[test]
+    fn cloned_clients_share_the_service_and_outlive_queries() {
+        let handle = SlaService::new(base(), ServeConfig::default()).spawn();
+        let client = handle.client();
+        for ev in events(40.0, 20.0, 2) {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        let answers: Vec<u64> = (0..4)
+            .map(|_| {
+                let c = client.clone();
+                std::thread::spawn(move || c.predict(0.05).unwrap().value.to_bits())
+            })
+            .map(|j| j.join().unwrap())
+            .collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        let ranked = client.bottlenecks(0.05).unwrap();
+        assert_eq!(ranked.len(), 2, "one entry per device");
+        assert!(ranked[0].1 <= ranked[1].1, "worst device first");
+        drop(handle);
+        assert_eq!(client.predict(0.05), Err(ServeError::Disconnected));
+        assert!(matches!(client.status(), Err(ServeError::Disconnected)));
     }
 
     #[test]

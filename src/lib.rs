@@ -22,7 +22,9 @@
 //! * [`simkit`] (`cos-simkit`) — the discrete-event engine;
 //! * [`stats`] (`cos-stats`) — percentiles, SLA meters, error summaries;
 //! * [`serve`] (`cos-serve`) — the online SLA-prediction service: streaming
-//!   calibration, memoized inversion engine, drift detection.
+//!   calibration, memoized inversion engine, drift detection;
+//! * [`gate`] (`cos-gate`) — the hand-rolled HTTP/1.1 front door serving
+//!   predictions and `/metrics` over a socket.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +60,7 @@
 //! ```
 
 pub use cos_distr as distr;
+pub use cos_gate as gate;
 pub use cos_model as model;
 pub use cos_numeric as numeric;
 pub use cos_queueing as queueing;

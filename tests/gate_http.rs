@@ -1,0 +1,445 @@
+//! Protocol-level end-to-end tests of the HTTP front door.
+//!
+//! The first test drives simulator-generated telemetry through
+//! `POST /v1/telemetry` over a real socket and checks that the answers the
+//! gate serves are **bit-for-bit identical** to an in-process [`SlaService`]
+//! fed the same event stream: ingestion order, the event-time auto-refit
+//! cadence, and the JSON number encoding are all deterministic, so nothing
+//! may differ.
+//!
+//! The second group throws adversarial raw bytes at the listener — pipelined
+//! requests, missing `Host`, bare-`\n` line endings, `Content-Length`
+//! mismatches, early disconnects — and asserts the exact status for each
+//! while the service keeps answering afterwards.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+use cos_bench::scenario::calibrate;
+use cosmodel::gate::{encode_events, json, Gate, GateConfig};
+use cosmodel::serve::{
+    CalibrationBase, CalibratorConfig, DriftConfig, OpClass, ServeConfig, SlaService,
+    TelemetryEvent,
+};
+use cosmodel::storesim::{ClusterConfig, DiskOpKind, MetricsConfig, SimTelemetry, Simulation};
+use cosmodel::workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn poisson_trace(rate: f64, duration: f64, chunk: u32, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        let size = if rng.gen::<f64>() < 0.10 {
+            chunk + 1
+        } else {
+            chunk / 2
+        };
+        out.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size,
+        });
+    }
+    out
+}
+
+fn convert(event: SimTelemetry) -> TelemetryEvent {
+    let class = |kind: DiskOpKind| match kind {
+        DiskOpKind::Index => OpClass::Index,
+        DiskOpKind::Meta => OpClass::Meta,
+        DiskOpKind::Data => OpClass::Data,
+    };
+    match event {
+        SimTelemetry::Routed { at, device } => TelemetryEvent::Arrival {
+            at,
+            device: device as usize,
+        },
+        SimTelemetry::DataRead { at, device } => TelemetryEvent::DataRead {
+            at,
+            device: device as usize,
+        },
+        SimTelemetry::Op {
+            at,
+            device,
+            kind,
+            latency,
+            ..
+        } => TelemetryEvent::Op {
+            at,
+            device: device as usize,
+            class: class(kind),
+            latency,
+        },
+        SimTelemetry::Completed {
+            arrival,
+            latency,
+            device,
+            ..
+        } => TelemetryEvent::Completion {
+            arrival,
+            latency,
+            device: device as usize,
+        },
+    }
+}
+
+/// One storesim run's telemetry, in arrival order.
+fn simulated_events(cluster: &ClusterConfig, rate: f64, duration: f64) -> Vec<TelemetryEvent> {
+    let (tx, rx) = channel();
+    let trace = poisson_trace(rate, duration, cluster.chunk_size, 0x6A7E);
+    Simulation::new(
+        cluster.clone(),
+        MetricsConfig {
+            slas: vec![0.050],
+            windows: vec![(duration * 0.2, duration, rate)],
+            collect_raw: false,
+            op_sample_stride: 37,
+        },
+    )
+    .with_telemetry(Box::new(tx))
+    .run(trace);
+    rx.iter().map(convert).collect()
+}
+
+/// A minimal keep-alive HTTP/1.1 client for one connection.
+struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to gate");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, target: &str) -> (u16, String) {
+        let raw = format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n");
+        self.stream.write_all(raw.as_bytes()).expect("write GET");
+        read_response(&mut self.stream, &mut self.carry).expect("response to GET")
+    }
+
+    fn post(&mut self, target: &str, body: &str) -> (u16, String) {
+        let raw = format!(
+            "POST {target} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes()).expect("write POST");
+        read_response(&mut self.stream, &mut self.carry).expect("response to POST")
+    }
+}
+
+/// Reads one response off the stream: status code and body text. `carry`
+/// holds bytes past the consumed response (pipelined responses can share a
+/// TCP segment) and must be passed back in for the next call.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Option<(u16, String)> {
+    let head_end = loop {
+        if let Some(i) = find_blank_line(carry) {
+            break i;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response");
+        if n == 0 {
+            assert!(carry.is_empty(), "connection died mid-response");
+            return None;
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&carry[..head_end]).expect("ASCII head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric length"))
+        })
+        .expect("Content-Length present");
+    while carry.len() < head_end + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = carry[head_end..head_end + content_length].to_vec();
+    carry.drain(..head_end + content_length);
+    Some((status, String::from_utf8(body).expect("UTF-8 body")))
+}
+
+/// Index just past the first blank line (`\r\n\r\n` or `\n\n`).
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+#[test]
+fn gate_answers_bit_for_bit_with_the_in_process_service() {
+    let cluster = ClusterConfig::paper_s1();
+    let rate = 60.0;
+    let slas = vec![0.010, 0.050, 0.100];
+    let calibration = calibrate(&cluster, 10_000);
+    let base = CalibrationBase {
+        index_law: calibration.index_law.clone(),
+        meta_law: calibration.meta_law.clone(),
+        data_law: calibration.data_law.clone(),
+        parse_be: calibration.parse_be.clone(),
+        parse_fe: calibration.parse_fe.clone(),
+        devices: cluster.devices,
+        processes_per_device: cluster.processes_per_device,
+        frontend_processes: cluster.frontend_processes,
+    };
+    let config = ServeConfig {
+        slas: slas.clone(),
+        calibrator: CalibratorConfig {
+            window: 20.0,
+            buckets: 40,
+            ..CalibratorConfig::default()
+        },
+        drift: DriftConfig {
+            tolerance: 0.10,
+            ..DriftConfig::default()
+        },
+        refit_interval: 5.0,
+        ..ServeConfig::default()
+    };
+    let events = simulated_events(&cluster, rate, 25.0);
+    assert!(events.len() > 1000, "simulator produced {}", events.len());
+
+    // The reference: the same service type fed the same stream in-process.
+    let mut reference = SlaService::new(base.clone(), config.clone());
+    for &ev in &events {
+        reference.ingest(ev);
+    }
+
+    // The subject: an identical service behind the socket gate, fed the
+    // same stream in the same order through POST /v1/telemetry batches.
+    let handle = SlaService::new(base, config).spawn();
+    let gate = Gate::bind("127.0.0.1:0", handle.client(), GateConfig::default()).expect("bind");
+    let mut client = Client::connect(gate.local_addr());
+    let mut accepted = 0usize;
+    for batch in events.chunks(500) {
+        let (status, body) = client.post("/v1/telemetry", &encode_events(batch));
+        assert_eq!(status, 200, "{body}");
+        accepted += json::parse(&body).unwrap().usize_field("accepted").unwrap();
+    }
+    assert_eq!(accepted, events.len(), "every event acknowledged");
+
+    // Identical streams + identical configs ⇒ identical auto-refit epochs
+    // ⇒ identical answers, and the JSON layer is bit-exact on f64.
+    let ref_status = reference.status();
+    let ref_epoch = ref_status.epoch.expect("reference calibrated") as f64;
+    for &sla in &slas {
+        let expected = reference.predict(sla).expect("reference answers");
+        let (status, body) = client.get(&format!("/v1/attainment?sla={sla}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(
+            doc.f64_field("value").unwrap().to_bits(),
+            expected.value.to_bits(),
+            "sla {sla}: gate {} vs reference {}",
+            doc.f64_field("value").unwrap(),
+            expected.value
+        );
+        assert_eq!(doc.f64_field("epoch").unwrap(), ref_epoch, "same epoch");
+        assert_eq!(doc.f64_field("sla").unwrap().to_bits(), sla.to_bits());
+    }
+    let expected_p95 = reference.percentile(0.95).expect("reference answers");
+    let (status, body) = client.get("/v1/percentile?p=0.95");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json::parse(&body)
+            .unwrap()
+            .f64_field("value")
+            .unwrap()
+            .to_bits(),
+        expected_p95.value.to_bits(),
+        "p95 bit-exact"
+    );
+
+    // Status and metrics reflect the same calibration state.
+    let (status, body) = client.get("/v1/status");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.f64_field("epoch").unwrap(), ref_epoch);
+    assert_eq!(
+        doc.f64_field("event_time").unwrap().to_bits(),
+        reference.event_time().to_bits()
+    );
+    let (status, text) = client.get("/metrics");
+    assert_eq!(status, 200);
+    assert!(text.contains(&format!("cos_epoch {ref_epoch}")), "{text}");
+
+    gate.shutdown();
+    drop(handle);
+}
+
+/// Spawns a warming-up service behind a gate (no calibration needed: the
+/// adversarial cases only exercise the protocol layer and `/v1/status`).
+fn spawn_bare_gate() -> Gate {
+    use cosmodel::distr::{Degenerate, Gamma};
+    use cosmodel::queueing::from_distribution;
+    let base = CalibrationBase {
+        index_law: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+        data_law: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        parse_fe: from_distribution(Degenerate::new(0.0003)),
+        devices: 2,
+        processes_per_device: 1,
+        frontend_processes: 3,
+    };
+    let handle = SlaService::new(base, ServeConfig::default()).spawn();
+    let client = handle.client();
+    // Leak the handle: the gate owns the only reference we keep, and the
+    // service thread dies with the process. Keeps this helper simple.
+    std::mem::forget(handle);
+    Gate::bind("127.0.0.1:0", client, GateConfig::default()).expect("bind")
+}
+
+/// Writes raw bytes, half-closes, and returns every response status the
+/// server sends before closing.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> Vec<u16> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw).expect("write raw bytes");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut statuses = Vec::new();
+    let mut carry = Vec::new();
+    while let Some((status, _body)) = read_response(&mut stream, &mut carry) {
+        statuses.push(status);
+    }
+    assert!(carry.is_empty(), "truncated trailing response");
+    statuses
+}
+
+#[test]
+fn adversarial_inputs_get_exact_statuses_and_the_gate_survives() {
+    let gate = spawn_bare_gate();
+    let addr = gate.local_addr();
+
+    let mut oversized_head = b"GET /v1/status HTTP/1.1\r\nHost: a\r\nX-Pad: ".to_vec();
+    oversized_head.extend(std::iter::repeat_n(b'a', 20 * 1024));
+    oversized_head.extend_from_slice(b"\r\n\r\n");
+
+    let cases: Vec<(&str, Vec<u8>, Vec<u16>)> = vec![
+        (
+            "two pipelined GETs in one segment answer in order",
+            b"GET /v1/status HTTP/1.1\r\nHost: a\r\n\r\nGET /metrics HTTP/1.1\r\nHost: a\r\n\r\n"
+                .to_vec(),
+            vec![200, 200],
+        ),
+        (
+            "HTTP/1.1 without Host is 400",
+            b"GET /v1/status HTTP/1.1\r\n\r\n".to_vec(),
+            vec![400],
+        ),
+        (
+            "bare \\n line endings are accepted",
+            b"GET /v1/status HTTP/1.1\nHost: a\n\n".to_vec(),
+            vec![200],
+        ),
+        (
+            "Content-Length larger than the sent body is 400 at EOF",
+            b"POST /v1/telemetry HTTP/1.1\r\nHost: a\r\nContent-Length: 10\r\n\r\n[]".to_vec(),
+            vec![400],
+        ),
+        (
+            "zero-length POST body is 400 from the route, not a hang",
+            b"POST /v1/telemetry HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            vec![400],
+        ),
+        (
+            "garbage request line is 400",
+            b"EHLO gate\r\n\r\n".to_vec(),
+            vec![400],
+        ),
+        (
+            "unsupported HTTP version is 400",
+            b"GET /v1/status HTTP/2.0\r\nHost: a\r\n\r\n".to_vec(),
+            vec![400],
+        ),
+        (
+            "Transfer-Encoding is rejected as 400",
+            b"POST /v1/telemetry HTTP/1.1\r\nHost: a\r\nTransfer-Encoding: chunked\r\n\r\n"
+                .to_vec(),
+            vec![400],
+        ),
+        (
+            "unknown path is 404",
+            b"GET /v2/attainment HTTP/1.1\r\nHost: a\r\n\r\n".to_vec(),
+            vec![404],
+        ),
+        (
+            "wrong method on a known path is 405",
+            b"DELETE /v1/status HTTP/1.1\r\nHost: a\r\n\r\n".to_vec(),
+            vec![405],
+        ),
+        (
+            "an oversized header block is 431",
+            oversized_head,
+            vec![431],
+        ),
+        (
+            "a huge declared Content-Length is 413 before any body byte",
+            b"POST /v1/telemetry HTTP/1.1\r\nHost: a\r\nContent-Length: 99999999\r\n\r\n".to_vec(),
+            vec![413],
+        ),
+        (
+            "a parse error poisons the rest of the pipeline",
+            b"EHLO gate\r\n\r\nGET /v1/status HTTP/1.1\r\nHost: a\r\n\r\n".to_vec(),
+            vec![400],
+        ),
+    ];
+
+    for (name, raw, expected) in cases {
+        assert_eq!(exchange(addr, &raw), expected, "case: {name}");
+        // The gate keeps serving after every abuse.
+        let (status, _) = Client::connect(addr).get("/v1/status");
+        assert_eq!(status, 200, "gate dead after case: {name}");
+    }
+
+    // Early disconnect mid-body: no response is owed, nothing may die.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/telemetry HTTP/1.1\r\nHost: a\r\nContent-Length: 50\r\n\r\n[")
+            .expect("write partial");
+        drop(stream);
+    }
+    // Early disconnect mid-head, too.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /v1/sta").expect("write partial");
+        drop(stream);
+    }
+    let (status, _) = Client::connect(addr).get("/v1/status");
+    assert_eq!(status, 200, "gate dead after early disconnects");
+
+    gate.shutdown();
+}
