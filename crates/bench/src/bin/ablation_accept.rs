@@ -1,4 +1,4 @@
-//! Ablation A5 — accept disciplines (Brecht et al. [14], §III-C).
+//! Ablation A5 — accept disciplines (Brecht et al. \[14\], §III-C).
 //!
 //! Compares per-connection vs batched `accept()` in the simulator across
 //! loads: measured WTA, end-to-end mean latency, and the 50 ms percentile.

@@ -123,6 +123,9 @@ fn main() {
         processes_per_device: cluster.processes_per_device,
         frontend_processes: cluster.frontend_processes,
     };
+    // One registry shared by the service and the gate: /metrics and the
+    // final self-observation below see the whole stack.
+    let registry = cos_obs::Registry::new();
     let config = ServeConfig {
         slas: vec![0.010, 0.050, 0.100],
         calibrator: CalibratorConfig {
@@ -131,10 +134,15 @@ fn main() {
             ..CalibratorConfig::default()
         },
         refit_interval: 5.0,
+        obs: registry.clone(),
         ..ServeConfig::default()
     };
     let handle = SlaService::new(base, config).spawn();
-    let gate = Gate::bind("127.0.0.1:0", handle.client(), GateConfig::default()).expect("bind");
+    let gate_config = GateConfig {
+        obs: registry.clone(),
+        ..GateConfig::default()
+    };
+    let gate = Gate::bind("127.0.0.1:0", handle.client(), gate_config).expect("bind");
     let addr = gate.local_addr();
     eprintln!("# gate listening on {addr}");
 
@@ -214,6 +222,25 @@ fn main() {
         p95 < Duration::from_millis(5),
         "warm-epoch p95 {:.2} ms exceeds the 5 ms budget",
         p95.as_secs_f64() * 1e3
+    );
+
+    // The gate's own self-measurement must agree with the client-side view:
+    // every query above was recorded into the shared registry.
+    stream
+        .write_all(b"GET /v1/selfcheck HTTP/1.1\r\nHost: demo\r\n\r\n")
+        .expect("selfcheck");
+    assert_eq!(read_response(&mut stream), 200, "selfcheck must answer");
+    let observed = registry.merged_histogram("cos_gate_request_seconds");
+    assert!(
+        observed.count() as usize > queries,
+        "per-route histograms saw every request"
+    );
+    eprintln!(
+        "# gate self-observed: {} requests, p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+        observed.count(),
+        observed.quantile(0.50).unwrap_or(0.0) * 1e6,
+        observed.quantile(0.95).unwrap_or(0.0) * 1e6,
+        observed.quantile(0.99).unwrap_or(0.0) * 1e6
     );
 
     drop(stream);

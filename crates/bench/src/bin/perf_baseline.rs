@@ -145,6 +145,27 @@ fn measure_sweep(quick: bool) -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// Overhead of the observability hot path: one `Hist::record_ns` call,
+/// averaged over a large loop of varied values (so the bucket index and
+/// the branch on the linear/log split are both exercised). The budget is
+/// 100 ns — three relaxed atomic adds must stay invisible next to any
+/// measured operation.
+fn measure_obs(quick: bool) -> Vec<(&'static str, f64)> {
+    let iters: u64 = if quick { 400_000 } else { 4_000_000 };
+    let hist = cos_obs::Hist::new();
+    let start = Instant::now();
+    for i in 0..iters {
+        // Knuth-hash the counter into a spread of magnitudes.
+        hist.record_ns(i.wrapping_mul(2654435761) >> (i % 32));
+    }
+    let per_record_ns = start.elapsed().as_secs_f64() / iters as f64 * 1e9;
+    std::hint::black_box(hist.count());
+    vec![("obs_record_ns", per_record_ns)]
+}
+
+/// The absolute obs-overhead budget enforced in `--check` mode.
+const OBS_RECORD_BUDGET_NS: f64 = 100.0;
+
 fn to_json(baseline: &[(&str, f64)], current: &[(&str, f64)]) -> Value {
     let section = |vals: &[(&str, f64)]| {
         json::object(vals.iter().map(|&(k, v)| (k, Value::Number(v))).collect())
@@ -201,10 +222,22 @@ fn main() {
 
     let inv = measure_inversion(quick);
     let sweep = measure_sweep(quick);
+    let obs = measure_obs(quick);
     print_metrics("inversion", &inv);
     print_metrics("sweep", &sweep);
+    print_metrics("obs", &obs);
 
     if let Some(file) = check_file {
+        // Absolute budget first: the obs hot path has a hard ceiling, not
+        // a relative band (the committed JSON carries no obs section).
+        let record_ns = obs[0].1;
+        if record_ns >= OBS_RECORD_BUDGET_NS {
+            eprintln!(
+                "check: FAILED: obs_record_ns {record_ns:.1} >= {OBS_RECORD_BUDGET_NS} ns budget"
+            );
+            std::process::exit(1);
+        }
+        println!("check: obs_record_ns {record_ns:.1} within the {OBS_RECORD_BUDGET_NS} ns budget");
         let fresh: Vec<(&str, f64)> = inv.iter().chain(sweep.iter()).copied().collect();
         match check(&file, &fresh) {
             Ok(()) => println!("check: ok (no metric regressed past 2x of {file})"),

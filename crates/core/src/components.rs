@@ -102,7 +102,7 @@ impl ServiceTime for ZeroService {
 /// moments — the per-process "disk service time" `S_diskN` of §III-B.
 ///
 /// Replaces the previous closure-based `TransformServiceTime` wrapper so
-/// the batch path can reach [`Mm1k::sojourn_lst_batch`] (which hoists the
+/// the batch path can reach [`Mm1k::sojourn_lst_batch`](cos_queueing::Mm1k::sojourn_lst_batch) (which hoists the
 /// state probabilities out of the per-abscissa loop) instead of falling
 /// back to scalar evaluation through an opaque `Fn`.
 #[derive(Debug, Clone, Copy)]

@@ -3,7 +3,7 @@
 //! Probability distributions for the `cosmodel` reproduction of the ICPP'17
 //! latency-percentile paper. Every service-time family carries a closed-form
 //! Laplace–Stieltjes transform evaluated at complex arguments (the
-//! [`Lst`](traits::Lst) trait) so the queueing layer can run the
+//! [`Lst`] trait) so the queueing layer can run the
 //! Pollaczek–Khinchin machinery, plus sampling so the simulator substrate can
 //! draw from the *same* laws the model assumes.
 //!

@@ -20,6 +20,9 @@
 //! * [`routes`] — the `/v1/*` query surface over a cloned
 //!   [`cos_serve::ServiceClient`], plus the telemetry wire format;
 //! * [`metrics`] — `GET /metrics` Prometheus-style text exposition;
+//! * [`obs`] — the gate's self-measuring instruments ([`GateObs`]):
+//!   per-route request latency, parse/dispatch sub-spans, and counters,
+//!   recorded into the [`cos_obs::Registry`] carried by [`GateConfig`];
 //! * [`server`] — the bounded thread-per-connection accept loop:
 //!   keep-alive, pipelining, read/write timeouts, per-request deadlines,
 //!   and a graceful shutdown that drains in-flight responses.
@@ -39,6 +42,7 @@
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod query;
 pub mod routes;
 pub mod server;
@@ -46,5 +50,6 @@ pub mod server;
 pub use http::{parse_one, Method, ParseError, ParserLimits, Request, RequestParser, Response};
 pub use json::Value;
 pub use metrics::render_metrics;
-pub use routes::{decode_events, encode_events, handle, status_body};
-pub use server::{Gate, GateConfig};
+pub use obs::{GateObs, TRACKED_ROUTES};
+pub use routes::{decode_events, encode_events, handle, handle_with_obs, status_body};
+pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig};

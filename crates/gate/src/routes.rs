@@ -9,7 +9,8 @@
 //! | `GET /v1/bottlenecks?sla=S` | devices ranked worst-first |
 //! | `POST /v1/telemetry` | batch event ingest (JSON array), flushed before replying |
 //! | `GET /v1/status` | full health summary |
-//! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]) |
+//! | `GET /v1/selfcheck` | observed gate latency percentiles vs model-predicted percentiles |
+//! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]), plus every registered instrument when the gate runs with a [`GateObs`] |
 //!
 //! Status mapping: unknown path → `404`; known path, wrong method → `405`
 //! with `Allow`; malformed query/body → `400`; a service that cannot answer
@@ -23,28 +24,40 @@ use cos_serve::{OpClass, Prediction, ServeError, ServiceClient, ServiceStatus, T
 use crate::http::{Method, Request, Response};
 use crate::json::{self, Value};
 use crate::metrics::render_metrics;
+use crate::obs::GateObs;
 use crate::query;
 
 /// Default `upper` bound (req/s) of the headroom search.
 pub const DEFAULT_HEADROOM_UPPER: f64 = 10_000.0;
 
-/// Dispatches one parsed request against the service.
+/// Dispatches one parsed request against the service, without gate
+/// instrumentation: `/v1/selfcheck` reports no observed latencies and
+/// `/metrics` carries only the service summary. The socket server uses
+/// [`handle_with_obs`].
 pub fn handle(client: &ServiceClient, req: &Request) -> Response {
+    handle_with_obs(client, None, req)
+}
+
+/// Dispatches one parsed request against the service. With `obs`, the
+/// self-measuring routes light up: `/metrics` appends every registered
+/// instrument and `/v1/selfcheck` reports observed request percentiles.
+pub fn handle_with_obs(client: &ServiceClient, obs: Option<&GateObs>, req: &Request) -> Response {
     let path = req.path();
-    let get = |handler: fn(&ServiceClient, &Request) -> Response| -> Response {
+    let get = |handler: &dyn Fn() -> Response| -> Response {
         if req.method == Method::Get {
-            handler(client, req)
+            handler()
         } else {
             Response::error(405, "method not allowed").with_header("Allow", "GET".into())
         }
     };
     match path {
-        "/v1/attainment" => get(attainment),
-        "/v1/percentile" => get(percentile),
-        "/v1/headroom" => get(headroom),
-        "/v1/bottlenecks" => get(bottlenecks),
-        "/v1/status" => get(status),
-        "/metrics" => get(metrics),
+        "/v1/attainment" => get(&|| attainment(client, req)),
+        "/v1/percentile" => get(&|| percentile(client, req)),
+        "/v1/headroom" => get(&|| headroom(client, req)),
+        "/v1/bottlenecks" => get(&|| bottlenecks(client, req)),
+        "/v1/status" => get(&|| status(client, req)),
+        "/v1/selfcheck" => get(&|| selfcheck(client, obs)),
+        "/metrics" => get(&|| metrics(client, obs)),
         "/v1/telemetry" => {
             if req.method == Method::Post {
                 telemetry(client, req)
@@ -219,11 +232,72 @@ fn status(client: &ServiceClient, _req: &Request) -> Response {
     }
 }
 
-fn metrics(client: &ServiceClient, _req: &Request) -> Response {
+fn metrics(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
     match client.status() {
-        Ok(s) => Response::text(200, render_metrics(&s)),
+        Ok(s) => {
+            let mut text = render_metrics(&s);
+            if let Some(obs) = obs {
+                text.push_str(&obs.registry().render());
+            }
+            Response::text(200, text)
+        }
         Err(e) => service_error(e),
     }
+}
+
+/// The paper's validation loop (observed vs predicted percentiles, §V)
+/// run live: the gate's own recorded request latencies next to the model's
+/// predicted response-latency percentiles for the current epoch.
+///
+/// Always `200`: a selfcheck must stay readable while the service warms
+/// up. The side that cannot answer yet renders as `null`.
+fn selfcheck(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
+    const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+
+    let observed = match obs.map(|o| o.observed_request_latency()) {
+        Some(snap) if snap.count() > 0 => {
+            let mut pairs = vec![("samples".to_string(), Value::Number(snap.count() as f64))];
+            for (name, q) in QUANTILES {
+                let v = snap.quantile(q).expect("non-empty snapshot");
+                pairs.push((name.to_string(), Value::Number(v)));
+            }
+            Value::Object(pairs)
+        }
+        _ => Value::Null,
+    };
+
+    let mut predicted_pairs = Vec::new();
+    let mut epoch = Value::Null;
+    let mut stale = Value::Null;
+    let mut unavailable = Value::Null;
+    for (name, q) in QUANTILES {
+        match client.percentile(q) {
+            Ok(p) => {
+                epoch = Value::Number(p.epoch as f64);
+                stale = Value::Bool(p.stale);
+                predicted_pairs.push((name.to_string(), Value::Number(p.value)));
+            }
+            Err(e) => {
+                unavailable = Value::String(e.to_string());
+                predicted_pairs.clear();
+                break;
+            }
+        }
+    }
+    let predicted = if predicted_pairs.is_empty() {
+        Value::Null
+    } else {
+        Value::Object(predicted_pairs)
+    };
+
+    let body = Value::Object(vec![
+        ("observed".into(), observed),
+        ("predicted".into(), predicted),
+        ("epoch".into(), epoch),
+        ("stale".into(), stale),
+        ("predicted_unavailable".into(), unavailable),
+    ]);
+    Response::json(200, body.encode())
 }
 
 /// Renders the full health summary as JSON.
@@ -560,6 +634,91 @@ mod tests {
                 String::from_utf8_lossy(&resp.body)
             );
         }
+    }
+
+    #[test]
+    fn selfcheck_reports_observed_and_predicted_sides() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let registry = cos_obs::Registry::new();
+        let obs = GateObs::register(&registry);
+
+        // Warming up, nothing recorded: both sides null, still 200.
+        let resp = handle_with_obs(
+            &client,
+            Some(&obs),
+            &req("GET /v1/selfcheck HTTP/1.1\r\nHost: t\r\n\r\n"),
+        );
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.field("observed").unwrap(), &Value::Null);
+        assert_eq!(body.field("predicted").unwrap(), &Value::Null);
+        assert!(body
+            .field("predicted_unavailable")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("warming up"));
+
+        // Calibrate and record some gate latencies: both sides light up.
+        for ev in sample_events() {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        client.refit_now().unwrap();
+        for ns in [200_000u64, 400_000, 800_000] {
+            obs.request_hist("/v1/attainment").record_ns(ns);
+        }
+        let resp = handle_with_obs(
+            &client,
+            Some(&obs),
+            &req("GET /v1/selfcheck HTTP/1.1\r\nHost: t\r\n\r\n"),
+        );
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let observed = body.field("observed").unwrap();
+        assert_eq!(observed.f64_field("samples").unwrap(), 3.0);
+        let op50 = observed.f64_field("p50").unwrap();
+        let op99 = observed.f64_field("p99").unwrap();
+        assert!(op50 > 0.0 && op50 <= op99, "{op50} vs {op99}");
+        let predicted = body.field("predicted").unwrap();
+        for q in ["p50", "p95", "p99"] {
+            let v = predicted.f64_field(q).unwrap();
+            assert!(v.is_finite() && v > 0.0, "{q} = {v}");
+        }
+        assert!(body.f64_field("epoch").unwrap() >= 1.0);
+        assert_eq!(body.field("stale").unwrap(), &Value::Bool(false));
+
+        // Without obs plumbing the observed side stays null.
+        let resp = get(&client, "/v1/selfcheck");
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.field("observed").unwrap(), &Value::Null);
+        assert!(body.field("predicted").unwrap().f64_field("p50").is_ok());
+    }
+
+    #[test]
+    fn metrics_appends_the_instrument_registry() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let registry = cos_obs::Registry::new();
+        let obs = GateObs::register(&registry);
+        obs.request_hist("/v1/status").record_ns(50_000);
+        let resp = handle_with_obs(
+            &client,
+            Some(&obs),
+            &req("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"),
+        );
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("cos_event_time_seconds"), "service summary");
+        assert!(
+            text.contains("cos_gate_request_seconds_bucket{route=\"/v1/status\",le="),
+            "registry instruments appended"
+        );
+        // Without obs, /metrics is the plain service summary.
+        let plain = get(&client, "/metrics");
+        let plain = String::from_utf8(plain.body).unwrap();
+        assert!(!plain.contains("cos_gate_request_seconds"));
     }
 
     #[test]

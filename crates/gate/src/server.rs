@@ -24,9 +24,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cos_obs::Registry;
 use cos_serve::ServiceClient;
 
 use crate::http::{ParserLimits, RequestParser, Response};
+use crate::obs::GateObs;
 use crate::routes;
 
 /// Front-door knobs.
@@ -44,6 +46,10 @@ pub struct GateConfig {
     pub request_deadline: Duration,
     /// Parser byte budgets.
     pub limits: ParserLimits,
+    /// Instrument registry the gate records into. Share one registry with
+    /// [`cos_serve::ServeConfig::obs`] to get gate and service metrics in
+    /// a single `GET /metrics` document.
+    pub obs: Registry,
 }
 
 impl Default for GateConfig {
@@ -54,7 +60,118 @@ impl Default for GateConfig {
             write_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(10),
             limits: ParserLimits::default(),
+            obs: Registry::new(),
         }
+    }
+}
+
+impl GateConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> GateConfigBuilder {
+        GateConfigBuilder {
+            config: GateConfig::default(),
+        }
+    }
+}
+
+/// A [`GateConfig`] value the builder refused to produce, with the field
+/// and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig {
+    /// The offending field, as named on [`GateConfig`].
+    pub field: &'static str,
+    /// Why the value is nonsensical.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid GateConfig.{}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// Builder for [`GateConfig`] that rejects nonsensical values at
+/// [`build`](GateConfigBuilder::build) time instead of letting them
+/// wedge the accept loop (a zero read timeout would spin; zero parser
+/// budgets would reject every request before its first byte).
+#[derive(Debug, Clone)]
+pub struct GateConfigBuilder {
+    config: GateConfig,
+}
+
+impl GateConfigBuilder {
+    /// Maximum concurrent connections (must be ≥ 1).
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.config.max_connections = n;
+        self
+    }
+
+    /// Socket read timeout (must be non-zero; it is also the poll tick).
+    pub fn read_timeout(mut self, d: Duration) -> Self {
+        self.config.read_timeout = d;
+        self
+    }
+
+    /// Socket write timeout (must be non-zero).
+    pub fn write_timeout(mut self, d: Duration) -> Self {
+        self.config.write_timeout = d;
+        self
+    }
+
+    /// Per-request deadline (must be ≥ the read timeout, else every slow
+    /// read tick would already blow the deadline).
+    pub fn request_deadline(mut self, d: Duration) -> Self {
+        self.config.request_deadline = d;
+        self
+    }
+
+    /// Parser byte budgets (head budget must fit a minimal request line).
+    pub fn limits(mut self, limits: ParserLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Instrument registry the gate records into.
+    pub fn obs(mut self, registry: Registry) -> Self {
+        self.config.obs = registry;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<GateConfig, InvalidConfig> {
+        let err = |field: &'static str, reason: String| Err(InvalidConfig { field, reason });
+        let c = &self.config;
+        if c.max_connections == 0 {
+            return err("max_connections", "must be at least 1".into());
+        }
+        if c.read_timeout.is_zero() {
+            return err(
+                "read_timeout",
+                "must be non-zero (it is the poll tick)".into(),
+            );
+        }
+        if c.write_timeout.is_zero() {
+            return err("write_timeout", "must be non-zero".into());
+        }
+        if c.request_deadline < c.read_timeout {
+            return err(
+                "request_deadline",
+                format!(
+                    "{:?} is shorter than the read timeout {:?}",
+                    c.request_deadline, c.read_timeout
+                ),
+            );
+        }
+        // "GET / HTTP/1.1\r\n\r\n" is 18 bytes — the smallest routable head.
+        if c.limits.max_head_bytes < 18 {
+            return err(
+                "limits.max_head_bytes",
+                format!("{} cannot fit any request line", c.limits.max_head_bytes),
+            );
+        }
+        Ok(self.config)
     }
 }
 
@@ -109,9 +226,10 @@ impl Gate {
             drained: Condvar::new(),
         });
         let loop_shared = shared.clone();
+        let obs = GateObs::register(&config.obs);
         let accept_join = std::thread::Builder::new()
             .name("cos-gate-accept".into())
-            .spawn(move || accept_loop(listener, client, config, loop_shared))
+            .spawn(move || accept_loop(listener, client, config, obs, loop_shared))
             .expect("spawn accept thread");
         Ok(Gate {
             addr,
@@ -157,6 +275,7 @@ fn accept_loop(
     listener: TcpListener,
     client: ServiceClient,
     config: GateConfig,
+    obs: GateObs,
     shared: Arc<Shared>,
 ) {
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -171,11 +290,18 @@ fn accept_loop(
                 shared.connection_started();
                 let conn_client = client.clone();
                 let conn_config = config.clone();
+                let conn_obs = obs.clone();
                 let conn_shared = shared.clone();
                 let spawned = std::thread::Builder::new()
                     .name("cos-gate-conn".into())
                     .spawn(move || {
-                        serve_connection(stream, &conn_client, &conn_config, &conn_shared);
+                        serve_connection(
+                            stream,
+                            &conn_client,
+                            &conn_config,
+                            &conn_obs,
+                            &conn_shared,
+                        );
                         conn_shared.connection_finished();
                     });
                 if spawned.is_err() {
@@ -215,6 +341,7 @@ fn serve_connection(
     mut stream: TcpStream,
     client: &ServiceClient,
     config: &GateConfig,
+    obs: &GateObs,
     shared: &Shared,
 ) {
     if stream.set_read_timeout(Some(config.read_timeout)).is_err()
@@ -233,13 +360,24 @@ fn serve_connection(
     loop {
         // Drain every complete request already buffered (pipelining).
         loop {
+            let parse_begin = Instant::now();
             match parser.next_request() {
                 Ok(Some(request)) => {
-                    request_started = None;
+                    obs.parse.record_duration(parse_begin.elapsed());
+                    // End-to-end latency runs from the request's first byte
+                    // on the wire; a pipelined request whose bytes rode in
+                    // on an earlier read starts at its own parse instead.
+                    let started = request_started.take().unwrap_or(parse_begin);
                     let draining = shared.shutdown.load(Ordering::SeqCst);
-                    let response = routes::handle(client, &request);
+                    let dispatch_span = obs.dispatch.start_span();
+                    let response = routes::handle_with_obs(client, Some(obs), &request);
+                    dispatch_span.stop();
                     let keep = request.keep_alive() && !draining;
-                    match write_response(&mut stream, &response, keep) {
+                    let written = write_response(&mut stream, &response, keep);
+                    obs.request_hist(request.path())
+                        .record_duration(started.elapsed());
+                    obs.requests_total.inc();
+                    match written {
                         Ok(true) => {}
                         _ => return, // close requested, or the peer is gone
                     }
@@ -248,6 +386,7 @@ fn serve_connection(
                 Err(e) => {
                     // Framing is untrustworthy: answer the mapped status
                     // and close.
+                    obs.parse_errors_total.inc();
                     let response = Response::error(e.status(), e.reason());
                     let _ = write_response(&mut stream, &response, false);
                     return;
@@ -389,6 +528,39 @@ mod tests {
     }
 
     #[test]
+    fn socket_requests_record_into_the_shared_registry() {
+        let service = spawn_service();
+        let config = quick_config();
+        let registry = config.obs.clone();
+        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+        for _ in 0..2 {
+            let reply = roundtrip(
+                gate.local_addr(),
+                b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+            );
+            assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        }
+        // A framing error bumps the parse-error counter.
+        let reply = roundtrip(gate.local_addr(), b"BOGUS /x JUNK\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 4"), "{reply}");
+        gate.shutdown();
+
+        let requests = registry.merged_histogram("cos_gate_request_seconds");
+        assert_eq!(requests.count(), 2, "both requests timed");
+        assert!(requests.quantile(0.5).unwrap() > 0.0);
+        assert!(registry.merged_histogram("cos_gate_parse_seconds").count() >= 2);
+        assert!(
+            registry
+                .merged_histogram("cos_gate_dispatch_seconds")
+                .count()
+                >= 2
+        );
+        let text = registry.render();
+        assert!(text.contains("cos_gate_requests_total 2"), "{text}");
+        assert!(text.contains("cos_gate_parse_errors_total 1"), "{text}");
+    }
+
+    #[test]
     fn over_capacity_connections_get_503() {
         let service = spawn_service();
         let config = GateConfig {
@@ -434,5 +606,55 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
         assert!(refused.is_err(), "listener must be closed after shutdown");
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_rejects_nonsense() {
+        let built = GateConfig::builder().build().unwrap();
+        assert_eq!(built.max_connections, GateConfig::default().max_connections);
+
+        let tweaked = GateConfig::builder()
+            .max_connections(8)
+            .read_timeout(Duration::from_millis(50))
+            .request_deadline(Duration::from_secs(1))
+            .build()
+            .unwrap();
+        assert_eq!(tweaked.max_connections, 8);
+        assert_eq!(tweaked.read_timeout, Duration::from_millis(50));
+
+        let no_conns = GateConfig::builder()
+            .max_connections(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(no_conns.field, "max_connections");
+        assert!(no_conns.to_string().contains("GateConfig.max_connections"));
+
+        let zero_read = GateConfig::builder()
+            .read_timeout(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(zero_read.field, "read_timeout");
+
+        let zero_write = GateConfig::builder()
+            .write_timeout(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(zero_write.field, "write_timeout");
+
+        let tight_deadline = GateConfig::builder()
+            .read_timeout(Duration::from_secs(2))
+            .request_deadline(Duration::from_secs(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(tight_deadline.field, "request_deadline");
+
+        let tiny_head = GateConfig::builder()
+            .limits(ParserLimits {
+                max_head_bytes: 4,
+                max_body_bytes: 1024,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(tiny_head.field, "limits.max_head_bytes");
     }
 }

@@ -1,0 +1,378 @@
+//! Lock-free log-linear latency histograms (HDR-style).
+//!
+//! A [`Hist`] is a fixed array of atomic bucket counters over nanosecond
+//! values. The bucket scheme is **log-linear**: values below 16 ns get one
+//! bucket each, and every octave `[2^e, 2^(e+1))` above that is split into
+//! 16 linear sub-buckets, so the bucket width is always at most 1/16 of the
+//! value — quantiles read back from bucket edges carry at most ~6.25 %
+//! relative error, uniformly from nanoseconds to minutes.
+//!
+//! Recording is three relaxed atomic adds (bucket, count, sum) with the
+//! bucket index computed from `leading_zeros` — no locks, no allocation, no
+//! ordering constraints — so the hot path costs tens of nanoseconds and can
+//! be called from any thread. Reads go through [`Hist::snapshot`], a plain
+//! copy of the counters; two histograms (or snapshots) with the same scheme
+//! **merge by adding counts**, exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sub-bucket resolution: each octave is split into `2^LINEAR_BITS` linear
+/// buckets.
+const LINEAR_BITS: u32 = 4;
+/// Sub-buckets per octave (16).
+const SUB: usize = 1 << LINEAR_BITS;
+/// Highest exponent with its own octave group: values at or above
+/// `2^(MAX_EXP + 1)` ns (≈ 18 minutes) clamp into the last bucket.
+const MAX_EXP: u32 = 39;
+/// Total bucket count: 16 unit buckets + one 16-wide group per octave.
+pub(crate) const BUCKETS: usize = SUB + (MAX_EXP as usize - LINEAR_BITS as usize + 1) * SUB;
+/// Recorded values clamp to the last bucket's upper edge, `2^(MAX_EXP+1)-1`
+/// ns (≈ 18 minutes), so `sum_ns` stays proportional to real time instead
+/// of wrapping on garbage inputs.
+const CLAMP_NS: u64 = (1 << (MAX_EXP + 1)) - 1;
+
+/// Bucket index of a nanosecond value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    if exp > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let shift = exp - LINEAR_BITS;
+    let group = (exp - LINEAR_BITS + 1) as usize;
+    group * SUB + ((v >> shift) as usize & (SUB - 1))
+}
+
+/// Largest nanosecond value landing in bucket `i` (the bucket's inclusive
+/// upper edge — what quantile extraction reports).
+pub(crate) fn bucket_upper_ns(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let group = (i / SUB) as u32;
+    let pos = (i % SUB) as u64;
+    ((SUB as u64 + pos + 1) << (group - 1)) - 1
+}
+
+struct Core {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+/// A shared, lock-free latency histogram. Cloning shares the counters
+/// (an `Arc` internally), so one instrument can be recorded from many
+/// threads and read from another.
+#[derive(Clone)]
+pub struct Hist {
+    core: Arc<Core>,
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            core: Arc::new(Core {
+                counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one nanosecond value. The hot path: three relaxed atomic
+    /// adds, no allocation. Values above the last bucket edge (≈ 18 min)
+    /// clamp to it, keeping `sum` finite and merge arithmetic exact.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let ns = ns.min(CLAMP_NS);
+        let core = &*self.core;
+        core.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] (saturating at `u64::MAX` ns).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a value given in seconds (negative or non-finite values
+    /// clamp to zero).
+    pub fn record_secs(&self, secs: f64) {
+        let ns = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e9).round().min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.record_ns(ns);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the two handles share the same underlying counters.
+    pub fn same_instrument(&self, other: &Hist) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// A point-in-time copy of the counters. Under concurrent recording the
+    /// copy is not an atomic cut across buckets, but every individual count
+    /// is a value that was actually reached (monotone counters).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let counts: Vec<u64> = self
+            .core
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistSnapshot {
+            counts,
+            count,
+            sum_ns: self.core.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]` from a fresh snapshot; `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A plain (non-atomic) copy of a histogram's counters: the unit of
+/// merging, quantile extraction, and rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// An all-zero snapshot (the identity of [`merge_from`]).
+    ///
+    /// [`merge_from`]: HistSnapshot::merge_from
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_ns as f64 * 1e-9
+    }
+
+    /// Per-bucket counts (index order; see the module docs for the scheme).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Adds another snapshot's counts into this one. Exact: recording the
+    /// union of two sample streams yields bit-identical bucket counts to
+    /// merging their separate histograms.
+    pub fn merge_from(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Quantile `q` in `[0, 1]` as **seconds**: the inclusive upper edge of
+    /// the bucket holding the rank-`⌈q·n⌉` smallest sample (so the true
+    /// sample quantile lies within one bucket width, ≤ 1/16 relative).
+    /// `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        Some(self.quantile_ns(q)? as f64 * 1e-9)
+    }
+
+    /// Quantile `q` as the upper bucket edge in nanoseconds; `None` while
+    /// empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_ns(i));
+            }
+        }
+        // Unreachable: self.count equals the sum of self.counts for any
+        // snapshot built by `Hist::snapshot` or `merge_from`.
+        Some(bucket_upper_ns(BUCKETS - 1))
+    }
+
+    /// Cumulative count of samples at or below `ns` nanoseconds, exact when
+    /// `ns` is a bucket edge (as the Prometheus rendering edges are).
+    pub fn cumulative_le_ns(&self, ns: u64) -> u64 {
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if bucket_upper_ns(i) > ns {
+                break;
+            }
+            cum += c;
+        }
+        cum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_monotone_and_self_consistent() {
+        // Every value lands in a bucket whose edges contain it, and bucket
+        // upper edges strictly increase.
+        let mut prev_ub = None;
+        for i in 0..BUCKETS {
+            let ub = bucket_upper_ns(i);
+            if let Some(p) = prev_ub {
+                assert!(ub > p, "bucket {i}: {ub} <= {p}");
+            }
+            assert_eq!(bucket_index(ub), i, "upper edge of bucket {i}");
+            prev_ub = Some(ub);
+        }
+        for v in [0, 1, 15, 16, 17, 31, 32, 1000, 123_456_789, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS);
+            if i < BUCKETS - 1 {
+                assert!(v <= bucket_upper_ns(i), "{v} above bucket {i}");
+                if i > 0 {
+                    assert!(v > bucket_upper_ns(i - 1), "{v} below bucket {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_within_a_sixteenth() {
+        for v in [20u64, 100, 999, 10_000, 1_000_000, 5_000_000_000] {
+            let ub = bucket_upper_ns(bucket_index(v));
+            assert!(ub >= v);
+            assert!(
+                (ub - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "value {v} reported as {ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let h = Hist::new();
+        for ms in 1..=100u64 {
+            h.record_ns(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 - 0.050).abs() < 0.050 / 15.0, "p50 {p50}");
+        assert!((p95 - 0.095).abs() < 0.095 / 15.0, "p95 {p95}");
+        assert!((p99 - 0.099).abs() < 0.099 / 15.0, "p99 {p99}");
+        assert!(p50 < p95 && p95 < p99);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Hist::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Hist::new();
+        let b = Hist::new();
+        let union = Hist::new();
+        for v in [5u64, 17, 300, 40_000, 1_000_000] {
+            a.record_ns(v);
+            union.record_ns(v);
+        }
+        for v in [9u64, 18, 7_000, 2_000_000_000] {
+            b.record_ns(v);
+            union.record_ns(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn overflow_values_clamp_into_the_last_bucket() {
+        let h = Hist::new();
+        h.record_ns(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.bucket_counts()[BUCKETS - 1], 1);
+        assert_eq!(snap.quantile_ns(1.0), Some(bucket_upper_ns(BUCKETS - 1)));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Hist::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_ns(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn record_secs_clamps_garbage() {
+        let h = Hist::new();
+        h.record_secs(f64::NAN);
+        h.record_secs(-1.0);
+        h.record_secs(0.001);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.cumulative_le_ns(0), 2, "NaN and negative clamp to 0");
+    }
+}

@@ -1,0 +1,98 @@
+//! Lightweight span timing: start/stop guards recording into a histogram.
+
+use std::time::{Duration, Instant};
+
+use crate::hist::Hist;
+
+/// A running span: created by [`Hist::start_span`], it records the elapsed
+/// wall time into its histogram when dropped (or explicitly [`stopped`]).
+///
+/// [`stopped`]: SpanGuard::stop
+///
+/// ```
+/// let h = cos_obs::Hist::new();
+/// {
+///     let _span = h.start_span();
+///     // ... timed work ...
+/// } // recorded here
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Hist,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Elapsed time since the span started (the span keeps running).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the span now, records it, and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record_duration(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandons the span without recording anything (e.g. on an error path
+    /// that must not pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+impl Hist {
+    /// Starts a span whose duration is recorded into this histogram on
+    /// drop (or [`SpanGuard::stop`]).
+    pub fn start_span(&self) -> SpanGuard {
+        SpanGuard {
+            hist: self.clone(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_exactly_once() {
+        let h = Hist::new();
+        {
+            let _s = h.start_span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_and_disarms_drop() {
+        let h = Hist::new();
+        let s = h.start_span();
+        std::thread::sleep(Duration::from_millis(2));
+        let took = s.stop();
+        assert!(took >= Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).unwrap() >= 0.002);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Hist::new();
+        h.start_span().cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

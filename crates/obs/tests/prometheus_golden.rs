@@ -1,0 +1,82 @@
+//! Golden test for the Prometheus text exposition: a registry with known
+//! contents must render byte-for-byte to the expected document.
+
+use cos_obs::{exposition_edges_ns, Registry};
+
+#[test]
+fn rendering_matches_the_golden_document() {
+    let r = Registry::new();
+    let c = r.counter("cos_requests_total", "Total requests served");
+    c.add(7);
+    let g = r.gauge("cos_epoch", "Current calibration epoch");
+    g.set(3.0);
+    let h = r.histogram("cos_request_seconds", "End-to-end request latency");
+    // 500 ns, 1 µs, 1 ms, 100 ms — chosen to straddle several edges.
+    for ns in [500u64, 1_000, 1_000_000, 100_000_000] {
+        h.record_ns(ns);
+    }
+
+    let mut expected = String::new();
+    expected.push_str("# HELP cos_requests_total Total requests served\n");
+    expected.push_str("# TYPE cos_requests_total counter\n");
+    expected.push_str("cos_requests_total 7\n");
+    expected.push_str("# HELP cos_epoch Current calibration epoch\n");
+    expected.push_str("# TYPE cos_epoch gauge\n");
+    expected.push_str("cos_epoch 3\n");
+    expected.push_str("# HELP cos_request_seconds End-to-end request latency\n");
+    expected.push_str("# TYPE cos_request_seconds histogram\n");
+    for edge_ns in exposition_edges_ns() {
+        // Cumulative counts are exact at the exposition edges.
+        let cum = [500u64, 1_000, 1_000_000, 100_000_000]
+            .iter()
+            .filter(|&&v| v <= edge_ns)
+            .count();
+        expected.push_str(&format!(
+            "cos_request_seconds_bucket{{le=\"{}\"}} {}\n",
+            edge_ns as f64 * 1e-9,
+            cum
+        ));
+    }
+    expected.push_str("cos_request_seconds_bucket{le=\"+Inf\"} 4\n");
+    expected.push_str(&format!(
+        "cos_request_seconds_sum {}\n",
+        101_001_500_f64 * 1e-9
+    ));
+    expected.push_str("cos_request_seconds_count 4\n");
+
+    assert_eq!(r.render(), expected);
+}
+
+#[test]
+fn edges_cover_microseconds_to_tens_of_seconds() {
+    let edges = exposition_edges_ns();
+    assert_eq!(edges.len(), 26, "one edge per octave, 1 µs .. ~34 s");
+    assert_eq!(edges[0], 1_023, "first edge ≈ 1 µs");
+    assert_eq!(*edges.last().unwrap(), (1u64 << 35) - 1, "last edge ≈ 34 s");
+    assert!(edges.windows(2).all(|w| w[1] > w[0]));
+}
+
+#[test]
+fn every_line_is_well_formed() {
+    let r = Registry::new();
+    r.histogram_with_label("cos_route_seconds", "route", "/v1/predict", "h")
+        .record_ns(42_000);
+    r.counter("cos_parse_errors_total", "c").inc();
+    for line in r.render().lines() {
+        assert!(!line.is_empty());
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "bad comment line: {line}"
+            );
+        } else {
+            // `name{labels} value` or `name value`.
+            let (series, value) = line.rsplit_once(' ').expect("value separator");
+            assert!(!series.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "bad value in: {line}"
+            );
+        }
+    }
+}

@@ -24,6 +24,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
+
+use cos_obs::Hist;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -50,12 +53,22 @@ pub struct ParPool {
 impl ParPool {
     /// Creates a pool with `workers` threads (at least 1).
     pub fn new(workers: usize) -> Self {
+        ParPool::with_timers(workers, &[])
+    }
+
+    /// Creates a pool whose workers time every job they run: worker `i`
+    /// records each job's execution duration into `timers[i % timers.len()]`
+    /// (so one histogram per worker when `timers.len() == workers`, or a
+    /// single shared histogram when one is passed). An empty slice disables
+    /// timing — identical to [`ParPool::new`].
+    pub fn with_timers(workers: usize, timers: &[Hist]) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let timer = (!timers.is_empty()).then(|| timers[i % timers.len()].clone());
                 thread::Builder::new()
                     .name(format!("cos-par-{i}"))
                     .spawn(move || loop {
@@ -65,7 +78,11 @@ impl ParPool {
                         };
                         match job {
                             Ok(job) => {
+                                let start = timer.as_ref().map(|_| Instant::now());
                                 let _ = catch_unwind(AssertUnwindSafe(job));
+                                if let (Some(t), Some(s)) = (&timer, start) {
+                                    t.record_duration(s.elapsed());
+                                }
                             }
                             Err(_) => break, // all senders dropped: shut down
                         }
@@ -186,6 +203,33 @@ mod tests {
         let (tx, rx) = channel();
         pool.execute(move || tx.send(42u32).unwrap());
         assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn pool_with_timers_records_per_worker_job_durations() {
+        let timers = vec![Hist::new(), Hist::new()];
+        {
+            let pool = ParPool::with_timers(2, &timers);
+            let (tx, rx) = channel();
+            for _ in 0..8 {
+                let tx = tx.clone();
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    tx.send(()).unwrap();
+                });
+            }
+            drop(tx);
+            for _ in 0..8 {
+                rx.recv().unwrap();
+            }
+        } // drop joins, so all recordings are flushed
+        let total: u64 = timers.iter().map(|t| t.count()).sum();
+        assert_eq!(total, 8, "every job timed exactly once");
+        for t in &timers {
+            if t.count() > 0 {
+                assert!(t.quantile(1.0).unwrap() >= 0.001, "sleep is visible");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   rates;
 //! * [`drift`] — observed-vs-predicted attainment monitoring, the signal
 //!   that the fitted distribution family itself has gone bad;
+//! * [`obs`] — the service's instrument bundle ([`ServeObs`]): refit
+//!   duration, cache-hit/miss query latency, ingest lag, and sweep-pool
+//!   timings, recorded into a shared [`cos_obs::Registry`];
 //! * [`service`] — the assembled [`SlaService`] state machine and its
 //!   spawned, channel-driven form;
 //! * [`error`] — typed failure modes (warming up, unstable ρ ≥ 1,
@@ -37,6 +40,7 @@ pub mod calibrate;
 pub mod drift;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod service;
 pub mod telemetry;
 pub mod worker;
@@ -48,8 +52,10 @@ pub use engine::{
     RATE_QUANTUM, SLA_QUANTUM,
 };
 pub use error::ServeError;
+pub use obs::ServeObs;
 pub use service::{
-    ServeConfig, ServiceClient, ServiceHandle, ServiceStatus, SlaService, TelemetrySender,
+    InvalidConfig, ServeConfig, ServeConfigBuilder, ServiceClient, ServiceHandle, ServiceStatus,
+    SlaService, TelemetrySender,
 };
 pub use telemetry::{OpClass, TelemetryEvent};
 pub use worker::{RatePoint, SweepHandle, SweepPool};

@@ -4,7 +4,7 @@
 //! time, re-fits on a fixed event-time cadence, and queries go through the
 //! memoized engine. [`SlaService::spawn`] wraps it in a dedicated thread
 //! behind a single command channel (`std::sync::mpsc` has no `select`, so
-//! every interaction — telemetry, queries, control — is one [`enum`]
+//! every interaction — telemetry, queries, control — is one `enum`
 //! message; FIFO ordering doubles as the flush barrier). The returned
 //! [`ServiceHandle`] is the client side; [`TelemetrySender`] is a cheap
 //! cloneable ingest-only endpoint to hand to a telemetry source.
@@ -12,13 +12,16 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cos_model::{ModelVariant, SlaGoal, SystemModel};
+use cos_obs::Registry;
 
 use crate::calibrate::{CalibrationBase, CalibratorConfig, OnlineCalibrator};
 use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
 use crate::engine::{EngineHealth, Prediction, PredictionEngine};
 use crate::error::ServeError;
+use crate::obs::ServeObs;
 use crate::telemetry::TelemetryEvent;
 use crate::worker::{RatePoint, SweepHandle, SweepPool};
 
@@ -37,6 +40,9 @@ pub struct ServeConfig {
     pub refit_interval: f64,
     /// Worker threads of the what-if sweep pool.
     pub sweep_workers: usize,
+    /// Instrument registry the service records into (share one registry
+    /// between the service and a gate to get a single `/metrics` view).
+    pub obs: Registry,
 }
 
 impl Default for ServeConfig {
@@ -48,7 +54,131 @@ impl Default for ServeConfig {
             drift: DriftConfig::default(),
             refit_interval: 5.0,
             sweep_workers: 2,
+            obs: Registry::new(),
         }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// A [`ServeConfig`] value the builder refused to produce, with the field
+/// and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig {
+    /// The offending field, as named on [`ServeConfig`].
+    pub field: &'static str,
+    /// Why the value is nonsensical.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ServeConfig.{}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// Builder for [`ServeConfig`] that rejects nonsensical values at
+/// [`build`](ServeConfigBuilder::build) time: a non-positive SLA or refit
+/// interval would silently disable re-fitting; a zero-bucket window would
+/// divide by zero deep inside the calibrator.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// SLA bounds in seconds (each must be finite and positive).
+    pub fn slas(mut self, slas: Vec<f64>) -> Self {
+        self.config.slas = slas;
+        self
+    }
+
+    /// Model variant used for every prediction.
+    pub fn variant(mut self, variant: ModelVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Sliding-window estimator knobs (window > 0, buckets ≥ 1).
+    pub fn calibrator(mut self, calibrator: CalibratorConfig) -> Self {
+        self.config.calibrator = calibrator;
+        self
+    }
+
+    /// Drift detection knobs (window > 0, buckets ≥ 1).
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.config.drift = drift;
+        self
+    }
+
+    /// Event-time seconds between automatic re-fits (finite, > 0).
+    pub fn refit_interval(mut self, seconds: f64) -> Self {
+        self.config.refit_interval = seconds;
+        self
+    }
+
+    /// Worker threads of the what-if sweep pool (≥ 1).
+    pub fn sweep_workers(mut self, workers: usize) -> Self {
+        self.config.sweep_workers = workers;
+        self
+    }
+
+    /// Instrument registry the service records into.
+    pub fn obs(mut self, registry: Registry) -> Self {
+        self.config.obs = registry;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<ServeConfig, InvalidConfig> {
+        let err = |field: &'static str, reason: String| Err(InvalidConfig { field, reason });
+        let c = &self.config;
+        if c.slas.is_empty() {
+            return err("slas", "at least one SLA bound is required".into());
+        }
+        if let Some(bad) = c.slas.iter().find(|s| !s.is_finite() || **s <= 0.0) {
+            return err(
+                "slas",
+                format!("SLA bound {bad} is not finite and positive"),
+            );
+        }
+        if !c.refit_interval.is_finite() || c.refit_interval <= 0.0 {
+            return err(
+                "refit_interval",
+                format!("{} must be finite and positive", c.refit_interval),
+            );
+        }
+        if c.sweep_workers == 0 {
+            return err("sweep_workers", "must be at least 1".into());
+        }
+        if !c.calibrator.window.is_finite() || c.calibrator.window <= 0.0 {
+            return err(
+                "calibrator.window",
+                format!("{} must be finite and positive", c.calibrator.window),
+            );
+        }
+        if c.calibrator.buckets == 0 {
+            return err("calibrator.buckets", "must be at least 1".into());
+        }
+        if !c.drift.window.is_finite() || c.drift.window <= 0.0 {
+            return err(
+                "drift.window",
+                format!("{} must be finite and positive", c.drift.window),
+            );
+        }
+        if c.drift.buckets == 0 {
+            return err("drift.buckets", "must be at least 1".into());
+        }
+        Ok(self.config)
     }
 }
 
@@ -87,6 +217,7 @@ pub struct SlaService {
     drift: DriftMonitor,
     engine: PredictionEngine,
     pool: SweepPool,
+    obs: ServeObs,
     now: f64,
     last_refit: f64,
     last_fit_error: Option<String>,
@@ -95,11 +226,17 @@ pub struct SlaService {
 impl SlaService {
     /// Creates a service over `base`'s topology.
     pub fn new(base: CalibrationBase, config: ServeConfig) -> Self {
+        let obs = ServeObs::register(&config.obs);
         SlaService {
             calibrator: OnlineCalibrator::new(base, config.calibrator.clone()),
             drift: DriftMonitor::new(config.slas.clone(), config.drift.clone()),
             engine: PredictionEngine::new(config.variant),
-            pool: SweepPool::new(config.sweep_workers),
+            pool: SweepPool::with_timing(
+                config.sweep_workers,
+                Some(obs.sweep_queue_wait.clone()),
+                Some(obs.sweep_task.clone()),
+            ),
+            obs,
             now: 0.0,
             last_refit: 0.0,
             last_fit_error: None,
@@ -120,6 +257,7 @@ impl SlaService {
     /// Feeds one telemetry event, re-fitting automatically once per
     /// [`ServeConfig::refit_interval`] of event time.
     pub fn ingest(&mut self, event: TelemetryEvent) {
+        self.obs.ingest_events_total.inc();
         let t = event.time();
         self.now = self.now.max(t);
         if let TelemetryEvent::Completion { latency, .. } = event {
@@ -135,6 +273,8 @@ impl SlaService {
     /// epoch was installed; on failure the previous epoch (if any) keeps
     /// serving, flagged stale.
     pub fn refit_now(&mut self) -> bool {
+        self.obs.refits_total.inc();
+        let _refit_span = self.obs.refit.start_span();
         self.last_refit = self.now;
         let fitted = match self.calibrator.try_fit(self.now) {
             Ok(params) => params,
@@ -165,27 +305,29 @@ impl SlaService {
     /// Predicted fraction of requests meeting `sla` at the calibrated
     /// operating point.
     pub fn predict(&mut self, sla: f64) -> Result<Prediction, ServeError> {
-        self.engine.fraction_meeting_sla(sla)
+        timed_query(&self.obs, &mut self.engine, |e| e.fraction_meeting_sla(sla))
     }
 
     /// What-if: fraction meeting `sla` at a hypothetical total rate.
     pub fn predict_at_rate(&mut self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        self.engine.fraction_at_rate(rate, sla)
+        timed_query(&self.obs, &mut self.engine, |e| {
+            e.fraction_at_rate(rate, sla)
+        })
     }
 
     /// Predicted response-latency percentile (e.g. `p = 0.95`).
     pub fn percentile(&mut self, p: f64) -> Result<Prediction, ServeError> {
-        self.engine.latency_percentile(p)
+        timed_query(&self.obs, &mut self.engine, |e| e.latency_percentile(p))
     }
 
     /// Overload-control headroom up to `upper` req/s.
     pub fn headroom(&mut self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        self.engine.headroom(goal, upper)
+        timed_query(&self.obs, &mut self.engine, |e| e.headroom(goal, upper))
     }
 
     /// Bottleneck ranking, worst device first.
     pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        self.engine.bottlenecks(sla)
+        timed_query(&self.obs, &mut self.engine, |e| e.bottlenecks(sla))
     }
 
     /// Submits a batch what-if sweep to the worker pool (non-blocking).
@@ -234,8 +376,28 @@ impl SlaService {
     }
 }
 
+/// Times one engine query and records its latency into the cache-hit or
+/// cache-miss histogram, classified by whether the engine's miss counter
+/// advanced (i.e. a fresh inversion ran) during the call.
+fn timed_query<T>(
+    obs: &ServeObs,
+    engine: &mut PredictionEngine,
+    query: impl FnOnce(&mut PredictionEngine) -> T,
+) -> T {
+    let misses_before = engine.stats().misses;
+    let start = Instant::now();
+    let out = query(engine);
+    let elapsed = start.elapsed();
+    if engine.stats().misses > misses_before {
+        obs.query_miss.record_duration(elapsed);
+    } else {
+        obs.query_hit.record_duration(elapsed);
+    }
+    out
+}
+
 enum Command {
-    Ingest(TelemetryEvent),
+    Ingest(TelemetryEvent, Option<Instant>),
     Refit(Sender<bool>),
     Predict {
         sla: f64,
@@ -272,7 +434,12 @@ enum Command {
 fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
     while let Ok(command) = rx.recv() {
         match command {
-            Command::Ingest(ev) => service.ingest(ev),
+            Command::Ingest(ev, sent_at) => {
+                if let Some(at) = sent_at {
+                    service.obs.ingest_lag.record_duration(at.elapsed());
+                }
+                service.ingest(ev);
+            }
             Command::Refit(reply) => {
                 let _ = reply.send(service.refit_now());
             }
@@ -318,7 +485,7 @@ pub struct TelemetrySender(Sender<Command>);
 impl TelemetrySender {
     /// Feeds one event to the service.
     pub fn send(&self, event: TelemetryEvent) {
-        let _ = self.0.send(Command::Ingest(event));
+        let _ = self.0.send(Command::Ingest(event, Some(Instant::now())));
     }
 }
 
@@ -351,7 +518,7 @@ impl ServiceClient {
     /// Feeds one telemetry event (non-blocking).
     pub fn ingest(&self, event: TelemetryEvent) -> Result<(), ServeError> {
         self.tx
-            .send(Command::Ingest(event))
+            .send(Command::Ingest(event, Some(Instant::now())))
             .map_err(|_| ServeError::Disconnected)
     }
 
@@ -654,6 +821,112 @@ mod tests {
         drop(handle);
         assert_eq!(client.predict(0.05), Err(ServeError::Disconnected));
         assert!(matches!(client.status(), Err(ServeError::Disconnected)));
+    }
+
+    #[test]
+    fn instruments_record_refits_queries_sweeps_and_ingest() {
+        let config = ServeConfig::default();
+        let registry = config.obs.clone();
+        let mut service = SlaService::new(base(), config);
+        let events: Vec<_> = events(40.0, 20.0, 2);
+        let n_events = events.len() as u64;
+        for ev in events {
+            service.ingest(ev);
+        }
+        service.refit_now();
+        let first = service.predict(0.05).unwrap();
+        let again = service.predict(0.05).unwrap();
+        assert_eq!(first.value.to_bits(), again.value.to_bits());
+        service.sweep(&[40.0, 80.0], vec![0.05]).unwrap().wait();
+
+        assert!(registry.merged_histogram("cos_serve_refit_seconds").count() >= 1);
+        let miss = registry.merged_histogram("cos_serve_query_seconds");
+        assert!(miss.count() >= 2, "both queries timed");
+        assert_eq!(
+            registry
+                .merged_histogram("cos_sweep_queue_wait_seconds")
+                .count(),
+            2
+        );
+        let text = registry.render();
+        assert!(text.contains("cos_serve_ingest_events_total"));
+        assert!(text.contains(&format!("cos_serve_ingest_events_total {n_events}")));
+        assert!(text.contains("cos_serve_query_seconds_bucket{cache=\"hit\",le="));
+        assert!(text.contains("cos_serve_query_seconds_bucket{cache=\"miss\",le="));
+    }
+
+    #[test]
+    fn spawned_service_records_ingest_lag() {
+        let config = ServeConfig::default();
+        let registry = config.obs.clone();
+        let handle = SlaService::new(base(), config).spawn();
+        for ev in events(40.0, 5.0, 2) {
+            handle.ingest(ev).unwrap();
+        }
+        handle.flush().unwrap();
+        let lag = registry.merged_histogram("cos_serve_ingest_lag_seconds");
+        assert!(lag.count() > 0, "channel lag recorded per event");
+        drop(handle);
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_rejects_nonsense() {
+        let built = ServeConfig::builder().build().unwrap();
+        assert_eq!(built.slas, ServeConfig::default().slas);
+
+        let tweaked = ServeConfig::builder()
+            .slas(vec![0.020])
+            .refit_interval(1.0)
+            .sweep_workers(4)
+            .build()
+            .unwrap();
+        assert_eq!(tweaked.slas, vec![0.020]);
+        assert_eq!(tweaked.sweep_workers, 4);
+
+        let cases: &[(ServeConfigBuilder, &str)] = &[
+            (ServeConfig::builder().slas(vec![]), "slas"),
+            (ServeConfig::builder().slas(vec![0.05, -0.01]), "slas"),
+            (ServeConfig::builder().slas(vec![f64::NAN]), "slas"),
+            (ServeConfig::builder().refit_interval(0.0), "refit_interval"),
+            (
+                ServeConfig::builder().refit_interval(f64::INFINITY),
+                "refit_interval",
+            ),
+            (ServeConfig::builder().sweep_workers(0), "sweep_workers"),
+            (
+                ServeConfig::builder().calibrator(CalibratorConfig {
+                    window: 0.0,
+                    ..CalibratorConfig::default()
+                }),
+                "calibrator.window",
+            ),
+            (
+                ServeConfig::builder().calibrator(CalibratorConfig {
+                    buckets: 0,
+                    ..CalibratorConfig::default()
+                }),
+                "calibrator.buckets",
+            ),
+            (
+                ServeConfig::builder().drift(DriftConfig {
+                    window: -1.0,
+                    ..DriftConfig::default()
+                }),
+                "drift.window",
+            ),
+            (
+                ServeConfig::builder().drift(DriftConfig {
+                    buckets: 0,
+                    ..DriftConfig::default()
+                }),
+                "drift.buckets",
+            ),
+        ];
+        for (builder, field) in cases {
+            let e = builder.clone().build().unwrap_err();
+            assert_eq!(e.field, *field);
+            assert!(e.to_string().contains("ServeConfig."), "{e}");
+        }
     }
 
     #[test]

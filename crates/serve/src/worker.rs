@@ -2,7 +2,7 @@
 //!
 //! Planning queries ("what does attainment look like from 50 to 500 req/s?")
 //! evaluate the model at many hypothetical rates; each point is independent,
-//! so the pool fans one [`SystemModel`] build + inversion batch per rate out
+//! so the pool fans one [`SystemModel`](cos_model::SystemModel) build + inversion batch per rate out
 //! to `std::thread` workers over plain channels (no external runtime). The
 //! shared-parameter handoff is just an `Arc<SystemParams>` — service-time
 //! laws are `Arc<dyn ServiceTime + Send + Sync>`, so a snapshot crosses
@@ -16,8 +16,10 @@
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cos_model::{model_at_rate, ModelVariant, SystemParams};
+use cos_obs::Hist;
 use cos_par::ParPool;
 
 /// One evaluated sweep point.
@@ -36,9 +38,15 @@ struct WorkItem {
     rate: f64,
     slas: Arc<Vec<f64>>,
     reply: Sender<RatePoint>,
+    /// Submission stamp + the histogram the queue delay is recorded into
+    /// (when the pool was built with timing).
+    enqueued: Option<(Instant, Hist)>,
 }
 
 fn evaluate(item: WorkItem) {
+    if let Some((at, wait)) = &item.enqueued {
+        wait.record_duration(at.elapsed());
+    }
     let fractions = model_at_rate(&item.params, item.variant, item.rate)
         .ok()
         .map(|m| {
@@ -60,13 +68,23 @@ fn evaluate(item: WorkItem) {
 /// and benchmark sweeps).
 pub struct SweepPool {
     pool: ParPool,
+    queue_wait: Option<Hist>,
 }
 
 impl SweepPool {
-    /// Spawns `workers` threads (at least one).
+    /// Spawns `workers` threads (at least one), untimed.
     pub fn new(workers: usize) -> Self {
+        SweepPool::with_timing(workers, None, None)
+    }
+
+    /// Spawns `workers` threads recording each point's queue wait into
+    /// `queue_wait` and its evaluation time into `task` (either may be
+    /// `None` to disable that side).
+    pub fn with_timing(workers: usize, queue_wait: Option<Hist>, task: Option<Hist>) -> Self {
+        let timers: Vec<Hist> = task.into_iter().collect();
         SweepPool {
-            pool: ParPool::new(workers),
+            pool: ParPool::with_timers(workers, &timers),
+            queue_wait,
         }
     }
 
@@ -94,6 +112,10 @@ impl SweepPool {
                 rate,
                 slas: slas.clone(),
                 reply: reply.clone(),
+                enqueued: self
+                    .queue_wait
+                    .as_ref()
+                    .map(|h| (Instant::now(), h.clone())),
             };
             assert!(
                 self.pool.execute(move || evaluate(item)),

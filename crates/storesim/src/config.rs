@@ -52,7 +52,7 @@ pub enum DiskOpKind {
 }
 
 /// How the event-driven process serves its connection pool (§III-C,
-/// Fig. 4). Brecht et al. [14] showed accept strategies materially change
+/// Fig. 4). Brecht et al. \[14\] showed accept strategies materially change
 /// server behaviour; the two disciplines here bracket the design space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcceptMode {

@@ -2,7 +2,7 @@
 //!
 //! The paper replays a Wikipedia media trace whose surviving objects average
 //! ~32 KB, and cites the long-tail access distribution of blob stores
-//! ([8], [9]). We synthesize an equivalent catalog: log-normal sizes and
+//! (\[8\], \[9\]). We synthesize an equivalent catalog: log-normal sizes and
 //! Zipf(α) popularity over `n` objects.
 
 use cos_distr::{Distribution, LogNormal};

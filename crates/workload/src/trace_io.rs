@@ -1,12 +1,12 @@
 //! Trace files: save/load and timestamp rewriting.
 //!
-//! The paper replays a wikibench-derived trace and "change[s] the timestamp
+//! The paper replays a wikibench-derived trace and "change\[s\] the timestamp
 //! field of each request" to impose the synthetic rate schedule (§V-B).
 //! This module provides the equivalent plumbing: a plain-text trace format
 //! (one `timestamp object_id size` triple per line, `#` comments), readers
 //! and writers, and the timestamp-rewriting transform that keeps object
 //! identities while imposing new Poisson arrivals from a
-//! [`PhaseSchedule`](crate::phases::PhaseSchedule).
+//! [`PhaseSchedule`].
 
 use crate::arrivals::{ArrivalProcess, PoissonArrivals};
 use crate::phases::PhaseSchedule;

@@ -24,7 +24,13 @@
 //! * [`serve`] (`cos-serve`) — the online SLA-prediction service: streaming
 //!   calibration, memoized inversion engine, drift detection;
 //! * [`gate`] (`cos-gate`) — the hand-rolled HTTP/1.1 front door serving
-//!   predictions and `/metrics` over a socket.
+//!   predictions and `/metrics` over a socket;
+//! * [`obs`] (`cos-obs`) — lock-free latency histograms, counters, and
+//!   span timers the service and gate record themselves into.
+//!
+//! Applications should start from [`prelude`] (the tier-1 stable surface)
+//! and [`CosError`] (the unified error umbrella); the per-crate facades
+//! above are the deeper, semi-stable layer.
 //!
 //! ## Quickstart
 //!
@@ -63,9 +69,56 @@ pub use cos_distr as distr;
 pub use cos_gate as gate;
 pub use cos_model as model;
 pub use cos_numeric as numeric;
+pub use cos_obs as obs;
 pub use cos_queueing as queueing;
 pub use cos_serve as serve;
 pub use cos_simkit as simkit;
 pub use cos_stats as stats;
 pub use cos_storesim as storesim;
 pub use cos_workload as workload;
+
+pub mod error;
+
+pub use error::CosError;
+
+/// The stable, application-facing surface in one import.
+///
+/// `use cosmodel::prelude::*;` brings in everything needed to calibrate a
+/// model, run the online prediction service, put the HTTP gate in front of
+/// it, and observe the whole stack — without reaching into the individual
+/// workspace crates.
+///
+/// ## Stability tiers
+///
+/// * **Tier 1 — stable.** The names re-exported here. They form the query
+///   surface the README and DESIGN document; changes go through a
+///   deprecation cycle.
+/// * **Tier 2 — semi-stable.** Everything else reachable through the
+///   per-crate facades ([`crate::model`], [`crate::serve`],
+///   [`crate::gate`], [`crate::obs`], …): public and documented, but may
+///   be reshaped between minor versions as the reproduction grows.
+/// * **Tier 3 — internal.** The numeric/simulation plumbing crates
+///   ([`crate::numeric`], [`crate::simkit`], [`crate::queueing`] — plus
+///   `cos-par`): exported for the benchmark harness and tests; no
+///   stability promise at all.
+pub mod prelude {
+    // Tier 1: the analytic model — parameters in, percentile out.
+    pub use cos_model::{
+        DeviceParams, FrontendParams, ModelError, ModelVariant, SlaGoal, SystemModel, SystemParams,
+    };
+
+    // Tier 1: the online service — telemetry in, predictions out.
+    pub use cos_serve::{
+        CalibrationBase, CalibratorConfig, Prediction, ServeConfig, ServeConfigBuilder, ServeError,
+        ServiceClient, ServiceHandle, ServiceStatus, SlaService, TelemetryEvent, TelemetrySender,
+    };
+
+    // Tier 1: the HTTP front door.
+    pub use cos_gate::{Gate, GateConfig, GateConfigBuilder};
+
+    // Tier 1: the self-measuring instruments shared across the stack.
+    pub use cos_obs::{Counter, Gauge, Hist, HistSnapshot, Registry};
+
+    // Tier 1: the unified error umbrella.
+    pub use crate::error::CosError;
+}

@@ -443,3 +443,137 @@ fn adversarial_inputs_get_exact_statuses_and_the_gate_survives() {
 
     gate.shutdown();
 }
+
+/// Splits a Prometheus exposition into `(name, TYPE)` pairs.
+fn prometheus_types(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("# TYPE ")?;
+            let (name, kind) = rest.split_once(' ')?;
+            Some((name.to_string(), kind.to_string()))
+        })
+        .collect()
+}
+
+/// End-to-end: under real socket load the gate's self-measurement shows up
+/// on `/v1/selfcheck` (observed percentiles next to model-predicted ones)
+/// and `/metrics` exposes well-formed histogram series for the whole stack.
+#[test]
+fn selfcheck_and_metrics_reflect_real_traffic_end_to_end() {
+    let cluster = ClusterConfig::paper_s1();
+    let calibration = calibrate(&cluster, 6_000);
+    let base = CalibrationBase {
+        index_law: calibration.index_law.clone(),
+        meta_law: calibration.meta_law.clone(),
+        data_law: calibration.data_law.clone(),
+        parse_be: calibration.parse_be.clone(),
+        parse_fe: calibration.parse_fe.clone(),
+        devices: cluster.devices,
+        processes_per_device: cluster.processes_per_device,
+        frontend_processes: cluster.frontend_processes,
+    };
+    // One registry shared by service and gate — /metrics shows both.
+    let registry = cosmodel::obs::Registry::new();
+    let config = ServeConfig {
+        slas: vec![0.050],
+        calibrator: CalibratorConfig {
+            window: 10.0,
+            buckets: 20,
+            ..CalibratorConfig::default()
+        },
+        refit_interval: 4.0,
+        obs: registry.clone(),
+        ..ServeConfig::default()
+    };
+    let handle = SlaService::new(base, config).spawn();
+    let gate_config = GateConfig {
+        obs: registry.clone(),
+        ..GateConfig::default()
+    };
+    let gate = Gate::bind("127.0.0.1:0", handle.client(), gate_config).expect("bind");
+    let mut client = Client::connect(gate.local_addr());
+
+    // Load: telemetry batches in, then a burst of queries.
+    let events = simulated_events(&cluster, 60.0, 12.0);
+    for batch in events.chunks(500) {
+        let (status, body) = client.post("/v1/telemetry", &encode_events(batch));
+        assert_eq!(status, 200, "{body}");
+    }
+    let queries = 50;
+    for _ in 0..queries {
+        let (status, body) = client.get("/v1/attainment?sla=0.05");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // Selfcheck: observed gate percentiles next to predicted ones, all
+    // finite and positive, computed from the traffic above.
+    let (status, body) = client.get("/v1/selfcheck");
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).unwrap();
+    let observed = doc.field("observed").expect("observed side present");
+    assert!(
+        observed.f64_field("samples").unwrap() >= queries as f64,
+        "observed histogram saw the query burst"
+    );
+    let op50 = observed.f64_field("p50").unwrap();
+    let op95 = observed.f64_field("p95").unwrap();
+    let op99 = observed.f64_field("p99").unwrap();
+    assert!(op50.is_finite() && op50 > 0.0, "p50 = {op50}");
+    assert!(op50 <= op95 && op95 <= op99, "{op50} ≤ {op95} ≤ {op99}");
+    let predicted = doc.field("predicted").expect("predicted side present");
+    for q in ["p50", "p95", "p99"] {
+        let v = predicted.f64_field(q).unwrap();
+        assert!(v.is_finite() && v > 0.0, "predicted {q} = {v}");
+    }
+    assert!(doc.f64_field("epoch").unwrap() >= 1.0, "epoch installed");
+
+    // /metrics: the service block plus the instrument registry, with
+    // well-formed histogram series for at least four distinct instruments.
+    let (status, text) = client.get("/metrics");
+    assert_eq!(status, 200);
+    let histograms: Vec<String> = prometheus_types(&text)
+        .into_iter()
+        .filter_map(|(name, kind)| (kind == "histogram").then_some(name))
+        .collect();
+    let expected = [
+        "cos_gate_request_seconds",
+        "cos_gate_parse_seconds",
+        "cos_gate_dispatch_seconds",
+        "cos_serve_query_seconds",
+        "cos_serve_ingest_lag_seconds",
+    ];
+    for name in expected {
+        assert!(histograms.contains(&name.to_string()), "missing {name}");
+        // Every histogram family must be structurally valid: bucket lines
+        // with an `le` label, then `_sum` and `_count`.
+        assert!(
+            text.contains(&format!("{name}_bucket{{")),
+            "{name} has bucket lines"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with(&format!("{name}_bucket{{")) && l.contains("le=\"+Inf\"")),
+            "{name} has a +Inf bucket"
+        );
+        assert!(
+            text.lines().any(|l| l.starts_with(&format!("{name}_sum "))
+                || l.starts_with(&format!("{name}_sum{{"))),
+            "{name} has a _sum"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with(&format!("{name}_count "))
+                    || l.starts_with(&format!("{name}_count{{"))),
+            "{name} has a _count"
+        );
+    }
+    assert!(
+        histograms.len() >= 4,
+        "at least four histogram instruments, got {histograms:?}"
+    );
+    // The hand-written service block is still present in the same document.
+    assert!(text.contains("cos_event_time_seconds"), "{text}");
+
+    gate.shutdown();
+    drop(handle);
+}
