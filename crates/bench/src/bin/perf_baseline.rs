@@ -1,29 +1,40 @@
-//! Machine-readable perf baseline for the inversion + sweep hot paths.
+//! Machine-readable perf baseline for the inversion, sweep, and gate
+//! read-path hot paths.
 //!
-//! Measures the composite-model CDF, quantile, and sweep-grid timings and
-//! writes them to `BENCH_inversion.json` / `BENCH_sweep.json`, alongside
-//! the frozen pre-optimization numbers (`baseline`, measured on the same
-//! container before the batched-LST/Ridders/par-sweep work landed) so the
-//! speedup is auditable from the committed files.
+//! Measures the composite-model CDF, quantile, sweep-grid, and multi-client
+//! gate throughput and writes them to `BENCH_inversion.json` /
+//! `BENCH_sweep.json` / `BENCH_gate.json`, alongside the frozen
+//! pre-optimization numbers (`baseline`) so the speedup is auditable from
+//! the committed files. For the gate file both sections are measured on
+//! the *same run*: `baseline` is the worker (channel round-trip) read
+//! path, `current` the lock-free snapshot path.
 //!
 //! Usage:
 //!   cargo run --release -p cos-bench --bin perf_baseline
-//!       full run; writes BENCH_inversion.json and BENCH_sweep.json
+//!       full run; writes BENCH_inversion.json, BENCH_sweep.json,
+//!       and BENCH_gate.json
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick
 //!       fewer iterations, prints only (CI smoke)
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick --check BENCH_inversion.json
 //!       re-measures and exits nonzero if any metric regressed more than
-//!       2x against the committed `current` section
+//!       2x against the committed `current` section, if the obs hot path
+//!       blows its absolute budget, or if the snapshot read path fails to
+//!       beat the worker path at 4 concurrent clients
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use cos_bench::json::{self, Value};
 use cos_distr::{Degenerate, Gamma};
+use cos_gate::{Gate, GateConfig, ReadPath};
 use cos_model::{
     model_at_rate, DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
 };
 use cos_numeric::{quantile_from_lst, CountingLaplaceFn, InversionConfig};
 use cos_queueing::from_distribution;
+use cos_serve::{CalibrationBase, OpClass, ServeConfig, ServiceHandle, SlaService, TelemetryEvent};
 
 fn s1_params(rate: f64) -> SystemParams {
     let per = rate / 4.0;
@@ -166,6 +177,222 @@ fn measure_obs(quick: bool) -> Vec<(&'static str, f64)> {
 /// The absolute obs-overhead budget enforced in `--check` mode.
 const OBS_RECORD_BUDGET_NS: f64 = 100.0;
 
+/// Minimum same-run warm-cache throughput ratio (snapshot / worker at 4
+/// concurrent clients) enforced in `--check` mode. The committed
+/// `BENCH_gate.json` shows the full-run ratio; the check band is looser to
+/// tolerate CI noise.
+const GATE_WARM_4C_MIN_RATIO: f64 = 1.5;
+
+// --- gate read-path throughput -------------------------------------------
+
+fn gate_base() -> CalibrationBase {
+    CalibrationBase {
+        index_law: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+        data_law: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        parse_fe: from_distribution(Degenerate::new(0.0003)),
+        devices: 2,
+        processes_per_device: 1,
+        frontend_processes: 3,
+    }
+}
+
+/// A deterministic 20 s calibration stream at `rate` req/s per device.
+fn gate_events(rate: f64) -> Vec<TelemetryEvent> {
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    let mut t = 0.0;
+    while t < 20.0 {
+        for d in 0..2 {
+            out.push(TelemetryEvent::Arrival { at: t, device: d });
+            out.push(TelemetryEvent::DataRead { at: t, device: d });
+            for class in OpClass::ALL {
+                let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                out.push(TelemetryEvent::Op {
+                    at: t,
+                    device: d,
+                    class,
+                    latency,
+                });
+                i += 1;
+            }
+            out.push(TelemetryEvent::Completion {
+                arrival: t,
+                latency: if i % 10 < 3 { 0.030 } else { 0.004 },
+                device: d,
+            });
+        }
+        t += 1.0 / rate;
+    }
+    out
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Consumes `n` complete HTTP responses off a keep-alive stream, asserting
+/// every status is 200.
+fn read_responses(stream: &mut TcpStream, n: usize, buf: &mut Vec<u8>) {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut seen = 0;
+    while seen < n {
+        while let Some(head_end) = find_double_crlf(buf) {
+            let head = std::str::from_utf8(&buf[..head_end]).expect("ASCII head");
+            let body_len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .map(|v| v.trim().parse().expect("content length"))
+                .unwrap_or(0);
+            let total = head_end + body_len;
+            if buf.len() < total {
+                break;
+            }
+            assert!(head.starts_with("HTTP/1.1 200"), "gate answered: {head}");
+            buf.drain(..total);
+            seen += 1;
+            if seen == n {
+                return;
+            }
+        }
+        let got = stream.read(&mut chunk).expect("read responses");
+        assert!(got > 0, "EOF mid-benchmark");
+        buf.extend_from_slice(&chunk[..got]);
+    }
+}
+
+/// One bench client: pipelines its GET targets in batches over a single
+/// keep-alive connection, so socket and parse overhead amortize and the
+/// measured difference is dominated by the service path under test.
+fn hammer(addr: SocketAddr, targets: &[String]) {
+    let mut stream = TcpStream::connect(addr).expect("connect bench client");
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    const BATCH: usize = 32;
+    for chunk in targets.chunks(BATCH) {
+        let mut out = String::new();
+        for t in chunk {
+            out.push_str("GET ");
+            out.push_str(t);
+            out.push_str(" HTTP/1.1\r\nHost: bench\r\n\r\n");
+        }
+        stream.write_all(out.as_bytes()).expect("write batch");
+        read_responses(&mut stream, chunk.len(), &mut buf);
+    }
+}
+
+/// Total requests per second across concurrent clients, wall-clock from a
+/// shared start barrier to the last client finishing.
+fn throughput(addr: SocketAddr, per_client_targets: Vec<Vec<String>>) -> f64 {
+    let clients = per_client_targets.len();
+    let total: usize = per_client_targets.iter().map(|t| t.len()).sum();
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = per_client_targets
+        .into_iter()
+        .map(|targets| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                hammer(addr, &targets);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench client thread");
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures one read path's warm and cold multi-client throughput.
+/// `cold_block` hands out disjoint SLA ranges so a "cold" query is never
+/// accidentally resident from an earlier phase (both gates share the
+/// service's one cache).
+fn bench_gate_path(
+    handle: &ServiceHandle,
+    path: ReadPath,
+    quick: bool,
+    cold_block: &mut usize,
+) -> Vec<(&'static str, f64)> {
+    let warm_n = if quick { 200 } else { 1500 };
+    let cold_n = if quick { 60 } else { 300 };
+    let config = GateConfig::builder()
+        .read_path(path)
+        .build()
+        .expect("gate config");
+    let gate = Gate::bind("127.0.0.1:0", handle.client(), config).expect("bind gate");
+    let addr = gate.local_addr();
+
+    let warm_target = "/v1/attainment?sla=0.05".to_string();
+    // Prewarm the hot key so the warm phases measure pure cache reads.
+    throughput(addr, vec![vec![warm_target.clone()]]);
+    let warm = |clients: usize| {
+        throughput(
+            addr,
+            (0..clients)
+                .map(|_| vec![warm_target.clone(); warm_n])
+                .collect(),
+        )
+    };
+    let warm_1 = warm(1);
+    let warm_4 = warm(4);
+    let warm_16 = warm(16);
+
+    let mut cold = |clients: usize| {
+        let targets = (0..clients)
+            .map(|c| {
+                let slot = *cold_block * 16 + c;
+                (0..cold_n)
+                    .map(|i| {
+                        format!(
+                            "/v1/attainment?sla={:.4}",
+                            2.0 + slot as f64 * 0.06 + i as f64 * 1e-4
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        *cold_block += 1;
+        throughput(addr, targets)
+    };
+    let cold_1 = cold(1);
+    let cold_4 = cold(4);
+    gate.shutdown();
+    vec![
+        ("warm_1c_rps", warm_1),
+        ("warm_4c_rps", warm_4),
+        ("warm_16c_rps", warm_16),
+        ("cold_1c_rps", cold_1),
+        ("cold_4c_rps", cold_4),
+    ]
+}
+
+/// Multi-client loopback throughput of the two gate read paths against one
+/// calibrated service: `baseline` = worker channel round-trips, `current`
+/// = lock-free snapshot reads. Same process, same run, same cache.
+#[allow(clippy::type_complexity)]
+fn measure_gate(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>) {
+    let mut service = SlaService::new(gate_base(), ServeConfig::default());
+    for ev in gate_events(40.0) {
+        service.ingest(ev);
+    }
+    service.refit_now();
+    let handle = service.spawn();
+    let mut cold_block = 0usize;
+    let worker = bench_gate_path(&handle, ReadPath::Worker, quick, &mut cold_block);
+    let snapshot = bench_gate_path(&handle, ReadPath::Snapshot, quick, &mut cold_block);
+    (worker, snapshot)
+}
+
+fn metric(vals: &[(&str, f64)], key: &str) -> f64 {
+    vals.iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .expect("known metric")
+}
+
 fn to_json(baseline: &[(&str, f64)], current: &[(&str, f64)]) -> Value {
     let section = |vals: &[(&str, f64)]| {
         json::object(vals.iter().map(|&(k, v)| (k, Value::Number(v))).collect())
@@ -192,8 +419,9 @@ fn check(file: &str, fresh: &[(&str, f64)]) -> Result<(), String> {
     let committed = doc.field("current")?;
     let mut failures = Vec::new();
     for &(key, measured) in fresh {
-        if key.ends_with("_workers") {
-            continue; // informational, machine-dependent
+        if key.ends_with("_workers") || key.ends_with("_rps") {
+            continue; // informational / machine-dependent; rps is checked
+                      // as a same-run ratio instead of an absolute band
         }
         let Some(expect) = committed.get(key).and_then(Value::as_f64) else {
             continue; // metric added after the file was generated
@@ -223,11 +451,29 @@ fn main() {
     let inv = measure_inversion(quick);
     let sweep = measure_sweep(quick);
     let obs = measure_obs(quick);
+    let (gate_worker, gate_snapshot) = measure_gate(quick);
     print_metrics("inversion", &inv);
     print_metrics("sweep", &sweep);
     print_metrics("obs", &obs);
+    print_metrics("gate.worker", &gate_worker);
+    print_metrics("gate.snapshot", &gate_snapshot);
+    let warm_4c_ratio = metric(&gate_snapshot, "warm_4c_rps") / metric(&gate_worker, "warm_4c_rps");
+    println!("gate.warm_4c_ratio (snapshot/worker): {warm_4c_ratio:.2}x");
 
     if let Some(file) = check_file {
+        // Same-run relative check: the snapshot path must beat the worker
+        // path at 4 concurrent clients on this very machine, this very run.
+        if warm_4c_ratio < GATE_WARM_4C_MIN_RATIO {
+            eprintln!(
+                "check: FAILED: snapshot warm_4c_rps only {warm_4c_ratio:.2}x the worker path \
+                 (need >= {GATE_WARM_4C_MIN_RATIO}x)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check: snapshot read path {warm_4c_ratio:.2}x worker at 4 clients \
+             (>= {GATE_WARM_4C_MIN_RATIO}x)"
+        );
         // Absolute budget first: the obs hot path has a hard ceiling, not
         // a relative band (the committed JSON carries no obs section).
         let record_ns = obs[0].1;
@@ -260,6 +506,11 @@ fn main() {
             to_json(&baseline_sweep(), &sweep).to_string_pretty(),
         )
         .expect("write BENCH_sweep.json");
-        println!("wrote BENCH_inversion.json, BENCH_sweep.json");
+        std::fs::write(
+            "BENCH_gate.json",
+            to_json(&gate_worker, &gate_snapshot).to_string_pretty(),
+        )
+        .expect("write BENCH_gate.json");
+        println!("wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json");
     }
 }

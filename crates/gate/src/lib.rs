@@ -51,5 +51,7 @@ pub use http::{parse_one, Method, ParseError, ParserLimits, Request, RequestPars
 pub use json::Value;
 pub use metrics::render_metrics;
 pub use obs::{GateObs, TRACKED_ROUTES};
-pub use routes::{decode_events, encode_events, handle, handle_with_obs, status_body};
+pub use routes::{
+    decode_events, encode_events, handle, handle_full, handle_with_obs, status_body, ReadPath,
+};
 pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig};

@@ -17,6 +17,12 @@
 //! *yet* ([`ServeError::NotCalibrated`], [`ServeError::Disconnected`]) →
 //! `503`; a well-formed question with no answer (unstable operating point,
 //! unreachable goal, out-of-range percentile) → `422`.
+//!
+//! Every GET route answers through a [`ReadPath`]: by default the
+//! lock-free snapshot path (evaluated on the connection thread, see
+//! [`cos_serve::SnapshotReader`]), or the worker's command channel when
+//! configured — the answers are bit-identical either way. The telemetry
+//! POST always goes through the channel: it is a write.
 
 use cos_model::SlaGoal;
 use cos_serve::{OpClass, Prediction, ServeError, ServiceClient, ServiceStatus, TelemetryEvent};
@@ -30,18 +36,100 @@ use crate::query;
 /// Default `upper` bound (req/s) of the headroom search.
 pub const DEFAULT_HEADROOM_UPPER: f64 = 10_000.0;
 
+/// Which evaluation path the GET routes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Evaluate on the calling (connection) thread against the worker's
+    /// published snapshot — lock-free, no channel round-trip, bit-identical
+    /// answers. The default.
+    #[default]
+    Snapshot,
+    /// Round-trip every query through the service worker's command
+    /// channel. Kept for comparison benchmarks and as a behavioral
+    /// reference; writes (`POST /v1/telemetry`) always use the channel.
+    Worker,
+}
+
+/// The GET routes' view of the service: one [`ServiceClient`] dispatched
+/// through the configured [`ReadPath`].
+struct Reader<'a> {
+    client: &'a ServiceClient,
+    path: ReadPath,
+}
+
+impl Reader<'_> {
+    fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_predict(sla),
+            ReadPath::Worker => self.client.predict(sla),
+        }
+    }
+
+    fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_predict_at_rate(rate, sla),
+            ReadPath::Worker => self.client.predict_at_rate(rate, sla),
+        }
+    }
+
+    fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_percentile(p),
+            ReadPath::Worker => self.client.percentile(p),
+        }
+    }
+
+    fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_headroom(goal, upper),
+            ReadPath::Worker => self.client.headroom(goal, upper),
+        }
+    }
+
+    fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_bottlenecks(sla),
+            ReadPath::Worker => self.client.bottlenecks(sla),
+        }
+    }
+
+    fn status(&self) -> Result<ServiceStatus, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_status(),
+            ReadPath::Worker => self.client.status(),
+        }
+    }
+}
+
 /// Dispatches one parsed request against the service, without gate
 /// instrumentation: `/v1/selfcheck` reports no observed latencies and
 /// `/metrics` carries only the service summary. The socket server uses
-/// [`handle_with_obs`].
+/// [`handle_full`].
 pub fn handle(client: &ServiceClient, req: &Request) -> Response {
     handle_with_obs(client, None, req)
 }
 
-/// Dispatches one parsed request against the service. With `obs`, the
-/// self-measuring routes light up: `/metrics` appends every registered
-/// instrument and `/v1/selfcheck` reports observed request percentiles.
+/// Dispatches one parsed request against the service over the default
+/// (snapshot) read path. With `obs`, the self-measuring routes light up:
+/// `/metrics` appends every registered instrument and `/v1/selfcheck`
+/// reports observed request percentiles.
 pub fn handle_with_obs(client: &ServiceClient, obs: Option<&GateObs>, req: &Request) -> Response {
+    handle_full(client, obs, ReadPath::default(), req)
+}
+
+/// Dispatches one parsed request with an explicit [`ReadPath`]: every GET
+/// route answers through `read_path`; `POST /v1/telemetry` always goes
+/// through the worker's command channel (it is a write).
+pub fn handle_full(
+    client: &ServiceClient,
+    obs: Option<&GateObs>,
+    read_path: ReadPath,
+    req: &Request,
+) -> Response {
+    let reader = Reader {
+        client,
+        path: read_path,
+    };
     let path = req.path();
     let get = |handler: &dyn Fn() -> Response| -> Response {
         if req.method == Method::Get {
@@ -51,13 +139,13 @@ pub fn handle_with_obs(client: &ServiceClient, obs: Option<&GateObs>, req: &Requ
         }
     };
     match path {
-        "/v1/attainment" => get(&|| attainment(client, req)),
-        "/v1/percentile" => get(&|| percentile(client, req)),
-        "/v1/headroom" => get(&|| headroom(client, req)),
-        "/v1/bottlenecks" => get(&|| bottlenecks(client, req)),
-        "/v1/status" => get(&|| status(client, req)),
-        "/v1/selfcheck" => get(&|| selfcheck(client, obs)),
-        "/metrics" => get(&|| metrics(client, obs)),
+        "/v1/attainment" => get(&|| attainment(&reader, req)),
+        "/v1/percentile" => get(&|| percentile(&reader, req)),
+        "/v1/headroom" => get(&|| headroom(&reader, req)),
+        "/v1/bottlenecks" => get(&|| bottlenecks(&reader, req)),
+        "/v1/status" => get(&|| status(&reader, req)),
+        "/v1/selfcheck" => get(&|| selfcheck(&reader, obs)),
+        "/metrics" => get(&|| metrics(&reader, obs)),
         "/v1/telemetry" => {
             if req.method == Method::Post {
                 telemetry(client, req)
@@ -96,7 +184,7 @@ fn parsed_query(req: &Request) -> Result<query::Params, Response> {
     query::parse_query(req.query()).map_err(|e| Response::error(400, &e))
 }
 
-fn attainment(client: &ServiceClient, req: &Request) -> Response {
+fn attainment(reader: &Reader<'_>, req: &Request) -> Response {
     let params = match parsed_query(req) {
         Ok(p) => p,
         Err(r) => return r,
@@ -107,9 +195,9 @@ fn attainment(client: &ServiceClient, req: &Request) -> Response {
         Err(e) => return Response::error(400, &e),
     };
     let answer = match query::get(&params, "rate") {
-        None => client.predict(sla),
+        None => reader.predict(sla),
         Some(_) => match query::require_f64(&params, "rate") {
-            Ok(rate) if rate > 0.0 => client.predict_at_rate(rate, sla),
+            Ok(rate) if rate > 0.0 => reader.predict_at_rate(rate, sla),
             Ok(_) => return Response::error(400, "query parameter `rate` must be positive"),
             Err(e) => return Response::error(400, &e),
         },
@@ -120,7 +208,7 @@ fn attainment(client: &ServiceClient, req: &Request) -> Response {
     }
 }
 
-fn percentile(client: &ServiceClient, req: &Request) -> Response {
+fn percentile(reader: &Reader<'_>, req: &Request) -> Response {
     let params = match parsed_query(req) {
         Ok(p) => p,
         Err(r) => return r,
@@ -130,13 +218,13 @@ fn percentile(client: &ServiceClient, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `p` must lie in (0, 1)"),
         Err(e) => return Response::error(400, &e),
     };
-    match client.percentile(p) {
+    match reader.percentile(p) {
         Ok(answer) => prediction_body(&[("p", p)], answer),
         Err(e) => service_error(e),
     }
 }
 
-fn headroom(client: &ServiceClient, req: &Request) -> Response {
+fn headroom(reader: &Reader<'_>, req: &Request) -> Response {
     let params = match parsed_query(req) {
         Ok(p) => p,
         Err(r) => return r,
@@ -156,13 +244,13 @@ fn headroom(client: &ServiceClient, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `upper` must be positive"),
         Err(e) => return Response::error(400, &e),
     };
-    match client.headroom(SlaGoal::new(sla, target), upper) {
+    match reader.headroom(SlaGoal::new(sla, target), upper) {
         Ok(answer) => prediction_body(&[("sla", sla), ("target", target)], answer),
         Err(e) => service_error(e),
     }
 }
 
-fn bottlenecks(client: &ServiceClient, req: &Request) -> Response {
+fn bottlenecks(reader: &Reader<'_>, req: &Request) -> Response {
     let params = match parsed_query(req) {
         Ok(p) => p,
         Err(r) => return r,
@@ -172,7 +260,7 @@ fn bottlenecks(client: &ServiceClient, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
         Err(e) => return Response::error(400, &e),
     };
-    match client.bottlenecks(sla) {
+    match reader.bottlenecks(sla) {
         Ok(ranked) => {
             let items = ranked
                 .into_iter()
@@ -225,15 +313,15 @@ fn telemetry(client: &ServiceClient, req: &Request) -> Response {
     )
 }
 
-fn status(client: &ServiceClient, _req: &Request) -> Response {
-    match client.status() {
+fn status(reader: &Reader<'_>, _req: &Request) -> Response {
+    match reader.status() {
         Ok(s) => Response::json(200, status_body(&s).encode()),
         Err(e) => service_error(e),
     }
 }
 
-fn metrics(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
-    match client.status() {
+fn metrics(reader: &Reader<'_>, obs: Option<&GateObs>) -> Response {
+    match reader.status() {
         Ok(s) => {
             let mut text = render_metrics(&s);
             if let Some(obs) = obs {
@@ -251,7 +339,7 @@ fn metrics(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
 ///
 /// Always `200`: a selfcheck must stay readable while the service warms
 /// up. The side that cannot answer yet renders as `null`.
-fn selfcheck(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
+fn selfcheck(reader: &Reader<'_>, obs: Option<&GateObs>) -> Response {
     const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
 
     let observed = match obs.map(|o| o.observed_request_latency()) {
@@ -271,7 +359,7 @@ fn selfcheck(client: &ServiceClient, obs: Option<&GateObs>) -> Response {
     let mut stale = Value::Null;
     let mut unavailable = Value::Null;
     for (name, q) in QUANTILES {
-        match client.percentile(q) {
+        match reader.percentile(q) {
             Ok(p) => {
                 epoch = Value::Number(p.epoch as f64);
                 stale = Value::Bool(p.stale);

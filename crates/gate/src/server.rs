@@ -5,17 +5,21 @@
 //! connection (bounded by [`GateConfig::max_connections`]; excess accepts
 //! are answered `503` and closed), blocking reads under
 //! [`GateConfig::read_timeout`], and a per-request deadline from the first
-//! byte of a request head to its response. The service itself is a single
-//! thread behind a FIFO channel, so the gate adds no locking around
-//! predictions — each connection thread holds its own cloned
-//! [`ServiceClient`].
+//! byte of a request head to its response. Each connection thread holds
+//! its own cloned [`ServiceClient`] and, by default, answers GET routes
+//! **in place** through the lock-free snapshot path
+//! ([`ReadPath::Snapshot`]) — predictions are evaluated on the connection
+//! thread against the worker's published epoch, so concurrent reads never
+//! serialize on the single service thread. Writes (telemetry) and the
+//! opt-in [`ReadPath::Worker`] go through the service's FIFO channel.
 //!
-//! Graceful shutdown: [`Gate::shutdown`] flips a flag; the accept loop
-//! (non-blocking, polling) stops taking connections, every connection
-//! thread finishes writing the response in flight (keep-alive answers are
-//! demoted to `Connection: close`), idle keep-alive connections close at
-//! their next read-timeout tick, and the waiter blocks until the live
-//! count drains to zero.
+//! Graceful shutdown: [`Gate::shutdown`] flips a flag and wakes the accept
+//! loop (which parks on a condvar between non-blocking accepts rather than
+//! sleeping); it stops taking connections, every connection thread
+//! finishes writing the response in flight (keep-alive answers are demoted
+//! to `Connection: close`), idle keep-alive connections close at their
+//! next read-timeout tick, and the waiter blocks until the live count
+//! drains to zero.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -29,7 +33,7 @@ use cos_serve::ServiceClient;
 
 use crate::http::{ParserLimits, RequestParser, Response};
 use crate::obs::GateObs;
-use crate::routes;
+use crate::routes::{self, ReadPath};
 
 /// Front-door knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +54,9 @@ pub struct GateConfig {
     /// [`cos_serve::ServeConfig::obs`] to get gate and service metrics in
     /// a single `GET /metrics` document.
     pub obs: Registry,
+    /// Which evaluation path GET routes use: the lock-free snapshot path
+    /// (default) or the worker's command channel.
+    pub read_path: ReadPath,
 }
 
 impl Default for GateConfig {
@@ -61,6 +68,7 @@ impl Default for GateConfig {
             request_deadline: Duration::from_secs(10),
             limits: ParserLimits::default(),
             obs: Registry::new(),
+            read_path: ReadPath::default(),
         }
     }
 }
@@ -139,6 +147,12 @@ impl GateConfigBuilder {
         self
     }
 
+    /// Which evaluation path GET routes use (snapshot by default).
+    pub fn read_path(mut self, path: ReadPath) -> Self {
+        self.config.read_path = path;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<GateConfig, InvalidConfig> {
         let err = |field: &'static str, reason: String| Err(InvalidConfig { field, reason });
@@ -191,9 +205,26 @@ impl Shared {
     fn connection_finished(&self) {
         let mut active = self.active.lock().expect("active lock");
         *active -= 1;
-        if *active == 0 {
-            self.drained.notify_all();
+        // Notify on every decrement, not only at zero: besides the drain
+        // waiter (which re-checks its predicate anyway), a parked accept
+        // loop may be waiting for exactly this freed slot.
+        self.drained.notify_all();
+    }
+
+    /// Parks the accept loop for at most `timeout`. A finishing
+    /// connection or shutdown wakes it immediately; the shutdown check
+    /// runs under the mutex, and [`Gate::shutdown`] notifies while
+    /// holding the same mutex, so the flag cannot be set-and-notified
+    /// between the check and the wait (no lost wakeup).
+    fn park(&self, timeout: Duration) {
+        let guard = self.active.lock().expect("active lock");
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
         }
+        let _unused = self
+            .drained
+            .wait_timeout(guard, timeout)
+            .expect("park wait");
     }
 }
 
@@ -251,6 +282,12 @@ impl Gate {
 
     fn shutdown_in_place(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            // Wake a parked accept loop right away (see `Shared::park` for
+            // why the notify happens under the mutex).
+            let _guard = self.shared.active.lock().expect("active lock");
+            self.shared.drained.notify_all();
+        }
         if let Some(join) = self.accept_join.take() {
             let _ = join.join();
         }
@@ -309,9 +346,9 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                shared.park(Duration::from_millis(5));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => shared.park(Duration::from_millis(5)),
         }
     }
 }
@@ -370,7 +407,8 @@ fn serve_connection(
                     let started = request_started.take().unwrap_or(parse_begin);
                     let draining = shared.shutdown.load(Ordering::SeqCst);
                     let dispatch_span = obs.dispatch.start_span();
-                    let response = routes::handle_with_obs(client, Some(obs), &request);
+                    let response =
+                        routes::handle_full(client, Some(obs), config.read_path, &request);
                     dispatch_span.stop();
                     let keep = request.keep_alive() && !draining;
                     let written = write_response(&mut stream, &response, keep);

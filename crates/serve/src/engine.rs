@@ -15,17 +15,23 @@
 //! `(epoch, rate)` alongside the scalar results, so a what-if query at a
 //! new SLA on an already-seen rate only pays the final inversion.
 //!
+//! The memo itself lives in a shared, sharded
+//! [`InversionCache`]: the engine (worker
+//! path) and every [`SnapshotReader`](crate::SnapshotReader) (lock-free
+//! read path) funnel through the same bounded cache and the same quantized
+//! evaluation code, which is what keeps the two paths bit-identical.
+//!
 //! Epoch handling degrades gracefully: when a re-fit fails (no traffic, or
 //! the fitted point is unstable), the engine keeps serving the last good
 //! epoch with [`Prediction::stale`] set, and queries at unstable operating
 //! points return the typed [`ServeError::Unstable`] — which is memoized
 //! too, so a flapping dashboard does not re-derive the failure.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use cos_model::{max_admissible_rate, ModelVariant, SlaGoal, SystemModel, SystemParams};
+use cos_model::{ModelVariant, SlaGoal, SystemModel, SystemParams};
 
+use crate::cache::{quantize_rate, InversionCache, QueryKind};
 use crate::error::ServeError;
 
 /// Rate quantization step (req/s) for what-if queries.
@@ -35,7 +41,7 @@ pub const SLA_QUANTUM: f64 = 1e-4;
 /// Percentile / fraction quantization step.
 pub const FRACTION_QUANTUM: f64 = 1e-4;
 
-fn snap(x: f64, quantum: f64) -> (i64, f64) {
+pub(crate) fn snap(x: f64, quantum: f64) -> (i64, f64) {
     let q = (x / quantum).round().max(1.0) as i64;
     (q, q as f64 * quantum)
 }
@@ -105,50 +111,31 @@ pub struct Prediction {
     pub stale: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum QueryKind {
-    /// Fraction of requests meeting a quantized SLA.
-    Fraction { sla_q: i64 },
-    /// Response-latency percentile at a quantized `p`.
-    Percentile { p_q: i64 },
-    /// Largest admissible rate for a quantized goal.
-    Headroom {
-        sla_q: i64,
-        frac_q: i64,
-        upper_q: i64,
-    },
-    /// One device's fraction meeting a quantized SLA.
-    DeviceFraction { device: usize, sla_q: i64 },
-    /// Mean response time.
-    MeanResponse,
-}
-
-type QueryKey = (u64, Option<i64>, QueryKind);
-type ModelKey = (u64, Option<i64>);
-
 /// The memoizing query engine. See the module docs for the caching scheme.
 pub struct PredictionEngine {
     variant: ModelVariant,
     snapshot: Option<EpochSnapshot>,
     next_epoch: u64,
-    models: HashMap<ModelKey, Arc<SystemModel>>,
-    results: HashMap<QueryKey, Result<f64, ServeError>>,
-    stats: CacheStats,
-    max_entries: usize,
+    cache: Arc<InversionCache>,
     failed_refits: u64,
 }
 
 impl PredictionEngine {
-    /// Creates an engine answering queries under `variant`.
+    /// Creates an engine answering queries under `variant`, with its own
+    /// private [`InversionCache`].
     pub fn new(variant: ModelVariant) -> Self {
+        PredictionEngine::with_cache(variant, Arc::new(InversionCache::default()))
+    }
+
+    /// Creates an engine recording into a shared `cache` — the form the
+    /// service uses so snapshot readers and the worker thread share one
+    /// bounded memo.
+    pub fn with_cache(variant: ModelVariant, cache: Arc<InversionCache>) -> Self {
         PredictionEngine {
             variant,
             snapshot: None,
             next_epoch: 1,
-            models: HashMap::new(),
-            results: HashMap::new(),
-            stats: CacheStats::default(),
-            max_entries: 4096,
+            cache,
             failed_refits: 0,
         }
     }
@@ -156,6 +143,11 @@ impl PredictionEngine {
     /// The model variant this engine evaluates.
     pub fn variant(&self) -> ModelVariant {
         self.variant
+    }
+
+    /// The shared result/model memo.
+    pub fn cache(&self) -> &Arc<InversionCache> {
+        &self.cache
     }
 
     /// Installs a new calibration epoch, invalidating all cached results of
@@ -176,10 +168,9 @@ impl PredictionEngine {
             fitted_at,
             stale: false,
         });
-        self.models.clear();
-        self.results.clear();
+        self.cache.advance_epoch(epoch);
         if let Some(m) = model {
-            self.models.insert((epoch, None), m);
+            self.cache.prewarm_model(epoch, m);
         }
         epoch
     }
@@ -198,14 +189,15 @@ impl PredictionEngine {
         self.snapshot.as_ref()
     }
 
-    /// Cache hit/miss counters.
+    /// Cache hit/miss counters (shared with every snapshot reader when the
+    /// engine was built [`with_cache`](PredictionEngine::with_cache)).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.cache.stats()
     }
 
     /// Resets the hit/miss counters (e.g. between benchmark phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    pub fn reset_stats(&self) {
+        self.cache.reset_stats();
     }
 
     /// Re-fits that have failed since startup.
@@ -216,7 +208,7 @@ impl PredictionEngine {
     /// Cache counters and failure count as one merged snapshot.
     pub fn health(&self) -> EngineHealth {
         EngineHealth {
-            cache: self.stats,
+            cache: self.cache.stats(),
             failed_refits: self.failed_refits,
         }
     }
@@ -225,151 +217,9 @@ impl PredictionEngine {
         self.snapshot.clone().ok_or(ServeError::NotCalibrated)
     }
 
-    fn lookup(&mut self, key: &QueryKey) -> Option<Result<f64, ServeError>> {
-        let cached = self.results.get(key).cloned();
-        match cached {
-            Some(r) => {
-                self.stats.hits += 1;
-                Some(r)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn store(&mut self, key: QueryKey, outcome: Result<f64, ServeError>) {
-        if self.results.len() >= self.max_entries {
-            self.results.clear();
-        }
-        self.results.insert(key, outcome);
-    }
-
-    /// The (possibly rate-scaled) model of an epoch, building and caching
-    /// it on first use.
-    fn model_for(
-        &mut self,
-        snap: &EpochSnapshot,
-        rate_q: Option<i64>,
-    ) -> Result<Arc<SystemModel>, ServeError> {
-        let key = (snap.epoch, rate_q);
-        if let Some(m) = self.models.get(&key) {
-            return Ok(m.clone());
-        }
-        let built = match rate_q {
-            None => SystemModel::new(&snap.params, self.variant),
-            Some(q) => SystemModel::new(
-                &snap.params.scaled_to_rate(q as f64 * RATE_QUANTUM),
-                self.variant,
-            ),
-        };
-        let model = Arc::new(built?);
-        self.models.insert(key, model.clone());
-        Ok(model)
-    }
-
-    fn answer(
-        &mut self,
-        rate_q: Option<i64>,
-        kind: QueryKind,
-        compute: impl FnOnce(&SystemModel) -> Result<f64, ServeError>,
-    ) -> Result<Prediction, ServeError> {
-        let snap = self.current()?;
-        let key = (snap.epoch, rate_q, kind);
-        let outcome = match self.lookup(&key) {
-            Some(cached) => cached,
-            None => {
-                let fresh = self.model_for(&snap, rate_q).and_then(|m| compute(&m));
-                self.store(key, fresh.clone());
-                fresh
-            }
-        };
-        outcome.map(|value| Prediction {
-            value,
-            epoch: snap.epoch,
-            stale: snap.stale,
-        })
-    }
-
-    /// Predicted fraction of requests meeting `sla` at the calibrated rate.
-    pub fn fraction_meeting_sla(&mut self, sla: f64) -> Result<Prediction, ServeError> {
-        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
-        self.answer(None, QueryKind::Fraction { sla_q }, |m| {
-            Ok(m.fraction_meeting_sla(sla_s))
-        })
-    }
-
-    /// What-if: fraction meeting `sla` with the system rescaled to
-    /// `total_rate` req/s.
-    pub fn fraction_at_rate(
-        &mut self,
-        total_rate: f64,
-        sla: f64,
-    ) -> Result<Prediction, ServeError> {
-        let (rate_q, _) = snap(total_rate, RATE_QUANTUM);
-        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
-        self.answer(Some(rate_q), QueryKind::Fraction { sla_q }, |m| {
-            Ok(m.fraction_meeting_sla(sla_s))
-        })
-    }
-
-    /// Predicted response-latency percentile (seconds) at the calibrated
-    /// rate, e.g. `p = 0.95`.
-    pub fn latency_percentile(&mut self, p: f64) -> Result<Prediction, ServeError> {
-        let (p_q, p_s) = snap(p, FRACTION_QUANTUM);
-        self.answer(None, QueryKind::Percentile { p_q }, move |m| {
-            m.latency_percentile(p_s)
-                .ok_or(ServeError::PercentileOutOfRange { p: p_s })
-        })
-    }
-
-    /// Predicted mean response time (seconds) at the calibrated rate.
-    pub fn mean_response(&mut self) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::MeanResponse, |m| Ok(m.mean_response()))
-    }
-
-    /// One device's predicted fraction meeting `sla`.
-    pub fn device_fraction(&mut self, device: usize, sla: f64) -> Result<Prediction, ServeError> {
-        let (sla_q, sla_s) = snap(sla, SLA_QUANTUM);
-        self.answer(
-            None,
-            QueryKind::DeviceFraction { device, sla_q },
-            move |m| {
-                if device >= m.devices().len() {
-                    return Err(ServeError::NotCalibrated);
-                }
-                Ok(m.device_fraction_meeting(device, sla_s))
-            },
-        )
-    }
-
-    /// Overload-control headroom: the largest total arrival rate (req/s) at
-    /// which `goal` still holds, searched up to `upper`.
-    pub fn headroom(&mut self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+    fn answer(&self, rate_q: Option<i64>, kind: QueryKind) -> Result<Prediction, ServeError> {
         let snap_ = self.current()?;
-        let (sla_q, sla_s) = snap(goal.sla, SLA_QUANTUM);
-        let (frac_q, frac_s) = snap(goal.target_fraction, FRACTION_QUANTUM);
-        let (upper_q, upper_s) = snap(upper, RATE_QUANTUM);
-        let key = (
-            snap_.epoch,
-            None,
-            QueryKind::Headroom {
-                sla_q,
-                frac_q,
-                upper_q,
-            },
-        );
-        let outcome = match self.lookup(&key) {
-            Some(cached) => cached,
-            None => {
-                let goal_s = SlaGoal::new(sla_s, frac_s.min(1.0 - FRACTION_QUANTUM));
-                let fresh = max_admissible_rate(&snap_.params, self.variant, goal_s, upper_s)
-                    .ok_or(ServeError::GoalUnreachable);
-                self.store(key, fresh.clone());
-                fresh
-            }
-        };
+        let (outcome, _miss) = self.cache.answer(&snap_, self.variant, rate_q, kind);
         outcome.map(|value| Prediction {
             value,
             epoch: snap_.epoch,
@@ -377,9 +227,42 @@ impl PredictionEngine {
         })
     }
 
+    /// Predicted fraction of requests meeting `sla` at the calibrated rate.
+    pub fn fraction_meeting_sla(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::fraction(sla))
+    }
+
+    /// What-if: fraction meeting `sla` with the system rescaled to
+    /// `total_rate` req/s.
+    pub fn fraction_at_rate(&self, total_rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(Some(quantize_rate(total_rate)), QueryKind::fraction(sla))
+    }
+
+    /// Predicted response-latency percentile (seconds) at the calibrated
+    /// rate, e.g. `p = 0.95`.
+    pub fn latency_percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::percentile(p))
+    }
+
+    /// Predicted mean response time (seconds) at the calibrated rate.
+    pub fn mean_response(&self) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::MeanResponse)
+    }
+
+    /// One device's predicted fraction meeting `sla`.
+    pub fn device_fraction(&self, device: usize, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::device_fraction(device, sla))
+    }
+
+    /// Overload-control headroom: the largest total arrival rate (req/s) at
+    /// which `goal` still holds, searched up to `upper`.
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::headroom(goal, upper))
+    }
+
     /// Bottleneck ranking: devices ordered by predicted fraction meeting
     /// `sla`, worst first. Assembled from memoized per-device queries.
-    pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
         let n = self.current()?.params.devices.len();
         let mut out = Vec::with_capacity(n);
         for device in 0..n {
@@ -430,13 +313,13 @@ pub(crate) mod tests {
 
     #[test]
     fn uncalibrated_engine_refuses() {
-        let mut e = PredictionEngine::new(ModelVariant::Full);
+        let e = PredictionEngine::new(ModelVariant::Full);
         assert_eq!(e.fraction_meeting_sla(0.05), Err(ServeError::NotCalibrated));
     }
 
     #[test]
     fn repeat_queries_hit_and_are_bit_identical() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         let first = e.fraction_meeting_sla(0.05).unwrap();
         let again = e.fraction_meeting_sla(0.05).unwrap();
         assert_eq!(first.value.to_bits(), again.value.to_bits());
@@ -451,7 +334,7 @@ pub(crate) mod tests {
 
     #[test]
     fn queries_within_a_quantum_share_the_inversion() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         let a = e.fraction_meeting_sla(0.0500).unwrap();
         let b = e.fraction_meeting_sla(0.050_004).unwrap(); // same 0.1 ms cell
         assert_eq!(a.value.to_bits(), b.value.to_bits());
@@ -460,10 +343,10 @@ pub(crate) mod tests {
 
     #[test]
     fn what_if_rates_reuse_built_models_across_slas() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         e.fraction_at_rate(150.0, 0.05).unwrap();
         e.fraction_at_rate(150.0, 0.10).unwrap(); // same model, new inversion
-        assert_eq!(e.models.len(), 1);
+        assert_eq!(e.cache().model_count(), 1);
         assert_eq!(e.stats(), CacheStats { hits: 0, misses: 2 });
         let again = e.fraction_at_rate(150.0, 0.05).unwrap();
         assert!(again.value > 0.0);
@@ -487,7 +370,7 @@ pub(crate) mod tests {
 
     #[test]
     fn unstable_what_if_is_typed_and_memoized() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         let err = e.fraction_at_rate(100_000.0, 0.05).unwrap_err();
         assert!(matches!(err, ServeError::Unstable { .. }));
         let again = e.fraction_at_rate(100_000.0, 0.05).unwrap_err();
@@ -519,7 +402,7 @@ pub(crate) mod tests {
 
     #[test]
     fn percentile_and_mean_are_consistent() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         let p50 = e.latency_percentile(0.50).unwrap().value;
         let p95 = e.latency_percentile(0.95).unwrap().value;
         assert!(p50 < p95, "p50 {p50} vs p95 {p95}");
@@ -529,7 +412,7 @@ pub(crate) mod tests {
 
     #[test]
     fn headroom_brackets_the_goal() {
-        let mut e = engine_with(100.0);
+        let e = engine_with(100.0);
         let goal = SlaGoal::new(0.100, 0.90);
         let head = e.headroom(goal, 1000.0).unwrap().value;
         assert!(

@@ -36,15 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod drift;
 pub mod engine;
 pub mod error;
 pub mod obs;
 pub mod service;
+pub mod snapshot;
 pub mod telemetry;
 pub mod worker;
 
+pub use cache::{quantize_rate, InversionCache, QueryKey, QueryKind};
 pub use calibrate::{CalibrationBase, CalibratorConfig, FitError, OnlineCalibrator};
 pub use drift::{DriftConfig, DriftMonitor, DriftReport};
 pub use engine::{
@@ -57,5 +60,6 @@ pub use service::{
     InvalidConfig, ServeConfig, ServeConfigBuilder, ServiceClient, ServiceHandle, ServiceStatus,
     SlaService, TelemetrySender,
 };
+pub use snapshot::{SnapshotReader, SnapshotState};
 pub use telemetry::{OpClass, TelemetryEvent};
 pub use worker::{RatePoint, SweepHandle, SweepPool};

@@ -17,11 +17,13 @@ use std::time::Instant;
 use cos_model::{ModelVariant, SlaGoal, SystemModel};
 use cos_obs::Registry;
 
+use crate::cache::InversionCache;
 use crate::calibrate::{CalibrationBase, CalibratorConfig, OnlineCalibrator};
 use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
 use crate::engine::{EngineHealth, Prediction, PredictionEngine};
 use crate::error::ServeError;
 use crate::obs::ServeObs;
+use crate::snapshot::{SnapshotReader, SnapshotShared, SnapshotState};
 use crate::telemetry::TelemetryEvent;
 use crate::worker::{RatePoint, SweepHandle, SweepPool};
 
@@ -218,6 +220,7 @@ pub struct SlaService {
     engine: PredictionEngine,
     pool: SweepPool,
     obs: ServeObs,
+    shared: Arc<SnapshotShared>,
     now: f64,
     last_refit: f64,
     last_fit_error: Option<String>,
@@ -227,16 +230,30 @@ impl SlaService {
     /// Creates a service over `base`'s topology.
     pub fn new(base: CalibrationBase, config: ServeConfig) -> Self {
         let obs = ServeObs::register(&config.obs);
+        let cache = Arc::new(InversionCache::default());
+        let drift = DriftMonitor::new(config.slas.clone(), config.drift.clone());
+        let shared = Arc::new(SnapshotShared::new(
+            config.variant,
+            Arc::clone(&cache),
+            obs.clone(),
+            SnapshotState {
+                snapshot: None,
+                last_fit_error: None,
+                failed_refits: 0,
+                drift: drift.report(0.0, &vec![None; config.slas.len()]),
+            },
+        ));
         SlaService {
             calibrator: OnlineCalibrator::new(base, config.calibrator.clone()),
-            drift: DriftMonitor::new(config.slas.clone(), config.drift.clone()),
-            engine: PredictionEngine::new(config.variant),
+            drift,
+            engine: PredictionEngine::with_cache(config.variant, cache),
             pool: SweepPool::with_timing(
                 config.sweep_workers,
                 Some(obs.sweep_queue_wait.clone()),
                 Some(obs.sweep_task.clone()),
             ),
             obs,
+            shared,
             now: 0.0,
             last_refit: 0.0,
             last_fit_error: None,
@@ -260,6 +277,7 @@ impl SlaService {
         self.obs.ingest_events_total.inc();
         let t = event.time();
         self.now = self.now.max(t);
+        self.shared.set_event_time(self.now);
         if let TelemetryEvent::Completion { latency, .. } = event {
             self.drift.record(t, latency);
         }
@@ -274,32 +292,67 @@ impl SlaService {
     /// serving, flagged stale.
     pub fn refit_now(&mut self) -> bool {
         self.obs.refits_total.inc();
-        let _refit_span = self.obs.refit.start_span();
-        self.last_refit = self.now;
-        let fitted = match self.calibrator.try_fit(self.now) {
-            Ok(params) => params,
-            Err(e) => {
-                self.last_fit_error = Some(e.to_string());
-                self.engine.mark_stale();
-                return false;
+        let installed = {
+            let _refit_span = self.obs.refit.start_span();
+            self.last_refit = self.now;
+            let fitted = match self.calibrator.try_fit(self.now) {
+                Ok(params) => Some(params),
+                Err(e) => {
+                    self.last_fit_error = Some(e.to_string());
+                    self.engine.mark_stale();
+                    None
+                }
+            };
+            // Validate stability *before* installing: an unstable fit (a
+            // load spike pushing ρ ≥ 1 through the window) must not evict
+            // a usable epoch. The successfully built model pre-warms the
+            // engine.
+            match fitted {
+                None => false,
+                Some(fitted) => match SystemModel::new(&fitted, self.config.variant) {
+                    Ok(model) => {
+                        self.engine
+                            .install(Arc::new(fitted), self.now, Some(Arc::new(model)));
+                        self.last_fit_error = None;
+                        true
+                    }
+                    Err(e) => {
+                        self.last_fit_error = Some(e.to_string());
+                        self.engine.mark_stale();
+                        false
+                    }
+                },
             }
         };
-        // Validate stability *before* installing: an unstable fit (a load
-        // spike pushing ρ ≥ 1 through the window) must not evict a usable
-        // epoch. The successfully built model pre-warms the engine.
-        match SystemModel::new(&fitted, self.config.variant) {
-            Ok(model) => {
-                self.engine
-                    .install(Arc::new(fitted), self.now, Some(Arc::new(model)));
-                self.last_fit_error = None;
-                true
-            }
-            Err(e) => {
-                self.last_fit_error = Some(e.to_string());
-                self.engine.mark_stale();
-                false
-            }
-        }
+        // Publish on every attempt — success or failure — so snapshot
+        // readers observe staleness and fit errors as promptly as the
+        // channel path does.
+        self.publish_state();
+        installed
+    }
+
+    /// Pushes the engine's current epoch, fit-failure state, and fresh
+    /// drift verdicts to the lock-free readers. The per-SLA predictions
+    /// computed for the drift report double as a cache pre-warm: the
+    /// dashboard's hottest keys are resident before the first reader asks.
+    fn publish_state(&mut self) {
+        let predictions: Vec<Option<f64>> = self
+            .config
+            .slas
+            .iter()
+            .map(|&sla| self.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
+            .collect();
+        self.shared.publish(SnapshotState {
+            snapshot: self.engine.snapshot().cloned(),
+            last_fit_error: self.last_fit_error.clone(),
+            failed_refits: self.engine.failed_refits(),
+            drift: self.drift.report(self.now, &predictions),
+        });
+    }
+
+    /// A lock-free query endpoint over this service's published epochs.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(Arc::clone(&self.shared))
     }
 
     /// Predicted fraction of requests meeting `sla` at the calibrated
@@ -365,12 +418,13 @@ impl SlaService {
     /// Moves the service onto its own thread behind a command channel.
     pub fn spawn(self) -> ServiceHandle {
         let (tx, rx) = channel();
+        let reader = self.reader();
         let join = std::thread::Builder::new()
             .name("cos-serve".into())
             .spawn(move || run_service(self, rx))
             .expect("spawn service thread");
         ServiceHandle {
-            client: ServiceClient { tx },
+            client: ServiceClient { tx, reader },
             join: Some(join),
         }
     }
@@ -473,6 +527,9 @@ fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
             Command::Shutdown => break,
         }
     }
+    // Snapshot readers outlive the thread; flip them to `Disconnected` so
+    // they agree with the now-dead command channel.
+    service.shared.close();
     service
 }
 
@@ -499,6 +556,7 @@ impl TelemetrySender {
 #[derive(Clone)]
 pub struct ServiceClient {
     tx: Sender<Command>,
+    reader: SnapshotReader,
 }
 
 impl ServiceClient {
@@ -508,6 +566,13 @@ impl ServiceClient {
             .send(build(reply))
             .map_err(|_| ServeError::Disconnected)?;
         rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// The lock-free snapshot endpoint: evaluates queries on the calling
+    /// thread against the worker's published epoch, bit-identical to the
+    /// channel methods below. Prefer it for read-heavy consumers.
+    pub fn reader(&self) -> SnapshotReader {
+        self.reader.clone()
     }
 
     /// A cloneable ingest-only endpoint.
@@ -566,6 +631,39 @@ impl ServiceClient {
     pub fn status(&self) -> Result<ServiceStatus, ServeError> {
         self.ask(Command::Status)
     }
+
+    /// Snapshot-path [`predict`](ServiceClient::predict): evaluated on
+    /// the calling thread, no channel round-trip, bit-identical answer.
+    pub fn read_predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.reader.predict(sla)
+    }
+
+    /// Snapshot-path [`predict_at_rate`](ServiceClient::predict_at_rate).
+    pub fn read_predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.reader.predict_at_rate(rate, sla)
+    }
+
+    /// Snapshot-path [`percentile`](ServiceClient::percentile).
+    pub fn read_percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.reader.percentile(p)
+    }
+
+    /// Snapshot-path [`headroom`](ServiceClient::headroom).
+    pub fn read_headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.reader.headroom(goal, upper)
+    }
+
+    /// Snapshot-path [`bottlenecks`](ServiceClient::bottlenecks).
+    pub fn read_bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.reader.bottlenecks(sla)
+    }
+
+    /// Snapshot-path [`status`](ServiceClient::status): assembled from
+    /// the published state without a service-thread round-trip. Drift
+    /// verdicts are as of the last re-fit attempt.
+    pub fn read_status(&self) -> Result<ServiceStatus, ServeError> {
+        self.reader.status()
+    }
 }
 
 /// Owning handle to a spawned [`SlaService`]: a [`ServiceClient`] plus the
@@ -584,6 +682,11 @@ impl ServiceHandle {
     /// A cloneable ingest-only endpoint.
     pub fn telemetry_sender(&self) -> TelemetrySender {
         self.client.telemetry_sender()
+    }
+
+    /// The lock-free snapshot endpoint (see [`ServiceClient::reader`]).
+    pub fn reader(&self) -> SnapshotReader {
+        self.client.reader()
     }
 
     /// Feeds one telemetry event (non-blocking).

@@ -1,0 +1,257 @@
+//! The lock-free snapshot read path.
+//!
+//! The worker thread owns the *write* path — telemetry ingest and
+//! calibration re-fits — and after every re-fit attempt publishes an
+//! immutable [`SnapshotState`] through an atomic `Arc` swap
+//! ([`cos_par::ArcCell`]). Any number of [`SnapshotReader`]s — one per
+//! gate connection thread, typically — load the current state with one
+//! atomic operation and evaluate predictions **in place on the calling
+//! thread**, with zero channel round-trips and zero contention with the
+//! worker.
+//!
+//! Consistency and memory ordering:
+//!
+//! * A published state is immutable; readers clone the `Arc`, never the
+//!   data. A reader therefore observes either the old epoch or the new
+//!   one in full — never a torn mix — because `ArcCell::set` stores the
+//!   new pointer with `Release` ordering and `ArcCell::get` loads it with
+//!   `Acquire`, so everything written while building the state
+//!   *happens-before* any read through the swapped pointer.
+//! * Answers are **bit-identical** to the worker path by construction:
+//!   both paths funnel through the shared
+//!   [`InversionCache`], which reconstructs every
+//!   input from the quantized key and runs one evaluation code path.
+//! * The live event clock is a plain `AtomicU64` holding the `f64` bits
+//!   of the newest event time (`Relaxed` — it is an independent
+//!   monotone scalar, not a synchronization edge).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cos_model::{ModelVariant, SlaGoal};
+use cos_par::ArcCell;
+
+use crate::cache::{quantize_rate, InversionCache, QueryKind};
+use crate::drift::DriftReport;
+use crate::engine::{EngineHealth, EpochSnapshot, Prediction};
+use crate::error::ServeError;
+use crate::obs::ServeObs;
+use crate::service::ServiceStatus;
+
+/// Everything the worker publishes atomically after each re-fit attempt:
+/// the installed epoch (if any), the most recent fit failure, and the
+/// drift verdicts as of the publication instant.
+#[derive(Debug, Clone)]
+pub struct SnapshotState {
+    /// The installed calibration epoch (`None` while warming up).
+    pub snapshot: Option<EpochSnapshot>,
+    /// Why the most recent failed re-fit failed (`None` after a success).
+    pub last_fit_error: Option<String>,
+    /// Re-fits that have failed since startup.
+    pub failed_refits: u64,
+    /// Per-SLA drift verdicts (observed vs predicted attainment) as of
+    /// the most recent publication.
+    pub drift: Vec<DriftReport>,
+}
+
+/// The write side of the publication protocol, owned by the service.
+/// Readers hold it behind an `Arc` via [`SnapshotReader`].
+pub(crate) struct SnapshotShared {
+    cell: ArcCell<SnapshotState>,
+    /// Set when the service thread exits; readers then answer
+    /// [`ServeError::Disconnected`], matching the channel path.
+    closed: AtomicBool,
+    /// `f64` bits of the newest event time, updated on every ingest.
+    event_time: AtomicU64,
+    cache: Arc<InversionCache>,
+    variant: ModelVariant,
+    obs: ServeObs,
+}
+
+impl SnapshotShared {
+    pub(crate) fn new(
+        variant: ModelVariant,
+        cache: Arc<InversionCache>,
+        obs: ServeObs,
+        initial: SnapshotState,
+    ) -> SnapshotShared {
+        SnapshotShared {
+            cell: ArcCell::new(Arc::new(initial)),
+            closed: AtomicBool::new(false),
+            event_time: AtomicU64::new(0f64.to_bits()),
+            cache,
+            variant,
+            obs,
+        }
+    }
+
+    /// Atomically replaces the published state (the refit-time publish).
+    pub(crate) fn publish(&self, state: SnapshotState) {
+        self.cell.set(Arc::new(state));
+    }
+
+    /// Advances the live event clock (every ingest).
+    pub(crate) fn set_event_time(&self, t: f64) {
+        self.event_time.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Marks the service gone; every subsequent read answers
+    /// [`ServeError::Disconnected`].
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// A lock-free query endpoint evaluating predictions **on the calling
+/// thread** against the worker's most recently published epoch.
+///
+/// Obtained from [`ServiceClient::reader`](crate::ServiceClient::reader)
+/// (or [`ServiceHandle::reader`](crate::ServiceHandle::reader)); cloning
+/// is cheap (one `Arc`). Every method is a pure read: one atomic load of
+/// the published state, then evaluation through the shared, sharded
+/// [`InversionCache`] — so answers are
+/// bit-identical to the worker path and concurrent readers scale without
+/// serializing on the service thread.
+#[derive(Clone)]
+pub struct SnapshotReader {
+    shared: Arc<SnapshotShared>,
+}
+
+impl SnapshotReader {
+    pub(crate) fn new(shared: Arc<SnapshotShared>) -> SnapshotReader {
+        SnapshotReader { shared }
+    }
+
+    /// One consistent view: the published state plus its epoch, or the
+    /// typed refusal (`Disconnected` after shutdown, `NotCalibrated`
+    /// while warming up).
+    fn current(&self) -> Result<(Arc<SnapshotState>, EpochSnapshot), ServeError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        let state = self.shared.cell.get();
+        let snap = state.snapshot.clone().ok_or(ServeError::NotCalibrated)?;
+        Ok((state, snap))
+    }
+
+    fn answer(&self, rate_q: Option<i64>, kind: QueryKind) -> Result<Prediction, ServeError> {
+        let (_state, snap) = self.current()?;
+        let start = Instant::now();
+        let (outcome, miss) = self
+            .shared
+            .cache
+            .answer(&snap, self.shared.variant, rate_q, kind);
+        self.record(start, miss);
+        outcome.map(|value| Prediction {
+            value,
+            epoch: snap.epoch,
+            stale: snap.stale,
+        })
+    }
+
+    fn record(&self, start: Instant, miss: bool) {
+        let elapsed = start.elapsed();
+        if miss {
+            self.shared.obs.query_miss.record_duration(elapsed);
+        } else {
+            self.shared.obs.query_hit.record_duration(elapsed);
+        }
+    }
+
+    /// Predicted fraction of requests meeting `sla` at the calibrated
+    /// operating point.
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::fraction(sla))
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(Some(quantize_rate(rate)), QueryKind::fraction(sla))
+    }
+
+    /// Predicted response-latency percentile (e.g. `p = 0.95`).
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::percentile(p))
+    }
+
+    /// Overload-control headroom up to `upper` req/s.
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::headroom(goal, upper))
+    }
+
+    /// Bottleneck ranking, worst device first. All per-device queries are
+    /// answered against the *same* epoch view, so the ranking is
+    /// internally consistent even if a re-fit lands mid-call.
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        let (_state, snap) = self.current()?;
+        let start = Instant::now();
+        let n = snap.params.devices.len();
+        let mut any_miss = false;
+        let mut out = Vec::with_capacity(n);
+        for device in 0..n {
+            let (r, miss) = self.shared.cache.answer(
+                &snap,
+                self.shared.variant,
+                None,
+                QueryKind::device_fraction(device, sla),
+            );
+            any_miss |= miss;
+            out.push((device, r?));
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"));
+        self.record(start, any_miss);
+        Ok(out)
+    }
+
+    /// Health summary assembled without touching the service thread: the
+    /// published epoch / fit-failure / drift state, the live event clock,
+    /// and the shared cache's counters. The drift verdicts are as of the
+    /// most recent publication (the worker refreshes them at every re-fit
+    /// attempt), not recomputed per call.
+    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        let state = self.shared.cell.get();
+        let snap = state.snapshot.as_ref();
+        Ok(ServiceStatus {
+            event_time: self.event_time(),
+            epoch: snap.map(|s| s.epoch),
+            fitted_at: snap.map(|s| s.fitted_at),
+            stale: snap.map(|s| s.stale).unwrap_or(false),
+            last_fit_error: state.last_fit_error.clone(),
+            engine: EngineHealth {
+                cache: self.shared.cache.stats(),
+                failed_refits: state.failed_refits,
+            },
+            drift: state.drift.clone(),
+        })
+    }
+
+    /// The newest event time seen by the worker (bit-exact with the
+    /// worker's own clock — the bits travel through one atomic).
+    pub fn event_time(&self) -> f64 {
+        f64::from_bits(self.shared.event_time.load(Ordering::Relaxed))
+    }
+
+    /// Number of publications so far — a cheap change detector for
+    /// pollers (monotone; bumps on every re-fit attempt).
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.generation()
+    }
+
+    /// Whether the owning service has shut down.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for SnapshotReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("generation", &self.generation())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}

@@ -110,11 +110,12 @@ pub mod prelude {
     // Tier 1: the online service — telemetry in, predictions out.
     pub use cos_serve::{
         CalibrationBase, CalibratorConfig, Prediction, ServeConfig, ServeConfigBuilder, ServeError,
-        ServiceClient, ServiceHandle, ServiceStatus, SlaService, TelemetryEvent, TelemetrySender,
+        ServiceClient, ServiceHandle, ServiceStatus, SlaService, SnapshotReader, TelemetryEvent,
+        TelemetrySender,
     };
 
     // Tier 1: the HTTP front door.
-    pub use cos_gate::{Gate, GateConfig, GateConfigBuilder};
+    pub use cos_gate::{Gate, GateConfig, GateConfigBuilder, ReadPath};
 
     // Tier 1: the self-measuring instruments shared across the stack.
     pub use cos_obs::{Counter, Gauge, Hist, HistSnapshot, Registry};

@@ -18,7 +18,7 @@ use std::sync::mpsc::channel;
 use std::time::Duration;
 
 use cos_bench::scenario::calibrate;
-use cosmodel::gate::{encode_events, json, Gate, GateConfig};
+use cosmodel::gate::{encode_events, json, Gate, GateConfig, ReadPath};
 use cosmodel::serve::{
     CalibrationBase, CalibratorConfig, DriftConfig, OpClass, ServeConfig, SlaService,
     TelemetryEvent,
@@ -295,12 +295,96 @@ fn gate_answers_bit_for_bit_with_the_in_process_service() {
     drop(handle);
 }
 
-/// Spawns a warming-up service behind a gate (no calibration needed: the
-/// adversarial cases only exercise the protocol layer and `/v1/status`).
-fn spawn_bare_gate() -> Gate {
+/// Two gates over the *same* spawned service — one forced onto the worker
+/// channel path, one onto the lock-free snapshot path — must serve
+/// byte-identical response bodies for every prediction route: both funnel
+/// through the same quantized evaluation code path and the same JSON
+/// writer, so nothing may differ, down to the last bit of every `f64`.
+#[test]
+fn worker_and_snapshot_gates_answer_byte_identically() {
+    use cosmodel::serve::OpClass;
+    let mut service = SlaService::new(bare_base(), ServeConfig::default());
+    // A deterministic 20 s stream at 40 req/s per device.
+    let mut i = 0u64;
+    let mut t = 0.0;
+    while t < 20.0 {
+        for d in 0..2 {
+            service.ingest(TelemetryEvent::Arrival { at: t, device: d });
+            service.ingest(TelemetryEvent::DataRead { at: t, device: d });
+            for class in OpClass::ALL {
+                let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                service.ingest(TelemetryEvent::Op {
+                    at: t,
+                    device: d,
+                    class,
+                    latency,
+                });
+                i += 1;
+            }
+            service.ingest(TelemetryEvent::Completion {
+                arrival: t,
+                latency: if i % 10 < 3 { 0.030 } else { 0.004 },
+                device: d,
+            });
+        }
+        t += 1.0 / 40.0;
+    }
+    assert!(service.refit_now(), "deterministic stream must fit");
+    let handle = service.spawn();
+
+    let gate_for = |path: ReadPath| {
+        let config = GateConfig::builder().read_path(path).build().unwrap();
+        Gate::bind("127.0.0.1:0", handle.client(), config).expect("bind")
+    };
+    let worker_gate = gate_for(ReadPath::Worker);
+    let snapshot_gate = gate_for(ReadPath::Snapshot);
+    let mut worker = Client::connect(worker_gate.local_addr());
+    let mut snapshot = Client::connect(snapshot_gate.local_addr());
+
+    let targets = [
+        "/v1/attainment?sla=0.05",
+        "/v1/attainment?sla=0.05&rate=120",
+        "/v1/attainment?sla=0.01",
+        "/v1/percentile?p=0.95",
+        "/v1/headroom?sla=0.05&target=0.9",
+        "/v1/bottlenecks?sla=0.05",
+    ];
+    for target in targets {
+        let (ws, wb) = worker.get(target);
+        let (ss, sb) = snapshot.get(target);
+        assert_eq!(ws, 200, "worker path {target}: {wb}");
+        assert_eq!(ss, 200, "snapshot path {target}: {sb}");
+        assert_eq!(wb, sb, "bodies differ for {target}");
+    }
+
+    // /v1/status: the cache counters legitimately differ between the two
+    // requests (each read bumps them), so compare only the fields the
+    // snapshot must mirror exactly: the epoch and the live event clock.
+    let (ws, wb) = worker.get("/v1/status");
+    let (ss, sb) = snapshot.get("/v1/status");
+    assert_eq!(ws, 200, "{wb}");
+    assert_eq!(ss, 200, "{sb}");
+    let wd = json::parse(&wb).unwrap();
+    let sd = json::parse(&sb).unwrap();
+    assert_eq!(
+        wd.f64_field("epoch").unwrap().to_bits(),
+        sd.f64_field("epoch").unwrap().to_bits()
+    );
+    assert_eq!(
+        wd.f64_field("event_time").unwrap().to_bits(),
+        sd.f64_field("event_time").unwrap().to_bits()
+    );
+
+    worker_gate.shutdown();
+    snapshot_gate.shutdown();
+    drop(handle);
+}
+
+/// The synthetic calibration base used by the protocol-level tests.
+fn bare_base() -> CalibrationBase {
     use cosmodel::distr::{Degenerate, Gamma};
     use cosmodel::queueing::from_distribution;
-    let base = CalibrationBase {
+    CalibrationBase {
         index_law: from_distribution(Gamma::new(3.0, 250.0)),
         meta_law: from_distribution(Gamma::new(2.5, 312.5)),
         data_law: from_distribution(Gamma::new(3.5, 245.0)),
@@ -309,8 +393,13 @@ fn spawn_bare_gate() -> Gate {
         devices: 2,
         processes_per_device: 1,
         frontend_processes: 3,
-    };
-    let handle = SlaService::new(base, ServeConfig::default()).spawn();
+    }
+}
+
+/// Spawns a warming-up service behind a gate (no calibration needed: the
+/// adversarial cases only exercise the protocol layer and `/v1/status`).
+fn spawn_bare_gate() -> Gate {
+    let handle = SlaService::new(bare_base(), ServeConfig::default()).spawn();
     let client = handle.client();
     // Leak the handle: the gate owns the only reference we keep, and the
     // service thread dies with the process. Keeps this helper simple.

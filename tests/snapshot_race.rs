@@ -1,0 +1,317 @@
+//! Race and bit-identity tests for the lock-free snapshot read path.
+//!
+//! The contract under test: any number of [`SnapshotReader`]s answering on
+//! their own threads must return **bit-identical** results to the worker
+//! channel path and to a cold, freshly-installed [`PredictionEngine`]; a
+//! reader racing a re-fit must only ever observe whole epochs (monotone,
+//! never torn); and the shared [`InversionCache`] must coalesce identical
+//! concurrent misses into one computation while staying bounded under
+//! high-cardinality query streams.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use cosmodel::distr::{Degenerate, Gamma};
+use cosmodel::model::SlaGoal;
+use cosmodel::queueing::from_distribution;
+use cosmodel::serve::{
+    CalibrationBase, InversionCache, OpClass, PredictionEngine, QueryKey, QueryKind, ServeConfig,
+    SlaService, TelemetryEvent,
+};
+
+fn base() -> CalibrationBase {
+    CalibrationBase {
+        index_law: from_distribution(Gamma::new(3.0, 250.0)),
+        meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+        data_law: from_distribution(Gamma::new(3.5, 245.0)),
+        parse_be: from_distribution(Degenerate::new(0.0005)),
+        parse_fe: from_distribution(Degenerate::new(0.0003)),
+        devices: 2,
+        processes_per_device: 1,
+        frontend_processes: 3,
+    }
+}
+
+/// Deterministic telemetry covering `[t0, t1)` at 40 req/s per device.
+fn events_span(t0: f64, t1: f64) -> Vec<TelemetryEvent> {
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    let mut t = t0;
+    while t < t1 {
+        for d in 0..2 {
+            out.push(TelemetryEvent::Arrival { at: t, device: d });
+            out.push(TelemetryEvent::DataRead { at: t, device: d });
+            for class in OpClass::ALL {
+                let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                out.push(TelemetryEvent::Op {
+                    at: t,
+                    device: d,
+                    class,
+                    latency,
+                });
+                i += 1;
+            }
+            out.push(TelemetryEvent::Completion {
+                arrival: t,
+                latency: if i % 10 < 3 { 0.030 } else { 0.004 },
+                device: d,
+            });
+        }
+        t += 1.0 / 40.0;
+    }
+    out
+}
+
+/// Calibrates a fresh service on the standard stream.
+fn calibrated_service() -> SlaService {
+    let mut service = SlaService::new(base(), ServeConfig::default());
+    for ev in events_span(0.0, 20.0) {
+        service.ingest(ev);
+    }
+    assert!(service.refit_now(), "deterministic stream must fit");
+    service
+}
+
+/// The same question answered three ways — snapshot reader, worker
+/// channel, and a cold engine freshly installed with the fitted
+/// parameters — must produce the same `f64` bits, because every path
+/// funnels through one quantized evaluation code path.
+#[test]
+fn reader_worker_and_cold_engine_agree_bit_for_bit() {
+    // Reference: an identical in-process service, its fitted parameters
+    // transplanted into a cold engine with an empty private cache.
+    let reference = calibrated_service();
+    let fitted = reference
+        .engine()
+        .snapshot()
+        .expect("reference calibrated")
+        .clone();
+    let config = ServeConfig::default();
+    let mut cold = PredictionEngine::new(config.variant);
+    cold.install(fitted.params.clone(), fitted.fitted_at, None);
+
+    // Subject: the same service type spawned; ask through both paths.
+    let handle = calibrated_service().spawn();
+    let client = handle.client();
+    let goal = SlaGoal::new(0.05, 0.90);
+
+    for sla in [0.010, 0.050, 0.100] {
+        let worker = client.predict(sla).expect("worker answers");
+        let reader = client.read_predict(sla).expect("reader answers");
+        let cold_p = cold.fraction_meeting_sla(sla).expect("cold engine answers");
+        assert_eq!(
+            worker.value.to_bits(),
+            reader.value.to_bits(),
+            "sla {sla}: worker {} vs reader {}",
+            worker.value,
+            reader.value
+        );
+        assert_eq!(
+            worker.value.to_bits(),
+            cold_p.value.to_bits(),
+            "sla {sla}: worker {} vs cold engine {}",
+            worker.value,
+            cold_p.value
+        );
+        assert_eq!(worker.epoch, reader.epoch, "same epoch on both paths");
+    }
+
+    for (rate, sla) in [(60.0, 0.05), (120.0, 0.05), (90.0, 0.01)] {
+        let worker = client.predict_at_rate(rate, sla).expect("worker answers");
+        let reader = client
+            .read_predict_at_rate(rate, sla)
+            .expect("reader answers");
+        let cold_p = cold.fraction_at_rate(rate, sla).expect("cold answers");
+        assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "at {rate}");
+        assert_eq!(worker.value.to_bits(), cold_p.value.to_bits(), "at {rate}");
+    }
+
+    for p in [0.50, 0.95, 0.99] {
+        let worker = client.percentile(p).expect("worker answers");
+        let reader = client.read_percentile(p).expect("reader answers");
+        let cold_p = cold.latency_percentile(p).expect("cold answers");
+        assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "p{p}");
+        assert_eq!(worker.value.to_bits(), cold_p.value.to_bits(), "p{p}");
+    }
+
+    let worker = client.headroom(goal, 2000.0).expect("worker answers");
+    let reader = client.read_headroom(goal, 2000.0).expect("reader answers");
+    let cold_p = cold.headroom(goal, 2000.0).expect("cold answers");
+    assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "headroom");
+    assert_eq!(worker.value.to_bits(), cold_p.value.to_bits(), "headroom");
+
+    let worker = client.bottlenecks(0.05).expect("worker answers");
+    let reader = client.read_bottlenecks(0.05).expect("reader answers");
+    let cold_b = cold.bottlenecks(0.05).expect("cold answers");
+    assert_eq!(worker.len(), reader.len());
+    for ((wd, wf), (rd, rf)) in worker.iter().zip(reader.iter()) {
+        assert_eq!(wd, rd, "same device order");
+        assert_eq!(wf.to_bits(), rf.to_bits(), "device {wd}");
+    }
+    for ((wd, wf), (cd, cf)) in worker.iter().zip(cold_b.iter()) {
+        assert_eq!(wd, cd);
+        assert_eq!(wf.to_bits(), cf.to_bits(), "device {wd} vs cold");
+    }
+
+    // Status agreement on the fields both paths own: epoch and the live
+    // event clock travel bit-exactly through the snapshot.
+    let ws = client.status().expect("worker status");
+    let rs = client.read_status().expect("reader status");
+    assert_eq!(ws.epoch, rs.epoch);
+    assert_eq!(ws.event_time.to_bits(), rs.event_time.to_bits());
+}
+
+/// Readers hammering the snapshot path while the worker re-fits must see
+/// epochs that only move forward, and for any given epoch the answer bits
+/// must be identical across every thread and every moment — a torn or
+/// half-published state would break one of the two.
+#[test]
+fn concurrent_readers_see_monotone_untorn_epochs() {
+    let handle = calibrated_service().spawn();
+    let reader = handle.reader();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let r = reader.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut last_gen = 0u64;
+                let mut seen: HashMap<u64, u64> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let p = r.predict(0.05).expect("stays calibrated");
+                    assert!(
+                        p.epoch >= last_epoch,
+                        "epoch went backwards: {} after {last_epoch}",
+                        p.epoch
+                    );
+                    last_epoch = p.epoch;
+                    let bits = p.value.to_bits();
+                    let first = *seen.entry(p.epoch).or_insert(bits);
+                    assert_eq!(first, bits, "epoch {} changed its answer", p.epoch);
+
+                    let generation = r.generation();
+                    assert!(generation >= last_gen, "generation went backwards");
+                    last_gen = generation;
+
+                    // The ranking is evaluated against one snapshot view, so
+                    // it must always come back sorted and complete.
+                    let ranking = r.bottlenecks(0.05).expect("stays calibrated");
+                    assert_eq!(ranking.len(), 2, "all devices ranked");
+                    assert!(
+                        ranking.windows(2).all(|w| w[0].1 <= w[1].1),
+                        "ranking out of order: {ranking:?}"
+                    );
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // The write side: keep the clock moving and force six more re-fits
+    // while the readers spin.
+    let client = handle.client();
+    for round in 0..6 {
+        let t0 = 20.0 + round as f64 * 5.0;
+        for ev in events_span(t0, t0 + 5.0) {
+            client.ingest(ev).expect("service alive");
+        }
+        assert!(client.refit_now().expect("service alive"), "round {round}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let maps: Vec<HashMap<u64, u64>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("reader thread"))
+        .collect();
+
+    // Cross-thread: one epoch, one answer, everywhere.
+    let mut merged: HashMap<u64, u64> = HashMap::new();
+    for m in &maps {
+        for (&epoch, &bits) in m {
+            let first = *merged.entry(epoch).or_insert(bits);
+            assert_eq!(first, bits, "threads disagree on epoch {epoch}");
+        }
+    }
+    assert!(
+        merged.len() >= 2,
+        "re-fits must have been observed live, saw epochs {:?}",
+        merged.keys().collect::<Vec<_>>()
+    );
+}
+
+/// Identical concurrent misses elect one leader; everyone receives the
+/// leader's exact bits and the computation runs once.
+#[test]
+fn single_flight_hands_every_waiter_the_same_bits() {
+    let cache = Arc::new(InversionCache::new(4, 64, 8));
+    let key = QueryKey {
+        epoch: 1,
+        rate_q: None,
+        kind: QueryKind::fraction(0.05),
+    };
+    let computes = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(8));
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (result, ran) = cache.get_or_compute(key, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    // Long enough that every peer arrives mid-flight.
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok(0.987_654_321_f64)
+                });
+                (result.expect("leader succeeded").to_bits(), ran)
+            })
+        })
+        .collect();
+
+    let results: Vec<(u64, bool)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("flight thread"))
+        .collect();
+
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "one computation total");
+    assert_eq!(results.iter().filter(|&&(_, ran)| ran).count(), 1);
+    let bits = 0.987_654_321_f64.to_bits();
+    for &(got, _) in &results {
+        assert_eq!(got, bits, "every caller got the leader's bits");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "the leader is the only miss");
+    assert_eq!(stats.hits, 7, "waiters and late arrivals count as hits");
+}
+
+/// A high-cardinality query stream (every what-if rate distinct) must not
+/// grow the memo past its configured per-shard bound.
+#[test]
+fn cache_stays_bounded_under_high_cardinality() {
+    let shards = 4;
+    let per_shard = 32;
+    let cache = InversionCache::new(shards, per_shard, 8);
+    for i in 0..2_000i64 {
+        let key = QueryKey {
+            epoch: 1,
+            rate_q: Some(i),
+            kind: QueryKind::fraction(0.05),
+        };
+        let (result, _) = cache.get_or_compute(key, || Ok(i as f64));
+        assert_eq!(result.expect("compute is infallible"), i as f64);
+    }
+    assert!(
+        cache.len() <= shards * per_shard,
+        "memo holds {} entries, bound is {}",
+        cache.len(),
+        shards * per_shard
+    );
+    assert!(cache.evictions() > 0, "overflow must have evicted");
+}
