@@ -1,25 +1,29 @@
-//! Machine-readable perf baseline for the inversion, sweep, and gate
-//! read-path hot paths.
+//! Machine-readable perf baseline for the inversion, sweep, gate
+//! read-path, and admission-controller hot paths.
 //!
-//! Measures the composite-model CDF, quantile, sweep-grid, and multi-client
-//! gate throughput and writes them to `BENCH_inversion.json` /
-//! `BENCH_sweep.json` / `BENCH_gate.json`, alongside the frozen
-//! pre-optimization numbers (`baseline`) so the speedup is auditable from
-//! the committed files. For the gate file both sections are measured on
-//! the *same run*: `baseline` is the worker (channel round-trip) read
-//! path, `current` the lock-free snapshot path.
+//! Measures the composite-model CDF, quantile, sweep-grid, multi-client
+//! gate throughput, and per-request admission cost, and writes them to
+//! `BENCH_inversion.json` / `BENCH_sweep.json` / `BENCH_gate.json` /
+//! `BENCH_ctrl.json`, alongside the frozen pre-optimization numbers
+//! (`baseline`) so the speedup is auditable from the committed files. For
+//! the gate file both sections are measured on the *same run*: `baseline`
+//! is the worker (channel round-trip) read path, `current` the lock-free
+//! snapshot path. Likewise for the ctrl file: `baseline` is the snapshot
+//! gate with no controller, `current` the same gate with admission control
+//! deciding every request.
 //!
 //! Usage:
 //!   cargo run --release -p cos-bench --bin perf_baseline
 //!       full run; writes BENCH_inversion.json, BENCH_sweep.json,
-//!       and BENCH_gate.json
+//!       BENCH_gate.json, and BENCH_ctrl.json
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick
 //!       fewer iterations, prints only (CI smoke)
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick --check BENCH_inversion.json
 //!       re-measures and exits nonzero if any metric regressed more than
 //!       2x against the committed `current` section, if the obs hot path
-//!       blows its absolute budget, or if the snapshot read path fails to
-//!       beat the worker path at 4 concurrent clients
+//!       or the per-request admission decision blows its absolute budget,
+//!       or if the snapshot read path fails to beat the worker path at 4
+//!       concurrent clients
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -369,6 +373,80 @@ fn bench_gate_path(
     ]
 }
 
+/// Hard ceiling on the per-request admission decision enforced in
+/// `--check` mode: [`cos_ctrl::Controller::decide`] sits on every gate
+/// request, so it must stay under a microsecond — an atomic load plus (on
+/// the partial-shed path) one error-diffusion `fetch_update`.
+const CTRL_DECIDE_BUDGET_NS: f64 = 1000.0;
+
+/// Admission-controller cost: the bare per-request decision latency (fast
+/// path at zero shed, and the error-diffusion accumulator path at a
+/// partial shed), plus same-run warm gate throughput with the controller
+/// off (`baseline`) versus on at zero shed (`current`) — the tax every
+/// *admitted* request pays.
+#[allow(clippy::type_complexity)]
+fn measure_ctrl(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>) {
+    use cos_ctrl::{Controller, CtrlConfig, SlaClass};
+
+    let mut service = SlaService::new(gate_base(), ServeConfig::default());
+    for ev in gate_events(40.0) {
+        service.ingest(ev);
+    }
+    service.refit_now();
+    let handle = service.spawn();
+    let ctrl = Arc::new(
+        Controller::new(handle.client().reader(), CtrlConfig::default()).expect("valid policy"),
+    );
+
+    let iters: u64 = if quick { 200_000 } else { 2_000_000 };
+    let decide_at = |shed: f64| {
+        ctrl.force_shed(shed);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(
+                ctrl.decide(std::hint::black_box(SlaClass::Standard))
+                    .is_ok(),
+            );
+        }
+        start.elapsed().as_secs_f64() / iters as f64 * 1e9
+    };
+    let decide_zero_ns = decide_at(0.0);
+    let decide_shed_ns = decide_at(0.3);
+    ctrl.force_shed(0.0);
+
+    let warm_n = if quick { 200 } else { 1500 };
+    let bench = |controller: Option<Arc<cos_ctrl::Controller>>| {
+        let mut builder = GateConfig::builder().read_path(ReadPath::Snapshot);
+        if let Some(c) = controller {
+            builder = builder.controller(c);
+        }
+        let gate = Gate::bind(
+            "127.0.0.1:0",
+            handle.client(),
+            builder.build().expect("config"),
+        )
+        .expect("bind gate");
+        let addr = gate.local_addr();
+        let target = "/v1/attainment?sla=0.05".to_string();
+        // Prewarm the hot key so both phases measure pure cache reads.
+        throughput(addr, vec![vec![target.clone()]]);
+        let rps = throughput(addr, (0..4).map(|_| vec![target.clone(); warm_n]).collect());
+        gate.shutdown();
+        rps
+    };
+    let off_rps = bench(None);
+    let on_rps = bench(Some(Arc::clone(&ctrl)));
+
+    (
+        vec![("warm_4c_rps", off_rps)],
+        vec![
+            ("decide_zero_ns", decide_zero_ns),
+            ("decide_shed_ns", decide_shed_ns),
+            ("warm_4c_rps", on_rps),
+        ],
+    )
+}
+
 /// Multi-client loopback throughput of the two gate read paths against one
 /// calibrated service: `baseline` = worker channel round-trips, `current`
 /// = lock-free snapshot reads. Same process, same run, same cache.
@@ -452,13 +530,18 @@ fn main() {
     let sweep = measure_sweep(quick);
     let obs = measure_obs(quick);
     let (gate_worker, gate_snapshot) = measure_gate(quick);
+    let (ctrl_off, ctrl_on) = measure_ctrl(quick);
     print_metrics("inversion", &inv);
     print_metrics("sweep", &sweep);
     print_metrics("obs", &obs);
     print_metrics("gate.worker", &gate_worker);
     print_metrics("gate.snapshot", &gate_snapshot);
+    print_metrics("ctrl.off", &ctrl_off);
+    print_metrics("ctrl.on", &ctrl_on);
     let warm_4c_ratio = metric(&gate_snapshot, "warm_4c_rps") / metric(&gate_worker, "warm_4c_rps");
     println!("gate.warm_4c_ratio (snapshot/worker): {warm_4c_ratio:.2}x");
+    let ctrl_tax = metric(&ctrl_on, "warm_4c_rps") / metric(&ctrl_off, "warm_4c_rps");
+    println!("ctrl.warm_4c_ratio (controller on/off): {ctrl_tax:.2}x");
 
     if let Some(file) = check_file {
         // Same-run relative check: the snapshot path must beat the worker
@@ -484,6 +567,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("check: obs_record_ns {record_ns:.1} within the {OBS_RECORD_BUDGET_NS} ns budget");
+        // Per-request admission budget: both decide paths are absolute
+        // ceilings, like the obs hot path.
+        for key in ["decide_zero_ns", "decide_shed_ns"] {
+            let ns = metric(&ctrl_on, key);
+            if ns >= CTRL_DECIDE_BUDGET_NS {
+                eprintln!("check: FAILED: {key} {ns:.1} >= {CTRL_DECIDE_BUDGET_NS} ns budget");
+                std::process::exit(1);
+            }
+            println!("check: {key} {ns:.1} within the {CTRL_DECIDE_BUDGET_NS} ns budget");
+        }
         let fresh: Vec<(&str, f64)> = inv.iter().chain(sweep.iter()).copied().collect();
         match check(&file, &fresh) {
             Ok(()) => println!("check: ok (no metric regressed past 2x of {file})"),
@@ -511,6 +604,11 @@ fn main() {
             to_json(&gate_worker, &gate_snapshot).to_string_pretty(),
         )
         .expect("write BENCH_gate.json");
-        println!("wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json");
+        std::fs::write(
+            "BENCH_ctrl.json",
+            to_json(&ctrl_off, &ctrl_on).to_string_pretty(),
+        )
+        .expect("write BENCH_ctrl.json");
+        println!("wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json, BENCH_ctrl.json");
     }
 }

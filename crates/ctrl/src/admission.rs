@@ -1,0 +1,299 @@
+//! Admission policy: SLA classes, the shed ladder, and the AIMD knobs.
+//!
+//! The controller maintains one *total* shed fraction `f ∈ [0, 1]`; each
+//! request class maps it to its own effective fraction through a priority
+//! ladder (see [`SlaClass::effective_shed`]): batch traffic absorbs the
+//! first wave of shedding, standard traffic the second, premium traffic
+//! only under severe overload, and control-plane traffic (telemetry,
+//! status, metrics) is never shed — starving the very feedback loop that
+//! decides when to re-admit would wedge the controller in the shed state.
+
+/// Priority class of one request, decided by the gate from the route and
+/// the `x-sla-class` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaClass {
+    /// Bulk / best-effort traffic: first to be shed.
+    Batch,
+    /// The default class for prediction queries.
+    Standard,
+    /// High-priority tenants: shed only under severe overload.
+    Premium,
+    /// Control-plane traffic (telemetry ingest, status, metrics,
+    /// anomalies): never shed.
+    Control,
+}
+
+impl SlaClass {
+    /// The sheddable classes, in shed order (lowest priority first). Used
+    /// to index per-class counters; [`SlaClass::Control`] has no slot.
+    pub const SHEDDABLE: [SlaClass; 3] = [SlaClass::Batch, SlaClass::Standard, SlaClass::Premium];
+
+    /// Slot of this class in per-class arrays (`None` for `Control`).
+    pub fn slot(self) -> Option<usize> {
+        match self {
+            SlaClass::Batch => Some(0),
+            SlaClass::Standard => Some(1),
+            SlaClass::Premium => Some(2),
+            SlaClass::Control => None,
+        }
+    }
+
+    /// Total-shed fraction at which this class *starts* shedding.
+    fn floor(self) -> f64 {
+        match self {
+            SlaClass::Batch => 0.0,
+            SlaClass::Standard => 0.25,
+            SlaClass::Premium => 0.75,
+            SlaClass::Control => f64::INFINITY,
+        }
+    }
+
+    /// This class's own shed fraction when the total is `f`: zero below
+    /// the class floor, then rising linearly to 1 at `f = 1`. The ladder
+    /// ranks classes strictly — at any total, a higher-priority class
+    /// sheds no more than a lower-priority one.
+    pub fn effective_shed(self, f: f64) -> f64 {
+        let floor = self.floor();
+        if f <= floor {
+            return 0.0;
+        }
+        ((f - floor) / (1.0 - floor)).clamp(0.0, 1.0)
+    }
+
+    /// Parses the `x-sla-class` request header (case-insensitive).
+    /// `Control` is not nameable from the wire — it is assigned by route.
+    pub fn from_header(value: &str) -> Option<SlaClass> {
+        let v = value.trim();
+        if v.eq_ignore_ascii_case("batch") {
+            Some(SlaClass::Batch)
+        } else if v.eq_ignore_ascii_case("standard") {
+            Some(SlaClass::Standard)
+        } else if v.eq_ignore_ascii_case("premium") {
+            Some(SlaClass::Premium)
+        } else {
+            None
+        }
+    }
+
+    /// Stable lowercase name (metrics label / JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SlaClass::Batch => "batch",
+            SlaClass::Standard => "standard",
+            SlaClass::Premium => "premium",
+            SlaClass::Control => "control",
+        }
+    }
+}
+
+/// The typed refusal [`Controller::decide`](crate::Controller::decide)
+/// answers for shed load; the gate turns it into
+/// `429 Too Many Requests` with a `Retry-After` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// The class the shed request was classified as.
+    pub class: SlaClass,
+    /// Suggested client back-off, seconds (the `Retry-After` value).
+    pub retry_after: u32,
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request shed (class {}, retry after {} s): predicted SLA attainment below target",
+            self.class.name(),
+            self.retry_after
+        )
+    }
+}
+
+impl std::error::Error for Shed {}
+
+/// The hysteresis/AIMD policy of the admission controller.
+///
+/// Per published epoch the controller classifies the system as *violating*
+/// (predicted attainment below `goal.target_fraction - hysteresis`, or the
+/// re-fit itself failed on an unstable operating point), *healthy*
+/// (attainment at or above the target), or *in the band* between the two.
+/// Violations raise the shed fraction additively by `shed_step` — floored
+/// at the model-driven estimate `1 − headroom/λ`, so the first violating
+/// epoch already sheds roughly the model's estimated excess instead of
+/// creeping up — and recovery decays it multiplicatively by
+/// `recover_factor`. The in-between band holds the fraction steady, which
+/// is the hysteresis that stops flapping at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// The SLA the controller defends: latency bound + required attainment.
+    pub goal: cos_model::SlaGoal,
+    /// Upper bracket (req/s) for the headroom solve.
+    pub headroom_upper: f64,
+    /// Additive shed increase per violating epoch, in `(0, 1]`.
+    pub shed_step: f64,
+    /// Multiplicative shed decay per healthy epoch, in `[0, 1)`.
+    pub recover_factor: f64,
+    /// Attainment band below the target treated as "close enough to hold".
+    pub hysteresis: f64,
+    /// Hard cap on the total shed fraction, in `(0, 1]`.
+    pub max_shed: f64,
+    /// `Retry-After` seconds answered with every shed.
+    pub retry_after: u32,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            goal: cos_model::SlaGoal::new(0.050, 0.9),
+            headroom_upper: 10_000.0,
+            shed_step: 0.05,
+            recover_factor: 0.25,
+            hysteresis: 0.02,
+            max_shed: 0.95,
+            retry_after: 1,
+        }
+    }
+}
+
+/// An [`AdmissionPolicy`] (or [`AnomalyConfig`](crate::AnomalyConfig))
+/// value the controller refused, with the field and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPolicy {
+    /// The offending field, as named on the config struct.
+    pub field: &'static str,
+    /// Why the value is nonsensical.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InvalidPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid controller policy {}: {}",
+            self.field, self.reason
+        )
+    }
+}
+
+impl std::error::Error for InvalidPolicy {}
+
+impl AdmissionPolicy {
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), InvalidPolicy> {
+        let err = |field: &'static str, reason: String| Err(InvalidPolicy { field, reason });
+        if !self.headroom_upper.is_finite() || self.headroom_upper <= 0.0 {
+            return err(
+                "headroom_upper",
+                format!("{} must be finite and positive", self.headroom_upper),
+            );
+        }
+        if !self.shed_step.is_finite() || self.shed_step <= 0.0 || self.shed_step > 1.0 {
+            return err("shed_step", format!("{} must be in (0, 1]", self.shed_step));
+        }
+        if !self.recover_factor.is_finite() || !(0.0..1.0).contains(&self.recover_factor) {
+            return err(
+                "recover_factor",
+                format!("{} must be in [0, 1)", self.recover_factor),
+            );
+        }
+        if !self.hysteresis.is_finite() || self.hysteresis < 0.0 || self.hysteresis >= 1.0 {
+            return err(
+                "hysteresis",
+                format!("{} must be in [0, 1)", self.hysteresis),
+            );
+        }
+        if !self.max_shed.is_finite() || self.max_shed <= 0.0 || self.max_shed > 1.0 {
+            return err("max_shed", format!("{} must be in (0, 1]", self.max_shed));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_ranks_classes_strictly() {
+        for f in [0.0, 0.1, 0.3, 0.5, 0.76, 0.9, 1.0] {
+            let b = SlaClass::Batch.effective_shed(f);
+            let s = SlaClass::Standard.effective_shed(f);
+            let p = SlaClass::Premium.effective_shed(f);
+            assert!(b >= s && s >= p, "ladder inverted at f={f}: {b} {s} {p}");
+            assert_eq!(SlaClass::Control.effective_shed(f), 0.0);
+        }
+        // Below the floors nothing sheds; at f = 1 every sheddable class
+        // sheds everything.
+        assert_eq!(SlaClass::Standard.effective_shed(0.2), 0.0);
+        assert_eq!(SlaClass::Premium.effective_shed(0.5), 0.0);
+        for c in SlaClass::SHEDDABLE {
+            assert_eq!(c.effective_shed(1.0), 1.0);
+            assert_eq!(c.effective_shed(0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn header_parsing_is_case_insensitive_and_rejects_control() {
+        assert_eq!(SlaClass::from_header("batch"), Some(SlaClass::Batch));
+        assert_eq!(SlaClass::from_header(" Premium "), Some(SlaClass::Premium));
+        assert_eq!(SlaClass::from_header("STANDARD"), Some(SlaClass::Standard));
+        assert_eq!(SlaClass::from_header("control"), None);
+        assert_eq!(SlaClass::from_header("gold"), None);
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense() {
+        assert!(AdmissionPolicy::default().validate().is_ok());
+        let cases: &[(AdmissionPolicy, &str)] = &[
+            (
+                AdmissionPolicy {
+                    headroom_upper: 0.0,
+                    ..AdmissionPolicy::default()
+                },
+                "headroom_upper",
+            ),
+            (
+                AdmissionPolicy {
+                    shed_step: 0.0,
+                    ..AdmissionPolicy::default()
+                },
+                "shed_step",
+            ),
+            (
+                AdmissionPolicy {
+                    recover_factor: 1.0,
+                    ..AdmissionPolicy::default()
+                },
+                "recover_factor",
+            ),
+            (
+                AdmissionPolicy {
+                    hysteresis: -0.1,
+                    ..AdmissionPolicy::default()
+                },
+                "hysteresis",
+            ),
+            (
+                AdmissionPolicy {
+                    max_shed: 1.5,
+                    ..AdmissionPolicy::default()
+                },
+                "max_shed",
+            ),
+        ];
+        for (p, field) in cases {
+            let e = p.validate().unwrap_err();
+            assert_eq!(e.field, *field);
+            assert!(e.to_string().contains(field), "{e}");
+        }
+    }
+
+    #[test]
+    fn shed_displays_class_and_backoff() {
+        let s = Shed {
+            class: SlaClass::Batch,
+            retry_after: 2,
+        };
+        assert!(s.to_string().contains("batch"));
+        assert!(s.to_string().contains("2 s"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Streaming anomaly detection over drift residuals.
+//!
+//! The service's drift monitor already pairs *observed* attainment with the
+//! *model-predicted* attainment per SLA (see `cos_serve::DriftReport`); the
+//! detector here scores the residual stream `r = observed − predicted` with
+//! a streaming robust z-score: an EWMA tracks the residual's running center
+//! and an EWMA of absolute deviations tracks its scale (a streaming stand-in
+//! for the median absolute deviation — resistant to the very outliers it is
+//! meant to flag, because one spike moves the scale by at most `alpha` of
+//! itself). A residual more than [`AnomalyConfig::threshold`] scales away
+//! from center is recorded as a scored [`Anomaly`].
+//!
+//! The detector is deliberately *level-triggered on change*: a fault first
+//! shows up as a residual spike (old epoch still predicts health, observed
+//! attainment collapses) and is scored immediately — typically before the
+//! next re-fit folds the fault into the model. After calibration absorbs
+//! the fault the residual re-centers and scoring stops, which is exactly
+//! right: a *persistently degraded but correctly predicted* system is the
+//! admission controller's business, not the anomaly detector's.
+
+use std::collections::VecDeque;
+
+use crate::admission::InvalidPolicy;
+
+/// Knobs of the streaming robust z-score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// EWMA weight of the newest residual, in `(0, 1]`.
+    pub alpha: f64,
+    /// Robust z-score at or above which a residual is anomalous.
+    pub threshold: f64,
+    /// Residuals a stream must absorb before it may score (warm-up guard:
+    /// the first published verdicts land on an empty history).
+    pub min_samples: u64,
+    /// Scale floor: a perfectly quiet stream must not turn the z-score
+    /// into a divide-by-almost-zero alarm bell. Attainments live in
+    /// `[0, 1]`, so this is an absolute attainment gap.
+    pub min_scale: f64,
+    /// Ring-buffer capacity of retained anomalies (oldest evicted first).
+    pub capacity: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            alpha: 0.25,
+            threshold: 3.0,
+            min_samples: 3,
+            min_scale: 0.01,
+            capacity: 64,
+        }
+    }
+}
+
+impl AnomalyConfig {
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), InvalidPolicy> {
+        let err = |field: &'static str, reason: String| Err(InvalidPolicy { field, reason });
+        if !self.alpha.is_finite() || self.alpha <= 0.0 || self.alpha > 1.0 {
+            return err("alpha", format!("{} must be in (0, 1]", self.alpha));
+        }
+        if !self.threshold.is_finite() || self.threshold <= 0.0 {
+            return err(
+                "threshold",
+                format!("{} must be finite and positive", self.threshold),
+            );
+        }
+        if !self.min_scale.is_finite() || self.min_scale <= 0.0 {
+            return err(
+                "min_scale",
+                format!("{} must be finite and positive", self.min_scale),
+            );
+        }
+        if self.capacity == 0 {
+            return err("capacity", "must retain at least one anomaly".into());
+        }
+        Ok(())
+    }
+}
+
+/// One scored anomaly: at event time `at`, the observed attainment of
+/// SLA `sla` sat `score` robust standard deviations away from the running
+/// residual center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// Event time of the publication that carried the residual.
+    pub at: f64,
+    /// The SLA bound (seconds) whose attainment misbehaved.
+    pub sla: f64,
+    /// Robust z-score of the residual (always ≥ the threshold).
+    pub score: f64,
+    /// Observed attainment over the drift window.
+    pub observed: f64,
+    /// Model-predicted attainment at the same instant.
+    pub predicted: f64,
+}
+
+/// Per-SLA residual stream state.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    sla: f64,
+    /// EWMA of the residual.
+    center: f64,
+    /// EWMA of absolute deviations from the center (the robust scale).
+    scale: f64,
+    /// Residuals absorbed.
+    n: u64,
+    /// Most recent z-score (0 until the stream warms up).
+    last_score: f64,
+}
+
+/// The streaming detector. Single-writer by design (the controller feeds
+/// it under its tick lock); readers take cheap snapshots.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+    streams: Vec<Stream>,
+    ring: VecDeque<Anomaly>,
+    total: u64,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector with validated knobs.
+    pub fn new(config: AnomalyConfig) -> Result<AnomalyDetector, InvalidPolicy> {
+        config.validate()?;
+        Ok(AnomalyDetector {
+            config,
+            streams: Vec::new(),
+            ring: VecDeque::new(),
+            total: 0,
+        })
+    }
+
+    /// Feeds one drift verdict; returns the anomaly if the residual scored
+    /// at or above the threshold.
+    pub fn observe(&mut self, at: f64, sla: f64, observed: f64, predicted: f64) -> Option<Anomaly> {
+        let residual = observed - predicted;
+        if !residual.is_finite() {
+            return None;
+        }
+        let c = self.config;
+        let idx = match self.streams.iter().position(|s| s.sla == sla) {
+            Some(i) => i,
+            None => {
+                self.streams.push(Stream {
+                    sla,
+                    center: 0.0,
+                    scale: 0.0,
+                    n: 0,
+                    last_score: 0.0,
+                });
+                self.streams.len() - 1
+            }
+        };
+        let s = &mut self.streams[idx];
+        // Score against history *before* folding the residual in, so the
+        // spike is judged by the quiet past, not by itself.
+        let mut out = None;
+        if s.n >= c.min_samples {
+            let z = (residual - s.center).abs() / s.scale.max(c.min_scale);
+            s.last_score = z;
+            if z >= c.threshold {
+                let a = Anomaly {
+                    at,
+                    sla,
+                    score: z,
+                    observed,
+                    predicted,
+                };
+                if self.ring.len() == c.capacity {
+                    self.ring.pop_front();
+                }
+                self.ring.push_back(a);
+                self.total += 1;
+                out = Some(a);
+            }
+        }
+        let s = &mut self.streams[idx];
+        let e = residual - s.center;
+        s.center += c.alpha * e;
+        s.scale += c.alpha * (e.abs() - s.scale);
+        s.n += 1;
+        out
+    }
+
+    /// Retained anomalies, oldest first (bounded by the capacity).
+    pub fn anomalies(&self) -> impl Iterator<Item = &Anomaly> {
+        self.ring.iter()
+    }
+
+    /// Total anomalies ever scored (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-SLA `(sla, latest z-score, residuals absorbed)` — the gauge set
+    /// `/metrics` exposes.
+    pub fn scores(&self) -> Vec<(f64, f64, u64)> {
+        self.streams
+            .iter()
+            .map(|s| (s.sla, s.last_score, s.n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> AnomalyDetector {
+        AnomalyDetector::new(AnomalyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn quiet_residuals_never_score() {
+        let mut d = detector();
+        for i in 0..50 {
+            // Model error jitter well inside the scale floor.
+            let obs = 0.95 + 0.002 * ((i % 3) as f64 - 1.0);
+            assert!(d.observe(i as f64, 0.05, obs, 0.95).is_none());
+        }
+        assert_eq!(d.total(), 0);
+        assert!(d.anomalies().next().is_none());
+    }
+
+    #[test]
+    fn a_residual_spike_scores_then_recenters() {
+        let mut d = detector();
+        for i in 0..10 {
+            d.observe(i as f64, 0.05, 0.95, 0.95);
+        }
+        // Fault: observed attainment collapses 25 points below prediction.
+        let a = d.observe(10.0, 0.05, 0.70, 0.95).expect("spike must score");
+        assert!(a.score >= 3.0, "score {}", a.score);
+        assert_eq!(a.sla, 0.05);
+        assert_eq!(d.total(), 1);
+        // Once the fault persists, the EWMA absorbs it and scoring stops —
+        // the detector flags *change*, not steady-state degradation.
+        for i in 11..40 {
+            d.observe(i as f64, 0.05, 0.70, 0.70);
+        }
+        assert!(d.observe(40.0, 0.05, 0.70, 0.70).is_none());
+    }
+
+    #[test]
+    fn warmup_guard_suppresses_the_first_residuals() {
+        let mut d = detector();
+        // Even a huge first residual cannot score before min_samples.
+        assert!(d.observe(0.0, 0.05, 0.1, 0.99).is_none());
+        assert!(d.observe(1.0, 0.05, 0.1, 0.99).is_none());
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn streams_are_tracked_per_sla() {
+        let mut d = detector();
+        for i in 0..10 {
+            d.observe(i as f64, 0.01, 0.8, 0.8);
+            d.observe(i as f64, 0.05, 0.99, 0.99);
+        }
+        // Only the 10 ms stream spikes.
+        let a = d.observe(10.0, 0.01, 0.3, 0.8).unwrap();
+        assert_eq!(a.sla, 0.01);
+        assert!(d.observe(10.0, 0.05, 0.99, 0.99).is_none());
+        let scores = d.scores();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().any(|&(sla, z, _)| sla == 0.01 && z >= 3.0));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_total_keeps_counting() {
+        let mut d = AnomalyDetector::new(AnomalyConfig {
+            capacity: 4,
+            ..AnomalyConfig::default()
+        })
+        .unwrap();
+        // Six spike/quiet cycles: each quiet stretch re-converges the
+        // EWMAs, so every spike scores against a calm history again.
+        let mut scored = 0;
+        let mut t = 0.0;
+        for _ in 0..6 {
+            for _ in 0..30 {
+                d.observe(t, 0.05, 0.95, 0.95);
+                t += 1.0;
+            }
+            if d.observe(t, 0.05, 0.1, 0.95).is_some() {
+                scored += 1;
+            }
+            t += 1.0;
+        }
+        assert!(scored > 4, "expected repeated scoring, got {scored}");
+        assert_eq!(d.anomalies().count(), 4, "ring bounded at capacity");
+        assert_eq!(d.total(), scored);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let bad = [
+            AnomalyConfig {
+                alpha: 0.0,
+                ..AnomalyConfig::default()
+            },
+            AnomalyConfig {
+                threshold: f64::NAN,
+                ..AnomalyConfig::default()
+            },
+            AnomalyConfig {
+                min_scale: 0.0,
+                ..AnomalyConfig::default()
+            },
+            AnomalyConfig {
+                capacity: 0,
+                ..AnomalyConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+        assert!(AnomalyConfig::default().validate().is_ok());
+    }
+}

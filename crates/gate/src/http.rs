@@ -434,6 +434,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",

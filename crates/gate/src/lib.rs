@@ -18,7 +18,9 @@
 //! * [`query`] — query-string parsing with percent-decoding and typed
 //!   parameter accessors;
 //! * [`routes`] — the `/v1/*` query surface over a cloned
-//!   [`cos_serve::ServiceClient`], plus the telemetry wire format;
+//!   [`cos_serve::ServiceClient`], plus the telemetry wire format and the
+//!   per-request admission check (`429` + `Retry-After`) when the gate
+//!   runs with a [`cos_ctrl::Controller`];
 //! * [`metrics`] — `GET /metrics` Prometheus-style text exposition;
 //! * [`obs`] — the gate's self-measuring instruments ([`GateObs`]):
 //!   per-route request latency, parse/dispatch sub-spans, and counters,
@@ -49,9 +51,10 @@ pub mod server;
 
 pub use http::{parse_one, Method, ParseError, ParserLimits, Request, RequestParser, Response};
 pub use json::Value;
-pub use metrics::render_metrics;
+pub use metrics::{render_ctrl_metrics, render_metrics};
 pub use obs::{GateObs, TRACKED_ROUTES};
 pub use routes::{
-    decode_events, encode_events, handle, handle_full, handle_with_obs, status_body, ReadPath,
+    classify, decode_events, encode_events, handle, handle_ctrl, handle_full, handle_with_obs,
+    status_body, ReadPath,
 };
 pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig};

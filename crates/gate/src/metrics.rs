@@ -5,6 +5,7 @@
 
 use std::fmt::Write as _;
 
+use cos_ctrl::{CtrlStats, SlaClass};
 use cos_serve::ServiceStatus;
 
 /// Renders the text exposition format: `# TYPE` lines plus one sample per
@@ -58,6 +59,12 @@ pub fn render_metrics(s: &ServiceStatus) -> String {
         "Fraction of queries answered from the inversion memo.",
         s.engine.hit_rate(),
     );
+    scalar(
+        "cos_drifted_any",
+        "gauge",
+        "1 when any SLA's observed attainment drifted from the prediction.",
+        if s.any_drifted() { 1.0 } else { 0.0 },
+    );
     let _ = writeln!(
         out,
         "# HELP cos_drifted Per-SLA drift verdict (observed vs predicted attainment)."
@@ -70,6 +77,14 @@ pub fn render_metrics(s: &ServiceStatus) -> String {
             d.sla,
             if d.drifted { 1 } else { 0 }
         );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cos_drift_samples Completions in the drift window per SLA."
+    );
+    let _ = writeln!(out, "# TYPE cos_drift_samples gauge");
+    for d in &s.drift {
+        let _ = writeln!(out, "cos_drift_samples{{sla=\"{}\"}} {}", d.sla, d.samples);
     }
     for d in &s.drift {
         if let Some(observed) = d.observed {
@@ -86,6 +101,85 @@ pub fn render_metrics(s: &ServiceStatus) -> String {
                 d.sla
             );
         }
+        if let (Some(observed), Some(predicted)) = (d.observed, d.predicted) {
+            let _ = writeln!(
+                out,
+                "cos_drift_gap{{sla=\"{}\"}} {}",
+                d.sla,
+                observed - predicted
+            );
+        }
+    }
+    out
+}
+
+/// Renders the admission controller + anomaly detector block of
+/// `GET /metrics`, appended after the service summary when the gate runs
+/// with a [`cos_ctrl::Controller`].
+pub fn render_ctrl_metrics(stats: &CtrlStats) -> String {
+    let mut out = String::new();
+    let mut scalar = |name: &str, kind: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    scalar(
+        "cos_ctrl_shed_fraction",
+        "gauge",
+        "Current total shed fraction of the admission controller.",
+        stats.shed_fraction,
+    );
+    scalar(
+        "cos_ctrl_violating",
+        "gauge",
+        "1 when the latest controller tick classified the goal as violated.",
+        if stats.last.violating { 1.0 } else { 0.0 },
+    );
+    scalar(
+        "cos_ctrl_unstable",
+        "gauge",
+        "1 when the latest tick saw an unstable (rho >= 1) operating point.",
+        if stats.last.unstable { 1.0 } else { 0.0 },
+    );
+    scalar(
+        "cos_ctrl_admitted_total",
+        "counter",
+        "Requests admitted by the controller since startup.",
+        stats.admitted_total as f64,
+    );
+    scalar(
+        "cos_ctrl_ticks_total",
+        "counter",
+        "Generation-consuming controller ticks since startup.",
+        stats.ticks as f64,
+    );
+    scalar(
+        "cos_ctrl_anomalies_total",
+        "counter",
+        "Anomalies scored by the drift-residual detector since startup.",
+        stats.anomalies_total as f64,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP cos_ctrl_shed_total Requests shed per SLA class since startup."
+    );
+    let _ = writeln!(out, "# TYPE cos_ctrl_shed_total counter");
+    for c in SlaClass::SHEDDABLE {
+        let slot = c.slot().expect("sheddable class has a slot");
+        let _ = writeln!(
+            out,
+            "cos_ctrl_shed_total{{class=\"{}\"}} {}",
+            c.name(),
+            stats.shed_total[slot]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cos_ctrl_anomaly_score Latest robust z-score of the drift residual per SLA."
+    );
+    let _ = writeln!(out, "# TYPE cos_ctrl_anomaly_score gauge");
+    for &(sla, z, _) in &stats.scores {
+        let _ = writeln!(out, "cos_ctrl_anomaly_score{{sla=\"{sla}\"}} {z}");
     }
     out
 }

@@ -11,7 +11,7 @@ use cos_obs::{Counter, Hist, HistSnapshot, Registry};
 
 /// The route set with dedicated per-route latency series; anything else
 /// lands in the `other` series.
-pub const TRACKED_ROUTES: [&str; 8] = [
+pub const TRACKED_ROUTES: [&str; 9] = [
     "/v1/attainment",
     "/v1/percentile",
     "/v1/headroom",
@@ -19,6 +19,7 @@ pub const TRACKED_ROUTES: [&str; 8] = [
     "/v1/status",
     "/v1/telemetry",
     "/v1/selfcheck",
+    "/v1/anomalies",
     "/metrics",
 ];
 
@@ -41,6 +42,8 @@ pub struct GateObs {
     pub requests_total: Counter,
     /// Total connections dropped for unparseable framing.
     pub parse_errors_total: Counter,
+    /// Requests refused `429` by the admission controller.
+    pub sheds_total: Counter,
 }
 
 impl GateObs {
@@ -77,6 +80,10 @@ impl GateObs {
             parse_errors_total: registry.counter(
                 "cos_gate_parse_errors_total",
                 "Connections dropped for unparseable framing",
+            ),
+            sheds_total: registry.counter(
+                "cos_gate_sheds_total",
+                "Requests refused 429 by the admission controller",
             ),
             registry: registry.clone(),
         }

@@ -10,13 +10,23 @@
 //! | `POST /v1/telemetry` | batch event ingest (JSON array), flushed before replying |
 //! | `GET /v1/status` | full health summary |
 //! | `GET /v1/selfcheck` | observed gate latency percentiles vs model-predicted percentiles |
+//! | `GET /v1/anomalies` | scored anomalies + controller state (404 without a controller) |
 //! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]), plus every registered instrument when the gate runs with a [`GateObs`] |
 //!
 //! Status mapping: unknown path → `404`; known path, wrong method → `405`
 //! with `Allow`; malformed query/body → `400`; a service that cannot answer
 //! *yet* ([`ServeError::NotCalibrated`], [`ServeError::Disconnected`]) →
 //! `503`; a well-formed question with no answer (unstable operating point,
-//! unreachable goal, out-of-range percentile) → `422`.
+//! unreachable goal, out-of-range percentile) → `422`; a request the
+//! admission controller sheds → `429` with a `Retry-After` header.
+//!
+//! Admission runs *before* routing when a [`cos_ctrl::Controller`] is
+//! configured (see [`handle_ctrl`]): the request is classified by route
+//! and `x-sla-class` header ([`classify`]) and put to
+//! [`Controller::decide`](cos_ctrl::Controller::decide). Control-plane
+//! routes — telemetry ingest, status, metrics, selfcheck, anomalies — are
+//! never shed: starving the feedback loop that decides when to re-admit
+//! would wedge the controller in the shed state.
 //!
 //! Every GET route answers through a [`ReadPath`]: by default the
 //! lock-free snapshot path (evaluated on the connection thread, see
@@ -24,12 +34,13 @@
 //! configured — the answers are bit-identical either way. The telemetry
 //! POST always goes through the channel: it is a write.
 
+use cos_ctrl::{Controller, SlaClass};
 use cos_model::SlaGoal;
 use cos_serve::{OpClass, Prediction, ServeError, ServiceClient, ServiceStatus, TelemetryEvent};
 
 use crate::http::{Method, Request, Response};
 use crate::json::{self, Value};
-use crate::metrics::render_metrics;
+use crate::metrics::{render_ctrl_metrics, render_metrics};
 use crate::obs::GateObs;
 use crate::query;
 
@@ -119,13 +130,57 @@ pub fn handle_with_obs(client: &ServiceClient, obs: Option<&GateObs>, req: &Requ
 
 /// Dispatches one parsed request with an explicit [`ReadPath`]: every GET
 /// route answers through `read_path`; `POST /v1/telemetry` always goes
-/// through the worker's command channel (it is a write).
+/// through the worker's command channel (it is a write). Equivalent to
+/// [`handle_ctrl`] with no admission controller.
 pub fn handle_full(
     client: &ServiceClient,
     obs: Option<&GateObs>,
     read_path: ReadPath,
     req: &Request,
 ) -> Response {
+    handle_ctrl(client, obs, read_path, None, req)
+}
+
+/// Classifies one request for admission: control-plane routes (the
+/// feedback loop itself — telemetry ingest, status, metrics, selfcheck,
+/// anomalies) are [`SlaClass::Control`] and never shed; everything else
+/// defaults to [`SlaClass::Standard`], overridable per request with an
+/// `x-sla-class: batch|standard|premium` header. `control` is not
+/// nameable from the wire.
+pub fn classify(req: &Request) -> SlaClass {
+    match req.path() {
+        "/v1/telemetry" | "/v1/status" | "/v1/selfcheck" | "/v1/anomalies" | "/metrics" => {
+            SlaClass::Control
+        }
+        _ => req
+            .header("x-sla-class")
+            .and_then(SlaClass::from_header)
+            .unwrap_or(SlaClass::Standard),
+    }
+}
+
+/// The widest dispatcher: admission control first (when a controller is
+/// configured), then routing. A shed request is answered `429 Too Many
+/// Requests` with a `Retry-After` header and never reaches the service.
+/// With `ctrl = None` the behavior — including every response byte — is
+/// identical to [`handle_full`] before admission control existed, except
+/// that `GET /v1/anomalies` exists only when a controller is present.
+pub fn handle_ctrl(
+    client: &ServiceClient,
+    obs: Option<&GateObs>,
+    read_path: ReadPath,
+    ctrl: Option<&Controller>,
+    req: &Request,
+) -> Response {
+    if let Some(ctrl) = ctrl {
+        if let Err(shed) = ctrl.decide(classify(req)) {
+            if let Some(obs) = obs {
+                obs.sheds_total.inc();
+            }
+            return Response::error(429, &shed.to_string())
+                .with_header("Retry-After", shed.retry_after.to_string());
+        }
+    }
     let reader = Reader {
         client,
         path: read_path,
@@ -145,7 +200,11 @@ pub fn handle_full(
         "/v1/bottlenecks" => get(&|| bottlenecks(&reader, req)),
         "/v1/status" => get(&|| status(&reader, req)),
         "/v1/selfcheck" => get(&|| selfcheck(&reader, obs)),
-        "/metrics" => get(&|| metrics(&reader, obs)),
+        "/v1/anomalies" => match ctrl {
+            Some(ctrl) => get(&|| anomalies(ctrl)),
+            None => Response::error(404, "no such route"),
+        },
+        "/metrics" => get(&|| metrics(&reader, obs, ctrl)),
         "/v1/telemetry" => {
             if req.method == Method::Post {
                 telemetry(client, req)
@@ -320,10 +379,13 @@ fn status(reader: &Reader<'_>, _req: &Request) -> Response {
     }
 }
 
-fn metrics(reader: &Reader<'_>, obs: Option<&GateObs>) -> Response {
+fn metrics(reader: &Reader<'_>, obs: Option<&GateObs>, ctrl: Option<&Controller>) -> Response {
     match reader.status() {
         Ok(s) => {
             let mut text = render_metrics(&s);
+            if let Some(ctrl) = ctrl {
+                text.push_str(&render_ctrl_metrics(&ctrl.stats()));
+            }
             if let Some(obs) = obs {
                 text.push_str(&obs.registry().render());
             }
@@ -331,6 +393,80 @@ fn metrics(reader: &Reader<'_>, obs: Option<&GateObs>) -> Response {
         }
         Err(e) => service_error(e),
     }
+}
+
+/// `GET /v1/anomalies`: the retained scored anomalies (oldest first) plus
+/// the controller's current posture — shed fraction, per-class shed
+/// counters, and the latest tick's conclusions. Always `200` when a
+/// controller is configured: an empty list is a healthy answer.
+fn anomalies(ctrl: &Controller) -> Response {
+    let stats = ctrl.stats();
+    let items = ctrl
+        .anomalies()
+        .into_iter()
+        .map(|a| {
+            Value::Object(vec![
+                ("at".into(), Value::Number(a.at)),
+                ("sla".into(), Value::Number(a.sla)),
+                ("score".into(), Value::Number(a.score)),
+                ("observed".into(), Value::Number(a.observed)),
+                ("predicted".into(), Value::Number(a.predicted)),
+            ])
+        })
+        .collect();
+    let scores = stats
+        .scores
+        .iter()
+        .map(|&(sla, z, n)| {
+            Value::Object(vec![
+                ("sla".into(), Value::Number(sla)),
+                ("score".into(), Value::Number(z)),
+                ("samples".into(), Value::Number(n as f64)),
+            ])
+        })
+        .collect();
+    let shed_classes = SlaClass::SHEDDABLE
+        .iter()
+        .map(|c| {
+            let slot = c.slot().expect("sheddable class has a slot");
+            Value::Object(vec![
+                ("class".into(), Value::String(c.name().into())),
+                ("shed".into(), Value::Number(stats.shed_total[slot] as f64)),
+            ])
+        })
+        .collect();
+    let opt = |v: Option<f64>| v.map(Value::Number).unwrap_or(Value::Null);
+    let body = Value::Object(vec![
+        ("anomalies".into(), Value::Array(items)),
+        (
+            "anomalies_total".into(),
+            Value::Number(stats.anomalies_total as f64),
+        ),
+        ("scores".into(), Value::Array(scores)),
+        ("shed_fraction".into(), Value::Number(stats.shed_fraction)),
+        (
+            "admitted_total".into(),
+            Value::Number(stats.admitted_total as f64),
+        ),
+        ("shed_total".into(), Value::Array(shed_classes)),
+        ("ticks".into(), Value::Number(stats.ticks as f64)),
+        (
+            "last_tick".into(),
+            Value::Object(vec![
+                ("at".into(), Value::Number(stats.last.at)),
+                (
+                    "generation".into(),
+                    Value::Number(stats.last.generation as f64),
+                ),
+                ("attainment".into(), opt(stats.last.attainment)),
+                ("headroom".into(), opt(stats.last.headroom)),
+                ("rate".into(), opt(stats.last.rate)),
+                ("unstable".into(), Value::Bool(stats.last.unstable)),
+                ("violating".into(), Value::Bool(stats.last.violating)),
+            ]),
+        ),
+    ]);
+    Response::json(200, body.encode())
 }
 
 /// The paper's validation loop (observed vs predicted percentiles, §V)
@@ -807,6 +943,132 @@ mod tests {
         let plain = get(&client, "/metrics");
         let plain = String::from_utf8(plain.body).unwrap();
         assert!(!plain.contains("cos_gate_request_seconds"));
+    }
+
+    fn controller(client: &ServiceClient) -> std::sync::Arc<Controller> {
+        std::sync::Arc::new(
+            Controller::new(client.reader(), cos_ctrl::CtrlConfig::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn classification_maps_routes_and_headers() {
+        let control = [
+            "GET /v1/telemetry HTTP/1.1\r\nHost: t\r\n\r\n",
+            "GET /v1/status HTTP/1.1\r\nHost: t\r\nx-sla-class: batch\r\n\r\n",
+            "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+            "GET /v1/selfcheck HTTP/1.1\r\nHost: t\r\n\r\n",
+            "GET /v1/anomalies HTTP/1.1\r\nHost: t\r\n\r\n",
+        ];
+        for raw in control {
+            assert_eq!(classify(&req(raw)), SlaClass::Control, "{raw}");
+        }
+        let r = req("GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(classify(&r), SlaClass::Standard);
+        let r = req("GET /v1/attainment HTTP/1.1\r\nHost: t\r\nX-SLA-Class: Premium\r\n\r\n");
+        assert_eq!(classify(&r), SlaClass::Premium);
+        let r = req("GET /v1/attainment HTTP/1.1\r\nHost: t\r\nx-sla-class: batch\r\n\r\n");
+        assert_eq!(classify(&r), SlaClass::Batch);
+        // `control` is not nameable from the wire.
+        let r = req("GET /v1/attainment HTTP/1.1\r\nHost: t\r\nx-sla-class: control\r\n\r\n");
+        assert_eq!(classify(&r), SlaClass::Standard);
+    }
+
+    #[test]
+    fn shedding_answers_429_with_retry_after_and_spares_control_routes() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let ctrl = controller(&client);
+        ctrl.force_shed(ctrl.policy().max_shed); // batch + standard shed fully
+        let request = req("GET /v1/status HTTP/1.1\r\nHost: t\r\n\r\n");
+        let resp = handle_ctrl(&client, None, ReadPath::default(), Some(&ctrl), &request);
+        assert_eq!(resp.status, 200, "control routes are never shed");
+        // At max_shed (0.95 < 1) the error-diffusion accumulator admits
+        // the very first request; the second crosses a whole unit.
+        let request = req("GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: t\r\n\r\n");
+        let resp = (0..3)
+            .map(|_| handle_ctrl(&client, None, ReadPath::default(), Some(&ctrl), &request))
+            .find(|r| r.status == 429)
+            .expect("shedding at max_shed must refuse a standard request");
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Retry-After" && v == "1"));
+        assert!(
+            String::from_utf8_lossy(&resp.body).contains("standard"),
+            "error names the class"
+        );
+        // Back to zero shed, everything flows again (503: still warming).
+        ctrl.force_shed(0.0);
+        let resp = handle_ctrl(&client, None, ReadPath::default(), Some(&ctrl), &request);
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn anomalies_route_requires_a_controller() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        // Without a controller the route does not exist.
+        assert_eq!(get(&client, "/v1/anomalies").status, 404);
+        let ctrl = controller(&client);
+        let request = req("GET /v1/anomalies HTTP/1.1\r\nHost: t\r\n\r\n");
+        let resp = handle_ctrl(&client, None, ReadPath::default(), Some(&ctrl), &request);
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            body.field("anomalies").unwrap().as_array().unwrap().len(),
+            0
+        );
+        assert_eq!(body.f64_field("anomalies_total").unwrap(), 0.0);
+        assert_eq!(body.f64_field("shed_fraction").unwrap(), 0.0);
+        assert!(body.field("last_tick").unwrap().field("violating").is_ok());
+        // Wrong method: 405 with Allow.
+        let request = req("POST /v1/anomalies HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+        let resp = handle_ctrl(&client, None, ReadPath::default(), Some(&ctrl), &request);
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn metrics_carry_the_controller_block_and_shed_counter() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let ctrl = controller(&client);
+        ctrl.force_shed(0.5);
+        let registry = cos_obs::Registry::new();
+        let obs = GateObs::register(&registry);
+        // One shed (batch at 50% sheds every second request; the first
+        // crossing happens on request two).
+        for _ in 0..2 {
+            let request = req("GET /v1/headroom HTTP/1.1\r\nHost: t\r\nx-sla-class: batch\r\n\r\n");
+            handle_ctrl(
+                &client,
+                Some(&obs),
+                ReadPath::default(),
+                Some(&ctrl),
+                &request,
+            );
+        }
+        assert_eq!(obs.sheds_total.get(), 1);
+        let request = req("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let resp = handle_ctrl(
+            &client,
+            Some(&obs),
+            ReadPath::default(),
+            Some(&ctrl),
+            &request,
+        );
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("cos_ctrl_shed_fraction 0.5"), "{text}");
+        assert!(
+            text.contains("cos_ctrl_shed_total{class=\"batch\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("cos_gate_sheds_total 1"), "{text}");
+        assert!(text.contains("cos_drifted_any 0"), "{text}");
+        // Without a controller the block is absent (byte-compatible).
+        let plain = get(&client, "/metrics");
+        assert!(!String::from_utf8(plain.body).unwrap().contains("cos_ctrl_"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cos_ctrl::Controller;
 use cos_obs::Registry;
 use cos_serve::ServiceClient;
 
@@ -57,6 +58,11 @@ pub struct GateConfig {
     /// Which evaluation path GET routes use: the lock-free snapshot path
     /// (default) or the worker's command channel.
     pub read_path: ReadPath,
+    /// Admission controller consulted before routing every request
+    /// (`None`, the default, admits everything — behavior is byte-identical
+    /// to a gate built before admission control existed). Share the same
+    /// `Arc` with a [`cos_ctrl::Ticker`] so the policy keeps adjusting.
+    pub controller: Option<Arc<Controller>>,
 }
 
 impl Default for GateConfig {
@@ -69,6 +75,7 @@ impl Default for GateConfig {
             limits: ParserLimits::default(),
             obs: Registry::new(),
             read_path: ReadPath::default(),
+            controller: None,
         }
     }
 }
@@ -150,6 +157,12 @@ impl GateConfigBuilder {
     /// Which evaluation path GET routes use (snapshot by default).
     pub fn read_path(mut self, path: ReadPath) -> Self {
         self.config.read_path = path;
+        self
+    }
+
+    /// Admission controller consulted before routing (none by default).
+    pub fn controller(mut self, ctrl: Arc<Controller>) -> Self {
+        self.config.controller = Some(ctrl);
         self
     }
 
@@ -407,8 +420,13 @@ fn serve_connection(
                     let started = request_started.take().unwrap_or(parse_begin);
                     let draining = shared.shutdown.load(Ordering::SeqCst);
                     let dispatch_span = obs.dispatch.start_span();
-                    let response =
-                        routes::handle_full(client, Some(obs), config.read_path, &request);
+                    let response = routes::handle_ctrl(
+                        client,
+                        Some(obs),
+                        config.read_path,
+                        config.controller.as_deref(),
+                        &request,
+                    );
                     dispatch_span.stop();
                     let keep = request.keep_alive() && !draining;
                     let written = write_response(&mut stream, &response, keep);
@@ -616,6 +634,62 @@ mod tests {
         );
         assert!(reply.starts_with("HTTP/1.1 503 "), "{reply}");
         drop(held);
+        gate.shutdown();
+    }
+
+    /// Saturate the connection cap, release the slots, and require the
+    /// accept loop to resume serving promptly — across several cycles, so
+    /// a lost condvar wakeup (accept loop parked while a freed slot's
+    /// notify slipped past it) would surface as a stall.
+    #[test]
+    fn released_slots_resume_accepts_without_lost_wakeups() {
+        let service = spawn_service();
+        let config = GateConfig {
+            max_connections: 2,
+            ..quick_config()
+        };
+        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+        for cycle in 0..3 {
+            // Pin both slots with half-sent requests.
+            let mut held = Vec::new();
+            for _ in 0..2 {
+                let mut s = TcpStream::connect(gate.local_addr()).unwrap();
+                s.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
+                held.push(s);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            let reply = roundtrip(
+                gate.local_addr(),
+                b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n",
+            );
+            assert!(
+                reply.starts_with("HTTP/1.1 503 "),
+                "cycle {cycle}: saturated gate must refuse: {reply}"
+            );
+            // Release both slots; the accept loop must pick up the freed
+            // capacity within the read-timeout tick, not hang on a missed
+            // notify.
+            drop(held);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                let reply = roundtrip(
+                    gate.local_addr(),
+                    b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+                );
+                if reply.starts_with("HTTP/1.1 200 ") {
+                    break;
+                }
+                assert!(
+                    reply.starts_with("HTTP/1.1 503 "),
+                    "cycle {cycle}: unexpected reply {reply}"
+                );
+                assert!(
+                    Instant::now() < deadline,
+                    "cycle {cycle}: accept loop never resumed after slots freed"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
         gate.shutdown();
     }
 

@@ -224,6 +224,7 @@ pub struct SlaService {
     now: f64,
     last_refit: f64,
     last_fit_error: Option<String>,
+    last_fit_unstable: bool,
 }
 
 impl SlaService {
@@ -240,6 +241,7 @@ impl SlaService {
                 snapshot: None,
                 last_fit_error: None,
                 failed_refits: 0,
+                unstable_fit: false,
                 drift: drift.report(0.0, &vec![None; config.slas.len()]),
             },
         ));
@@ -257,6 +259,7 @@ impl SlaService {
             now: 0.0,
             last_refit: 0.0,
             last_fit_error: None,
+            last_fit_unstable: false,
             config,
         }
     }
@@ -299,6 +302,7 @@ impl SlaService {
                 Ok(params) => Some(params),
                 Err(e) => {
                     self.last_fit_error = Some(e.to_string());
+                    self.last_fit_unstable = false;
                     self.engine.mark_stale();
                     None
                 }
@@ -314,10 +318,15 @@ impl SlaService {
                         self.engine
                             .install(Arc::new(fitted), self.now, Some(Arc::new(model)));
                         self.last_fit_error = None;
+                        self.last_fit_unstable = false;
                         true
                     }
                     Err(e) => {
+                        // Every ModelError is an instability (ρ ≥ 1 in some
+                        // queue): the live load exceeds what the last good
+                        // epoch can describe.
                         self.last_fit_error = Some(e.to_string());
+                        self.last_fit_unstable = true;
                         self.engine.mark_stale();
                         false
                     }
@@ -346,6 +355,7 @@ impl SlaService {
             snapshot: self.engine.snapshot().cloned(),
             last_fit_error: self.last_fit_error.clone(),
             failed_refits: self.engine.failed_refits(),
+            unstable_fit: self.last_fit_unstable,
             drift: self.drift.report(self.now, &predictions),
         });
     }

@@ -50,6 +50,12 @@ pub struct SnapshotState {
     pub last_fit_error: Option<String>,
     /// Re-fits that have failed since startup.
     pub failed_refits: u64,
+    /// Whether the most recent re-fit failed because the *fitted operating
+    /// point itself* was unstable (some queue at ρ ≥ 1) — as opposed to a
+    /// data problem like an empty window. An admission controller must
+    /// treat this as an overload signal even though the installed (stale)
+    /// epoch still answers with healthy-looking predictions.
+    pub unstable_fit: bool,
     /// Per-SLA drift verdicts (observed vs predicted attainment) as of
     /// the most recent publication.
     pub drift: Vec<DriftReport>,
@@ -227,6 +233,18 @@ impl SnapshotReader {
             },
             drift: state.drift.clone(),
         })
+    }
+
+    /// The raw published state: installed epoch (with its fitted
+    /// [`cos_model::SystemParams`]), fit-failure flags, and drift verdicts
+    /// in one immutable view. This is the endpoint control loops poll: one
+    /// atomic load, no allocation, and every field is from the same
+    /// publication instant.
+    pub fn state(&self) -> Result<Arc<SnapshotState>, ServeError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        Ok(self.shared.cell.get())
     }
 
     /// The newest event time seen by the worker (bit-exact with the

@@ -1,0 +1,345 @@
+//! Fault injection for the simulated testbed.
+//!
+//! A [`ChaosSchedule`] is a list of [`Fault`]s, each active over a
+//! half-open event-time window `[from, until)`. The simulator consults the
+//! schedule at well-defined points — disk-op start, replica choice,
+//! arrival — so faults perturb exactly the mechanism they name:
+//!
+//! * [`Fault::SlowDisk`] multiplies every disk service time of a device
+//!   (or all devices) — a degraded spindle / RAID rebuild;
+//! * [`Fault::Straggler`] multiplies a random *fraction* of a device's
+//!   disk ops — intermittent tail-latency spikes;
+//! * [`Fault::DeviceLoss`] removes a device from replica selection —
+//!   requests fail over to surviving replicas, concentrating load;
+//! * [`Fault::Burst`] multiplies the arrival process — a flash crowd.
+//!
+//! Chaos draws come from a **dedicated RNG stream** (`"chaos"`), so a run
+//! with an empty schedule is bit-identical to a run built without
+//! [`Simulation::with_chaos`](crate::Simulation::with_chaos) at all, and
+//! any chaos run is reproducible from its seed. This is what lets the
+//! repo-level control-loop test assert the *ordering* of drift detection,
+//! anomaly scoring, and shedding deterministically per fault.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One injected fault, active over the event-time window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Multiply every disk service time sampled on `device` (all devices
+    /// when `None`) by `factor` (> 1 slows, < 1 would speed up).
+    SlowDisk {
+        /// Affected device, or `None` for every device.
+        device: Option<usize>,
+        /// Service-time multiplier (must be finite and positive).
+        factor: f64,
+        /// Window start (event time, inclusive).
+        from: f64,
+        /// Window end (event time, exclusive).
+        until: f64,
+    },
+    /// Multiply each disk op on `device` by `factor` independently with
+    /// probability `prob` — a straggling disk with intermittent stalls.
+    Straggler {
+        /// Affected device.
+        device: usize,
+        /// Per-operation probability of the stall.
+        prob: f64,
+        /// Service-time multiplier applied on a stall.
+        factor: f64,
+        /// Window start (event time, inclusive).
+        from: f64,
+        /// Window end (event time, exclusive).
+        until: f64,
+    },
+    /// Remove `device` from replica selection: routing picks a surviving
+    /// replica instead (the original choice stands only when every replica
+    /// of the partition is lost).
+    DeviceLoss {
+        /// The lost device.
+        device: usize,
+        /// Window start (event time, inclusive).
+        from: f64,
+        /// Window end (event time, exclusive).
+        until: f64,
+    },
+    /// Amplify the arrival process: for every trace arrival inside the
+    /// window, inject extra copies so the effective rate is multiplied by
+    /// `multiplier` (≥ 1; the fractional part is realized by a Bernoulli
+    /// draw per arrival). Injected requests draw fresh object ids, so the
+    /// extra load spreads over partitions like the trace does.
+    Burst {
+        /// Arrival-rate multiplier (≥ 1).
+        multiplier: f64,
+        /// Window start (event time, inclusive).
+        from: f64,
+        /// Window end (event time, exclusive).
+        until: f64,
+    },
+}
+
+impl Fault {
+    fn window(&self) -> (f64, f64) {
+        match *self {
+            Fault::SlowDisk { from, until, .. }
+            | Fault::Straggler { from, until, .. }
+            | Fault::DeviceLoss { from, until, .. }
+            | Fault::Burst { from, until, .. } => (from, until),
+        }
+    }
+
+    fn active(&self, now: f64) -> bool {
+        let (from, until) = self.window();
+        now >= from && now < until
+    }
+}
+
+/// A fault-injection plan: the list of faults the simulator consults.
+/// Empty by default (and an empty schedule changes nothing, bit for bit).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSchedule {
+    /// The injected faults. Windows may overlap; multipliers compose.
+    pub faults: Vec<Fault>,
+}
+
+impl ChaosSchedule {
+    /// The empty schedule (injects nothing).
+    pub fn none() -> ChaosSchedule {
+        ChaosSchedule::default()
+    }
+
+    /// A schedule with one fault.
+    pub fn single(fault: Fault) -> ChaosSchedule {
+        ChaosSchedule {
+            faults: vec![fault],
+        }
+    }
+
+    /// Whether the schedule has no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Panics on nonsensical faults (mirrors
+    /// [`ClusterConfig::validate`](crate::config::ClusterConfig::validate)).
+    pub fn validate(&self, devices: usize) {
+        for f in &self.faults {
+            let (from, until) = f.window();
+            assert!(
+                from.is_finite() && until.is_finite() && from < until,
+                "fault window [{from}, {until}) must be a non-empty finite interval"
+            );
+            match *f {
+                Fault::SlowDisk { device, factor, .. } => {
+                    assert!(
+                        factor.is_finite() && factor > 0.0,
+                        "slow-disk factor must be finite and positive, got {factor}"
+                    );
+                    if let Some(d) = device {
+                        assert!(d < devices, "slow-disk fault on nonexistent device {d}");
+                    }
+                }
+                Fault::Straggler {
+                    device,
+                    prob,
+                    factor,
+                    ..
+                } => {
+                    assert!(
+                        (0.0..=1.0).contains(&prob),
+                        "straggler probability must be in [0,1], got {prob}"
+                    );
+                    assert!(
+                        factor.is_finite() && factor > 0.0,
+                        "straggler factor must be finite and positive, got {factor}"
+                    );
+                    assert!(
+                        device < devices,
+                        "straggler fault on nonexistent device {device}"
+                    );
+                }
+                Fault::DeviceLoss { device, .. } => {
+                    assert!(
+                        device < devices,
+                        "device-loss fault on nonexistent device {device}"
+                    );
+                }
+                Fault::Burst { multiplier, .. } => {
+                    assert!(
+                        multiplier.is_finite() && multiplier >= 1.0,
+                        "burst multiplier must be >= 1, got {multiplier}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The combined service-time multiplier for a disk op starting on
+    /// `dev` at `now`. Consumes `rng` only for straggler draws inside an
+    /// active window, so inactive schedules leave the stream untouched.
+    pub(crate) fn disk_factor(&self, now: f64, dev: usize, rng: &mut SmallRng) -> f64 {
+        let mut factor = 1.0;
+        for f in &self.faults {
+            if !f.active(now) {
+                continue;
+            }
+            match *f {
+                Fault::SlowDisk {
+                    device, factor: x, ..
+                } if device.is_none() || device == Some(dev) => factor *= x,
+                // Short-circuit keeps the draw conditional on the device
+                // match, so unrelated devices leave the stream untouched.
+                Fault::Straggler {
+                    device,
+                    prob,
+                    factor: x,
+                    ..
+                } if device == dev && rng.gen::<f64>() < prob => factor *= x,
+                _ => {}
+            }
+        }
+        factor
+    }
+
+    /// Whether `dev` is lost (removed from replica selection) at `now`.
+    pub(crate) fn device_lost(&self, now: f64, dev: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(*f, Fault::DeviceLoss { device, .. } if device == dev) && f.active(now)
+        })
+    }
+
+    /// The combined arrival multiplier at `now` (1.0 outside any burst).
+    pub(crate) fn burst_multiplier(&self, now: f64) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.active(now))
+            .map(|f| match *f {
+                Fault::Burst { multiplier, .. } => multiplier,
+                _ => 1.0,
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let f = Fault::SlowDisk {
+            device: None,
+            factor: 4.0,
+            from: 10.0,
+            until: 20.0,
+        };
+        assert!(!f.active(9.999));
+        assert!(f.active(10.0));
+        assert!(f.active(19.999));
+        assert!(!f.active(20.0));
+    }
+
+    #[test]
+    fn slow_disk_targets_its_device_and_composes() {
+        let s = ChaosSchedule {
+            faults: vec![
+                Fault::SlowDisk {
+                    device: Some(1),
+                    factor: 3.0,
+                    from: 0.0,
+                    until: 100.0,
+                },
+                Fault::SlowDisk {
+                    device: None,
+                    factor: 2.0,
+                    from: 0.0,
+                    until: 100.0,
+                },
+            ],
+        };
+        let mut r = rng();
+        assert_eq!(s.disk_factor(5.0, 0, &mut r), 2.0);
+        assert_eq!(s.disk_factor(5.0, 1, &mut r), 6.0);
+        assert_eq!(s.disk_factor(200.0, 1, &mut r), 1.0);
+    }
+
+    #[test]
+    fn straggler_draws_only_inside_its_window() {
+        let s = ChaosSchedule::single(Fault::Straggler {
+            device: 0,
+            prob: 1.0,
+            factor: 10.0,
+            from: 10.0,
+            until: 20.0,
+        });
+        let mut a = rng();
+        // Outside the window (or the wrong device) the stream is untouched.
+        assert_eq!(s.disk_factor(5.0, 0, &mut a), 1.0);
+        assert_eq!(s.disk_factor(15.0, 1, &mut a), 1.0);
+        let mut b = rng();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "no draws consumed");
+        // Inside: prob 1 always stalls.
+        assert_eq!(s.disk_factor(15.0, 0, &mut a), 10.0);
+    }
+
+    #[test]
+    fn loss_and_burst_report_their_windows() {
+        let s = ChaosSchedule {
+            faults: vec![
+                Fault::DeviceLoss {
+                    device: 2,
+                    from: 10.0,
+                    until: 20.0,
+                },
+                Fault::Burst {
+                    multiplier: 3.0,
+                    from: 30.0,
+                    until: 40.0,
+                },
+            ],
+        };
+        assert!(s.device_lost(15.0, 2));
+        assert!(!s.device_lost(15.0, 1));
+        assert!(!s.device_lost(25.0, 2));
+        assert_eq!(s.burst_multiplier(35.0), 3.0);
+        assert_eq!(s.burst_multiplier(45.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty finite interval")]
+    fn validation_rejects_inverted_windows() {
+        ChaosSchedule::single(Fault::Burst {
+            multiplier: 2.0,
+            from: 20.0,
+            until: 10.0,
+        })
+        .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent device")]
+    fn validation_rejects_unknown_devices() {
+        ChaosSchedule::single(Fault::DeviceLoss {
+            device: 9,
+            from: 0.0,
+            until: 1.0,
+        })
+        .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be >= 1")]
+    fn validation_rejects_shrinking_bursts() {
+        ChaosSchedule::single(Fault::Burst {
+            multiplier: 0.5,
+            from: 0.0,
+            until: 1.0,
+        })
+        .validate(4);
+    }
+}

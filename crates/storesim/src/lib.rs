@@ -10,6 +10,8 @@
 //! * [`config`] — cluster configuration with paper-scenario presets;
 //! * [`cache`] — Bernoulli and capacity-bounded LRU backend caches;
 //! * [`sim`] — the event loop;
+//! * [`chaos`] — seed-deterministic fault injection (slow disks,
+//!   stragglers, device loss, arrival bursts) for control-loop tests;
 //! * [`metrics`] — SLA accounting per rate window plus the online metrics of
 //!   §IV-B (arrival rates, miss ratios, disk service sums, WTA samples);
 //! * [`telemetry`] — the live per-event export stream an online prediction
@@ -20,6 +22,7 @@
 
 pub mod cache;
 pub mod calibration;
+pub mod chaos;
 pub mod config;
 pub mod metrics;
 pub mod sim;
@@ -27,6 +30,7 @@ pub mod telemetry;
 
 pub use cache::{BernoulliCache, Cache, Lookup, LruCache};
 pub use calibration::{benchmark_disk, benchmark_parse, DiskBenchmark, ParseBenchmark};
+pub use chaos::{ChaosSchedule, Fault};
 pub use config::{
     AcceptMode, CacheConfig, ClusterConfig, DeviceOverride, DiskOpKind, DiskProfile, TimeoutRetry,
 };

@@ -25,6 +25,7 @@
 //!   regime the model's assumption 5 excludes (ablation A6).
 
 use crate::cache::{build_cache, Cache, Lookup};
+use crate::chaos::ChaosSchedule;
 use crate::config::{AcceptMode, ClusterConfig, DiskOpKind};
 use crate::metrics::{CompletedRequest, Metrics, MetricsConfig};
 use crate::telemetry::{SimTelemetry, TelemetrySink};
@@ -178,6 +179,8 @@ pub struct Simulation {
     req_states: Vec<ReqState>,
     metrics: Metrics,
     telemetry: Option<Box<dyn TelemetrySink>>,
+    chaos: ChaosSchedule,
+    chaos_rng: SmallRng,
     net_time: f64,
 }
 
@@ -242,6 +245,10 @@ impl Simulation {
             req_states: Vec::new(),
             metrics,
             telemetry: None,
+            // The chaos stream exists even without a schedule so that
+            // attaching an *empty* schedule changes nothing, bit for bit.
+            chaos: ChaosSchedule::none(),
+            chaos_rng: streams.stream("chaos", 0),
             cal: Calendar::new(),
             net_time,
             cfg,
@@ -252,6 +259,22 @@ impl Simulation {
     /// [`SimTelemetry`] record (see [`crate::telemetry`]).
     pub fn with_telemetry(mut self, sink: Box<dyn TelemetrySink>) -> Self {
         self.telemetry = Some(sink);
+        self
+    }
+
+    /// Attaches a fault-injection schedule (see [`crate::chaos`]).
+    ///
+    /// Chaos draws come from their own RNG stream, so an empty schedule
+    /// leaves the run bit-identical to never calling this, and any chaos
+    /// run is reproducible from the cluster seed.
+    ///
+    /// # Panics
+    ///
+    /// If the schedule names a nonexistent device or has a malformed
+    /// window (see [`ChaosSchedule::validate`]).
+    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Self {
+        schedule.validate(self.cfg.devices);
+        self.chaos = schedule;
         self
     }
 
@@ -276,6 +299,7 @@ impl Simulation {
                 Ev::Arrival => {
                     let e = pending.take().expect("arrival event without payload");
                     self.on_arrival(now, e);
+                    self.inject_burst(now, e.size);
                     pending = trace.next();
                     if let Some(next) = pending {
                         self.cal.schedule_at(SimTime::new(next.at), Ev::Arrival);
@@ -309,6 +333,38 @@ impl Simulation {
     }
 
     // ---- frontend tier -------------------------------------------------
+
+    /// Replays a trace arrival `m − 1` extra times inside an active
+    /// [`crate::chaos::Fault::Burst`] window (fractional part realized by
+    /// a Bernoulli draw), with fresh objects from the chaos stream so the
+    /// extra load spreads over partitions like the trace does. Injected
+    /// arrivals are full logical requests — routed, measured, completed —
+    /// but do not themselves trigger further injection.
+    fn inject_burst(&mut self, now: f64, size: u32) {
+        if self.chaos.is_empty() {
+            return;
+        }
+        let extra = self.chaos.burst_multiplier(now) - 1.0;
+        if extra <= 0.0 {
+            return;
+        }
+        let mut copies = extra.floor() as u32;
+        let frac = extra - copies as f64;
+        if frac > 0.0 && self.chaos_rng.gen::<f64>() < frac {
+            copies += 1;
+        }
+        for _ in 0..copies {
+            let object = self.chaos_rng.gen::<ObjectId>();
+            self.on_arrival(
+                now,
+                TraceEvent {
+                    at: now,
+                    object,
+                    size,
+                },
+            );
+        }
+    }
 
     fn on_arrival(&mut self, now: f64, e: TraceEvent) {
         let id = if self.cfg.timeout_retry.is_some() {
@@ -367,15 +423,31 @@ impl Simulation {
         let partition = req.object as usize % PARTITIONS;
         let replicas = self.partition_replicas[partition];
         // Prefer an untried replica (relevant only on retries).
-        let device = if req.id != u32::MAX {
+        let mut device = if req.id != u32::MAX {
             let tried = self.req_states[req.id as usize].tried;
             let start = self.route_rng.gen_range(0..REPLICAS);
-            let pick = (0..REPLICAS)
+            (0..REPLICAS)
                 .map(|k| replicas[(start + k) % REPLICAS])
                 .find(|&d| tried & (1u64 << (d as u64 % 64)) == 0)
-                .unwrap_or(replicas[start]);
+                .unwrap_or(replicas[start]) as usize
+        } else {
+            replicas[self.route_rng.gen_range(0..REPLICAS)] as usize
+        };
+        // Chaos failover: the routing draw above always happens (keeping
+        // the RNG stream identical with and without faults); only *after*
+        // it do we deterministically fail over off a lost device. The
+        // original pick stands when every replica of the partition is lost.
+        if self.chaos.device_lost(now, device) {
+            if let Some(&alive) = replicas
+                .iter()
+                .find(|&&d| !self.chaos.device_lost(now, d as usize))
+            {
+                device = alive as usize;
+            }
+        }
+        if req.id != u32::MAX {
             let state = &mut self.req_states[req.id as usize];
-            state.tried |= 1u64 << (pick as u64 % 64);
+            state.tried |= 1u64 << (device as u64 % 64);
             state.attempts += 1;
             if let Some(tr) = self.cfg.timeout_retry {
                 if state.attempts <= tr.max_retries {
@@ -383,10 +455,7 @@ impl Simulation {
                         .schedule_in(tr.timeout, Ev::Timeout { req: req.id });
                 }
             }
-            pick as usize
-        } else {
-            replicas[self.route_rng.gen_range(0..REPLICAS)] as usize
-        };
+        }
         let proc = self.route_rng.gen_range(0..self.cfg.processes_per_device);
         req.device = device as u16;
         req.pool_enter = now;
@@ -417,7 +486,7 @@ impl Simulation {
     // ---- backend tier --------------------------------------------------
 
     /// Starts operations while the process is idle and work is queued.
-    fn pump(&mut self, _now: f64, dev: usize, proc: usize) {
+    fn pump(&mut self, now: f64, dev: usize, proc: usize) {
         if self.procs[dev][proc].busy {
             return;
         }
@@ -462,20 +531,23 @@ impl Simulation {
                     remaining,
                     arrival,
                 });
-                self.start_disk_stage(arrival, dev, proc, DiskOpKind::Data, object, chunk_idx);
+                self.start_disk_stage(now, arrival, dev, proc, DiskOpKind::Data, object, chunk_idx);
             }
         }
     }
 
     /// Performs a cache access for a stage; on hit a memory-latency timer is
     /// scheduled, on miss the operation joins the device's disk queue and
-    /// the process blocks. `attr_time` is the owning request's arrival time:
-    /// operation counts are attributed to the rate window of the request
-    /// that caused them (the paper counts data chunks per request stream,
-    /// §IV-B), so backlog drained after a window ends does not contaminate
-    /// the next window's measured rates.
+    /// the process blocks. `now` is the event time (chaos windows are
+    /// evaluated against it); `attr_time` is the owning request's arrival
+    /// time: operation counts are attributed to the rate window of the
+    /// request that caused them (the paper counts data chunks per request
+    /// stream, §IV-B), so backlog drained after a window ends does not
+    /// contaminate the next window's measured rates.
+    #[allow(clippy::too_many_arguments)]
     fn start_disk_stage(
         &mut self,
+        now: f64,
         attr_time: f64,
         dev: usize,
         proc: usize,
@@ -493,7 +565,7 @@ impl Simulation {
             });
         }
         if miss {
-            self.submit_disk(dev, proc as u16, kind, attr_time);
+            self.submit_disk(now, dev, proc as u16, kind, attr_time);
         } else {
             self.metrics.op_sample(kind, self.cfg.mem_latency, false);
             self.emit(SimTelemetry::Op {
@@ -513,15 +585,15 @@ impl Simulation {
         }
     }
 
-    fn submit_disk(&mut self, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
+    fn submit_disk(&mut self, now: f64, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
         if self.disks[dev].current.is_none() {
-            self.start_disk_op(dev, proc, kind, attr_time);
+            self.start_disk_op(now, dev, proc, kind, attr_time);
         } else {
             self.disks[dev].queue.push_back((proc, kind, attr_time));
         }
     }
 
-    fn start_disk_op(&mut self, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
+    fn start_disk_op(&mut self, now: f64, dev: usize, proc: u16, kind: DiskOpKind, attr_time: f64) {
         let profile = &self.disk_profiles[dev];
         let rng = &mut self.disk_rngs[dev];
         let svc = match kind {
@@ -529,6 +601,11 @@ impl Simulation {
             DiskOpKind::Meta => sample(&profile.meta, rng),
             DiskOpKind::Data => sample(&profile.data, rng),
         };
+        // Chaos: slow-disk / straggler multipliers keyed on when the op
+        // *starts* (queued ops picked up inside a window are slowed even
+        // if submitted before it). The metrics below see the degraded
+        // value — exactly what a real benchmark would measure.
+        let svc = svc * self.chaos.disk_factor(now, dev, &mut self.chaos_rng);
         self.disks[dev].current = Some((proc, kind));
         self.metrics.disk_service(dev as u16, kind, svc);
         self.metrics.op_sample(kind, svc, true);
@@ -548,7 +625,7 @@ impl Simulation {
             .take()
             .expect("disk finished while idle");
         if let Some((next_proc, next_kind, next_attr)) = self.disks[dev].queue.pop_front() {
-            self.start_disk_op(dev, next_proc, next_kind, next_attr);
+            self.start_disk_op(now, dev, next_proc, next_kind, next_attr);
         }
         self.stage_complete(now, dev, proc as usize);
     }
@@ -594,21 +671,45 @@ impl Simulation {
                         req,
                         stage: HandleStage::Index,
                     });
-                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Index, req.object, 0);
+                    self.start_disk_stage(
+                        now,
+                        req.arrival,
+                        dev,
+                        proc,
+                        DiskOpKind::Index,
+                        req.object,
+                        0,
+                    );
                 }
                 HandleStage::Index => {
                     self.procs[dev][proc].exec = Some(Exec::Handle {
                         req,
                         stage: HandleStage::Meta,
                     });
-                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Meta, req.object, 0);
+                    self.start_disk_stage(
+                        now,
+                        req.arrival,
+                        dev,
+                        proc,
+                        DiskOpKind::Meta,
+                        req.object,
+                        0,
+                    );
                 }
                 HandleStage::Meta => {
                     self.procs[dev][proc].exec = Some(Exec::Handle {
                         req,
                         stage: HandleStage::Data,
                     });
-                    self.start_disk_stage(req.arrival, dev, proc, DiskOpKind::Data, req.object, 0);
+                    self.start_disk_stage(
+                        now,
+                        req.arrival,
+                        dev,
+                        proc,
+                        DiskOpKind::Data,
+                        req.object,
+                        0,
+                    );
                 }
                 HandleStage::Data => {
                     // First chunk read: the response starts now (Eq. 1).
@@ -1036,6 +1137,128 @@ mod tests {
             .with_telemetry(Box::new(|_e: SimTelemetry| {}))
             .run(sparse_trace(100, 0.01, 1000));
         assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn empty_chaos_schedule_is_bit_identical() {
+        let plain = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(200, 0.01, 1000));
+        let chaos = Simulation::new(quiet_config(), mcfg(1e9))
+            .with_chaos(crate::chaos::ChaosSchedule::none())
+            .run(sparse_trace(200, 0.01, 1000));
+        assert_eq!(plain.raw(), chaos.raw());
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_given_seed() {
+        let schedule = crate::chaos::ChaosSchedule {
+            faults: vec![
+                crate::chaos::Fault::Straggler {
+                    device: 1,
+                    prob: 0.5,
+                    factor: 8.0,
+                    from: 0.0,
+                    until: 5.0,
+                },
+                crate::chaos::Fault::Burst {
+                    multiplier: 1.5,
+                    from: 1.0,
+                    until: 2.0,
+                },
+            ],
+        };
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 0.5,
+            meta_miss: 0.5,
+            data_miss: 0.5,
+        };
+        let run = |cfg: ClusterConfig| {
+            Simulation::new(cfg, mcfg(1e9))
+                .with_chaos(schedule.clone())
+                .run(sparse_trace(400, 0.01, 1000))
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn slow_disk_fault_raises_latency_inside_its_window() {
+        // All-miss cache with deterministic disks: outside the window every
+        // unloaded request costs the same; inside, disk ops take 20×.
+        let mut cfg = quiet_config();
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
+        cfg.disk.index = Arc::new(Degenerate::new(0.002));
+        cfg.disk.meta = Arc::new(Degenerate::new(0.002));
+        cfg.disk.data = Arc::new(Degenerate::new(0.003));
+        let m = Simulation::new(cfg, mcfg(1e9))
+            .with_chaos(crate::chaos::ChaosSchedule::single(
+                crate::chaos::Fault::SlowDisk {
+                    device: None,
+                    factor: 20.0,
+                    from: 1.0,
+                    until: 2.0,
+                },
+            ))
+            .run(sparse_trace(300, 0.01, 1000));
+        let mean = |lo: f64, hi: f64| {
+            let lats: Vec<f64> = m
+                .raw()
+                .iter()
+                .filter(|r| r.arrival >= lo && r.arrival < hi)
+                .map(|r| r.latency)
+                .collect();
+            assert!(!lats.is_empty());
+            lats.iter().sum::<f64>() / lats.len() as f64
+        };
+        let before = mean(0.0, 0.9);
+        let during = mean(1.1, 1.9);
+        let after = mean(2.1, 3.0);
+        assert!(
+            during > 5.0 * before,
+            "in-window mean {during} vs before {before}"
+        );
+        assert!(after < 2.0 * before, "recovered mean {after} vs {before}");
+    }
+
+    #[test]
+    fn device_loss_starves_the_lost_device() {
+        let baseline = run_simulation(quiet_config(), mcfg(1e9), sparse_trace(400, 0.01, 1000));
+        assert!(baseline.devices[0].requests > 0, "device 0 normally routed");
+        let m = Simulation::new(quiet_config(), mcfg(1e9))
+            .with_chaos(crate::chaos::ChaosSchedule::single(
+                crate::chaos::Fault::DeviceLoss {
+                    device: 0,
+                    from: 0.0,
+                    until: 1e9,
+                },
+            ))
+            .run(sparse_trace(400, 0.01, 1000));
+        assert_eq!(m.devices[0].requests, 0, "lost device gets no requests");
+        let routed: u64 = m.devices.iter().map(|d| d.requests).sum();
+        assert_eq!(routed, 400, "survivors absorb the full load");
+        assert_eq!(m.completed(), 400);
+    }
+
+    #[test]
+    fn bursts_multiply_arrivals_and_completions() {
+        // Integer multiplier → exactly multiplier − 1 injected copies per
+        // trace arrival inside the window, no Bernoulli draw needed.
+        let m = Simulation::new(quiet_config(), mcfg(1e9))
+            .with_chaos(crate::chaos::ChaosSchedule::single(
+                crate::chaos::Fault::Burst {
+                    multiplier: 3.0,
+                    from: 0.0,
+                    until: 1e9,
+                },
+            ))
+            .run(sparse_trace(200, 0.01, 1000));
+        assert_eq!(m.completed(), 600, "3× arrivals, all completed");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! mapping the gate already answers, so embedders that bypass the gate
 //! can classify errors identically.
 
+use cos_ctrl::Shed;
 use cos_gate::ParseError;
 use cos_model::ModelError;
 use cos_numeric::ConfigError as InversionConfigError;
@@ -31,6 +32,12 @@ pub enum CosError {
     GateConfig(cos_gate::InvalidConfig),
     /// A [`cos_serve::ServeConfig`] builder rejected its values.
     ServeConfig(cos_serve::InvalidConfig),
+    /// The admission controller refused the request (predicted SLA
+    /// attainment below target at the current load).
+    Shed(Shed),
+    /// A [`cos_ctrl::AdmissionPolicy`] or [`cos_ctrl::AnomalyConfig`]
+    /// value was rejected.
+    CtrlConfig(cos_ctrl::InvalidPolicy),
 }
 
 impl CosError {
@@ -40,7 +47,8 @@ impl CosError {
     ///
     /// The mapping is the gate's own: a service that cannot answer *yet*
     /// → `503`; a well-formed question with no answer → `422`; a request
-    /// that never parsed → its parser status (`400`/`413`/`431`).
+    /// that never parsed → its parser status (`400`/`413`/`431`); a
+    /// request the admission controller refused → `429`.
     pub fn http_status(&self) -> Option<u16> {
         match self {
             CosError::Serve(ServeError::NotCalibrated | ServeError::Disconnected) => Some(503),
@@ -49,8 +57,9 @@ impl CosError {
             // `ServeError::Unstable`, hence the same class.
             CosError::Model(_) => Some(422),
             CosError::Parse(e) => Some(e.status()),
+            CosError::Shed(_) => Some(429),
             CosError::Inversion(_) | CosError::Fit(_) => None,
-            CosError::GateConfig(_) | CosError::ServeConfig(_) => None,
+            CosError::GateConfig(_) | CosError::ServeConfig(_) | CosError::CtrlConfig(_) => None,
         }
     }
 }
@@ -65,6 +74,8 @@ impl std::fmt::Display for CosError {
             CosError::Fit(e) => write!(f, "calibration fit: {e}"),
             CosError::GateConfig(e) => write!(f, "gate config: {e}"),
             CosError::ServeConfig(e) => write!(f, "serve config: {e}"),
+            CosError::Shed(e) => write!(f, "admission: {e}"),
+            CosError::CtrlConfig(e) => write!(f, "controller config: {e}"),
         }
     }
 }
@@ -78,6 +89,8 @@ impl std::error::Error for CosError {
             CosError::Fit(e) => Some(e),
             CosError::GateConfig(e) => Some(e),
             CosError::ServeConfig(e) => Some(e),
+            CosError::Shed(e) => Some(e),
+            CosError::CtrlConfig(e) => Some(e),
             // ParseError carries only a static reason; no deeper source.
             CosError::Parse(_) => None,
         }
@@ -126,6 +139,18 @@ impl From<cos_serve::InvalidConfig> for CosError {
     }
 }
 
+impl From<Shed> for CosError {
+    fn from(e: Shed) -> Self {
+        CosError::Shed(e)
+    }
+}
+
+impl From<cos_ctrl::InvalidPolicy> for CosError {
+    fn from(e: cos_ctrl::InvalidPolicy) -> Self {
+        CosError::CtrlConfig(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +188,21 @@ mod tests {
                 .unwrap_err())?;
             Ok(())
         }
+        fn shed() -> Result<(), CosError> {
+            Err(Shed {
+                class: cos_ctrl::SlaClass::Batch,
+                retry_after: 2,
+            })?;
+            Ok(())
+        }
+        fn ctrl_cfg() -> Result<(), CosError> {
+            cos_ctrl::AdmissionPolicy {
+                shed_step: 0.0,
+                ..cos_ctrl::AdmissionPolicy::default()
+            }
+            .validate()?;
+            Ok(())
+        }
         assert_eq!(
             serve().unwrap_err(),
             CosError::Serve(ServeError::NotCalibrated)
@@ -172,6 +212,8 @@ mod tests {
         assert!(matches!(fit().unwrap_err(), CosError::Fit(_)));
         assert!(matches!(gate_cfg().unwrap_err(), CosError::GateConfig(_)));
         assert!(matches!(serve_cfg().unwrap_err(), CosError::ServeConfig(_)));
+        assert!(matches!(shed().unwrap_err(), CosError::Shed(_)));
+        assert!(matches!(ctrl_cfg().unwrap_err(), CosError::CtrlConfig(_)));
     }
 
     /// The status mapping must mirror the gate's route-level answers.
@@ -201,6 +243,13 @@ mod tests {
             ),
             (CosError::Parse(ParseError::BodyTooLarge), Some(413)),
             (CosError::Parse(ParseError::HeadTooLarge), Some(431)),
+            (
+                CosError::Shed(Shed {
+                    class: cos_ctrl::SlaClass::Standard,
+                    retry_after: 1,
+                }),
+                Some(429),
+            ),
             (CosError::Fit(FitError::NoTraffic), None),
             (
                 CosError::Inversion(InversionConfigError::EulerTooFewTerms { terms: 0 }),

@@ -25,6 +25,9 @@
 //!   calibration, memoized inversion engine, drift detection;
 //! * [`gate`] (`cos-gate`) — the hand-rolled HTTP/1.1 front door serving
 //!   predictions and `/metrics` over a socket;
+//! * [`ctrl`] (`cos-ctrl`) — the control loop: model-driven admission
+//!   control (shed via `429` + `Retry-After`) and streaming anomaly
+//!   detection over the drift residuals;
 //! * [`obs`] (`cos-obs`) — lock-free latency histograms, counters, and
 //!   span timers the service and gate record themselves into.
 //!
@@ -65,6 +68,7 @@
 //! assert!(p > 0.85, "most requests meet 100 ms at this load, got {p}");
 //! ```
 
+pub use cos_ctrl as ctrl;
 pub use cos_distr as distr;
 pub use cos_gate as gate;
 pub use cos_model as model;
@@ -116,6 +120,11 @@ pub mod prelude {
 
     // Tier 1: the HTTP front door.
     pub use cos_gate::{Gate, GateConfig, GateConfigBuilder, ReadPath};
+
+    // Tier 1: the admission controller + anomaly detector.
+    pub use cos_ctrl::{
+        AdmissionPolicy, Anomaly, AnomalyConfig, Controller, CtrlConfig, Shed, SlaClass, Ticker,
+    };
 
     // Tier 1: the self-measuring instruments shared across the stack.
     pub use cos_obs::{Counter, Gauge, Hist, HistSnapshot, Registry};

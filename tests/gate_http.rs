@@ -533,6 +533,114 @@ fn adversarial_inputs_get_exact_statuses_and_the_gate_survives() {
     gate.shutdown();
 }
 
+/// Admission shedding on the wire: with a controller forced to full shed,
+/// data-plane requests are answered `429` with a `Retry-After` header,
+/// control-plane routes keep answering (the feedback loop is never
+/// starved), a 429 does not poison a pipelined connection, and lifting the
+/// shed re-admits on the same gate.
+#[test]
+fn shed_gate_answers_429_with_retry_after_on_the_wire() {
+    use cosmodel::ctrl::{AdmissionPolicy, Controller, CtrlConfig};
+    use std::sync::Arc;
+
+    let handle = SlaService::new(bare_base(), ServeConfig::default()).spawn();
+    let client = handle.client();
+    std::mem::forget(handle);
+    // `max_shed: 1.0` makes the forced shed total: every data-plane
+    // request drops deterministically, with no error-diffusion pattern
+    // for the byte table to track.
+    let ctrl = Arc::new(
+        Controller::new(
+            client.reader(),
+            CtrlConfig {
+                admission: AdmissionPolicy {
+                    max_shed: 1.0,
+                    ..AdmissionPolicy::default()
+                },
+                ..CtrlConfig::default()
+            },
+        )
+        .expect("valid policy"),
+    );
+    ctrl.force_shed(1.0);
+    let config = GateConfig {
+        controller: Some(ctrl.clone()),
+        ..GateConfig::default()
+    };
+    let gate = Gate::bind("127.0.0.1:0", client, config).expect("bind");
+    let addr = gate.local_addr();
+
+    let cases: Vec<(&str, Vec<u8>, Vec<u16>)> = vec![
+        (
+            "a data-plane GET is shed with 429",
+            b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\n\r\n".to_vec(),
+            vec![429],
+        ),
+        (
+            "an explicit batch request is shed too",
+            b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\nx-sla-class: batch\r\n\r\n"
+                .to_vec(),
+            vec![429],
+        ),
+        (
+            "a 429 does not poison the pipeline: the control GET behind it answers",
+            b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\n\r\n\
+              GET /v1/status HTTP/1.1\r\nHost: a\r\n\r\n"
+                .to_vec(),
+            vec![429, 200],
+        ),
+        (
+            "control-plane routes are never shed",
+            b"GET /v1/status HTTP/1.1\r\nHost: a\r\n\r\n".to_vec(),
+            vec![200],
+        ),
+        (
+            "naming `control` from the wire does not dodge the shed",
+            b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\nx-sla-class: control\r\n\r\n"
+                .to_vec(),
+            vec![429],
+        ),
+    ];
+    for (name, raw, expected) in cases {
+        assert_eq!(exchange(addr, &raw), expected, "case: {name}");
+    }
+
+    // The exact header bytes: `Retry-After` carrying the policy's seconds.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+        .write_all(b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\n\r\n")
+        .expect("write shed request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read full response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 429 "), "status line: {text}");
+    let retry = ctrl.policy().retry_after;
+    assert!(
+        text.contains(&format!("\r\nRetry-After: {retry}\r\n")),
+        "Retry-After header missing: {text}"
+    );
+
+    // Lifting the shed re-admits: the same request now reaches the route
+    // (503 — the bare service has no fit yet — not 429 from the gate).
+    ctrl.force_shed(0.0);
+    assert_eq!(
+        exchange(
+            addr,
+            b"GET /v1/attainment?sla=0.05 HTTP/1.1\r\nHost: a\r\n\r\n"
+        ),
+        vec![503],
+        "re-admitted request must reach the service"
+    );
+
+    gate.shutdown();
+}
+
 /// Splits a Prometheus exposition into `(name, TYPE)` pairs.
 fn prometheus_types(text: &str) -> Vec<(String, String)> {
     text.lines()
