@@ -25,9 +25,14 @@
 //! * [`obs`] — the gate's self-measuring instruments ([`GateObs`]):
 //!   per-route request latency, parse/dispatch sub-spans, and counters,
 //!   recorded into the [`cos_obs::Registry`] carried by [`GateConfig`];
-//! * [`server`] — the bounded thread-per-connection accept loop:
-//!   keep-alive, pipelining, read/write timeouts, per-request deadlines,
-//!   and a graceful shutdown that drains in-flight responses.
+//! * [`server`] — the socket front door: keep-alive, pipelining,
+//!   read/write timeouts, per-request deadlines, connection caps, and a
+//!   graceful shutdown that drains in-flight responses, in either of two
+//!   [`ServerMode`]s;
+//! * [`reactor`] — the default event-driven mode: a fixed pool of
+//!   reactor threads multiplexing nonblocking connections over a
+//!   readiness poller ([`cos_par::poller`]), dispatching GETs inline
+//!   through the lock-free snapshot read path.
 //!
 //! ```no_run
 //! use cos_gate::{Gate, GateConfig};
@@ -46,6 +51,7 @@ pub mod json;
 pub mod metrics;
 pub mod obs;
 pub mod query;
+pub mod reactor;
 pub mod routes;
 pub mod server;
 
@@ -57,4 +63,4 @@ pub use routes::{
     classify, decode_events, encode_events, handle, handle_ctrl, handle_full, handle_with_obs,
     status_body, ReadPath,
 };
-pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig};
+pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig, ServerMode};

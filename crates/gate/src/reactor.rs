@@ -1,0 +1,624 @@
+//! The event-driven front door: a fixed pool of reactor threads, each
+//! multiplexing many nonblocking connections over one [`Poller`].
+//!
+//! This is the architecture the paper models — an event-driven server
+//! whose concurrency is bounded by memory per connection, not by OS
+//! threads. Each reactor thread owns a level-triggered [`Poller`]
+//! (epoll on Linux) and a slab of per-connection state machines; every
+//! thread registers the *shared* nonblocking listener, so accepts are
+//! claimed by whichever reactor wins the race (the losers see
+//! `WouldBlock` and move on).
+//!
+//! # Per-connection state machine
+//!
+//! A connection is always in exactly one of four logical states, encoded
+//! by two fields (`closing`, pending output) rather than an enum so the
+//! transitions stay branch-cheap:
+//!
+//! ```text
+//!            readable                 parsed ≥1 request
+//! KeepAlive ──────────► Reading ───────────────────────► Dispatching
+//!     ▲                    │  EOF/parse error/408             │ inline
+//!     │                    ▼                                  ▼
+//!     └──────────────── Writing ◄──────────────────── response queued
+//!       out drained        │ `closing` && out drained
+//!                          ▼
+//!                       Closed
+//! ```
+//!
+//! Every poller event is handled *uniformly* by `Reactor::drive`: try to
+//! read,
+//! drain the parser, flush the output buffer, then recompute interest.
+//! A stale or spurious event (slab slot reused, kernel-reported hangup)
+//! therefore costs one harmless `WouldBlock` round, never a wrong state
+//! transition — in particular a kernel hangup flag is *not* trusted to
+//! close the connection; the next `read` returning `Ok(0)` is.
+//!
+//! # Why dispatch runs inline
+//!
+//! Every GET answers through the lock-free snapshot read path
+//! ([`cos_serve::SnapshotReader`] behind `routes::handle_ctrl`): an
+//! atomic `Arc` load plus pure computation, no locks, no channel. So the
+//! reactor thread evaluates it in place — the response lands in the
+//! connection's output buffer microseconds after the request parses,
+//! with zero handoff. The one blocking exception is `POST
+//! /v1/telemetry`, which keeps the worker channel and its flush-before-
+//! reply barrier; ingest bursts briefly occupy one reactor thread, which
+//! is accepted — writes are rare and the barrier is the consistency
+//! contract.
+//!
+//! # Deadlines without timers
+//!
+//! There is no timer wheel: each poll wait's timeout is the nearest
+//! pending deadline (request deadline from the first byte of a request
+//! head, write timeout from the first short write), and a sweep after
+//! every wait answers expired requests with `408` and closes stuck
+//! writers. With no deadlines armed the reactor sleeps until the poller
+//! or its [`Waker`] says otherwise.
+//!
+//! # Shutdown / drain protocol
+//!
+//! [`Gate::shutdown`](crate::Gate::shutdown) flips the shared flag and
+//! fires every reactor's waker. Each reactor then stops accepting,
+//! closes idle keep-alive connections (no partial request, no pending
+//! output), demotes in-flight responses to `Connection: close`, arms a
+//! request-deadline clock on any connection still mid-request (so a
+//! stalled peer bounds the drain at `408` instead of wedging it), and
+//! exits once its slab is empty. The `Gate` joins all reactors, at which
+//! point the listener's last `Arc` drops and the port closes.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cos_par::poller::{Interest, Poller, WakeReader, Waker};
+use cos_serve::ServiceClient;
+
+use crate::http::{RequestParser, Response};
+use crate::obs::GateObs;
+use crate::routes;
+use crate::server::{reject_over_capacity, GateConfig, Shared};
+
+/// Poller token of the shared listener.
+const LISTENER: u64 = 0;
+/// Poller token of this reactor's wake pipe.
+const WAKER: u64 = 1;
+/// Connection tokens are `slab slot + CONN_BASE`.
+const CONN_BASE: u64 = 2;
+
+/// Byte ceiling read per connection per event before yielding back to the
+/// poller: a firehose peer gets re-queued by the level-triggered poller
+/// instead of starving its neighbors on the same reactor thread.
+const READ_BURST_BYTES: usize = 256 * 1024;
+
+/// Spawns `threads` reactor threads sharing `listener`. Returns their
+/// join handles and one waker per thread (fire all of them after setting
+/// the shared shutdown flag, then join).
+pub(crate) fn spawn(
+    listener: Arc<TcpListener>,
+    client: ServiceClient,
+    config: GateConfig,
+    obs: GateObs,
+    shared: Arc<Shared>,
+    threads: usize,
+) -> std::io::Result<(Vec<JoinHandle<()>>, Vec<Waker>)> {
+    let mut joins = Vec::with_capacity(threads);
+    let mut wakers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = Waker::pair()?;
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        poller.register(wake_rx.as_raw_fd(), WAKER, Interest::READ)?;
+        let ctx = Reactor {
+            poller,
+            wake_rx,
+            listener: listener.clone(),
+            client: client.clone(),
+            config: config.clone(),
+            obs: obs.clone(),
+            shared: shared.clone(),
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            lingering: 0,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("cos-gate-reactor-{i}"))
+            .spawn(move || ctx.run())?;
+        joins.push(join);
+        wakers.push(waker);
+    }
+    Ok((joins, wakers))
+}
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Deadline clock of the request currently on the wire: armed at its
+    /// first byte, taken when it completes (pipelined requests whose
+    /// bytes rode in earlier start at their own parse).
+    request_started: Option<Instant>,
+    /// Queued response bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Armed at the first short write, cleared when `out` drains; bounds
+    /// a peer that stops reading at `write_timeout`.
+    write_started: Option<Instant>,
+    /// No more requests will be served: flush `out`, then close.
+    closing: bool,
+    /// The peer's write half is done (`read` returned 0).
+    saw_eof: bool,
+    /// This connection holds a slot in the shared connection count
+    /// (false for over-capacity rejects, which ride the slab but must
+    /// not consume admitted capacity).
+    counted: bool,
+    /// Keep the socket open — reading and discarding — until the peer's
+    /// EOF or this instant, whichever first. Closing with unread bytes
+    /// in the receive buffer makes TCP reset the connection, which can
+    /// destroy a still-in-flight response; lingering lets the peer's
+    /// request bytes land and the response drain cleanly.
+    linger_until: Option<Instant>,
+    /// The write half has been shut down (lingering close only).
+    fin_sent: bool,
+    /// Currently registered poller interest.
+    interest: Interest,
+}
+
+impl Conn {
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Serializes `response` onto the output queue.
+    fn queue(&mut self, response: &Response, keep_alive: bool) {
+        response.write_to(&mut self.out, keep_alive);
+    }
+}
+
+struct Reactor {
+    poller: Poller,
+    wake_rx: WakeReader,
+    listener: Arc<TcpListener>,
+    client: ServiceClient,
+    config: GateConfig,
+    obs: GateObs,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    /// Slab connections lingering on an over-capacity `503` (unadmitted,
+    /// bounded by `max_connections` of their own).
+    lingering: usize,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::with_capacity(256);
+        let mut was_draining = false;
+        loop {
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            if draining && self.live == 0 {
+                return;
+            }
+            if self.poller.wait(&mut events, self.next_timeout()).is_err() {
+                // A broken poller cannot drive anything; abandon the
+                // remaining connections rather than spin.
+                self.close_all();
+                return;
+            }
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            for ev in &events {
+                match ev.token {
+                    LISTENER => {
+                        if !draining {
+                            self.accept_burst();
+                        }
+                    }
+                    WAKER => self.wake_rx.drain(),
+                    token => self.drive((token - CONN_BASE) as usize, draining),
+                }
+            }
+            if draining && !was_draining {
+                // First sweep after shutdown: close idle keep-alives, arm
+                // drain deadlines on the rest.
+                self.begin_drain();
+                was_draining = true;
+            }
+            self.sweep_deadlines();
+        }
+    }
+
+    /// The nearest pending deadline across all connections, as a poll
+    /// timeout (`None` = sleep until an event or a wake).
+    fn next_timeout(&self) -> Option<Duration> {
+        let mut nearest: Option<Instant> = None;
+        for conn in self.conns.iter().flatten() {
+            let mut consider = |at: Instant| match nearest {
+                Some(cur) if cur <= at => {}
+                _ => nearest = Some(at),
+            };
+            if let Some(started) = conn.request_started {
+                consider(started + self.config.request_deadline);
+            }
+            if let Some(started) = conn.write_started {
+                consider(started + self.config.write_timeout);
+            }
+            if let Some(until) = conn.linger_until {
+                consider(until);
+            }
+        }
+        nearest.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Accepts until the listener runs dry. Over-capacity accepts are
+    /// answered `503` and closed, same bytes as the thread-per-connection
+    /// front door.
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.try_admit(self.config.max_connections) {
+                        if self.adopt(stream, true).is_err() {
+                            self.shared.connection_finished();
+                        }
+                    } else if self.lingering < self.config.max_connections {
+                        // Over capacity: answer 503 through the slab so
+                        // the response drains cleanly (see `linger_until`).
+                        self.reject(stream);
+                    } else {
+                        // The linger pool is itself saturated (a reject
+                        // flood): fall back to the blunt synchronous
+                        // reject rather than grow without bound.
+                        reject_over_capacity(stream, &self.config);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept failures (e.g. fd exhaustion, a peer
+                // that reset before accept): yield briefly so a persistent
+                // condition does not busy-spin the reactor.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Registers a freshly accepted connection in the slab. `counted`
+    /// marks a connection admitted against the shared cap.
+    fn adopt(&mut self, stream: TcpStream, counted: bool) -> std::io::Result<usize> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let interest = Interest::READ;
+        match self
+            .poller
+            .register(stream.as_raw_fd(), slot as u64 + CONN_BASE, interest)
+        {
+            Ok(()) => {}
+            Err(e) => {
+                self.free.push(slot);
+                return Err(e);
+            }
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            parser: RequestParser::new(self.config.limits),
+            request_started: None,
+            out: Vec::new(),
+            out_pos: 0,
+            write_started: None,
+            closing: false,
+            saw_eof: false,
+            counted,
+            linger_until: None,
+            fin_sent: false,
+            interest,
+        });
+        self.live += 1;
+        Ok(slot)
+    }
+
+    /// Queues the over-capacity `503` on an unadmitted slab connection
+    /// that lingers (reading and discarding) until the peer's EOF or the
+    /// write timeout, so the refusal reaches the peer instead of being
+    /// lost to a reset.
+    fn reject(&mut self, stream: TcpStream) {
+        let Ok(slot) = self.adopt(stream, false) else {
+            return;
+        };
+        self.lingering += 1;
+        let conn = self.conns[slot].as_mut().expect("slot live");
+        let response = Response::error(503, "connection limit reached");
+        conn.queue(&response, false);
+        conn.closing = true;
+        conn.linger_until = Some(Instant::now() + self.config.write_timeout);
+        self.finish_drive(slot, false);
+    }
+
+    /// Deregisters, closes, and frees one slab slot.
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            if conn.counted {
+                self.shared.connection_finished();
+            } else {
+                self.lingering -= 1;
+            }
+            drop(conn);
+            self.free.push(slot);
+            self.live -= 1;
+        }
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.conns.len() {
+            self.close(slot);
+        }
+    }
+
+    /// The uniform per-event connection handler: read, parse+dispatch,
+    /// flush, recompute interest. Called for real events, stale events on
+    /// a reused slot, and drain sweeps alike.
+    fn drive(&mut self, slot: usize, draining: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // stale event for a slot already closed
+        };
+
+        // Read until WouldBlock, EOF, or the fairness burst ceiling. A
+        // closing connection still reads while it lingers — discarding,
+        // so a flooding peer cannot grow the parser buffer.
+        let mut dead = false;
+        if !conn.saw_eof && (!conn.closing || conn.linger_until.is_some()) {
+            let mut chunk = [0u8; 8 * 1024];
+            let mut taken = 0usize;
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if !conn.closing {
+                            if conn.request_started.is_none() {
+                                conn.request_started = Some(Instant::now());
+                            }
+                            conn.parser.feed(&chunk[..n]);
+                        }
+                        taken += n;
+                        if taken >= READ_BURST_BYTES {
+                            break; // level-trigger re-queues the rest
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+
+        // Drain every complete request already buffered (pipelining),
+        // dispatching inline on this reactor thread.
+        let conn = self.conns[slot].as_mut().expect("slot live");
+        while !conn.closing {
+            let parse_begin = Instant::now();
+            match conn.parser.next_request() {
+                Ok(Some(request)) => {
+                    self.obs.parse.record_duration(parse_begin.elapsed());
+                    // End-to-end latency runs from the request's first
+                    // byte on the wire; a pipelined request whose bytes
+                    // rode in on an earlier read starts at its own parse.
+                    let started = conn.request_started.take().unwrap_or(parse_begin);
+                    let dispatch_span = self.obs.dispatch.start_span();
+                    let response = routes::handle_ctrl(
+                        &self.client,
+                        Some(&self.obs),
+                        self.config.read_path,
+                        self.config.controller.as_deref(),
+                        &request,
+                    );
+                    dispatch_span.stop();
+                    let keep = request.keep_alive() && !response.close && !draining;
+                    conn.queue(&response, keep);
+                    self.obs
+                        .request_hist(request.path())
+                        .record_duration(started.elapsed());
+                    self.obs.requests_total.inc();
+                    if !keep {
+                        conn.closing = true;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is untrustworthy: answer the mapped status
+                    // and close (the parser error is sticky).
+                    self.obs.parse_errors_total.inc();
+                    let response = Response::error(e.status(), e.reason());
+                    conn.queue(&response, false);
+                    conn.closing = true;
+                }
+            }
+        }
+
+        // The peer finished sending. Mid-request (e.g. a Content-Length
+        // it never honored) the truncation is answered 400 in case the
+        // peer only shut down its write half.
+        if conn.saw_eof && !conn.closing {
+            if conn.parser.has_partial() {
+                let response = Response::error(400, "connection closed mid-request");
+                conn.queue(&response, false);
+            }
+            conn.closing = true;
+        }
+
+        // A partial request whose bytes shared a read with a completed
+        // one has no clock yet (the completed request took it): arm one
+        // now so the deadline — and the drain — stay bounded.
+        if conn.parser.has_partial() && conn.request_started.is_none() {
+            conn.request_started = Some(Instant::now());
+        }
+
+        self.finish_drive(slot, draining);
+    }
+
+    /// The write/close/interest tail of [`drive`], shared with the
+    /// deadline sweep (which queues a 408 and then only needs this part).
+    fn finish_drive(&mut self, slot: usize, draining: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        // Flush as much queued output as the kernel will take.
+        let mut dead = false;
+        while conn.has_pending_out() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    if !conn.has_pending_out() {
+                        conn.out.clear();
+                        conn.out_pos = 0;
+                        conn.write_started = None;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if conn.write_started.is_none() {
+                        conn.write_started = Some(Instant::now());
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+        let conn = self.conns[slot].as_mut().expect("slot live");
+        // During drain an idle keep-alive connection (nothing half-read,
+        // nothing queued) closes immediately.
+        if draining && !conn.closing && !conn.parser.has_partial() && !conn.has_pending_out() {
+            conn.closing = true;
+        }
+        if conn.closing && !conn.has_pending_out() {
+            // A lingering close holds the socket half-open (write side
+            // FIN'd, read side draining) until the peer's EOF, so the
+            // flushed response cannot be destroyed by a reset.
+            if conn.linger_until.is_some() && !conn.saw_eof {
+                if !conn.fin_sent {
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    conn.fin_sent = true;
+                }
+                if conn.interest != Interest::READ {
+                    if self
+                        .poller
+                        .modify(
+                            conn.stream.as_raw_fd(),
+                            slot as u64 + CONN_BASE,
+                            Interest::READ,
+                        )
+                        .is_err()
+                    {
+                        self.close(slot);
+                        return;
+                    }
+                    conn.interest = Interest::READ;
+                }
+                return;
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.close(slot);
+            return;
+        }
+        let want = Interest {
+            readable: !conn.saw_eof && (!conn.closing || conn.linger_until.is_some()),
+            writable: conn.has_pending_out(),
+        };
+        if want != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), slot as u64 + CONN_BASE, want)
+                .is_err()
+            {
+                self.close(slot);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    /// Answers `408` on requests past their deadline and drops writers
+    /// past the write timeout.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if let Some(started) = conn.write_started {
+                if now.saturating_duration_since(started) >= self.config.write_timeout {
+                    self.close(slot);
+                    continue;
+                }
+            }
+            if let Some(until) = conn.linger_until {
+                if now >= until {
+                    self.close(slot);
+                    continue;
+                }
+            }
+            if conn.closing {
+                continue;
+            }
+            if let Some(started) = conn.request_started {
+                if now.saturating_duration_since(started) >= self.config.request_deadline {
+                    let response = Response::error(408, "request deadline exceeded");
+                    conn.queue(&response, false);
+                    conn.closing = true;
+                    conn.request_started = None;
+                    let draining = self.shared.shutdown.load(Ordering::SeqCst);
+                    self.finish_drive(slot, draining);
+                }
+            }
+        }
+    }
+
+    /// The first sweep after shutdown flips: close idle connections, arm
+    /// drain deadlines, demote everything else via a full drive (which
+    /// sees `draining == true`).
+    fn begin_drain(&mut self) {
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.drive(slot, true);
+            }
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.close_all();
+    }
+}

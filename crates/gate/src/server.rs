@@ -1,25 +1,31 @@
-//! The socket front door: a bounded thread-per-connection accept loop over
-//! the pure parser and router.
+//! The socket front door: request deadlines, connection caps, graceful
+//! drain, and two interchangeable concurrency models behind one `Gate`.
 //!
-//! Concurrency model — deliberately boring: one OS thread per live
-//! connection (bounded by [`GateConfig::max_connections`]; excess accepts
-//! are answered `503` and closed), blocking reads under
-//! [`GateConfig::read_timeout`], and a per-request deadline from the first
-//! byte of a request head to its response. Each connection thread holds
-//! its own cloned [`ServiceClient`] and, by default, answers GET routes
-//! **in place** through the lock-free snapshot path
-//! ([`ReadPath::Snapshot`]) — predictions are evaluated on the connection
-//! thread against the worker's published epoch, so concurrent reads never
-//! serialize on the single service thread. Writes (telemetry) and the
-//! opt-in [`ReadPath::Worker`] go through the service's FIFO channel.
+//! [`ServerMode::Reactor`] (the default) is the event-driven front door
+//! the paper models: a small fixed pool of reactor threads, each running
+//! a nonblocking readiness loop over many multiplexed connections (see
+//! [`crate::reactor`] and DESIGN §12). Connection capacity is bounded by
+//! memory, not threads, and GET routes dispatch inline on the reactor
+//! thread through the lock-free snapshot path ([`ReadPath::Snapshot`]).
 //!
-//! Graceful shutdown: [`Gate::shutdown`] flips a flag and wakes the accept
-//! loop (which parks on a condvar between non-blocking accepts rather than
-//! sleeping); it stops taking connections, every connection thread
-//! finishes writing the response in flight (keep-alive answers are demoted
-//! to `Connection: close`), idle keep-alive connections close at their
-//! next read-timeout tick, and the waiter blocks until the live count
-//! drains to zero.
+//! [`ServerMode::ThreadPerConn`] is the deliberately boring reference:
+//! one OS thread per live connection, blocking reads under
+//! [`GateConfig::read_timeout`]. It is kept as a behavioral baseline
+//! (the byte-level test suite runs against both) and a comparison point
+//! for `perf_baseline`.
+//!
+//! Both modes share every policy: excess accepts beyond
+//! [`GateConfig::max_connections`] are answered `503` and closed, a
+//! per-request deadline runs from the first byte of a request head to
+//! its response (`408` past it), and writes (telemetry) go through the
+//! service's FIFO channel with a flush barrier before the reply.
+//!
+//! Graceful shutdown: [`Gate::shutdown`] flips a flag and wakes both
+//! kinds of loop (a condvar for the thread-per-connection accept loop, a
+//! pipe-based waker per reactor); the gate stops taking connections,
+//! responses in flight finish writing (keep-alive answers are demoted to
+//! `Connection: close`), idle keep-alive connections close, and the
+//! waiter blocks until the live count drains to zero.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -34,7 +40,41 @@ use cos_serve::ServiceClient;
 
 use crate::http::{ParserLimits, RequestParser, Response};
 use crate::obs::GateObs;
+use crate::reactor;
 use crate::routes::{self, ReadPath};
+
+/// Which concurrency model the gate serves with.
+///
+/// The default honors the `COS_GATE_MODE` environment variable — `thread`
+/// (or `thread-per-conn`) selects [`ServerMode::ThreadPerConn`], anything
+/// else the reactor — so the full byte-level test suite can run against
+/// either mode without code changes (CI runs both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Event-driven: a fixed pool of reactor threads multiplexing
+    /// nonblocking connections over a readiness poller. The default.
+    Reactor,
+    /// One OS thread per live connection, blocking I/O. The behavioral
+    /// reference and perf comparison baseline.
+    ThreadPerConn,
+}
+
+impl Default for ServerMode {
+    fn default() -> Self {
+        ServerMode::from_env()
+    }
+}
+
+impl ServerMode {
+    /// Reads the mode from `COS_GATE_MODE` (reactor unless it says
+    /// `thread`/`thread-per-conn`).
+    pub fn from_env() -> ServerMode {
+        match std::env::var("COS_GATE_MODE").as_deref() {
+            Ok("thread") | Ok("thread-per-conn") => ServerMode::ThreadPerConn,
+            _ => ServerMode::Reactor,
+        }
+    }
+}
 
 /// Front-door knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +103,12 @@ pub struct GateConfig {
     /// to a gate built before admission control existed). Share the same
     /// `Arc` with a [`cos_ctrl::Ticker`] so the policy keeps adjusting.
     pub controller: Option<Arc<Controller>>,
+    /// Concurrency model (reactor by default; see [`ServerMode`]).
+    pub server_mode: ServerMode,
+    /// Reactor thread count; `0` (the default) means
+    /// [`cos_par::default_workers`] — the machine's available
+    /// parallelism. Ignored in [`ServerMode::ThreadPerConn`].
+    pub reactor_threads: usize,
 }
 
 impl Default for GateConfig {
@@ -76,6 +122,8 @@ impl Default for GateConfig {
             obs: Registry::new(),
             read_path: ReadPath::default(),
             controller: None,
+            server_mode: ServerMode::default(),
+            reactor_threads: 0,
         }
     }
 }
@@ -166,6 +214,18 @@ impl GateConfigBuilder {
         self
     }
 
+    /// Concurrency model (reactor by default).
+    pub fn server_mode(mut self, mode: ServerMode) -> Self {
+        self.config.server_mode = mode;
+        self
+    }
+
+    /// Reactor thread count (`0` = available parallelism).
+    pub fn reactor_threads(mut self, n: usize) -> Self {
+        self.config.reactor_threads = n;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<GateConfig, InvalidConfig> {
         let err = |field: &'static str, reason: String| Err(InvalidConfig { field, reason });
@@ -202,20 +262,28 @@ impl GateConfigBuilder {
     }
 }
 
-/// Live-connection accounting shared by the accept loop, the connection
-/// threads, and the shutdown waiter.
-struct Shared {
-    shutdown: AtomicBool,
+/// Live-connection accounting shared by the accept path (either mode),
+/// the connection owners, and the shutdown waiter.
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
     active: Mutex<usize>,
     drained: Condvar,
 }
 
 impl Shared {
-    fn connection_started(&self) {
-        *self.active.lock().expect("active lock") += 1;
+    /// Atomically admits one connection unless `max` are already live.
+    /// The check and the increment share the mutex, so two reactor
+    /// threads racing on the same freed slot cannot both take it.
+    pub(crate) fn try_admit(&self, max: usize) -> bool {
+        let mut active = self.active.lock().expect("active lock");
+        if *active >= max {
+            return false;
+        }
+        *active += 1;
+        true
     }
 
-    fn connection_finished(&self) {
+    pub(crate) fn connection_finished(&self) {
         let mut active = self.active.lock().expect("active lock");
         *active -= 1;
         // Notify on every decrement, not only at zero: besides the drain
@@ -245,7 +313,11 @@ impl Shared {
 pub struct Gate {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// The accept-loop thread (thread-per-connection mode only).
     accept_join: Option<JoinHandle<()>>,
+    /// Reactor threads and their wakers (reactor mode only).
+    reactor_joins: Vec<JoinHandle<()>>,
+    reactor_wakers: Vec<cos_par::poller::Waker>,
 }
 
 impl Gate {
@@ -256,7 +328,8 @@ impl Gate {
         Gate::serve(listener, client, config)
     }
 
-    /// Starts the accept loop on an already-bound listener.
+    /// Starts serving on an already-bound listener, in the configured
+    /// [`ServerMode`].
     pub fn serve(
         listener: TcpListener,
         client: ServiceClient,
@@ -269,17 +342,44 @@ impl Gate {
             active: Mutex::new(0),
             drained: Condvar::new(),
         });
-        let loop_shared = shared.clone();
         let obs = GateObs::register(&config.obs);
-        let accept_join = std::thread::Builder::new()
-            .name("cos-gate-accept".into())
-            .spawn(move || accept_loop(listener, client, config, obs, loop_shared))
-            .expect("spawn accept thread");
-        Ok(Gate {
-            addr,
-            shared,
-            accept_join: Some(accept_join),
-        })
+        match config.server_mode {
+            ServerMode::ThreadPerConn => {
+                let loop_shared = shared.clone();
+                let accept_join = std::thread::Builder::new()
+                    .name("cos-gate-accept".into())
+                    .spawn(move || accept_loop(listener, client, config, obs, loop_shared))
+                    .expect("spawn accept thread");
+                Ok(Gate {
+                    addr,
+                    shared,
+                    accept_join: Some(accept_join),
+                    reactor_joins: Vec::new(),
+                    reactor_wakers: Vec::new(),
+                })
+            }
+            ServerMode::Reactor => {
+                let threads = match config.reactor_threads {
+                    0 => cos_par::default_workers(),
+                    n => n,
+                };
+                let (reactor_joins, reactor_wakers) = reactor::spawn(
+                    Arc::new(listener),
+                    client,
+                    config,
+                    obs,
+                    shared.clone(),
+                    threads,
+                )?;
+                Ok(Gate {
+                    addr,
+                    shared,
+                    accept_join: None,
+                    reactor_joins,
+                    reactor_wakers,
+                })
+            }
+        }
     }
 
     /// The bound address (the ephemeral port when bound to port 0).
@@ -301,9 +401,19 @@ impl Gate {
             let _guard = self.shared.active.lock().expect("active lock");
             self.shared.drained.notify_all();
         }
+        // Wake every reactor out of its poll wait so it sees the flag.
+        for waker in &self.reactor_wakers {
+            waker.wake();
+        }
         if let Some(join) = self.accept_join.take() {
             let _ = join.join();
         }
+        // Reactors drain their own connections before exiting; joining
+        // them closes the last `Arc` of the listener, freeing the port.
+        for join in self.reactor_joins.drain(..) {
+            let _ = join.join();
+        }
+        self.reactor_wakers.clear();
         let guard = self.shared.active.lock().expect("active lock");
         let _unused = self
             .shared
@@ -315,7 +425,7 @@ impl Gate {
 
 impl Drop for Gate {
     fn drop(&mut self) {
-        if self.accept_join.is_some() {
+        if self.accept_join.is_some() || !self.reactor_joins.is_empty() {
             self.shutdown_in_place();
         }
     }
@@ -331,13 +441,10 @@ fn accept_loop(
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let over_capacity =
-                    *shared.active.lock().expect("active lock") >= config.max_connections;
-                if over_capacity {
+                if !shared.try_admit(config.max_connections) {
                     reject_over_capacity(stream, &config);
                     continue;
                 }
-                shared.connection_started();
                 let conn_client = client.clone();
                 let conn_config = config.clone();
                 let conn_obs = obs.clone();
@@ -366,7 +473,11 @@ fn accept_loop(
     }
 }
 
-fn reject_over_capacity(mut stream: TcpStream, config: &GateConfig) {
+/// Best-effort `503` for an accept beyond the connection cap (both
+/// modes send these exact bytes). The freshly accepted socket is still
+/// blocking and its send buffer empty, so the write completes without
+/// stalling the caller; the write timeout bounds the pathological case.
+pub(crate) fn reject_over_capacity(mut stream: TcpStream, config: &GateConfig) {
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut out = Vec::new();
     Response::error(503, "connection limit reached").write_to(&mut out, false);
@@ -514,6 +625,10 @@ mod tests {
         }
     }
 
+    /// Both concurrency models, so every policy test below runs against
+    /// each regardless of the `COS_GATE_MODE` environment.
+    const BOTH_MODES: [ServerMode; 2] = [ServerMode::Reactor, ServerMode::ThreadPerConn];
+
     fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw).expect("write");
@@ -619,105 +734,128 @@ mod tests {
     #[test]
     fn over_capacity_connections_get_503() {
         let service = spawn_service();
-        let config = GateConfig {
-            max_connections: 1,
-            ..quick_config()
-        };
-        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
-        // Hold one connection open mid-request to pin the slot.
-        let mut held = TcpStream::connect(gate.local_addr()).unwrap();
-        held.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
-        std::thread::sleep(Duration::from_millis(100));
-        let reply = roundtrip(
-            gate.local_addr(),
-            b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n",
-        );
-        assert!(reply.starts_with("HTTP/1.1 503 "), "{reply}");
-        drop(held);
-        gate.shutdown();
-    }
-
-    /// Saturate the connection cap, release the slots, and require the
-    /// accept loop to resume serving promptly — across several cycles, so
-    /// a lost condvar wakeup (accept loop parked while a freed slot's
-    /// notify slipped past it) would surface as a stall.
-    #[test]
-    fn released_slots_resume_accepts_without_lost_wakeups() {
-        let service = spawn_service();
-        let config = GateConfig {
-            max_connections: 2,
-            ..quick_config()
-        };
-        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
-        for cycle in 0..3 {
-            // Pin both slots with half-sent requests.
-            let mut held = Vec::new();
-            for _ in 0..2 {
-                let mut s = TcpStream::connect(gate.local_addr()).unwrap();
-                s.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
-                held.push(s);
-            }
+        for mode in BOTH_MODES {
+            let config = GateConfig {
+                max_connections: 1,
+                server_mode: mode,
+                ..quick_config()
+            };
+            let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+            // Hold one connection open mid-request to pin the slot.
+            let mut held = TcpStream::connect(gate.local_addr()).unwrap();
+            held.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
             std::thread::sleep(Duration::from_millis(100));
             let reply = roundtrip(
                 gate.local_addr(),
                 b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n",
             );
-            assert!(
-                reply.starts_with("HTTP/1.1 503 "),
-                "cycle {cycle}: saturated gate must refuse: {reply}"
-            );
-            // Release both slots; the accept loop must pick up the freed
-            // capacity within the read-timeout tick, not hang on a missed
-            // notify.
+            assert!(reply.starts_with("HTTP/1.1 503 "), "{mode:?}: {reply}");
             drop(held);
-            let deadline = Instant::now() + Duration::from_secs(5);
-            loop {
+            gate.shutdown();
+        }
+    }
+
+    /// Saturate the connection cap, release the slots, and require the
+    /// accept path to resume serving promptly — across several cycles.
+    /// Under thread-per-conn this guards the condvar park against lost
+    /// wakeups (accept loop parked while a freed slot's notify slipped
+    /// past it); under the reactor it asserts the equivalent backpressure
+    /// contract: freed capacity is noticed via readiness events, with no
+    /// parked thread to lose a wakeup in the first place.
+    #[test]
+    fn released_slots_resume_accepts_without_lost_wakeups() {
+        let service = spawn_service();
+        for mode in BOTH_MODES {
+            let config = GateConfig {
+                max_connections: 2,
+                server_mode: mode,
+                ..quick_config()
+            };
+            let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+            for cycle in 0..3 {
+                // Pin both slots with half-sent requests.
+                let mut held = Vec::new();
+                for _ in 0..2 {
+                    let mut s = TcpStream::connect(gate.local_addr()).unwrap();
+                    s.write_all(b"GET /v1/status HTTP/1.1\r\n").unwrap();
+                    held.push(s);
+                }
+                std::thread::sleep(Duration::from_millis(100));
                 let reply = roundtrip(
                     gate.local_addr(),
-                    b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+                    b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n",
                 );
-                if reply.starts_with("HTTP/1.1 200 ") {
-                    break;
-                }
                 assert!(
                     reply.starts_with("HTTP/1.1 503 "),
-                    "cycle {cycle}: unexpected reply {reply}"
+                    "{mode:?} cycle {cycle}: saturated gate must refuse: {reply}"
                 );
-                assert!(
-                    Instant::now() < deadline,
-                    "cycle {cycle}: accept loop never resumed after slots freed"
-                );
-                std::thread::sleep(Duration::from_millis(10));
+                // Release both slots; the accept path must pick up the
+                // freed capacity promptly, not hang on a missed notify.
+                drop(held);
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    let reply = roundtrip(
+                        gate.local_addr(),
+                        b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+                    );
+                    if reply.starts_with("HTTP/1.1 200 ") {
+                        break;
+                    }
+                    assert!(
+                        reply.starts_with("HTTP/1.1 503 "),
+                        "{mode:?} cycle {cycle}: unexpected reply {reply}"
+                    );
+                    assert!(
+                        Instant::now() < deadline,
+                        "{mode:?} cycle {cycle}: accept path never resumed after slots freed"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
             }
+            gate.shutdown();
         }
-        gate.shutdown();
     }
 
     #[test]
     fn slow_trickle_request_hits_the_deadline() {
         let service = spawn_service();
-        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
-        let mut stream = TcpStream::connect(gate.local_addr()).unwrap();
-        stream.write_all(b"GET /v1/sta").unwrap();
-        let mut reply = String::new();
-        stream.read_to_string(&mut reply).unwrap();
-        assert!(reply.starts_with("HTTP/1.1 408 "), "{reply}");
-        gate.shutdown();
+        for mode in BOTH_MODES {
+            let config = GateConfig {
+                server_mode: mode,
+                ..quick_config()
+            };
+            let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+            let mut stream = TcpStream::connect(gate.local_addr()).unwrap();
+            stream.write_all(b"GET /v1/sta").unwrap();
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 408 "), "{mode:?}: {reply}");
+            gate.shutdown();
+        }
     }
 
     #[test]
     fn shutdown_drains_and_unbinds() {
         let service = spawn_service();
-        let gate = Gate::bind("127.0.0.1:0", service.client(), quick_config()).unwrap();
-        let addr = gate.local_addr();
-        // An idle keep-alive connection must not wedge the drain.
-        let idle = TcpStream::connect(addr).unwrap();
-        gate.shutdown();
-        drop(idle);
-        // The port stops accepting once the gate is gone.
-        std::thread::sleep(Duration::from_millis(20));
-        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
-        assert!(refused.is_err(), "listener must be closed after shutdown");
+        for mode in BOTH_MODES {
+            let config = GateConfig {
+                server_mode: mode,
+                ..quick_config()
+            };
+            let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+            let addr = gate.local_addr();
+            // An idle keep-alive connection must not wedge the drain.
+            let idle = TcpStream::connect(addr).unwrap();
+            gate.shutdown();
+            drop(idle);
+            // The port stops accepting once the gate is gone.
+            std::thread::sleep(Duration::from_millis(20));
+            let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            assert!(
+                refused.is_err(),
+                "{mode:?}: listener must be closed after shutdown"
+            );
+        }
     }
 
     #[test]
@@ -768,5 +906,55 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(tiny_head.field, "limits.max_head_bytes");
+    }
+
+    #[test]
+    fn builder_selects_mode_and_reactor_threads() {
+        let built = GateConfig::builder()
+            .server_mode(ServerMode::ThreadPerConn)
+            .reactor_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(built.server_mode, ServerMode::ThreadPerConn);
+        assert_eq!(built.reactor_threads, 3);
+        // reactor_threads = 0 means "auto" and is valid.
+        assert_eq!(GateConfig::default().reactor_threads, 0);
+    }
+
+    /// A single-threaded reactor multiplexes many concurrent in-flight
+    /// requests — the scaling property the thread-per-connection model
+    /// cannot have.
+    #[test]
+    fn one_reactor_thread_serves_many_interleaved_connections() {
+        let service = spawn_service();
+        let config = GateConfig {
+            server_mode: ServerMode::Reactor,
+            reactor_threads: 1,
+            max_connections: 32,
+            ..quick_config()
+        };
+        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+        // Open all connections first, half-send on each, then finish each
+        // request: every connection is mid-request simultaneously on the
+        // one reactor thread.
+        let mut streams: Vec<TcpStream> = (0..16)
+            .map(|_| TcpStream::connect(gate.local_addr()).unwrap())
+            .collect();
+        for s in &mut streams {
+            s.write_all(b"GET /v1/status HTTP/1.1\r\nHost: gate")
+                .unwrap();
+        }
+        for s in &mut streams {
+            s.write_all(b"\r\nConnection: close\r\n\r\n").unwrap();
+        }
+        for (i, s) in streams.iter_mut().enumerate() {
+            let mut reply = String::new();
+            s.read_to_string(&mut reply).unwrap();
+            assert!(
+                reply.starts_with("HTTP/1.1 200 OK\r\n"),
+                "conn {i}: {reply}"
+            );
+        }
+        gate.shutdown();
     }
 }

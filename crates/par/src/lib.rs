@@ -22,6 +22,14 @@
 //!
 //! No dependencies beyond `std` — the build environment is offline and the
 //! rest of the workspace is similarly std-only.
+//!
+//! A fourth block lives in [`poller`]: a level-triggered readiness
+//! [`Poller`] (epoll on Linux, `poll(2)` elsewhere) plus a pipe-based
+//! [`Waker`], the OS surface under the gate's event-driven reactor.
+
+pub mod poller;
+
+pub use poller::{Backend, Event, Interest, Poller, WakeReader, Waker};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};

@@ -1,0 +1,750 @@
+//! A thin, std-only readiness poller: the OS-facing half of the gate's
+//! event-driven reactor.
+//!
+//! [`Poller`] wraps one kernel readiness queue — `epoll(7)` on Linux,
+//! `poll(2)` elsewhere on Unix — behind a deliberately tiny API: register a
+//! file descriptor with a caller-chosen `u64` token and an [`Interest`]
+//! (read, write, or both), then [`wait`](Poller::wait) for [`Event`]s.
+//! Events are *level-triggered* on both backends: as long as a descriptor
+//! stays readable/writable it keeps showing up, so a caller that processes
+//! less than everything on one wake is never stranded.
+//!
+//! No `libc` crate: the build environment is offline and the workspace is
+//! std-only, so the handful of syscalls are declared as `extern "C"`
+//! prototypes (they resolve against the libc every Rust binary on Unix
+//! already links) and descriptors ride on `std::os::fd`'s owned/raw fd
+//! types for close-on-drop hygiene.
+//!
+//! [`Waker`] is the cross-thread wake primitive: a nonblocking pipe whose
+//! read end is registered like any other descriptor. Any thread can
+//! [`wake`](Waker::wake) a sleeping [`Poller::wait`]; the poll loop drains
+//! the pipe with [`WakeReader::drain`] and carries on. Wakes are
+//! *coalescing* — a thousand `wake()` calls before the loop runs cost one
+//! event — and never lost: the byte sits in the pipe until drained, so a
+//! wake that races a falling-asleep poller still lands.
+//!
+//! The `poll(2)` backend keeps its registration table behind a mutex and
+//! rebuilds the `pollfd` array per wait — O(n) per wake, fine for the
+//! fallback role. The epoll backend is O(ready) per wake. On Linux both
+//! compile, so the test suite exercises the fallback on the same machine
+//! that runs the fast path.
+
+use std::io;
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Which readiness conditions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor has bytes to read (or a peer hangup to
+    /// observe — hangups surface as readable-with-EOF).
+    pub readable: bool,
+    /// Wake when the descriptor can accept writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (or at EOF / hung up — read to find out).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The kernel flagged an error or hangup. Callers should still just
+    /// attempt I/O: the next `read`/`write` returns the honest story.
+    pub closed: bool,
+}
+
+/// Which kernel mechanism a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `epoll(7)` — Linux only, O(ready) waits.
+    #[cfg(target_os = "linux")]
+    Epoll,
+    /// `poll(2)` — portable Unix fallback, O(registered) waits.
+    Poll,
+}
+
+impl Backend {
+    /// The preferred backend for this platform.
+    pub fn default_for_platform() -> Backend {
+        #[cfg(target_os = "linux")]
+        {
+            Backend::Epoll
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Backend::Poll
+        }
+    }
+}
+
+enum Impl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(pollfd::PollTable),
+}
+
+/// A level-triggered readiness poller. See the module docs.
+pub struct Poller {
+    inner: Impl,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+impl Poller {
+    /// Creates a poller on the platform's preferred backend.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::default_for_platform())
+    }
+
+    /// Creates a poller on an explicit backend (the `poll(2)` fallback is
+    /// available everywhere, so tests can exercise it next to epoll).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let inner = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Impl::Epoll(epoll::Epoll::new()?),
+            Backend::Poll => Impl::Poll(pollfd::PollTable::new()),
+        };
+        Ok(Poller { inner })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(_) => Backend::Epoll,
+            Impl::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Subscribes `fd` with `token` and `interest`. The caller keeps
+    /// ownership of the descriptor and must [`deregister`](Self::deregister)
+    /// (or close) it before the token is reused.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_ADD, fd, token, interest),
+            Impl::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Changes an existing registration's token or interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_MOD, fd, token, interest),
+            Impl::Poll(p) => p.modify(fd, token, interest),
+        }
+    }
+
+    /// Removes a registration. Closing the descriptor also removes it on
+    /// the epoll backend, but the poll backend's table is in userspace —
+    /// deregister explicitly before closing to keep both honest.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_DEL, fd, 0, Interest::READ),
+            Impl::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Blocks until at least one registered descriptor is ready, `timeout`
+    /// elapses (`None` = forever), or a [`Waker`] fires. Ready events are
+    /// appended to `events` (which is cleared first); returns the count.
+    ///
+    /// A timeout of `Some(ZERO)` is a nonblocking readiness probe. Spurious
+    /// zero-event returns are possible (EINTR) and harmless.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let millis: i32 = match timeout {
+            None => -1,
+            // Round *up* so a 100 µs deadline does not spin at timeout 0.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.wait(events, millis),
+            Impl::Poll(p) => p.wait(events, millis),
+        }
+    }
+}
+
+/// The write end of a wake pipe: cheap, clonable, callable from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    tx: OwnedFd,
+}
+
+/// The read end of a wake pipe: register
+/// [`as_raw_fd`](AsRawFd::as_raw_fd) with the poller, and
+/// [`drain`](WakeReader::drain) when its token fires.
+#[derive(Debug)]
+pub struct WakeReader {
+    rx: OwnedFd,
+}
+
+impl Waker {
+    /// Creates a connected (waker, reader) pair over a nonblocking pipe.
+    pub fn pair() -> io::Result<(Waker, WakeReader)> {
+        let (rx, tx) = sys::nonblocking_pipe()?;
+        Ok((Waker { tx }, WakeReader { rx }))
+    }
+
+    /// Makes the paired reader's descriptor readable, waking a poller
+    /// blocked on it. Never blocks: a full pipe already guarantees the
+    /// reader will wake, so `EAGAIN` is success.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // EAGAIN (pipe full of unconsumed wakes) and EINTR both leave the
+        // reader wakeable; any other failure means the reader is gone and
+        // waking is moot.
+        let _ = sys::write_fd(self.tx.as_raw_fd(), &byte);
+    }
+}
+
+impl WakeReader {
+    /// Consumes every pending wake byte so the (level-triggered) poller
+    /// stops reporting the reader readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = sys::read_fd(self.rx.as_raw_fd(), &mut buf) {
+            if n < buf.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl AsRawFd for WakeReader {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// The raw syscall surface shared by both backends: nonblocking pipes and
+/// fd reads/writes, declared as `extern "C"` prototypes against the libc
+/// the binary already links.
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::os::fd::{FromRawFd, OwnedFd};
+
+    extern "C" {
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    pub fn read_fd(fd: c_int, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a live, writable slice of exactly `buf.len()`
+        // bytes for the duration of the call.
+        let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    pub fn write_fd(fd: c_int, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a live, readable slice of exactly `buf.len()`
+        // bytes for the duration of the call.
+        let n = unsafe { write(fd, buf.as_ptr().cast(), buf.len()) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub fn nonblocking_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+        const O_NONBLOCK: c_int = 0o4000;
+        const O_CLOEXEC: c_int = 0o2000000;
+        extern "C" {
+            fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        }
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a two-slot array, exactly what pipe2 fills.
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: on success both fds are freshly created and unowned.
+        Ok(unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) })
+    }
+
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub fn nonblocking_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+        const F_SETFL: c_int = 4;
+        #[cfg(any(target_os = "macos", target_os = "ios"))]
+        const O_NONBLOCK: c_int = 0x0004;
+        #[cfg(not(any(target_os = "macos", target_os = "ios")))]
+        const O_NONBLOCK: c_int = 0o4000;
+        extern "C" {
+            fn pipe(fds: *mut c_int) -> c_int;
+            fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        }
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a two-slot array, exactly what pipe fills.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: on success both fds are freshly created and unowned.
+        let (rx, tx) = unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) };
+        use std::os::fd::AsRawFd;
+        for fd in [rx.as_raw_fd(), tx.as_raw_fd()] {
+            // SAFETY: plain fcntl on fds this function owns.
+            if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok((rx, tx))
+    }
+}
+
+/// The epoll backend.
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest};
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct epoll_event`; packed on x86 per the kernel ABI.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    pub struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall; the returned fd (if valid) is fresh
+            // and unowned.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: checked valid and unowned above.
+            Ok(Epoll {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        pub fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `ev` is a valid epoll_event for ADD/MOD; DEL ignores
+            // it (non-null for pre-2.6.9 kernel compatibility).
+            if unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            // SAFETY: `buf` holds 256 writable epoll_event slots and we
+            // pass exactly that capacity.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0); // spurious wake; the caller re-checks state
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+/// The `poll(2)` backend: a mutex-guarded registration table rebuilt into a
+/// `pollfd` array per wait.
+mod pollfd {
+    use super::{Event, Interest};
+    use std::ffi::{c_int, c_short, c_ulong};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    pub struct PollTable {
+        entries: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl PollTable {
+        pub fn new() -> PollTable {
+            PollTable {
+                entries: Mutex::new(Vec::new()),
+            }
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut entries = self.entries.lock().expect("poll table lock");
+            if entries.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            entries.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut entries = self.entries.lock().expect("poll table lock");
+            match entries.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(entry) => {
+                    *entry = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut entries = self.entries.lock().expect("poll table lock");
+            let before = entries.len();
+            entries.retain(|&(f, _, _)| f != fd);
+            if entries.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let snapshot: Vec<(RawFd, u64, Interest)> =
+                { self.entries.lock().expect("poll table lock").clone() };
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| {
+                    let mut events = 0;
+                    if interest.readable {
+                        events |= POLLIN;
+                    }
+                    if interest.writable {
+                        events |= POLLOUT;
+                    }
+                    PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    }
+                })
+                .collect();
+            // SAFETY: `fds` is a live array of exactly `fds.len()` pollfd
+            // slots for the duration of the call.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for (slot, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    closed: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn readable_socket_fires_and_level_triggers_until_drained() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+            poller.register(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+
+            let mut events = Vec::new();
+            // Quiet socket: timeout elapses with no events.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: spurious event");
+
+            tx.write_all(b"ping").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+
+            // Level-triggered: unread bytes keep firing.
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}: level-trigger lost");
+
+            let mut buf = [0u8; 16];
+            assert_eq!(rx.read(&mut buf).unwrap(), 4);
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{backend:?}: drained socket still firing"
+            );
+
+            poller.deregister(rx.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            // A fresh socket with an empty send buffer is writable.
+            poller.register(tx.as_raw_fd(), 1, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(events[0].writable);
+
+            // Narrow interest to read only: the writable condition stops
+            // firing even though the socket is still writable.
+            poller.modify(tx.as_raw_fd(), 1, Interest::READ).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: modify ignored");
+            poller.deregister(tx.as_raw_fd()).unwrap();
+            drop(rx);
+        }
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable_and_closed() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            poller.register(rx.as_raw_fd(), 9, Interest::READ).unwrap();
+            drop(tx);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(
+                events[0].readable,
+                "{backend:?}: hangup must surface as readable so the owner reads the EOF"
+            );
+            poller.deregister(rx.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_from_another_thread() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (waker, reader) = Waker::pair().unwrap();
+            poller
+                .register(reader.as_raw_fd(), 42, Interest::READ)
+                .unwrap();
+            let start = Instant::now();
+            let mut events = Vec::new();
+            // Borrow (not move) the waker: dropping it closes the pipe's
+            // write end, which would make the reader report hangup forever.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    waker.wake();
+                    waker.wake(); // coalesces with the first
+                });
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(10)))
+                    .unwrap();
+            });
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].token, 42);
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{backend:?}: wake did not cut the wait short"
+            );
+            reader.drain();
+            // Drained: the reader goes quiet.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: drain left bytes behind");
+        }
+    }
+
+    #[test]
+    fn wake_before_wait_is_not_lost() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (waker, reader) = Waker::pair().unwrap();
+            poller
+                .register(reader.as_raw_fd(), 3, Interest::READ)
+                .unwrap();
+            waker.wake(); // fires before anyone is waiting
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}: pre-wait wake lost");
+            reader.drain();
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_spin() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (_waker, reader) = Waker::pair().unwrap();
+            poller
+                .register(reader.as_raw_fd(), 0, Interest::READ)
+                .unwrap();
+            let mut events = Vec::new();
+            // 100 µs must not become timeout=0 (a busy-spin); it rounds to
+            // 1 ms and actually sleeps.
+            let start = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_micros(100)))
+                .unwrap();
+            assert!(events.is_empty());
+            assert!(
+                start.elapsed() >= Duration::from_micros(100),
+                "{backend:?}: rounded down to a spin"
+            );
+        }
+    }
+}

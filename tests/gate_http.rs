@@ -18,7 +18,7 @@ use std::sync::mpsc::channel;
 use std::time::Duration;
 
 use cos_bench::scenario::calibrate;
-use cosmodel::gate::{encode_events, json, Gate, GateConfig, ReadPath};
+use cosmodel::gate::{encode_events, json, Gate, GateConfig, ReadPath, ServerMode};
 use cosmodel::serve::{
     CalibrationBase, CalibratorConfig, DriftConfig, OpClass, ServeConfig, SlaService,
     TelemetryEvent,
@@ -724,6 +724,24 @@ fn selfcheck_and_metrics_reflect_real_traffic_end_to_end() {
     }
     assert!(doc.f64_field("epoch").unwrap() >= 1.0, "epoch installed");
 
+    // The paper's validation loop (§V) as a CI assertion: the model's
+    // predicted p95 and the gate's own observed p95 must agree within a
+    // generous factor band. The two measure different stages — the model
+    // predicts simulated *storage* response latency (milliseconds), the
+    // gate observes its own warm-loopback request handling (micro- to
+    // milliseconds) — so the bound is deliberately loose: it catches unit
+    // mistakes (seconds vs nanoseconds is a ×1e9 error) and degenerate
+    // outputs (zero, NaN, infinity), not modeling error.
+    let predicted_p95 = predicted.f64_field("p95").unwrap();
+    assert!(
+        op95 <= predicted_p95 * 1e3,
+        "observed p95 {op95}s implausibly above predicted {predicted_p95}s"
+    );
+    assert!(
+        op95 >= predicted_p95 / 1e6,
+        "observed p95 {op95}s implausibly below predicted {predicted_p95}s"
+    );
+
     // /metrics: the service block plus the instrument registry, with
     // well-formed histogram series for at least four distinct instruments.
     let (status, text) = client.get("/metrics");
@@ -771,6 +789,87 @@ fn selfcheck_and_metrics_reflect_real_traffic_end_to_end() {
     // The hand-written service block is still present in the same document.
     assert!(text.contains("cos_event_time_seconds"), "{text}");
 
+    gate.shutdown();
+    drop(handle);
+}
+
+/// Slow-loris regression: a pack of connections dribbling one byte of a
+/// request head per 100 ms must not stall the reactor. The gate runs with a
+/// **single** reactor thread so every loris and every healthy client share
+/// one event loop — if any read blocked, the healthy requests below could
+/// not be answered. Healthy clients get `200` well inside the request
+/// deadline while the dribblers are mid-trickle; each straggler is answered
+/// `408` once its deadline expires.
+#[test]
+fn slow_loris_peers_get_408_and_do_not_stall_the_reactor() {
+    let deadline = Duration::from_millis(900);
+    let handle = SlaService::new(bare_base(), ServeConfig::default()).spawn();
+    let gate = Gate::bind(
+        "127.0.0.1:0",
+        handle.client(),
+        GateConfig {
+            server_mode: ServerMode::Reactor,
+            reactor_threads: 1,
+            read_timeout: Duration::from_millis(50),
+            request_deadline: deadline,
+            max_connections: 32,
+            ..GateConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = gate.local_addr();
+
+    // Each loris sends a partial head, then one byte per 100 ms — but stops
+    // dribbling well before the deadline and switches to reading, so the
+    // 408 is never raced by a write into a closed socket (which would RST
+    // the reply away). Five dribbles at 100 ms ≪ the 900 ms deadline.
+    let lorises: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("loris connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(20)))
+                    .unwrap();
+                let head = format!("GET /v1/status HTTP/1.1\r\nHost: a\r\nX-Slow-{i}: ");
+                stream.write_all(head.as_bytes()).expect("loris head");
+                for _ in 0..5 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    stream.write_all(b"z").expect("loris dribble");
+                }
+                let mut reply = String::new();
+                stream.read_to_string(&mut reply).expect("loris read 408");
+                reply
+            })
+        })
+        .collect();
+
+    // While the lorises are mid-dribble, a healthy client must be served
+    // promptly on the same single reactor thread.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut healthy = Client::connect(addr);
+    for _ in 0..5 {
+        let started = std::time::Instant::now();
+        let (status, body) = healthy.get("/v1/status");
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            started.elapsed() < deadline,
+            "healthy request stalled for {:?} behind the lorises",
+            started.elapsed()
+        );
+    }
+
+    // Every straggler is answered 408 and the connection closed.
+    for loris in lorises {
+        let reply = loris.join().expect("loris thread");
+        assert!(
+            reply.starts_with("HTTP/1.1 408 "),
+            "expected a 408 for the slow peer, got: {reply:?}"
+        );
+    }
+
+    // The gate is still healthy afterwards.
+    let (status, _body) = healthy.get("/v1/status");
+    assert_eq!(status, 200);
     gate.shutdown();
     drop(handle);
 }
