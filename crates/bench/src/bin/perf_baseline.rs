@@ -1,32 +1,37 @@
 //! Machine-readable perf baseline for the inversion, sweep, gate
-//! read-path, and admission-controller hot paths.
+//! read-path, admission-controller, and coded-read hot paths.
 //!
 //! Measures the composite-model CDF, quantile, sweep-grid, multi-client
-//! gate throughput, and per-request admission cost, and writes them to
-//! `BENCH_inversion.json` / `BENCH_sweep.json` / `BENCH_gate.json` /
-//! `BENCH_ctrl.json`, alongside the frozen pre-optimization numbers
-//! (`baseline`) so the speedup is auditable from the committed files. For
-//! the gate file both sections are measured on the *same run*: `baseline`
-//! is the blocking thread-per-connection server, `current` the event-driven
-//! reactor (both on the lock-free snapshot read path; the baseline section
-//! additionally carries a same-run worker-read-path reference so the
-//! snapshot-vs-worker ratio stays auditable). For the ctrl file: `baseline`
-//! is the snapshot gate with no controller, `current` the same gate with
-//! admission control deciding every request.
+//! gate throughput, per-request admission cost, and coded-read prediction
+//! accuracy, and writes them to `BENCH_inversion.json` / `BENCH_sweep.json`
+//! / `BENCH_gate.json` / `BENCH_ctrl.json` / `BENCH_coded.json`, alongside
+//! the frozen pre-optimization numbers (`baseline`) so the speedup is
+//! auditable from the committed files. For the gate file both sections are
+//! measured on the *same run*: `baseline` is the blocking
+//! thread-per-connection server, `current` the event-driven reactor (both
+//! on the lock-free snapshot read path; the baseline section additionally
+//! carries a same-run worker-read-path reference so the snapshot-vs-worker
+//! ratio stays auditable). For the ctrl file: `baseline` is the snapshot
+//! gate with no controller, `current` the same gate with admission control
+//! deciding every request. For the coded file: `baseline` is the plain
+//! replica model predicting coded quantiles as if no stripe join existed,
+//! `current` the fork-join [`CodedReadModel`] on the same seeded runs.
 //!
 //! Usage:
 //!   cargo run --release -p cos-bench --bin perf_baseline
 //!       full run; writes BENCH_inversion.json, BENCH_sweep.json,
-//!       BENCH_gate.json, and BENCH_ctrl.json
+//!       BENCH_gate.json, BENCH_ctrl.json, and BENCH_coded.json
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick
 //!       fewer iterations, prints only (CI smoke)
 //!   cargo run --release -p cos-bench --bin perf_baseline -- --quick --check BENCH_inversion.json
 //!       re-measures and exits nonzero if any metric regressed more than
-//!       2x against the committed `current` section, if the obs hot path
-//!       or the per-request admission decision blows its absolute budget,
-//!       if the snapshot read path fails to beat the worker path at 4
-//!       concurrent clients, or if the reactor serves warm 16-client load
-//!       slower than the thread-per-connection server
+//!       2x against the committed `current` section (both the named file
+//!       and BENCH_coded.json), if the obs hot path or the per-request
+//!       admission decision blows its absolute budget, if the snapshot
+//!       read path fails to beat the worker path at 4 concurrent clients,
+//!       if the reactor serves warm 16-client load slower than the
+//!       thread-per-connection server, or if any coded-read cell breaks
+//!       its bracket / accuracy / inversion-cost budget
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -37,11 +42,19 @@ use cos_bench::json::{self, Value};
 use cos_distr::{Degenerate, Gamma};
 use cos_gate::{Gate, GateConfig, ReadPath, ServerMode};
 use cos_model::{
-    model_at_rate, DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams,
+    model_at_rate, CodedReadModel, CodingSpec, DeviceParams, FrontendParams, ModelVariant,
+    SystemModel, SystemParams,
 };
 use cos_numeric::{quantile_from_lst, CountingLaplaceFn, InversionConfig};
-use cos_queueing::from_distribution;
+use cos_queueing::{from_distribution, from_dyn_service};
 use cos_serve::{CalibrationBase, OpClass, ServeConfig, ServiceHandle, SlaService, TelemetryEvent};
+use cos_stats::exact_percentile;
+use cos_storesim::{
+    run_simulation, ClusterConfig, CodingConfig, DiskOpKind, MetricsConfig, RedundancyPolicy,
+};
+use cos_workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 fn s1_params(rate: f64) -> SystemParams {
     let per = rate / 4.0;
@@ -534,6 +547,183 @@ fn measure_gate(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static str, f6
     (tpc, reactor)
 }
 
+// --- coded-read accuracy ---------------------------------------------------
+
+/// Hard ceiling on one coded-percentile inversion enforced in `--check`
+/// mode: `CodedReadModel::latency_percentile` sits behind the gate's
+/// `/v1/percentile?n=&k=` endpoint, so an uncached miss must stay
+/// interactive even for the widest committed stripe.
+const CODED_PERCENTILE_BUDGET_US: f64 = 50_000.0;
+
+/// Absolute point-accuracy ceiling per checked quantile in `--check`
+/// mode. The coded sweep is seed-deterministic, so this is the same band
+/// the integration test enforces — not a noise allowance.
+const CODED_REL_ERR_BUDGET: f64 = 0.35;
+
+/// Poisson trace of single-chunk objects (one data op per coded sub).
+fn coded_trace(rate: f64, duration: f64, chunk: u32, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        out.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size: chunk / 2,
+        });
+    }
+    out
+}
+
+/// One Fig. 8-style coded cell, mirroring `tests/model_vs_simulator.rs`
+/// (same seeds, rate, and fit rule, so the committed numbers and the test
+/// assertions describe the same runs). Returns the naive replica-model
+/// rows (`baseline`: the stripe join ignored entirely) and the fork-join
+/// rows (`current`), both keyed `coded_{n}_{k}_{policy}_*`, plus the
+/// fitted coded model for the timing probe.
+#[allow(clippy::type_complexity)]
+fn run_coded_cell(
+    n: usize,
+    k: usize,
+    eager: bool,
+    seed: u64,
+) -> (Vec<(String, f64)>, Vec<(String, f64)>, CodedReadModel) {
+    let logical_rate = 30.0;
+    let duration = 150.0;
+    let policy = if eager {
+        RedundancyPolicy::Eager
+    } else {
+        RedundancyPolicy::KOnly
+    };
+    let cfg = ClusterConfig {
+        devices: n,
+        coding: Some(CodingConfig { n, k, policy }),
+        ..ClusterConfig::paper_s1()
+    };
+    let trace = coded_trace(logical_rate, duration, cfg.chunk_size, seed);
+    let metrics = run_simulation(
+        cfg.clone(),
+        MetricsConfig {
+            slas: vec![0.050],
+            windows: vec![(duration * 0.2, duration, logical_rate)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+        trace,
+    );
+    // The coded fit (DESIGN §13): per-device request rate = the measured
+    // data-op rate, so cancelled eager stragglers (routed, but dead before
+    // their data read) drop out of the marginal's load.
+    let measured_span = duration * 0.8;
+    let devices = (0..cfg.devices)
+        .map(|d| {
+            let routed = metrics.window_device_requests(0, d) as f64 / measured_span;
+            let data = metrics.window_device_data_ops(0, d) as f64 / measured_span;
+            let rate = data.min(routed);
+            DeviceParams {
+                arrival_rate: rate,
+                data_read_rate: rate,
+                miss_index: metrics.devices[d]
+                    .miss_ratio(DiskOpKind::Index)
+                    .unwrap_or(0.0),
+                miss_meta: metrics.devices[d]
+                    .miss_ratio(DiskOpKind::Meta)
+                    .unwrap_or(0.0),
+                miss_data: metrics.devices[d]
+                    .miss_ratio(DiskOpKind::Data)
+                    .unwrap_or(0.0),
+                index_disk: from_dyn_service(cfg.disk.index.clone()),
+                meta_disk: from_dyn_service(cfg.disk.meta.clone()),
+                data_disk: from_dyn_service(cfg.disk.data.clone()),
+                parse_be: from_distribution(Degenerate::new(0.0005)),
+                processes: cfg.processes_per_device,
+            }
+        })
+        .collect();
+    let params = SystemParams {
+        frontend: FrontendParams {
+            arrival_rate: logical_rate,
+            processes: cfg.frontend_processes,
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+        },
+        devices,
+    };
+    let spec = if eager {
+        CodingSpec::eager(n, k)
+    } else {
+        // K-only launches exactly the k needed chunks: a k-of-k maximum.
+        CodingSpec::k_only(k)
+    };
+    let coded = CodedReadModel::new(&params, spec).expect("coded cells run below saturation");
+    let naive = SystemModel::new(&params, ModelVariant::Full).expect("same marginals");
+
+    let mut latencies: Vec<f64> = metrics
+        .raw()
+        .iter()
+        .filter(|r| r.arrival >= duration * 0.2)
+        .map(|r| r.latency)
+        .collect();
+    let prefix = format!("coded_{n}_{k}_{}", if eager { "eager" } else { "konly" });
+    let mut base_rows = Vec::new();
+    let mut cur_rows = Vec::new();
+    let mut bracket_ok = true;
+    for q in [0.50, 0.95, 0.99] {
+        let observed = exact_percentile(&mut latencies, q);
+        let bounds = coded.bounds(observed);
+        // Same slack as the test: the marginals are fitted to measured
+        // rates, not ground truth, so the anchors get ±0.05 CDF noise room.
+        bracket_ok &= bounds.pessimistic <= q + 0.05 && bounds.optimistic >= q - 0.05;
+        if q < 0.99 {
+            let tag = if q == 0.50 { "p50" } else { "p95" };
+            let rel = |predicted: f64| (predicted - observed).abs() / observed;
+            let coded_pred = coded.latency_percentile(q).expect("inversion in budget");
+            let naive_pred = naive.latency_percentile(q).expect("inversion in budget");
+            base_rows.push((format!("{prefix}_{tag}_rel_err"), rel(naive_pred)));
+            cur_rows.push((format!("{prefix}_{tag}_rel_err"), rel(coded_pred)));
+        }
+    }
+    cur_rows.push((format!("{prefix}_bracket_ok"), f64::from(bracket_ok)));
+    (base_rows, cur_rows, coded)
+}
+
+/// Coded-read validation sweep: `(n, k) ∈ {(4,2), (6,4), (9,6)}` under
+/// both redundancy policies, each cell one seed-deterministic simulation
+/// scored against the fork-join model (`current`) and the join-blind
+/// replica model (`baseline`), plus the cost of one coded quantile
+/// inversion on the widest stripe. The simulations are short but fixed:
+/// quick mode only trims the timing loop, never the accuracy cells, so
+/// `--check` always sees the same numbers the committed file was built
+/// from.
+#[allow(clippy::type_complexity)]
+fn measure_coded(quick: bool) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+    let cells: Vec<(usize, usize, bool)> = [(4, 2), (6, 4), (9, 6)]
+        .into_iter()
+        .flat_map(|(n, k)| [false, true].map(|eager| (n, k, eager)))
+        .collect();
+    let mut baseline = Vec::new();
+    let mut current = Vec::new();
+    let mut widest = None;
+    for (i, &(n, k, eager)) in cells.iter().enumerate() {
+        let (base_rows, cur_rows, model) = run_coded_cell(n, k, eager, 0xC0DE + i as u64);
+        baseline.extend(base_rows);
+        current.extend(cur_rows);
+        widest = Some(model);
+    }
+    // Timing probe on the last (widest, n = 9) cell: the O(n²) k-of-n
+    // combine makes it the most expensive inversion the gate can serve.
+    let model = widest.expect("six cells ran");
+    let iters = if quick { 2 } else { 8 };
+    let percentile_us = time_it(iters, || model.latency_percentile(0.95));
+    current.push(("coded_percentile_us".to_string(), percentile_us));
+    (baseline, current)
+}
+
+/// Borrowed `(&str, f64)` view for the helpers that predate owned keys.
+fn as_refs(rows: &[(String, f64)]) -> Vec<(&str, f64)> {
+    rows.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+}
+
 fn metric(vals: &[(&str, f64)], key: &str) -> f64 {
     vals.iter()
         .find(|(k, _)| *k == key)
@@ -601,6 +791,7 @@ fn main() {
     let obs = measure_obs(quick);
     let (gate_tpc, gate_reactor) = measure_gate(quick);
     let (ctrl_off, ctrl_on) = measure_ctrl(quick);
+    let (coded_base, coded_cur) = measure_coded(quick);
     print_metrics("inversion", &inv);
     print_metrics("sweep", &sweep);
     print_metrics("obs", &obs);
@@ -608,6 +799,8 @@ fn main() {
     print_metrics("gate.reactor", &gate_reactor);
     print_metrics("ctrl.off", &ctrl_off);
     print_metrics("ctrl.on", &ctrl_on);
+    print_metrics("coded.naive", &as_refs(&coded_base));
+    print_metrics("coded.forkjoin", &as_refs(&coded_cur));
     let warm_4c_ratio = metric(&gate_tpc, "snapshot_warm_4c_best_rps")
         / metric(&gate_tpc, "worker_warm_4c_best_rps");
     println!("gate.warm_4c_ratio (snapshot/worker): {warm_4c_ratio:.2}x");
@@ -664,6 +857,39 @@ fn main() {
             }
             println!("check: {key} {ns:.1} within the {CTRL_DECIDE_BUDGET_NS} ns budget");
         }
+        // Coded-read budgets are absolute: the sweep is seed-deterministic,
+        // so a broken bracket or an out-of-band point prediction is a model
+        // regression, never measurement noise.
+        for (key, v) in &coded_cur {
+            if key.ends_with("_bracket_ok") && *v != 1.0 {
+                eprintln!("check: FAILED: {key} = {v} (bounds no longer bracket the sim CDF)");
+                std::process::exit(1);
+            }
+            if key.ends_with("_rel_err") && *v >= CODED_REL_ERR_BUDGET {
+                eprintln!("check: FAILED: {key} {v:.3} >= {CODED_REL_ERR_BUDGET} budget");
+                std::process::exit(1);
+            }
+        }
+        let coded_refs = as_refs(&coded_cur);
+        let coded_inv_us = metric(&coded_refs, "coded_percentile_us");
+        if coded_inv_us >= CODED_PERCENTILE_BUDGET_US {
+            eprintln!(
+                "check: FAILED: coded_percentile_us {coded_inv_us:.1} >= \
+                 {CODED_PERCENTILE_BUDGET_US} us budget"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check: coded bounds bracket all 6 cells, worst inversion {coded_inv_us:.1} us \
+             within the {CODED_PERCENTILE_BUDGET_US} us budget"
+        );
+        match check("BENCH_coded.json", &coded_refs) {
+            Ok(()) => println!("check: ok (no metric regressed past 2x of BENCH_coded.json)"),
+            Err(msg) => {
+                eprintln!("check: FAILED against BENCH_coded.json: {msg}");
+                std::process::exit(1);
+            }
+        }
         let fresh: Vec<(&str, f64)> = inv.iter().chain(sweep.iter()).copied().collect();
         match check(&file, &fresh) {
             Ok(()) => println!("check: ok (no metric regressed past 2x of {file})"),
@@ -696,6 +922,14 @@ fn main() {
             to_json(&ctrl_off, &ctrl_on).to_string_pretty(),
         )
         .expect("write BENCH_ctrl.json");
-        println!("wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json, BENCH_ctrl.json");
+        std::fs::write(
+            "BENCH_coded.json",
+            to_json(&as_refs(&coded_base), &as_refs(&coded_cur)).to_string_pretty(),
+        )
+        .expect("write BENCH_coded.json");
+        println!(
+            "wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json, BENCH_ctrl.json, \
+             BENCH_coded.json"
+        );
     }
 }

@@ -20,11 +20,15 @@
 //!   latency-threshold miss ratios, disk service-time decomposition;
 //! * [`planning`] — the §I what-if applications: capacity planning,
 //!   overload control, bottleneck identification, elastic storage;
-//! * [`sensitivity`] — which measured input moves the prediction most.
+//! * [`sensitivity`] — which measured input moves the prediction most;
+//! * [`coded`] — (n,k) erasure-coded reads: the k-of-n fork-join combine
+//!   over per-device sojourns, with split-merge/Bonferroni and
+//!   independence envelopes.
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod coded;
 pub mod components;
 pub mod estimate;
 pub mod frontend;
@@ -36,6 +40,7 @@ pub mod variant;
 pub mod wta;
 
 pub use backend::{BackendModel, ModelError};
+pub use coded::{CodedBounds, CodedReadModel, CodingSpec};
 pub use estimate::{
     decompose_disk_service, fit_disk_law, miss_ratio_by_threshold, rescale_to_mean,
     try_decompose_disk_service, DecomposeError, FittedDiskLaw, ThresholdMissEstimator,

@@ -77,6 +77,17 @@ pub fn optional_f64(params: &Params, name: &str, default: f64) -> Result<f64, St
     }
 }
 
+/// Optional unsigned-integer parameter (`None` when absent).
+pub fn optional_u32(params: &Params, name: &str) -> Result<Option<u32>, String> {
+    match get(params, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u32>()
+            .map(Some)
+            .map_err(|_| format!("query parameter `{name}` must be a non-negative integer")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +122,15 @@ mod tests {
         assert!(require_f64(&p, "bad").unwrap_err().contains("finite"));
         assert_eq!(optional_f64(&p, "upper", 10.0).unwrap(), 10.0);
         assert!(optional_f64(&p, "bad", 1.0).is_err());
+    }
+
+    #[test]
+    fn optional_u32_parses_integers_and_names_the_parameter() {
+        let p = parse_query("n=6&k=4&neg=-1&frac=2.5").unwrap();
+        assert_eq!(optional_u32(&p, "n").unwrap(), Some(6));
+        assert_eq!(optional_u32(&p, "k").unwrap(), Some(4));
+        assert_eq!(optional_u32(&p, "missing").unwrap(), None);
+        assert!(optional_u32(&p, "neg").unwrap_err().contains("neg"));
+        assert!(optional_u32(&p, "frac").unwrap_err().contains("integer"));
     }
 }

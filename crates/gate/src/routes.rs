@@ -3,8 +3,8 @@
 //!
 //! | Route | Answer |
 //! |---|---|
-//! | `GET /v1/attainment?sla=S[&rate=R]` | fraction meeting `S` (optionally at what-if rate `R`) |
-//! | `GET /v1/percentile?p=P` | response-latency percentile (seconds) |
+//! | `GET /v1/attainment?sla=S[&rate=R][&n=N&k=K]` | fraction meeting `S` (optionally at what-if rate `R`, or for `(N, K)` erasure-coded reads) |
+//! | `GET /v1/percentile?p=P[&n=N&k=K]` | response-latency percentile (seconds), optionally for `(N, K)` erasure-coded reads |
 //! | `GET /v1/headroom?sla=S&target=F[&upper=U]` | largest admissible rate meeting the goal |
 //! | `GET /v1/bottlenecks?sla=S` | devices ranked worst-first |
 //! | `POST /v1/telemetry` | batch event ingest (JSON array), flushed before replying |
@@ -94,6 +94,30 @@ impl Reader<'_> {
         match self.path {
             ReadPath::Snapshot => self.client.read_headroom(goal, upper),
             ReadPath::Worker => self.client.headroom(goal, upper),
+        }
+    }
+
+    fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_coded_fraction(launched, needed, sla),
+            ReadPath::Worker => self.client.coded_fraction(launched, needed, sla),
+        }
+    }
+
+    fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        match self.path {
+            ReadPath::Snapshot => self.client.read_coded_percentile(launched, needed, p),
+            ReadPath::Worker => self.client.coded_percentile(launched, needed, p),
         }
     }
 
@@ -243,6 +267,34 @@ fn parsed_query(req: &Request) -> Result<query::Params, Response> {
     query::parse_query(req.query()).map_err(|e| Response::error(400, &e))
 }
 
+/// Widest stripe accepted on the wire: the Poisson-binomial combine is
+/// O(n²) per CDF point, so an unbounded `n` would be a free CPU amplifier.
+const MAX_STRIPE_WIDTH: u32 = 64;
+
+/// Parses the optional erasure-coding pair `n` (chunks launched) and `k`
+/// (chunks needed): both or neither, `1 <= k <= n <= 64`. Errors become
+/// the `400` response.
+fn parse_coding(params: &query::Params) -> Result<Option<(u16, u16)>, Response> {
+    let n = query::optional_u32(params, "n").map_err(|e| Response::error(400, &e))?;
+    let k = query::optional_u32(params, "k").map_err(|e| Response::error(400, &e))?;
+    match (n, k) {
+        (None, None) => Ok(None),
+        (Some(_), None) | (None, Some(_)) => Err(Response::error(
+            400,
+            "query parameters `n` and `k` must be supplied together",
+        )),
+        (Some(n), Some(k)) => {
+            if k < 1 || k > n || n > MAX_STRIPE_WIDTH {
+                return Err(Response::error(
+                    400,
+                    "query parameters `n` and `k` must satisfy 1 <= k <= n <= 64",
+                ));
+            }
+            Ok(Some((n as u16, k as u16)))
+        }
+    }
+}
+
 fn attainment(reader: &Reader<'_>, req: &Request) -> Response {
     let params = match parsed_query(req) {
         Ok(p) => p,
@@ -253,6 +305,22 @@ fn attainment(reader: &Reader<'_>, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
         Err(e) => return Response::error(400, &e),
     };
+    let coding = match parse_coding(&params) {
+        Ok(c) => c,
+        Err(r) => return r,
+    };
+    if let Some((n, k)) = coding {
+        if query::get(&params, "rate").is_some() {
+            return Response::error(
+                400,
+                "query parameter `rate` cannot be combined with `n`/`k`",
+            );
+        }
+        return match reader.coded_fraction(n, k, sla) {
+            Ok(p) => prediction_body(&[("sla", sla), ("n", n as f64), ("k", k as f64)], p),
+            Err(e) => service_error(e),
+        };
+    }
     let answer = match query::get(&params, "rate") {
         None => reader.predict(sla),
         Some(_) => match query::require_f64(&params, "rate") {
@@ -277,6 +345,16 @@ fn percentile(reader: &Reader<'_>, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `p` must lie in (0, 1)"),
         Err(e) => return Response::error(400, &e),
     };
+    let coding = match parse_coding(&params) {
+        Ok(c) => c,
+        Err(r) => return r,
+    };
+    if let Some((n, k)) = coding {
+        return match reader.coded_percentile(n, k, p) {
+            Ok(answer) => prediction_body(&[("p", p), ("n", n as f64), ("k", k as f64)], answer),
+            Err(e) => service_error(e),
+        };
+    }
     match reader.percentile(p) {
         Ok(answer) => prediction_body(&[("p", p)], answer),
         Err(e) => service_error(e),
@@ -801,6 +879,15 @@ mod tests {
             ("/v1/headroom?sla=0.05", "target"),
             ("/v1/headroom?sla=0.05&target=2", "target"),
             ("/v1/bottlenecks?sla=%zz", "percent"),
+            ("/v1/attainment?sla=0.05&n=4", "together"),
+            ("/v1/attainment?sla=0.05&k=2", "together"),
+            ("/v1/attainment?sla=0.05&n=4&k=0", "1 <= k <= n"),
+            ("/v1/attainment?sla=0.05&n=4&k=5", "1 <= k <= n"),
+            ("/v1/attainment?sla=0.05&n=65&k=4", "1 <= k <= n"),
+            ("/v1/attainment?sla=0.05&n=4.5&k=2", "integer"),
+            ("/v1/attainment?sla=0.05&n=4&k=2&rate=50", "rate"),
+            ("/v1/percentile?p=0.95&n=4", "together"),
+            ("/v1/percentile?p=0.95&n=-4&k=2", "integer"),
         ] {
             let resp = get(&client, target);
             assert_eq!(resp.status, 400, "{target}");
@@ -810,6 +897,47 @@ mod tests {
                 String::from_utf8_lossy(&resp.body)
             );
         }
+    }
+
+    #[test]
+    fn coded_queries_answer_through_both_read_paths() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        for ev in sample_events() {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        client.refit_now().unwrap();
+
+        let resp = get(&client, "/v1/percentile?p=0.99&n=4&k=2");
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.f64_field("n").unwrap(), 4.0);
+        assert_eq!(body.f64_field("k").unwrap(), 2.0);
+        let snapshot_value = body.f64_field("value").unwrap();
+        assert!(snapshot_value > 0.0);
+        let direct = client.coded_percentile(4, 2, 0.99).unwrap().value;
+        assert_eq!(snapshot_value.to_bits(), direct.to_bits());
+
+        // The worker channel path answers bit-identically.
+        let request = req("GET /v1/percentile?p=0.99&n=4&k=2 HTTP/1.1\r\nHost: t\r\n\r\n");
+        let resp = handle_full(&client, None, ReadPath::Worker, &request);
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.f64_field("value").unwrap().to_bits(), direct.to_bits());
+
+        // Coded attainment echoes the spec and answers in (0, 1].
+        let resp = get(&client, "/v1/attainment?sla=0.05&n=6&k=4");
+        assert_eq!(resp.status, 200);
+        let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.f64_field("n").unwrap(), 6.0);
+        let value = body.f64_field("value").unwrap();
+        assert!(value > 0.0 && value <= 1.0);
     }
 
     #[test]

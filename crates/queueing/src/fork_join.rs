@@ -1,0 +1,368 @@
+//! Fork-join k-of-n primitives for erasure-coded reads.
+//!
+//! An (n,k) coded read forks into `n` chunk sub-requests and completes when
+//! the k-th finishes. Exact fork-join queueing has no closed form for
+//! `n > 2`, so the coded-read model (see `cos-model::coded`) works with two
+//! tractable pieces built here:
+//!
+//! * [`k_of_n_tail`] — the order-statistics combine: given each branch's
+//!   marginal completion probability by time `t`, the probability that at
+//!   least `k` branches have completed **under independence**, computed as
+//!   a Poisson-binomial tail. This is the MDS-queue-style approximation:
+//!   the dependence between branches is absorbed into the *marginals*
+//!   (each branch's arrival rate already includes the redundant load), and
+//!   the combine treats them as independent.
+//! * [`KOfNExponential`] — the k-th order statistic of `n` i.i.d.
+//!   exponentials as a service-time law (a hypoexponential with stage
+//!   rates `nμ, (n−1)μ, …, (n−k+1)μ`), which turns the classic
+//!   **split-merge** system — all `n` servers seized per job until the
+//!   k-th completion — into an ordinary M/G/1 via [`split_merge`]. The
+//!   split-merge system blocks strictly more than a real fork-join
+//!   cluster, making its sojourn CDF a pessimistic anchor.
+
+use crate::mg1::{Mg1, QueueError};
+use crate::service::ServiceTime;
+use cos_numeric::Complex64;
+use std::sync::Arc;
+
+/// Probability that at least `k` of the branches complete, given each
+/// branch's marginal completion probability, assuming independence
+/// (Poisson-binomial tail).
+///
+/// The DP runs over branches in slice order and accumulates the success
+/// count distribution in `O(n²)`; both loops are deterministic, so the
+/// result is bit-stable for a given input order. Probabilities are clamped
+/// to `[0, 1]` (inversion noise can leave them a hair outside).
+///
+/// `k = 0` returns 1; `k > probs.len()` returns 0.
+pub fn k_of_n_tail(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > probs.len() {
+        return 0.0;
+    }
+    // count[j] = P[exactly j of the branches seen so far completed].
+    let mut count = vec![0.0f64; probs.len() + 1];
+    count[0] = 1.0;
+    for (i, &p) in probs.iter().enumerate() {
+        let p = p.clamp(0.0, 1.0);
+        // Walk j downward so count[j - 1] is still the previous round.
+        for j in (1..=i + 1).rev() {
+            count[j] = count[j] * (1.0 - p) + count[j - 1] * p;
+        }
+        count[0] *= 1.0 - p;
+    }
+    let mut tail = 0.0;
+    for &c in &count[k..] {
+        tail += c;
+    }
+    tail.clamp(0.0, 1.0)
+}
+
+/// The k-th order statistic of `n` i.i.d. `Exp(rate)` variables as a
+/// service-time law: a hypoexponential with stages `j·rate` for
+/// `j = n, n−1, …, n−k+1` (the j-th stage is the gap while `j` branches
+/// are still running).
+///
+/// `LST = Π_{j=n−k+1}^{n} j·rate / (s + j·rate)`,
+/// `mean = (1/rate) Σ 1/j`, `var = (1/rate²) Σ 1/j²` over the same range.
+#[derive(Debug, Clone, Copy)]
+pub struct KOfNExponential {
+    n: usize,
+    k: usize,
+    rate: f64,
+    mean: f64,
+    second_moment: f64,
+}
+
+impl KOfNExponential {
+    /// Builds the k-of-n order-statistic law.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ n` and `rate > 0` (finite).
+    pub fn new(n: usize, k: usize, rate: f64) -> Self {
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "branch rate must be positive, got {rate}"
+        );
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for j in (n - k + 1)..=n {
+            let stage = 1.0 / (j as f64 * rate);
+            mean += stage;
+            var += stage * stage;
+        }
+        KOfNExponential {
+            n,
+            k,
+            rate,
+            mean,
+            second_moment: var + mean * mean,
+        }
+    }
+
+    /// Stripe width `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Completions needed `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ServiceTime for KOfNExponential {
+    fn lst(&self, s: Complex64) -> Complex64 {
+        // Left-associated product over ascending stage index — the batch
+        // path below replays exactly this order per abscissa.
+        let mut acc = Complex64::ONE;
+        for j in (self.n - self.k + 1)..=self.n {
+            let jr = j as f64 * self.rate;
+            acc *= Complex64::from_real(jr) / (s + jr);
+        }
+        acc
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn second_moment(&self) -> f64 {
+        self.second_moment
+    }
+
+    /// Stage-outer, point-inner accumulation: every output element sees the
+    /// same left-associated multiplication sequence as the scalar fold, so
+    /// the batch is bit-identical while touching each stage's constants
+    /// once.
+    fn lst_batch(&self, s: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(s.len(), out.len(), "abscissa/output length mismatch");
+        out.fill(Complex64::ONE);
+        for j in (self.n - self.k + 1)..=self.n {
+            let jr = j as f64 * self.rate;
+            for (s, o) in s.iter().zip(out.iter_mut()) {
+                *o *= Complex64::from_real(jr) / (*s + jr);
+            }
+        }
+    }
+}
+
+/// The split-merge M/G/1 for an (n,k) coded read: logical reads arrive at
+/// `arrival_rate`, each seizing all `n` branches until the k-th completes,
+/// with per-branch service approximated as `Exp(1/branch_mean)`.
+///
+/// Because split-merge admits **no** overlap between consecutive jobs while
+/// a real fork-join cluster pipelines freely, its waiting time dominates
+/// the real system's — this queue anchors the pessimistic side of the
+/// coded-read bounds. Fails with [`QueueError::Unstable`] when even the
+/// blocking approximation has no steady state.
+pub fn split_merge(
+    arrival_rate: f64,
+    branch_mean: f64,
+    n: usize,
+    k: usize,
+) -> Result<Mg1, QueueError> {
+    assert!(
+        branch_mean.is_finite() && branch_mean > 0.0,
+        "branch mean must be positive, got {branch_mean}"
+    );
+    let service = KOfNExponential::new(n, k, 1.0 / branch_mean);
+    Mg1::new(arrival_rate, Arc::new(service))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::from_distribution;
+    use crate::union_op::UnionOperation;
+    use cos_distr::{Degenerate, Exponential};
+    use cos_numeric::{cdf_from_lst, InversionConfig};
+
+    #[test]
+    fn tail_edge_cases() {
+        let p = [0.3, 0.7, 0.5];
+        assert_eq!(k_of_n_tail(&p, 0), 1.0);
+        assert_eq!(k_of_n_tail(&p, 4), 0.0);
+        assert_eq!(k_of_n_tail(&[], 0), 1.0);
+        assert_eq!(k_of_n_tail(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn tail_k1_is_union_and_kn_is_max_order_statistic() {
+        let p = [0.2, 0.55, 0.9, 0.4];
+        // k = 1: P[min ≤ t] = 1 − Π(1 − p_i).
+        let union: f64 = 1.0 - p.iter().map(|q| 1.0 - q).product::<f64>();
+        assert!((k_of_n_tail(&p, 1) - union).abs() < 1e-14);
+        // k = n: P[max ≤ t] = Π p_i.
+        let max_os: f64 = p.iter().product();
+        assert!((k_of_n_tail(&p, 4) - max_os).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tail_is_monotone_in_k_and_in_probs() {
+        let p = [0.3, 0.6, 0.8, 0.45, 0.7];
+        for k in 1..=p.len() {
+            assert!(k_of_n_tail(&p, k) <= k_of_n_tail(&p, k - 1) + 1e-15);
+        }
+        let mut better = p;
+        better[2] = 0.95;
+        for k in 1..=p.len() {
+            assert!(
+                k_of_n_tail(&better, k) >= k_of_n_tail(&p, k) - 1e-15,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_matches_binomial_for_equal_probs() {
+        // Equal marginals collapse to a plain binomial tail.
+        let p: f64 = 0.6;
+        let n = 6;
+        let probs = vec![p; n];
+        let binom = |k: usize| -> f64 {
+            (k..=n)
+                .map(|j| {
+                    let choose = (1..=n).product::<usize>() as f64
+                        / ((1..=j).product::<usize>() as f64
+                            * (1..=(n - j)).product::<usize>() as f64);
+                    choose * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32)
+                })
+                .sum()
+        };
+        for k in 1..=n {
+            assert!(
+                (k_of_n_tail(&probs, k) - binom(k)).abs() < 1e-12,
+                "k={k}: {} vs {}",
+                k_of_n_tail(&probs, k),
+                binom(k)
+            );
+        }
+    }
+
+    #[test]
+    fn k1_reduces_to_minimum_exponential() {
+        // k = 1 of n: first completion of n Exp(μ) branches is Exp(nμ).
+        let law = KOfNExponential::new(5, 1, 2.0);
+        assert!((law.mean() - 1.0 / 10.0).abs() < 1e-15);
+        let s = Complex64::new(0.7, 1.3);
+        let want = Complex64::from_real(10.0) / (s + 10.0);
+        assert!((law.lst(s) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn kn_is_the_maximum_with_harmonic_mean() {
+        // k = n: the max of n i.i.d. Exp(μ) has mean H_n/μ.
+        let n = 7;
+        let mu = 3.0;
+        let law = KOfNExponential::new(n, n, mu);
+        let harmonic: f64 = (1..=n).map(|j| 1.0 / j as f64).sum();
+        assert!((law.mean() - harmonic / mu).abs() < 1e-12);
+        // CDF of the max is (1 − e^{−μt})^n; check via inversion.
+        let cfg = InversionConfig::default();
+        for &t in &[0.2, 0.5, 1.0, 2.0] {
+            let got = cdf_from_lst(&|s| law.lst(s), t, &cfg);
+            let want = (1.0 - (-mu * t).exp()).powi(n as i32);
+            assert!((got - want).abs() < 1e-5, "t={t}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn second_moment_matches_stage_variances() {
+        let law = KOfNExponential::new(6, 4, 1.5);
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for j in 3..=6 {
+            mean += 1.0 / (j as f64 * 1.5);
+            var += 1.0 / (j as f64 * 1.5).powi(2);
+        }
+        assert!((law.mean() - mean).abs() < 1e-15);
+        assert!((law.second_moment() - (var + mean * mean)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn batch_lst_is_bit_identical_to_scalar() {
+        // The cache/snapshot invariant: overridden batches must reproduce
+        // the scalar path bit for bit (PR 2 golden pattern).
+        for &(n, k) in &[(4usize, 2usize), (6, 4), (9, 6), (5, 1), (7, 7)] {
+            let law = KOfNExponential::new(n, k, 37.5);
+            let s: Vec<Complex64> = (0..64)
+                .map(|i| Complex64::new(0.5 + i as f64 * 3.1, (i as f64 - 32.0) * 7.3))
+                .collect();
+            let mut batch = vec![Complex64::ZERO; s.len()];
+            law.lst_batch(&s, &mut batch);
+            for (i, &si) in s.iter().enumerate() {
+                let scalar = law.lst(si);
+                assert_eq!(
+                    scalar.re.to_bits(),
+                    batch[i].re.to_bits(),
+                    "(n={n},k={k}) re differs at abscissa {i}"
+                );
+                assert_eq!(
+                    scalar.im.to_bits(),
+                    batch[i].im.to_bits(),
+                    "(n={n},k={k}) im differs at abscissa {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_fork_join_agrees_with_union_op_path() {
+        // Property (paper Eq. 6 cross-check): for exponential per-branch
+        // sojourns with rates μ_i, the k=1-of-n fork-join CDF equals the
+        // CDF of Exp(Σμ_i). Route the reference through the *union
+        // operation* transform path — the code replicated GETs actually
+        // use — and invert numerically, then compare with the analytic
+        // marginals fed through `k_of_n_tail`.
+        let rates = [12.0, 20.0, 35.0];
+        let sum: f64 = rates.iter().sum();
+        let zero = from_distribution(Degenerate::new(0.0));
+        let u = UnionOperation::new(
+            zero.clone(),
+            zero.clone(),
+            zero,
+            from_distribution(Exponential::new(sum)),
+            0.0,
+        );
+        let cfg = InversionConfig::default();
+        for &t in &[0.005, 0.02, 0.05, 0.1, 0.3] {
+            let via_union = cdf_from_lst(&|s| u.response_lst(s), t, &cfg);
+            let marginals: Vec<f64> = rates.iter().map(|&m| 1.0 - (-m * t).exp()).collect();
+            let via_fork_join = k_of_n_tail(&marginals, 1);
+            assert!(
+                (via_union - via_fork_join).abs() < 1e-5,
+                "t={t}: union path {via_union} vs fork-join {via_fork_join}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_merge_is_a_stable_mg1_with_pk_moments() {
+        let q = split_merge(10.0, 0.01, 6, 4).unwrap();
+        assert!(q.utilization() < 1.0);
+        let svc = KOfNExponential::new(6, 4, 100.0);
+        let want = 10.0 * svc.second_moment() / (2.0 * (1.0 - q.utilization()));
+        assert!((q.mean_waiting() - want).abs() < 1e-12);
+        assert!((q.mean_sojourn() - (q.mean_waiting() + svc.mean())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn split_merge_rejects_overload() {
+        // k = n = 8 at mean 0.1 each → service mean H_8 · 0.1 ≈ 0.27 s;
+        // 10 req/s is ρ ≈ 2.7.
+        assert!(matches!(
+            split_merge(10.0, 0.1, 8, 8),
+            Err(QueueError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_above_n() {
+        KOfNExponential::new(4, 5, 1.0);
+    }
+}

@@ -12,10 +12,13 @@
 //!   (high- and zero-variability ends of the service spectrum);
 //! * [`union_op`] — the union operation (§III-B), packing parse / index
 //!   lookup / metadata read / chunked data reads into one M/G/1-friendly
-//!   service unit.
+//!   service unit;
+//! * [`fork_join`] — k-of-n order-statistics primitives for erasure-coded
+//!   reads (Poisson-binomial combine + the split-merge hypoexponential).
 
 #![warn(missing_docs)]
 
+pub mod fork_join;
 pub mod md1;
 pub mod mg1;
 pub mod mm1;
@@ -23,6 +26,7 @@ pub mod mm1k;
 pub mod service;
 pub mod union_op;
 
+pub use fork_join::{k_of_n_tail, split_merge, KOfNExponential};
 pub use md1::Md1;
 pub use mg1::{Mg1, QueueError};
 pub use mm1::Mm1;

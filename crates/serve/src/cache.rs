@@ -37,7 +37,9 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use cos_model::{max_admissible_rate, ModelVariant, SlaGoal, SystemModel};
+use cos_model::{
+    max_admissible_rate, CodedReadModel, CodingSpec, ModelVariant, SlaGoal, SystemModel,
+};
 
 use crate::engine::{snap, CacheStats, EpochSnapshot, FRACTION_QUANTUM, RATE_QUANTUM, SLA_QUANTUM};
 use crate::error::ServeError;
@@ -75,6 +77,25 @@ pub enum QueryKind {
     },
     /// Mean response time.
     MeanResponse,
+    /// Fraction of (launched, needed) erasure-coded reads meeting a
+    /// quantized SLA (fork-join k-of-n over the epoch's fitted marginals).
+    CodedFraction {
+        /// Sub-requests launched per read (`n` eager, `k` without spares).
+        launched: u16,
+        /// Completions needed (`k`).
+        needed: u16,
+        /// SLA bound in [`SLA_QUANTUM`] steps.
+        sla_q: i64,
+    },
+    /// Latency percentile of (launched, needed) erasure-coded reads.
+    CodedPercentile {
+        /// Sub-requests launched per read.
+        launched: u16,
+        /// Completions needed.
+        needed: u16,
+        /// Percentile in [`FRACTION_QUANTUM`] steps.
+        p_q: i64,
+    },
 }
 
 impl QueryKind {
@@ -108,11 +129,52 @@ impl QueryKind {
             sla_q: snap(sla, SLA_QUANTUM).0,
         }
     }
+
+    /// Coded-read fraction-meeting-SLA query for a (launched, needed)
+    /// fan-out. Callers validate `1 ≤ needed ≤ launched` (the gate returns
+    /// 400 otherwise); [`cos_model::CodingSpec`] re-asserts it.
+    pub fn coded_fraction(launched: u16, needed: u16, sla: f64) -> QueryKind {
+        QueryKind::CodedFraction {
+            launched,
+            needed,
+            sla_q: snap(sla, SLA_QUANTUM).0,
+        }
+    }
+
+    /// Coded-read latency-percentile query at `p`.
+    pub fn coded_percentile(launched: u16, needed: u16, p: f64) -> QueryKind {
+        QueryKind::CodedPercentile {
+            launched,
+            needed,
+            p_q: snap(p, FRACTION_QUANTUM).0,
+        }
+    }
 }
 
 /// Quantizes a what-if rate (req/s) to its [`RATE_QUANTUM`] cell.
 pub fn quantize_rate(rate: f64) -> i64 {
     snap(rate, RATE_QUANTUM).0
+}
+
+/// Builds the coded-read model for an epoch's parameters at an optional
+/// what-if rate. Unlike [`InversionCache::model_for`] the build itself is
+/// not cached — constructing a [`CodedReadModel`] runs no inversions, and
+/// the expensive part (the query answer) memoizes at the result layer.
+fn coded_model(
+    snapshot: &EpochSnapshot,
+    rate_q: Option<i64>,
+    launched: u16,
+    needed: u16,
+) -> Result<CodedReadModel, ServeError> {
+    let spec = CodingSpec::new(launched as usize, needed as usize);
+    let built = match rate_q {
+        None => CodedReadModel::new(&snapshot.params, spec),
+        Some(q) => CodedReadModel::new(
+            &snapshot.params.scaled_to_rate(q as f64 * RATE_QUANTUM),
+            spec,
+        ),
+    };
+    Ok(built?)
 }
 
 /// The full memo key: epoch, optional what-if rate cell, and the question.
@@ -362,6 +424,31 @@ impl InversionCache {
             return max_admissible_rate(&snapshot.params, variant, goal_s, upper_s)
                 .ok_or(ServeError::GoalUnreachable);
         }
+        // Coded queries build their own multi-variant model from the raw
+        // parameters (like headroom); results are memoized at this cache's
+        // result layer, which is what keeps both read paths bit-identical.
+        match kind {
+            QueryKind::CodedFraction {
+                launched,
+                needed,
+                sla_q,
+            } => {
+                let m = coded_model(snapshot, rate_q, launched, needed)?;
+                return Ok(m.fraction_meeting_sla(sla_q as f64 * SLA_QUANTUM));
+            }
+            QueryKind::CodedPercentile {
+                launched,
+                needed,
+                p_q,
+            } => {
+                let m = coded_model(snapshot, rate_q, launched, needed)?;
+                let p_s = p_q as f64 * FRACTION_QUANTUM;
+                return m
+                    .latency_percentile(p_s)
+                    .ok_or(ServeError::PercentileOutOfRange { p: p_s });
+            }
+            _ => {}
+        }
         let m = self.model_for(snapshot, variant, rate_q)?;
         match kind {
             QueryKind::Fraction { sla_q } => Ok(m.fraction_meeting_sla(sla_q as f64 * SLA_QUANTUM)),
@@ -377,7 +464,11 @@ impl InversionCache {
                 Ok(m.device_fraction_meeting(device, sla_q as f64 * SLA_QUANTUM))
             }
             QueryKind::MeanResponse => Ok(m.mean_response()),
-            QueryKind::Headroom { .. } => unreachable!("handled above"),
+            QueryKind::Headroom { .. }
+            | QueryKind::CodedFraction { .. }
+            | QueryKind::CodedPercentile { .. } => {
+                unreachable!("handled above")
+            }
         }
     }
 

@@ -249,6 +249,37 @@ impl PredictionEngine {
         self.answer(None, QueryKind::MeanResponse)
     }
 
+    /// Predicted fraction of (launched, needed) erasure-coded reads meeting
+    /// `sla` at the calibrated rate (fork-join k-of-n over the epoch's
+    /// fitted per-device marginals).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ needed ≤ launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_fraction(launched, needed, sla))
+    }
+
+    /// Predicted latency percentile of (launched, needed) erasure-coded
+    /// reads at the calibrated rate.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ needed ≤ launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_percentile(launched, needed, p))
+    }
+
     /// One device's predicted fraction meeting `sla`.
     pub fn device_fraction(&self, device: usize, sla: f64) -> Result<Prediction, ServeError> {
         self.answer(None, QueryKind::device_fraction(device, sla))

@@ -388,6 +388,40 @@ impl SlaService {
         timed_query(&self.obs, &mut self.engine, |e| e.headroom(goal, upper))
     }
 
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_fraction(
+        &mut self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &mut self.engine, |e| {
+            e.coded_fraction(launched, needed, sla)
+        })
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_percentile(
+        &mut self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &mut self.engine, |e| {
+            e.coded_percentile(launched, needed, p)
+        })
+    }
+
     /// Bottleneck ranking, worst device first.
     pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
         timed_query(&self.obs, &mut self.engine, |e| e.bottlenecks(sla))
@@ -481,6 +515,18 @@ enum Command {
         upper: f64,
         reply: Sender<Result<Prediction, ServeError>>,
     },
+    CodedFraction {
+        launched: u16,
+        needed: u16,
+        sla: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    CodedPercentile {
+        launched: u16,
+        needed: u16,
+        p: f64,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
     Bottlenecks {
         sla: f64,
         reply: Sender<Result<Vec<(usize, f64)>, ServeError>>,
@@ -518,6 +564,22 @@ fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
             }
             Command::Headroom { goal, upper, reply } => {
                 let _ = reply.send(service.headroom(goal, upper));
+            }
+            Command::CodedFraction {
+                launched,
+                needed,
+                sla,
+                reply,
+            } => {
+                let _ = reply.send(service.coded_fraction(launched, needed, sla));
+            }
+            Command::CodedPercentile {
+                launched,
+                needed,
+                p,
+                reply,
+            } => {
+                let _ = reply.send(service.coded_percentile(launched, needed, p));
             }
             Command::Bottlenecks { sla, reply } => {
                 let _ = reply.send(service.bottlenecks(sla));
@@ -627,6 +689,46 @@ impl ServiceClient {
         self.ask(|reply| Command::Headroom { goal, upper, reply })?
     }
 
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    ///
+    /// # Panics
+    ///
+    /// The service thread panics unless `1 <= needed <= launched` —
+    /// network callers are validated at the gate.
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::CodedFraction {
+            launched,
+            needed,
+            sla,
+            reply,
+        })?
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    ///
+    /// # Panics
+    ///
+    /// The service thread panics unless `1 <= needed <= launched` —
+    /// network callers are validated at the gate.
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::CodedPercentile {
+            launched,
+            needed,
+            p,
+            reply,
+        })?
+    }
+
     /// Bottleneck ranking, worst device first.
     pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
         self.ask(|reply| Command::Bottlenecks { sla, reply })?
@@ -661,6 +763,26 @@ impl ServiceClient {
     /// Snapshot-path [`headroom`](ServiceClient::headroom).
     pub fn read_headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
         self.reader.headroom(goal, upper)
+    }
+
+    /// Snapshot-path [`coded_fraction`](ServiceClient::coded_fraction).
+    pub fn read_coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.reader.coded_fraction(launched, needed, sla)
+    }
+
+    /// Snapshot-path [`coded_percentile`](ServiceClient::coded_percentile).
+    pub fn read_coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.reader.coded_percentile(launched, needed, p)
     }
 
     /// Snapshot-path [`bottlenecks`](ServiceClient::bottlenecks).
@@ -732,6 +854,26 @@ impl ServiceHandle {
     /// Overload-control headroom up to `upper` req/s.
     pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
         self.client.headroom(goal, upper)
+    }
+
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.client.coded_fraction(launched, needed, sla)
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.client.coded_percentile(launched, needed, p)
     }
 
     /// Bottleneck ranking, worst device first.
@@ -1040,6 +1182,33 @@ mod tests {
             assert_eq!(e.field, *field);
             assert!(e.to_string().contains("ServeConfig."), "{e}");
         }
+    }
+
+    #[test]
+    fn coded_queries_agree_across_channel_and_snapshot_paths() {
+        let handle = SlaService::new(base(), ServeConfig::default()).spawn();
+        let client = handle.client();
+        for ev in events(40.0, 20.0, 2) {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        client.refit_now().unwrap();
+
+        let frac = client.coded_fraction(4, 2, 0.05).unwrap();
+        assert!(frac.value > 0.0 && frac.value <= 1.0);
+        let via_reader = client.read_coded_fraction(4, 2, 0.05).unwrap();
+        assert_eq!(frac.value.to_bits(), via_reader.value.to_bits());
+
+        let p99 = client.coded_percentile(4, 2, 0.99).unwrap();
+        assert!(p99.value > 0.0);
+        let p99_reader = client.read_coded_percentile(4, 2, 0.99).unwrap();
+        assert_eq!(p99.value.to_bits(), p99_reader.value.to_bits());
+
+        // Needing more of the launched chunks (a max-like join) can only
+        // slow the read down: p99 of a 4-of-4 join dominates 2-of-4.
+        let p99_44 = client.coded_percentile(4, 4, 0.99).unwrap();
+        assert!(p99_44.value >= p99.value);
+        drop(handle);
     }
 
     #[test]

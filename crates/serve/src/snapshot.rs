@@ -186,6 +186,36 @@ impl SnapshotReader {
         self.answer(None, QueryKind::headroom(goal, upper))
     }
 
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_fraction(launched, needed, sla))
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_percentile(launched, needed, p))
+    }
+
     /// Bottleneck ranking, worst device first. All per-device queries are
     /// answered against the *same* epoch view, so the ranking is
     /// internally consistent even if a re-fit lands mid-call.

@@ -138,6 +138,67 @@ impl TimeoutRetry {
     }
 }
 
+/// When the redundant sub-requests of an (n,k) coded read are launched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RedundancyPolicy {
+    /// Launch exactly the `k` needed chunk reads — no redundancy.
+    KOnly,
+    /// Launch all `n` chunk reads immediately; once the k-th completes the
+    /// stragglers are cancelled (lazily, at their next scheduling point).
+    Eager,
+    /// Launch `k` reads first and the remaining `n − k` only if the read
+    /// has not completed after `delay` seconds.
+    Deferred {
+        /// Seconds before the spare sub-requests are launched.
+        delay: f64,
+    },
+}
+
+/// (n,k) erasure-coding scenario: every object is striped over `n` devices
+/// and a GET completes when the k-th-fastest chunk read finishes.
+///
+/// Coding replaces replication: requests bypass the replica table and fan
+/// out over the stripe instead, and device loss is tolerated by `k < n`
+/// rather than by failover. Mutually exclusive with
+/// [`ClusterConfig::timeout_retry`] (both are frontend re-issue
+/// mechanisms; composing them is out of scope).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodingConfig {
+    /// Stripe width: total coded chunks per object.
+    pub n: usize,
+    /// Chunks needed to reconstruct the object.
+    pub k: usize,
+    /// Redundant-launch policy.
+    pub policy: RedundancyPolicy,
+}
+
+impl CodingConfig {
+    /// Validates the coding parameters against the cluster size.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ n ≤ devices` (each stripe chunk needs its
+    /// own device) and any deferred delay is positive and finite.
+    pub fn validate(&self, devices: usize) {
+        assert!(
+            self.k >= 1 && self.k <= self.n,
+            "coding requires 1 <= k <= n, got k={}, n={}",
+            self.k,
+            self.n
+        );
+        assert!(
+            self.n <= devices,
+            "stripe width n={} exceeds device count {devices}",
+            self.n
+        );
+        if let RedundancyPolicy::Deferred { delay } = self.policy {
+            assert!(
+                delay.is_finite() && delay > 0.0,
+                "deferred-redundancy delay must be positive, got {delay}"
+            );
+        }
+    }
+}
+
 /// Per-device overrides for heterogeneous clusters (a slower disk, a
 /// colder cache). Devices not mentioned use the cluster-wide defaults.
 #[derive(Debug, Clone)]
@@ -186,6 +247,8 @@ pub struct ClusterConfig {
     /// Optional frontend timeout/retry policy (None = the paper's "normal
     /// status" assumption).
     pub timeout_retry: Option<TimeoutRetry>,
+    /// Optional (n,k) erasure coding (None = replicated objects).
+    pub coding: Option<CodingConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -214,6 +277,7 @@ impl ClusterConfig {
             },
             device_overrides: Vec::new(),
             timeout_retry: None,
+            coding: None,
             seed: 0xC05C05,
         }
     }
@@ -264,6 +328,13 @@ impl ClusterConfig {
         }
         if let Some(tr) = &self.timeout_retry {
             tr.validate();
+        }
+        if let Some(c) = &self.coding {
+            c.validate(self.devices);
+            assert!(
+                self.timeout_retry.is_none(),
+                "coding and timeout_retry are mutually exclusive"
+            );
         }
     }
 
@@ -341,6 +412,51 @@ mod tests {
             CacheConfig::Bernoulli { index_miss, .. } => assert!(index_miss < 0.2),
             _ => panic!("expected Bernoulli cache"),
         }
+    }
+
+    #[test]
+    fn coding_presets_validate() {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.coding = Some(CodingConfig {
+            n: 4,
+            k: 2,
+            policy: RedundancyPolicy::Eager,
+        });
+        cfg.validate();
+        cfg.coding = Some(CodingConfig {
+            n: 3,
+            k: 3,
+            policy: RedundancyPolicy::Deferred { delay: 0.05 },
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device count")]
+    fn stripe_wider_than_cluster_rejected() {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.coding = Some(CodingConfig {
+            n: 5,
+            k: 2,
+            policy: RedundancyPolicy::KOnly,
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn coding_with_timeout_retry_rejected() {
+        let mut cfg = ClusterConfig::paper_s1();
+        cfg.coding = Some(CodingConfig {
+            n: 4,
+            k: 2,
+            policy: RedundancyPolicy::KOnly,
+        });
+        cfg.timeout_retry = Some(TimeoutRetry {
+            timeout: 0.2,
+            max_retries: 1,
+        });
+        cfg.validate();
     }
 
     #[test]

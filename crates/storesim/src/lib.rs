@@ -32,7 +32,8 @@ pub use cache::{BernoulliCache, Cache, Lookup, LruCache};
 pub use calibration::{benchmark_disk, benchmark_parse, DiskBenchmark, ParseBenchmark};
 pub use chaos::{ChaosSchedule, Fault};
 pub use config::{
-    AcceptMode, CacheConfig, ClusterConfig, DeviceOverride, DiskOpKind, DiskProfile, TimeoutRetry,
+    AcceptMode, CacheConfig, ClusterConfig, CodingConfig, DeviceOverride, DiskOpKind, DiskProfile,
+    RedundancyPolicy, TimeoutRetry,
 };
 pub use metrics::{CompletedRequest, DeviceCounters, Metrics, MetricsConfig, OpSample};
 pub use sim::{run_simulation, Simulation, PARTITIONS, REPLICAS};

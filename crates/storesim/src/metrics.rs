@@ -156,6 +156,9 @@ pub struct Metrics {
     op_counter: u64,
     completed: u64,
     retries: u64,
+    coded_launched: u64,
+    coded_finished: u64,
+    coded_cancelled: u64,
 }
 
 impl Metrics {
@@ -173,6 +176,9 @@ impl Metrics {
             op_counter: 0,
             completed: 0,
             retries: 0,
+            coded_launched: 0,
+            coded_finished: 0,
+            coded_cancelled: 0,
             config,
         }
     }
@@ -288,6 +294,39 @@ impl Metrics {
     /// Total frontend timeout retries issued.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Records a coded sub-request entering a backend pool.
+    pub fn coded_launch(&mut self) {
+        self.coded_launched += 1;
+    }
+
+    /// Records a coded sub-request whose data read ran to completion
+    /// (winners and losers alike).
+    pub fn coded_finish(&mut self) {
+        self.coded_finished += 1;
+    }
+
+    /// Records a coded sub-request dropped at a lazy-cancellation point.
+    pub fn coded_cancel(&mut self) {
+        self.coded_cancelled += 1;
+    }
+
+    /// Coded sub-requests launched. After a full drain,
+    /// `coded_launched == coded_finished + coded_cancelled` — the
+    /// op-conservation invariant the chaos regression asserts.
+    pub fn coded_launched(&self) -> u64 {
+        self.coded_launched
+    }
+
+    /// Coded sub-requests that ran their data read to completion.
+    pub fn coded_finished(&self) -> u64 {
+        self.coded_finished
+    }
+
+    /// Coded sub-requests cancelled before reading data.
+    pub fn coded_cancelled(&self) -> u64 {
+        self.coded_cancelled
     }
 
     /// Observed fraction of requests meeting `slas[sla_idx]` in window

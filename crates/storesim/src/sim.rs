@@ -26,7 +26,7 @@
 
 use crate::cache::{build_cache, Cache, Lookup};
 use crate::chaos::ChaosSchedule;
-use crate::config::{AcceptMode, ClusterConfig, DiskOpKind};
+use crate::config::{AcceptMode, ClusterConfig, DiskOpKind, RedundancyPolicy};
 use crate::metrics::{CompletedRequest, Metrics, MetricsConfig};
 use crate::telemetry::{SimTelemetry, TelemetrySink};
 use cos_distr::DynService;
@@ -53,6 +53,8 @@ struct Request {
     wta: f64,
     /// Index into the retry-state table; `u32::MAX` when timeouts are off.
     id: u32,
+    /// Index into the fork-join table; `u32::MAX` for uncoded requests.
+    fj: u32,
 }
 
 /// Retry bookkeeping for one logical request (only allocated when the
@@ -66,6 +68,23 @@ struct ReqState {
     object: ObjectId,
     size: u32,
     arrival: f64,
+}
+
+/// Join bookkeeping for one coded logical read (allocated only when the
+/// cluster has a [`crate::config::CodingConfig`]).
+#[derive(Debug, Clone)]
+struct FjState {
+    /// Sub-request completions still required.
+    needed: u32,
+    /// Set once the k-th chunk read finishes: the logical response has
+    /// started and every other sub-request becomes a cancellation target.
+    done: bool,
+    arrival: f64,
+    object: ObjectId,
+    sub_size: u32,
+    /// Stripe devices held back by [`RedundancyPolicy::Deferred`], launched
+    /// only if the read is still incomplete when the delay fires.
+    reserve: Vec<u16>,
 }
 
 /// An entry in a backend process's operation queue.
@@ -132,6 +151,9 @@ enum Ev {
     },
     /// Frontend timeout check for a logical request.
     Timeout { req: u32 },
+    /// Deferred-redundancy deadline for a coded read: launch the reserve
+    /// sub-requests if the read has not completed yet.
+    Redundant { fj: u32 },
 }
 
 struct BeProc {
@@ -177,6 +199,7 @@ pub struct Simulation {
     partition_replicas: Vec<[u16; REPLICAS]>,
     disk_profiles: Vec<crate::config::DiskProfile>,
     req_states: Vec<ReqState>,
+    fj_states: Vec<FjState>,
     metrics: Metrics,
     telemetry: Option<Box<dyn TelemetrySink>>,
     chaos: ChaosSchedule,
@@ -243,6 +266,7 @@ impl Simulation {
             partition_replicas,
             disk_profiles,
             req_states: Vec::new(),
+            fj_states: Vec::new(),
             metrics,
             telemetry: None,
             // The chaos stream exists even without a schedule so that
@@ -327,6 +351,7 @@ impl Simulation {
                     self.pump(now, dev as usize, proc as usize);
                 }
                 Ev::Timeout { req } => self.on_timeout(now, req),
+                Ev::Redundant { fj } => self.on_redundant(now, fj),
             }
         }
         self.metrics
@@ -389,6 +414,7 @@ impl Simulation {
             be_enqueue: 0.0,
             wta: 0.0,
             id,
+            fj: u32::MAX,
         };
         // ssbench sends each request to a random frontend process.
         let fe = self.route_rng.gen_range(0..self.fe_queue.len());
@@ -411,7 +437,11 @@ impl Simulation {
         let req = self.fe_current[fe]
             .take()
             .expect("frontend finished without a request");
-        self.route_to_backend(now, req);
+        if self.cfg.coding.is_some() {
+            self.fork_coded(now, req);
+        } else {
+            self.route_to_backend(now, req);
+        }
         if let Some(next) = self.fe_queue[fe].pop_front() {
             self.start_fe(now, fe, next);
         } else {
@@ -419,7 +449,7 @@ impl Simulation {
         }
     }
 
-    fn route_to_backend(&mut self, now: f64, mut req: Request) {
+    fn route_to_backend(&mut self, now: f64, req: Request) {
         let partition = req.object as usize % PARTITIONS;
         let replicas = self.partition_replicas[partition];
         // Prefer an untried replica (relevant only on retries).
@@ -456,6 +486,12 @@ impl Simulation {
                 }
             }
         }
+        self.enqueue_backend(now, req, device);
+    }
+
+    /// The shared tail of replica routing and coded fan-out: draw a process
+    /// of `device`, pool the request, and schedule its accept.
+    fn enqueue_backend(&mut self, now: f64, mut req: Request, device: usize) {
         let proc = self.route_rng.gen_range(0..self.cfg.processes_per_device);
         req.device = device as u16;
         req.pool_enter = now;
@@ -483,6 +519,83 @@ impl Simulation {
         self.pump(now, device, proc);
     }
 
+    // ---- coded reads ---------------------------------------------------
+
+    /// Fans a coded logical read out over its stripe. Chunk `i` of an
+    /// object in partition `p` lives on device `(p + i) mod D` — the coded
+    /// analogue of the replica table, deterministic given placement. The
+    /// launch *order* is a partial Fisher–Yates from the routing stream, so
+    /// k-only reads pick a uniform k-subset of the stripe. Coded reads
+    /// bypass the replica table and chaos device-loss failover: an erasure
+    /// code tolerates a lost device through `k < n`, not by re-routing.
+    fn fork_coded(&mut self, now: f64, req: Request) {
+        let coding = self.cfg.coding.expect("fork_coded without coding config");
+        let partition = req.object as usize % PARTITIONS;
+        let mut stripe: Vec<u16> = (0..coding.n)
+            .map(|i| ((partition + i) % self.cfg.devices) as u16)
+            .collect();
+        let launch_count = match coding.policy {
+            RedundancyPolicy::Eager => coding.n,
+            RedundancyPolicy::KOnly | RedundancyPolicy::Deferred { .. } => coding.k,
+        };
+        for i in 0..launch_count.min(stripe.len().saturating_sub(1)) {
+            let j = self.route_rng.gen_range(i..stripe.len());
+            stripe.swap(i, j);
+        }
+        let reserve: Vec<u16> = stripe[launch_count..].to_vec();
+        let fj = self.fj_states.len() as u32;
+        self.fj_states.push(FjState {
+            needed: coding.k as u32,
+            done: false,
+            arrival: req.arrival,
+            object: req.object,
+            sub_size: req.size.div_ceil(coding.k as u32).max(1),
+            reserve,
+        });
+        if let RedundancyPolicy::Deferred { delay } = coding.policy {
+            self.cal.schedule_in(delay, Ev::Redundant { fj });
+        }
+        for &dev in stripe.iter().take(launch_count) {
+            self.launch_sub(now, fj, dev);
+        }
+    }
+
+    /// Puts one chunk sub-request of coded read `fj` in flight on `device`.
+    fn launch_sub(&mut self, now: f64, fj: u32, device: u16) {
+        let st = &self.fj_states[fj as usize];
+        let sub = Request {
+            arrival: st.arrival,
+            object: st.object,
+            size: st.sub_size,
+            device,
+            pool_enter: 0.0,
+            be_enqueue: 0.0,
+            wta: 0.0,
+            id: u32::MAX,
+            fj,
+        };
+        self.metrics.coded_launch();
+        self.enqueue_backend(now, sub, device as usize);
+    }
+
+    /// Deferred-redundancy deadline: if the read is still incomplete,
+    /// launch the held-back stripe devices.
+    fn on_redundant(&mut self, now: f64, fj: u32) {
+        if self.fj_states[fj as usize].done {
+            return;
+        }
+        let extra = std::mem::take(&mut self.fj_states[fj as usize].reserve);
+        for dev in extra {
+            self.launch_sub(now, fj, dev);
+        }
+    }
+
+    /// Whether a pooled/queued sub-request belongs to a coded read that has
+    /// already completed — the lazy-cancellation test.
+    fn fj_cancelled(&self, req: &Request) -> bool {
+        req.fj != u32::MAX && self.fj_states[req.fj as usize].done
+    }
+
     // ---- backend tier --------------------------------------------------
 
     /// Starts operations while the process is idle and work is queued.
@@ -490,8 +603,20 @@ impl Simulation {
         if self.procs[dev][proc].busy {
             return;
         }
-        let Some(op) = self.procs[dev][proc].queue.pop_front() else {
-            return;
+        let op = loop {
+            let Some(op) = self.procs[dev][proc].queue.pop_front() else {
+                return;
+            };
+            // Lazy cancellation: a handle whose coded read already
+            // completed is dropped at the pop and never occupies the
+            // process.
+            if let Op::Handle(req) = &op {
+                if self.fj_cancelled(req) {
+                    self.metrics.coded_cancel();
+                    continue;
+                }
+            }
+            break op;
         };
         self.procs[dev][proc].busy = true;
         match op {
@@ -641,13 +766,19 @@ impl Simulation {
             Exec::Accept => {
                 match self.cfg.accept_mode {
                     AcceptMode::PerConnection => {
-                        // Serve exactly the oldest pooled connection.
+                        // Serve exactly the oldest pooled connection; a
+                        // connection whose coded read already completed is
+                        // closed without handling.
                         if let Some(mut req) = self.procs[dev][proc].pool.pop_front() {
-                            let wta = now - req.pool_enter;
-                            self.metrics.wta(dev as u16, wta);
-                            req.wta = wta;
-                            req.be_enqueue = now;
-                            self.procs[dev][proc].queue.push_back(Op::Handle(req));
+                            if self.fj_cancelled(&req) {
+                                self.metrics.coded_cancel();
+                            } else {
+                                let wta = now - req.pool_enter;
+                                self.metrics.wta(dev as u16, wta);
+                                req.wta = wta;
+                                req.be_enqueue = now;
+                                self.procs[dev][proc].queue.push_back(Op::Handle(req));
+                            }
                         }
                     }
                     AcceptMode::Batched => {
@@ -655,6 +786,10 @@ impl Simulation {
                         let pool = std::mem::take(&mut self.procs[dev][proc].pool);
                         self.procs[dev][proc].accept_pending = false;
                         for mut req in pool {
+                            if self.fj_cancelled(&req) {
+                                self.metrics.coded_cancel();
+                                continue;
+                            }
                             let wta = now - req.pool_enter;
                             self.metrics.wta(dev as u16, wta);
                             req.wta = wta;
@@ -665,96 +800,18 @@ impl Simulation {
                 }
                 self.finish_op(now, dev, proc);
             }
-            Exec::Handle { req, stage } => match stage {
-                HandleStage::Parse => {
-                    self.procs[dev][proc].exec = Some(Exec::Handle {
-                        req,
-                        stage: HandleStage::Index,
-                    });
-                    self.start_disk_stage(
-                        now,
-                        req.arrival,
-                        dev,
-                        proc,
-                        DiskOpKind::Index,
-                        req.object,
-                        0,
-                    );
-                }
-                HandleStage::Index => {
-                    self.procs[dev][proc].exec = Some(Exec::Handle {
-                        req,
-                        stage: HandleStage::Meta,
-                    });
-                    self.start_disk_stage(
-                        now,
-                        req.arrival,
-                        dev,
-                        proc,
-                        DiskOpKind::Meta,
-                        req.object,
-                        0,
-                    );
-                }
-                HandleStage::Meta => {
-                    self.procs[dev][proc].exec = Some(Exec::Handle {
-                        req,
-                        stage: HandleStage::Data,
-                    });
-                    self.start_disk_stage(
-                        now,
-                        req.arrival,
-                        dev,
-                        proc,
-                        DiskOpKind::Data,
-                        req.object,
-                        0,
-                    );
-                }
-                HandleStage::Data => {
-                    // First chunk read: the response starts now (Eq. 1).
-                    // With retries, only the first attempt to respond counts
-                    // (later attempts are wasted work, as in real Swift).
-                    let record = if req.id != u32::MAX {
-                        let state = &mut self.req_states[req.id as usize];
-                        let first = !state.completed;
-                        state.completed = true;
-                        first
-                    } else {
-                        true
-                    };
-                    if record {
-                        self.metrics.complete(CompletedRequest {
-                            arrival: req.arrival,
-                            latency: now - req.arrival,
-                            be_latency: now - req.be_enqueue,
-                            wta: req.wta,
-                            device: dev as u16,
-                        });
-                        self.emit(SimTelemetry::Completed {
-                            arrival: req.arrival,
-                            completed_at: now,
-                            latency: now - req.arrival,
-                            device: dev as u16,
-                        });
-                    }
-                    let chunks = self.cfg.chunks_for(req.size);
-                    if chunks > 1 {
-                        self.cal.schedule_in(
-                            self.net_time,
-                            Ev::NetDone {
-                                dev: dev as u16,
-                                proc: proc as u16,
-                                object: req.object,
-                                chunk_idx: 1,
-                                remaining: chunks - 1,
-                                arrival: req.arrival,
-                            },
-                        );
-                    }
+            Exec::Handle { req, stage } => {
+                // Lazy cancellation at stage boundaries: a coded sub-request
+                // whose read completed elsewhere finishes the stage it was
+                // in (the CPU/disk time is already spent) but advances no
+                // further — in particular it issues no more disk reads.
+                if stage != HandleStage::Data && self.fj_cancelled(&req) {
+                    self.metrics.coded_cancel();
                     self.finish_op(now, dev, proc);
+                    return;
                 }
-            },
+                self.advance_handle(now, dev, proc, req, stage);
+            }
             Exec::Chunk {
                 object,
                 chunk_idx,
@@ -771,6 +828,117 @@ impl Simulation {
                             chunk_idx: chunk_idx + 1,
                             remaining: remaining - 1,
                             arrival,
+                        },
+                    );
+                }
+                self.finish_op(now, dev, proc);
+            }
+        }
+    }
+
+    /// Moves a handle operation to its next stage after the previous one
+    /// completed (the body of [`Self::stage_complete`]'s handle arm).
+    fn advance_handle(
+        &mut self,
+        now: f64,
+        dev: usize,
+        proc: usize,
+        req: Request,
+        stage: HandleStage,
+    ) {
+        match stage {
+            HandleStage::Parse => {
+                self.procs[dev][proc].exec = Some(Exec::Handle {
+                    req,
+                    stage: HandleStage::Index,
+                });
+                self.start_disk_stage(
+                    now,
+                    req.arrival,
+                    dev,
+                    proc,
+                    DiskOpKind::Index,
+                    req.object,
+                    0,
+                );
+            }
+            HandleStage::Index => {
+                self.procs[dev][proc].exec = Some(Exec::Handle {
+                    req,
+                    stage: HandleStage::Meta,
+                });
+                self.start_disk_stage(now, req.arrival, dev, proc, DiskOpKind::Meta, req.object, 0);
+            }
+            HandleStage::Meta => {
+                self.procs[dev][proc].exec = Some(Exec::Handle {
+                    req,
+                    stage: HandleStage::Data,
+                });
+                self.start_disk_stage(now, req.arrival, dev, proc, DiskOpKind::Data, req.object, 0);
+            }
+            HandleStage::Data => {
+                // First chunk read: the response starts now (Eq. 1).
+                // With retries, only the first attempt to respond counts
+                // (later attempts are wasted work, as in real Swift).
+                let mut record = if req.id != u32::MAX {
+                    let state = &mut self.req_states[req.id as usize];
+                    let first = !state.completed;
+                    state.completed = true;
+                    first
+                } else {
+                    true
+                };
+                // Coded join: only the k-th sub-request completion starts
+                // the logical response. Earlier completions are silent
+                // progress; a straggler that finished after the join (its
+                // data read was already on disk when the read completed)
+                // counts as finished work but transmits nothing further.
+                let mut skip_chunks = false;
+                if req.fj != u32::MAX {
+                    self.metrics.coded_finish();
+                    let st = &mut self.fj_states[req.fj as usize];
+                    if st.done {
+                        record = false;
+                        skip_chunks = true;
+                    } else {
+                        st.needed -= 1;
+                        if st.needed == 0 {
+                            st.done = true;
+                            // Never-launched deferred spares die with the
+                            // join; pooled/queued stragglers are cancelled
+                            // lazily at their next scheduling point.
+                            st.reserve.clear();
+                        } else {
+                            record = false;
+                        }
+                    }
+                }
+                if record {
+                    self.metrics.complete(CompletedRequest {
+                        arrival: req.arrival,
+                        latency: now - req.arrival,
+                        be_latency: now - req.be_enqueue,
+                        wta: req.wta,
+                        device: dev as u16,
+                    });
+                    self.emit(SimTelemetry::Completed {
+                        arrival: req.arrival,
+                        completed_at: now,
+                        latency: now - req.arrival,
+                        device: dev as u16,
+                    });
+                }
+                let chunks = self.cfg.chunks_for(req.size);
+                if chunks > 1 && !skip_chunks {
+                    self.cal.schedule_in(
+                        self.net_time,
+                        Ev::NetDone {
+                            dev: dev as u16,
+                            proc: proc as u16,
+                            object: req.object,
+                            chunk_idx: 1,
+                            remaining: chunks - 1,
+                            arrival: req.arrival,
                         },
                     );
                 }
@@ -796,6 +964,7 @@ impl Simulation {
             be_enqueue: 0.0,
             wta: 0.0,
             id: req_id,
+            fj: u32::MAX,
         };
         self.route_to_backend(now, retry);
     }
@@ -1275,5 +1444,130 @@ mod tests {
             assert_eq!(s.was_miss, s.latency > threshold, "sample {s:?}");
         }
         assert!(!m.op_samples().is_empty());
+    }
+
+    fn coded_config(n: usize, k: usize, policy: RedundancyPolicy) -> ClusterConfig {
+        ClusterConfig {
+            devices: n.max(4),
+            coding: Some(crate::config::CodingConfig { n, k, policy }),
+            ..quiet_config()
+        }
+    }
+
+    #[test]
+    fn coded_unloaded_read_completes_once_at_parse_cost() {
+        // (4,2) without redundancy: both chunk reads run in parallel on
+        // idle devices, so the k-th completion lands at the same instant a
+        // replicated GET would — and exactly one logical record is kept.
+        let cfg = coded_config(4, 2, RedundancyPolicy::KOnly);
+        let want = 0.0003 + cfg.accept_cost + 0.0005 + 3.0 * cfg.mem_latency;
+        let n = 200;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(n, 0.5, 1000));
+        assert_eq!(m.completed(), n as u64);
+        assert_eq!(m.raw().len(), n);
+        for r in m.raw() {
+            assert!((r.latency - want).abs() < 1e-9, "latency {}", r.latency);
+        }
+        // k-only: every launched sub-request is needed, nothing cancels.
+        assert_eq!(m.coded_launched(), 2 * n as u64);
+        assert_eq!(m.coded_finished(), 2 * n as u64);
+        assert_eq!(m.coded_cancelled(), 0);
+    }
+
+    #[test]
+    fn eager_redundancy_cancels_stragglers_without_leaks() {
+        let mut cfg = coded_config(4, 2, RedundancyPolicy::Eager);
+        cfg.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
+        let n = 600;
+        let m = run_simulation(cfg, mcfg(1e9), sparse_trace(n, 0.02, 1000));
+        assert_eq!(m.completed(), n as u64);
+        assert_eq!(m.coded_launched(), 4 * n as u64);
+        // Op conservation after the drain: every launched sub-request
+        // either ran its data read or was cancelled, never both or neither.
+        assert_eq!(m.coded_launched(), m.coded_finished() + m.coded_cancelled());
+        assert!(
+            m.coded_cancelled() > 0,
+            "disk-bound stragglers should be cancelled under load"
+        );
+    }
+
+    #[test]
+    fn deferred_spares_launch_only_when_the_read_is_slow() {
+        // Generous delay on an unloaded cluster: reads finish in ~1.3 ms,
+        // far below the deadline, so no spare is ever launched.
+        let quiet = coded_config(4, 2, RedundancyPolicy::Deferred { delay: 1.0 });
+        let n = 200;
+        let m = run_simulation(quiet, mcfg(1e9), sparse_trace(n, 0.5, 1000));
+        assert_eq!(m.coded_launched(), 2 * n as u64, "no deferred launches");
+        assert_eq!(m.coded_cancelled(), 0);
+
+        // Tight deadline on a disk-bound cluster: spares do launch, and
+        // conservation still holds through the cancellations they cause.
+        let mut slow = coded_config(4, 2, RedundancyPolicy::Deferred { delay: 0.002 });
+        slow.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
+        let m = run_simulation(slow, mcfg(1e9), sparse_trace(n, 0.05, 1000));
+        assert_eq!(m.completed(), n as u64);
+        assert!(
+            m.coded_launched() > 2 * n as u64,
+            "slow reads must trigger deferred spares, launched {}",
+            m.coded_launched()
+        );
+        assert!(m.coded_launched() <= 4 * n as u64);
+        assert_eq!(m.coded_launched(), m.coded_finished() + m.coded_cancelled());
+    }
+
+    #[test]
+    fn coded_runs_are_deterministic_given_seed() {
+        let trace = sparse_trace(400, 0.01, 1000);
+        let cfg = || coded_config(6, 4, RedundancyPolicy::Eager);
+        let a = run_simulation(cfg(), mcfg(1e9), trace.clone());
+        let b = run_simulation(cfg(), mcfg(1e9), trace.clone());
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.coded_cancelled(), b.coded_cancelled());
+        let mut other = cfg();
+        other.seed = 999;
+        let c = run_simulation(other, mcfg(1e9), trace);
+        assert_ne!(a.raw(), c.raw());
+    }
+
+    #[test]
+    fn eager_beats_k_only_under_disk_load() {
+        // The point of redundant requests: at moderate disk-bound load the
+        // k-of-n join of n launches has a lighter tail than the k-of-k.
+        // (The rate matters: eager redundancy adds 50% device load here, so
+        // at high utilization the extra queueing would swamp the gain.)
+        let mut konly = coded_config(6, 4, RedundancyPolicy::KOnly);
+        konly.cache = CacheConfig::Bernoulli {
+            index_miss: 1.0,
+            meta_miss: 1.0,
+            data_miss: 1.0,
+        };
+        let mut eager = konly.clone();
+        eager.coding = Some(crate::config::CodingConfig {
+            n: 6,
+            k: 4,
+            policy: RedundancyPolicy::Eager,
+        });
+        let trace = sparse_trace(1200, 0.1, 1000);
+        let mk = run_simulation(konly, mcfg(1e9), trace.clone());
+        let me = run_simulation(eager, mcfg(1e9), trace);
+        let p99 = |m: &Metrics| {
+            let mut lat: Vec<f64> = m.raw().iter().map(|r| r.latency).collect();
+            cos_stats::exact_percentile(&mut lat, 0.99)
+        };
+        assert!(
+            p99(&me) < p99(&mk),
+            "eager p99 {} should beat k-only p99 {}",
+            p99(&me),
+            p99(&mk)
+        );
     }
 }

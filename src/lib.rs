@@ -74,6 +74,7 @@ pub use cos_gate as gate;
 pub use cos_model as model;
 pub use cos_numeric as numeric;
 pub use cos_obs as obs;
+pub use cos_par as par;
 pub use cos_queueing as queueing;
 pub use cos_serve as serve;
 pub use cos_simkit as simkit;
@@ -102,8 +103,8 @@ pub use error::CosError;
 ///   [`crate::gate`], [`crate::obs`], …): public and documented, but may
 ///   be reshaped between minor versions as the reproduction grows.
 /// * **Tier 3 — internal.** The numeric/simulation plumbing crates
-///   ([`crate::numeric`], [`crate::simkit`], [`crate::queueing`] — plus
-///   `cos-par`): exported for the benchmark harness and tests; no
+///   ([`crate::numeric`], [`crate::simkit`], [`crate::queueing`],
+///   [`crate::par`]): exported for the benchmark harness and tests; no
 ///   stability promise at all.
 pub mod prelude {
     // Tier 1: the analytic model — parameters in, percentile out.

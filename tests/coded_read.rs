@@ -1,0 +1,162 @@
+//! Chaos regression for erasure-coded reads: under a straggling stripe
+//! device, eager redundancy must cut the simulated tail against the
+//! no-redundancy baseline on the *same seeded run*, and the straggler
+//! cancellation machinery must leak nothing — every launched sub-request
+//! is accounted for as finished or cancelled, and exactly one logical
+//! record is kept per coded read.
+//!
+//! Runs single-threaded in CI (like the control-loop suite): the cells are
+//! compared pairwise on identical seeds, so any cross-test interference in
+//! wall-clock-sensitive environments would only add noise.
+
+use cosmodel::stats::exact_percentile;
+use cosmodel::storesim::{
+    ChaosSchedule, ClusterConfig, CodingConfig, Fault, Metrics, MetricsConfig, RedundancyPolicy,
+    Simulation,
+};
+use cosmodel::workload::TraceEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const RATE: f64 = 25.0;
+const DURATION: f64 = 120.0;
+
+fn poisson_trace(rate: f64, duration: f64, chunk: u32, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    while t < duration {
+        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+        out.push(TraceEvent {
+            at: t,
+            object: rng.gen_range(0..100_000),
+            size: chunk / 2, // single-chunk objects: one data op per sub
+        });
+    }
+    out
+}
+
+fn coded_cluster(n: usize, k: usize, policy: RedundancyPolicy) -> ClusterConfig {
+    ClusterConfig {
+        devices: n,
+        coding: Some(CodingConfig { n, k, policy }),
+        ..ClusterConfig::paper_s1()
+    }
+}
+
+/// One seeded run with a straggling stripe device: every disk op on device
+/// 0 stalls 30× with probability 0.3 for the whole run.
+fn run_with_straggler(policy: RedundancyPolicy, n: usize, k: usize) -> Metrics {
+    let cfg = coded_cluster(n, k, policy);
+    let trace = poisson_trace(RATE, DURATION, cfg.chunk_size, 0x57A6);
+    Simulation::new(
+        cfg,
+        MetricsConfig {
+            slas: vec![0.050],
+            windows: vec![(DURATION * 0.2, DURATION, RATE)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+    )
+    .with_chaos(ChaosSchedule::single(Fault::Straggler {
+        device: 0,
+        prob: 0.3,
+        factor: 30.0,
+        from: 0.0,
+        until: DURATION,
+    }))
+    .run(trace)
+}
+
+fn p99(metrics: &Metrics) -> f64 {
+    let mut lat: Vec<f64> = metrics.raw().iter().map(|r| r.latency).collect();
+    assert!(
+        lat.len() > 1_000,
+        "need a populated tail, got {}",
+        lat.len()
+    );
+    exact_percentile(&mut lat, 0.99)
+}
+
+#[test]
+fn eager_redundancy_cuts_the_straggler_tail() {
+    let konly = run_with_straggler(RedundancyPolicy::KOnly, 6, 4);
+    let eager = run_with_straggler(RedundancyPolicy::Eager, 6, 4);
+    let (k_tail, e_tail) = (p99(&konly), p99(&eager));
+    // Without spares, every read whose stripe includes device 0 waits out
+    // the 30× stalls; with two spares the k-th completion dodges them.
+    assert!(
+        e_tail < k_tail * 0.8,
+        "eager p99 {e_tail:.4}s must cut k-only p99 {k_tail:.4}s by >20% under a straggler"
+    );
+}
+
+#[test]
+fn deferred_spares_also_cut_the_tail_at_lower_cost() {
+    let konly = run_with_straggler(RedundancyPolicy::KOnly, 6, 4);
+    let deferred = run_with_straggler(RedundancyPolicy::Deferred { delay: 0.030 }, 6, 4);
+    assert!(
+        p99(&deferred) < p99(&konly),
+        "30 ms deferred spares must still beat no redundancy under a straggler"
+    );
+    // Deferred launches spares only for the slow minority: it must ship
+    // strictly fewer sub-requests than an eager run of the same cell.
+    let eager = run_with_straggler(RedundancyPolicy::Eager, 6, 4);
+    assert!(
+        deferred.coded_launched() < eager.coded_launched(),
+        "deferred launched {} vs eager {}",
+        deferred.coded_launched(),
+        eager.coded_launched()
+    );
+}
+
+#[test]
+fn cancellation_conserves_every_launched_sub_request() {
+    for policy in [
+        RedundancyPolicy::KOnly,
+        RedundancyPolicy::Eager,
+        RedundancyPolicy::Deferred { delay: 0.010 },
+    ] {
+        let metrics = run_with_straggler(policy, 6, 4);
+        assert_eq!(
+            metrics.coded_launched(),
+            metrics.coded_finished() + metrics.coded_cancelled(),
+            "{policy:?}: launched must equal finished + cancelled after drain"
+        );
+        match policy {
+            RedundancyPolicy::KOnly => {
+                assert_eq!(metrics.coded_cancelled(), 0, "no spares, nothing to cancel")
+            }
+            _ => assert!(
+                metrics.coded_cancelled() > 0,
+                "{policy:?} under a straggler must cancel some stragglers"
+            ),
+        }
+    }
+}
+
+#[test]
+fn exactly_one_logical_record_per_coded_read() {
+    let cfg = coded_cluster(9, 6, RedundancyPolicy::Eager);
+    let trace = poisson_trace(RATE, 60.0, cfg.chunk_size, 0x1091CA1);
+    let logical = trace.len();
+    let metrics = Simulation::new(
+        cfg,
+        MetricsConfig {
+            slas: vec![0.050],
+            windows: vec![(0.0, 60.0, RATE)],
+            collect_raw: true,
+            op_sample_stride: 0,
+        },
+    )
+    .run(trace);
+    // The run drains: every logical read completes exactly once, no
+    // matter how many of its nine sub-requests were cancelled mid-flight,
+    // and eager launches exactly n subs per logical read.
+    assert_eq!(metrics.raw().len(), logical);
+    assert_eq!(metrics.coded_launched(), 9 * logical as u64);
+    assert_eq!(
+        metrics.coded_launched(),
+        metrics.coded_finished() + metrics.coded_cancelled()
+    );
+}

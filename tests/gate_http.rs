@@ -348,6 +348,9 @@ fn worker_and_snapshot_gates_answer_byte_identically() {
         "/v1/percentile?p=0.95",
         "/v1/headroom?sla=0.05&target=0.9",
         "/v1/bottlenecks?sla=0.05",
+        "/v1/attainment?sla=0.05&n=4&k=2",
+        "/v1/percentile?p=0.95&n=6&k=4",
+        "/v1/percentile?p=0.99&n=9&k=6",
     ];
     for target in targets {
         let (ws, wb) = worker.get(target);
@@ -377,6 +380,85 @@ fn worker_and_snapshot_gates_answer_byte_identically() {
 
     worker_gate.shutdown();
     snapshot_gate.shutdown();
+    drop(handle);
+}
+
+/// Coded-read smoke over the wire in **both** server modes: the reactor
+/// and the thread-per-connection servers must serve byte-identical coded
+/// percentile/attainment answers (same service, same epoch), the spec is
+/// echoed back, and a `k`-of-`n` join with larger `k` is never faster.
+#[test]
+fn coded_queries_answer_identically_in_both_server_modes() {
+    let mut service = SlaService::new(bare_base(), ServeConfig::default());
+    let mut i = 0u64;
+    let mut t = 0.0;
+    while t < 20.0 {
+        for d in 0..2 {
+            service.ingest(TelemetryEvent::Arrival { at: t, device: d });
+            service.ingest(TelemetryEvent::DataRead { at: t, device: d });
+            for class in OpClass::ALL {
+                let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                service.ingest(TelemetryEvent::Op {
+                    at: t,
+                    device: d,
+                    class,
+                    latency,
+                });
+                i += 1;
+            }
+            service.ingest(TelemetryEvent::Completion {
+                arrival: t,
+                latency: if i % 10 < 3 { 0.030 } else { 0.004 },
+                device: d,
+            });
+        }
+        t += 1.0 / 40.0;
+    }
+    assert!(service.refit_now(), "deterministic stream must fit");
+    let handle = service.spawn();
+
+    let gate_for = |mode: ServerMode| {
+        let config = GateConfig {
+            server_mode: mode,
+            ..GateConfig::default()
+        };
+        Gate::bind("127.0.0.1:0", handle.client(), config).expect("bind")
+    };
+    let reactor_gate = gate_for(ServerMode::Reactor);
+    let threaded_gate = gate_for(ServerMode::ThreadPerConn);
+    let mut reactor = Client::connect(reactor_gate.local_addr());
+    let mut threaded = Client::connect(threaded_gate.local_addr());
+
+    let targets = [
+        "/v1/percentile?p=0.99&n=4&k=2",
+        "/v1/percentile?p=0.99&n=4&k=4",
+        "/v1/attainment?sla=0.05&n=6&k=4",
+    ];
+    let mut p99 = Vec::new();
+    for target in targets {
+        let (rs, rb) = reactor.get(target);
+        let (ts, tb) = threaded.get(target);
+        assert_eq!(rs, 200, "reactor {target}: {rb}");
+        assert_eq!(ts, 200, "thread-per-conn {target}: {tb}");
+        assert_eq!(rb, tb, "bodies differ for {target}");
+        let doc = json::parse(&rb).unwrap();
+        assert!(doc.f64_field("n").is_ok(), "spec echoed: {rb}");
+        p99.push(doc.f64_field("value").unwrap());
+    }
+    // Needing all four chunks (a max) dominates needing any two.
+    assert!(
+        p99[1] >= p99[0],
+        "4-of-4 p99 {} < 2-of-4 {}",
+        p99[1],
+        p99[0]
+    );
+    // Malformed specs are rejected on the wire by both servers.
+    let (rs, _) = reactor.get("/v1/percentile?p=0.99&n=4&k=9");
+    let (ts, _) = threaded.get("/v1/percentile?p=0.99&n=4&k=9");
+    assert_eq!((rs, ts), (400, 400));
+
+    reactor_gate.shutdown();
+    threaded_gate.shutdown();
     drop(handle);
 }
 
