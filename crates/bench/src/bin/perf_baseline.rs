@@ -1,5 +1,5 @@
 //! Machine-readable perf baseline for the inversion, sweep, gate
-//! read-path, admission-controller, and coded-read hot paths.
+//! read-path, admission-controller, coded-read, and fleet-refit hot paths.
 //!
 //! Measures the composite-model CDF, quantile, sweep-grid, multi-client
 //! gate throughput, per-request admission cost, and coded-read prediction
@@ -30,8 +30,16 @@
 //!       admission decision blows its absolute budget, if the snapshot
 //!       read path fails to beat the worker path at 4 concurrent clients,
 //!       if the reactor serves warm 16-client load slower than the
-//!       thread-per-connection server, or if any coded-read cell breaks
-//!       its bracket / accuracy / inversion-cost budget
+//!       thread-per-connection server, if any coded-read cell breaks
+//!       its bracket / accuracy / inversion-cost budget, if the batched
+//!       fleet refit fails its speedup floor (full runs on boxes with
+//!       >= 4 workers only), or if a ~5% delta publish ships more than a
+//!       quarter of the full-state bytes
+//!
+//! Full runs additionally write `BENCH_fleet.json`: full-fleet refit
+//! wall-time (sequential vs batched over `cos-par`) and warm snapshot
+//! read latency at 64/512/2048 devices x 16/128 tenants, plus the
+//! delta-vs-full publication byte accounting.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -47,7 +55,10 @@ use cos_model::{
 };
 use cos_numeric::{quantile_from_lst, CountingLaplaceFn, InversionConfig};
 use cos_queueing::{from_distribution, from_dyn_service};
-use cos_serve::{CalibrationBase, OpClass, ServeConfig, ServiceHandle, SlaService, TelemetryEvent};
+use cos_serve::{
+    CalibrationBase, OpClass, Query, ServeConfig, ServiceHandle, SlaService, TelemetryEvent,
+    TenantId,
+};
 use cos_stats::exact_percentile;
 use cos_storesim::{
     run_simulation, ClusterConfig, CodingConfig, DiskOpKind, MetricsConfig, RedundancyPolicy,
@@ -719,6 +730,128 @@ fn measure_coded(quick: bool) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
     (baseline, current)
 }
 
+// --- fleet-scale multi-tenant refit + snapshot reads ----------------------
+
+/// Minimum batched-over-sequential refit speedup at the largest fleet cell
+/// (2048 devices, 16 tenants), enforced in `--check` mode — but only when
+/// the run measured that cell (full mode) *and* the container actually has
+/// parallelism to exploit (`cos_par::default_workers() >= 4`); a 1-CPU CI
+/// box cannot speed anything up.
+const FLEET_REFIT_MIN_SPEEDUP: f64 = 2.0;
+
+/// Maximum `delta_bytes / full_bytes` for a delta publish touching ~5% of
+/// the fleet, enforced unconditionally in `--check` mode: republishing the
+/// whole fleet when 6 of 128 tenants changed would be a protocol
+/// regression, not noise.
+const FLEET_DELTA_MAX_RATIO: f64 = 0.25;
+
+/// Calibration base for a `devices`-wide tenant shard.
+fn fleet_base(devices: usize) -> CalibrationBase {
+    CalibrationBase {
+        devices,
+        ..gate_base()
+    }
+}
+
+/// Fleet cells: total devices spread over per-tenant shards, a sequential
+/// (`workers = 1`) versus batched (`workers = default`) full-fleet refit
+/// wall-time per cell, warm snapshot-read latency round-robining tenants,
+/// and one delta-publication cell (6 of 128 tenants touched). `baseline`
+/// carries the sequential refits, `current` the batched ones plus the read
+/// and delta metrics.
+#[allow(clippy::type_complexity)]
+fn measure_fleet(quick: bool) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+    use cos_storesim::{FleetConfig, FleetScenario};
+    let workers = cos_par::default_workers();
+    let cells: &[(usize, usize)] = if quick {
+        &[(64, 16)]
+    } else {
+        &[
+            (64, 16),
+            (512, 16),
+            (2048, 16),
+            (64, 128),
+            (512, 128),
+            (2048, 128),
+        ]
+    };
+    let mut baseline = Vec::new();
+    let mut current = Vec::new();
+    current.push(("fleet_workers".to_string(), workers as f64));
+
+    let build = |total: usize, tenants: usize| {
+        let per_tenant = (total / tenants).max(1);
+        let scenario = FleetScenario::new(FleetConfig {
+            tenants,
+            devices: per_tenant,
+            rate_per_device: 40.0,
+            duration: 1.5,
+            seed: 0xF1EE,
+        })
+        .expect("valid fleet cell");
+        // Manual cadence: the refit being timed must be the only one.
+        let config = ServeConfig::builder()
+            .refit_interval(1e9)
+            .build()
+            .expect("valid config");
+        let mut service = SlaService::new(fleet_base(per_tenant), config);
+        for (tenant, ev) in scenario.tagged_stream() {
+            service.ingest_for(&tenant, ev);
+        }
+        (service, scenario)
+    };
+
+    for &(total, tenants) in cells {
+        let (mut service, scenario) = build(total, tenants);
+        let start = Instant::now();
+        service.refit_fleet(1);
+        let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        service.refit_fleet(workers);
+        let par_ms = start.elapsed().as_secs_f64() * 1e3;
+        baseline.push((format!("fleet_refit_seq_ms_d{total}_t{tenants}"), seq_ms));
+        current.push((format!("fleet_refit_par_ms_d{total}_t{tenants}"), par_ms));
+        if (total, tenants) == (2048, 16) {
+            current.push(("fleet_refit_speedup_d2048_t16".to_string(), seq_ms / par_ms));
+        }
+
+        // Warm lock-free reads, round-robining the tenants so the per-
+        // tenant cache keys all stay live.
+        let reader = service.reader();
+        let ids: Vec<TenantId> = (0..tenants).map(|i| scenario.tenant_id(i)).collect();
+        let iters = if quick { 2_000 } else { 20_000 };
+        let start = Instant::now();
+        for i in 0..iters {
+            let q = Query::tenant(ids[i % ids.len()].clone()).sla(0.05);
+            std::hint::black_box(reader.attainment(&q).ok());
+        }
+        let read_us = start.elapsed().as_secs_f64() / iters as f64 * 1e6;
+        current.push((format!("fleet_read_us_d{total}_t{tenants}"), read_us));
+    }
+
+    // Delta cell: 128 four-device tenants fully fitted, then fresh
+    // telemetry for 6 of them (≈5% of fits) and one delta publish.
+    let (mut service, scenario) = build(512, 128);
+    service.refit_fleet(workers);
+    for i in 0..6 {
+        let tenant = scenario.tenant_id(i);
+        for ev in scenario.events_for(i) {
+            service.ingest_for(&tenant, ev);
+        }
+    }
+    service.refit_now();
+    let stats = service.last_publish_stats();
+    current.push((
+        "fleet_delta_republished".to_string(),
+        stats.republished as f64,
+    ));
+    current.push(("fleet_delta_tenants".to_string(), stats.tenants as f64));
+    current.push(("fleet_delta_bytes".to_string(), stats.delta_bytes as f64));
+    current.push(("fleet_full_bytes".to_string(), stats.full_bytes as f64));
+    current.push(("fleet_delta_ratio".to_string(), stats.delta_ratio()));
+    (baseline, current)
+}
+
 /// Borrowed `(&str, f64)` view for the helpers that predate owned keys.
 fn as_refs(rows: &[(String, f64)]) -> Vec<(&str, f64)> {
     rows.iter().map(|(k, v)| (k.as_str(), *v)).collect()
@@ -792,6 +925,7 @@ fn main() {
     let (gate_tpc, gate_reactor) = measure_gate(quick);
     let (ctrl_off, ctrl_on) = measure_ctrl(quick);
     let (coded_base, coded_cur) = measure_coded(quick);
+    let (fleet_base_rows, fleet_cur) = measure_fleet(quick);
     print_metrics("inversion", &inv);
     print_metrics("sweep", &sweep);
     print_metrics("obs", &obs);
@@ -801,6 +935,8 @@ fn main() {
     print_metrics("ctrl.on", &ctrl_on);
     print_metrics("coded.naive", &as_refs(&coded_base));
     print_metrics("coded.forkjoin", &as_refs(&coded_cur));
+    print_metrics("fleet.sequential", &as_refs(&fleet_base_rows));
+    print_metrics("fleet.batched", &as_refs(&fleet_cur));
     let warm_4c_ratio = metric(&gate_tpc, "snapshot_warm_4c_best_rps")
         / metric(&gate_tpc, "worker_warm_4c_best_rps");
     println!("gate.warm_4c_ratio (snapshot/worker): {warm_4c_ratio:.2}x");
@@ -883,6 +1019,39 @@ fn main() {
             "check: coded bounds bracket all 6 cells, worst inversion {coded_inv_us:.1} us \
              within the {CODED_PERCENTILE_BUDGET_US} us budget"
         );
+        // Fleet budgets: batched refit speedup only when the run measured
+        // the largest cell *and* the box has real parallelism; the delta
+        // ratio is a protocol property and holds on any machine.
+        let fleet_refs = as_refs(&fleet_cur);
+        let fleet_workers = metric(&fleet_refs, "fleet_workers");
+        if let Some(&(_, speedup)) = fleet_refs
+            .iter()
+            .find(|(k, _)| *k == "fleet_refit_speedup_d2048_t16")
+        {
+            if fleet_workers >= 4.0 && speedup < FLEET_REFIT_MIN_SPEEDUP {
+                eprintln!(
+                    "check: FAILED: fleet refit speedup {speedup:.2}x at 2048 devices \
+                     (need >= {FLEET_REFIT_MIN_SPEEDUP}x with {fleet_workers} workers)"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "check: fleet refit {speedup:.2}x sequential at 2048 devices \
+                 ({fleet_workers} workers)"
+            );
+        }
+        let delta_ratio = metric(&fleet_refs, "fleet_delta_ratio");
+        if delta_ratio > FLEET_DELTA_MAX_RATIO {
+            eprintln!(
+                "check: FAILED: fleet delta publish {delta_ratio:.3} of full-state bytes \
+                 (budget <= {FLEET_DELTA_MAX_RATIO}) with ~5% of fits changed"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check: fleet delta publish ships {delta_ratio:.3} of full-state bytes \
+             (<= {FLEET_DELTA_MAX_RATIO})"
+        );
         match check("BENCH_coded.json", &coded_refs) {
             Ok(()) => println!("check: ok (no metric regressed past 2x of BENCH_coded.json)"),
             Err(msg) => {
@@ -927,9 +1096,14 @@ fn main() {
             to_json(&as_refs(&coded_base), &as_refs(&coded_cur)).to_string_pretty(),
         )
         .expect("write BENCH_coded.json");
+        std::fs::write(
+            "BENCH_fleet.json",
+            to_json(&as_refs(&fleet_base_rows), &as_refs(&fleet_cur)).to_string_pretty(),
+        )
+        .expect("write BENCH_fleet.json");
         println!(
             "wrote BENCH_inversion.json, BENCH_sweep.json, BENCH_gate.json, BENCH_ctrl.json, \
-             BENCH_coded.json"
+             BENCH_coded.json, BENCH_fleet.json"
         );
     }
 }

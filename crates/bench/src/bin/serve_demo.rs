@@ -18,8 +18,10 @@ use std::sync::Arc;
 
 use cos_bench::report::parse_scale;
 use cos_bench::scenario::{calibrate, estimate_miss_ratios, Scenario};
-use cos_model::{DeviceParams, FrontendParams, ModelVariant, SlaGoal, SystemModel, SystemParams};
-use cos_serve::{CalibrationBase, CalibratorConfig, ServeConfig, SlaService, TelemetryEvent};
+use cos_model::{DeviceParams, FrontendParams, ModelVariant, SystemModel, SystemParams};
+use cos_serve::{
+    CalibrationBase, CalibratorConfig, Query, ServeConfig, SlaService, TelemetryEvent,
+};
 use cos_simkit::RngStreams;
 use cos_storesim::{DiskOpKind, MetricsConfig, SimTelemetry, Simulation};
 use cos_workload::{Catalog, PhaseSchedule, TraceStream};
@@ -145,7 +147,12 @@ fn main() {
             let _ = boundary_handle.refit_now();
             let row: Vec<Option<f64>> = boundary_slas
                 .iter()
-                .map(|&sla| boundary_handle.predict(sla).ok().map(|p| p.value))
+                .map(|&sla| {
+                    boundary_handle
+                        .attainment(Query::new().sla(sla))
+                        .ok()
+                        .map(|p| p.value)
+                })
                 .collect();
             sink_rows.lock().expect("rows lock").push(row);
             next_window += 1;
@@ -260,9 +267,9 @@ fn main() {
     let status_before = handle.status().expect("service alive");
     for _ in 0..25 {
         for &sla in &slas {
-            let _ = handle.predict(sla);
+            let _ = handle.attainment(Query::new().sla(sla));
         }
-        let _ = handle.percentile(0.95);
+        let _ = handle.latency_percentile(Query::new().p(0.95));
     }
     let status = handle.status().expect("service alive");
     let hits = status.engine.cache.hits - status_before.engine.cache.hits;
@@ -282,7 +289,7 @@ fn main() {
             .fold(f64::NAN, f64::max);
         println!("# what-if sweep (50 ms SLA): stable ≥90% up to ~{knee:.0} req/s");
     }
-    if let Ok(head) = handle.headroom(SlaGoal::new(0.050, 0.90), 2000.0) {
+    if let Ok(head) = handle.admissible_rate(Query::new().sla(0.050).target(0.90).upper(2000.0)) {
         println!(
             "# overload headroom (90% under 50 ms): {:.1} req/s",
             head.value

@@ -17,11 +17,12 @@
 //!   no matter how often it is polled — which also makes control-loop
 //!   tests deterministic.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use cos_serve::{ServeError, SnapshotReader};
+use cos_serve::{Query, ServeError, SnapshotReader, TenantId};
 
 use crate::admission::{AdmissionPolicy, InvalidPolicy, Shed, SlaClass};
 use crate::anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
@@ -102,6 +103,58 @@ struct Inner {
     ticks: u64,
 }
 
+/// Per-tenant shed-budget registry — the fleet follow-on hook.
+///
+/// **Stub:** budgets are recorded and readable but not yet consulted by
+/// [`Controller::decide`], which sheds fleet-wide. Wiring them in needs the
+/// gate to thread the request's [`TenantId`] into the admission decision
+/// (and a policy for combining the fleet-wide fraction with a tenant's
+/// budget); until then this type pins down the registry surface so the
+/// gate and dashboards can populate it ahead of enforcement.
+#[derive(Debug, Default)]
+pub struct TenantShedBudgets {
+    budgets: Mutex<HashMap<TenantId, f64>>,
+}
+
+impl TenantShedBudgets {
+    /// Sets `tenant`'s shed budget, clamped to `[0, 1]` (the fraction of
+    /// that tenant's traffic the controller may refuse under pressure).
+    pub fn set(&self, tenant: TenantId, fraction: f64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.budgets
+            .lock()
+            .expect("tenant budgets lock")
+            .insert(tenant, fraction);
+    }
+
+    /// The budget recorded for `tenant`, if any.
+    pub fn get(&self, tenant: &TenantId) -> Option<f64> {
+        self.budgets
+            .lock()
+            .expect("tenant budgets lock")
+            .get(tenant)
+            .copied()
+    }
+
+    /// Removes `tenant`'s budget, returning it.
+    pub fn remove(&self, tenant: &TenantId) -> Option<f64> {
+        self.budgets
+            .lock()
+            .expect("tenant budgets lock")
+            .remove(tenant)
+    }
+
+    /// How many tenants have a recorded budget.
+    pub fn len(&self) -> usize {
+        self.budgets.lock().expect("tenant budgets lock").len()
+    }
+
+    /// Whether no tenant has a recorded budget.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Fixed-point denominator of the error-diffusion accumulators.
 const ACC_ONE: u64 = 1_000_000;
 
@@ -120,6 +173,7 @@ pub struct Controller {
     acc: [AtomicU64; 3],
     admitted_total: AtomicU64,
     shed_total: [AtomicU64; 3],
+    tenant_budgets: TenantShedBudgets,
     inner: Mutex<Inner>,
 }
 
@@ -135,6 +189,7 @@ impl Controller {
             acc: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             admitted_total: AtomicU64::new(0),
             shed_total: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            tenant_budgets: TenantShedBudgets::default(),
             inner: Mutex::new(Inner {
                 detector,
                 last_generation: None,
@@ -147,6 +202,12 @@ impl Controller {
     /// The policy this controller runs.
     pub fn policy(&self) -> &AdmissionPolicy {
         &self.policy
+    }
+
+    /// The per-tenant shed-budget registry (see [`TenantShedBudgets`] for
+    /// its current stub status).
+    pub fn tenant_budgets(&self) -> &TenantShedBudgets {
+        &self.tenant_budgets
     }
 
     /// Current total shed fraction.
@@ -215,7 +276,7 @@ impl Controller {
         inner.last_generation = Some(generation);
 
         let goal = self.policy.goal;
-        let attainment = self.reader.predict(goal.sla);
+        let attainment = self.reader.attainment(&Query::new().sla(goal.sla));
         let rate = state
             .snapshot
             .as_ref()
@@ -251,7 +312,12 @@ impl Controller {
                 // traffic the goal can sustain; `1 − headroom/λ` is the
                 // excess to shed. The additive step then ratchets further
                 // on every violating epoch the floor underestimates.
-                if let Ok(h) = self.reader.headroom(goal, self.policy.headroom_upper) {
+                if let Ok(h) = self.reader.admissible_rate(
+                    &Query::new()
+                        .sla(goal.sla)
+                        .target(goal.target_fraction)
+                        .upper(self.policy.headroom_upper),
+                ) {
                     headroom = Some(h.value);
                 }
                 let model_shed = match (headroom, rate) {
@@ -562,6 +628,23 @@ mod tests {
         assert_eq!(r.shed, 0.0);
         assert!(r.attainment.is_none());
         assert!(ctrl.decide(SlaClass::Batch).is_ok());
+    }
+
+    #[test]
+    fn tenant_shed_budgets_record_without_affecting_decide() {
+        let (_service, ctrl) = rig(AdmissionPolicy::default());
+        let blue = TenantId::new("blue").unwrap();
+        assert!(ctrl.tenant_budgets().is_empty());
+        ctrl.tenant_budgets().set(blue.clone(), 1.5);
+        assert_eq!(ctrl.tenant_budgets().get(&blue), Some(1.0), "clamped");
+        ctrl.tenant_budgets().set(blue.clone(), 0.25);
+        assert_eq!(ctrl.tenant_budgets().len(), 1);
+        // Stub: budgets are recorded, decide() still sheds fleet-wide only.
+        for _ in 0..100 {
+            assert!(ctrl.decide(SlaClass::Standard).is_ok());
+        }
+        assert_eq!(ctrl.tenant_budgets().remove(&blue), Some(0.25));
+        assert!(ctrl.tenant_budgets().is_empty());
     }
 
     #[test]

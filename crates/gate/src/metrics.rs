@@ -6,7 +6,12 @@
 use std::fmt::Write as _;
 
 use cos_ctrl::{CtrlStats, SlaClass};
-use cos_serve::ServiceStatus;
+use cos_serve::{FleetState, ServiceStatus};
+
+/// Most per-tenant label values emitted on `/metrics` before the tail
+/// aggregates under `tenant="other"`: a fleet of thousands of tenants must
+/// not turn every scrape into thousands of series.
+pub const MAX_TENANT_SERIES: usize = 8;
 
 /// Renders the text exposition format: `# TYPE` lines plus one sample per
 /// metric, labels only on the per-SLA drift series.
@@ -109,6 +114,56 @@ pub fn render_metrics(s: &ServiceStatus) -> String {
                 observed - predicted
             );
         }
+    }
+    out
+}
+
+/// Renders the per-tenant block of `GET /metrics` from one immutable
+/// [`FleetState`]: the shard count and ingested-event counters for the
+/// [`MAX_TENANT_SERIES`] busiest tenants, with every remaining tenant
+/// folded into a single `tenant="other"` sample so label cardinality is
+/// capped while the counter total stays conserved — summing the rendered
+/// `cos_tenant_ingest_events_total` samples always gives the fleet-wide
+/// event count. (A real tenant named `other` would merge into the
+/// aggregate; ties on traffic break toward the lower shard slot so the
+/// rendered set is deterministic.)
+pub fn render_tenant_metrics(fleet: &FleetState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP cos_tenants Tenant estimator shards registered with the service."
+    );
+    let _ = writeln!(out, "# TYPE cos_tenants gauge");
+    let _ = writeln!(out, "cos_tenants {}", fleet.len());
+    let mut entries: Vec<_> = fleet.entries().iter().collect();
+    entries.sort_by(|a, b| {
+        b.events_total
+            .cmp(&a.events_total)
+            .then(a.slot.cmp(&b.slot))
+    });
+    let _ = writeln!(
+        out,
+        "# HELP cos_tenant_ingest_events_total Telemetry events ingested per tenant \
+         (top {MAX_TENANT_SERIES} by traffic; the rest aggregate as `other`)."
+    );
+    let _ = writeln!(out, "# TYPE cos_tenant_ingest_events_total counter");
+    let mut other = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        if i < MAX_TENANT_SERIES {
+            let _ = writeln!(
+                out,
+                "cos_tenant_ingest_events_total{{tenant=\"{}\"}} {}",
+                entry.tenant, entry.events_total
+            );
+        } else {
+            other += entry.events_total;
+        }
+    }
+    if entries.len() > MAX_TENANT_SERIES {
+        let _ = writeln!(
+            out,
+            "cos_tenant_ingest_events_total{{tenant=\"other\"}} {other}"
+        );
     }
     out
 }

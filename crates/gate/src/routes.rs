@@ -11,14 +11,24 @@
 //! | `GET /v1/status` | full health summary |
 //! | `GET /v1/selfcheck` | observed gate latency percentiles vs model-predicted percentiles |
 //! | `GET /v1/anomalies` | scored anomalies + controller state (404 without a controller) |
-//! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]), plus every registered instrument when the gate runs with a [`GateObs`] |
+//! | `GET /metrics` | Prometheus-style text (see [`crate::metrics`]), plus the capped per-tenant block and every registered instrument when the gate runs with a [`GateObs`] |
+//! | `GET /v1/tenants/{tenant}/{attainment,percentile,headroom,bottlenecks,status}` | the same answers, scoped to one tenant's estimator shard |
+//! | `POST /v1/tenants/{tenant}/telemetry` | batch ingest into one tenant's shard (auto-vivifies the tenant) |
+//!
+//! The legacy `/v1/*` routes are exact aliases for the reserved `default`
+//! tenant: `/v1/attainment` and `/v1/tenants/default/attainment` answer
+//! with byte-identical bodies (and likewise for every aliased route) —
+//! both dispatch through the same tenant-parameterized handler.
 //!
 //! Status mapping: unknown path → `404`; known path, wrong method → `405`
 //! with `Allow`; malformed query/body → `400`; a service that cannot answer
 //! *yet* ([`ServeError::NotCalibrated`], [`ServeError::Disconnected`]) →
 //! `503`; a well-formed question with no answer (unstable operating point,
 //! unreachable goal, out-of-range percentile) → `422`; a request the
-//! admission controller sheds → `429` with a `Retry-After` header.
+//! admission controller sheds → `429` with a `Retry-After` header. The
+//! tenant dimension adds two refusals: a tenant id that could never exist
+//! (empty, too long, bad characters) → `422`, and a well-formed id no
+//! telemetry has ever named → `404`.
 //!
 //! Admission runs *before* routing when a [`cos_ctrl::Controller`] is
 //! configured (see [`handle_ctrl`]): the request is classified by route
@@ -35,17 +45,18 @@
 //! POST always goes through the channel: it is a write.
 
 use cos_ctrl::{Controller, SlaClass};
-use cos_model::SlaGoal;
-use cos_serve::{OpClass, Prediction, ServeError, ServiceClient, ServiceStatus, TelemetryEvent};
+use cos_serve::{
+    OpClass, Prediction, Query, ServeError, ServiceClient, ServiceStatus, TelemetryEvent, TenantId,
+};
 
 use crate::http::{Method, Request, Response};
 use crate::json::{self, Value};
-use crate::metrics::{render_ctrl_metrics, render_metrics};
+use crate::metrics::{render_ctrl_metrics, render_metrics, render_tenant_metrics};
 use crate::obs::GateObs;
 use crate::query;
 
 /// Default `upper` bound (req/s) of the headroom search.
-pub const DEFAULT_HEADROOM_UPPER: f64 = 10_000.0;
+pub const DEFAULT_HEADROOM_UPPER: f64 = cos_serve::DEFAULT_HEADROOM_UPPER;
 
 /// Which evaluation path the GET routes use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,76 +73,53 @@ pub enum ReadPath {
 }
 
 /// The GET routes' view of the service: one [`ServiceClient`] dispatched
-/// through the configured [`ReadPath`].
+/// through the configured [`ReadPath`], scoped to one tenant's estimator
+/// shard. Legacy `/v1/*` routes run through the same struct with the
+/// reserved `default` tenant, which is what makes the alias byte-exact.
 struct Reader<'a> {
     client: &'a ServiceClient,
     path: ReadPath,
+    tenant: TenantId,
 }
 
 impl Reader<'_> {
-    fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+    /// A fresh [`Query`] scoped to this reader's tenant.
+    fn query(&self) -> Query {
+        Query::tenant(self.tenant.clone())
+    }
+
+    fn attainment(&self, query: Query) -> Result<Prediction, ServeError> {
         match self.path {
-            ReadPath::Snapshot => self.client.read_predict(sla),
-            ReadPath::Worker => self.client.predict(sla),
+            ReadPath::Snapshot => self.client.read_attainment(&query),
+            ReadPath::Worker => self.client.attainment(query),
         }
     }
 
-    fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+    fn percentile(&self, query: Query) -> Result<Prediction, ServeError> {
         match self.path {
-            ReadPath::Snapshot => self.client.read_predict_at_rate(rate, sla),
-            ReadPath::Worker => self.client.predict_at_rate(rate, sla),
+            ReadPath::Snapshot => self.client.read_latency_percentile(&query),
+            ReadPath::Worker => self.client.latency_percentile(query),
         }
     }
 
-    fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+    fn headroom(&self, query: Query) -> Result<Prediction, ServeError> {
         match self.path {
-            ReadPath::Snapshot => self.client.read_percentile(p),
-            ReadPath::Worker => self.client.percentile(p),
+            ReadPath::Snapshot => self.client.read_admissible_rate(&query),
+            ReadPath::Worker => self.client.admissible_rate(query),
         }
     }
 
-    fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+    fn bottlenecks(&self, query: Query) -> Result<Vec<(usize, f64)>, ServeError> {
         match self.path {
-            ReadPath::Snapshot => self.client.read_headroom(goal, upper),
-            ReadPath::Worker => self.client.headroom(goal, upper),
-        }
-    }
-
-    fn coded_fraction(
-        &self,
-        launched: u16,
-        needed: u16,
-        sla: f64,
-    ) -> Result<Prediction, ServeError> {
-        match self.path {
-            ReadPath::Snapshot => self.client.read_coded_fraction(launched, needed, sla),
-            ReadPath::Worker => self.client.coded_fraction(launched, needed, sla),
-        }
-    }
-
-    fn coded_percentile(
-        &self,
-        launched: u16,
-        needed: u16,
-        p: f64,
-    ) -> Result<Prediction, ServeError> {
-        match self.path {
-            ReadPath::Snapshot => self.client.read_coded_percentile(launched, needed, p),
-            ReadPath::Worker => self.client.coded_percentile(launched, needed, p),
-        }
-    }
-
-    fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        match self.path {
-            ReadPath::Snapshot => self.client.read_bottlenecks(sla),
-            ReadPath::Worker => self.client.bottlenecks(sla),
+            ReadPath::Snapshot => self.client.read_device_ranking(&query),
+            ReadPath::Worker => self.client.device_ranking(query),
         }
     }
 
     fn status(&self) -> Result<ServiceStatus, ServeError> {
         match self.path {
-            ReadPath::Snapshot => self.client.read_status(),
-            ReadPath::Worker => self.client.status(),
+            ReadPath::Snapshot => self.client.read_status_for(&self.tenant),
+            ReadPath::Worker => self.client.status_for(&self.tenant),
         }
     }
 }
@@ -172,7 +160,17 @@ pub fn handle_full(
 /// `x-sla-class: batch|standard|premium` header. `control` is not
 /// nameable from the wire.
 pub fn classify(req: &Request) -> SlaClass {
-    match req.path() {
+    let path = req.path();
+    // Tenant-scoped ingest and status feed the same loop as their legacy
+    // aliases: starving either would wedge the controller identically.
+    if let Some(rest) = path.strip_prefix("/v1/tenants/") {
+        if let Some((_, tail)) = rest.split_once('/') {
+            if matches!(tail, "telemetry" | "status") {
+                return SlaClass::Control;
+            }
+        }
+    }
+    match path {
         "/v1/telemetry" | "/v1/status" | "/v1/selfcheck" | "/v1/anomalies" | "/metrics" => {
             SlaClass::Control
         }
@@ -181,6 +179,38 @@ pub fn classify(req: &Request) -> SlaClass {
             .and_then(SlaClass::from_header)
             .unwrap_or(SlaClass::Standard),
     }
+}
+
+/// Resolves a request path to `(tenant, canonical route)`: a
+/// `/v1/tenants/{tenant}/{tail}` path maps onto the legacy route the tail
+/// aliases, and every other path belongs to the reserved `default` tenant
+/// unchanged. Refusals become the response directly: a tenant id that
+/// could never exist (checked before the tail — the id is unusable no
+/// matter what follows it) → `422`; an unrecognized tail → `404`. Only
+/// the five read routes and telemetry have tenant-scoped forms —
+/// `selfcheck`, `anomalies`, and `metrics` describe the whole gate, not
+/// one tenant.
+fn tenant_route(path: &str) -> Result<(TenantId, &str), Response> {
+    let Some(rest) = path.strip_prefix("/v1/tenants/") else {
+        return Ok((TenantId::default_tenant(), path));
+    };
+    let Some((id, tail)) = rest.split_once('/') else {
+        return Err(Response::error(404, "no such route"));
+    };
+    let tenant = match TenantId::new(id) {
+        Ok(t) => t,
+        Err(e) => return Err(Response::error(422, &e.to_string())),
+    };
+    let route = match tail {
+        "attainment" => "/v1/attainment",
+        "percentile" => "/v1/percentile",
+        "headroom" => "/v1/headroom",
+        "bottlenecks" => "/v1/bottlenecks",
+        "status" => "/v1/status",
+        "telemetry" => "/v1/telemetry",
+        _ => return Err(Response::error(404, "no such route")),
+    };
+    Ok((tenant, route))
 }
 
 /// The widest dispatcher: admission control first (when a controller is
@@ -205,11 +235,15 @@ pub fn handle_ctrl(
                 .with_header("Retry-After", shed.retry_after.to_string());
         }
     }
+    let (tenant, route) = match tenant_route(req.path()) {
+        Ok(pair) => pair,
+        Err(refusal) => return refusal,
+    };
     let reader = Reader {
         client,
         path: read_path,
+        tenant: tenant.clone(),
     };
-    let path = req.path();
     let get = |handler: &dyn Fn() -> Response| -> Response {
         if req.method == Method::Get {
             handler()
@@ -217,7 +251,7 @@ pub fn handle_ctrl(
             Response::error(405, "method not allowed").with_header("Allow", "GET".into())
         }
     };
-    match path {
+    match route {
         "/v1/attainment" => get(&|| attainment(&reader, req)),
         "/v1/percentile" => get(&|| percentile(&reader, req)),
         "/v1/headroom" => get(&|| headroom(&reader, req)),
@@ -231,7 +265,7 @@ pub fn handle_ctrl(
         "/metrics" => get(&|| metrics(&reader, obs, ctrl)),
         "/v1/telemetry" => {
             if req.method == Method::Post {
-                telemetry(client, req)
+                telemetry(client, &tenant, req)
             } else {
                 Response::error(405, "method not allowed").with_header("Allow", "POST".into())
             }
@@ -246,7 +280,11 @@ fn service_error(e: ServeError) -> Response {
         ServeError::NotCalibrated | ServeError::Disconnected => 503,
         ServeError::Unstable { .. }
         | ServeError::PercentileOutOfRange { .. }
-        | ServeError::GoalUnreachable => 422,
+        | ServeError::GoalUnreachable
+        | ServeError::BadQuery { .. } => 422,
+        // A syntactically valid tenant no telemetry has ever named: the
+        // resource does not exist (contrast 422 for an impossible id).
+        ServeError::UnknownTenant { .. } => 404,
     };
     Response::error(status, &e.to_string())
 }
@@ -316,15 +354,15 @@ fn attainment(reader: &Reader<'_>, req: &Request) -> Response {
                 "query parameter `rate` cannot be combined with `n`/`k`",
             );
         }
-        return match reader.coded_fraction(n, k, sla) {
+        return match reader.attainment(reader.query().sla(sla).n_k(n, k)) {
             Ok(p) => prediction_body(&[("sla", sla), ("n", n as f64), ("k", k as f64)], p),
             Err(e) => service_error(e),
         };
     }
     let answer = match query::get(&params, "rate") {
-        None => reader.predict(sla),
+        None => reader.attainment(reader.query().sla(sla)),
         Some(_) => match query::require_f64(&params, "rate") {
-            Ok(rate) if rate > 0.0 => reader.predict_at_rate(rate, sla),
+            Ok(rate) if rate > 0.0 => reader.attainment(reader.query().sla(sla).rate(rate)),
             Ok(_) => return Response::error(400, "query parameter `rate` must be positive"),
             Err(e) => return Response::error(400, &e),
         },
@@ -350,12 +388,12 @@ fn percentile(reader: &Reader<'_>, req: &Request) -> Response {
         Err(r) => return r,
     };
     if let Some((n, k)) = coding {
-        return match reader.coded_percentile(n, k, p) {
+        return match reader.percentile(reader.query().p(p).n_k(n, k)) {
             Ok(answer) => prediction_body(&[("p", p), ("n", n as f64), ("k", k as f64)], answer),
             Err(e) => service_error(e),
         };
     }
-    match reader.percentile(p) {
+    match reader.percentile(reader.query().p(p)) {
         Ok(answer) => prediction_body(&[("p", p)], answer),
         Err(e) => service_error(e),
     }
@@ -381,7 +419,7 @@ fn headroom(reader: &Reader<'_>, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `upper` must be positive"),
         Err(e) => return Response::error(400, &e),
     };
-    match reader.headroom(SlaGoal::new(sla, target), upper) {
+    match reader.headroom(reader.query().sla(sla).target(target).upper(upper)) {
         Ok(answer) => prediction_body(&[("sla", sla), ("target", target)], answer),
         Err(e) => service_error(e),
     }
@@ -397,7 +435,7 @@ fn bottlenecks(reader: &Reader<'_>, req: &Request) -> Response {
         Ok(_) => return Response::error(400, "query parameter `sla` must be positive"),
         Err(e) => return Response::error(400, &e),
     };
-    match reader.bottlenecks(sla) {
+    match reader.bottlenecks(reader.query().sla(sla)) {
         Ok(ranked) => {
             let items = ranked
                 .into_iter()
@@ -418,7 +456,7 @@ fn bottlenecks(reader: &Reader<'_>, req: &Request) -> Response {
     }
 }
 
-fn telemetry(client: &ServiceClient, req: &Request) -> Response {
+fn telemetry(client: &ServiceClient, tenant: &TenantId, req: &Request) -> Response {
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) if !t.trim().is_empty() => t,
         Ok(_) => return Response::error(400, "empty telemetry body (expected a JSON array)"),
@@ -434,7 +472,7 @@ fn telemetry(client: &ServiceClient, req: &Request) -> Response {
     };
     let accepted = events.len();
     for event in events {
-        if client.ingest(event).is_err() {
+        if client.ingest_for(tenant, event).is_err() {
             return service_error(ServeError::Disconnected);
         }
     }
@@ -461,6 +499,9 @@ fn metrics(reader: &Reader<'_>, obs: Option<&GateObs>, ctrl: Option<&Controller>
     match reader.status() {
         Ok(s) => {
             let mut text = render_metrics(&s);
+            if let Ok(fleet) = reader.client.reader().fleet() {
+                text.push_str(&render_tenant_metrics(&fleet));
+            }
             if let Some(ctrl) = ctrl {
                 text.push_str(&render_ctrl_metrics(&ctrl.stats()));
             }
@@ -573,7 +614,7 @@ fn selfcheck(reader: &Reader<'_>, obs: Option<&GateObs>) -> Response {
     let mut stale = Value::Null;
     let mut unavailable = Value::Null;
     for (name, q) in QUANTILES {
-        match reader.percentile(q) {
+        match reader.percentile(reader.query().p(q)) {
             Ok(p) => {
                 epoch = Value::Number(p.epoch as f64);
                 stale = Value::Bool(p.stale);
@@ -849,7 +890,7 @@ mod tests {
         assert_eq!(resp.status, 200);
         let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let value = body.f64_field("value").unwrap();
-        let direct = client.predict(0.05).unwrap().value;
+        let direct = client.attainment(Query::new().sla(0.05)).unwrap().value;
         assert_eq!(value.to_bits(), direct.to_bits(), "JSON is bit-exact");
     }
 
@@ -921,7 +962,10 @@ mod tests {
         assert_eq!(body.f64_field("k").unwrap(), 2.0);
         let snapshot_value = body.f64_field("value").unwrap();
         assert!(snapshot_value > 0.0);
-        let direct = client.coded_percentile(4, 2, 0.99).unwrap().value;
+        let direct = client
+            .latency_percentile(Query::new().p(0.99).n_k(4, 2))
+            .unwrap()
+            .value;
         assert_eq!(snapshot_value.to_bits(), direct.to_bits());
 
         // The worker channel path answers bit-identically.
@@ -1208,8 +1252,8 @@ mod tests {
         }
         client.flush().unwrap();
         client.refit_now().unwrap();
-        client.predict(0.05).unwrap();
-        client.predict(0.05).unwrap();
+        client.attainment(Query::new().sla(0.05)).unwrap();
+        client.attainment(Query::new().sla(0.05)).unwrap();
         let resp = get(&client, "/v1/status");
         let body = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert!(body.f64_field("epoch").unwrap() >= 1.0);
@@ -1218,5 +1262,208 @@ mod tests {
         assert!(cache.f64_field("hits").unwrap() >= 1.0);
         assert!(cache.f64_field("hit_rate").unwrap() > 0.0);
         assert_eq!(body.field("drift").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn legacy_routes_alias_the_default_tenant_byte_for_byte() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        let resp = handle(
+            &client,
+            &post("/v1/telemetry", &encode_events(&sample_events())),
+        );
+        assert_eq!(resp.status, 200);
+        for (legacy, scoped) in [
+            (
+                "/v1/attainment?sla=0.05",
+                "/v1/tenants/default/attainment?sla=0.05",
+            ),
+            (
+                "/v1/attainment?sla=0.05&rate=90",
+                "/v1/tenants/default/attainment?sla=0.05&rate=90",
+            ),
+            (
+                "/v1/attainment?sla=0.05&n=6&k=4",
+                "/v1/tenants/default/attainment?sla=0.05&n=6&k=4",
+            ),
+            (
+                "/v1/percentile?p=0.99",
+                "/v1/tenants/default/percentile?p=0.99",
+            ),
+            (
+                "/v1/headroom?sla=0.05&target=0.9",
+                "/v1/tenants/default/headroom?sla=0.05&target=0.9",
+            ),
+            (
+                "/v1/bottlenecks?sla=0.05",
+                "/v1/tenants/default/bottlenecks?sla=0.05",
+            ),
+            ("/v1/status", "/v1/tenants/default/status"),
+            // Validation refusals alias too.
+            (
+                "/v1/attainment?sla=-1",
+                "/v1/tenants/default/attainment?sla=-1",
+            ),
+        ] {
+            let a = get(&client, legacy);
+            let b = get(&client, scoped);
+            assert_eq!(a.status, b.status, "{legacy} vs {scoped}");
+            assert_eq!(
+                a.body, b.body,
+                "{legacy} vs {scoped} must be byte-identical"
+            );
+        }
+        // The tenant-scoped telemetry POST aliases the legacy ingest.
+        let a = handle(
+            &client,
+            &post("/v1/telemetry", &encode_events(&sample_events()[..12])),
+        );
+        let b = handle(
+            &client,
+            &post(
+                "/v1/tenants/default/telemetry",
+                &encode_events(&sample_events()[..12]),
+            ),
+        );
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn tenant_routes_are_isolated_with_404_and_422_refusals() {
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        // Calibrate tenant `blue` only: its shard answers while the
+        // default tenant is still warming up.
+        let resp = handle(
+            &client,
+            &post(
+                "/v1/tenants/blue/telemetry",
+                &encode_events(&sample_events()),
+            ),
+        );
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let resp = get(&client, "/v1/tenants/blue/attainment?sla=0.05");
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert_eq!(get(&client, "/v1/attainment?sla=0.05").status, 503);
+        // A well-formed tenant nobody has named: 404.
+        let resp = get(&client, "/v1/tenants/ghost/attainment?sla=0.05");
+        assert_eq!(resp.status, 404);
+        assert!(String::from_utf8_lossy(&resp.body).contains("unknown tenant"));
+        assert_eq!(get(&client, "/v1/tenants/ghost/status").status, 404);
+        // An id that could never exist: 422, whatever the tail.
+        for target in [
+            "/v1/tenants/NOPE/attainment?sla=0.05",
+            "/v1/tenants/sp%20ace/status",
+            "/v1/tenants/NOPE/anything",
+        ] {
+            assert_eq!(get(&client, target).status, 422, "{target}");
+        }
+        // Tails without a tenant-scoped form, or no tail at all: 404.
+        for target in [
+            "/v1/tenants/blue/selfcheck",
+            "/v1/tenants/blue/metrics",
+            "/v1/tenants/blue",
+            "/v1/tenants/",
+            "/v1/tenants/blue/status/extra",
+        ] {
+            assert_eq!(get(&client, target).status, 404, "{target}");
+        }
+        // Method discipline carries over.
+        let resp = handle(
+            &client,
+            &req("POST /v1/tenants/blue/status HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"),
+        );
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Allow" && v == "GET"));
+        let resp = get(&client, "/v1/tenants/blue/telemetry");
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Allow" && v == "POST"));
+        // Tenant ingest and status classify as control-plane.
+        assert_eq!(
+            classify(&req(
+                "POST /v1/tenants/blue/telemetry HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+            )),
+            SlaClass::Control
+        );
+        assert_eq!(
+            classify(&req(
+                "GET /v1/tenants/blue/status HTTP/1.1\r\nHost: t\r\n\r\n"
+            )),
+            SlaClass::Control
+        );
+        assert_eq!(
+            classify(&req(
+                "GET /v1/tenants/blue/attainment?sla=0.05 HTTP/1.1\r\nHost: t\r\n\r\n"
+            )),
+            SlaClass::Standard
+        );
+    }
+
+    #[test]
+    fn metrics_cap_tenant_label_cardinality_and_conserve_totals() {
+        use crate::metrics::MAX_TENANT_SERIES;
+        let handle_ = spawn_service();
+        let client = handle_.client();
+        // Ten tenants with distinct traffic (tenant `t{i}` ingests i+1
+        // events) plus the idle default shard: more series than the cap.
+        let mut expected_total = 0u64;
+        for i in 0..10usize {
+            let events: Vec<TelemetryEvent> = (0..=i)
+                .map(|j| TelemetryEvent::Arrival {
+                    at: j as f64,
+                    device: 0,
+                })
+                .collect();
+            expected_total += events.len() as u64;
+            let resp = handle(
+                &client,
+                &post(
+                    &format!("/v1/tenants/t{i}/telemetry"),
+                    &encode_events(&events),
+                ),
+            );
+            assert_eq!(resp.status, 200);
+        }
+        // Per-tenant counters publish with the snapshot: force a refit so
+        // every dirty shard's events_total is current before the scrape.
+        client.refit_now().unwrap();
+        let resp = get(&client, "/metrics");
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("cos_tenants 11"), "{text}");
+        let samples: Vec<(&str, u64)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("cos_tenant_ingest_events_total{tenant=\""))
+            .map(|l| {
+                let (tenant, rest) = l.split_once('"').unwrap();
+                (tenant, rest.trim_start_matches("} ").parse().unwrap())
+            })
+            .collect();
+        assert_eq!(
+            samples.len(),
+            MAX_TENANT_SERIES + 1,
+            "top-{MAX_TENANT_SERIES} named series plus the `other` aggregate: {samples:?}"
+        );
+        assert_eq!(samples.last().unwrap().0, "other");
+        assert_eq!(samples[0], ("t9", 10), "busiest tenant leads");
+        let sum: u64 = samples.iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, expected_total, "counter total is conserved");
     }
 }

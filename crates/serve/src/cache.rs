@@ -14,16 +14,22 @@
 //!   shards selected by the key's hash, so concurrent readers on distinct
 //!   keys rarely contend on the same lock, and no lock is ever held while
 //!   an inversion runs.
-//! * **Epoch-generational eviction** — each shard remembers the newest
-//!   epoch it has seen. A key from a newer epoch clears the shard
-//!   wholesale (the old epoch's answers are unreachable anyway); a key
-//!   from an *older* epoch — a reader still holding yesterday's snapshot
-//!   mid-request — is answered uncached rather than poisoning the new
-//!   epoch's entries.
-//! * **Bounded capacity** — a shard at capacity clears itself rather than
-//!   tracking LRU order (the workload is a dashboard re-asking a small hot
-//!   set; a rare full rebuild is cheaper than per-hit bookkeeping). This
-//!   bounds the old engine memo, which grew without limit within an epoch.
+//! * **Tenant-scoped keys and epochs** — every [`QueryKey`] carries the
+//!   owning tenant's slot, and each shard tracks the newest epoch **per
+//!   tenant**: tenants calibrate independently, so tenant A installing
+//!   epoch 9 must not discard tenant B's still-valid epoch-3 answers, and
+//!   two tenants can never share (or collide on) a memoized result.
+//! * **Epoch-generational eviction** — a key from a newer epoch of its
+//!   tenant drops that tenant's entries from the shard (the old epoch's
+//!   answers are unreachable anyway); a key from an *older* epoch — a
+//!   reader still holding yesterday's snapshot mid-request — is answered
+//!   uncached rather than poisoning the new epoch's entries.
+//! * **Bounded capacity** — a shard at capacity first drops the inserting
+//!   tenant's own entries, and only clears wholesale if that was not
+//!   enough (so one tenant's key sweep cannot evict the whole fleet's hot
+//!   set; with a single tenant this degenerates to the old full clear).
+//!   This bounds the old engine memo, which grew without limit within an
+//!   epoch.
 //! * **Single-flight coalescing** — the first thread to miss a key
 //!   registers an in-flight marker and computes outside the shard lock;
 //!   concurrent requests for the same key block on the flight's condvar
@@ -177,10 +183,14 @@ fn coded_model(
     Ok(built?)
 }
 
-/// The full memo key: epoch, optional what-if rate cell, and the question.
+/// The full memo key: tenant, epoch, optional what-if rate cell, and the
+/// question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
-    /// Calibration epoch the answer is valid for.
+    /// Slot of the tenant whose calibration the answer belongs to
+    /// (0 = the reserved `default` tenant).
+    pub tenant: u32,
+    /// Calibration epoch (of that tenant) the answer is valid for.
     pub epoch: u64,
     /// What-if rate in [`RATE_QUANTUM`] steps; `None` for the calibrated
     /// operating point.
@@ -219,14 +229,30 @@ impl Flight {
 }
 
 struct ResultShard {
-    epoch: u64,
+    /// Newest epoch seen per tenant slot.
+    epochs: HashMap<u32, u64>,
     entries: HashMap<QueryKey, Result<f64, ServeError>>,
     inflight: HashMap<QueryKey, Arc<Flight>>,
 }
 
 struct ModelShard {
-    epoch: u64,
-    entries: HashMap<(u64, Option<i64>), Arc<SystemModel>>,
+    /// Newest epoch seen per tenant slot.
+    epochs: HashMap<u32, u64>,
+    entries: HashMap<(u32, u64, Option<i64>), Arc<SystemModel>>,
+}
+
+/// Capacity-bound eviction: drop the inserting tenant's own entries
+/// first, and only clear the shard wholesale if that was not enough.
+/// A single-tenant cache degenerates to the old full clear.
+fn evict_for(
+    entries: &mut HashMap<QueryKey, Result<f64, ServeError>>,
+    tenant: u32,
+    capacity: usize,
+) {
+    entries.retain(|k, _| k.tenant != tenant);
+    if entries.len() >= capacity {
+        entries.clear();
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -269,7 +295,7 @@ impl InversionCache {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(ResultShard {
-                        epoch: 0,
+                        epochs: HashMap::new(),
                         entries: HashMap::new(),
                         inflight: HashMap::new(),
                     })
@@ -278,7 +304,7 @@ impl InversionCache {
             model_shards: (0..shards)
                 .map(|_| {
                     Mutex::new(ModelShard {
-                        epoch: 0,
+                        epochs: HashMap::new(),
                         entries: HashMap::new(),
                     })
                 })
@@ -298,35 +324,63 @@ impl InversionCache {
         (h.finish() as usize) % self.shards.len()
     }
 
-    /// Eagerly drops every entry older than `epoch` (called at install
-    /// time so the old epoch's memory is released immediately rather than
-    /// on first touch).
-    pub fn advance_epoch(&self, epoch: u64) {
+    /// Eagerly drops every entry of `tenant` older than `epoch` (called at
+    /// install time so the old epoch's memory is released immediately
+    /// rather than on first touch). Other tenants' entries are untouched —
+    /// tenants calibrate on independent epoch counters.
+    pub fn advance_epoch(&self, tenant: u32, epoch: u64) {
         for shard in &self.shards {
             let mut s = lock(shard);
-            if epoch > s.epoch {
-                s.epoch = epoch;
-                s.entries.clear();
+            if s.epochs.get(&tenant).copied().unwrap_or(0) < epoch {
+                s.epochs.insert(tenant, epoch);
+                s.entries.retain(|k, _| k.tenant != tenant);
             }
         }
         for shard in &self.model_shards {
             let mut s = lock(shard);
-            if epoch > s.epoch {
-                s.epoch = epoch;
-                s.entries.clear();
+            if s.epochs.get(&tenant).copied().unwrap_or(0) < epoch {
+                s.epochs.insert(tenant, epoch);
+                s.entries.retain(|k, _| k.0 != tenant);
             }
         }
     }
 
-    /// Installs an already-built model for `epoch` at the native rate
-    /// (the model validated during the fit pre-warms the cache).
-    pub fn prewarm_model(&self, epoch: u64, model: Arc<SystemModel>) {
-        self.advance_epoch(epoch);
-        let mkey = (epoch, None);
+    /// Installs an already-built model for `tenant`'s `epoch` at the
+    /// native rate (the model validated during the fit pre-warms the
+    /// cache).
+    pub fn prewarm_model(&self, tenant: u32, epoch: u64, model: Arc<SystemModel>) {
+        self.advance_epoch(tenant, epoch);
+        let mkey = (tenant, epoch, None);
         let mut s = lock(&self.model_shards[self.shard_index(&mkey)]);
-        if epoch == s.epoch {
+        if s.epochs.get(&tenant).copied().unwrap_or(0) == epoch {
             s.entries.insert(mkey, model);
         }
+    }
+
+    /// Installs an already-computed result for `key` (counted as a miss —
+    /// the inversion ran, just not through [`get_or_compute`]). The
+    /// batched refit path uses this to publish each tenant's per-SLA
+    /// attainment predictions, so the dashboard's hottest keys are
+    /// resident before the first reader asks — exactly as the serial
+    /// publish used to guarantee by querying the engine.
+    ///
+    /// [`get_or_compute`]: InversionCache::get_or_compute
+    pub fn prewarm_result(&self, key: QueryKey, result: Result<f64, ServeError>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.shard_index(&key);
+        let mut shard = lock(&self.shards[idx]);
+        let current = shard.epochs.get(&key.tenant).copied().unwrap_or(0);
+        if key.epoch > current {
+            shard.epochs.insert(key.tenant, key.epoch);
+            shard.entries.retain(|k, _| k.tenant != key.tenant);
+        } else if key.epoch < current {
+            return; // an older epoch's answer must not enter the memo
+        }
+        if shard.entries.len() >= self.results_per_shard {
+            evict_for(&mut shard.entries, key.tenant, self.results_per_shard);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.entries.insert(key, result);
     }
 
     /// Hit/miss counters (single-flight waiters count as hits — they did
@@ -377,10 +431,10 @@ impl InversionCache {
             .sum()
     }
 
-    /// Answers `kind` against `snapshot` under `variant`, memoized on the
-    /// quantized key. Returns the outcome and whether *this call* ran the
-    /// computation (`true` = miss; cached answers and coalesced waiters
-    /// are hits).
+    /// Answers `kind` for `tenant` against `snapshot` under `variant`,
+    /// memoized on the quantized key. Returns the outcome and whether
+    /// *this call* ran the computation (`true` = miss; cached answers and
+    /// coalesced waiters are hits).
     ///
     /// This is the single evaluation funnel for every query path — the
     /// inputs are reconstructed from the quantized key, so any two callers
@@ -388,22 +442,27 @@ impl InversionCache {
     /// floating-point expressions.
     pub fn answer(
         &self,
+        tenant: u32,
         snapshot: &EpochSnapshot,
         variant: ModelVariant,
         rate_q: Option<i64>,
         kind: QueryKind,
     ) -> (Result<f64, ServeError>, bool) {
         let key = QueryKey {
+            tenant,
             epoch: snapshot.epoch,
             rate_q,
             kind,
         };
-        self.get_or_compute(key, || self.evaluate(snapshot, variant, rate_q, kind))
+        self.get_or_compute(key, || {
+            self.evaluate(tenant, snapshot, variant, rate_q, kind)
+        })
     }
 
     /// The uncached evaluation of `kind` at the key's snapped inputs.
     fn evaluate(
         &self,
+        tenant: u32,
         snapshot: &EpochSnapshot,
         variant: ModelVariant,
         rate_q: Option<i64>,
@@ -449,7 +508,7 @@ impl InversionCache {
             }
             _ => {}
         }
-        let m = self.model_for(snapshot, variant, rate_q)?;
+        let m = self.model_for(tenant, snapshot, variant, rate_q)?;
         match kind {
             QueryKind::Fraction { sla_q } => Ok(m.fraction_meeting_sla(sla_q as f64 * SLA_QUANTUM)),
             QueryKind::Percentile { p_q } => {
@@ -472,24 +531,25 @@ impl InversionCache {
         }
     }
 
-    /// The (possibly rate-scaled) model of an epoch, building and caching
-    /// it on first use. The build runs outside the shard lock, so two
-    /// threads may briefly build the same model concurrently — the builds
-    /// are bit-identical, so last-write-wins is harmless and cheaper than
-    /// serializing all model construction behind one flight.
+    /// The (possibly rate-scaled) model of a tenant's epoch, building and
+    /// caching it on first use. The build runs outside the shard lock, so
+    /// two threads may briefly build the same model concurrently — the
+    /// builds are bit-identical, so last-write-wins is harmless and
+    /// cheaper than serializing all model construction behind one flight.
     pub fn model_for(
         &self,
+        tenant: u32,
         snapshot: &EpochSnapshot,
         variant: ModelVariant,
         rate_q: Option<i64>,
     ) -> Result<Arc<SystemModel>, ServeError> {
-        let mkey = (snapshot.epoch, rate_q);
+        let mkey = (tenant, snapshot.epoch, rate_q);
         let idx = self.shard_index(&mkey);
         {
             let mut s = lock(&self.model_shards[idx]);
-            if snapshot.epoch > s.epoch {
-                s.epoch = snapshot.epoch;
-                s.entries.clear();
+            if s.epochs.get(&tenant).copied().unwrap_or(0) < snapshot.epoch {
+                s.epochs.insert(tenant, snapshot.epoch);
+                s.entries.retain(|k, _| k.0 != tenant);
             }
             if let Some(m) = s.entries.get(&mkey) {
                 return Ok(m.clone());
@@ -504,9 +564,12 @@ impl InversionCache {
         };
         let model = Arc::new(built?);
         let mut s = lock(&self.model_shards[idx]);
-        if snapshot.epoch == s.epoch {
+        if s.epochs.get(&tenant).copied().unwrap_or(0) == snapshot.epoch {
             if s.entries.len() >= self.models_per_shard {
-                s.entries.clear();
+                s.entries.retain(|k, _| k.0 != tenant);
+                if s.entries.len() >= self.models_per_shard {
+                    s.entries.clear();
+                }
             }
             s.entries.insert(mkey, model.clone());
         }
@@ -533,11 +596,12 @@ impl InversionCache {
         loop {
             let role = {
                 let mut shard = lock(&self.shards[idx]);
-                if key.epoch > shard.epoch {
-                    shard.epoch = key.epoch;
-                    shard.entries.clear();
+                let current = shard.epochs.get(&key.tenant).copied().unwrap_or(0);
+                if key.epoch > current {
+                    shard.epochs.insert(key.tenant, key.epoch);
+                    shard.entries.retain(|k, _| k.tenant != key.tenant);
                 }
-                if key.epoch < shard.epoch {
+                if key.epoch < current {
                     Role::Bypass
                 } else if let Some(hit) = shard.entries.get(&key) {
                     Role::Ready(hit.clone())
@@ -628,9 +692,13 @@ impl FlightGuard<'_> {
         self.completed = true;
         let mut shard = lock(&self.cache.shards[self.shard]);
         shard.inflight.remove(&self.key);
-        if self.key.epoch == shard.epoch {
+        if shard.epochs.get(&self.key.tenant).copied().unwrap_or(0) == self.key.epoch {
             if shard.entries.len() >= self.cache.results_per_shard {
-                shard.entries.clear();
+                evict_for(
+                    &mut shard.entries,
+                    self.key.tenant,
+                    self.cache.results_per_shard,
+                );
                 self.cache.evictions.fetch_add(1, Ordering::Relaxed);
             }
             shard.entries.insert(self.key, result.clone());
@@ -660,7 +728,12 @@ mod tests {
     use std::time::Duration;
 
     fn key(epoch: u64, sla_q: i64) -> QueryKey {
+        tenant_key(0, epoch, sla_q)
+    }
+
+    fn tenant_key(tenant: u32, epoch: u64, sla_q: i64) -> QueryKey {
         QueryKey {
+            tenant,
             epoch,
             rate_q: None,
             kind: QueryKind::Fraction { sla_q },
@@ -696,7 +769,7 @@ mod tests {
         cache.get_or_compute(key(1, 500), || Ok(1.0)).0.unwrap();
         assert_eq!(cache.len(), 1);
         // Epoch 2 installs (advancing every shard), then caches an answer.
-        cache.advance_epoch(2);
+        cache.advance_epoch(0, 2);
         let (r, miss) = cache.get_or_compute(key(2, 500), || Ok(2.0));
         assert_eq!(r, Ok(2.0));
         assert!(miss);
@@ -724,9 +797,69 @@ mod tests {
             cache.get_or_compute(key(1, i), || Ok(i as f64)).0.unwrap();
         }
         assert_eq!(cache.len(), 20);
-        cache.advance_epoch(2);
+        cache.advance_epoch(0, 2);
         assert_eq!(cache.len(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tenants_have_independent_epochs_and_results() {
+        let cache = InversionCache::default();
+        // Tenant 0 at epoch 5, tenant 1 at epoch 2, same quantized question.
+        cache
+            .get_or_compute(tenant_key(0, 5, 500), || Ok(0.1))
+            .0
+            .unwrap();
+        cache
+            .get_or_compute(tenant_key(1, 2, 500), || Ok(0.9))
+            .0
+            .unwrap();
+        // Same kind, different tenant: distinct answers, no sharing.
+        let (r0, miss0) = cache.get_or_compute(tenant_key(0, 5, 500), || panic!("cached"));
+        let (r1, miss1) = cache.get_or_compute(tenant_key(1, 2, 500), || panic!("cached"));
+        assert_eq!((r0, miss0), (Ok(0.1), false));
+        assert_eq!((r1, miss1), (Ok(0.9), false));
+        // Tenant 0 advancing does not touch tenant 1's entries.
+        cache.advance_epoch(0, 6);
+        let (r1, miss1) = cache.get_or_compute(tenant_key(1, 2, 500), || panic!("survived"));
+        assert_eq!((r1, miss1), (Ok(0.9), false));
+        let (_, miss0) = cache.get_or_compute(tenant_key(0, 6, 500), || Ok(0.2));
+        assert!(miss0, "tenant 0's old epoch was dropped");
+    }
+
+    #[test]
+    fn capacity_eviction_spares_other_tenants() {
+        // One shard so every key contends on the same capacity bound.
+        let cache = InversionCache::new(1, 8, 4);
+        cache
+            .get_or_compute(tenant_key(1, 1, 999), || Ok(42.0))
+            .0
+            .unwrap();
+        // Tenant 0 sweeps far past capacity.
+        for i in 0..100 {
+            cache
+                .get_or_compute(tenant_key(0, 1, i), || Ok(0.0))
+                .0
+                .unwrap();
+        }
+        assert!(cache.evictions() > 0);
+        // Tenant 1's lone entry was never the eviction victim.
+        let (r, miss) = cache.get_or_compute(tenant_key(1, 1, 999), || panic!("evicted"));
+        assert_eq!((r, miss), (Ok(42.0), false));
+    }
+
+    #[test]
+    fn prewarm_result_is_a_hit_for_the_first_reader() {
+        let cache = InversionCache::default();
+        cache.prewarm_result(key(3, 500), Ok(0.75));
+        let (r, miss) = cache.get_or_compute(key(3, 500), || panic!("prewarmed"));
+        assert_eq!((r, miss), (Ok(0.75), false));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // A stale prewarm (older than the tenant's current epoch) is a no-op.
+        cache.advance_epoch(0, 4);
+        cache.prewarm_result(key(3, 400), Ok(0.5));
+        let (_, miss) = cache.get_or_compute(key(3, 400), || Ok(0.0));
+        assert!(miss, "old-epoch prewarm must not be served");
     }
 
     #[test]

@@ -118,6 +118,9 @@ pub struct PredictionEngine {
     next_epoch: u64,
     cache: Arc<InversionCache>,
     failed_refits: u64,
+    /// Tenant slot this engine's results are keyed under in the shared
+    /// cache (0 = the reserved `default` tenant).
+    tenant: u32,
 }
 
 impl PredictionEngine {
@@ -129,20 +132,33 @@ impl PredictionEngine {
 
     /// Creates an engine recording into a shared `cache` — the form the
     /// service uses so snapshot readers and the worker thread share one
-    /// bounded memo.
+    /// bounded memo. Results are keyed under tenant slot 0.
     pub fn with_cache(variant: ModelVariant, cache: Arc<InversionCache>) -> Self {
+        PredictionEngine::with_cache_for(variant, cache, 0)
+    }
+
+    /// Creates an engine for one tenant shard of a fleet: results are
+    /// keyed under `tenant` in the shared cache, so tenants never share
+    /// or evict each other's memoized answers.
+    pub fn with_cache_for(variant: ModelVariant, cache: Arc<InversionCache>, tenant: u32) -> Self {
         PredictionEngine {
             variant,
             snapshot: None,
             next_epoch: 1,
             cache,
             failed_refits: 0,
+            tenant,
         }
     }
 
     /// The model variant this engine evaluates.
     pub fn variant(&self) -> ModelVariant {
         self.variant
+    }
+
+    /// The tenant slot this engine's answers are keyed under.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     /// The shared result/model memo.
@@ -168,9 +184,9 @@ impl PredictionEngine {
             fitted_at,
             stale: false,
         });
-        self.cache.advance_epoch(epoch);
+        self.cache.advance_epoch(self.tenant, epoch);
         if let Some(m) = model {
-            self.cache.prewarm_model(epoch, m);
+            self.cache.prewarm_model(self.tenant, epoch, m);
         }
         epoch
     }
@@ -217,9 +233,15 @@ impl PredictionEngine {
         self.snapshot.clone().ok_or(ServeError::NotCalibrated)
     }
 
-    fn answer(&self, rate_q: Option<i64>, kind: QueryKind) -> Result<Prediction, ServeError> {
+    pub(crate) fn answer(
+        &self,
+        rate_q: Option<i64>,
+        kind: QueryKind,
+    ) -> Result<Prediction, ServeError> {
         let snap_ = self.current()?;
-        let (outcome, _miss) = self.cache.answer(&snap_, self.variant, rate_q, kind);
+        let (outcome, _miss) = self
+            .cache
+            .answer(self.tenant, &snap_, self.variant, rate_q, kind);
         outcome.map(|value| Prediction {
             value,
             epoch: snap_.epoch,

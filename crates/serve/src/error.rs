@@ -25,6 +25,19 @@ pub enum ServeError {
     GoalUnreachable,
     /// The service thread has shut down (its command channel is closed).
     Disconnected,
+    /// The query names a tenant the service has never seen telemetry for.
+    /// Network frontends map this to 404.
+    UnknownTenant {
+        /// The unknown tenant id.
+        tenant: String,
+    },
+    /// A [`Query`](crate::Query) is missing a required field or carries a
+    /// nonsensical value for the endpoint it was handed to. Network
+    /// frontends map this to 422.
+    BadQuery {
+        /// What is malformed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -41,6 +54,8 @@ impl std::fmt::Display for ServeError {
                 f.write_str("SLA goal unreachable at any admissible rate")
             }
             ServeError::Disconnected => f.write_str("prediction service has shut down"),
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            ServeError::BadQuery { reason } => write!(f, "malformed query: {reason}"),
         }
     }
 }

@@ -25,10 +25,15 @@
 //! * [`obs`] — the service's instrument bundle ([`ServeObs`]): refit
 //!   duration, cache-hit/miss query latency, ingest lag, and sweep-pool
 //!   timings, recorded into a shared [`cos_obs::Registry`];
+//! * [`tenant`] / [`query`] — the fleet dimension: [`TenantId`]-scoped
+//!   estimator shards and the builder-style [`Query`] every read endpoint
+//!   takes;
+//! * [`snapshot`] — the lock-free read path and the fleet's **delta
+//!   publication** protocol (only changed tenants republish);
 //! * [`service`] — the assembled [`SlaService`] state machine and its
 //!   spawned, channel-driven form;
 //! * [`error`] — typed failure modes (warming up, unstable ρ ≥ 1,
-//!   unreachable goals, shutdown).
+//!   unreachable goals, unknown tenants, malformed queries, shutdown).
 //!
 //! Degradation is graceful by construction: a failed or unstable re-fit
 //! never evicts the last good epoch — answers keep flowing, flagged
@@ -42,9 +47,11 @@ pub mod drift;
 pub mod engine;
 pub mod error;
 pub mod obs;
+pub mod query;
 pub mod service;
 pub mod snapshot;
 pub mod telemetry;
+pub mod tenant;
 pub mod worker;
 
 pub use cache::{quantize_rate, InversionCache, QueryKey, QueryKind};
@@ -56,10 +63,12 @@ pub use engine::{
 };
 pub use error::ServeError;
 pub use obs::ServeObs;
+pub use query::{Query, DEFAULT_HEADROOM_UPPER};
 pub use service::{
     InvalidConfig, ServeConfig, ServeConfigBuilder, ServiceClient, ServiceHandle, ServiceStatus,
     SlaService, TelemetrySender,
 };
-pub use snapshot::{SnapshotReader, SnapshotState};
+pub use snapshot::{FleetState, PublishStats, SnapshotReader, SnapshotState, TenantEntry};
 pub use telemetry::{OpClass, TelemetryEvent};
+pub use tenant::{InvalidTenant, TenantId, DEFAULT_TENANT};
 pub use worker::{RatePoint, SweepHandle, SweepPool};

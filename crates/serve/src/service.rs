@@ -1,30 +1,48 @@
-//! The service itself: telemetry in, predictions out.
+//! The service itself: telemetry in, predictions out — for a whole fleet.
 //!
-//! [`SlaService`] is the synchronous state machine — ingest advances event
-//! time, re-fits on a fixed event-time cadence, and queries go through the
-//! memoized engine. [`SlaService::spawn`] wraps it in a dedicated thread
-//! behind a single command channel (`std::sync::mpsc` has no `select`, so
-//! every interaction — telemetry, queries, control — is one `enum`
-//! message; FIFO ordering doubles as the flush barrier). The returned
-//! [`ServiceHandle`] is the client side; [`TelemetrySender`] is a cheap
-//! cloneable ingest-only endpoint to hand to a telemetry source.
+//! [`SlaService`] is the synchronous state machine. The fleet dimension is
+//! first-class: telemetry arrives tagged with a [`TenantId`]
+//! ([`SlaService::ingest_for`]), and each tenant gets an independent shard —
+//! its own sliding-window calibrator, drift monitor, and memoized engine
+//! keyed under its own slot of the shared [`InversionCache`] (so tenants
+//! never share or evict each other's quantized results). Re-fits are
+//! **batched**: one sweep fans every dirty tenant's fit over the `cos-par`
+//! pool ([`SlaService::refit_now`]), then a single serial pass installs the
+//! epochs and publishes one **delta** through the snapshot path — only
+//! changed tenants' states are republished (see the
+//! [`snapshot`](crate::snapshot) module docs for the protocol).
+//!
+//! [`SlaService::spawn`] wraps the service in a dedicated thread behind a
+//! single command channel (`std::sync::mpsc` has no `select`, so every
+//! interaction — telemetry, queries, control — is one `enum` message; FIFO
+//! ordering doubles as the flush barrier). The returned [`ServiceHandle`]
+//! is the client side; [`TelemetrySender`] is a cheap cloneable
+//! tenant-scoped ingest-only endpoint to hand to a telemetry source.
+//!
+//! Queries are [`Query`] values (`service.attainment(&Query::tenant(t)
+//! .sla(0.05))`); the positional methods of the spawned client surface are
+//! kept as deprecated shims that delegate to the `Query` path,
+//! bit-identically.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use cos_model::{ModelVariant, SlaGoal, SystemModel};
+use cos_model::{ModelVariant, SlaGoal, SystemModel, SystemParams};
 use cos_obs::Registry;
 
-use crate::cache::InversionCache;
+use crate::cache::{InversionCache, QueryKey, QueryKind};
 use crate::calibrate::{CalibrationBase, CalibratorConfig, OnlineCalibrator};
 use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
-use crate::engine::{EngineHealth, Prediction, PredictionEngine};
+use crate::engine::{snap, EngineHealth, Prediction, PredictionEngine, SLA_QUANTUM};
 use crate::error::ServeError;
 use crate::obs::ServeObs;
-use crate::snapshot::{SnapshotReader, SnapshotShared, SnapshotState};
+use crate::query::Query;
+use crate::snapshot::{PublishStats, SnapshotReader, SnapshotShared, SnapshotState};
 use crate::telemetry::TelemetryEvent;
+use crate::tenant::TenantId;
 use crate::worker::{RatePoint, SweepHandle, SweepPool};
 
 /// Service configuration.
@@ -42,6 +60,11 @@ pub struct ServeConfig {
     pub refit_interval: f64,
     /// Worker threads of the what-if sweep pool.
     pub sweep_workers: usize,
+    /// Worker threads a batched fleet re-fit fans out over (defaults to
+    /// the machine's available parallelism). Fit results are
+    /// order-preserving and per-tenant independent, so the answer bits
+    /// never depend on this knob.
+    pub refit_workers: usize,
     /// Instrument registry the service records into (share one registry
     /// between the service and a gate to get a single `/metrics` view).
     pub obs: Registry,
@@ -56,6 +79,7 @@ impl Default for ServeConfig {
             drift: DriftConfig::default(),
             refit_interval: 5.0,
             sweep_workers: 2,
+            refit_workers: cos_par::default_workers(),
             obs: Registry::new(),
         }
     }
@@ -134,6 +158,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Worker threads of a batched fleet re-fit (≥ 1).
+    pub fn refit_workers(mut self, workers: usize) -> Self {
+        self.config.refit_workers = workers;
+        self
+    }
+
     /// Instrument registry the service records into.
     pub fn obs(mut self, registry: Registry) -> Self {
         self.config.obs = registry;
@@ -161,6 +191,9 @@ impl ServeConfigBuilder {
         }
         if c.sweep_workers == 0 {
             return err("sweep_workers", "must be at least 1".into());
+        }
+        if c.refit_workers == 0 {
+            return err("refit_workers", "must be at least 1".into());
         }
         if !c.calibrator.window.is_finite() || c.calibrator.window <= 0.0 {
             return err(
@@ -212,27 +245,69 @@ impl ServiceStatus {
     }
 }
 
-/// The synchronous prediction service.
-pub struct SlaService {
-    config: ServeConfig,
+/// One tenant's independent estimator state: calibrator window, drift
+/// monitor, and memoized engine keyed under the tenant's cache slot.
+struct TenantShard {
+    id: TenantId,
+    slot: u32,
     calibrator: OnlineCalibrator,
     drift: DriftMonitor,
     engine: PredictionEngine,
+    last_fit_error: Option<String>,
+    last_fit_unstable: bool,
+    /// Drift verdicts captured at this shard's last re-fit attempt — the
+    /// published state reuses them instead of re-evaluating against a
+    /// moved clock, which is what makes [`build_state`] a pure function
+    /// of the shard (and delta publication provably lossless).
+    last_drift: Vec<DriftReport>,
+    /// Whether the shard has ingested telemetry since its last re-fit.
+    dirty: bool,
+    events_total: u64,
+}
+
+/// The published [`SnapshotState`] is a pure function of the shard: same
+/// shard state in, same bytes out — rebuilding an unchanged shard's state
+/// reproduces exactly what is already published, which is the invariant
+/// the delta protocol rests on.
+fn build_state(shard: &TenantShard) -> SnapshotState {
+    SnapshotState {
+        snapshot: shard.engine.snapshot().cloned(),
+        last_fit_error: shard.last_fit_error.clone(),
+        failed_refits: shard.engine.failed_refits(),
+        unstable_fit: shard.last_fit_unstable,
+        drift: shard.last_drift.clone(),
+    }
+}
+
+/// Outcome of one tenant's parallel fit attempt: fitted parameters, the
+/// validated model, and per-SLA attainment predictions — or the failure
+/// message plus whether it was an instability.
+type FitOutcome = Result<(SystemParams, Arc<SystemModel>, Vec<Option<f64>>), (String, bool)>;
+
+/// The synchronous prediction service.
+pub struct SlaService {
+    config: ServeConfig,
+    base: CalibrationBase,
+    cache: Arc<InversionCache>,
+    shards: Vec<TenantShard>,
+    index: HashMap<TenantId, u32>,
     pool: SweepPool,
     obs: ServeObs,
     shared: Arc<SnapshotShared>,
     now: f64,
     last_refit: f64,
-    last_fit_error: Option<String>,
-    last_fit_unstable: bool,
+    last_publish: PublishStats,
 }
 
 impl SlaService {
-    /// Creates a service over `base`'s topology.
+    /// Creates a service over `base`'s topology. The reserved `default`
+    /// tenant exists from the start (slot 0); further tenants materialize
+    /// on their first [`ingest_for`](SlaService::ingest_for).
     pub fn new(base: CalibrationBase, config: ServeConfig) -> Self {
         let obs = ServeObs::register(&config.obs);
         let cache = Arc::new(InversionCache::default());
         let drift = DriftMonitor::new(config.slas.clone(), config.drift.clone());
+        let last_drift = drift.report(0.0, &vec![None; config.slas.len()]);
         let shared = Arc::new(SnapshotShared::new(
             config.variant,
             Arc::clone(&cache),
@@ -242,13 +317,26 @@ impl SlaService {
                 last_fit_error: None,
                 failed_refits: 0,
                 unstable_fit: false,
-                drift: drift.report(0.0, &vec![None; config.slas.len()]),
+                drift: last_drift.clone(),
             },
         ));
-        SlaService {
-            calibrator: OnlineCalibrator::new(base, config.calibrator.clone()),
+        let default_shard = TenantShard {
+            id: TenantId::default_tenant(),
+            slot: 0,
+            calibrator: OnlineCalibrator::new(base.clone(), config.calibrator.clone()),
             drift,
-            engine: PredictionEngine::with_cache(config.variant, cache),
+            engine: PredictionEngine::with_cache_for(config.variant, Arc::clone(&cache), 0),
+            last_fit_error: None,
+            last_fit_unstable: false,
+            last_drift,
+            dirty: false,
+            events_total: 0,
+        };
+        SlaService {
+            base,
+            cache,
+            shards: vec![default_shard],
+            index: HashMap::from([(TenantId::default_tenant(), 0)]),
             pool: SweepPool::with_timing(
                 config.sweep_workers,
                 Some(obs.sweep_queue_wait.clone()),
@@ -258,8 +346,7 @@ impl SlaService {
             shared,
             now: 0.0,
             last_refit: 0.0,
-            last_fit_error: None,
-            last_fit_unstable: false,
+            last_publish: PublishStats::default(),
             config,
         }
     }
@@ -274,189 +361,398 @@ impl SlaService {
         self.now
     }
 
-    /// Feeds one telemetry event, re-fitting automatically once per
-    /// [`ServeConfig::refit_interval`] of event time.
+    /// Number of tenants the fleet has materialized (≥ 1: the `default`
+    /// tenant always exists).
+    pub fn tenants(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Every materialized tenant's id, in slot order.
+    pub fn tenant_ids(&self) -> impl Iterator<Item = &TenantId> {
+        self.shards.iter().map(|s| &s.id)
+    }
+
+    /// Accounting of the most recent snapshot publication (delta vs full
+    /// bytes).
+    pub fn last_publish_stats(&self) -> PublishStats {
+        self.last_publish
+    }
+
+    fn slot_of(&self, tenant: &TenantId) -> Result<u32, ServeError> {
+        self.index
+            .get(tenant)
+            .copied()
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })
+    }
+
+    /// The tenant's slot, materializing a fresh shard (and registering it
+    /// with the snapshot path) on first sight.
+    fn slot_or_create(&mut self, tenant: &TenantId) -> u32 {
+        if let Some(&slot) = self.index.get(tenant) {
+            return slot;
+        }
+        let slot = self.shards.len() as u32;
+        let drift = DriftMonitor::new(self.config.slas.clone(), self.config.drift.clone());
+        let shard = TenantShard {
+            id: tenant.clone(),
+            slot,
+            calibrator: OnlineCalibrator::new(self.base.clone(), self.config.calibrator.clone()),
+            last_drift: drift.report(0.0, &vec![None; self.config.slas.len()]),
+            drift,
+            engine: PredictionEngine::with_cache_for(
+                self.config.variant,
+                Arc::clone(&self.cache),
+                slot,
+            ),
+            last_fit_error: None,
+            last_fit_unstable: false,
+            dirty: false,
+            events_total: 0,
+        };
+        let registered = self
+            .shared
+            .register_tenant(tenant.clone(), Arc::new(build_state(&shard)));
+        debug_assert_eq!(registered, slot);
+        self.index.insert(tenant.clone(), slot);
+        self.shards.push(shard);
+        slot
+    }
+
+    /// Feeds one telemetry event for the `default` tenant, re-fitting
+    /// automatically once per [`ServeConfig::refit_interval`] of event
+    /// time.
     pub fn ingest(&mut self, event: TelemetryEvent) {
+        self.ingest_slot(0, event);
+    }
+
+    /// Feeds one telemetry event for `tenant` (materializing its shard on
+    /// first sight), re-fitting automatically once per
+    /// [`ServeConfig::refit_interval`] of event time — a fleet-wide
+    /// cadence: one batched sweep re-fits every tenant that saw traffic.
+    pub fn ingest_for(&mut self, tenant: &TenantId, event: TelemetryEvent) {
+        let slot = self.slot_or_create(tenant);
+        self.ingest_slot(slot, event);
+    }
+
+    fn ingest_slot(&mut self, slot: u32, event: TelemetryEvent) {
         self.obs.ingest_events_total.inc();
         let t = event.time();
         self.now = self.now.max(t);
         self.shared.set_event_time(self.now);
+        let shard = &mut self.shards[slot as usize];
         if let TelemetryEvent::Completion { latency, .. } = event {
-            self.drift.record(t, latency);
+            shard.drift.record(t, latency);
         }
-        self.calibrator.ingest(&event);
+        shard.calibrator.ingest(&event);
+        shard.dirty = true;
+        shard.events_total += 1;
         if self.now - self.last_refit >= self.config.refit_interval {
             self.refit_now();
         }
     }
 
-    /// Forces a re-fit at the current event time. Returns `true` if a new
-    /// epoch was installed; on failure the previous epoch (if any) keeps
-    /// serving, flagged stale.
+    /// Forces a batched re-fit at the current event time, covering the
+    /// `default` tenant plus every tenant that ingested telemetry since
+    /// its last re-fit. Fits fan out over [`ServeConfig::refit_workers`]
+    /// threads; one delta publish follows. Returns `true` if a new epoch
+    /// was installed for the `default` tenant; on failure the previous
+    /// epoch (if any) keeps serving, flagged stale.
     pub fn refit_now(&mut self) -> bool {
+        let mut slots: Vec<u32> = vec![0];
+        slots.extend(
+            self.shards
+                .iter()
+                .filter(|s| s.dirty && s.slot != 0)
+                .map(|s| s.slot),
+        );
+        self.refit_slots(&slots, self.config.refit_workers)
+    }
+
+    /// Forces a re-fit of **every** tenant (dirty or not) over `workers`
+    /// threads — the full-fleet sweep the benches time. Returns the number
+    /// of tenants refitted.
+    pub fn refit_fleet(&mut self, workers: usize) -> usize {
+        let slots: Vec<u32> = (0..self.shards.len() as u32).collect();
+        self.refit_slots(&slots, workers.max(1));
+        slots.len()
+    }
+
+    /// The batched re-fit: phase 1 fans the pure fit + model build + per-
+    /// SLA predictions over the `cos-par` pool (one parallel sweep, not
+    /// O(tenants) sequential solves — `try_fit` is `&self`, so shards are
+    /// read concurrently); phase 2 serially installs epochs, pre-warms the
+    /// cache, and publishes one delta.
+    fn refit_slots(&mut self, slots: &[u32], workers: usize) -> bool {
         self.obs.refits_total.inc();
-        let installed = {
-            let _refit_span = self.obs.refit.start_span();
-            self.last_refit = self.now;
-            let fitted = match self.calibrator.try_fit(self.now) {
-                Ok(params) => Some(params),
-                Err(e) => {
-                    self.last_fit_error = Some(e.to_string());
-                    self.last_fit_unstable = false;
-                    self.engine.mark_stale();
-                    None
-                }
-            };
-            // Validate stability *before* installing: an unstable fit (a
-            // load spike pushing ρ ≥ 1 through the window) must not evict
-            // a usable epoch. The successfully built model pre-warms the
-            // engine.
-            match fitted {
-                None => false,
-                Some(fitted) => match SystemModel::new(&fitted, self.config.variant) {
-                    Ok(model) => {
-                        self.engine
-                            .install(Arc::new(fitted), self.now, Some(Arc::new(model)));
-                        self.last_fit_error = None;
-                        self.last_fit_unstable = false;
-                        true
-                    }
-                    Err(e) => {
+        let _refit_span = self.obs.refit.start_span();
+        self.last_refit = self.now;
+        let now = self.now;
+        let variant = self.config.variant;
+        let slas = self.config.slas.clone();
+
+        // Phase 1 — parallel, read-only over the shards.
+        let jobs: Vec<(u32, &OnlineCalibrator)> = slots
+            .iter()
+            .map(|&s| (s, &self.shards[s as usize].calibrator))
+            .collect();
+        let outcomes: Vec<(u32, FitOutcome)> =
+            cos_par::par_map(workers, &jobs, |_, &(slot, cal)| {
+                let outcome = match cal.try_fit(now) {
+                    Err(e) => Err((e.to_string(), false)),
+                    Ok(params) => match SystemModel::new(&params, variant) {
+                        Ok(model) => {
+                            // Predictions at the snapped SLA — the same value
+                            // the cache's evaluation path would produce, so
+                            // pre-warming with them is bit-lossless.
+                            let preds: Vec<Option<f64>> = slas
+                                .iter()
+                                .map(|&sla| {
+                                    Some(model.fraction_meeting_sla(snap(sla, SLA_QUANTUM).1))
+                                })
+                                .collect();
+                            Ok((params, Arc::new(model), preds))
+                        }
                         // Every ModelError is an instability (ρ ≥ 1 in some
                         // queue): the live load exceeds what the last good
                         // epoch can describe.
-                        self.last_fit_error = Some(e.to_string());
-                        self.last_fit_unstable = true;
-                        self.engine.mark_stale();
-                        false
+                        Err(e) => Err((e.to_string(), true)),
+                    },
+                };
+                (slot, outcome)
+            });
+
+        // Phase 2 — serial: install epochs (validated-before-install, so
+        // an unstable fit never evicts a usable epoch), pre-warm, rebuild
+        // changed states, publish one delta.
+        let mut installed_default = false;
+        let mut changes: Vec<(u32, Arc<SnapshotState>, u64)> = Vec::with_capacity(outcomes.len());
+        for (slot, outcome) in outcomes {
+            let idx = slot as usize;
+            match outcome {
+                Ok((params, model, preds)) => {
+                    let shard = &mut self.shards[idx];
+                    let epoch = shard.engine.install(Arc::new(params), now, Some(model));
+                    shard.last_fit_error = None;
+                    shard.last_fit_unstable = false;
+                    shard.last_drift = shard.drift.report(now, &preds);
+                    for (&sla, pred) in slas.iter().zip(&preds) {
+                        if let Some(v) = pred {
+                            self.cache.prewarm_result(
+                                QueryKey {
+                                    tenant: slot,
+                                    epoch,
+                                    rate_q: None,
+                                    kind: QueryKind::fraction(sla),
+                                },
+                                Ok(*v),
+                            );
+                        }
                     }
-                },
+                    if slot == 0 {
+                        installed_default = true;
+                    }
+                }
+                Err((message, unstable)) => {
+                    let shard = &mut self.shards[idx];
+                    shard.last_fit_error = Some(message);
+                    shard.last_fit_unstable = unstable;
+                    shard.engine.mark_stale();
+                    let preds: Vec<Option<f64>> = slas
+                        .iter()
+                        .map(|&sla| shard.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
+                        .collect();
+                    shard.last_drift = shard.drift.report(now, &preds);
+                }
             }
-        };
+            let shard = &mut self.shards[idx];
+            shard.dirty = false;
+            changes.push((slot, Arc::new(build_state(shard)), shard.events_total));
+        }
         // Publish on every attempt — success or failure — so snapshot
         // readers observe staleness and fit errors as promptly as the
         // channel path does.
-        self.publish_state();
-        installed
+        self.last_publish = self.shared.publish_delta(&changes);
+        installed_default
     }
 
-    /// Pushes the engine's current epoch, fit-failure state, and fresh
-    /// drift verdicts to the lock-free readers. The per-SLA predictions
-    /// computed for the drift report double as a cache pre-warm: the
-    /// dashboard's hottest keys are resident before the first reader asks.
-    fn publish_state(&mut self) {
-        let predictions: Vec<Option<f64>> = self
-            .config
-            .slas
+    /// Rebuilds and republishes **every** tenant's state from shard state
+    /// alone — no re-fit. Because the internal `build_state` is pure, the result is
+    /// bit-identical to the currently published fleet; the property tests
+    /// use this to prove delta publication lossless.
+    pub fn republish_full(&mut self) -> PublishStats {
+        let changes: Vec<(u32, Arc<SnapshotState>, u64)> = self
+            .shards
             .iter()
-            .map(|&sla| self.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
+            .map(|s| (s.slot, Arc::new(build_state(s)), s.events_total))
             .collect();
-        self.shared.publish(SnapshotState {
-            snapshot: self.engine.snapshot().cloned(),
-            last_fit_error: self.last_fit_error.clone(),
-            failed_refits: self.engine.failed_refits(),
-            unstable_fit: self.last_fit_unstable,
-            drift: self.drift.report(self.now, &predictions),
-        });
+        self.last_publish = self.shared.publish_delta(&changes);
+        self.last_publish
     }
 
-    /// A lock-free query endpoint over this service's published epochs.
+    /// A lock-free query endpoint over this service's published fleet.
     pub fn reader(&self) -> SnapshotReader {
         SnapshotReader::new(Arc::clone(&self.shared))
     }
 
-    /// Predicted fraction of requests meeting `sla` at the calibrated
-    /// operating point.
-    pub fn predict(&mut self, sla: f64) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| e.fraction_meeting_sla(sla))
+    /// Predicted fraction of requests meeting the query's SLA (plain,
+    /// what-if rate, or erasure-coded), for the query's tenant.
+    pub fn attainment(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.attainment_question()?;
+        let slot = self.slot_of(query.tenant_id())?;
+        timed_query(&self.obs, &self.shards[slot as usize].engine, |e| {
+            e.answer(rate_q, kind)
+        })
     }
 
-    /// What-if: fraction meeting `sla` at a hypothetical total rate.
-    pub fn predict_at_rate(&mut self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| {
+    /// Predicted response-latency percentile for the query's tenant.
+    pub fn latency_percentile(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.percentile_question()?;
+        let slot = self.slot_of(query.tenant_id())?;
+        timed_query(&self.obs, &self.shards[slot as usize].engine, |e| {
+            e.answer(rate_q, kind)
+        })
+    }
+
+    /// Overload-control headroom (largest admissible rate) for the
+    /// query's tenant.
+    pub fn admissible_rate(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.headroom_question()?;
+        let slot = self.slot_of(query.tenant_id())?;
+        timed_query(&self.obs, &self.shards[slot as usize].engine, |e| {
+            e.answer(rate_q, kind)
+        })
+    }
+
+    /// Bottleneck ranking for the query's tenant, worst device first.
+    pub fn device_ranking(&self, query: &Query) -> Result<Vec<(usize, f64)>, ServeError> {
+        let sla = query.ranking_sla()?;
+        let slot = self.slot_of(query.tenant_id())?;
+        timed_query(&self.obs, &self.shards[slot as usize].engine, |e| {
+            e.bottlenecks(sla)
+        })
+    }
+
+    /// Predicted fraction of requests meeting `sla` at the calibrated
+    /// operating point (`default` tenant).
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
+            e.fraction_meeting_sla(sla)
+        })
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate
+    /// (`default` tenant).
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
             e.fraction_at_rate(rate, sla)
         })
     }
 
-    /// Predicted response-latency percentile (e.g. `p = 0.95`).
-    pub fn percentile(&mut self, p: f64) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| e.latency_percentile(p))
+    /// Predicted response-latency percentile (e.g. `p = 0.95`), `default`
+    /// tenant.
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
+            e.latency_percentile(p)
+        })
     }
 
-    /// Overload-control headroom up to `upper` req/s.
-    pub fn headroom(&mut self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| e.headroom(goal, upper))
+    /// Overload-control headroom up to `upper` req/s (`default` tenant).
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
+            e.headroom(goal, upper)
+        })
     }
 
-    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`
+    /// (`default` tenant).
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= needed <= launched` — network callers are
     /// validated at the gate.
     pub fn coded_fraction(
-        &mut self,
+        &self,
         launched: u16,
         needed: u16,
         sla: f64,
     ) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
             e.coded_fraction(launched, needed, sla)
         })
     }
 
-    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    /// Latency percentile of erasure-coded `(launched, needed)` reads
+    /// (`default` tenant).
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= needed <= launched` — network callers are
     /// validated at the gate.
     pub fn coded_percentile(
-        &mut self,
+        &self,
         launched: u16,
         needed: u16,
         p: f64,
     ) -> Result<Prediction, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| {
+        timed_query(&self.obs, &self.shards[0].engine, |e| {
             e.coded_percentile(launched, needed, p)
         })
     }
 
-    /// Bottleneck ranking, worst device first.
-    pub fn bottlenecks(&mut self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        timed_query(&self.obs, &mut self.engine, |e| e.bottlenecks(sla))
+    /// Bottleneck ranking, worst device first (`default` tenant).
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        timed_query(&self.obs, &self.shards[0].engine, |e| e.bottlenecks(sla))
     }
 
-    /// Submits a batch what-if sweep to the worker pool (non-blocking).
+    /// Submits a batch what-if sweep of the `default` tenant to the worker
+    /// pool (non-blocking).
     pub fn sweep(&self, rates: &[f64], slas: Vec<f64>) -> Result<SweepHandle, ServeError> {
-        let snap = self.engine.snapshot().ok_or(ServeError::NotCalibrated)?;
+        let snap = self.shards[0]
+            .engine
+            .snapshot()
+            .ok_or(ServeError::NotCalibrated)?;
         Ok(self
             .pool
             .submit(snap.params.clone(), self.config.variant, rates, slas))
     }
 
-    /// Direct access to the memoized engine (e.g. for cache statistics).
+    /// Direct access to the `default` tenant's memoized engine (e.g. for
+    /// cache statistics — the cache is shared fleet-wide).
     pub fn engine(&self) -> &PredictionEngine {
-        &self.engine
+        &self.shards[0].engine
     }
 
-    /// Health summary: epoch, staleness, cache counters, drift verdicts.
-    pub fn status(&mut self) -> ServiceStatus {
-        let slas = self.config.slas.clone();
-        let predictions: Vec<Option<f64>> = slas
+    fn status_slot(&self, slot: u32) -> ServiceStatus {
+        let shard = &self.shards[slot as usize];
+        let predictions: Vec<Option<f64>> = self
+            .config
+            .slas
             .iter()
-            .map(|&sla| self.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
+            .map(|&sla| shard.engine.fraction_meeting_sla(sla).ok().map(|p| p.value))
             .collect();
-        let snap = self.engine.snapshot();
+        let snap = shard.engine.snapshot();
         ServiceStatus {
             event_time: self.now,
             epoch: snap.map(|s| s.epoch),
             fitted_at: snap.map(|s| s.fitted_at),
             stale: snap.map(|s| s.stale).unwrap_or(false),
-            last_fit_error: self.last_fit_error.clone(),
-            engine: self.engine.health(),
-            drift: self.drift.report(self.now, &predictions),
+            last_fit_error: shard.last_fit_error.clone(),
+            engine: shard.engine.health(),
+            drift: shard.drift.report(self.now, &predictions),
         }
+    }
+
+    /// Health summary of the `default` tenant: epoch, staleness, cache
+    /// counters, drift verdicts.
+    pub fn status(&self) -> ServiceStatus {
+        self.status_slot(0)
+    }
+
+    /// [`status`](SlaService::status) for an arbitrary tenant.
+    pub fn status_for(&self, tenant: &TenantId) -> Result<ServiceStatus, ServeError> {
+        Ok(self.status_slot(self.slot_of(tenant)?))
     }
 
     /// Moves the service onto its own thread behind a command channel.
@@ -475,12 +771,12 @@ impl SlaService {
 }
 
 /// Times one engine query and records its latency into the cache-hit or
-/// cache-miss histogram, classified by whether the engine's miss counter
-/// advanced (i.e. a fresh inversion ran) during the call.
+/// cache-miss histogram, classified by whether the shared cache's miss
+/// counter advanced (i.e. a fresh inversion ran) during the call.
 fn timed_query<T>(
     obs: &ServeObs,
-    engine: &mut PredictionEngine,
-    query: impl FnOnce(&mut PredictionEngine) -> T,
+    engine: &PredictionEngine,
+    query: impl FnOnce(&PredictionEngine) -> T,
 ) -> T {
     let misses_before = engine.stats().misses;
     let start = Instant::now();
@@ -495,48 +791,18 @@ fn timed_query<T>(
 }
 
 enum Command {
-    Ingest(TelemetryEvent, Option<Instant>),
+    Ingest(TenantId, TelemetryEvent, Option<Instant>),
     Refit(Sender<bool>),
-    Predict {
-        sla: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    PredictAtRate {
-        rate: f64,
-        sla: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    Percentile {
-        p: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    Headroom {
-        goal: SlaGoal,
-        upper: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    CodedFraction {
-        launched: u16,
-        needed: u16,
-        sla: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    CodedPercentile {
-        launched: u16,
-        needed: u16,
-        p: f64,
-        reply: Sender<Result<Prediction, ServeError>>,
-    },
-    Bottlenecks {
-        sla: f64,
-        reply: Sender<Result<Vec<(usize, f64)>, ServeError>>,
-    },
+    Attainment(Query, Sender<Result<Prediction, ServeError>>),
+    Percentile(Query, Sender<Result<Prediction, ServeError>>),
+    Headroom(Query, Sender<Result<Prediction, ServeError>>),
+    Ranking(Query, Sender<Result<Vec<(usize, f64)>, ServeError>>),
     Sweep {
         rates: Vec<f64>,
         slas: Vec<f64>,
         reply: Sender<Result<Vec<RatePoint>, ServeError>>,
     },
-    Status(Sender<ServiceStatus>),
+    Status(TenantId, Sender<Result<ServiceStatus, ServeError>>),
     Flush(Sender<()>),
     Shutdown,
 }
@@ -544,45 +810,26 @@ enum Command {
 fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
     while let Ok(command) = rx.recv() {
         match command {
-            Command::Ingest(ev, sent_at) => {
+            Command::Ingest(tenant, ev, sent_at) => {
                 if let Some(at) = sent_at {
                     service.obs.ingest_lag.record_duration(at.elapsed());
                 }
-                service.ingest(ev);
+                service.ingest_for(&tenant, ev);
             }
             Command::Refit(reply) => {
                 let _ = reply.send(service.refit_now());
             }
-            Command::Predict { sla, reply } => {
-                let _ = reply.send(service.predict(sla));
+            Command::Attainment(query, reply) => {
+                let _ = reply.send(service.attainment(&query));
             }
-            Command::PredictAtRate { rate, sla, reply } => {
-                let _ = reply.send(service.predict_at_rate(rate, sla));
+            Command::Percentile(query, reply) => {
+                let _ = reply.send(service.latency_percentile(&query));
             }
-            Command::Percentile { p, reply } => {
-                let _ = reply.send(service.percentile(p));
+            Command::Headroom(query, reply) => {
+                let _ = reply.send(service.admissible_rate(&query));
             }
-            Command::Headroom { goal, upper, reply } => {
-                let _ = reply.send(service.headroom(goal, upper));
-            }
-            Command::CodedFraction {
-                launched,
-                needed,
-                sla,
-                reply,
-            } => {
-                let _ = reply.send(service.coded_fraction(launched, needed, sla));
-            }
-            Command::CodedPercentile {
-                launched,
-                needed,
-                p,
-                reply,
-            } => {
-                let _ = reply.send(service.coded_percentile(launched, needed, p));
-            }
-            Command::Bottlenecks { sla, reply } => {
-                let _ = reply.send(service.bottlenecks(sla));
+            Command::Ranking(query, reply) => {
+                let _ = reply.send(service.device_ranking(&query));
             }
             Command::Sweep { rates, slas, reply } => {
                 // Submit, then collect off-thread work while staying
@@ -590,8 +837,8 @@ fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
                 // the evaluation, this thread only blocks on collection.
                 let _ = reply.send(service.sweep(&rates, slas).map(SweepHandle::wait));
             }
-            Command::Status(reply) => {
-                let _ = reply.send(service.status());
+            Command::Status(tenant, reply) => {
+                let _ = reply.send(service.status_for(&tenant));
             }
             Command::Flush(reply) => {
                 let _ = reply.send(());
@@ -605,16 +852,28 @@ fn run_service(mut service: SlaService, rx: Receiver<Command>) -> SlaService {
     service
 }
 
-/// Ingest-only endpoint for telemetry producers. Sends never fail: once the
-/// service is gone, records are dropped (a dead consumer must not crash the
-/// producer).
+/// Tenant-scoped ingest-only endpoint for telemetry producers. Sends never
+/// fail: once the service is gone, records are dropped (a dead consumer
+/// must not crash the producer).
 #[derive(Clone)]
-pub struct TelemetrySender(Sender<Command>);
+pub struct TelemetrySender {
+    tx: Sender<Command>,
+    tenant: TenantId,
+}
 
 impl TelemetrySender {
-    /// Feeds one event to the service.
+    /// Feeds one event to the service, tagged with this sender's tenant.
     pub fn send(&self, event: TelemetryEvent) {
-        let _ = self.0.send(Command::Ingest(event, Some(Instant::now())));
+        let _ = self.tx.send(Command::Ingest(
+            self.tenant.clone(),
+            event,
+            Some(Instant::now()),
+        ));
+    }
+
+    /// The tenant this sender's events are attributed to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
     }
 }
 
@@ -641,21 +900,35 @@ impl ServiceClient {
     }
 
     /// The lock-free snapshot endpoint: evaluates queries on the calling
-    /// thread against the worker's published epoch, bit-identical to the
+    /// thread against the worker's published fleet, bit-identical to the
     /// channel methods below. Prefer it for read-heavy consumers.
     pub fn reader(&self) -> SnapshotReader {
         self.reader.clone()
     }
 
-    /// A cloneable ingest-only endpoint.
+    /// A cloneable ingest-only endpoint for the `default` tenant.
     pub fn telemetry_sender(&self) -> TelemetrySender {
-        TelemetrySender(self.tx.clone())
+        self.telemetry_sender_for(TenantId::default_tenant())
     }
 
-    /// Feeds one telemetry event (non-blocking).
+    /// A cloneable ingest-only endpoint attributing events to `tenant`.
+    pub fn telemetry_sender_for(&self, tenant: TenantId) -> TelemetrySender {
+        TelemetrySender {
+            tx: self.tx.clone(),
+            tenant,
+        }
+    }
+
+    /// Feeds one telemetry event for the `default` tenant (non-blocking).
     pub fn ingest(&self, event: TelemetryEvent) -> Result<(), ServeError> {
+        self.ingest_for(&TenantId::default_tenant(), event)
+    }
+
+    /// Feeds one telemetry event for `tenant` (non-blocking). The tenant's
+    /// shard materializes on first sight.
+    pub fn ingest_for(&self, tenant: &TenantId, event: TelemetryEvent) -> Result<(), ServeError> {
         self.tx
-            .send(Command::Ingest(event, Some(Instant::now())))
+            .send(Command::Ingest(tenant.clone(), event, Some(Instant::now())))
             .map_err(|_| ServeError::Disconnected)
     }
 
@@ -664,130 +937,70 @@ impl ServiceClient {
         self.ask(Command::Flush)
     }
 
-    /// Forces a re-fit; `Ok(true)` if a new epoch was installed.
+    /// Forces a batched re-fit; `Ok(true)` if a new epoch was installed
+    /// for the `default` tenant.
     pub fn refit_now(&self) -> Result<bool, ServeError> {
         self.ask(Command::Refit)
     }
 
-    /// Predicted fraction meeting `sla` at the calibrated operating point.
-    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::Predict { sla, reply })?
+    /// Predicted fraction of requests meeting the query's SLA (plain,
+    /// what-if rate, or erasure-coded), for the query's tenant.
+    pub fn attainment(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Attainment(query, reply))?
     }
 
-    /// What-if: fraction meeting `sla` at a hypothetical total rate.
-    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::PredictAtRate { rate, sla, reply })?
+    /// Predicted response-latency percentile for the query's tenant.
+    pub fn latency_percentile(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Percentile(query, reply))?
     }
 
-    /// Predicted response-latency percentile.
-    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::Percentile { p, reply })?
+    /// Overload-control headroom (largest admissible rate) for the
+    /// query's tenant.
+    pub fn admissible_rate(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.ask(|reply| Command::Headroom(query, reply))?
     }
 
-    /// Overload-control headroom up to `upper` req/s.
-    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::Headroom { goal, upper, reply })?
+    /// Bottleneck ranking for the query's tenant, worst device first.
+    pub fn device_ranking(&self, query: Query) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.ask(|reply| Command::Ranking(query, reply))?
     }
 
-    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
-    ///
-    /// # Panics
-    ///
-    /// The service thread panics unless `1 <= needed <= launched` —
-    /// network callers are validated at the gate.
-    pub fn coded_fraction(
-        &self,
-        launched: u16,
-        needed: u16,
-        sla: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::CodedFraction {
-            launched,
-            needed,
-            sla,
-            reply,
-        })?
-    }
-
-    /// Latency percentile of erasure-coded `(launched, needed)` reads.
-    ///
-    /// # Panics
-    ///
-    /// The service thread panics unless `1 <= needed <= launched` —
-    /// network callers are validated at the gate.
-    pub fn coded_percentile(
-        &self,
-        launched: u16,
-        needed: u16,
-        p: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.ask(|reply| Command::CodedPercentile {
-            launched,
-            needed,
-            p,
-            reply,
-        })?
-    }
-
-    /// Bottleneck ranking, worst device first.
-    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        self.ask(|reply| Command::Bottlenecks { sla, reply })?
-    }
-
-    /// Batch what-if sweep, evaluated on the worker pool.
+    /// Batch what-if sweep of the `default` tenant, evaluated on the
+    /// worker pool.
     pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
         self.ask(|reply| Command::Sweep { rates, slas, reply })?
     }
 
-    /// Health summary.
+    /// Health summary of the `default` tenant.
     pub fn status(&self) -> Result<ServiceStatus, ServeError> {
-        self.ask(Command::Status)
+        self.ask(|reply| Command::Status(TenantId::default_tenant(), reply))?
     }
 
-    /// Snapshot-path [`predict`](ServiceClient::predict): evaluated on
-    /// the calling thread, no channel round-trip, bit-identical answer.
-    pub fn read_predict(&self, sla: f64) -> Result<Prediction, ServeError> {
-        self.reader.predict(sla)
+    /// Health summary of an arbitrary tenant.
+    pub fn status_for(&self, tenant: &TenantId) -> Result<ServiceStatus, ServeError> {
+        self.ask(|reply| Command::Status(tenant.clone(), reply))?
     }
 
-    /// Snapshot-path [`predict_at_rate`](ServiceClient::predict_at_rate).
-    pub fn read_predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        self.reader.predict_at_rate(rate, sla)
+    /// Snapshot-path [`attainment`](ServiceClient::attainment): evaluated
+    /// on the calling thread, no channel round-trip, bit-identical answer.
+    pub fn read_attainment(&self, query: &Query) -> Result<Prediction, ServeError> {
+        self.reader.attainment(query)
     }
 
-    /// Snapshot-path [`percentile`](ServiceClient::percentile).
-    pub fn read_percentile(&self, p: f64) -> Result<Prediction, ServeError> {
-        self.reader.percentile(p)
+    /// Snapshot-path
+    /// [`latency_percentile`](ServiceClient::latency_percentile).
+    pub fn read_latency_percentile(&self, query: &Query) -> Result<Prediction, ServeError> {
+        self.reader.latency_percentile(query)
     }
 
-    /// Snapshot-path [`headroom`](ServiceClient::headroom).
-    pub fn read_headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        self.reader.headroom(goal, upper)
+    /// Snapshot-path [`admissible_rate`](ServiceClient::admissible_rate).
+    pub fn read_admissible_rate(&self, query: &Query) -> Result<Prediction, ServeError> {
+        self.reader.admissible_rate(query)
     }
 
-    /// Snapshot-path [`coded_fraction`](ServiceClient::coded_fraction).
-    pub fn read_coded_fraction(
-        &self,
-        launched: u16,
-        needed: u16,
-        sla: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.reader.coded_fraction(launched, needed, sla)
-    }
-
-    /// Snapshot-path [`coded_percentile`](ServiceClient::coded_percentile).
-    pub fn read_coded_percentile(
-        &self,
-        launched: u16,
-        needed: u16,
-        p: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.reader.coded_percentile(launched, needed, p)
-    }
-
-    /// Snapshot-path [`bottlenecks`](ServiceClient::bottlenecks).
-    pub fn read_bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        self.reader.bottlenecks(sla)
+    /// Snapshot-path [`device_ranking`](ServiceClient::device_ranking).
+    pub fn read_device_ranking(&self, query: &Query) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.reader.device_ranking(query)
     }
 
     /// Snapshot-path [`status`](ServiceClient::status): assembled from
@@ -795,6 +1008,127 @@ impl ServiceClient {
     /// verdicts are as of the last re-fit attempt.
     pub fn read_status(&self) -> Result<ServiceStatus, ServeError> {
         self.reader.status()
+    }
+
+    /// Snapshot-path [`status_for`](ServiceClient::status_for).
+    pub fn read_status_for(&self, tenant: &TenantId) -> Result<ServiceStatus, ServeError> {
+        self.reader.status_for(tenant)
+    }
+
+    /// Predicted fraction meeting `sla` at the calibrated operating point.
+    #[deprecated(note = "use attainment(Query::new().sla(sla))")]
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.attainment(Query::new().sla(sla))
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    #[deprecated(note = "use attainment(Query::new().sla(sla).rate(rate))")]
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.attainment(Query::new().sla(sla).rate(rate))
+    }
+
+    /// Predicted response-latency percentile.
+    #[deprecated(note = "use latency_percentile(Query::new().p(p))")]
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.latency_percentile(Query::new().p(p))
+    }
+
+    /// Overload-control headroom up to `upper` req/s.
+    #[deprecated(note = "use admissible_rate(Query::new().sla(..).target(..).upper(upper))")]
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.admissible_rate(
+            Query::new()
+                .sla(goal.sla)
+                .target(goal.target_fraction)
+                .upper(upper),
+        )
+    }
+
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    #[deprecated(note = "use attainment(Query::new().sla(sla).n_k(launched, needed))")]
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.attainment(Query::new().sla(sla).n_k(launched, needed))
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    #[deprecated(note = "use latency_percentile(Query::new().p(p).n_k(launched, needed))")]
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.latency_percentile(Query::new().p(p).n_k(launched, needed))
+    }
+
+    /// Bottleneck ranking, worst device first.
+    #[deprecated(note = "use device_ranking(Query::new().sla(sla))")]
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.device_ranking(Query::new().sla(sla))
+    }
+
+    /// Snapshot-path predict.
+    #[deprecated(note = "use read_attainment(&Query::new().sla(sla))")]
+    pub fn read_predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.reader.attainment(&Query::new().sla(sla))
+    }
+
+    /// Snapshot-path predict-at-rate.
+    #[deprecated(note = "use read_attainment(&Query::new().sla(sla).rate(rate))")]
+    pub fn read_predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.reader.attainment(&Query::new().sla(sla).rate(rate))
+    }
+
+    /// Snapshot-path percentile.
+    #[deprecated(note = "use read_latency_percentile(&Query::new().p(p))")]
+    pub fn read_percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.reader.latency_percentile(&Query::new().p(p))
+    }
+
+    /// Snapshot-path headroom.
+    #[deprecated(note = "use read_admissible_rate(&Query::new().sla(..).target(..).upper(upper))")]
+    pub fn read_headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.reader.admissible_rate(
+            &Query::new()
+                .sla(goal.sla)
+                .target(goal.target_fraction)
+                .upper(upper),
+        )
+    }
+
+    /// Snapshot-path coded fraction.
+    #[deprecated(note = "use read_attainment(&Query::new().sla(sla).n_k(launched, needed))")]
+    pub fn read_coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.reader
+            .attainment(&Query::new().sla(sla).n_k(launched, needed))
+    }
+
+    /// Snapshot-path coded percentile.
+    #[deprecated(note = "use read_latency_percentile(&Query::new().p(p).n_k(launched, needed))")]
+    pub fn read_coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.reader
+            .latency_percentile(&Query::new().p(p).n_k(launched, needed))
+    }
+
+    /// Snapshot-path bottleneck ranking.
+    #[deprecated(note = "use read_device_ranking(&Query::new().sla(sla))")]
+    pub fn read_bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.reader.device_ranking(&Query::new().sla(sla))
     }
 }
 
@@ -811,9 +1145,14 @@ impl ServiceHandle {
         self.client.clone()
     }
 
-    /// A cloneable ingest-only endpoint.
+    /// A cloneable ingest-only endpoint for the `default` tenant.
     pub fn telemetry_sender(&self) -> TelemetrySender {
         self.client.telemetry_sender()
+    }
+
+    /// A cloneable ingest-only endpoint attributing events to `tenant`.
+    pub fn telemetry_sender_for(&self, tenant: TenantId) -> TelemetrySender {
+        self.client.telemetry_sender_for(tenant)
     }
 
     /// The lock-free snapshot endpoint (see [`ServiceClient::reader`]).
@@ -821,9 +1160,14 @@ impl ServiceHandle {
         self.client.reader()
     }
 
-    /// Feeds one telemetry event (non-blocking).
+    /// Feeds one telemetry event for the `default` tenant (non-blocking).
     pub fn ingest(&self, event: TelemetryEvent) -> Result<(), ServeError> {
         self.client.ingest(event)
+    }
+
+    /// Feeds one telemetry event for `tenant` (non-blocking).
+    pub fn ingest_for(&self, tenant: &TenantId, event: TelemetryEvent) -> Result<(), ServeError> {
+        self.client.ingest_for(tenant, event)
     }
 
     /// Waits until every previously sent event has been processed.
@@ -831,64 +1175,105 @@ impl ServiceHandle {
         self.client.flush()
     }
 
-    /// Forces a re-fit; `Ok(true)` if a new epoch was installed.
+    /// Forces a batched re-fit; `Ok(true)` if a new epoch was installed
+    /// for the `default` tenant.
     pub fn refit_now(&self) -> Result<bool, ServeError> {
         self.client.refit_now()
     }
 
+    /// Predicted fraction of requests meeting the query's SLA, for the
+    /// query's tenant.
+    pub fn attainment(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.client.attainment(query)
+    }
+
+    /// Predicted response-latency percentile for the query's tenant.
+    pub fn latency_percentile(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.client.latency_percentile(query)
+    }
+
+    /// Overload-control headroom for the query's tenant.
+    pub fn admissible_rate(&self, query: Query) -> Result<Prediction, ServeError> {
+        self.client.admissible_rate(query)
+    }
+
+    /// Bottleneck ranking for the query's tenant, worst device first.
+    pub fn device_ranking(&self, query: Query) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.client.device_ranking(query)
+    }
+
+    /// Batch what-if sweep of the `default` tenant.
+    pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
+        self.client.sweep(rates, slas)
+    }
+
+    /// Health summary of the `default` tenant.
+    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
+        self.client.status()
+    }
+
+    /// Health summary of an arbitrary tenant.
+    pub fn status_for(&self, tenant: &TenantId) -> Result<ServiceStatus, ServeError> {
+        self.client.status_for(tenant)
+    }
+
     /// Predicted fraction meeting `sla` at the calibrated operating point.
+    #[deprecated(note = "use attainment(Query::new().sla(sla))")]
     pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
-        self.client.predict(sla)
+        self.client.attainment(Query::new().sla(sla))
     }
 
     /// What-if: fraction meeting `sla` at a hypothetical total rate.
+    #[deprecated(note = "use attainment(Query::new().sla(sla).rate(rate))")]
     pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        self.client.predict_at_rate(rate, sla)
+        self.client.attainment(Query::new().sla(sla).rate(rate))
     }
 
     /// Predicted response-latency percentile.
+    #[deprecated(note = "use latency_percentile(Query::new().p(p))")]
     pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
-        self.client.percentile(p)
+        self.client.latency_percentile(Query::new().p(p))
     }
 
     /// Overload-control headroom up to `upper` req/s.
+    #[deprecated(note = "use admissible_rate(Query::new().sla(..).target(..).upper(upper))")]
     pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        self.client.headroom(goal, upper)
+        self.client.admissible_rate(
+            Query::new()
+                .sla(goal.sla)
+                .target(goal.target_fraction)
+                .upper(upper),
+        )
     }
 
     /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
+    #[deprecated(note = "use attainment(Query::new().sla(sla).n_k(launched, needed))")]
     pub fn coded_fraction(
         &self,
         launched: u16,
         needed: u16,
         sla: f64,
     ) -> Result<Prediction, ServeError> {
-        self.client.coded_fraction(launched, needed, sla)
+        self.client
+            .attainment(Query::new().sla(sla).n_k(launched, needed))
     }
 
     /// Latency percentile of erasure-coded `(launched, needed)` reads.
+    #[deprecated(note = "use latency_percentile(Query::new().p(p).n_k(launched, needed))")]
     pub fn coded_percentile(
         &self,
         launched: u16,
         needed: u16,
         p: f64,
     ) -> Result<Prediction, ServeError> {
-        self.client.coded_percentile(launched, needed, p)
+        self.client
+            .latency_percentile(Query::new().p(p).n_k(launched, needed))
     }
 
     /// Bottleneck ranking, worst device first.
+    #[deprecated(note = "use device_ranking(Query::new().sla(sla))")]
     pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        self.client.bottlenecks(sla)
-    }
-
-    /// Batch what-if sweep, evaluated on the worker pool.
-    pub fn sweep(&self, rates: Vec<f64>, slas: Vec<f64>) -> Result<Vec<RatePoint>, ServeError> {
-        self.client.sweep(rates, slas)
-    }
-
-    /// Health summary.
-    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
-        self.client.status()
+        self.client.device_ranking(Query::new().sla(sla))
     }
 
     /// Stops the service and returns its final state. Outstanding
@@ -1042,9 +1427,9 @@ mod tests {
         feeder.join().unwrap();
         handle.flush().unwrap();
         handle.refit_now().unwrap();
-        let p = handle.predict(0.05).unwrap();
+        let p = handle.attainment(Query::new().sla(0.05)).unwrap();
         assert!(p.value > 0.0);
-        let again = handle.predict(0.05).unwrap();
+        let again = handle.attainment(Query::new().sla(0.05)).unwrap();
         assert_eq!(p.value.to_bits(), again.value.to_bits());
         let status = handle.status().unwrap();
         assert!(status.engine.cache.hits >= 1);
@@ -1065,16 +1450,24 @@ mod tests {
         let answers: Vec<u64> = (0..4)
             .map(|_| {
                 let c = client.clone();
-                std::thread::spawn(move || c.predict(0.05).unwrap().value.to_bits())
+                std::thread::spawn(move || {
+                    c.attainment(Query::new().sla(0.05))
+                        .unwrap()
+                        .value
+                        .to_bits()
+                })
             })
             .map(|j| j.join().unwrap())
             .collect();
         assert!(answers.windows(2).all(|w| w[0] == w[1]));
-        let ranked = client.bottlenecks(0.05).unwrap();
+        let ranked = client.device_ranking(Query::new().sla(0.05)).unwrap();
         assert_eq!(ranked.len(), 2, "one entry per device");
         assert!(ranked[0].1 <= ranked[1].1, "worst device first");
         drop(handle);
-        assert_eq!(client.predict(0.05), Err(ServeError::Disconnected));
+        assert_eq!(
+            client.attainment(Query::new().sla(0.05)),
+            Err(ServeError::Disconnected)
+        );
         assert!(matches!(client.status(), Err(ServeError::Disconnected)));
     }
 
@@ -1128,15 +1521,18 @@ mod tests {
     fn builder_accepts_defaults_and_rejects_nonsense() {
         let built = ServeConfig::builder().build().unwrap();
         assert_eq!(built.slas, ServeConfig::default().slas);
+        assert!(built.refit_workers >= 1);
 
         let tweaked = ServeConfig::builder()
             .slas(vec![0.020])
             .refit_interval(1.0)
             .sweep_workers(4)
+            .refit_workers(3)
             .build()
             .unwrap();
         assert_eq!(tweaked.slas, vec![0.020]);
         assert_eq!(tweaked.sweep_workers, 4);
+        assert_eq!(tweaked.refit_workers, 3);
 
         let cases: &[(ServeConfigBuilder, &str)] = &[
             (ServeConfig::builder().slas(vec![]), "slas"),
@@ -1148,6 +1544,7 @@ mod tests {
                 "refit_interval",
             ),
             (ServeConfig::builder().sweep_workers(0), "sweep_workers"),
+            (ServeConfig::builder().refit_workers(0), "refit_workers"),
             (
                 ServeConfig::builder().calibrator(CalibratorConfig {
                     window: 0.0,
@@ -1194,20 +1591,236 @@ mod tests {
         client.flush().unwrap();
         client.refit_now().unwrap();
 
-        let frac = client.coded_fraction(4, 2, 0.05).unwrap();
+        let frac = client.attainment(Query::new().sla(0.05).n_k(4, 2)).unwrap();
         assert!(frac.value > 0.0 && frac.value <= 1.0);
-        let via_reader = client.read_coded_fraction(4, 2, 0.05).unwrap();
+        let via_reader = client
+            .read_attainment(&Query::new().sla(0.05).n_k(4, 2))
+            .unwrap();
         assert_eq!(frac.value.to_bits(), via_reader.value.to_bits());
 
-        let p99 = client.coded_percentile(4, 2, 0.99).unwrap();
+        let p99 = client
+            .latency_percentile(Query::new().p(0.99).n_k(4, 2))
+            .unwrap();
         assert!(p99.value > 0.0);
-        let p99_reader = client.read_coded_percentile(4, 2, 0.99).unwrap();
+        let p99_reader = client
+            .read_latency_percentile(&Query::new().p(0.99).n_k(4, 2))
+            .unwrap();
         assert_eq!(p99.value.to_bits(), p99_reader.value.to_bits());
 
         // Needing more of the launched chunks (a max-like join) can only
         // slow the read down: p99 of a 4-of-4 join dominates 2-of-4.
-        let p99_44 = client.coded_percentile(4, 4, 0.99).unwrap();
+        let p99_44 = client
+            .latency_percentile(Query::new().p(0.99).n_k(4, 4))
+            .unwrap();
         assert!(p99_44.value >= p99.value);
+        drop(handle);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_bit_identical_to_the_query_path() {
+        let handle = SlaService::new(base(), ServeConfig::default()).spawn();
+        let client = handle.client();
+        for ev in events(40.0, 20.0, 2) {
+            client.ingest(ev).unwrap();
+        }
+        client.flush().unwrap();
+        client.refit_now().unwrap();
+
+        let bits = |p: Prediction| p.value.to_bits();
+        assert_eq!(
+            bits(client.predict(0.05).unwrap()),
+            bits(client.attainment(Query::new().sla(0.05)).unwrap())
+        );
+        assert_eq!(
+            bits(client.predict_at_rate(150.0, 0.05).unwrap()),
+            bits(
+                client
+                    .attainment(Query::new().sla(0.05).rate(150.0))
+                    .unwrap()
+            )
+        );
+        assert_eq!(
+            bits(client.percentile(0.95).unwrap()),
+            bits(client.latency_percentile(Query::new().p(0.95)).unwrap())
+        );
+        assert_eq!(
+            bits(client.coded_fraction(4, 2, 0.05).unwrap()),
+            bits(client.attainment(Query::new().sla(0.05).n_k(4, 2)).unwrap())
+        );
+        let goal = SlaGoal::new(0.100, 0.90);
+        let legacy = client.headroom(goal, 2000.0);
+        let new = client.admissible_rate(Query::new().sla(0.100).target(0.90).upper(2000.0));
+        assert_eq!(legacy.map(bits), new.map(bits));
+        assert_eq!(
+            client.bottlenecks(0.05).unwrap(),
+            client.device_ranking(Query::new().sla(0.05)).unwrap()
+        );
+        // Snapshot-path shims.
+        assert_eq!(
+            bits(client.read_predict(0.05).unwrap()),
+            bits(client.read_attainment(&Query::new().sla(0.05)).unwrap())
+        );
+        assert_eq!(
+            bits(client.read_percentile(0.95).unwrap()),
+            bits(
+                client
+                    .read_latency_percentile(&Query::new().p(0.95))
+                    .unwrap()
+            )
+        );
+        drop(handle);
+    }
+
+    #[test]
+    fn tenants_are_sharded_and_auto_vivified() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        let blue = TenantId::new("blue").unwrap();
+        let green = TenantId::new("green").unwrap();
+        // Distinct per-tenant load: blue light, green heavy.
+        let blue_events = events(20.0, 20.0, 2);
+        let green_events = events(120.0, 20.0, 2);
+        for (b, g) in blue_events.into_iter().zip(green_events) {
+            service.ingest_for(&blue, b);
+            service.ingest_for(&green, g);
+        }
+        service.refit_now();
+        assert_eq!(service.tenants(), 3, "default + blue + green");
+
+        let pb = service
+            .attainment(&Query::tenant(blue.clone()).sla(0.05))
+            .unwrap();
+        let pg = service
+            .attainment(&Query::tenant(green.clone()).sla(0.05))
+            .unwrap();
+        assert!(
+            pb.value > pg.value,
+            "lighter tenant meets more SLAs: blue {} vs green {}",
+            pb.value,
+            pg.value
+        );
+
+        // Unknown tenant is a typed refusal; default tenant saw no traffic
+        // so it is merely uncalibrated.
+        let ghost = TenantId::new("ghost").unwrap();
+        assert!(matches!(
+            service.attainment(&Query::tenant(ghost.clone()).sla(0.05)),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            service.status_for(&ghost),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert_eq!(
+            service.attainment(&Query::new().sla(0.05)),
+            Err(ServeError::NotCalibrated)
+        );
+
+        // The reader agrees bit-for-bit per tenant.
+        let reader = service.reader();
+        let rb = reader.attainment(&Query::tenant(blue).sla(0.05)).unwrap();
+        assert_eq!(pb.value.to_bits(), rb.value.to_bits());
+        assert!(matches!(
+            reader.attainment(&Query::tenant(ghost).sla(0.05)),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_publish_republishes_only_changed_tenants() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        let blue = TenantId::new("blue").unwrap();
+        let green = TenantId::new("green").unwrap();
+        for ev in events(40.0, 3.0, 2) {
+            // Below the refit cadence: no publish yet.
+            service.ingest_for(&blue, ev);
+            service.ingest_for(&green, ev);
+        }
+        service.refit_now();
+        let reader = service.reader();
+        let gen_blue = reader.generation_for(&blue).unwrap();
+        let gen_green = reader.generation_for(&green).unwrap();
+        let before = reader.fleet().unwrap();
+
+        // Only blue sees new traffic; the next sweep republishes default
+        // (always) + blue, leaving green's entry untouched.
+        for ev in events(40.0, 3.0, 2) {
+            service.ingest_for(&blue, ev);
+        }
+        service.refit_now();
+        let stats = service.last_publish_stats();
+        assert_eq!(stats.tenants, 3);
+        assert_eq!(stats.republished, 2, "default + blue only");
+        assert!(stats.delta_bytes < stats.full_bytes);
+
+        let after = reader.fleet().unwrap();
+        assert_eq!(reader.generation_for(&blue).unwrap(), gen_blue + 1);
+        assert_eq!(reader.generation_for(&green).unwrap(), gen_green);
+        assert!(
+            Arc::ptr_eq(
+                &before.get(&green).unwrap().state,
+                &after.get(&green).unwrap().state
+            ),
+            "unchanged tenant keeps the exact same published allocation"
+        );
+    }
+
+    #[test]
+    fn full_republish_is_bit_identical_to_the_delta_state() {
+        let mut service = SlaService::new(base(), ServeConfig::default());
+        let blue = TenantId::new("blue").unwrap();
+        for ev in events(40.0, 8.0, 2) {
+            service.ingest_for(&blue, ev);
+            service.ingest(ev);
+        }
+        service.refit_now();
+        let reader = service.reader();
+        let delta_fleet = reader.fleet().unwrap();
+        let stats = service.republish_full();
+        assert_eq!(stats.republished, stats.tenants);
+        let full_fleet = reader.fleet().unwrap();
+        for (d, f) in delta_fleet.entries().iter().zip(full_fleet.entries()) {
+            assert_eq!(d.tenant, f.tenant);
+            let (ds, fs) = (&d.state, &f.state);
+            assert_eq!(
+                ds.snapshot.as_ref().map(|s| s.epoch),
+                fs.snapshot.as_ref().map(|s| s.epoch)
+            );
+            assert_eq!(ds.last_fit_error, fs.last_fit_error);
+            assert_eq!(ds.failed_refits, fs.failed_refits);
+            assert_eq!(ds.unstable_fit, fs.unstable_fit);
+            assert_eq!(ds.drift.len(), fs.drift.len());
+            for (a, b) in ds.drift.iter().zip(&fs.drift) {
+                assert_eq!(a.sla.to_bits(), b.sla.to_bits());
+                assert_eq!(a.observed.map(f64::to_bits), b.observed.map(f64::to_bits));
+                assert_eq!(a.predicted.map(f64::to_bits), b.predicted.map(f64::to_bits));
+                assert_eq!(a.drifted, b.drifted);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_scoped_telemetry_senders_route_to_their_shard() {
+        let handle = SlaService::new(base(), ServeConfig::default()).spawn();
+        let blue = TenantId::new("blue").unwrap();
+        let sender = handle.telemetry_sender_for(blue.clone());
+        assert_eq!(sender.tenant(), &blue);
+        for ev in events(40.0, 20.0, 2) {
+            sender.send(ev);
+        }
+        handle.flush().unwrap();
+        handle.refit_now().unwrap();
+        let p = handle
+            .attainment(Query::tenant(blue.clone()).sla(0.05))
+            .unwrap();
+        assert!(p.value > 0.0);
+        let status = handle.status_for(&blue).unwrap();
+        assert!(status.epoch.is_some());
+        // The default tenant saw nothing.
+        assert_eq!(
+            handle.attainment(Query::new().sla(0.05)),
+            Err(ServeError::NotCalibrated)
+        );
         drop(handle);
     }
 

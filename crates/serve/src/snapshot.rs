@@ -1,30 +1,56 @@
-//! The lock-free snapshot read path.
+//! The lock-free snapshot read path and the fleet's delta publication
+//! protocol.
 //!
 //! The worker thread owns the *write* path — telemetry ingest and
 //! calibration re-fits — and after every re-fit attempt publishes an
-//! immutable [`SnapshotState`] through an atomic `Arc` swap
-//! ([`cos_par::ArcCell`]). Any number of [`SnapshotReader`]s — one per
-//! gate connection thread, typically — load the current state with one
-//! atomic operation and evaluate predictions **in place on the calling
-//! thread**, with zero channel round-trips and zero contention with the
-//! worker.
+//! immutable [`FleetState`] (one [`SnapshotState`] per tenant) through an
+//! atomic `Arc` swap ([`cos_par::ArcCell`]). Any number of
+//! [`SnapshotReader`]s — one per gate connection thread, typically — load
+//! the current state with one atomic operation and evaluate predictions
+//! **in place on the calling thread**, with zero channel round-trips and
+//! zero contention with the worker.
 //!
-//! Consistency and memory ordering:
+//! ## Delta publication
 //!
-//! * A published state is immutable; readers clone the `Arc`, never the
-//!   data. A reader therefore observes either the old epoch or the new
-//!   one in full — never a torn mix — because `ArcCell::set` stores the
-//!   new pointer with `Release` ordering and `ArcCell::get` loads it with
-//!   `Acquire`, so everything written while building the state
-//!   *happens-before* any read through the swapped pointer.
+//! A fleet-sized refit rarely changes every tenant: most windows are
+//! quiet, and only the tenants that saw traffic since the last sweep get
+//! a new fit. Republishing the whole fleet per refit would make publish
+//! cost O(fleet) in *rebuilt states*; instead the worker publishes
+//! **deltas**: it clones the entry vector (per-entry header copies — the
+//! `Arc`s inside are shared, not deep-copied), replaces only the changed
+//! tenants' `Arc<SnapshotState>`s, bumps those entries' generation
+//! counters, and swaps the new vector in. Unchanged tenants' states are
+//! the *same allocation* before and after (`Arc::ptr_eq` holds across the
+//! swap).
+//!
+//! A delta-applied state is **provably identical to a full republish**
+//! because each entry's `SnapshotState` is a pure function of its tenant
+//! shard's state at that shard's last refit (the drift verdicts computed
+//! then are stored and reused, not recomputed against a moved clock):
+//! rebuilding an unchanged tenant's state would produce the same bytes
+//! that are already published. `SlaService::republish_full` exercises
+//! exactly this in the property tests.
+//!
+//! ## Consistency and memory ordering
+//!
+//! * A published fleet state is immutable; readers clone the `Arc`, never
+//!   the data. A reader therefore observes either the old fleet or the
+//!   new one in full — never a torn mix — because `ArcCell::set` stores
+//!   the new pointer with `Release` ordering and `ArcCell::get` loads it
+//!   with `Acquire`, so everything written while building the delta
+//!   (including the bumped per-entry generations) *happens-before* any
+//!   read through the swapped pointer. There is exactly one writer (the
+//!   service thread), so read-modify-write on the cell needs no CAS loop.
 //! * Answers are **bit-identical** to the worker path by construction:
 //!   both paths funnel through the shared
 //!   [`InversionCache`], which reconstructs every
-//!   input from the quantized key and runs one evaluation code path.
+//!   input from the quantized tenant-scoped key and runs one evaluation
+//!   code path.
 //! * The live event clock is a plain `AtomicU64` holding the `f64` bits
 //!   of the newest event time (`Relaxed` — it is an independent
 //!   monotone scalar, not a synchronization edge).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,11 +63,13 @@ use crate::drift::DriftReport;
 use crate::engine::{EngineHealth, EpochSnapshot, Prediction};
 use crate::error::ServeError;
 use crate::obs::ServeObs;
+use crate::query::Query;
 use crate::service::ServiceStatus;
+use crate::tenant::TenantId;
 
-/// Everything the worker publishes atomically after each re-fit attempt:
+/// Everything the worker publishes for one tenant after a re-fit attempt:
 /// the installed epoch (if any), the most recent fit failure, and the
-/// drift verdicts as of the publication instant.
+/// drift verdicts as of that tenant's last refit.
 #[derive(Debug, Clone)]
 pub struct SnapshotState {
     /// The installed calibration epoch (`None` while warming up).
@@ -61,10 +89,120 @@ pub struct SnapshotState {
     pub drift: Vec<DriftReport>,
 }
 
+/// One tenant's slot in the published [`FleetState`].
+#[derive(Debug, Clone)]
+pub struct TenantEntry {
+    /// The tenant this entry belongs to.
+    pub tenant: TenantId,
+    /// The tenant's stable slot (0 = the reserved `default` tenant) —
+    /// also the tenant dimension of the shared cache's keys.
+    pub slot: u32,
+    /// The tenant's published state (shared, immutable).
+    pub state: Arc<SnapshotState>,
+    /// Times this entry's state has been republished — a per-tenant
+    /// change detector: unchanged tenants keep their generation (and the
+    /// exact same `Arc`) across a delta publish.
+    pub generation: u64,
+    /// Telemetry events ingested for this tenant so far (drives the
+    /// top-K-by-traffic fold on `/metrics`).
+    pub events_total: u64,
+}
+
+/// The immutable, atomically swapped map of every tenant's published
+/// state. Slot 0 is always the reserved `default` tenant.
+#[derive(Debug, Clone)]
+pub struct FleetState {
+    entries: Vec<TenantEntry>,
+    index: HashMap<TenantId, u32>,
+}
+
+impl FleetState {
+    fn new(default_state: Arc<SnapshotState>) -> FleetState {
+        let tenant = TenantId::default_tenant();
+        FleetState {
+            index: HashMap::from([(tenant.clone(), 0)]),
+            entries: vec![TenantEntry {
+                tenant,
+                slot: 0,
+                state: default_state,
+                generation: 0,
+                events_total: 0,
+            }],
+        }
+    }
+
+    /// The entry of `tenant`, if the fleet has seen it.
+    pub fn get(&self, tenant: &TenantId) -> Option<&TenantEntry> {
+        self.index
+            .get(tenant)
+            .map(|&slot| &self.entries[slot as usize])
+    }
+
+    /// Every tenant's entry, in slot order.
+    pub fn entries(&self) -> &[TenantEntry] {
+        &self.entries
+    }
+
+    /// The reserved `default` tenant's entry (always present).
+    pub fn default_entry(&self) -> &TenantEntry {
+        &self.entries[0]
+    }
+
+    /// Number of tenants in the fleet.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never true — the `default` tenant always exists. Present for the
+    /// conventional `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Accounting of one delta publish: how much was republished versus what
+/// a full republish of the fleet would have rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Entries whose state was replaced by this publish.
+    pub republished: usize,
+    /// Total entries in the fleet at publish time.
+    pub tenants: usize,
+    /// Approximate bytes the delta ships: an entry header plus a rebuilt
+    /// state for the *changed* tenants only (unchanged entries keep their
+    /// published `Arc` and cost nothing to re-publish).
+    pub delta_bytes: usize,
+    /// Approximate bytes a full republish would materialize: the entry
+    /// headers plus a rebuilt state for *every* tenant.
+    pub full_bytes: usize,
+}
+
+impl PublishStats {
+    /// `delta_bytes / full_bytes` (1.0 when the fleet is empty or the
+    /// publish was full).
+    pub fn delta_ratio(&self) -> f64 {
+        if self.full_bytes == 0 {
+            1.0
+        } else {
+            self.delta_bytes as f64 / self.full_bytes as f64
+        }
+    }
+}
+
+/// Approximate heap+inline footprint of one published state. The fitted
+/// parameters behind `snapshot.params` are **shared** (`Arc`), not copied,
+/// by either a delta or a full republish, so they are deliberately not
+/// counted — this measures what a publish actually materializes.
+fn state_bytes(state: &SnapshotState) -> usize {
+    std::mem::size_of::<SnapshotState>()
+        + state.drift.len() * std::mem::size_of::<DriftReport>()
+        + state.last_fit_error.as_ref().map_or(0, |s| s.len())
+}
+
 /// The write side of the publication protocol, owned by the service.
 /// Readers hold it behind an `Arc` via [`SnapshotReader`].
 pub(crate) struct SnapshotShared {
-    cell: ArcCell<SnapshotState>,
+    cell: ArcCell<FleetState>,
     /// Set when the service thread exits; readers then answer
     /// [`ServeError::Disconnected`], matching the channel path.
     closed: AtomicBool,
@@ -83,7 +221,7 @@ impl SnapshotShared {
         initial: SnapshotState,
     ) -> SnapshotShared {
         SnapshotShared {
-            cell: ArcCell::new(Arc::new(initial)),
+            cell: ArcCell::new(Arc::new(FleetState::new(Arc::new(initial)))),
             closed: AtomicBool::new(false),
             event_time: AtomicU64::new(0f64.to_bits()),
             cache,
@@ -92,9 +230,53 @@ impl SnapshotShared {
         }
     }
 
-    /// Atomically replaces the published state (the refit-time publish).
-    pub(crate) fn publish(&self, state: SnapshotState) {
-        self.cell.set(Arc::new(state));
+    /// Adds a tenant to the fleet (single writer: the service thread), in
+    /// its warming-up state. Returns the assigned slot.
+    pub(crate) fn register_tenant(&self, tenant: TenantId, initial: Arc<SnapshotState>) -> u32 {
+        let current = self.cell.get();
+        let mut entries = current.entries.clone();
+        let mut index = current.index.clone();
+        let slot = entries.len() as u32;
+        index.insert(tenant.clone(), slot);
+        entries.push(TenantEntry {
+            tenant,
+            slot,
+            state: initial,
+            generation: 0,
+            events_total: 0,
+        });
+        self.cell.set(Arc::new(FleetState { entries, index }));
+        slot
+    }
+
+    /// Atomically publishes a delta: only the given `(slot, state,
+    /// events_total)` entries are replaced (with their generations
+    /// bumped); every other tenant keeps its exact current `Arc`. Safe
+    /// without a CAS loop because the service thread is the only writer.
+    pub(crate) fn publish_delta(&self, changes: &[(u32, Arc<SnapshotState>, u64)]) -> PublishStats {
+        let current = self.cell.get();
+        let mut entries = current.entries.clone();
+        let mut delta_bytes = changes.len() * std::mem::size_of::<TenantEntry>();
+        for (slot, state, events_total) in changes {
+            let entry = &mut entries[*slot as usize];
+            entry.state = Arc::clone(state);
+            entry.generation += 1;
+            entry.events_total = *events_total;
+            delta_bytes += state_bytes(state);
+        }
+        let full_bytes = entries.len() * std::mem::size_of::<TenantEntry>()
+            + entries.iter().map(|e| state_bytes(&e.state)).sum::<usize>();
+        let stats = PublishStats {
+            republished: changes.len(),
+            tenants: entries.len(),
+            delta_bytes,
+            full_bytes,
+        };
+        self.cell.set(Arc::new(FleetState {
+            entries,
+            index: current.index.clone(),
+        }));
+        stats
     }
 
     /// Advances the live event clock (every ingest).
@@ -110,7 +292,7 @@ impl SnapshotShared {
 }
 
 /// A lock-free query endpoint evaluating predictions **on the calling
-/// thread** against the worker's most recently published epoch.
+/// thread** against the worker's most recently published fleet state.
 ///
 /// Obtained from [`ServiceClient::reader`](crate::ServiceClient::reader)
 /// (or [`ServiceHandle::reader`](crate::ServiceHandle::reader)); cloning
@@ -119,6 +301,10 @@ impl SnapshotShared {
 /// [`InversionCache`] — so answers are
 /// bit-identical to the worker path and concurrent readers scale without
 /// serializing on the service thread.
+///
+/// Tenant-unaware convenience methods (and the deprecated positional
+/// shims) are scoped to the reserved `default` tenant; [`Query`]-taking
+/// methods reach any tenant.
 #[derive(Clone)]
 pub struct SnapshotReader {
     shared: Arc<SnapshotShared>,
@@ -129,31 +315,68 @@ impl SnapshotReader {
         SnapshotReader { shared }
     }
 
-    /// One consistent view: the published state plus its epoch, or the
-    /// typed refusal (`Disconnected` after shutdown, `NotCalibrated`
-    /// while warming up).
-    fn current(&self) -> Result<(Arc<SnapshotState>, EpochSnapshot), ServeError> {
+    fn fleet_checked(&self) -> Result<Arc<FleetState>, ServeError> {
         if self.shared.closed.load(Ordering::Acquire) {
             return Err(ServeError::Disconnected);
         }
-        let state = self.shared.cell.get();
-        let snap = state.snapshot.clone().ok_or(ServeError::NotCalibrated)?;
-        Ok((state, snap))
+        Ok(self.shared.cell.get())
     }
 
-    fn answer(&self, rate_q: Option<i64>, kind: QueryKind) -> Result<Prediction, ServeError> {
-        let (_state, snap) = self.current()?;
+    /// One consistent view of a tenant: its published state, installed
+    /// epoch, and cache slot — or the typed refusal (`Disconnected` after
+    /// shutdown, `UnknownTenant` for a tenant the fleet has never seen,
+    /// `NotCalibrated` while warming up).
+    fn current_for(
+        &self,
+        tenant: &TenantId,
+    ) -> Result<(Arc<SnapshotState>, EpochSnapshot, u32), ServeError> {
+        let fleet = self.fleet_checked()?;
+        let entry = fleet.get(tenant).ok_or_else(|| ServeError::UnknownTenant {
+            tenant: tenant.to_string(),
+        })?;
+        let snap = entry
+            .state
+            .snapshot
+            .clone()
+            .ok_or(ServeError::NotCalibrated)?;
+        Ok((Arc::clone(&entry.state), snap, entry.slot))
+    }
+
+    /// The `default` tenant's view (slot 0 always exists).
+    fn current(&self) -> Result<(Arc<SnapshotState>, EpochSnapshot), ServeError> {
+        let fleet = self.fleet_checked()?;
+        let entry = fleet.default_entry();
+        let snap = entry
+            .state
+            .snapshot
+            .clone()
+            .ok_or(ServeError::NotCalibrated)?;
+        Ok((Arc::clone(&entry.state), snap))
+    }
+
+    fn answer_slot(
+        &self,
+        slot: u32,
+        snap: &EpochSnapshot,
+        rate_q: Option<i64>,
+        kind: QueryKind,
+    ) -> Result<Prediction, ServeError> {
         let start = Instant::now();
-        let (outcome, miss) = self
-            .shared
-            .cache
-            .answer(&snap, self.shared.variant, rate_q, kind);
+        let (outcome, miss) =
+            self.shared
+                .cache
+                .answer(slot, snap, self.shared.variant, rate_q, kind);
         self.record(start, miss);
         outcome.map(|value| Prediction {
             value,
             epoch: snap.epoch,
             stale: snap.stale,
         })
+    }
+
+    fn answer(&self, rate_q: Option<i64>, kind: QueryKind) -> Result<Prediction, ServeError> {
+        let (_state, snap) = self.current()?;
+        self.answer_slot(0, &snap, rate_q, kind)
     }
 
     fn record(&self, start: Instant, miss: bool) {
@@ -165,68 +388,44 @@ impl SnapshotReader {
         }
     }
 
-    /// Predicted fraction of requests meeting `sla` at the calibrated
-    /// operating point.
-    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::fraction(sla))
+    /// Predicted fraction of requests meeting the query's SLA (plain,
+    /// what-if rate, or erasure-coded, depending on the query's fields),
+    /// for the query's tenant.
+    pub fn attainment(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.attainment_question()?;
+        let (_state, snap, slot) = self.current_for(query.tenant_id())?;
+        self.answer_slot(slot, &snap, rate_q, kind)
     }
 
-    /// What-if: fraction meeting `sla` at a hypothetical total rate.
-    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
-        self.answer(Some(quantize_rate(rate)), QueryKind::fraction(sla))
+    /// Predicted response-latency percentile for the query's tenant.
+    pub fn latency_percentile(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.percentile_question()?;
+        let (_state, snap, slot) = self.current_for(query.tenant_id())?;
+        self.answer_slot(slot, &snap, rate_q, kind)
     }
 
-    /// Predicted response-latency percentile (e.g. `p = 0.95`).
-    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::percentile(p))
+    /// Overload-control headroom (largest admissible rate) for the
+    /// query's tenant.
+    pub fn admissible_rate(&self, query: &Query) -> Result<Prediction, ServeError> {
+        let (rate_q, kind) = query.headroom_question()?;
+        let (_state, snap, slot) = self.current_for(query.tenant_id())?;
+        self.answer_slot(slot, &snap, rate_q, kind)
     }
 
-    /// Overload-control headroom up to `upper` req/s.
-    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::headroom(goal, upper))
-    }
-
-    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `1 <= needed <= launched` — network callers are
-    /// validated at the gate.
-    pub fn coded_fraction(
-        &self,
-        launched: u16,
-        needed: u16,
-        sla: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::coded_fraction(launched, needed, sla))
-    }
-
-    /// Latency percentile of erasure-coded `(launched, needed)` reads.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `1 <= needed <= launched` — network callers are
-    /// validated at the gate.
-    pub fn coded_percentile(
-        &self,
-        launched: u16,
-        needed: u16,
-        p: f64,
-    ) -> Result<Prediction, ServeError> {
-        self.answer(None, QueryKind::coded_percentile(launched, needed, p))
-    }
-
-    /// Bottleneck ranking, worst device first. All per-device queries are
-    /// answered against the *same* epoch view, so the ranking is
-    /// internally consistent even if a re-fit lands mid-call.
-    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
-        let (_state, snap) = self.current()?;
+    /// Bottleneck ranking for the query's tenant, worst device first. All
+    /// per-device queries are answered against the *same* epoch view, so
+    /// the ranking is internally consistent even if a re-fit lands
+    /// mid-call.
+    pub fn device_ranking(&self, query: &Query) -> Result<Vec<(usize, f64)>, ServeError> {
+        let sla = query.ranking_sla()?;
+        let (_state, snap, slot) = self.current_for(query.tenant_id())?;
         let start = Instant::now();
         let n = snap.params.devices.len();
         let mut any_miss = false;
         let mut out = Vec::with_capacity(n);
         for device in 0..n {
             let (r, miss) = self.shared.cache.answer(
+                slot,
                 &snap,
                 self.shared.variant,
                 None,
@@ -240,18 +439,77 @@ impl SnapshotReader {
         Ok(out)
     }
 
-    /// Health summary assembled without touching the service thread: the
-    /// published epoch / fit-failure / drift state, the live event clock,
-    /// and the shared cache's counters. The drift verdicts are as of the
-    /// most recent publication (the worker refreshes them at every re-fit
-    /// attempt), not recomputed per call.
-    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
-        if self.shared.closed.load(Ordering::Acquire) {
-            return Err(ServeError::Disconnected);
-        }
-        let state = self.shared.cell.get();
+    /// Predicted fraction of requests meeting `sla` at the calibrated
+    /// operating point (`default` tenant).
+    #[deprecated(note = "use attainment(&Query::new().sla(sla))")]
+    pub fn predict(&self, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::fraction(sla))
+    }
+
+    /// What-if: fraction meeting `sla` at a hypothetical total rate
+    /// (`default` tenant).
+    #[deprecated(note = "use attainment(&Query::new().sla(sla).rate(rate))")]
+    pub fn predict_at_rate(&self, rate: f64, sla: f64) -> Result<Prediction, ServeError> {
+        self.answer(Some(quantize_rate(rate)), QueryKind::fraction(sla))
+    }
+
+    /// Predicted response-latency percentile (e.g. `p = 0.95`), `default`
+    /// tenant.
+    #[deprecated(note = "use latency_percentile(&Query::new().p(p))")]
+    pub fn percentile(&self, p: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::percentile(p))
+    }
+
+    /// Overload-control headroom up to `upper` req/s (`default` tenant).
+    #[deprecated(note = "use admissible_rate(&Query::new().sla(..).target(..).upper(upper))")]
+    pub fn headroom(&self, goal: SlaGoal, upper: f64) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::headroom(goal, upper))
+    }
+
+    /// Fraction of erasure-coded `(launched, needed)` reads meeting `sla`
+    /// (`default` tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    #[deprecated(note = "use attainment(&Query::new().sla(sla).n_k(n, k))")]
+    pub fn coded_fraction(
+        &self,
+        launched: u16,
+        needed: u16,
+        sla: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_fraction(launched, needed, sla))
+    }
+
+    /// Latency percentile of erasure-coded `(launched, needed)` reads
+    /// (`default` tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= needed <= launched` — network callers are
+    /// validated at the gate.
+    #[deprecated(note = "use latency_percentile(&Query::new().p(p).n_k(n, k))")]
+    pub fn coded_percentile(
+        &self,
+        launched: u16,
+        needed: u16,
+        p: f64,
+    ) -> Result<Prediction, ServeError> {
+        self.answer(None, QueryKind::coded_percentile(launched, needed, p))
+    }
+
+    /// Bottleneck ranking, worst device first (`default` tenant).
+    #[deprecated(note = "use device_ranking(&Query::new().sla(sla))")]
+    pub fn bottlenecks(&self, sla: f64) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.device_ranking(&Query::new().sla(sla))
+    }
+
+    fn status_of_entry(&self, entry: &TenantEntry) -> ServiceStatus {
+        let state = &entry.state;
         let snap = state.snapshot.as_ref();
-        Ok(ServiceStatus {
+        ServiceStatus {
             event_time: self.event_time(),
             epoch: snap.map(|s| s.epoch),
             fitted_at: snap.map(|s| s.fitted_at),
@@ -262,19 +520,50 @@ impl SnapshotReader {
                 failed_refits: state.failed_refits,
             },
             drift: state.drift.clone(),
-        })
+        }
     }
 
-    /// The raw published state: installed epoch (with its fitted
-    /// [`cos_model::SystemParams`]), fit-failure flags, and drift verdicts
-    /// in one immutable view. This is the endpoint control loops poll: one
-    /// atomic load, no allocation, and every field is from the same
-    /// publication instant.
+    /// Health summary assembled without touching the service thread: the
+    /// published epoch / fit-failure / drift state, the live event clock,
+    /// and the shared cache's counters. The drift verdicts are as of the
+    /// most recent publication (the worker refreshes them at every re-fit
+    /// attempt), not recomputed per call. Scoped to the `default` tenant.
+    pub fn status(&self) -> Result<ServiceStatus, ServeError> {
+        let fleet = self.fleet_checked()?;
+        Ok(self.status_of_entry(fleet.default_entry()))
+    }
+
+    /// [`status`](SnapshotReader::status) for an arbitrary tenant.
+    pub fn status_for(&self, tenant: &TenantId) -> Result<ServiceStatus, ServeError> {
+        let fleet = self.fleet_checked()?;
+        let entry = fleet.get(tenant).ok_or_else(|| ServeError::UnknownTenant {
+            tenant: tenant.to_string(),
+        })?;
+        Ok(self.status_of_entry(entry))
+    }
+
+    /// The `default` tenant's raw published state: installed epoch (with
+    /// its fitted [`cos_model::SystemParams`]), fit-failure flags, and
+    /// drift verdicts in one immutable view. This is the endpoint control
+    /// loops poll: one atomic load, no allocation, and every field is
+    /// from the same publication instant.
     pub fn state(&self) -> Result<Arc<SnapshotState>, ServeError> {
-        if self.shared.closed.load(Ordering::Acquire) {
-            return Err(ServeError::Disconnected);
-        }
-        Ok(self.shared.cell.get())
+        Ok(Arc::clone(&self.fleet_checked()?.default_entry().state))
+    }
+
+    /// [`state`](SnapshotReader::state) for an arbitrary tenant.
+    pub fn state_for(&self, tenant: &TenantId) -> Result<Arc<SnapshotState>, ServeError> {
+        let fleet = self.fleet_checked()?;
+        let entry = fleet.get(tenant).ok_or_else(|| ServeError::UnknownTenant {
+            tenant: tenant.to_string(),
+        })?;
+        Ok(Arc::clone(&entry.state))
+    }
+
+    /// The whole published fleet in one immutable view (for metrics
+    /// renders and fleet dashboards).
+    pub fn fleet(&self) -> Result<Arc<FleetState>, ServeError> {
+        self.fleet_checked()
     }
 
     /// The newest event time seen by the worker (bit-exact with the
@@ -283,10 +572,22 @@ impl SnapshotReader {
         f64::from_bits(self.shared.event_time.load(Ordering::Relaxed))
     }
 
-    /// Number of publications so far — a cheap change detector for
-    /// pollers (monotone; bumps on every re-fit attempt).
+    /// Number of fleet publications so far — a cheap change detector for
+    /// pollers (monotone; bumps on every re-fit attempt and tenant
+    /// registration, fleet-wide).
     pub fn generation(&self) -> u64 {
         self.shared.cell.generation()
+    }
+
+    /// Times `tenant`'s own entry has been republished — the per-tenant
+    /// change detector (unchanged tenants keep their generation across a
+    /// delta publish).
+    pub fn generation_for(&self, tenant: &TenantId) -> Result<u64, ServeError> {
+        let fleet = self.fleet_checked()?;
+        let entry = fleet.get(tenant).ok_or_else(|| ServeError::UnknownTenant {
+            tenant: tenant.to_string(),
+        })?;
+        Ok(entry.generation)
     }
 
     /// Whether the owning service has shut down.

@@ -1,0 +1,304 @@
+//! Fleet scenario — per-tenant telemetry streams at storage-fleet scale.
+//!
+//! The discrete-event simulator ([`crate::sim`]) models *one* cluster
+//! mechanistically; a fleet-scale prediction service instead shards its
+//! estimators per tenant and refits thousands of device models in one
+//! parallel sweep. What that path needs from the testbed is not another
+//! event loop but a **deterministic, tenant-tagged telemetry source** whose
+//! per-tenant streams have genuinely different operating points — so a
+//! correct service produces *different* fits per shard and a cross-tenant
+//! leak is visible as a wrong answer, not a coincidence.
+//!
+//! [`FleetScenario`] is exactly that: for each tenant it draws a stable
+//! per-tenant character (completion-latency mix, slow-op fraction) from a
+//! seeded PRNG and synthesizes the same event shape the calibrator
+//! ingests everywhere else — per device and tick: one arrival, one data
+//! read, one op per class, one completion. Two properties are load-bearing
+//! and tested:
+//!
+//! * **Determinism** — [`FleetScenario::events_for`] depends only on
+//!   `(seed, tenant index)`, never on how streams are interleaved, so the
+//!   tagged fleet stream and a standalone single-tenant feed are the same
+//!   events (the repo-level bit-identity tests rely on this);
+//! * **Distinctness** — different tenants draw different characters, so
+//!   per-tenant fits must differ.
+//!
+//! Sizing note: the serve-side calibrator only fits devices that have seen
+//! ~20 requests inside its sliding window, so `rate_per_device × duration`
+//! should comfortably exceed that floor (the defaults do).
+
+use cos_serve::{OpClass, TelemetryEvent, TenantId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one fleet scenario: how many tenants, how big each tenant's
+/// cluster is, and how hard it is driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of tenants (independent estimator shards downstream).
+    pub tenants: usize,
+    /// Devices per tenant — must match the `CalibrationBase::devices` the
+    /// consuming service was built with.
+    pub devices: usize,
+    /// Arrival rate per device (req/s); also the data-read and completion
+    /// rate, matching the calibrator's expected event shape.
+    pub rate_per_device: f64,
+    /// Event-time length of each tenant's stream, in seconds.
+    pub duration: f64,
+    /// PRNG seed for the per-tenant characters.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            tenants: 16,
+            devices: 4,
+            rate_per_device: 40.0,
+            duration: 21.0,
+            seed: 7,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the shape, naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("fleet config: `tenants` must be at least 1".into());
+        }
+        if self.devices == 0 {
+            return Err("fleet config: `devices` must be at least 1".into());
+        }
+        if !(self.rate_per_device.is_finite() && self.rate_per_device > 0.0) {
+            return Err("fleet config: `rate_per_device` must be positive and finite".into());
+        }
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err("fleet config: `duration` must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+/// Telemetry records emitted per device per tick: arrival, data read, one
+/// op per [`OpClass`], completion.
+const EVENTS_PER_DEVICE_TICK: usize = 3 + OpClass::ALL.len();
+
+/// A validated fleet scenario: a deterministic generator of tenant-tagged
+/// telemetry streams (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    config: FleetConfig,
+}
+
+impl FleetScenario {
+    /// Builds a scenario from a validated config.
+    pub fn new(config: FleetConfig) -> Result<FleetScenario, String> {
+        config.validate()?;
+        Ok(FleetScenario { config })
+    }
+
+    /// The scenario's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The id of tenant `index`: `tenant-000`, `tenant-001`, …
+    ///
+    /// # Panics
+    /// If `index >= config.tenants`.
+    pub fn tenant_id(&self, index: usize) -> TenantId {
+        assert!(index < self.config.tenants, "tenant index out of range");
+        TenantId::new(&format!("tenant-{index:03}")).expect("generated tenant id is valid")
+    }
+
+    /// Tenant `index`'s full event stream, time-ordered. Deterministic in
+    /// `(config.seed, index)` alone: interleaving tenants into a fleet
+    /// stream or feeding one tenant standalone yields identical events.
+    ///
+    /// # Panics
+    /// If `index >= config.tenants`.
+    pub fn events_for(&self, index: usize) -> Vec<TelemetryEvent> {
+        assert!(index < self.config.tenants, "tenant index out of range");
+        let mut rng = SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        // The tenant's stable character: how often completions land in the
+        // slow mode, and where the two modes sit. Ranges are wide enough
+        // that two tenants' attainment curves are visibly different.
+        let slow_fraction = rng.gen_range(0.15..0.45);
+        let slow_latency = rng.gen_range(0.020..0.045);
+        let fast_latency = rng.gen_range(0.003..0.006);
+        let op_miss = rng.gen_range(0.2..0.4);
+
+        let dt = 1.0 / self.config.rate_per_device;
+        let ticks = self.ticks();
+        let mut out = Vec::with_capacity(ticks * self.config.devices * EVENTS_PER_DEVICE_TICK);
+        for tick in 0..ticks {
+            let t = tick as f64 * dt;
+            for device in 0..self.config.devices {
+                out.push(TelemetryEvent::Arrival { at: t, device });
+                out.push(TelemetryEvent::DataRead { at: t, device });
+                for class in OpClass::ALL {
+                    let latency = if rng.gen_bool(op_miss) {
+                        0.010
+                    } else {
+                        0.000_002
+                    };
+                    out.push(TelemetryEvent::Op {
+                        at: t,
+                        device,
+                        class,
+                        latency,
+                    });
+                }
+                let latency = if rng.gen_bool(slow_fraction) {
+                    slow_latency
+                } else {
+                    fast_latency
+                };
+                out.push(TelemetryEvent::Completion {
+                    arrival: t,
+                    latency,
+                    device,
+                });
+            }
+        }
+        out
+    }
+
+    /// Arrival ticks per tenant stream.
+    fn ticks(&self) -> usize {
+        (self.config.duration * self.config.rate_per_device).ceil() as usize
+    }
+
+    /// Events each tenant's stream contains.
+    pub fn events_per_tenant(&self) -> usize {
+        self.ticks() * self.config.devices * EVENTS_PER_DEVICE_TICK
+    }
+
+    /// The whole fleet's stream, tenant-tagged and interleaved tick by
+    /// tick (every tenant's events for tick 0, then tick 1, …) — the
+    /// arrival order a shared ingest bus would see. Per tenant, the
+    /// subsequence equals [`events_for`](Self::events_for) exactly.
+    pub fn tagged_stream(&self) -> Vec<(TenantId, TelemetryEvent)> {
+        let per_tick = self.config.devices * EVENTS_PER_DEVICE_TICK;
+        let ids: Vec<TenantId> = (0..self.config.tenants)
+            .map(|i| self.tenant_id(i))
+            .collect();
+        let streams: Vec<Vec<TelemetryEvent>> = (0..self.config.tenants)
+            .map(|i| self.events_for(i))
+            .collect();
+        let mut out = Vec::with_capacity(self.config.tenants * self.events_per_tenant());
+        for tick in 0..self.ticks() {
+            let range = tick * per_tick..(tick + 1) * per_tick;
+            for (id, stream) in ids.iter().zip(&streams) {
+                for ev in &stream[range.clone()] {
+                    out.push((id.clone(), *ev));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_names_the_offending_knob() {
+        for (cfg, needle) in [
+            (
+                FleetConfig {
+                    tenants: 0,
+                    ..FleetConfig::default()
+                },
+                "tenants",
+            ),
+            (
+                FleetConfig {
+                    devices: 0,
+                    ..FleetConfig::default()
+                },
+                "devices",
+            ),
+            (
+                FleetConfig {
+                    rate_per_device: 0.0,
+                    ..FleetConfig::default()
+                },
+                "rate_per_device",
+            ),
+            (
+                FleetConfig {
+                    duration: f64::NAN,
+                    ..FleetConfig::default()
+                },
+                "duration",
+            ),
+        ] {
+            let err = FleetScenario::new(cfg).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+        assert!(FleetScenario::new(FleetConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_tenants_differ() {
+        let scenario = FleetScenario::new(FleetConfig {
+            tenants: 3,
+            devices: 2,
+            duration: 2.0,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        assert_eq!(scenario.events_for(0), scenario.events_for(0));
+        assert_ne!(
+            scenario.events_for(0),
+            scenario.events_for(1),
+            "tenants must have distinct characters"
+        );
+        assert_eq!(scenario.events_for(0).len(), scenario.events_per_tenant());
+        // A different seed reshuffles every tenant.
+        let reseeded = FleetScenario::new(FleetConfig {
+            seed: 8,
+            ..*scenario.config()
+        })
+        .unwrap();
+        assert_ne!(scenario.events_for(0), reseeded.events_for(0));
+    }
+
+    #[test]
+    fn tagged_stream_interleaves_without_reordering_any_tenant() {
+        let scenario = FleetScenario::new(FleetConfig {
+            tenants: 3,
+            devices: 2,
+            duration: 1.0,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let stream = scenario.tagged_stream();
+        assert_eq!(stream.len(), 3 * scenario.events_per_tenant());
+        for i in 0..3 {
+            let id = scenario.tenant_id(i);
+            let subsequence: Vec<TelemetryEvent> = stream
+                .iter()
+                .filter(|(t, _)| *t == id)
+                .map(|&(_, ev)| ev)
+                .collect();
+            assert_eq!(
+                subsequence,
+                scenario.events_for(i),
+                "interleaving must preserve tenant {i}'s stream"
+            );
+        }
+        // Tick-interleaved: the first tenants' first events come before any
+        // tenant's second tick.
+        assert_eq!(stream[0].0, scenario.tenant_id(0));
+        let per_tick = 2 * EVENTS_PER_DEVICE_TICK;
+        assert_eq!(stream[per_tick].0, scenario.tenant_id(1));
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`config`] — cluster configuration with paper-scenario presets;
 //! * [`cache`] — Bernoulli and capacity-bounded LRU backend caches;
 //! * [`sim`] — the event loop;
+//! * [`fleet`] — deterministic tenant-tagged telemetry streams at fleet
+//!   scale, feeding `cos-serve`'s per-tenant estimator shards;
 //! * [`chaos`] — seed-deterministic fault injection (slow disks,
 //!   stragglers, device loss, arrival bursts) for control-loop tests;
 //! * [`metrics`] — SLA accounting per rate window plus the online metrics of
@@ -24,6 +26,7 @@ pub mod cache;
 pub mod calibration;
 pub mod chaos;
 pub mod config;
+pub mod fleet;
 pub mod metrics;
 pub mod sim;
 pub mod telemetry;
@@ -35,6 +38,7 @@ pub use config::{
     AcceptMode, CacheConfig, ClusterConfig, CodingConfig, DeviceOverride, DiskOpKind, DiskProfile,
     RedundancyPolicy, TimeoutRetry,
 };
+pub use fleet::{FleetConfig, FleetScenario};
 pub use metrics::{CompletedRequest, DeviceCounters, Metrics, MetricsConfig, OpSample};
 pub use sim::{run_simulation, Simulation, PARTITIONS, REPLICAS};
 pub use telemetry::{SimTelemetry, TelemetrySink};

@@ -114,9 +114,9 @@ pub mod prelude {
 
     // Tier 1: the online service — telemetry in, predictions out.
     pub use cos_serve::{
-        CalibrationBase, CalibratorConfig, Prediction, ServeConfig, ServeConfigBuilder, ServeError,
-        ServiceClient, ServiceHandle, ServiceStatus, SlaService, SnapshotReader, TelemetryEvent,
-        TelemetrySender,
+        CalibrationBase, CalibratorConfig, InvalidTenant, Prediction, Query, ServeConfig,
+        ServeConfigBuilder, ServeError, ServiceClient, ServiceHandle, ServiceStatus, SlaService,
+        SnapshotReader, TelemetryEvent, TelemetrySender, TenantId, DEFAULT_TENANT,
     };
 
     // Tier 1: the HTTP front door.

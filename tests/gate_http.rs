@@ -955,3 +955,161 @@ fn slow_loris_peers_get_408_and_do_not_stall_the_reactor() {
     gate.shutdown();
     drop(handle);
 }
+
+/// The ISSUE-level alias contract over a real socket: `/v1/*` and
+/// `/v1/tenants/default/*` must serve **byte-identical** bodies from one
+/// live service in **both** server modes (reactor and thread-per-conn) —
+/// including refusals — and tenant-scoped telemetry posted over the wire
+/// calibrates an isolated shard that legacy routes never see.
+#[test]
+fn tenant_routes_alias_legacy_byte_identically_in_both_server_modes() {
+    // A deterministic stream; `slow_mod` skews the completion mix so two
+    // tenants get visibly different fits.
+    let stream = |t0: f64, t1: f64, slow_mod: u64| {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        let mut t = t0;
+        while t < t1 {
+            for d in 0..2 {
+                out.push(TelemetryEvent::Arrival { at: t, device: d });
+                out.push(TelemetryEvent::DataRead { at: t, device: d });
+                for class in OpClass::ALL {
+                    let latency = if i % 10 < 3 { 0.010 } else { 0.000_002 };
+                    out.push(TelemetryEvent::Op {
+                        at: t,
+                        device: d,
+                        class,
+                        latency,
+                    });
+                    i += 1;
+                }
+                out.push(TelemetryEvent::Completion {
+                    arrival: t,
+                    latency: if i % 10 < slow_mod { 0.030 } else { 0.004 },
+                    device: d,
+                });
+            }
+            t += 1.0 / 40.0;
+        }
+        out
+    };
+
+    let mut service = SlaService::new(bare_base(), ServeConfig::default());
+    for ev in stream(0.0, 20.0, 3) {
+        service.ingest(ev);
+    }
+    assert!(service.refit_now(), "deterministic stream must fit");
+    let handle = service.spawn();
+
+    let pairs = [
+        (
+            "/v1/attainment?sla=0.05",
+            "/v1/tenants/default/attainment?sla=0.05",
+        ),
+        (
+            "/v1/attainment?sla=0.05&rate=120",
+            "/v1/tenants/default/attainment?sla=0.05&rate=120",
+        ),
+        (
+            "/v1/attainment?sla=0.05&n=4&k=2",
+            "/v1/tenants/default/attainment?sla=0.05&n=4&k=2",
+        ),
+        (
+            "/v1/percentile?p=0.95",
+            "/v1/tenants/default/percentile?p=0.95",
+        ),
+        (
+            "/v1/headroom?sla=0.05&target=0.9",
+            "/v1/tenants/default/headroom?sla=0.05&target=0.9",
+        ),
+        (
+            "/v1/bottlenecks?sla=0.05",
+            "/v1/tenants/default/bottlenecks?sla=0.05",
+        ),
+        // Refusals must alias too: same validator, same body bytes.
+        (
+            "/v1/attainment?sla=oops",
+            "/v1/tenants/default/attainment?sla=oops",
+        ),
+    ];
+
+    for mode in [ServerMode::Reactor, ServerMode::ThreadPerConn] {
+        let gate = Gate::bind(
+            "127.0.0.1:0",
+            handle.client(),
+            GateConfig {
+                server_mode: mode,
+                ..GateConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::connect(gate.local_addr());
+
+        for (legacy, tenant) in pairs {
+            let (ls, lb) = client.get(legacy);
+            let (ts, tb) = client.get(tenant);
+            assert_eq!(ls, ts, "{mode:?}: status differs for {legacy}");
+            assert_eq!(lb, tb, "{mode:?}: body differs for {legacy}");
+        }
+        // Status pair back-to-back (no reads between): byte-identical.
+        let (ls, lb) = client.get("/v1/status");
+        let (ts, tb) = client.get("/v1/tenants/default/status");
+        assert_eq!((ls, ts), (200, 200));
+        assert_eq!(lb, tb, "{mode:?}: status body differs");
+
+        // Telemetry write path aliases as well (same acceptance count).
+        let batch = stream(0.0, 0.1, 3);
+        let (ls, lb) = client.post("/v1/telemetry", &encode_events(&batch));
+        let (ts, tb) = client.post("/v1/tenants/default/telemetry", &encode_events(&batch));
+        assert_eq!((ls, ts), (200, 200), "{lb} / {tb}");
+        assert_eq!(lb, tb, "{mode:?}: telemetry ack differs");
+
+        // Tenant refusal discipline over the wire: unknown → 404,
+        // malformed id → 422, and neither kills the connection.
+        let (status, body) = client.get("/v1/tenants/ghost/status");
+        assert_eq!(status, 404, "{body}");
+        let (status, body) = client.get("/v1/tenants/NOPE/status");
+        assert_eq!(status, 422, "{body}");
+        let (status, _) = client.get("/v1/status");
+        assert_eq!(status, 200);
+
+        gate.shutdown();
+    }
+
+    // Tenant-scoped ingestion over the wire: a `blue` shard calibrated
+    // through POST /v1/tenants/blue/telemetry alone, isolated from the
+    // default tenant the legacy routes serve.
+    let gate = Gate::bind("127.0.0.1:0", handle.client(), GateConfig::default()).expect("bind");
+    let mut client = Client::connect(gate.local_addr());
+    // Event times continue past the default tenant's (last refit at 20 s),
+    // so the service's own cadence triggers the fleet refit.
+    let blue_events = stream(21.0, 46.0, 7);
+    for batch in blue_events.chunks(500) {
+        let (status, body) = client.post("/v1/tenants/blue/telemetry", &encode_events(batch));
+        assert_eq!(status, 200, "{body}");
+    }
+    // The write path is asynchronous; poll until blue's shard publishes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let blue_value = loop {
+        let (status, body) = client.get("/v1/tenants/blue/attainment?sla=0.05");
+        if status == 200 {
+            break json::parse(&body).unwrap().f64_field("value").unwrap();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "blue never calibrated: {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let (status, body) = client.get("/v1/attainment?sla=0.05");
+    assert_eq!(status, 200, "{body}");
+    let default_value = json::parse(&body).unwrap().f64_field("value").unwrap();
+    assert_ne!(
+        blue_value.to_bits(),
+        default_value.to_bits(),
+        "distinct streams must fit distinct shards"
+    );
+
+    gate.shutdown();
+    drop(handle);
+}

@@ -17,8 +17,8 @@ use cosmodel::distr::{Degenerate, Gamma};
 use cosmodel::model::SlaGoal;
 use cosmodel::queueing::from_distribution;
 use cosmodel::serve::{
-    CalibrationBase, InversionCache, OpClass, PredictionEngine, QueryKey, QueryKind, ServeConfig,
-    SlaService, TelemetryEvent,
+    CalibrationBase, InversionCache, OpClass, PredictionEngine, Query, QueryKey, QueryKind,
+    ServeConfig, SlaService, TelemetryEvent,
 };
 
 fn base() -> CalibrationBase {
@@ -98,8 +98,12 @@ fn reader_worker_and_cold_engine_agree_bit_for_bit() {
     let goal = SlaGoal::new(0.05, 0.90);
 
     for sla in [0.010, 0.050, 0.100] {
-        let worker = client.predict(sla).expect("worker answers");
-        let reader = client.read_predict(sla).expect("reader answers");
+        let worker = client
+            .attainment(Query::new().sla(sla))
+            .expect("worker answers");
+        let reader = client
+            .read_attainment(&Query::new().sla(sla))
+            .expect("reader answers");
         let cold_p = cold.fraction_meeting_sla(sla).expect("cold engine answers");
         assert_eq!(
             worker.value.to_bits(),
@@ -119,9 +123,11 @@ fn reader_worker_and_cold_engine_agree_bit_for_bit() {
     }
 
     for (rate, sla) in [(60.0, 0.05), (120.0, 0.05), (90.0, 0.01)] {
-        let worker = client.predict_at_rate(rate, sla).expect("worker answers");
+        let worker = client
+            .attainment(Query::new().sla(sla).rate(rate))
+            .expect("worker answers");
         let reader = client
-            .read_predict_at_rate(rate, sla)
+            .read_attainment(&Query::new().sla(sla).rate(rate))
             .expect("reader answers");
         let cold_p = cold.fraction_at_rate(rate, sla).expect("cold answers");
         assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "at {rate}");
@@ -129,21 +135,39 @@ fn reader_worker_and_cold_engine_agree_bit_for_bit() {
     }
 
     for p in [0.50, 0.95, 0.99] {
-        let worker = client.percentile(p).expect("worker answers");
-        let reader = client.read_percentile(p).expect("reader answers");
+        let worker = client
+            .latency_percentile(Query::new().p(p))
+            .expect("worker answers");
+        let reader = client
+            .read_latency_percentile(&Query::new().p(p))
+            .expect("reader answers");
         let cold_p = cold.latency_percentile(p).expect("cold answers");
         assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "p{p}");
         assert_eq!(worker.value.to_bits(), cold_p.value.to_bits(), "p{p}");
     }
 
-    let worker = client.headroom(goal, 2000.0).expect("worker answers");
-    let reader = client.read_headroom(goal, 2000.0).expect("reader answers");
+    let headroom_query = || {
+        Query::new()
+            .sla(goal.sla)
+            .target(goal.target_fraction)
+            .upper(2000.0)
+    };
+    let worker = client
+        .admissible_rate(headroom_query())
+        .expect("worker answers");
+    let reader = client
+        .read_admissible_rate(&headroom_query())
+        .expect("reader answers");
     let cold_p = cold.headroom(goal, 2000.0).expect("cold answers");
     assert_eq!(worker.value.to_bits(), reader.value.to_bits(), "headroom");
     assert_eq!(worker.value.to_bits(), cold_p.value.to_bits(), "headroom");
 
-    let worker = client.bottlenecks(0.05).expect("worker answers");
-    let reader = client.read_bottlenecks(0.05).expect("reader answers");
+    let worker = client
+        .device_ranking(Query::new().sla(0.05))
+        .expect("worker answers");
+    let reader = client
+        .read_device_ranking(&Query::new().sla(0.05))
+        .expect("reader answers");
     let cold_b = cold.bottlenecks(0.05).expect("cold answers");
     assert_eq!(worker.len(), reader.len());
     for ((wd, wf), (rd, rf)) in worker.iter().zip(reader.iter()) {
@@ -182,7 +206,9 @@ fn concurrent_readers_see_monotone_untorn_epochs() {
                 let mut last_gen = 0u64;
                 let mut seen: HashMap<u64, u64> = HashMap::new();
                 while !stop.load(Ordering::Relaxed) {
-                    let p = r.predict(0.05).expect("stays calibrated");
+                    let p = r
+                        .attainment(&Query::new().sla(0.05))
+                        .expect("stays calibrated");
                     assert!(
                         p.epoch >= last_epoch,
                         "epoch went backwards: {} after {last_epoch}",
@@ -199,7 +225,9 @@ fn concurrent_readers_see_monotone_untorn_epochs() {
 
                     // The ranking is evaluated against one snapshot view, so
                     // it must always come back sorted and complete.
-                    let ranking = r.bottlenecks(0.05).expect("stays calibrated");
+                    let ranking = r
+                        .device_ranking(&Query::new().sla(0.05))
+                        .expect("stays calibrated");
                     assert_eq!(ranking.len(), 2, "all devices ranked");
                     assert!(
                         ranking.windows(2).all(|w| w[0].1 <= w[1].1),
@@ -250,6 +278,7 @@ fn concurrent_readers_see_monotone_untorn_epochs() {
 fn single_flight_hands_every_waiter_the_same_bits() {
     let cache = Arc::new(InversionCache::new(4, 64, 8));
     let key = QueryKey {
+        tenant: 0,
         epoch: 1,
         rate_q: None,
         kind: QueryKind::fraction(0.05),
@@ -300,6 +329,7 @@ fn cache_stays_bounded_under_high_cardinality() {
     let cache = InversionCache::new(shards, per_shard, 8);
     for i in 0..2_000i64 {
         let key = QueryKey {
+            tenant: 0,
             epoch: 1,
             rate_q: Some(i),
             kind: QueryKind::fraction(0.05),
