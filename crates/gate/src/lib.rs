@@ -30,9 +30,11 @@
 //!   graceful shutdown that drains in-flight responses, in either of two
 //!   [`ServerMode`]s;
 //! * [`reactor`] — the default event-driven mode: a fixed pool of
-//!   reactor threads multiplexing nonblocking connections over a
-//!   readiness poller ([`cos_par::poller`]), dispatching GETs inline
-//!   through the lock-free snapshot read path.
+//!   reactor threads multiplexing nonblocking connections over an
+//!   edge-triggered readiness poller ([`cos_par::poller`]), with sharded
+//!   `SO_REUSEPORT` accept, single-`writev` response flushes, pooled
+//!   buffers, and per-thread syscall counters ([`Gate::syscalls`]),
+//!   dispatching GETs inline through the lock-free snapshot read path.
 //!
 //! ```no_run
 //! use cos_gate::{Gate, GateConfig};
@@ -63,4 +65,4 @@ pub use routes::{
     classify, decode_events, encode_events, handle, handle_ctrl, handle_full, handle_with_obs,
     status_body, ReadPath,
 };
-pub use server::{Gate, GateConfig, GateConfigBuilder, InvalidConfig, ServerMode};
+pub use server::{AcceptMode, Gate, GateConfig, GateConfigBuilder, InvalidConfig, ServerMode};

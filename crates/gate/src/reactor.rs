@@ -3,11 +3,53 @@
 //!
 //! This is the architecture the paper models — an event-driven server
 //! whose concurrency is bounded by memory per connection, not by OS
-//! threads. Each reactor thread owns a level-triggered [`Poller`]
-//! (epoll on Linux) and a slab of per-connection state machines; every
-//! thread registers the *shared* nonblocking listener, so accepts are
-//! claimed by whichever reactor wins the race (the losers see
-//! `WouldBlock` and move on).
+//! threads — and since PR 10 it is *syscall-lean* end to end: the hot
+//! serving path costs one `epoll_wait` share, one short-read-terminated
+//! `read`, and one vectored `writev` per wake, with no `epoll_ctl` re-arms
+//! and no heap allocation in steady state. Four mechanisms, all
+//! DESIGN §15:
+//!
+//! * **Edge-triggered registration.** Each reactor's [`Poller`] runs in
+//!   [`GateConfig::trigger_mode`] (edge by default). Every connection
+//!   honors the *drain contract*: on a readable event it reads until
+//!   `WouldBlock` — or until a short read proves the kernel queue empty,
+//!   which saves the trailing always-`WouldBlock` read — and on a writable
+//!   event it flushes until `WouldBlock`. Under epoll+edge the poller is
+//!   [`rearm_free`](Poller::rearm_free): connections register
+//!   `READ_WRITE` once and the reactor never calls `modify` again. The
+//!   256 KiB fairness burst cap survives ET through a reactor-local
+//!   **re-drive queue**: a connection that hits the cap is queued locally
+//!   and re-driven on the next loop iteration (with a zero poll timeout),
+//!   because an edge-triggered poller will not re-report bytes it already
+//!   announced.
+//! * **Sharded accept.** Each reactor thread owns *its own* listener.
+//!   [`Gate::bind`](crate::Gate::bind) creates one listener per thread in
+//!   a `SO_REUSEPORT` group when the platform allows, so the kernel
+//!   spreads incoming connections across reactors and an accept edge
+//!   wakes exactly one thread — no thundering herd on a shared fd. When
+//!   `SO_REUSEPORT` is unavailable every reactor holds an `Arc` of the
+//!   same listener and accepts race exactly as before (the losers see
+//!   `WouldBlock`). Admission stays **global** either way: every accept
+//!   consults `Shared::try_admit`, so `max_connections`, the
+//!   over-capacity `503`, and the lingering-reject protocol are
+//!   byte-identical in both accept modes.
+//! * **Vectored response flush.** Responses are queued as segments (a
+//!   pooled head+small-body buffer, plus large bodies as their own
+//!   zero-copy segment) in an `OutQueue`, and each drive cycle flushes
+//!   the whole queue with one `writev(2)` — a pipelined burst of N
+//!   responses costs one syscall, not N.
+//! * **Buffer pooling.** Head buffers come from a per-reactor free list
+//!   and return to it once written, and fully-drained body segments are
+//!   recycled too; combined with the parser's retained buffer and the
+//!   allocation-free [`Response::write_head_to`] serializer, a
+//!   steady-state keep-alive request allocates nothing in the transport
+//!   (measured by `perf_baseline`'s allocations-per-request cell via
+//!   [`cos_par::alloc_probe`]).
+//!
+//! Every syscall the reactor makes is counted in the poller's shared
+//! [`SyscallCounters`], which [`Gate::syscalls`](crate::Gate::syscalls)
+//! aggregates across threads — the substrate of the syscalls-per-request
+//! bench cell and its CI budget.
 //!
 //! # Per-connection state machine
 //!
@@ -27,12 +69,12 @@
 //! ```
 //!
 //! Every poller event is handled *uniformly* by `Reactor::drive`: try to
-//! read,
-//! drain the parser, flush the output buffer, then recompute interest.
-//! A stale or spurious event (slab slot reused, kernel-reported hangup)
-//! therefore costs one harmless `WouldBlock` round, never a wrong state
-//! transition — in particular a kernel hangup flag is *not* trusted to
-//! close the connection; the next `read` returning `Ok(0)` is.
+//! read, drain the parser, flush the output queue, then (when interest
+//! management is still needed) recompute interest. A stale or spurious
+//! event (slab slot reused, kernel-reported hangup, an extra level-mode
+//! report) therefore costs one harmless `WouldBlock` round, never a wrong
+//! state transition — which is also exactly why the portable poller's
+//! "edge" contract mode (spurious re-reports allowed) is safe here.
 //!
 //! # Why dispatch runs inline
 //!
@@ -40,7 +82,7 @@
 //! ([`cos_serve::SnapshotReader`] behind `routes::handle_ctrl`): an
 //! atomic `Arc` load plus pure computation, no locks, no channel. So the
 //! reactor thread evaluates it in place — the response lands in the
-//! connection's output buffer microseconds after the request parses,
+//! connection's output queue microseconds after the request parses,
 //! with zero handoff. The one blocking exception is `POST
 //! /v1/telemetry`, which keeps the worker channel and its flush-before-
 //! reply barrier; ingest bursts briefly occupy one reactor thread, which
@@ -51,10 +93,11 @@
 //!
 //! There is no timer wheel: each poll wait's timeout is the nearest
 //! pending deadline (request deadline from the first byte of a request
-//! head, write timeout from the first short write), and a sweep after
-//! every wait answers expired requests with `408` and closes stuck
-//! writers. With no deadlines armed the reactor sleeps until the poller
-//! or its [`Waker`] says otherwise.
+//! head, write timeout from the first short write) — or zero while the
+//! re-drive queue is non-empty — and a sweep after every wait answers
+//! expired requests with `408` and closes stuck writers. With no
+//! deadlines armed the reactor sleeps until the poller or its [`Waker`]
+//! says otherwise.
 //!
 //! # Shutdown / drain protocol
 //!
@@ -65,9 +108,10 @@
 //! request-deadline clock on any connection still mid-request (so a
 //! stalled peer bounds the drain at `408` instead of wedging it), and
 //! exits once its slab is empty. The `Gate` joins all reactors, at which
-//! point the listener's last `Arc` drops and the port closes.
+//! point each listener's last `Arc` drops and the port closes.
 
-use std::io::{ErrorKind, Read, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
@@ -75,7 +119,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cos_par::poller::{Interest, Poller, WakeReader, Waker};
+use cos_par::poller::{Backend, Interest, Poller, SyscallCounters, TriggerMode, WakeReader, Waker};
 use cos_serve::ServiceClient;
 
 use crate::http::{RequestParser, Response};
@@ -83,7 +127,7 @@ use crate::obs::GateObs;
 use crate::routes;
 use crate::server::{reject_over_capacity, GateConfig, Shared};
 
-/// Poller token of the shared listener.
+/// Poller token of this reactor's listener.
 const LISTENER: u64 = 0;
 /// Poller token of this reactor's wake pipe.
 const WAKER: u64 = 1;
@@ -91,32 +135,73 @@ const WAKER: u64 = 1;
 const CONN_BASE: u64 = 2;
 
 /// Byte ceiling read per connection per event before yielding back to the
-/// poller: a firehose peer gets re-queued by the level-triggered poller
+/// event loop: a firehose peer gets re-queued (by the level-triggered
+/// poller, or by the reactor's own re-drive queue under edge triggering)
 /// instead of starving its neighbors on the same reactor thread.
 const READ_BURST_BYTES: usize = 256 * 1024;
 
-/// Spawns `threads` reactor threads sharing `listener`. Returns their
-/// join handles and one waker per thread (fire all of them after setting
-/// the shared shutdown flag, then join).
+/// Bodies up to this size are copied into the (pooled) head buffer so a
+/// small response is one `writev` segment; larger bodies ride zero-copy
+/// as their own segment.
+const INLINE_BODY_BYTES: usize = 16 * 1024;
+
+/// Segments handed to one `writev(2)` call. Far under `IOV_MAX` (1024);
+/// a queue deeper than this simply takes another loop iteration.
+const MAX_IOV: usize = 64;
+
+/// Retired buffers above this capacity are dropped instead of pooled, so
+/// one huge response cannot pin its footprint forever.
+const MAX_POOLED_CAPACITY: usize = 64 * 1024;
+
+/// Free-list depth cap per reactor.
+const MAX_POOLED_BUFFERS: usize = 256;
+
+/// Which backend the reactors' pollers use:
+/// `COS_GATE_FORCE_POLL_BACKEND=portable` (or `poll`) forces the portable
+/// `poll(2)` backend so CI exercises the non-epoll path on Linux too;
+/// anything else picks the platform default.
+pub(crate) fn backend_from_env() -> Backend {
+    match std::env::var("COS_GATE_FORCE_POLL_BACKEND").as_deref() {
+        Ok("portable") | Ok("poll") => Backend::Poll,
+        _ => Backend::default_for_platform(),
+    }
+}
+
+/// Everything [`spawn`] hands back to the server: join handles, one waker
+/// per thread (fire all of them after setting the shared shutdown flag,
+/// then join), and each thread's syscall counters for aggregation.
+pub(crate) struct SpawnedReactors {
+    pub(crate) joins: Vec<JoinHandle<()>>,
+    pub(crate) wakers: Vec<Waker>,
+    pub(crate) counters: Vec<Arc<SyscallCounters>>,
+}
+
+/// Spawns one reactor thread per listener in `listeners` (sharded accept
+/// passes distinct listeners; shared accept passes clones of one `Arc`).
 pub(crate) fn spawn(
-    listener: Arc<TcpListener>,
+    listeners: Vec<Arc<TcpListener>>,
     client: ServiceClient,
     config: GateConfig,
     obs: GateObs,
     shared: Arc<Shared>,
-    threads: usize,
-) -> std::io::Result<(Vec<JoinHandle<()>>, Vec<Waker>)> {
-    let mut joins = Vec::with_capacity(threads);
-    let mut wakers = Vec::with_capacity(threads);
-    for i in 0..threads {
-        let poller = Poller::new()?;
+) -> std::io::Result<SpawnedReactors> {
+    let mut joins = Vec::with_capacity(listeners.len());
+    let mut wakers = Vec::with_capacity(listeners.len());
+    let mut counters = Vec::with_capacity(listeners.len());
+    let backend = backend_from_env();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let poller = Poller::with_mode(backend, config.trigger_mode)?;
         let (waker, wake_rx) = Waker::pair()?;
         poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
         poller.register(wake_rx.as_raw_fd(), WAKER, Interest::READ)?;
+        counters.push(poller.counters().clone());
         let ctx = Reactor {
+            edge: config.trigger_mode == TriggerMode::Edge,
+            rearm_free: poller.rearm_free(),
+            counters: poller.counters().clone(),
             poller,
             wake_rx,
-            listener: listener.clone(),
+            listener,
             client: client.clone(),
             config: config.clone(),
             obs: obs.clone(),
@@ -125,14 +210,150 @@ pub(crate) fn spawn(
             free: Vec::new(),
             live: 0,
             lingering: 0,
+            pending: Vec::new(),
+            accept_pending: false,
+            buf_pool: Vec::new(),
         };
         let join = std::thread::Builder::new()
             .name(format!("cos-gate-reactor-{i}"))
-            .spawn(move || ctx.run())?;
+            .spawn(move || {
+                // Opt into bench-side allocation accounting (a no-op
+                // thread-local write unless the counting allocator is
+                // installed, which only `perf_baseline` does).
+                cos_par::alloc_probe::track_current_thread(true);
+                ctx.run()
+            })?;
         joins.push(join);
         wakers.push(waker);
     }
-    Ok((joins, wakers))
+    Ok(SpawnedReactors {
+        joins,
+        wakers,
+        counters,
+    })
+}
+
+/// Queued response bytes as `writev` segments: a deque of buffers plus a
+/// byte offset into the front one. Fully-written segments are recycled
+/// into the reactor's buffer pool as the kernel accepts them.
+struct OutQueue {
+    segs: VecDeque<Vec<u8>>,
+    /// Bytes of `segs[0]` already accepted by the kernel.
+    front_pos: usize,
+    /// Total unsent bytes across all segments.
+    unsent: usize,
+}
+
+impl OutQueue {
+    fn new() -> OutQueue {
+        OutQueue {
+            segs: VecDeque::new(),
+            front_pos: 0,
+            unsent: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.unsent == 0
+    }
+
+    fn push(&mut self, seg: Vec<u8>, pool: &mut Vec<Vec<u8>>) {
+        if seg.is_empty() {
+            recycle_buf(pool, seg);
+            return;
+        }
+        self.unsent += seg.len();
+        self.segs.push_back(seg);
+    }
+
+    /// Fills `iovs` with the pending segments (front offset applied);
+    /// returns how many entries are valid.
+    fn fill_iovecs(&self, iovs: &mut [sys::IoVec; MAX_IOV]) -> usize {
+        let mut count = 0;
+        for (i, seg) in self.segs.iter().enumerate() {
+            if count == MAX_IOV {
+                break;
+            }
+            let skip = if i == 0 { self.front_pos } else { 0 };
+            let slice = &seg[skip..];
+            if slice.is_empty() {
+                continue;
+            }
+            iovs[count] = sys::IoVec {
+                base: slice.as_ptr().cast(),
+                len: slice.len(),
+            };
+            count += 1;
+        }
+        count
+    }
+
+    /// Consumes `n` accepted bytes from the front, recycling finished
+    /// segments into `pool`.
+    fn advance(&mut self, mut n: usize, pool: &mut Vec<Vec<u8>>) {
+        self.unsent -= n.min(self.unsent);
+        while n > 0 {
+            let Some(front) = self.segs.front() else {
+                return;
+            };
+            let remaining = front.len() - self.front_pos;
+            if n < remaining {
+                self.front_pos += n;
+                return;
+            }
+            n -= remaining;
+            self.front_pos = 0;
+            let finished = self.segs.pop_front().expect("front exists");
+            recycle_buf(pool, finished);
+        }
+    }
+
+    /// Returns every segment to `pool` (connection teardown).
+    fn recycle_all(&mut self, pool: &mut Vec<Vec<u8>>) {
+        self.front_pos = 0;
+        self.unsent = 0;
+        while let Some(seg) = self.segs.pop_front() {
+            recycle_buf(pool, seg);
+        }
+    }
+}
+
+/// Pops a recycled buffer (cleared, capacity retained) or a fresh one.
+fn take_buf(pool: &mut Vec<Vec<u8>>) -> Vec<u8> {
+    pool.pop().unwrap_or_default()
+}
+
+/// Returns a buffer to the free list, unless it is oversized or the pool
+/// is full (then it simply drops — deallocations are not what the
+/// steady-state allocation budget measures).
+fn recycle_buf(pool: &mut Vec<Vec<u8>>, mut buf: Vec<u8>) {
+    if buf.capacity() == 0
+        || buf.capacity() > MAX_POOLED_CAPACITY
+        || pool.len() >= MAX_POOLED_BUFFERS
+    {
+        return;
+    }
+    buf.clear();
+    pool.push(buf);
+}
+
+/// Serializes `response` onto `out` as segments: head (+ small body) in a
+/// pooled buffer, large bodies as their own zero-copy segment.
+fn queue_response(
+    out: &mut OutQueue,
+    pool: &mut Vec<Vec<u8>>,
+    mut response: Response,
+    keep_alive: bool,
+) {
+    let mut head = take_buf(pool);
+    response.write_head_to(&mut head, keep_alive);
+    if response.body.len() <= INLINE_BODY_BYTES {
+        head.extend_from_slice(&response.body);
+        out.push(head, pool);
+    } else {
+        out.push(head, pool);
+        out.push(std::mem::take(&mut response.body), pool);
+    }
 }
 
 /// One multiplexed connection's state.
@@ -143,9 +364,8 @@ struct Conn {
     /// first byte, taken when it completes (pipelined requests whose
     /// bytes rode in earlier start at their own parse).
     request_started: Option<Instant>,
-    /// Queued response bytes not yet accepted by the kernel.
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Queued response segments not yet accepted by the kernel.
+    out: OutQueue,
     /// Armed at the first short write, cleared when `out` drains; bounds
     /// a peer that stops reading at `write_timeout`.
     write_started: Option<Instant>,
@@ -153,6 +373,11 @@ struct Conn {
     closing: bool,
     /// The peer's write half is done (`read` returned 0).
     saw_eof: bool,
+    /// The kernel flagged a hangup (`EPOLLRDHUP`-class) for this
+    /// connection. The peer's FIN can ride the *same* edge as its final
+    /// data bytes, so once this is set the short-read exit is disabled:
+    /// the EOF must be read out now — no later edge will announce it.
+    peer_hup: bool,
     /// This connection holds a slot in the shared connection count
     /// (false for over-capacity rejects, which ride the slab but must
     /// not consume admitted capacity).
@@ -165,23 +390,26 @@ struct Conn {
     linger_until: Option<Instant>,
     /// The write half has been shut down (lingering close only).
     fin_sent: bool,
-    /// Currently registered poller interest.
+    /// Currently registered poller interest (fixed at `READ_WRITE` for
+    /// the connection's whole life when the poller is rearm-free).
     interest: Interest,
 }
 
 impl Conn {
     fn has_pending_out(&self) -> bool {
-        self.out_pos < self.out.len()
-    }
-
-    /// Serializes `response` onto the output queue.
-    fn queue(&mut self, response: &Response, keep_alive: bool) {
-        response.write_to(&mut self.out, keep_alive);
+        !self.out.is_empty()
     }
 }
 
 struct Reactor {
     poller: Poller,
+    /// Drain-contract mode: enables the short-read exit and the re-drive
+    /// queue semantics.
+    edge: bool,
+    /// Kernel-side edge triggering: interest is `READ_WRITE` for life and
+    /// `modify` is never called (see [`Poller::rearm_free`]).
+    rearm_free: bool,
+    counters: Arc<SyscallCounters>,
     wake_rx: WakeReader,
     listener: Arc<TcpListener>,
     client: ServiceClient,
@@ -194,6 +422,16 @@ struct Reactor {
     /// Slab connections lingering on an over-capacity `503` (unadmitted,
     /// bounded by `max_connections` of their own).
     lingering: usize,
+    /// Slots that hit the fairness burst cap and must be re-driven on
+    /// the next loop iteration: an edge-triggered poller will not
+    /// re-report bytes it already announced.
+    pending: Vec<usize>,
+    /// The last accept burst ended on a transient error; retry next
+    /// iteration rather than waiting for a (possibly never-coming under
+    /// ET) fresh listener event.
+    accept_pending: bool,
+    /// Recycled head/segment buffers (per-reactor, so no locking).
+    buf_pool: Vec<Vec<u8>>,
 }
 
 impl Reactor {
@@ -205,7 +443,15 @@ impl Reactor {
             if draining && self.live == 0 {
                 return;
             }
-            if self.poller.wait(&mut events, self.next_timeout()).is_err() {
+            // Local work pending (burst-capped connections, a stalled
+            // accept) means a zero timeout: poll for anything new, then
+            // get right back to it.
+            let timeout = if self.pending.is_empty() && !self.accept_pending {
+                self.next_timeout()
+            } else {
+                Some(Duration::ZERO)
+            };
+            if self.poller.wait(&mut events, timeout).is_err() {
                 // A broken poller cannot drive anything; abandon the
                 // remaining connections rather than spin.
                 self.close_all();
@@ -220,8 +466,26 @@ impl Reactor {
                         }
                     }
                     WAKER => self.wake_rx.drain(),
-                    token => self.drive((token - CONN_BASE) as usize, draining),
+                    token => {
+                        let slot = (token - CONN_BASE) as usize;
+                        if ev.closed {
+                            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                                conn.peer_hup = true;
+                            }
+                        }
+                        self.drive(slot, draining);
+                    }
                 }
+            }
+            // Re-drive burst-capped connections the poller will not (or,
+            // level-triggered, simply has not yet) re-report.
+            let pending = std::mem::take(&mut self.pending);
+            for slot in pending {
+                self.drive(slot, draining);
+            }
+            if self.accept_pending && !draining {
+                self.accept_pending = false;
+                self.accept_burst();
             }
             if draining && !was_draining {
                 // First sweep after shutdown: close idle keep-alives, arm
@@ -260,6 +524,7 @@ impl Reactor {
     /// front door.
     fn accept_burst(&mut self) {
         loop {
+            SyscallCounters::bump(&self.counters.accepts);
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     if self.shared.try_admit(self.config.max_connections) {
@@ -280,10 +545,12 @@ impl Reactor {
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 // Transient accept failures (e.g. fd exhaustion, a peer
-                // that reset before accept): yield briefly so a persistent
-                // condition does not busy-spin the reactor.
+                // that reset before accept): yield briefly and retry next
+                // iteration — an edge-triggered listener will not re-fire
+                // for connections already sitting in the backlog.
                 Err(_) => {
                     std::thread::sleep(Duration::from_millis(1));
+                    self.accept_pending = true;
                     return;
                 }
             }
@@ -299,7 +566,15 @@ impl Reactor {
             self.conns.push(None);
             self.conns.len() - 1
         });
-        let interest = Interest::READ;
+        // A rearm-free poller reports each readiness transition exactly
+        // once, so blanket READ_WRITE interest costs nothing and spares
+        // every future `modify`; a re-reporting poller would busy-wake on
+        // an idle-but-writable socket, so it starts read-only.
+        let interest = if self.rearm_free {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
         match self
             .poller
             .register(stream.as_raw_fd(), slot as u64 + CONN_BASE, interest)
@@ -314,11 +589,11 @@ impl Reactor {
             stream,
             parser: RequestParser::new(self.config.limits),
             request_started: None,
-            out: Vec::new(),
-            out_pos: 0,
+            out: OutQueue::new(),
             write_started: None,
             closing: false,
             saw_eof: false,
+            peer_hup: false,
             counted,
             linger_until: None,
             fin_sent: false,
@@ -339,7 +614,7 @@ impl Reactor {
         self.lingering += 1;
         let conn = self.conns[slot].as_mut().expect("slot live");
         let response = Response::error(503, "connection limit reached");
-        conn.queue(&response, false);
+        queue_response(&mut conn.out, &mut self.buf_pool, response, false);
         conn.closing = true;
         conn.linger_until = Some(Instant::now() + self.config.write_timeout);
         self.finish_drive(slot, false);
@@ -347,8 +622,9 @@ impl Reactor {
 
     /// Deregisters, closes, and frees one slab slot.
     fn close(&mut self, slot: usize) {
-        if let Some(conn) = self.conns[slot].take() {
+        if let Some(mut conn) = self.conns[slot].take() {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            conn.out.recycle_all(&mut self.buf_pool);
             if conn.counted {
                 self.shared.connection_finished();
             } else {
@@ -368,20 +644,26 @@ impl Reactor {
 
     /// The uniform per-event connection handler: read, parse+dispatch,
     /// flush, recompute interest. Called for real events, stale events on
-    /// a reused slot, and drain sweeps alike.
+    /// a reused slot, re-drives, and drain sweeps alike.
     fn drive(&mut self, slot: usize, draining: bool) {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return; // stale event for a slot already closed
         };
 
-        // Read until WouldBlock, EOF, or the fairness burst ceiling. A
-        // closing connection still reads while it lingers — discarding,
-        // so a flooding peer cannot grow the parser buffer.
+        // Read until WouldBlock, EOF, or the fairness burst ceiling. In
+        // edge mode a *short* read already proves the kernel queue empty
+        // (a stream read returns everything available up to the buffer
+        // size), so the trailing always-WouldBlock read is skipped — any
+        // later refill is a fresh edge. A closing connection still reads
+        // while it lingers — discarding, so a flooding peer cannot grow
+        // the parser buffer.
         let mut dead = false;
+        let mut hit_burst_cap = false;
         if !conn.saw_eof && (!conn.closing || conn.linger_until.is_some()) {
             let mut chunk = [0u8; 8 * 1024];
             let mut taken = 0usize;
             loop {
+                SyscallCounters::bump(&self.counters.reads);
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
                         conn.saw_eof = true;
@@ -396,7 +678,11 @@ impl Reactor {
                         }
                         taken += n;
                         if taken >= READ_BURST_BYTES {
-                            break; // level-trigger re-queues the rest
+                            hit_burst_cap = true;
+                            break;
+                        }
+                        if self.edge && !conn.peer_hup && n < chunk.len() {
+                            break; // short read: the kernel queue is empty
                         }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -412,9 +698,16 @@ impl Reactor {
             self.close(slot);
             return;
         }
+        if hit_burst_cap {
+            // An edge-triggered poller will not re-report what it already
+            // announced; queue a local re-drive. (Harmless double-drive
+            // under level triggering.)
+            self.pending.push(slot);
+        }
 
         // Drain every complete request already buffered (pipelining),
-        // dispatching inline on this reactor thread.
+        // dispatching inline on this reactor thread. The whole burst's
+        // responses accumulate as segments and flush in one writev below.
         let conn = self.conns[slot].as_mut().expect("slot live");
         while !conn.closing {
             let parse_begin = Instant::now();
@@ -435,7 +728,7 @@ impl Reactor {
                     );
                     dispatch_span.stop();
                     let keep = request.keep_alive() && !response.close && !draining;
-                    conn.queue(&response, keep);
+                    queue_response(&mut conn.out, &mut self.buf_pool, response, keep);
                     self.obs
                         .request_hist(request.path())
                         .record_duration(started.elapsed());
@@ -450,7 +743,7 @@ impl Reactor {
                     // and close (the parser error is sticky).
                     self.obs.parse_errors_total.inc();
                     let response = Response::error(e.status(), e.reason());
-                    conn.queue(&response, false);
+                    queue_response(&mut conn.out, &mut self.buf_pool, response, false);
                     conn.closing = true;
                 }
             }
@@ -462,7 +755,7 @@ impl Reactor {
         if conn.saw_eof && !conn.closing {
             if conn.parser.has_partial() {
                 let response = Response::error(400, "connection closed mid-request");
-                conn.queue(&response, false);
+                queue_response(&mut conn.out, &mut self.buf_pool, response, false);
             }
             conn.closing = true;
         }
@@ -483,19 +776,21 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return;
         };
-        // Flush as much queued output as the kernel will take.
+        // Flush as much queued output as the kernel will take: the whole
+        // segment queue per writev call, until drained or WouldBlock.
         let mut dead = false;
         while conn.has_pending_out() {
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
+            let mut iovs = [sys::IoVec::NULL; MAX_IOV];
+            let count = conn.out.fill_iovecs(&mut iovs);
+            SyscallCounters::bump(&self.counters.writevs);
+            match sys::writev_fd(conn.stream.as_raw_fd(), &iovs[..count]) {
                 Ok(0) => {
                     dead = true;
                     break;
                 }
                 Ok(n) => {
-                    conn.out_pos += n;
+                    conn.out.advance(n, &mut self.buf_pool);
                     if !conn.has_pending_out() {
-                        conn.out.clear();
-                        conn.out_pos = 0;
                         conn.write_started = None;
                     }
                 }
@@ -531,7 +826,10 @@ impl Reactor {
                     let _ = conn.stream.shutdown(Shutdown::Write);
                     conn.fin_sent = true;
                 }
-                if conn.interest != Interest::READ {
+                // Rearm-free: the fixed READ_WRITE registration already
+                // covers the read-side EOF we are waiting for, and edge
+                // triggering means no writable busy-wakes to silence.
+                if !self.rearm_free && conn.interest != Interest::READ {
                     if self
                         .poller
                         .modify(
@@ -544,6 +842,7 @@ impl Reactor {
                         self.close(slot);
                         return;
                     }
+                    let conn = self.conns[slot].as_mut().expect("slot live");
                     conn.interest = Interest::READ;
                 }
                 return;
@@ -551,6 +850,9 @@ impl Reactor {
             let _ = conn.stream.shutdown(Shutdown::Both);
             self.close(slot);
             return;
+        }
+        if self.rearm_free {
+            return; // interest is READ_WRITE for life; nothing to manage
         }
         let want = Interest {
             readable: !conn.saw_eof && (!conn.closing || conn.linger_until.is_some()),
@@ -595,7 +897,8 @@ impl Reactor {
             if let Some(started) = conn.request_started {
                 if now.saturating_duration_since(started) >= self.config.request_deadline {
                     let response = Response::error(408, "request deadline exceeded");
-                    conn.queue(&response, false);
+                    queue_response(&mut conn.out, &mut self.buf_pool, response, false);
+                    let conn = self.conns[slot].as_mut().expect("slot live");
                     conn.closing = true;
                     conn.request_started = None;
                     let draining = self.shared.shutdown.load(Ordering::SeqCst);
@@ -620,5 +923,45 @@ impl Reactor {
 impl Drop for Reactor {
     fn drop(&mut self) {
         self.close_all();
+    }
+}
+
+/// The reactor's own raw syscall surface: vectored writes, declared as an
+/// `extern "C"` prototype against the libc the binary already links (the
+/// workspace is std-only — same convention as `cos_par::poller`).
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::io;
+
+    /// `struct iovec`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub base: *const c_void,
+        pub len: usize,
+    }
+
+    impl IoVec {
+        pub const NULL: IoVec = IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        };
+    }
+
+    extern "C" {
+        fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    }
+
+    pub fn writev_fd(fd: c_int, iov: &[IoVec]) -> io::Result<usize> {
+        // SAFETY: every entry in `iov` points into a buffer that outlives
+        // the call (the connection's output segments, unmutated until the
+        // return value is consumed), and `iov.len()` is the exact entry
+        // count.
+        let n = unsafe { writev(fd, iov.as_ptr(), iov.len() as c_int) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
     }
 }

@@ -213,12 +213,20 @@ fn tenant_route(path: &str) -> Result<(TenantId, &str), Response> {
     Ok((tenant, route))
 }
 
-/// The widest dispatcher: admission control first (when a controller is
-/// configured), then routing. A shed request is answered `429 Too Many
-/// Requests` with a `Retry-After` header and never reaches the service.
-/// With `ctrl = None` the behavior — including every response byte — is
-/// identical to [`handle_full`] before admission control existed, except
-/// that `GET /v1/anomalies` exists only when a controller is present.
+/// The widest dispatcher: tenant resolution, then admission control (when
+/// a controller is configured), then routing. A shed request is answered
+/// `429 Too Many Requests` with a `Retry-After` header and never reaches
+/// the service. With `ctrl = None` the behavior — including every response
+/// byte — is identical to [`handle_full`] before admission control
+/// existed, except that `GET /v1/anomalies` exists only when a controller
+/// is present.
+///
+/// Tenant resolution runs *before* the admission decision so the
+/// controller can apply the tenant's shed budget
+/// ([`Controller::decide_for`]). Consequently a request with a malformed
+/// or unroutable tenant path is refused `422`/`404` even while shedding:
+/// the refusal is cheaper than admitting the request would have been, and
+/// a request that could never route should not consume shed-ladder budget.
 pub fn handle_ctrl(
     client: &ServiceClient,
     obs: Option<&GateObs>,
@@ -226,8 +234,12 @@ pub fn handle_ctrl(
     ctrl: Option<&Controller>,
     req: &Request,
 ) -> Response {
+    let (tenant, route) = match tenant_route(req.path()) {
+        Ok(pair) => pair,
+        Err(refusal) => return refusal,
+    };
     if let Some(ctrl) = ctrl {
-        if let Err(shed) = ctrl.decide(classify(req)) {
+        if let Err(shed) = ctrl.decide_for(&tenant, classify(req)) {
             if let Some(obs) = obs {
                 obs.sheds_total.inc();
             }
@@ -235,10 +247,6 @@ pub fn handle_ctrl(
                 .with_header("Retry-After", shed.retry_after.to_string());
         }
     }
-    let (tenant, route) = match tenant_route(req.path()) {
-        Ok(pair) => pair,
-        Err(refusal) => return refusal,
-    };
     let reader = Reader {
         client,
         path: read_path,

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use cos_ctrl::Controller;
 use cos_obs::Registry;
+use cos_par::poller::{SyscallCounters, SyscallSnapshot, TriggerMode, Waker};
 use cos_serve::ServiceClient;
 
 use crate::http::{ParserLimits, RequestParser, Response};
@@ -76,6 +77,27 @@ impl ServerMode {
     }
 }
 
+/// How accepted connections are distributed across reactor threads.
+///
+/// Ignored by [`ServerMode::ThreadPerConn`], and by [`Gate::serve`] (an
+/// externally bound listener is necessarily shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptMode {
+    /// One listener per reactor thread in a `SO_REUSEPORT` group: the
+    /// kernel spreads connections across reactors and an accept edge
+    /// wakes exactly one thread. The default. Requires [`Gate::bind`] on
+    /// Linux with an IPv4 address and more than one reactor thread;
+    /// anywhere else the gate silently serves in [`AcceptMode::Shared`]
+    /// (check [`Gate::accept_sharded`]). Admission accounting stays
+    /// global, so `max_connections`, the over-capacity `503`, and the
+    /// lingering-reject protocol are identical in both modes.
+    #[default]
+    Sharded,
+    /// Every reactor polls one shared listener and accepts race (the
+    /// losers see `WouldBlock`). Works everywhere.
+    Shared,
+}
+
 /// Front-door knobs.
 #[derive(Debug, Clone)]
 pub struct GateConfig {
@@ -109,6 +131,15 @@ pub struct GateConfig {
     /// [`cos_par::default_workers`] — the machine's available
     /// parallelism. Ignored in [`ServerMode::ThreadPerConn`].
     pub reactor_threads: usize,
+    /// How the reactors' pollers report readiness (edge-triggered by
+    /// default — see DESIGN §15; level-triggered is kept as the
+    /// behavioral comparison point for `perf_baseline`). Ignored in
+    /// [`ServerMode::ThreadPerConn`].
+    pub trigger_mode: TriggerMode,
+    /// How accepted connections reach reactor threads (sharded
+    /// `SO_REUSEPORT` listeners where the platform allows, by default).
+    /// Ignored in [`ServerMode::ThreadPerConn`].
+    pub accept_mode: AcceptMode,
 }
 
 impl Default for GateConfig {
@@ -124,6 +155,8 @@ impl Default for GateConfig {
             controller: None,
             server_mode: ServerMode::default(),
             reactor_threads: 0,
+            trigger_mode: TriggerMode::Edge,
+            accept_mode: AcceptMode::default(),
         }
     }
 }
@@ -226,6 +259,18 @@ impl GateConfigBuilder {
         self
     }
 
+    /// Poller trigger mode for the reactors (edge by default).
+    pub fn trigger_mode(mut self, mode: TriggerMode) -> Self {
+        self.config.trigger_mode = mode;
+        self
+    }
+
+    /// Accept distribution across reactors (sharded by default).
+    pub fn accept_mode(mut self, mode: AcceptMode) -> Self {
+        self.config.accept_mode = mode;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<GateConfig, InvalidConfig> {
         let err = |field: &'static str, reason: String| Err(InvalidConfig { field, reason });
@@ -317,34 +362,63 @@ pub struct Gate {
     accept_join: Option<JoinHandle<()>>,
     /// Reactor threads and their wakers (reactor mode only).
     reactor_joins: Vec<JoinHandle<()>>,
-    reactor_wakers: Vec<cos_par::poller::Waker>,
+    reactor_wakers: Vec<Waker>,
+    /// Each reactor's syscall counters (reactor mode only).
+    reactor_counters: Vec<Arc<SyscallCounters>>,
+    /// Whether accepts are sharded across per-reactor `SO_REUSEPORT`
+    /// listeners (vs every reactor racing on one shared listener).
+    accept_sharded: bool,
+}
+
+/// `config.reactor_threads` with `0` resolved to the machine default.
+fn resolved_reactor_threads(config: &GateConfig) -> usize {
+    match config.reactor_threads {
+        0 => cos_par::default_workers(),
+        n => n,
+    }
 }
 
 impl Gate {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
     /// the accept loop, serving `client`'s service.
+    ///
+    /// In reactor mode with [`AcceptMode::Sharded`] (the default) this
+    /// binds one listener per reactor thread in a `SO_REUSEPORT` group
+    /// where the platform allows (Linux, IPv4, ≥ 2 reactors), falling
+    /// back silently to a shared listener anywhere else.
     pub fn bind(addr: &str, client: ServiceClient, config: GateConfig) -> std::io::Result<Gate> {
+        if config.server_mode == ServerMode::Reactor && config.accept_mode == AcceptMode::Sharded {
+            let threads = resolved_reactor_threads(&config);
+            if threads > 1 {
+                if let Ok(listeners) = reuseport::bind_group(addr, threads) {
+                    let listeners = listeners.into_iter().map(Arc::new).collect();
+                    return Gate::serve_reactors(listeners, true, client, config);
+                }
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         Gate::serve(listener, client, config)
     }
 
     /// Starts serving on an already-bound listener, in the configured
-    /// [`ServerMode`].
+    /// [`ServerMode`]. A single externally bound listener cannot join a
+    /// `SO_REUSEPORT` group after the fact, so reactor mode always runs
+    /// shared-accept here regardless of [`GateConfig::accept_mode`].
     pub fn serve(
         listener: TcpListener,
         client: ServiceClient,
         config: GateConfig,
     ) -> std::io::Result<Gate> {
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            shutdown: AtomicBool::new(false),
-            active: Mutex::new(0),
-            drained: Condvar::new(),
-        });
-        let obs = GateObs::register(&config.obs);
         match config.server_mode {
             ServerMode::ThreadPerConn => {
+                let addr = listener.local_addr()?;
+                listener.set_nonblocking(true)?;
+                let shared = Arc::new(Shared {
+                    shutdown: AtomicBool::new(false),
+                    active: Mutex::new(0),
+                    drained: Condvar::new(),
+                });
+                let obs = GateObs::register(&config.obs);
                 let loop_shared = shared.clone();
                 let accept_join = std::thread::Builder::new()
                     .name("cos-gate-accept".into())
@@ -356,35 +430,71 @@ impl Gate {
                     accept_join: Some(accept_join),
                     reactor_joins: Vec::new(),
                     reactor_wakers: Vec::new(),
+                    reactor_counters: Vec::new(),
+                    accept_sharded: false,
                 })
             }
             ServerMode::Reactor => {
-                let threads = match config.reactor_threads {
-                    0 => cos_par::default_workers(),
-                    n => n,
-                };
-                let (reactor_joins, reactor_wakers) = reactor::spawn(
-                    Arc::new(listener),
-                    client,
-                    config,
-                    obs,
-                    shared.clone(),
-                    threads,
-                )?;
-                Ok(Gate {
-                    addr,
-                    shared,
-                    accept_join: None,
-                    reactor_joins,
-                    reactor_wakers,
-                })
+                let threads = resolved_reactor_threads(&config);
+                let listener = Arc::new(listener);
+                let listeners = vec![listener; threads];
+                Gate::serve_reactors(listeners, false, client, config)
             }
         }
+    }
+
+    /// Spawns one reactor per listener (distinct listeners when sharded,
+    /// clones of one `Arc` when shared) over one global [`Shared`].
+    fn serve_reactors(
+        listeners: Vec<Arc<TcpListener>>,
+        sharded: bool,
+        client: ServiceClient,
+        config: GateConfig,
+    ) -> std::io::Result<Gate> {
+        let addr = listeners[0].local_addr()?;
+        for listener in &listeners {
+            listener.set_nonblocking(true)?;
+        }
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+        let obs = GateObs::register(&config.obs);
+        let spawned = reactor::spawn(listeners, client, config, obs, shared.clone())?;
+        Ok(Gate {
+            addr,
+            shared,
+            accept_join: None,
+            reactor_joins: spawned.joins,
+            reactor_wakers: spawned.wakers,
+            reactor_counters: spawned.counters,
+            accept_sharded: sharded,
+        })
     }
 
     /// The bound address (the ephemeral port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Whether accepts are sharded across per-reactor `SO_REUSEPORT`
+    /// listeners (always `false` in thread-per-connection mode and for
+    /// [`Gate::serve`] on an external listener).
+    pub fn accept_sharded(&self) -> bool {
+        self.accept_sharded
+    }
+
+    /// Total syscalls made by the reactor threads so far (waits, interest
+    /// updates, reads, writes, accepts), aggregated across threads. Diff
+    /// two snapshots with [`SyscallSnapshot::since`] to cost a traffic
+    /// window; always zero in thread-per-connection mode, which is
+    /// uninstrumented. Monotonic, safe to call while serving.
+    pub fn syscalls(&self) -> SyscallSnapshot {
+        self.reactor_counters
+            .iter()
+            .map(|c| c.snapshot())
+            .fold(SyscallSnapshot::default(), |acc, s| acc + s)
     }
 
     /// Stops accepting, drains in-flight responses, and joins every
@@ -593,6 +703,136 @@ fn serve_connection(
             }
             Err(_) => return,
         }
+    }
+}
+
+/// Raw-syscall construction of a `SO_REUSEPORT` listener group (the
+/// workspace is std-only, and `std::net` exposes no socket options, so
+/// the sockets are built against `extern "C"` prototypes of the libc the
+/// binary already links — same convention as `cos_par::poller`). Linux
+/// and IPv4 only; every caller must treat an `Err` as "shard elsewhere",
+/// not a fatal bind failure.
+#[cfg(target_os = "linux")]
+mod reuseport {
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+    use std::os::fd::{FromRawFd, OwnedFd};
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    /// Matches std's `TcpListener::bind` backlog.
+    const BACKLOG: c_int = 128;
+
+    /// `struct sockaddr_in`: family, then port and address in network
+    /// byte order, padded to `sizeof(struct sockaddr)`.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const SockAddrIn, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    fn check(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// One listening socket with `SO_REUSEPORT` (and `SO_REUSEADDR`) set
+    /// *before* bind — the kernel only admits a socket into a reuseport
+    /// group if the flag is set at bind time.
+    fn bind_one(ip: [u8; 4], port: u16) -> io::Result<TcpListener> {
+        // SAFETY: plain syscalls on owned values; the fd is wrapped in an
+        // OwnedFd immediately so every error path below closes it.
+        let fd = check(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+        let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: optval points at a live c_int of the stated length.
+            check(unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    (&one as *const c_int).cast(),
+                    std::mem::size_of::<c_int>() as u32,
+                )
+            })?;
+        }
+        let sa = SockAddrIn {
+            family: AF_INET as u16,
+            port: port.to_be(),
+            addr: u32::from_be_bytes(ip).to_be(),
+            zero: [0; 8],
+        };
+        // SAFETY: `sa` is a properly initialized sockaddr_in of the
+        // stated length.
+        check(unsafe { bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) })?;
+        check(unsafe { listen(fd, BACKLOG) })?;
+        Ok(TcpListener::from(owned))
+    }
+
+    /// Binds `count` listeners on the same address as one `SO_REUSEPORT`
+    /// group. The first bind may take an ephemeral port (`:0`); the rest
+    /// join it at the resolved port.
+    pub(super) fn bind_group(addr: &str, count: usize) -> io::Result<Vec<TcpListener>> {
+        let v4 = addr
+            .to_socket_addrs()?
+            .find_map(|a| match a {
+                SocketAddr::V4(v4) => Some(v4),
+                SocketAddr::V6(_) => None,
+            })
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "sharded accept requires an IPv4 address",
+                )
+            })?;
+        let ip = v4.ip().octets();
+        let first = bind_one(ip, v4.port())?;
+        let port = first.local_addr()?.port();
+        let mut group = Vec::with_capacity(count);
+        group.push(first);
+        for _ in 1..count {
+            group.push(bind_one(ip, port)?);
+        }
+        Ok(group)
+    }
+}
+
+/// Non-Linux fallback: sharded accept is unavailable, so `Gate::bind`
+/// always takes the shared-listener path.
+#[cfg(not(target_os = "linux"))]
+mod reuseport {
+    use std::io;
+    use std::net::TcpListener;
+
+    pub(super) fn bind_group(_addr: &str, _count: usize) -> io::Result<Vec<TcpListener>> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT sharded accept is Linux-only",
+        ))
     }
 }
 
@@ -913,12 +1153,75 @@ mod tests {
         let built = GateConfig::builder()
             .server_mode(ServerMode::ThreadPerConn)
             .reactor_threads(3)
+            .trigger_mode(TriggerMode::Level)
+            .accept_mode(AcceptMode::Shared)
             .build()
             .unwrap();
         assert_eq!(built.server_mode, ServerMode::ThreadPerConn);
         assert_eq!(built.reactor_threads, 3);
-        // reactor_threads = 0 means "auto" and is valid.
+        assert_eq!(built.trigger_mode, TriggerMode::Level);
+        assert_eq!(built.accept_mode, AcceptMode::Shared);
+        // reactor_threads = 0 means "auto" and is valid; edge-triggered
+        // sharded accept is the default.
         assert_eq!(GateConfig::default().reactor_threads, 0);
+        assert_eq!(GateConfig::default().trigger_mode, TriggerMode::Edge);
+        assert_eq!(GateConfig::default().accept_mode, AcceptMode::Sharded);
+    }
+
+    /// `Gate::bind` in reactor mode shards accepts across a
+    /// `SO_REUSEPORT` listener group on Linux, and the sharded gate
+    /// serves the same bytes as the shared one. Elsewhere the same
+    /// config silently falls back to shared accept.
+    #[test]
+    fn sharded_accept_serves_and_reports_its_mode() {
+        let service = spawn_service();
+        let config = GateConfig {
+            server_mode: ServerMode::Reactor,
+            reactor_threads: 2,
+            ..quick_config()
+        };
+        let gate = Gate::bind("127.0.0.1:0", service.client(), config).unwrap();
+        assert_eq!(gate.accept_sharded(), cfg!(target_os = "linux"));
+        // Connections land on kernel-chosen shards; all must serve.
+        for i in 0..8 {
+            let reply = roundtrip(
+                gate.local_addr(),
+                b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+            );
+            assert!(
+                reply.starts_with("HTTP/1.1 200 OK\r\n"),
+                "conn {i}: {reply}"
+            );
+        }
+        gate.shutdown();
+    }
+
+    /// An externally bound listener cannot join a reuseport group, so
+    /// `Gate::serve` always runs shared accept; and reactor syscall
+    /// counters aggregate into a nonzero, monotonic snapshot.
+    #[test]
+    fn serve_on_external_listener_is_shared_and_counts_syscalls() {
+        let service = spawn_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = GateConfig {
+            server_mode: ServerMode::Reactor,
+            reactor_threads: 2,
+            ..quick_config()
+        };
+        let gate = Gate::serve(listener, service.client(), config).unwrap();
+        assert!(!gate.accept_sharded());
+        let before = gate.syscalls();
+        let reply = roundtrip(
+            gate.local_addr(),
+            b"GET /v1/status HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        let spent = gate.syscalls().since(&before);
+        assert!(spent.accepts >= 1, "accept counted: {spent:?}");
+        assert!(spent.reads >= 1, "reads counted: {spent:?}");
+        assert!(spent.writevs >= 1, "response flush counted: {spent:?}");
+        assert!(spent.waits >= 1, "poll waits counted: {spent:?}");
+        gate.shutdown();
     }
 
     /// A single-threaded reactor multiplexes many concurrent in-flight

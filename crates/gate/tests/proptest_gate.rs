@@ -7,6 +7,11 @@
 //!   regardless of how the bytes arrive.
 //! * The JSON number encoding round-trips arbitrary finite `f64`s (any
 //!   bit pattern, subnormals and negative zero included) bit-identically.
+//! * The reactor's edge-triggered drain loop is chunking-invariant on the
+//!   wire: a pipelined burst delivered in chunks cut at any byte
+//!   boundaries — each cut forcing a `WouldBlock` (and, past 8 KiB, a
+//!   short-read loop exit) at that exact position — answers byte-for-byte
+//!   the same status sequence as a single-segment delivery.
 
 use cos_gate::http::{parse_one, ParseError, ParserLimits, RequestParser};
 use cos_gate::json;
@@ -212,5 +217,125 @@ proptest! {
         for (d, e) in decoded.iter().zip(&events) {
             prop_assert_eq!(d, e);
         }
+    }
+}
+
+/// One edge-triggered reactor gate shared by every case of the drain-loop
+/// property below (spawning a service per case would dominate the run).
+/// The gate and service are leaked: they die with the test process.
+fn edge_gate_addr() -> std::net::SocketAddr {
+    use cos_distr::{Degenerate, Gamma};
+    use cos_queueing::from_distribution;
+    use cos_serve::{CalibrationBase, ServeConfig, SlaService};
+    static ADDR: std::sync::OnceLock<std::net::SocketAddr> = std::sync::OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let base = CalibrationBase {
+            index_law: from_distribution(Gamma::new(3.0, 250.0)),
+            meta_law: from_distribution(Gamma::new(2.5, 312.5)),
+            data_law: from_distribution(Gamma::new(3.5, 245.0)),
+            parse_be: from_distribution(Degenerate::new(0.0005)),
+            parse_fe: from_distribution(Degenerate::new(0.0003)),
+            devices: 2,
+            processes_per_device: 1,
+            frontend_processes: 3,
+        };
+        let handle = SlaService::new(base, ServeConfig::default()).spawn();
+        let client = handle.client();
+        std::mem::forget(handle);
+        let config = cos_gate::GateConfig {
+            server_mode: cos_gate::ServerMode::Reactor,
+            ..cos_gate::GateConfig::default()
+        };
+        let gate = cos_gate::Gate::bind("127.0.0.1:0", client, config).expect("bind gate");
+        let addr = gate.local_addr();
+        std::mem::forget(gate);
+        addr
+    })
+}
+
+/// Writes `raw` in pieces cut at `bounds` (each flush followed by a pause
+/// long enough for the reactor to drain to `WouldBlock` at exactly that
+/// byte position), half-closes, and returns every response status.
+fn exchange_in_chunks(addr: std::net::SocketAddr, raw: &[u8], bounds: &[usize]) -> Vec<u16> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout");
+    let mut pos = 0;
+    for &bound in bounds {
+        if bound > pos {
+            stream.write_all(&raw[pos..bound]).expect("write chunk");
+            pos = bound;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    stream.write_all(&raw[pos..]).expect("write tail");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read replies");
+    // Route bodies are JSON; the literal `HTTP/1.1 ` only ever starts a
+    // status line, so scanning for it recovers the status sequence.
+    const MARK: &[u8] = b"HTTP/1.1 ";
+    let mut statuses = Vec::new();
+    let mut at = 0;
+    while at + MARK.len() + 3 <= reply.len() {
+        if &reply[at..at + MARK.len()] == MARK {
+            let digits = &reply[at + MARK.len()..at + MARK.len() + 3];
+            let text = std::str::from_utf8(digits).expect("ASCII status");
+            statuses.push(text.parse().expect("numeric status"));
+            at += MARK.len() + 3;
+        } else {
+            at += 1;
+        }
+    }
+    statuses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The edge-triggered drain loop never loses bytes at a `WouldBlock`
+    /// boundary: a pipelined burst (GETs plus one padded telemetry POST,
+    /// sized to cross the reactor's 8 KiB read chunk and trigger the
+    /// short-read exit) cut into wire chunks at arbitrary byte positions
+    /// answers exactly the status sequence of a one-shot delivery.
+    #[test]
+    fn et_drain_loop_is_chunking_invariant_on_the_wire(
+        cut_seeds in proptest::collection::vec(0usize..usize::MAX, 0..6),
+        gets in 1usize..4,
+        pad in 0usize..20_000,
+    ) {
+        let addr = edge_gate_addr();
+        let mut raw = Vec::new();
+        for _ in 0..gets {
+            raw.extend_from_slice(b"GET /v1/status HTTP/1.1\r\nHost: gate\r\n\r\n");
+        }
+        // `[    ...    ]` is a valid empty telemetry batch at any pad.
+        let body_len = pad + 2;
+        raw.extend_from_slice(
+            format!(
+                "POST /v1/telemetry HTTP/1.1\r\nHost: gate\r\n\
+                 Content-Type: application/json\r\nContent-Length: {body_len}\r\n\r\n["
+            )
+            .as_bytes(),
+        );
+        raw.extend(std::iter::repeat_n(b' ', pad));
+        raw.push(b']');
+
+        let reference = exchange_in_chunks(addr, &raw, &[]);
+        prop_assert_eq!(reference.len(), gets + 1, "one status per request");
+
+        let mut bounds: Vec<usize> = cut_seeds
+            .iter()
+            .map(|s| s % (raw.len() + 1))
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let chunked = exchange_in_chunks(addr, &raw, &bounds);
+        prop_assert_eq!(chunked, reference, "cuts at {:?}", bounds);
     }
 }

@@ -23,13 +23,19 @@
 //! No dependencies beyond `std` — the build environment is offline and the
 //! rest of the workspace is similarly std-only.
 //!
-//! A fourth block lives in [`poller`]: a level-triggered readiness
-//! [`Poller`] (epoll on Linux, `poll(2)` elsewhere) plus a pipe-based
-//! [`Waker`], the OS surface under the gate's event-driven reactor.
+//! A fourth block lives in [`poller`]: a readiness [`Poller`] (epoll on
+//! Linux, `poll(2)` elsewhere; level- or edge-triggered) plus a pipe-based
+//! [`Waker`], the OS surface under the gate's event-driven reactor. Its
+//! companion [`alloc_probe`] is the bench-only allocation counter that
+//! proves the reactor's "steady state allocates nothing" claim.
 
+pub mod alloc_probe;
 pub mod poller;
 
-pub use poller::{Backend, Event, Interest, Poller, WakeReader, Waker};
+pub use poller::{
+    Backend, Event, Interest, Poller, SyscallCounters, SyscallSnapshot, TriggerMode, WakeReader,
+    Waker,
+};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
